@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Buffer Char Harness Hashtbl List Printf String Tcpfo_core Tcpfo_host Tcpfo_ip Tcpfo_packet Tcpfo_sim Tcpfo_tcp Tcpfo_util

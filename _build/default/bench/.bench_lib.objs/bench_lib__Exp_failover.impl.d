@@ -1,0 +1,1 @@
+bench/exp_failover.ml: Buffer Char Harness List Printf String Tcpfo_core Tcpfo_host Tcpfo_sim Tcpfo_tcp Tcpfo_util

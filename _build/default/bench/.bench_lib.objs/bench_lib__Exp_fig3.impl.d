@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Harness List Option Printf Tcpfo_host Tcpfo_sim Tcpfo_tcp

@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Harness List Option Printf String Tcpfo_apps Tcpfo_host Tcpfo_sim Tcpfo_tcp

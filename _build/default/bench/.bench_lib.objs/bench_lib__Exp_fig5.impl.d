@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Harness Printf String Tcpfo_apps Tcpfo_host Tcpfo_sim Tcpfo_tcp

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Harness Hashtbl List Option Printf String Tcpfo_apps Tcpfo_core Tcpfo_host Tcpfo_net Tcpfo_packet Tcpfo_sim

@@ -1,0 +1,1 @@
+bench/exp_setup.ml: Harness List Printf Tcpfo_host Tcpfo_sim Tcpfo_tcp

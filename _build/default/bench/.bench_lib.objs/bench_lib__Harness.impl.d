@@ -1,0 +1,1 @@
+bench/harness.ml: List Printf String Tcpfo_core Tcpfo_host Tcpfo_packet Tcpfo_sim Tcpfo_tcp Tcpfo_util

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Char Harness Hashtbl Instance List Measure Printf Staged String Tcpfo_packet Tcpfo_sim Tcpfo_util Test Time Toolkit

@@ -1,0 +1,218 @@
+(* E7 — ablation of the §3.2 design rules.
+
+   (a) joint (minimum) acknowledgment: with the rule ON, the primary never
+   acknowledges client data the secondary lacks (requirement 2 of §2), so
+   a failover after a secondary-side drop loses nothing.  With the rule
+   OFF (primary acks on its own), the same drop followed by a primary
+   crash silently truncates the stream at the survivor.
+
+   (b) joint (minimum) window: with the rule OFF and a slow secondary, the
+   client overruns the secondary's receive window; transfers still heal
+   (retransmission) but with visibly more secondary-side discards. *)
+
+open Harness
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Tcp_config = Tcpfo_tcp.Tcp_config
+module Replicated = Tcpfo_core.Replicated
+module Failover_config = Tcpfo_core.Failover_config
+module Ip_layer = Tcpfo_ip.Ip_layer
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+
+let upload_size = 120_000
+
+(* Upload with a one-shot data-segment drop at the secondary, then kill the
+   primary shortly after the drop.  Returns whether the survivor ended up
+   with the complete upload. *)
+let min_ack_run ~seed ~use_min_ack =
+  let world = World.create ~seed () in
+  let lan = World.make_lan world () in
+  let client =
+    World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
+      ~profile:paper_profile ()
+  in
+  let primary =
+    World.add_host world lan ~name:"primary" ~addr:"10.0.0.1"
+      ~profile:paper_profile ()
+  in
+  let secondary =
+    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2"
+      ~profile:paper_profile ()
+  in
+  World.warm_arp [ client; primary; secondary ];
+  let config =
+    Failover_config.make ~service_ports:[ 5001 ] ~use_min_ack
+      ~bridge_cost:(Time.us 25) ()
+  in
+  let repl = Replicated.create ~primary ~secondary ~config () in
+  let received = Hashtbl.create 2 in
+  Replicated.listen repl ~port:5001 ~on_accept:(fun ~role tcb ->
+      let buf = Buffer.create upload_size in
+      Hashtbl.replace received role buf;
+      Tcb.set_on_data tcb (fun d -> Buffer.add_string buf d);
+      Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
+  (* one-shot drop of a mid-stream data segment at the secondary, then
+     kill the primary 3 ms later *)
+  let dropped = ref false in
+  let inner = Ip_layer.rx_hook (Host.ip secondary) in
+  Ip_layer.set_rx_hook (Host.ip secondary)
+    (Some
+       (fun pkt ~link_addressed ->
+         match pkt.Ipv4_packet.payload with
+         | Tcp seg
+           when (not !dropped)
+                && String.length seg.payload > 1000
+                && Tcpfo_util.Seq32.to_int seg.seq land 0xFFF > 2048 ->
+           dropped := true;
+           ignore
+             (Engine.schedule (World.engine world) ~delay:(Time.ms 3)
+                (fun () -> Replicated.kill_primary repl));
+           Ip_layer.Rx_drop
+         | _ -> (
+           match inner with
+           | None -> Ip_layer.Rx_pass pkt
+           | Some hook -> hook pkt ~link_addressed)));
+  let data = String.init upload_size (fun i -> Char.chr ((i * 13) land 0xFF)) in
+  let c =
+    Stack.connect (Host.tcp client)
+      ~remote:(Replicated.service_addr repl, 5001)
+      ()
+  in
+  Tcb.set_on_established c (fun () ->
+      let off = ref 0 in
+      let rec pump () =
+        if !off < upload_size then begin
+          let want = min 8192 (upload_size - !off) in
+          let n = Tcb.send c (String.sub data !off want) in
+          off := !off + n;
+          if n < want then Tcb.set_on_drain c pump else pump ()
+        end
+        else Tcb.close c
+      in
+      pump ());
+  World.run world ~for_:(Time.sec 60.0);
+  let survivor_ok =
+    match Hashtbl.find_opt received `Secondary with
+    | Some buf -> Buffer.contents buf = data
+    | None -> false
+  in
+  (!dropped, survivor_ok)
+
+(* Slow consumer on the secondary: its application pauses reading for a
+   few milliseconds after every delivery, so its advertised window keeps
+   collapsing.  With the §3.2 joint-window rule the client is throttled
+   to the slower replica and the upload completes cleanly; without it the
+   client runs at the primary's full 64 KB window, repeatedly overruns
+   the secondary, and must heal with retransmission storms. *)
+let min_win_run ~seed ~use_min_window =
+  let world = World.create ~seed () in
+  let lan = World.make_lan world () in
+  let client =
+    World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
+      ~profile:paper_profile ()
+  in
+  let primary =
+    World.add_host world lan ~name:"primary" ~addr:"10.0.0.1"
+      ~profile:paper_profile ()
+  in
+  let secondary =
+    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2"
+      ~profile:paper_profile
+      ~tcp_config:{ Tcp_config.default with recv_buf_size = 16384 }
+      ()
+  in
+  World.warm_arp [ client; primary; secondary ];
+  let config =
+    Failover_config.make ~service_ports:[ 5001 ] ~use_min_window
+      ~bridge_cost:(Time.us 25) ()
+  in
+  let repl = Replicated.create ~primary ~secondary ~config () in
+  let done_at = ref None in
+  Replicated.listen repl ~port:5001 ~on_accept:(fun ~role tcb ->
+      let n = ref 0 in
+      Tcb.set_on_data tcb (fun d ->
+          n := !n + String.length d;
+          if role = `Secondary then begin
+            (* slow consumer: digest each delivery for 3 ms *)
+            Tcb.pause_reading tcb;
+            ignore
+              ((Host.clock secondary).schedule (Time.ms 5) (fun () ->
+                   Tcb.resume_reading tcb));
+            if !n >= upload_size then done_at := Some (World.now world)
+          end);
+      Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
+  let c =
+    Stack.connect (Host.tcp client)
+      ~remote:(Replicated.service_addr repl, 5001)
+      ()
+  in
+  let t0 = ref Time.zero in
+  Tcb.set_on_established c (fun () ->
+      t0 := World.now world;
+      let data = String.make 8192 'w' in
+      let off = ref 0 in
+      let rec pump () =
+        if !off < upload_size then begin
+          let want = min 8192 (upload_size - !off) in
+          let n = Tcb.send c (String.sub data 0 want) in
+          off := !off + n;
+          if n < want then Tcb.set_on_drain c pump else pump ()
+        end
+      in
+      pump ());
+  World.run world ~for_:(Time.sec 120.0);
+  match !done_at with
+  | Some t -> Some (t - !t0, Tcb.retransmits c)
+  | None -> None
+
+let run_exp ~trials =
+  print_header "E7: ablation of the joint-ack / joint-window rules (3.2)";
+  Printf.printf
+    "(a) secondary drops one client segment; primary crashes 3 ms later\n";
+  Printf.printf "%-28s %22s\n" "ack rule" "survivor intact (of n)";
+  List.iter
+    (fun use_min_ack ->
+      let outcomes =
+        List.map (fun i -> min_ack_run ~seed:(8000 + i) ~use_min_ack)
+          (List.init trials (fun i -> i))
+      in
+      let exercised = List.filter fst outcomes in
+      let ok = List.length (List.filter snd exercised) in
+      Printf.printf "%-28s %15d / %d\n"
+        (if use_min_ack then "min(ack_P, ack_S)  [paper]" else "ack_P only [ablated]")
+        ok (List.length exercised))
+    [ true; false ];
+  Printf.printf
+    "\n(b) slow secondary (6 KB receive buffer) on a slightly lossy segment\n";
+  Printf.printf "%-28s %17s %14s\n" "window rule" "completion"
+    "client rexmits";
+  List.iter
+    (fun use_min_window ->
+      let runs =
+        List.filter_map
+          (fun i -> min_win_run ~seed:(8500 + i) ~use_min_window)
+          (List.init trials (fun i -> i))
+      in
+      match runs with
+      | [] -> Printf.printf "%-28s %22s\n"
+                (if use_min_window then "min(win_P, win_S)  [paper]"
+                 else "win_P only [ablated]")
+                "never"
+      | _ ->
+        Printf.printf "%-28s %14.2f ms %14.1f\n"
+          (if use_min_window then "min(win_P, win_S)  [paper]"
+           else "win_P only [ablated]")
+          (Tcpfo_util.Stats.median
+             (List.map (fun (t, _) -> float_of_int t /. 1e6) runs))
+          (Tcpfo_util.Stats.median
+             (List.map (fun (_, r) -> float_of_int r) runs)))
+    [ true; false ];
+  Printf.printf
+    "expectation: without the min-ack rule the survivor is truncated\n\
+     (failover requirement 2 violated); without the min-window rule the\n\
+     client overruns the slow secondary and must heal by retransmission\n\
+     (the paper's 'risk of message loss', 3.2).\n%!"

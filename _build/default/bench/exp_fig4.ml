@@ -1,0 +1,76 @@
+(* E3 — Figure 4: server-to-client data transfer.  The client sends a
+   4-byte request; the server answers with a reply of the given size; the
+   series is the time from the client starting to send until the last
+   reply byte arrives. *)
+
+open Harness
+module Time = Tcpfo_sim.Time
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Bulk = Tcpfo_apps.Bulk
+
+let one_trial mode ~size ~seed =
+  let env = make_env ~seed mode in
+  (* an Rr server with the requested reply size *)
+  env.install ~port:5003 (fun tcb ->
+      let got = ref 0 in
+      Tcb.set_on_data tcb (fun d ->
+          got := !got + String.length d;
+          if !got >= 4 then begin
+            got := 0;
+            let off = ref 0 in
+            let rec pump () =
+              if !off < size then begin
+                let want = min 32768 (size - !off) in
+                let n = Tcb.send tcb (String.make want 'r') in
+                off := !off + n;
+                if n < want then Tcb.set_on_drain tcb pump else pump ()
+              end
+            in
+            pump ()
+          end);
+      Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
+  run env ~for_:(Time.ms 5);
+  let started = ref Time.zero in
+  let finished = ref None in
+  let received = ref 0 in
+  let c =
+    Stack.connect (Host.tcp env.client) ~remote:(env.service, 5003) ()
+  in
+  Tcb.set_on_established c (fun () ->
+      started := now env;
+      ignore (Tcb.send c "PING"));
+  Tcb.set_on_data c (fun d ->
+      received := !received + String.length d;
+      if !received >= size then finished := Some (now env));
+  run env ~for_:(Time.sec 60.0);
+  Option.map (fun t -> t - !started) !finished
+
+let series mode ~sizes ~trials =
+  List.map
+    (fun size ->
+      let samples =
+        List.filter_map (fun i -> one_trial mode ~size ~seed:(3000 + i))
+          (List.init trials (fun i -> i))
+      in
+      (size, if samples = [] then nan
+             else float_of_int (median_ns samples) /. 1e3))
+    sizes
+
+let run_exp ~sizes ~trials =
+  print_header
+    "E3 / Figure 4: request/reply time vs reply size (4-byte request)";
+  let std = series Std ~sizes ~trials in
+  let fo = series Failover ~sizes ~trials in
+  Printf.printf "%-10s %16s %16s %8s\n" "size" "std TCP [us]" "failover [us]"
+    "ratio";
+  List.iter2
+    (fun (sz, s) (_, f) ->
+      Printf.printf "%-10s %16.1f %16.1f %8.2f\n" (size_label sz) s f
+        (f /. s))
+    std fo;
+  Printf.printf
+    "shape check: failover pays roughly 2x for large replies (every reply\n\
+     byte crosses the shared segment twice: secondary->primary, then\n\
+     primary->client).\n%!"

@@ -1,0 +1,42 @@
+(* E1 — §9 connection-setup table: median/max connect time, standard TCP
+   vs TCP failover, warm ARP caches. *)
+
+open Harness
+module Time = Tcpfo_sim.Time
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+
+let one_trial mode ~seed =
+  let env = make_env ~seed mode in
+  env.install ~port:5000 (fun _ -> ());
+  (* let heartbeats settle before timing *)
+  run env ~for_:(Time.ms 5);
+  let t0 = now env in
+  let done_at = ref None in
+  let c = Stack.connect (Host.tcp env.client) ~remote:(env.service, 5000) () in
+  Tcb.set_on_established c (fun () -> done_at := Some (now env));
+  run env ~for_:(Time.ms 100);
+  match !done_at with
+  | Some t -> Some (t - t0)
+  | None -> None
+
+let measure mode ~trials =
+  let samples =
+    List.filter_map (fun i -> one_trial mode ~seed:(1000 + i))
+      (List.init trials (fun i -> i))
+  in
+  (median_ns samples, max_ns samples, List.length samples)
+
+let run_exp ~trials =
+  print_header "E1: connection setup time (paper §9 in-text table)";
+  let med_std, max_std, n_std = measure Std ~trials in
+  let med_fo, max_fo, n_fo = measure Failover ~trials in
+  Printf.printf "%-16s %12s %12s   (n)\n" "" "median[us]" "max[us]";
+  Printf.printf "%-16s %12s %12s   (%d)\n" "standard TCP" (pp_time_us med_std)
+    (pp_time_us max_std) n_std;
+  Printf.printf "%-16s %12s %12s   (%d)\n" "TCP failover" (pp_time_us med_fo)
+    (pp_time_us max_fo) n_fo;
+  Printf.printf "paper:  standard 294 / 603    failover 505 / 1193\n";
+  Printf.printf "ratio failover/standard: measured %.2f, paper 1.72\n%!"
+    (float_of_int med_fo /. float_of_int med_std)

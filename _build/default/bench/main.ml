@@ -1,0 +1,90 @@
+(* Benchmark driver: regenerates every table and figure of the paper's
+   evaluation (§9), plus the failover-latency and ablation extensions.
+
+     dune exec bench/main.exe               # everything, full sizes
+     dune exec bench/main.exe -- --quick    # reduced sizes/trials
+     dune exec bench/main.exe -- --exp fig5 # one experiment *)
+
+open Cmdliner
+open Bench_lib
+
+type which =
+  | All
+  | Setup
+  | Fig3
+  | Fig4
+  | Fig5
+  | Fig6
+  | Failover_exp
+  | Ablation
+  | Chain_exp
+  | Micro_exp
+
+let which_of_string = function
+  | "all" -> Ok All
+  | "setup" -> Ok Setup
+  | "fig3" -> Ok Fig3
+  | "fig4" -> Ok Fig4
+  | "fig5" -> Ok Fig5
+  | "fig6" -> Ok Fig6
+  | "failover" -> Ok Failover_exp
+  | "ablation" -> Ok Ablation
+  | "chain" -> Ok Chain_exp
+  | "micro" -> Ok Micro_exp
+  | s -> Error (`Msg ("unknown experiment: " ^ s))
+
+let which_conv =
+  Arg.conv
+    ( which_of_string,
+      fun fmt w ->
+        Format.pp_print_string fmt
+          (match w with
+          | All -> "all"
+          | Setup -> "setup"
+          | Fig3 -> "fig3"
+          | Fig4 -> "fig4"
+          | Fig5 -> "fig5"
+          | Fig6 -> "fig6"
+          | Failover_exp -> "failover"
+          | Ablation -> "ablation"
+          | Chain_exp -> "chain"
+          | Micro_exp -> "micro") )
+
+let run which quick =
+  let fig_trials = if quick then 1 else 3 in
+  let sizes =
+    if quick then [ 64; 1024; 16384; 65536; 262144; 1048576 ]
+    else Harness.fig34_sizes
+  in
+  let stream_size = (if quick then 10 else 100) * (1 lsl 20) in
+  let t0 = Sys.time () in
+  let should w = which = All || which = w in
+  if should Setup then Exp_setup.run_exp ~trials:(if quick then 20 else 100);
+  if should Fig3 then Exp_fig3.run_exp ~sizes ~trials:fig_trials;
+  if should Fig4 then Exp_fig4.run_exp ~sizes ~trials:fig_trials;
+  if should Fig5 then Exp_fig5.run_exp ~size:stream_size;
+  if should Fig6 then Exp_fig6.run_exp ~trials:fig_trials;
+  if should Failover_exp then
+    Exp_failover.run_exp ~trials:(if quick then 3 else 7);
+  if should Ablation then Exp_ablation.run_exp ~trials:(if quick then 3 else 7);
+  if should Chain_exp then Exp_chain.run_exp ~trials:(if quick then 3 else 5);
+  if should Micro_exp then Micro.run_exp ();
+  Printf.printf "\n[bench completed in %.1fs cpu time]\n%!"
+    (Sys.time () -. t0)
+
+let which_arg =
+  Arg.(value & opt which_conv All & info [ "exp" ] ~docv:"EXP"
+         ~doc:"Experiment to run: all, setup, fig3, fig4, fig5, fig6, \
+               failover, ablation, chain, micro.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes and trial counts.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tcpfo-bench"
+       ~doc:"Reproduce the evaluation of 'Transparent TCP Connection \
+             Failover' (DSN 2003)")
+    Term.(const run $ which_arg $ quick_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,294 @@
+(* tcpfo — command-line driver for the TCP-failover simulator.
+
+     dune exec bin/tcpfo_cli.exe -- failover --kill-at 50 --size 400 --trace
+     dune exec bin/tcpfo_cli.exe -- failover --victim secondary
+     dune exec bin/tcpfo_cli.exe -- trace --size 4
+
+   The [failover] scenario downloads a reply through the replicated pair,
+   crashes one replica at a chosen time, and reports stream integrity and
+   the client-visible stall.  The [trace] scenario prints every TCP
+   segment that crosses the wire of a small fault-free transfer — useful
+   for seeing the bridge's sequence-number translation and joint ACKs. *)
+
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module Trace = Tcpfo_sim.Trace
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Ip_layer = Tcpfo_ip.Ip_layer
+module Ipv4 = Tcpfo_packet.Ipv4_packet
+module Replicated = Tcpfo_core.Replicated
+module Failover_config = Tcpfo_core.Failover_config
+open Cmdliner
+
+let install_tap world name host =
+  let inner = Ip_layer.rx_hook (Host.ip host) in
+  Ip_layer.set_rx_hook (Host.ip host)
+    (Some
+       (fun pkt ~link_addressed ->
+         (match pkt.Ipv4.payload with
+         | Ipv4.Tcp _ ->
+           Printf.eprintf "[%10.3f ms] %-9s <- %s%s\n%!"
+             (Time.to_ms (World.now world))
+             name
+             (Format.asprintf "%a" Ipv4.pp pkt)
+             (if link_addressed then "" else "  (promiscuous)")
+         | _ -> ());
+         match inner with
+         | None -> Ip_layer.Rx_pass pkt
+         | Some hook -> hook pkt ~link_addressed))
+
+let build_world ~seed ~detector_ms ~trace =
+  let world = World.create ~seed () in
+  let lan = World.make_lan world () in
+  let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10" () in
+  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
+  let secondary =
+    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
+  in
+  World.warm_arp [ client; primary; secondary ];
+  let config =
+    Failover_config.make ~service_ports:[ 80 ]
+      ~detector_timeout:(Time.ms detector_ms) ()
+  in
+  let repl = Replicated.create ~primary ~secondary ~config () in
+  if trace then begin
+    install_tap world "client" client;
+    install_tap world "primary" primary;
+    install_tap world "secondary" secondary
+  end;
+  (world, client, repl)
+
+let serve_reply repl ~reply =
+  Replicated.listen repl ~port:80 ~on_accept:(fun ~role:_ tcb ->
+      let got = ref 0 in
+      Tcb.set_on_data tcb (fun d ->
+          got := !got + String.length d;
+          if !got >= 3 then begin
+            let size = String.length reply in
+            let off = ref 0 in
+            let rec pump () =
+              if !off < size then begin
+                let want = min 32768 (size - !off) in
+                let n = Tcb.send tcb (String.sub reply !off want) in
+                off := !off + n;
+                if n < want then Tcb.set_on_drain tcb pump else pump ()
+              end
+              else Tcb.close tcb
+            in
+            pump ()
+          end))
+
+let run_failover victim kill_at_ms size_kb detector_ms trace seed =
+  let world, client, repl =
+    build_world ~seed ~detector_ms ~trace:(trace && size_kb <= 16)
+  in
+  let reply =
+    String.init (size_kb * 1024) (fun i -> Char.chr ((i * 31) land 0xFF))
+  in
+  serve_reply repl ~reply;
+  Replicated.set_on_event repl (fun e ->
+      Printf.printf "[%10.3f ms] %s\n%!"
+        (Time.to_ms (World.now world))
+        (match e with
+        | Replicated.Primary_failure_detected -> "primary failure detected"
+        | Secondary_failure_detected ->
+          "secondary failure detected; primary degrades"
+        | Takeover_complete -> "IP takeover complete"
+        | Reintegrated -> "secondary reintegrated"));
+  let buf = Buffer.create (size_kb * 1024) in
+  let last = ref Time.zero in
+  let stall = ref 0 in
+  let finished = ref None in
+  let conn =
+    Stack.connect (Host.tcp client) ~remote:(Replicated.service_addr repl, 80)
+      ()
+  in
+  Tcb.set_on_established conn (fun () ->
+      last := World.now world;
+      ignore (Tcb.send conn "get"));
+  Tcb.set_on_data conn (fun d ->
+      let t = World.now world in
+      stall := max !stall (t - !last);
+      last := t;
+      Buffer.add_string buf d);
+  Tcb.set_on_eof conn (fun () -> finished := Some (World.now world));
+  ignore
+    (Engine.schedule (World.engine world) ~delay:(Time.ms kill_at_ms)
+       (fun () ->
+         Printf.printf "[%10.3f ms] crashing the %s\n%!"
+           (Time.to_ms (World.now world))
+           victim;
+         match victim with
+         | "secondary" -> Replicated.kill_secondary repl
+         | _ -> Replicated.kill_primary repl));
+  World.run world ~for_:(Time.sec 120.0);
+  (match !finished with
+  | Some t ->
+    Printf.printf
+      "transfer complete at %.3f ms; stream %s; max client stall %.3f ms\n"
+      (Time.to_ms t)
+      (if Buffer.contents buf = reply then "BYTE-EXACT" else "CORRUPTED")
+      (Time.to_ms !stall)
+  | None -> Printf.printf "transfer did not complete\n");
+  if Buffer.contents buf = reply then 0 else 1
+
+let run_trace size_kb seed =
+  let world, client, repl =
+    build_world ~seed ~detector_ms:30 ~trace:true
+  in
+  let reply =
+    String.init (size_kb * 1024) (fun i -> Char.chr ((i * 31) land 0xFF))
+  in
+  serve_reply repl ~reply;
+  let buf = Buffer.create 1024 in
+  let conn =
+    Stack.connect (Host.tcp client) ~remote:(Replicated.service_addr repl, 80)
+      ()
+  in
+  Tcb.set_on_established conn (fun () -> ignore (Tcb.send conn "get"));
+  Tcb.set_on_data conn (fun d -> Buffer.add_string buf d);
+  World.run world ~for_:(Time.sec 5.0);
+  Printf.printf "received %d bytes, %s\n" (Buffer.length buf)
+    (if Buffer.contents buf = reply then "byte-exact" else "CORRUPTED");
+  0
+
+let victim_arg =
+  Arg.(value & opt (enum [ ("primary", "primary"); ("secondary", "secondary") ])
+         "primary"
+       & info [ "victim" ] ~doc:"Which replica to crash.")
+
+let kill_at_arg =
+  Arg.(value & opt int 50 & info [ "kill-at" ] ~docv:"MS"
+         ~doc:"Crash time in milliseconds.")
+
+let size_arg =
+  Arg.(value & opt int 400 & info [ "size" ] ~docv:"KB"
+         ~doc:"Reply size in KB.")
+
+let detector_arg =
+  Arg.(value & opt int 30 & info [ "detector" ] ~docv:"MS"
+         ~doc:"Fault-detector timeout in milliseconds.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ]
+         ~doc:"Print every TCP segment (small transfers only).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let failover_cmd =
+  Cmd.v (Cmd.info "failover" ~doc:"Crash a replica mid-transfer.")
+    Term.(
+      const run_failover $ victim_arg $ kill_at_arg $ size_arg $ detector_arg
+      $ trace_arg $ seed_arg)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Fault-free transfer with a full packet trace.")
+    Term.(const run_trace $ Arg.(value & opt int 4 & info [ "size" ]
+                                   ~docv:"KB" ~doc:"Reply size in KB.")
+          $ seed_arg)
+
+let run_chain n_replicas kills_ms size_kb seed =
+  let world = World.create ~seed () in
+  let lan = World.make_lan world () in
+  let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10" () in
+  let replicas =
+    List.init n_replicas (fun i ->
+        World.add_host world lan
+          ~name:(Printf.sprintf "replica%d" i)
+          ~addr:(Printf.sprintf "10.0.0.%d" (i + 1))
+          ())
+  in
+  World.warm_arp (client :: replicas);
+  let chain =
+    Tcpfo_core.Chain.create ~replicas ~config:Failover_config.default ()
+  in
+  Tcpfo_core.Chain.set_on_event chain (fun e ->
+      Printf.printf "[%10.3f ms] %s\n%!"
+        (Time.to_ms (World.now world))
+        (match e with
+        | Tcpfo_core.Chain.Death_detected i ->
+          Printf.sprintf "replica %d declared dead" i
+        | Promoted i -> Printf.sprintf "replica %d promoted to head" i
+        | Retargeted (i, j) ->
+          Printf.sprintf "replica %d re-diverts to replica %d" i j
+        | Degraded i -> Printf.sprintf "replica %d degrades (lost its tail)" i));
+  let reply =
+    String.init (size_kb * 1024) (fun i -> Char.chr ((i * 31) land 0xFF))
+  in
+  Tcpfo_core.Chain.listen chain ~port:80 ~on_accept:(fun ~replica:_ tcb ->
+      let got = ref 0 in
+      Tcb.set_on_data tcb (fun d ->
+          got := !got + String.length d;
+          if !got >= 3 then begin
+            let size = String.length reply in
+            let off = ref 0 in
+            let rec pump () =
+              if !off < size then begin
+                let want = min 32768 (size - !off) in
+                let n = Tcb.send tcb (String.sub reply !off want) in
+                off := !off + n;
+                if n < want then Tcb.set_on_drain tcb pump else pump ()
+              end
+              else Tcb.close tcb
+            in
+            pump ()
+          end));
+  let buf = Buffer.create (size_kb * 1024) in
+  let finished = ref None in
+  let conn =
+    Stack.connect (Host.tcp client)
+      ~remote:(Tcpfo_core.Chain.service_addr chain, 80)
+      ()
+  in
+  Tcb.set_on_established conn (fun () -> ignore (Tcb.send conn "get"));
+  Tcb.set_on_data conn (fun d -> Buffer.add_string buf d);
+  Tcb.set_on_eof conn (fun () -> finished := Some (World.now world));
+  List.iteri
+    (fun i ms ->
+      ignore
+        (Engine.schedule (World.engine world) ~delay:(Time.ms ms) (fun () ->
+             Printf.printf "[%10.3f ms] crashing replica %d\n%!"
+               (Time.to_ms (World.now world))
+               i;
+             Tcpfo_core.Chain.kill chain i)))
+    kills_ms;
+  World.run world ~for_:(Time.sec 120.0);
+  (match !finished with
+  | Some t ->
+    Printf.printf "transfer complete at %.3f ms; stream %s; survivors: %s\n"
+      (Time.to_ms t)
+      (if Buffer.contents buf = reply then "BYTE-EXACT" else "CORRUPTED")
+      (String.concat ","
+         (List.map string_of_int (Tcpfo_core.Chain.alive chain)))
+  | None -> Printf.printf "transfer did not complete\n");
+  if Buffer.contents buf = reply then 0 else 1
+
+let chain_cmd =
+  let n_arg =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"N"
+           ~doc:"Chain length (>= 2).")
+  in
+  let kills_arg =
+    Arg.(value & opt (list int) [ 40 ] & info [ "kill-at" ] ~docv:"MS,..."
+           ~doc:"Crash replica 0 at the first time, replica 1 at the \
+                 second, ... (milliseconds).")
+  in
+  Cmd.v
+    (Cmd.info "chain"
+       ~doc:"Daisy-chained replication under successive crashes.")
+    Term.(const run_chain $ n_arg $ kills_arg $ size_arg $ seed_arg)
+
+let () =
+  Trace.set_level Trace.Quiet;
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "tcpfo"
+             ~doc:"Transparent TCP connection failover simulator (DSN 2003)")
+          [ failover_cmd; trace_cmd; chain_cmd ]))

@@ -1,0 +1,1 @@
+examples/backend_client.ml: Hashtbl Printf Tcpfo_apps Tcpfo_core Tcpfo_host Tcpfo_sim Tcpfo_tcp

@@ -1,0 +1,1 @@
+examples/daisy_chain.ml: List Printf String Tcpfo_core Tcpfo_host Tcpfo_sim Tcpfo_tcp

@@ -1,0 +1,1 @@
+examples/daisy_chain.mli:

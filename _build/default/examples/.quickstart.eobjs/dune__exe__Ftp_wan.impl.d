@@ -1,0 +1,1 @@
+examples/ftp_wan.ml: Char Printf String Tcpfo_apps Tcpfo_core Tcpfo_host Tcpfo_net Tcpfo_packet Tcpfo_sim

@@ -1,0 +1,1 @@
+examples/ftp_wan.mli:

@@ -1,0 +1,1 @@
+examples/webstore_failover.ml: Printf Tcpfo_apps Tcpfo_core Tcpfo_host Tcpfo_sim Tcpfo_tcp

@@ -1,0 +1,1 @@
+examples/webstore_failover.mli:

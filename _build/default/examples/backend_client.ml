@@ -1,0 +1,82 @@
+(* Server-initiated connections (paper §7.2): the replicated application
+   acts as a TCP *client* of an unreplicated back-end server — e.g. a
+   replicated Web tier talking to a database.  Both replicas open the
+   connection; the back end sees exactly one; replies are snooped by the
+   secondary; after a failover the survivor keeps the back-end session.
+
+     dune exec examples/backend_client.exe *)
+
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Replicated = Tcpfo_core.Replicated
+module Failover_config = Tcpfo_core.Failover_config
+module Lineproto = Tcpfo_apps.Lineproto
+
+let () =
+  let world = World.create ~seed:123 () in
+  let lan = World.make_lan world () in
+  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
+  let secondary =
+    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
+  in
+  let database = World.add_host world lan ~name:"database" ~addr:"10.0.0.3" () in
+  World.warm_arp [ primary; secondary; database ];
+  let repl =
+    Replicated.create ~primary ~secondary ~config:Failover_config.default ()
+  in
+
+  let log fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.printf "[%8.3f ms] %s\n%!" (Time.to_ms (World.now world)) s)
+      fmt
+  in
+
+  (* the unreplicated database: answers "GET k" with "VAL k=..." *)
+  Stack.listen (Host.tcp database) ~port:5432 ~on_accept:(fun tcb ->
+      log "database: accepted a connection";
+      let lines =
+        Lineproto.create ~on_line:(fun l ->
+            log "database: query %S" l;
+            ignore (Tcb.send tcb (Lineproto.line ("VAL " ^ l ^ "=42"))))
+      in
+      Tcb.set_on_data tcb (fun d -> Lineproto.feed lines d);
+      Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
+
+  (* the replicated app opens ONE logical connection to the database:
+     both replicas connect; the bridge merges them (§7.2) *)
+  let conns = Hashtbl.create 2 in
+  Replicated.connect_backend repl
+    ~remote:(Host.addr database, 5432)
+    ~setup:(fun ~role tcb ->
+      Hashtbl.replace conns role tcb;
+      let name =
+        match role with `Primary -> "primary " | `Secondary -> "secondary"
+      in
+      let lines =
+        Lineproto.create ~on_line:(fun l -> log "%s replica got: %S" name l)
+      in
+      Tcb.set_on_data tcb (fun d -> Lineproto.feed lines d);
+      Tcb.set_on_established tcb (fun () ->
+          log "%s replica: backend session established" name))
+    ();
+
+  World.run world ~for_:(Time.ms 50);
+  (* both replicas issue the same deterministic query *)
+  Hashtbl.iter
+    (fun _ tcb -> ignore (Tcb.send tcb (Lineproto.line "GET stock.grinder")))
+    conns;
+  World.run world ~for_:(Time.ms 100);
+
+  log "killing the primary; the survivor keeps the database session";
+  Replicated.kill_primary repl;
+  World.run world ~for_:(Time.sec 2.0);
+
+  (match Hashtbl.find_opt conns `Secondary with
+  | Some tcb -> ignore (Tcb.send tcb (Lineproto.line "GET stock.kettle"))
+  | None -> ());
+  World.run world ~for_:(Time.sec 2.0);
+  print_endline "backend_client: done"

@@ -1,0 +1,83 @@
+(* The paper's motivating example (§1): an on-line store replicated for
+   fault tolerance.  A customer browses the inventory, starts buying, the
+   primary server dies mid-session, and the purchase continues on the very
+   same TCP connection — the customer never notices.
+
+     dune exec examples/webstore_failover.exe *)
+
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Replicated = Tcpfo_core.Replicated
+module Failover_config = Tcpfo_core.Failover_config
+module Store = Tcpfo_apps.Store
+module Lineproto = Tcpfo_apps.Lineproto
+
+let inventory =
+  [ ("espresso-machine", 249, 3); ("grinder", 89, 10); ("kettle", 35, 2) ]
+
+let () =
+  let world = World.create ~seed:42 () in
+  let lan = World.make_lan world () in
+  let customer =
+    World.add_host world lan ~name:"customer" ~addr:"10.0.0.10" ()
+  in
+  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
+  let secondary =
+    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
+  in
+  World.warm_arp [ customer; primary; secondary ];
+  let repl =
+    Replicated.create ~primary ~secondary ~config:Failover_config.default ()
+  in
+  Store.serve_replicated ~inventory repl ~port:8080;
+
+  let log fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.printf "[%8.3f ms] %s\n%!" (Time.to_ms (World.now world)) s)
+      fmt
+  in
+  Replicated.set_on_event repl (fun e ->
+      log "--- %s ---"
+        (match e with
+        | Replicated.Primary_failure_detected -> "primary died; failing over"
+        | Secondary_failure_detected -> "secondary died"
+        | Takeover_complete -> "secondary now owns the service address"
+        | Reintegrated -> "secondary reintegrated"));
+
+  let conn =
+    Stack.connect (Host.tcp customer)
+      ~remote:(Replicated.service_addr repl, 8080)
+      ()
+  in
+  let send_cmd cmd =
+    log "customer> %s" cmd;
+    ignore (Tcb.send conn (Lineproto.line cmd))
+  in
+  let lines =
+    Lineproto.create ~on_line:(fun l -> log "   store> %s" l)
+  in
+  Tcb.set_on_data conn (fun d -> Lineproto.feed lines d);
+  Tcb.set_on_established conn (fun () -> send_cmd "LIST");
+
+  World.run world ~for_:(Time.ms 50);
+  send_cmd "BUY grinder 2";
+  World.run world ~for_:(Time.ms 50);
+
+  log "!!! pulling the plug on the primary !!!";
+  Replicated.kill_primary repl;
+  World.run world ~for_:(Time.ms 500);
+
+  (* same connection, same session, served by the survivor *)
+  send_cmd "BUY espresso-machine 1";
+  World.run world ~for_:(Time.ms 200);
+  send_cmd "LIST";
+  World.run world ~for_:(Time.ms 200);
+  send_cmd "QUIT";
+  World.run world ~for_:(Time.sec 1.0);
+  log "session closed; connection state: %s"
+    (Tcb.state_to_string (Tcb.state conn));
+  print_endline "webstore_failover: done"

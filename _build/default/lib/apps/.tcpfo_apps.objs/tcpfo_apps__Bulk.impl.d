@@ -1,0 +1,1 @@
+lib/apps/bulk.ml: Char Option String Tcpfo_core Tcpfo_tcp

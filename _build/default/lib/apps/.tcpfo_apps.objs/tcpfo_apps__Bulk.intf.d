@@ -1,0 +1,1 @@
+lib/apps/bulk.mli: Tcpfo_core Tcpfo_packet Tcpfo_tcp

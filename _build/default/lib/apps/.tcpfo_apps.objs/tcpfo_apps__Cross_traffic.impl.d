@@ -1,0 +1,1 @@
+lib/apps/cross_traffic.ml: String Tcpfo_net Tcpfo_packet Tcpfo_sim Tcpfo_util

@@ -1,0 +1,1 @@
+lib/apps/cross_traffic.mli: Tcpfo_net Tcpfo_sim Tcpfo_util

@@ -1,0 +1,1 @@
+lib/apps/echo.ml: Tcpfo_core Tcpfo_tcp

@@ -1,0 +1,1 @@
+lib/apps/echo.mli: Tcpfo_core Tcpfo_tcp

@@ -1,0 +1,1 @@
+lib/apps/ftp.ml: Buffer Hashtbl Lineproto List Option Printf String Tcpfo_packet Tcpfo_tcp

@@ -1,0 +1,1 @@
+lib/apps/ftp.mli: Tcpfo_packet Tcpfo_tcp

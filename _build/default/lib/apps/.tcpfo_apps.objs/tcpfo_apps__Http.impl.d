@@ -1,0 +1,1 @@
+lib/apps/http.ml: Buffer List Printf String Tcpfo_core Tcpfo_tcp

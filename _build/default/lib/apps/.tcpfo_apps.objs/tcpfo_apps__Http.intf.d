@@ -1,0 +1,1 @@
+lib/apps/http.mli: Tcpfo_core Tcpfo_packet Tcpfo_tcp

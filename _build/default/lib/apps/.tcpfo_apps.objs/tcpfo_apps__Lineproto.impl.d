@@ -1,0 +1,1 @@
+lib/apps/lineproto.ml: Buffer String

@@ -1,0 +1,1 @@
+lib/apps/store.ml: Hashtbl Lineproto List Printf String Tcpfo_core Tcpfo_tcp

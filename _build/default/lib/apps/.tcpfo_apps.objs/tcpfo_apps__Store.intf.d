@@ -1,0 +1,1 @@
+lib/apps/store.mli: Tcpfo_core Tcpfo_tcp

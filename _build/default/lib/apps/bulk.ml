@@ -1,0 +1,119 @@
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Replicated = Tcpfo_core.Replicated
+
+(* Deterministic stream content so receivers can verify integrity. *)
+let stream_byte i = Char.chr ((i * 31 + (i lsr 8) * 17 + 5) land 0xFF)
+
+let stream_chunk ~pos n = String.init n (fun i -> stream_byte (pos + i))
+
+(* Pump [size] bytes of the deterministic stream into [tcb], respecting
+   backpressure; [on_buffered] fires when the last byte enters the send
+   buffer, [then_close] closes afterwards. *)
+let pump ?(chunk = 32768) ~size ~on_buffered ~then_close tcb =
+  let pos = ref 0 in
+  let rec go () =
+    if !pos < size then begin
+      let want = min chunk (size - !pos) in
+      let n = Tcb.send tcb (stream_chunk ~pos:!pos want) in
+      pos := !pos + n;
+      if n < want then
+        (* buffer full: resume when acknowledgments free space *)
+        Tcb.set_on_drain tcb go
+      else go ()
+    end
+    else begin
+      on_buffered ();
+      if then_close then Tcb.close tcb
+    end
+  in
+  go ()
+
+module Sink = struct
+  let handle ?on_complete tcb =
+    let count = ref 0 in
+    Tcb.set_on_data tcb (fun d -> count := !count + String.length d);
+    Tcb.set_on_eof tcb (fun () ->
+        (match on_complete with
+        | Some f -> f ~bytes_received:!count
+        | None -> ());
+        Tcb.close tcb)
+
+  let serve stack ~port ?on_complete () =
+    Stack.listen stack ~port ~on_accept:(fun tcb -> handle ?on_complete tcb)
+
+  let serve_replicated repl ~port ?on_complete () =
+    Replicated.listen repl ~port ~on_accept:(fun ~role tcb ->
+        let on_complete =
+          Option.map (fun f -> fun ~bytes_received -> f ~role ~bytes_received)
+            on_complete
+        in
+        handle ?on_complete tcb)
+end
+
+module Source = struct
+  let payload n = stream_chunk ~pos:0 n
+
+  let handle ~size tcb =
+    Tcb.set_on_established tcb (fun () ->
+        pump ~size ~on_buffered:(fun () -> ()) ~then_close:true tcb);
+    Tcb.set_on_eof tcb (fun () -> ())
+
+  let serve stack ~port ~size =
+    Stack.listen stack ~port ~on_accept:(handle ~size)
+
+  let serve_replicated repl ~port ~size =
+    Replicated.listen repl ~port ~on_accept:(fun ~role:_ tcb ->
+        handle ~size tcb)
+end
+
+module Rr = struct
+  let handle ~reply_size tcb =
+    let got = ref 0 in
+    Tcb.set_on_data tcb (fun d ->
+        got := !got + String.length d;
+        if !got >= 4 then begin
+          got := 0;
+          pump ~size:reply_size ~on_buffered:(fun () -> ()) ~then_close:false
+            tcb
+        end);
+    Tcb.set_on_eof tcb (fun () -> Tcb.close tcb)
+
+  let serve stack ~port ~reply_size =
+    Stack.listen stack ~port ~on_accept:(handle ~reply_size)
+
+  let serve_replicated repl ~port ~reply_size =
+    Replicated.listen repl ~port ~on_accept:(fun ~role:_ tcb ->
+        handle ~reply_size tcb)
+end
+
+let upload stack ~remote ~size ?chunk ~on_buffered ~on_complete () =
+  let tcb = Stack.connect stack ~remote () in
+  Tcb.set_on_established tcb (fun () ->
+      pump ?chunk ~size ~on_buffered ~then_close:true tcb);
+  Tcb.set_on_close tcb on_complete;
+  Tcb.set_on_eof tcb (fun () -> ());
+  tcb
+
+let download stack ~remote ~on_complete () =
+  let tcb = Stack.connect stack ~remote () in
+  let count = ref 0 in
+  let ok = ref true in
+  Tcb.set_on_data tcb (fun d ->
+      String.iteri
+        (fun i c -> if c <> stream_byte (!count + i) then ok := false)
+        d;
+      count := !count + String.length d);
+  Tcb.set_on_eof tcb (fun () ->
+      Tcb.close tcb;
+      on_complete ~bytes_received:!count ~ok:!ok);
+  tcb
+
+let request_reply stack ~remote ~expect ~on_reply () =
+  let tcb = Stack.connect stack ~remote () in
+  let count = ref 0 in
+  Tcb.set_on_established tcb (fun () -> ignore (Tcb.send tcb "PING"));
+  Tcb.set_on_data tcb (fun d ->
+      count := !count + String.length d;
+      if !count >= expect then on_reply ());
+  tcb

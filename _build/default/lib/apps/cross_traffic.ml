@@ -1,0 +1,52 @@
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module Rng = Tcpfo_util.Rng
+module Link = Tcpfo_net.Link
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+
+type t = {
+  engine : Engine.t;
+  link : Link.t;
+  rng : Rng.t;
+  mean_gap_ns : float;
+  packet_size : int;
+  mutable running : bool;
+  mutable injected : int;
+}
+
+let noise_src = Ipaddr.of_string "203.0.113.1"
+let noise_dst = Ipaddr.of_string "203.0.113.2"
+
+let mk_packet t =
+  Ipv4_packet.make ~src:noise_src ~dst:noise_dst
+    (Ipv4_packet.Raw { proto = 200; data = String.make t.packet_size 'n' })
+
+let rec arm t ep =
+  if t.running then begin
+    let gap = Rng.exponential t.rng ~mean:t.mean_gap_ns in
+    ignore
+      (Engine.schedule t.engine
+         ~delay:(int_of_float gap)
+         (fun () ->
+           if t.running then begin
+             t.injected <- t.injected + 1;
+             Link.send ep (mk_packet t);
+             arm t ep
+           end))
+  end
+
+let start engine link ~rng ~load ~link_bandwidth_bps ?(packet_size = 900) () =
+  let bits = (packet_size + 20) * 8 in
+  let pps = load *. float_of_int link_bandwidth_bps /. float_of_int bits in
+  let mean_gap_ns = 1e9 /. pps in
+  let t =
+    { engine; link; rng; mean_gap_ns; packet_size; running = true;
+      injected = 0 }
+  in
+  arm t (Link.endpoint_a link);
+  arm t (Link.endpoint_b link);
+  t
+
+let stop t = t.running <- false
+let packets_injected t = t.injected

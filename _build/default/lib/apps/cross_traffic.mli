@@ -1,0 +1,24 @@
+(** Competing WAN traffic generator for the FTP experiment (paper §9:
+    "measurements over a wide-area network are highly dependent on
+    competing traffic and on packet loss rates").
+
+    Injects raw IP datagrams into both directions of a point-to-point
+    link as a Poisson process, consuming a configurable share of its
+    bandwidth. *)
+
+type t
+
+val start :
+  Tcpfo_sim.Engine.t ->
+  Tcpfo_net.Link.t ->
+  rng:Tcpfo_util.Rng.t ->
+  load:float ->
+  link_bandwidth_bps:int ->
+  ?packet_size:int ->
+  unit ->
+  t
+(** [load] is the target utilization fraction in each direction (e.g. 0.3
+    for 30 %); datagrams are [packet_size] bytes (default 900). *)
+
+val stop : t -> unit
+val packets_injected : t -> int

@@ -1,0 +1,15 @@
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+
+let handle tcb =
+  Tcb.set_on_data tcb (fun data ->
+      (* best effort: an echo server slower than its input simply drops
+         into backpressure; for test workloads the buffer suffices *)
+      ignore (Tcb.send tcb data));
+  Tcb.set_on_eof tcb (fun () -> Tcb.close tcb)
+
+let serve stack ~port = Stack.listen stack ~port ~on_accept:handle
+
+let serve_replicated repl ~port =
+  Tcpfo_core.Replicated.listen repl ~port ~on_accept:(fun ~role:_ tcb ->
+      handle tcb)

@@ -1,0 +1,9 @@
+(** Echo server: every received byte is sent straight back.  The simplest
+    deterministic service — used by examples and latency tests. *)
+
+val serve : Tcpfo_tcp.Stack.t -> port:int -> unit
+(** Listen on [port] and echo on every accepted connection.  The server
+    half-closes when the client does. *)
+
+val serve_replicated : Tcpfo_core.Replicated.t -> port:int -> unit
+(** Run the echo service identically on both replicas. *)

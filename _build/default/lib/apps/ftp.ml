@@ -1,0 +1,305 @@
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Ipaddr = Tcpfo_packet.Ipaddr
+
+(* PORT argument encoding: h1,h2,h3,h4,p1,p2 *)
+let encode_port_arg (ip, port) =
+  let v = Ipaddr.to_int ip in
+  Printf.sprintf "%d,%d,%d,%d,%d,%d" ((v lsr 24) land 0xFF)
+    ((v lsr 16) land 0xFF) ((v lsr 8) land 0xFF) (v land 0xFF)
+    ((port lsr 8) land 0xFF) (port land 0xFF)
+
+let decode_port_arg s =
+  match String.split_on_char ',' (String.trim s) with
+  | [ a; b; c; d; p1; p2 ] -> (
+    try
+      let n x = int_of_string (String.trim x) in
+      let ip =
+        Ipaddr.of_int ((n a lsl 24) lor (n b lsl 16) lor (n c lsl 8) lor n d)
+      in
+      Some (ip, (n p1 lsl 8) lor n p2)
+    with _ -> None)
+  | _ -> None
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (String.uppercase_ascii line, "")
+  | Some i ->
+    ( String.uppercase_ascii (String.sub line 0 i),
+      String.sub line (i + 1) (String.length line - i - 1) )
+
+module Server = struct
+  type files = {
+    get : string -> string option;
+    put : string -> string -> unit;
+  }
+
+  let in_memory entries =
+    let table = Hashtbl.create 8 in
+    List.iter (fun (k, v) -> Hashtbl.replace table k v) entries;
+    {
+      get = (fun name -> Hashtbl.find_opt table name);
+      put = (fun name data -> Hashtbl.replace table name data);
+    }
+
+  type session = {
+    ctrl : Tcb.t;
+    stack : Stack.t;
+    bind : Ipaddr.t;
+    data_port : int;
+    files : files;
+    mutable authenticated : bool;
+    mutable data_target : (Ipaddr.t * int) option;
+  }
+
+  let reply session text = ignore (Tcb.send session.ctrl (Lineproto.line text))
+
+  (* Stream [content] over a fresh server-initiated data connection, then
+     report 226 on the control connection. *)
+  let send_file session content =
+    match session.data_target with
+    | None -> reply session "425 Use PORT first."
+    | Some remote ->
+      session.data_target <- None;
+      reply session "150 Opening data connection.";
+      let data =
+        Stack.connect session.stack ~local:session.bind
+          ~local_port:session.data_port ~remote ()
+      in
+      Tcb.set_on_established data (fun () ->
+          let off = ref 0 in
+          let rec pump () =
+            if !off < String.length content then begin
+              let n =
+                Tcb.send data
+                  (String.sub content !off (String.length content - !off))
+              in
+              off := !off + n;
+              if !off < String.length content then Tcb.set_on_drain data pump
+              else Tcb.close data
+            end
+            else Tcb.close data
+          in
+          pump ());
+      Tcb.set_on_close data (fun () -> reply session "226 Transfer complete.");
+      Tcb.set_on_reset data (fun () -> reply session "426 Connection closed.")
+
+  let receive_file session name =
+    match session.data_target with
+    | None -> reply session "425 Use PORT first."
+    | Some remote ->
+      session.data_target <- None;
+      reply session "150 Opening data connection.";
+      let data =
+        Stack.connect session.stack ~local:session.bind
+          ~local_port:session.data_port ~remote ()
+      in
+      let buf = Buffer.create 1024 in
+      Tcb.set_on_data data (fun d -> Buffer.add_string buf d);
+      Tcb.set_on_eof data (fun () ->
+          session.files.put name (Buffer.contents buf);
+          Tcb.close data;
+          reply session "226 Transfer complete.");
+      Tcb.set_on_reset data (fun () -> reply session "426 Connection closed.")
+
+  let handle_command session line =
+    let cmd, arg = split_command line in
+    match cmd with
+    | "USER" -> reply session "331 Password required."
+    | "PASS" ->
+      session.authenticated <- true;
+      reply session "230 Logged in."
+    | _ when not session.authenticated -> reply session "530 Not logged in."
+    | "PORT" -> (
+      match decode_port_arg arg with
+      | Some target ->
+        session.data_target <- Some target;
+        reply session "200 PORT command successful."
+      | None -> reply session "501 Bad PORT syntax.")
+    | "RETR" -> (
+      match session.files.get arg with
+      | Some content -> send_file session content
+      | None -> reply session "550 No such file.")
+    | "STOR" -> receive_file session arg
+    | "QUIT" ->
+      reply session "221 Goodbye.";
+      Tcb.close session.ctrl
+    | _ -> reply session "502 Command not implemented."
+
+  let serve stack ~bind ?(ctrl_port = 21) ?(data_port = 20) ~files () =
+    Stack.listen stack ~port:ctrl_port ~on_accept:(fun ctrl ->
+        let session =
+          { ctrl; stack; bind; data_port; files; authenticated = false;
+            data_target = None }
+        in
+        let lines =
+          Lineproto.create ~on_line:(fun l -> handle_command session l)
+        in
+        ignore (Tcb.send ctrl (Lineproto.line "220 tcpfo FTP ready."));
+        Tcb.set_on_data ctrl (fun d -> Lineproto.feed lines d);
+        Tcb.set_on_eof ctrl (fun () -> Tcb.close ctrl))
+end
+
+module Client = struct
+  type hooks = { on_data_conn : unit -> unit; on_buffered : unit -> unit }
+
+  let no_hooks = { on_data_conn = (fun () -> ()); on_buffered = (fun () -> ()) }
+
+  type pending =
+    | Get of string * hooks * (string option -> unit)
+    | Put of string * string * hooks * (bool -> unit)
+
+  type t = {
+    stack : Stack.t;
+    ctrl : Tcb.t;
+    local_addr : Ipaddr.t;
+    mutable ready : bool;
+    mutable queue : pending list;
+    mutable active : pending option;
+    mutable data_buf : Buffer.t;
+    mutable data_done : bool; (* data connection finished *)
+    mutable ctrl_226 : bool; (* transfer-complete reply received *)
+    mutable on_ready : t -> unit;
+    mutable user : string;
+    mutable password : string;
+  }
+
+  let send_line t s = ignore (Tcb.send t.ctrl (Lineproto.line s))
+
+  (* A transfer completes when both the data connection has finished and
+     the 226 control reply has arrived (order varies). *)
+  let rec maybe_finish_transfer t =
+    if t.data_done && t.ctrl_226 then begin
+      (match t.active with
+      | Some (Get (_, _, k)) -> k (Some (Buffer.contents t.data_buf))
+      | Some (Put (_, _, _, k)) -> k true
+      | None -> ());
+      t.active <- None;
+      start_next t
+    end
+
+  and start_next t =
+    match (t.active, t.queue) with
+    | None, job :: rest ->
+      t.queue <- rest;
+      t.active <- Some job;
+      t.data_buf <- Buffer.create 1024;
+      t.data_done <- false;
+      t.ctrl_226 <- false;
+      (* open a fresh data listener and announce it *)
+      let port = Stack.fresh_port t.stack in
+      Stack.listen t.stack ~port ~on_accept:(fun data ->
+          Stack.unlisten t.stack ~port;
+          match t.active with
+          | Some (Get (_, hooks, _)) ->
+            hooks.on_data_conn ();
+            Tcb.set_on_data data (fun d -> Buffer.add_string t.data_buf d);
+            Tcb.set_on_eof data (fun () ->
+                Tcb.close data;
+                t.data_done <- true;
+                maybe_finish_transfer t)
+          | Some (Put (_, content, hooks, _)) ->
+            hooks.on_data_conn ();
+            let off = ref 0 in
+            let rec pump () =
+              if !off < String.length content then begin
+                let n =
+                  Tcb.send data
+                    (String.sub content !off (String.length content - !off))
+                in
+                off := !off + n;
+                if !off < String.length content then
+                  Tcb.set_on_drain data pump
+                else begin
+                  hooks.on_buffered ();
+                  Tcb.close data
+                end
+              end
+              else begin
+                hooks.on_buffered ();
+                Tcb.close data
+              end
+            in
+            pump ();
+            Tcb.set_on_close data (fun () ->
+                t.data_done <- true;
+                maybe_finish_transfer t)
+          | None -> Tcb.abort data);
+      send_line t ("PORT " ^ encode_port_arg (t.local_addr, port))
+    | _ -> ()
+
+  let handle_reply t line =
+    let code = try int_of_string (String.sub line 0 3) with _ -> 0 in
+    match code with
+    | 220 -> send_line t ("USER " ^ t.user)
+    | 331 -> send_line t ("PASS " ^ t.password)
+    | 230 ->
+      t.ready <- true;
+      t.on_ready t
+    | 200 -> (
+      (* PORT accepted: issue the transfer command *)
+      match t.active with
+      | Some (Get (name, _, _)) -> send_line t ("RETR " ^ name)
+      | Some (Put (name, _, _, _)) -> send_line t ("STOR " ^ name)
+      | None -> ())
+    | 150 -> ()
+    | 226 ->
+      t.ctrl_226 <- true;
+      maybe_finish_transfer t
+    | 550 | 425 | 426 | 501 | 502 | 530 -> (
+      match t.active with
+      | Some (Get (_, _, k)) ->
+        t.active <- None;
+        k None;
+        start_next t
+      | Some (Put (_, _, _, k)) ->
+        t.active <- None;
+        k false;
+        start_next t
+      | None -> ())
+    | 221 -> Tcb.close t.ctrl
+    | _ -> ()
+
+  let connect stack ~server ~local_addr ?(user = "anonymous")
+      ?(password = "guest") ~on_ready () =
+    let ctrl = Stack.connect stack ~remote:server () in
+    let t =
+      {
+        stack;
+        ctrl;
+        local_addr;
+        ready = false;
+        queue = [];
+        active = None;
+        data_buf = Buffer.create 16;
+        data_done = false;
+        ctrl_226 = false;
+        on_ready;
+        user;
+        password;
+      }
+    in
+    let lines = Lineproto.create ~on_line:(fun l -> handle_reply t l) in
+    Tcb.set_on_data ctrl (fun d -> Lineproto.feed lines d);
+    t
+
+  let get t name ?on_data_conn ~on_done () =
+    let hooks =
+      { no_hooks with
+        on_data_conn = Option.value on_data_conn ~default:(fun () -> ()) }
+    in
+    t.queue <- t.queue @ [ Get (name, hooks, on_done) ];
+    start_next t
+
+  let put t name content ?on_data_conn ?on_buffered ~on_done () =
+    let hooks =
+      {
+        on_data_conn = Option.value on_data_conn ~default:(fun () -> ());
+        on_buffered = Option.value on_buffered ~default:(fun () -> ());
+      }
+    in
+    t.queue <- t.queue @ [ Put (name, content, hooks, on_done) ];
+    start_next t
+
+  let quit t = send_line t "QUIT"
+end

@@ -1,0 +1,79 @@
+(** A File Transfer Protocol subset (RFC 959 active mode), the paper's
+    real-world workload (§9, Figure 6).
+
+    The protocol structure is what matters for TCP failover: a control
+    connection to port 21 (client-initiated) and, for every transfer, a
+    *server-initiated* data connection from port 20 to the client's
+    announced port — exercising §7.2 through the bridge when the server is
+    replicated.
+
+    Supported commands: USER, PASS, PORT, RETR, STOR, QUIT. *)
+
+module Server : sig
+  type files = {
+    get : string -> string option;
+    put : string -> string -> unit;
+  }
+
+  val in_memory : (string * string) list -> files
+  (** A deterministic in-memory file store (both replicas must serve
+      identical content). *)
+
+  val serve :
+    Tcpfo_tcp.Stack.t ->
+    bind:Tcpfo_packet.Ipaddr.t ->
+    ?ctrl_port:int ->
+    ?data_port:int ->
+    files:files ->
+    unit ->
+    unit
+  (** Listen on [ctrl_port] (default 21); open data connections from
+      [bind]:[data_port] (default 20).  For a replicated server, call this
+      on both replicas with [bind] set to the service address and register
+      ports 21 and 20 as failover ports. *)
+end
+
+module Client : sig
+  type t
+
+  val connect :
+    Tcpfo_tcp.Stack.t ->
+    server:Tcpfo_packet.Ipaddr.t * int ->
+    local_addr:Tcpfo_packet.Ipaddr.t ->
+    ?user:string ->
+    ?password:string ->
+    on_ready:(t -> unit) ->
+    unit ->
+    t
+  (** Open the control connection and log in; [on_ready] fires after the
+      230 response. *)
+
+  val get :
+    t ->
+    string ->
+    ?on_data_conn:(unit -> unit) ->
+    on_done:(string option -> unit) ->
+    unit ->
+    unit
+  (** Download a file ([None] = server error reply).  One transfer at a
+      time; queued otherwise.  [on_data_conn] fires when the server's data
+      connection reaches us — the instant transfer timing starts in the
+      paper's client-side rate measurements (§9, Fig. 6). *)
+
+  val put :
+    t ->
+    string ->
+    string ->
+    ?on_data_conn:(unit -> unit) ->
+    ?on_buffered:(unit -> unit) ->
+    on_done:(bool -> unit) ->
+    unit ->
+    unit
+  (** Upload.  [on_buffered] fires when the last byte has been accepted by
+      the data socket's send buffer — which is when a real FTP client's
+      write loop finishes and what its reported "rate" reflects for files
+      smaller than the socket buffer (the paper's anomalously high put
+      rates for small files, Fig. 6). *)
+
+  val quit : t -> unit
+end

@@ -1,0 +1,24 @@
+type t = { buf : Buffer.t; on_line : string -> unit }
+
+let create ~on_line = { buf = Buffer.create 128; on_line }
+
+let feed t chunk =
+  Buffer.add_string t.buf chunk;
+  let rec drain () =
+    let s = Buffer.contents t.buf in
+    match String.index_opt s '\n' with
+    | None -> ()
+    | Some i ->
+      let line =
+        if i > 0 && s.[i - 1] = '\r' then String.sub s 0 (i - 1)
+        else String.sub s 0 i
+      in
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+      t.on_line line;
+      drain ()
+  in
+  drain ()
+
+let pending t = Buffer.contents t.buf
+let line s = s ^ "\r\n"

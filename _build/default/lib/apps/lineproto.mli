@@ -1,0 +1,18 @@
+(** CRLF/LF line framing over a TCP byte stream — shared by the FTP and
+    store applications.  Deterministic: output depends only on the
+    cumulative stream, never on TCP chunk boundaries, which is what the
+    paper's active-replication model requires of server applications. *)
+
+type t
+
+val create : on_line:(string -> unit) -> t
+(** [on_line] receives each complete line, terminator stripped. *)
+
+val feed : t -> string -> unit
+(** Feed a received chunk; fires [on_line] zero or more times. *)
+
+val pending : t -> string
+(** Bytes buffered after the last complete line. *)
+
+val line : string -> string
+(** [line s] is [s ^ "\r\n"] — the send-side framing. *)

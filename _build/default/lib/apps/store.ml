@@ -1,0 +1,62 @@
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+
+type item = { name : string; price : int; mutable stock : int }
+
+type t = { items : item list }
+
+let create spec =
+  { items = List.map (fun (name, price, stock) -> { name; price; stock }) spec }
+
+let inventory t = t.items
+
+let find t name = List.find_opt (fun i -> i.name = name) t.items
+
+let respond tcb s = ignore (Tcb.send tcb (Lineproto.line s))
+
+let handle_line t tcb line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "LIST" ] ->
+    List.iter
+      (fun i ->
+        respond tcb (Printf.sprintf "ITEM %s %d %d" i.name i.price i.stock))
+      t.items;
+    respond tcb "."
+  | [ "BUY"; name; qty ] -> (
+    match (find t name, int_of_string_opt qty) with
+    | Some item, Some qty when qty > 0 ->
+      if item.stock >= qty then begin
+        item.stock <- item.stock - qty;
+        respond tcb
+          (Printf.sprintf "OK %s %d %d" item.name qty (item.price * qty))
+      end
+      else respond tcb "ERR out-of-stock"
+    | Some _, _ -> respond tcb "ERR bad-quantity"
+    | None, _ -> respond tcb "ERR no-such-item")
+  | [ "QUIT" ] ->
+    respond tcb "BYE";
+    Tcb.close tcb
+  | _ -> respond tcb "ERR bad-command"
+
+let attach t tcb =
+  let lines = Lineproto.create ~on_line:(fun l -> handle_line t tcb l) in
+  Tcb.set_on_data tcb (fun d -> Lineproto.feed lines d);
+  Tcb.set_on_eof tcb (fun () -> Tcb.close tcb)
+
+let serve t stack ~port =
+  Stack.listen stack ~port ~on_accept:(fun tcb -> attach t tcb)
+
+let serve_replicated ~inventory repl ~port =
+  (* one independent but identical store instance per replica: both see
+     the same inputs in the same order, so their states stay identical *)
+  let stores = Hashtbl.create 2 in
+  let store_for role =
+    match Hashtbl.find_opt stores role with
+    | Some s -> s
+    | None ->
+      let s = create inventory in
+      Hashtbl.replace stores role s;
+      s
+  in
+  Tcpfo_core.Replicated.listen repl ~port ~on_accept:(fun ~role tcb ->
+      attach (store_for role) tcb)

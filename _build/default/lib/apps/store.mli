@@ -1,0 +1,32 @@
+(** The paper's motivating example (§1): an on-line store, deterministic
+    per connection.
+
+    Line protocol:
+    - ["LIST"] → one line per item: ["ITEM <name> <price> <stock>"],
+      then ["."];
+    - ["BUY <name> <qty>"] → ["OK <name> <qty> <total-price>"] or
+      ["ERR out-of-stock"] / ["ERR no-such-item"];
+    - ["QUIT"] → ["BYE"] and close.
+
+    Both replicas must be created with the same inventory; processing is a
+    pure function of the connection's input stream and the (shared,
+    deterministically updated) inventory state, satisfying the paper's
+    per-connection determinism requirement. *)
+
+type item = { name : string; price : int; mutable stock : int }
+
+type t
+
+val create : (string * int * int) list -> t
+(** [(name, price, stock)] inventory. *)
+
+val inventory : t -> item list
+
+val serve : t -> Tcpfo_tcp.Stack.t -> port:int -> unit
+
+val serve_replicated :
+  inventory:(string * int * int) list ->
+  Tcpfo_core.Replicated.t ->
+  port:int ->
+  unit
+(** Instantiate an identical store on each replica. *)

@@ -1,0 +1,1 @@
+lib/core/tcpfo_core.ml: Chain Failover_config Heartbeat Primary_bridge Replicated Secondary_bridge

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Failover_config List Primary_bridge Secondary_bridge Tcpfo_host Tcpfo_ip Tcpfo_packet Tcpfo_sim Tcpfo_tcp

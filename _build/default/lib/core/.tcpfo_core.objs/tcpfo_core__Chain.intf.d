@@ -1,0 +1,1 @@
+lib/core/chain.mli: Failover_config Tcpfo_host Tcpfo_packet Tcpfo_tcp

@@ -1,0 +1,1 @@
+lib/core/failover_config.ml: List Tcpfo_sim

@@ -1,0 +1,1 @@
+lib/core/failover_config.mli: Tcpfo_sim

@@ -1,0 +1,1 @@
+lib/core/heartbeat.ml: Failover_config Tcpfo_host Tcpfo_ip Tcpfo_packet Tcpfo_sim

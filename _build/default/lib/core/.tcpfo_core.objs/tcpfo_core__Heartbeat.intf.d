@@ -1,0 +1,1 @@
+lib/core/heartbeat.mli: Failover_config Tcpfo_host Tcpfo_packet

@@ -1,0 +1,1 @@
+lib/core/primary_bridge.ml: Failover_config Hashtbl Option String Tcpfo_host Tcpfo_ip Tcpfo_packet Tcpfo_sim Tcpfo_util

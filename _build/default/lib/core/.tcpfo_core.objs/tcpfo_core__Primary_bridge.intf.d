@@ -1,0 +1,1 @@
+lib/core/primary_bridge.mli: Failover_config Tcpfo_host Tcpfo_packet Tcpfo_util

@@ -1,0 +1,1 @@
+lib/core/replicated.ml: Failover_config Heartbeat List Option Primary_bridge Secondary_bridge Tcpfo_host Tcpfo_packet Tcpfo_tcp

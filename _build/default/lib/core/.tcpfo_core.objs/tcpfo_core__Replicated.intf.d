@@ -1,0 +1,1 @@
+lib/core/replicated.mli: Failover_config Primary_bridge Secondary_bridge Tcpfo_host Tcpfo_packet Tcpfo_tcp

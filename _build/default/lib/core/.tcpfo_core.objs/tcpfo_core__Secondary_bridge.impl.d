@@ -1,0 +1,1 @@
+lib/core/secondary_bridge.ml: Failover_config Queue Tcpfo_host Tcpfo_ip Tcpfo_packet Tcpfo_sim Tcpfo_tcp

@@ -1,0 +1,1 @@
+lib/core/secondary_bridge.mli: Failover_config Tcpfo_host Tcpfo_packet

@@ -1,0 +1,253 @@
+module Time = Tcpfo_sim.Time
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Ip_layer = Tcpfo_ip.Ip_layer
+module Eth_iface = Tcpfo_ip.Eth_iface
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+
+type event =
+  | Death_detected of int
+  | Promoted of int
+  | Retargeted of int * int
+  | Degraded of int
+
+type bridge = Merger of Primary_bridge.t | Tail of Secondary_bridge.t
+
+type node = {
+  index : int;
+  host : Host.t;
+  bridge : bridge;
+  mutable is_head : bool;
+}
+
+type t = {
+  nodes : node array;
+  registry : Failover_config.registry;
+  config : Failover_config.t;
+  service : Ipaddr.t;
+  mutable dead : bool array;
+  mutable on_event : event -> unit;
+}
+
+let service_addr t = t.service
+let registry t = t.registry
+let set_on_event t fn = t.on_event <- fn
+
+let alive t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> if t.dead.(n.index) then None else Some n.index)
+
+let head t = match alive t with i :: _ -> i | [] -> -1
+
+(* ---------------------------------------------------------------- *)
+(* All-pairs heartbeat mesh.  Each node unicasts a heartbeat to every
+   other node each period; a per-node watcher tracks last-seen times and
+   reports silent peers. *)
+
+let start_mesh t ~on_death =
+  let n = Array.length t.nodes in
+  let period = t.config.heartbeat_period in
+  let timeout = t.config.detector_timeout in
+  Array.iter
+    (fun node ->
+      let clock = Host.clock node.host in
+      (* sender *)
+      let seq = ref 0 in
+      let rec send_loop () =
+        if Host.alive node.host then begin
+          incr seq;
+          Array.iter
+            (fun peer ->
+              if peer.index <> node.index then
+                Ip_layer.send (Host.ip node.host)
+                  (Ipv4_packet.make ~src:(Host.addr node.host)
+                     ~dst:(Host.addr peer.host)
+                     (Ipv4_packet.Heartbeat
+                        {
+                          origin = Host.name node.host;
+                          hb_seq = !seq;
+                          role = (if node.is_head then `Primary else `Secondary);
+                        })))
+            t.nodes;
+          ignore (clock.schedule period send_loop)
+        end
+      in
+      send_loop ();
+      (* watcher *)
+      let last_seen = Array.make n 0 in
+      let reported = Array.make n false in
+      Ip_layer.set_heartbeat_handler (Host.ip node.host) (fun ~src _hb ->
+          Array.iter
+            (fun peer ->
+              if Ipaddr.equal src (Host.addr peer.host) then
+                last_seen.(peer.index) <- clock.now ())
+            t.nodes);
+      let rec check_loop () =
+        if Host.alive node.host then begin
+          let now = clock.now () in
+          Array.iter
+            (fun peer ->
+              if
+                peer.index <> node.index
+                && (not reported.(peer.index))
+                && now - last_seen.(peer.index) > timeout
+              then begin
+                reported.(peer.index) <- true;
+                on_death ~observer:node.index ~dead:peer.index
+              end)
+            t.nodes;
+          ignore (clock.schedule period check_loop)
+        end
+      in
+      ignore (clock.schedule (timeout + period) check_loop))
+    t.nodes
+
+(* ---------------------------------------------------------------- *)
+(* Role reconfiguration after a death.                               *)
+
+let upstream_addr t j live =
+  let pos = ref (-1) in
+  List.iteri (fun k i -> if i = j then pos := k) live;
+  if !pos <= 0 then None
+  else Some (Host.addr t.nodes.(List.nth live (!pos - 1)).host)
+
+let promote_node t node =
+  if not node.is_head then begin
+    node.is_head <- true;
+    (match node.bridge with
+    | Merger b ->
+      (* generalized §5 for a middle replica: stop diverting upstream,
+         leave promiscuous snooping, own the service address *)
+      Primary_bridge.promote b;
+      Eth_iface.set_promiscuous (Host.eth node.host) false;
+      ignore
+        ((Host.clock node.host).schedule t.config.takeover_processing
+           (fun () ->
+             Eth_iface.add_address (Host.eth node.host) t.service;
+             t.on_event (Promoted node.index)))
+    | Tail b ->
+      Secondary_bridge.begin_takeover b ~on_complete:(fun () ->
+          t.on_event (Promoted node.index)))
+  end
+
+let reconfigure t =
+  let live = alive t in
+  match live with
+  | [] -> ()
+  | head_idx :: _ ->
+    let last = List.nth live (List.length live - 1) in
+    List.iter
+      (fun i ->
+        let node = t.nodes.(i) in
+        (* 1. headship *)
+        if i = head_idx then promote_node t node;
+        (* 2. diversion targets follow the live chain *)
+        (match (upstream_addr t i live, node.bridge) with
+        | Some up, Tail b ->
+          Secondary_bridge.retarget b up;
+          t.on_event
+            (Retargeted
+               ( i,
+                 (let j = ref (-1) in
+                  Array.iter
+                    (fun nd ->
+                      if Ipaddr.equal (Host.addr nd.host) up then
+                        j := nd.index)
+                    t.nodes;
+                  !j) ))
+        | Some _, Merger _ | None, _ -> ());
+        (* 3. the node at the end of the live chain has nothing below it
+           any more: degrade per §6 if it was merging *)
+        if i = last && List.length live >= 1 then
+          match node.bridge with
+          | Merger b ->
+            if not (Primary_bridge.degraded b) then begin
+              Primary_bridge.secondary_failed b;
+              t.on_event (Degraded i)
+            end
+          | Tail _ -> ())
+      live
+
+let handle_death t ~observer:_ ~dead =
+  if not t.dead.(dead) then begin
+    t.dead.(dead) <- true;
+    t.on_event (Death_detected dead);
+    reconfigure t
+  end
+
+(* ---------------------------------------------------------------- *)
+
+let create ~replicas ~config () =
+  (match replicas with
+  | _ :: _ :: _ -> ()
+  | _ -> invalid_arg "Chain.create: need at least two replicas");
+  let service = Host.addr (List.hd replicas) in
+  let registry = Failover_config.create_registry config in
+  let n = List.length replicas in
+  let arr = Array.of_list replicas in
+  let nodes =
+    Array.init n (fun i ->
+        let host = arr.(i) in
+        let bridge =
+          if i = 0 then
+            Merger
+              (Primary_bridge.install host ~registry ~service_addr:service
+                 ~secondary_addr:(Host.addr arr.(1))
+                 ~output:Primary_bridge.Direct ())
+          else if i < n - 1 then begin
+            (* middle replica: snoop + merge + divert upstream *)
+            Eth_iface.set_promiscuous (Host.eth host) true;
+            Stack.set_extra_local (Host.tcp host) (fun ip ->
+                Ipaddr.equal ip service);
+            Merger
+              (Primary_bridge.install host ~registry ~service_addr:service
+                 ~secondary_addr:(Host.addr arr.(i + 1))
+                 ~output:(Primary_bridge.Divert_to (Host.addr arr.(i - 1)))
+                 ~claim_service:true ())
+          end
+          else
+            Tail
+              (Secondary_bridge.install host ~registry ~service_addr:service
+                 ~divert_to:(Host.addr arr.(i - 1))
+                 ())
+        in
+        { index = i; host; bridge; is_head = i = 0 })
+  in
+  let t =
+    {
+      nodes;
+      registry;
+      config;
+      service;
+      dead = Array.make n false;
+      on_event = (fun _ -> ());
+    }
+  in
+  start_mesh t ~on_death:(fun ~observer ~dead ->
+      handle_death t ~observer ~dead);
+  t
+
+let listen t ~port ~on_accept =
+  Failover_config.register_endpoint t.registry ~local_port:port;
+  Array.iter
+    (fun node ->
+      Stack.listen (Host.tcp node.host) ~port ~on_accept:(fun tcb ->
+          on_accept ~replica:node.index tcb))
+    t.nodes
+
+let connect_backend t ~remote ?local_port ~setup () =
+  (match local_port with
+  | Some p -> Failover_config.register_endpoint t.registry ~local_port:p
+  | None ->
+    Failover_config.register_remote t.registry ~remote_port:(snd remote));
+  Array.iter
+    (fun node ->
+      let tcb =
+        Stack.connect (Host.tcp node.host) ~local:t.service ?local_port
+          ~remote ()
+      in
+      setup ~replica:node.index tcb)
+    t.nodes
+
+let kill t i = Host.kill t.nodes.(i).host

@@ -1,0 +1,78 @@
+(** Daisy-chained replication — the paper's §1 future work ("higher
+    degrees of replication can be achieved by daisy-chaining multiple
+    backup servers"), built compositionally from the two-replica bridges:
+
+    - the head runs the paper's primary bridge and talks to the client;
+    - each middle replica runs the *same* merging bridge, but diverts its
+      merged output to the replica above instead of to the client — from
+      above, a middle replica and everything below it are
+      indistinguishable from a single secondary;
+    - the tail runs the plain secondary bridge, diverting to the replica
+      above it.
+
+    The wire sequence space is the deepest replica's; every level
+    subtracts its own Δseq, the joint acknowledgment/window minima
+    compose, and the merged SYN carries the minimum MSS of the whole
+    chain.
+
+    Failures (detected by an all-pairs heartbeat mesh):
+    - head dies → the next replica promotes: its bridge output flips to
+      direct, promiscuous mode goes off, and it takes over the service
+      address (gratuitous ARP) — §5 generalized;
+    - a middle replica dies → the replica below re-diverts to the replica
+      above; queues and sequence spaces need no adjustment because every
+      level already speaks the deepest replica's space;
+    - the tail dies → the replica above degrades per §6 (flushes its
+      queue, continues offset-only) while still diverting upstream if it
+      is itself a middle replica.
+
+    Any sequence of failures down to a single survivor is handled. *)
+
+type t
+
+val create :
+  replicas:Tcpfo_host.Host.t list ->
+  config:Failover_config.t ->
+  unit ->
+  t
+(** [replicas] ordered head first; at least 2.  The service address is the
+    head's. *)
+
+val service_addr : t -> Tcpfo_packet.Ipaddr.t
+val registry : t -> Failover_config.registry
+
+val listen :
+  t ->
+  port:int ->
+  on_accept:(replica:int -> Tcpfo_tcp.Tcb.t -> unit) ->
+  unit
+(** Run the replicated server application identically on every replica;
+    [replica] is the index in the original [replicas] list. *)
+
+val connect_backend :
+  t ->
+  remote:Tcpfo_packet.Ipaddr.t * int ->
+  ?local_port:int ->
+  setup:(replica:int -> Tcpfo_tcp.Tcb.t -> unit) ->
+  unit ->
+  unit
+(** §7.2 through the chain: every replica opens the connection to the
+    unreplicated server from the service address; the merging levels
+    collapse them into a single wire connection. *)
+
+val alive : t -> int list
+(** Indices of replicas not yet known dead, head-of-chain first. *)
+
+val head : t -> int
+(** Index of the current head. *)
+
+val kill : t -> int -> unit
+(** Crash replica [i] (fail-stop); detectors react. *)
+
+type event =
+  | Death_detected of int
+  | Promoted of int  (** replica became head and owns the service address *)
+  | Retargeted of int * int  (** replica i now diverts to replica j *)
+  | Degraded of int  (** replica lost the node below it (§6) *)
+
+val set_on_event : t -> (event -> unit) -> unit

@@ -1,0 +1,81 @@
+module Host = Tcpfo_host.Host
+module Ip_layer = Tcpfo_ip.Ip_layer
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+
+type t = {
+  host : Host.t;
+  peer : Tcpfo_packet.Ipaddr.t;
+  role : [ `Primary | `Secondary ];
+  config : Failover_config.t;
+  on_peer_failure : unit -> unit;
+  mutable running : bool;
+  mutable seq : int;
+  mutable last_seen : Tcpfo_sim.Time.t;
+  mutable seen_any : bool;
+  mutable fired : bool;
+  mutable received : int;
+}
+
+let rec send_loop t =
+  if t.running && Host.alive t.host then begin
+    t.seq <- t.seq + 1;
+    Ip_layer.send (Host.ip t.host)
+      (Ipv4_packet.make ~src:(Host.addr t.host) ~dst:t.peer
+         (Ipv4_packet.Heartbeat
+            { origin = Host.name t.host; hb_seq = t.seq; role = t.role }));
+    ignore
+      ((Host.clock t.host).schedule t.config.heartbeat_period (fun () ->
+           send_loop t))
+  end
+
+let rec check_loop t =
+  if t.running && Host.alive t.host then begin
+    let now = (Host.clock t.host).now () in
+    let silent_for =
+      if t.seen_any then now - t.last_seen
+      else now (* nothing ever received: count from start *)
+    in
+    if silent_for > t.config.detector_timeout && not t.fired then begin
+      t.fired <- true;
+      t.running <- false;
+      t.on_peer_failure ()
+    end
+    else
+      ignore
+        ((Host.clock t.host).schedule t.config.heartbeat_period (fun () ->
+             check_loop t))
+  end
+
+let start host ~peer ~role ~config ~on_peer_failure =
+  let t =
+    {
+      host;
+      peer;
+      role;
+      config;
+      on_peer_failure;
+      running = true;
+      seq = 0;
+      last_seen = 0;
+      seen_any = false;
+      fired = false;
+      received = 0;
+    }
+  in
+  Ip_layer.set_heartbeat_handler (Host.ip host) (fun ~src hb ->
+      if Tcpfo_packet.Ipaddr.equal src t.peer || hb.origin <> Host.name host
+      then begin
+        t.received <- t.received + 1;
+        t.seen_any <- true;
+        t.last_seen <- (Host.clock host).now ()
+      end);
+  send_loop t;
+  (* initial grace: start checking after one timeout has elapsed *)
+  ignore
+    ((Host.clock host).schedule config.detector_timeout (fun () ->
+         check_loop t));
+  t
+
+let stop t = t.running <- false
+let peer_alive t = not t.fired
+let heartbeats_received t = t.received

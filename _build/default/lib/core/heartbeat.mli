@@ -1,0 +1,28 @@
+(** Heartbeat-based fault detection between the two replicas.
+
+    Each replica unicasts a heartbeat datagram (its own IP protocol) to its
+    peer every [heartbeat_period]; the detector declares the peer failed
+    after [detector_timeout] of silence and fires its callback exactly
+    once.  A fail-stop host simply stops emitting heartbeats, which is the
+    paper's fault model (§2: "the system employs a fault detector"). *)
+
+type t
+
+val start :
+  Tcpfo_host.Host.t ->
+  peer:Tcpfo_packet.Ipaddr.t ->
+  role:[ `Primary | `Secondary ] ->
+  config:Failover_config.t ->
+  on_peer_failure:(unit -> unit) ->
+  t
+(** Begin sending heartbeats to [peer] and watching for theirs.  Installs
+    itself as the host's heartbeat protocol handler. *)
+
+val stop : t -> unit
+(** Stop sending and detecting (used after a completed failover, when the
+    survivor runs as an ordinary server). *)
+
+val peer_alive : t -> bool
+(** Current verdict. *)
+
+val heartbeats_received : t -> int

@@ -1,0 +1,821 @@
+module Clock = Tcpfo_sim.Clock
+module Time = Tcpfo_sim.Time
+module Seq32 = Tcpfo_util.Seq32
+module Interval_buf = Tcpfo_util.Interval_buf
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Seg = Tcpfo_packet.Tcp_segment
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Ip_layer = Tcpfo_ip.Ip_layer
+module Eth_iface = Tcpfo_ip.Eth_iface
+module Host = Tcpfo_host.Host
+module Trace = Tcpfo_sim.Trace
+
+type mode = Active | Linger
+
+type conn = {
+  remote : Ipaddr.t * int;
+  local_port : int;
+  mutable mode : mode;
+  mutable solo : bool;
+      (* the connection outlived its secondary (§6): offset-only
+         translation forever, never re-replicated *)
+  (* --- sequence synchronization (§3.3, §7) --- *)
+  mutable seqp_init : Seq32.t option;
+  mutable seqs_init : Seq32.t option;
+  mutable delta : int option; (* seq_P,init - seq_S,init *)
+  mutable p_syn_flags : Seg.flags option; (* P's SYN withheld, not merged *)
+  mutable p_mss : int;
+  mutable s_mss : int;
+  mutable shift_p : int option; (* window-scale shift each replica offered *)
+  mutable shift_s : int option;
+  mutable merged_shift : int; (* shift announced to the client *)
+  mutable ts_p : bool; (* timestamps offered *)
+  mutable ts_s : bool;
+  mutable s_syn_ts : (int * int) option;
+  mutable last_ts_s : (int * int) option;
+      (* latest timestamps from the secondary: merged segments ride the
+         secondary's timestamp clock for the same reason they ride its
+         sequence space — it must stay consistent across a failover *)
+  mutable syn_done : bool;
+  mutable next_seq : Seq32.t; (* next wire (secondary-space) seq to emit *)
+  mutable pq : Interval_buf.t; (* P's unmatched reply bytes, wire space *)
+  mutable sq : Interval_buf.t; (* S's unmatched reply bytes *)
+  (* --- FIN tracking (§8) --- *)
+  mutable p_fin : Seq32.t option; (* wire-space position of P's FIN *)
+  mutable s_fin : Seq32.t option;
+  mutable fin_sent : bool;
+  mutable client_fin : Seq32.t option; (* position of the client's FIN *)
+  mutable client_fin_acked : bool;
+  (* --- joint acknowledgment state (§3.2) --- *)
+  mutable ack_p : Seq32.t option;
+  mutable ack_s : Seq32.t option;
+  mutable win_p : int;
+  mutable win_s : int;
+  mutable last_ack_sent : Seq32.t option;
+  mutable last_win_sent : int;
+  mutable client_ack : Seq32.t option; (* highest ack the client has sent *)
+  (* --- statistics --- *)
+  mutable emitted : int;
+  mutable retrans_fwd : int;
+  mutable empty_acks : int;
+}
+
+type key = Ipaddr.t * int * int (* remote addr, remote port, local port *)
+
+type output = Direct | Divert_to of Ipaddr.t
+
+type t = {
+  host : Host.t;
+  registry : Failover_config.registry;
+  service_addr : Ipaddr.t;
+  mutable secondary_addr : Ipaddr.t;
+  self_addr : Ipaddr.t; (* this host's own address *)
+  mutable out : output;
+  claim_service : bool; (* claim client datagrams for local delivery *)
+  conns : (key, conn) Hashtbl.t;
+  mutable degraded : bool; (* secondary has failed: §6 mode *)
+  mutable installed : bool;
+  mutable total_emitted : int;
+}
+
+let config t = Failover_config.config t.registry
+
+let key_of conn = (fst conn.remote, snd conn.remote, conn.local_port)
+
+let mk_conn ~remote ~local_port =
+  {
+    remote;
+    local_port;
+    mode = Active;
+    solo = false;
+    seqp_init = None;
+    seqs_init = None;
+    delta = None;
+    p_syn_flags = None;
+    p_mss = 536;
+    s_mss = 536;
+    shift_p = None;
+    shift_s = None;
+    merged_shift = 0;
+    ts_p = false;
+    ts_s = false;
+    s_syn_ts = None;
+    last_ts_s = None;
+    syn_done = false;
+    next_seq = Seq32.zero;
+    pq = Interval_buf.create ~base:Seq32.zero;
+    sq = Interval_buf.create ~base:Seq32.zero;
+    p_fin = None;
+    s_fin = None;
+    fin_sent = false;
+    client_fin = None;
+    client_fin_acked = false;
+    ack_p = None;
+    ack_s = None;
+    win_p = 65535;
+    win_s = 65535;
+    last_ack_sent = None;
+    last_win_sent = 0;
+    client_ack = None;
+    emitted = 0;
+    retrans_fwd = 0;
+    empty_acks = 0;
+  }
+
+(* Joint acknowledgment: the smaller of the replicas' cumulative acks
+   guarantees both have the client data (§3.2).  The ablation switches in
+   {!Failover_config} replace the rule with the primary's own values. *)
+let min_ack_cfg ~use_min conn =
+  match (conn.ack_p, conn.ack_s) with
+  | Some a, Some b -> Some (if use_min then Seq32.min a b else a)
+  | Some a, None | None, Some a -> Some a
+  | None, None -> None
+
+let min_win_cfg ~use_min conn =
+  if use_min then min conn.win_p conn.win_s else conn.win_p
+
+let min_ack t conn = min_ack_cfg ~use_min:(config t).use_min_ack conn
+let min_win t conn = min_win_cfg ~use_min:(config t).use_min_window conn
+let merged_mss conn = min conn.p_mss conn.s_mss
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+
+let emit t conn (seg : Seg.t) =
+  conn.emitted <- conn.emitted + 1;
+  t.total_emitted <- t.total_emitted + 1;
+  let pkt =
+    match t.out with
+    | Direct ->
+      Ipv4_packet.make
+        ~ident:(Ip_layer.fresh_ident (Host.ip t.host))
+        ~src:t.service_addr ~dst:(fst conn.remote) (Ipv4_packet.Tcp seg)
+    | Divert_to upstream ->
+      (* present the merged stream upstream as if we were an ordinary
+         secondary: original destination rides in the TCP option *)
+      let seg =
+        { seg with Seg.options = Seg.Orig_dst (fst conn.remote) :: seg.options }
+      in
+      Ipv4_packet.make
+        ~ident:(Ip_layer.fresh_ident (Host.ip t.host))
+        ~src:t.self_addr ~dst:upstream (Ipv4_packet.Tcp seg)
+  in
+  let cost = (config t).bridge_cost in
+  Tcpfo_sim.Cpu.run (Host.cpu t.host) ~cost (fun () ->
+      Ip_layer.inject (Host.ip t.host) pkt)
+
+let emit_data t conn ~seq ~payload ~fin ~psh =
+  let ack = match min_ack t conn with Some a -> a | None -> Seq32.zero in
+  let window = min_win t conn in
+  conn.last_ack_sent <- Some ack;
+  conn.last_win_sent <- window;
+  let options =
+    match (conn.ts_p && conn.ts_s, conn.last_ts_s) with
+    | true, Some (v, e) -> [ Seg.Timestamps (v, e) ]
+    | _ -> []
+  in
+  emit t conn
+    (Seg.make
+       ~flags:{ Seg.no_flags with ack = true; fin; psh }
+       ~ack
+       ~window:(min 0xFFFF (window asr conn.merged_shift))
+       ~options ~payload ~src_port:conn.local_port
+       ~dst_port:(snd conn.remote) ~seq ())
+
+(* §3.4: construct an empty segment when the joint acknowledgment — or,
+   to avoid a zero-window deadlock the paper does not discuss, the joint
+   window — advances without data to carry it. *)
+let maybe_empty_ack t conn =
+  if conn.syn_done && conn.mode = Active then
+    match min_ack t conn with
+    | None -> ()
+    | Some a ->
+      let w = min_win t conn in
+      let advanced =
+        match conn.last_ack_sent with
+        | None -> true
+        | Some prev -> Seq32.gt a prev || w > conn.last_win_sent
+      in
+      if advanced then begin
+        conn.empty_acks <- conn.empty_acks + 1;
+        emit_data t conn ~seq:conn.next_seq ~payload:"" ~fin:false ~psh:false
+      end
+
+(* A replica answered a client retransmission (or an out-of-window
+   segment) with a duplicate ACK.  The joint acknowledgment did not
+   advance, but the client is evidently missing our previous merged ACK —
+   re-emit it, or the connection deadlocks once a merged ACK is lost and
+   no data flows to carry a fresh one.  (An engineering completion of
+   §3.4's empty-segment rule; bounded to one emission per replica
+   duplicate ACK.) *)
+let reemit_merged_ack t conn =
+  if conn.syn_done && conn.mode = Active then
+    match min_ack t conn with
+    | Some _ ->
+      conn.empty_acks <- conn.empty_acks + 1;
+      emit_data t conn ~seq:conn.next_seq ~payload:"" ~fin:false ~psh:false
+    | None -> ()
+
+(* §3.4, Fig. 2: pump the longest byte prefix present in both output
+   queues, splitting at the negotiated MSS; piggyback the joint FIN when
+   both replicas' FINs line up at the stream end (§8). *)
+let rec pump t conn =
+  if conn.syn_done && conn.mode = Active then begin
+    let progressed = ref false in
+    let continue = ref true in
+    while !continue do
+      let common =
+        min
+          (Interval_buf.contiguous_length conn.pq)
+          (Interval_buf.contiguous_length conn.sq)
+      in
+      if common > 0 then begin
+        let len = min common (merged_mss conn) in
+        let seq = conn.next_seq in
+        let payload = Interval_buf.pop conn.pq ~max_len:len in
+        let payload_s = Interval_buf.pop conn.sq ~max_len:len in
+        assert (String.length payload = len && String.length payload_s = len);
+        conn.next_seq <- Seq32.add conn.next_seq len;
+        let fin = fin_ready conn in
+        if fin then begin
+          conn.fin_sent <- true;
+          conn.next_seq <- Seq32.succ conn.next_seq
+        end;
+        let drained =
+          Interval_buf.contiguous_length conn.pq = 0
+          || Interval_buf.contiguous_length conn.sq = 0
+        in
+        emit_data t conn ~seq ~payload ~fin ~psh:drained;
+        progressed := true
+      end
+      else continue := false
+    done;
+    (* FIN with no payload left *)
+    if (not conn.fin_sent) && fin_ready conn then begin
+      conn.fin_sent <- true;
+      let seq = conn.next_seq in
+      conn.next_seq <- Seq32.succ conn.next_seq;
+      emit_data t conn ~seq ~payload:"" ~fin:true ~psh:false;
+      progressed := true
+    end;
+    if not !progressed then maybe_empty_ack t conn;
+    maybe_finish t conn
+  end
+
+and fin_ready conn =
+  (not conn.fin_sent)
+  &&
+  match (conn.p_fin, conn.s_fin) with
+  | Some f, Some f' ->
+    Seq32.equal f f' && Seq32.equal conn.next_seq f
+    && Interval_buf.contiguous_length conn.pq = 0
+    && Interval_buf.contiguous_length conn.sq = 0
+  | _ -> false
+
+(* §8 teardown: both directions closed and all final acknowledgments
+   delivered.  The connection lingers to answer stray FIN retransmissions,
+   then disappears. *)
+and maybe_finish t conn =
+  let server_fin_acked =
+    conn.fin_sent
+    &&
+    match conn.client_ack with
+    | Some a -> Seq32.ge a conn.next_seq (* next_seq is fin+1 once sent *)
+    | None -> false
+  in
+  if
+    conn.mode = Active && server_fin_acked && conn.client_fin <> None
+    && conn.client_fin_acked
+  then begin
+    conn.mode <- Linger;
+    ignore
+      ((Host.clock t.host).schedule (Time.sec 10.0) (fun () ->
+           Hashtbl.remove t.conns (key_of conn)))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* SYN merging (§7.1 client-initiated, §7.2 server-initiated)          *)
+
+let merged_syn_options conn =
+  [ Seg.Mss (merged_mss conn) ]
+  @ (match (conn.shift_p, conn.shift_s) with
+    | Some _, Some _ -> [ Seg.Window_scale conn.merged_shift ]
+    | _ -> [])
+  @
+  match (conn.ts_p, conn.ts_s, conn.s_syn_ts) with
+  | true, true, Some (v, e) -> [ Seg.Timestamps (v, e) ]
+  | _ -> []
+
+let try_merge_syn t conn =
+  match (conn.seqp_init, conn.seqs_init) with
+  | Some sp, Some ss when not conn.syn_done ->
+    conn.delta <- Some (Seq32.diff sp ss);
+    conn.next_seq <- Seq32.succ ss;
+    conn.pq <- Interval_buf.create ~base:conn.next_seq;
+    conn.sq <- Interval_buf.create ~base:conn.next_seq;
+    (* the merged window scale is the smaller of the replicas' shifts,
+       and only if both offered the option — mirroring the min-MSS rule *)
+    (match (conn.shift_p, conn.shift_s) with
+    | Some a, Some b -> conn.merged_shift <- min a b
+    | _ -> conn.merged_shift <- 0);
+    conn.syn_done <- true;
+    let with_ack =
+      match conn.p_syn_flags with Some f -> f.Seg.ack | None -> false
+    in
+    let ack =
+      if with_ack then
+        match min_ack t conn with Some a -> a | None -> Seq32.zero
+      else Seq32.zero
+    in
+    let window = min_win t conn in
+    conn.last_ack_sent <- (if with_ack then Some ack else None);
+    conn.last_win_sent <- window;
+    emit t conn
+      (Seg.make
+         ~flags:{ Seg.no_flags with syn = true; ack = with_ack }
+         ~ack
+         ~window:(min 0xFFFF window)
+         ~options:(merged_syn_options conn)
+         ~src_port:conn.local_port ~dst_port:(snd conn.remote) ~seq:ss ());
+    pump t conn
+  | _ -> ()
+
+let reemit_merged_syn t conn =
+  match conn.seqs_init with
+  | Some ss when conn.syn_done ->
+    conn.retrans_fwd <- conn.retrans_fwd + 1;
+    let with_ack =
+      match conn.p_syn_flags with Some f -> f.Seg.ack | None -> false
+    in
+    let ack =
+      if with_ack then
+        match min_ack t conn with Some a -> a | None -> Seq32.zero
+      else Seq32.zero
+    in
+    emit t conn
+      (Seg.make
+         ~flags:{ Seg.no_flags with syn = true; ack = with_ack }
+         ~ack
+         ~window:(min 0xFFFF (min_win t conn))
+         ~options:(merged_syn_options conn)
+         ~src_port:conn.local_port ~dst_port:(snd conn.remote)
+         ~seq:ss ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Retransmission pass-through (§4)                                    *)
+
+let forward_retransmission t conn ~wire_seq ~payload ~fin =
+  conn.retrans_fwd <- conn.retrans_fwd + 1;
+  emit_data t conn ~seq:wire_seq ~payload ~fin ~psh:(payload <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Per-source segment processing                                       *)
+
+(* Common data/FIN path once sequence numbers are in wire space. *)
+let ingest_wire t conn ~queue ~set_fin ~wire_seq (seg : Seg.t) =
+  let plen = String.length seg.payload in
+  let wire_end = Seq32.add wire_seq (plen + if seg.flags.fin then 1 else 0) in
+  if
+    conn.syn_done
+    && Seq32.le wire_end conn.next_seq
+    && (plen > 0 || seg.flags.fin)
+  then
+    (* Entirely already emitted: a retransmission.  Forward immediately —
+       the bridge holds only a single copy of anything (§4). *)
+    forward_retransmission t conn ~wire_seq ~payload:seg.payload
+      ~fin:seg.flags.fin
+  else begin
+    if plen > 0 then Interval_buf.insert queue ~seq:wire_seq seg.payload;
+    if seg.flags.fin then set_fin (Seq32.add wire_seq plen);
+    pump t conn
+  end
+
+let forward_rst t conn ~wire_seq (seg : Seg.t) =
+  emit t conn
+    (Seg.make
+       ~flags:{ Seg.no_flags with rst = true; ack = seg.flags.ack }
+       ~ack:seg.ack ~window:0 ~src_port:conn.local_port
+       ~dst_port:(snd conn.remote) ~seq:wire_seq ());
+  Hashtbl.remove t.conns (key_of conn)
+
+let from_primary t conn (seg : Seg.t) =
+  if conn.mode = Linger then ()
+  else begin
+    let prev_ack_p = conn.ack_p in
+    if seg.flags.ack then begin
+      conn.ack_p <-
+        Some
+          (match conn.ack_p with
+          | Some prev -> Seq32.max prev seg.ack
+          | None -> seg.ack);
+      conn.win_p <-
+        (if seg.flags.syn then seg.window
+         else
+           seg.window
+           lsl match conn.shift_p with Some v -> v | None -> 0)
+    end;
+    if seg.flags.rst then begin
+      let wire_seq =
+        match conn.delta with
+        | Some d -> Seq32.add seg.seq (-d)
+        | None -> seg.seq
+      in
+      forward_rst t conn ~wire_seq seg
+    end
+    else if seg.flags.syn then begin
+      match conn.seqp_init with
+      | None ->
+        conn.seqp_init <- Some seg.seq;
+        conn.p_syn_flags <- Some seg.flags;
+        (match Seg.mss_option seg with
+        | Some m -> conn.p_mss <- m
+        | None -> conn.p_mss <- 536);
+        conn.shift_p <- Seg.window_scale_option seg;
+        conn.ts_p <- Seg.timestamps_option seg <> None;
+        try_merge_syn t conn
+      | Some _ ->
+        (* SYN retransmission by P's TCP layer *)
+        if conn.syn_done then reemit_merged_syn t conn;
+        maybe_finish t conn
+    end
+    else
+      match conn.delta with
+      | None ->
+        (* data before the handshake is merged: impossible for a correct
+           TCP; drop defensively *)
+        Trace.debugf (Host.engine t.host) "bridge-p"
+          "dropping pre-merge segment %a" Seg.pp seg
+      | Some d ->
+        let pure_dup =
+          String.length seg.payload = 0
+          && (not seg.flags.fin)
+          && prev_ack_p = conn.ack_p
+          && prev_ack_p <> None
+        in
+        if pure_dup then reemit_merged_ack t conn
+        else
+          let wire_seq = Seq32.add seg.seq (-d) in
+          ingest_wire t conn ~queue:conn.pq
+            ~set_fin:(fun f -> conn.p_fin <- Some f)
+            ~wire_seq seg
+  end
+
+let rec from_secondary t conn (seg : Seg.t) =
+  if conn.mode = Linger then begin
+    (* §8: a FIN retransmitted by S after teardown is answered with a
+       plain ACK (see synthesize_ack_to_secondary). *)
+    if seg.flags.fin then synthesize_ack_to_secondary t conn seg
+  end
+  else begin
+    let prev_ack_s = conn.ack_s in
+    if seg.flags.ack then begin
+      conn.ack_s <-
+        Some
+          (match conn.ack_s with
+          | Some prev -> Seq32.max prev seg.ack
+          | None -> seg.ack);
+      conn.win_s <-
+        (if seg.flags.syn then seg.window
+         else
+           seg.window
+           lsl match conn.shift_s with Some v -> v | None -> 0)
+    end;
+    (* merged segments carry the secondary's timestamps (see conn) *)
+    (match Seg.timestamps_option seg with
+    | Some ts -> conn.last_ts_s <- Some ts
+    | None -> ());
+    if seg.flags.rst then forward_rst t conn ~wire_seq:seg.seq seg
+    else if seg.flags.syn then begin
+      match conn.seqs_init with
+      | None ->
+        conn.seqs_init <- Some seg.seq;
+        (match Seg.mss_option seg with
+        | Some m -> conn.s_mss <- m
+        | None -> conn.s_mss <- 536);
+        conn.shift_s <- Seg.window_scale_option seg;
+        conn.ts_s <- Seg.timestamps_option seg <> None;
+        conn.s_syn_ts <- Seg.timestamps_option seg;
+        try_merge_syn t conn
+      | Some _ -> if conn.syn_done then reemit_merged_syn t conn
+    end
+    else begin
+      let pure_dup =
+        String.length seg.payload = 0
+        && (not seg.flags.fin)
+        && prev_ack_s = conn.ack_s
+        && prev_ack_s <> None
+      in
+      if pure_dup then reemit_merged_ack t conn
+      else
+        ingest_wire t conn ~queue:conn.sq
+          ~set_fin:(fun f -> conn.s_fin <- Some f)
+          ~wire_seq:seg.seq seg
+    end
+  end
+
+(* Answer a stray FIN from the secondary after (or near) teardown: build
+   the ACK the secondary's TCP layer is waiting for and slip it to the
+   secondary as if it came from the client.  On the wire it is addressed
+   to the service address but framed to the secondary's MAC — the
+   secondary's bridge claims datagrams for the service address, so its TCP
+   layer receives it (see Secondary_bridge). *)
+and synthesize_ack_to_secondary t conn (seg : Seg.t) =
+  let fin_end =
+    Seq32.add seg.seq (String.length seg.payload + 1 (* the FIN itself *))
+  in
+  let ack_seg =
+    Seg.make
+      ~flags:{ Seg.no_flags with ack = true }
+      ~ack:fin_end ~window:conn.last_win_sent
+      ~src_port:(snd conn.remote) ~dst_port:conn.local_port
+      ~seq:(if seg.flags.ack then seg.ack else conn.next_seq)
+      ()
+  in
+  let pkt =
+    Ipv4_packet.make
+      ~ident:(Ip_layer.fresh_ident (Host.ip t.host))
+      ~src:(fst conn.remote) ~dst:t.service_addr (Ipv4_packet.Tcp ack_seg)
+  in
+  Eth_iface.send_ip (Host.eth t.host) ~next_hop:t.secondary_addr pkt
+
+let from_client t conn (pkt : Ipv4_packet.t) (seg : Seg.t) =
+  if conn.mode = Linger then begin
+    (* §8: retransmitted client FIN after teardown — answer directly.  By
+       linger time both replicas have acknowledged everything, so the
+       stored joint ack (client_fin + 1) is exactly the ACK the client is
+       waiting for. *)
+    if seg.flags.fin then
+      emit_data t conn ~seq:conn.next_seq ~payload:"" ~fin:false ~psh:false;
+    Ip_layer.Rx_drop
+  end
+  else begin
+    if seg.flags.ack then
+      conn.client_ack <-
+        Some
+          (match conn.client_ack with
+          | Some prev -> Seq32.max prev seg.ack
+          | None -> seg.ack);
+    if seg.flags.fin then
+      conn.client_fin <-
+        Some
+          (Seq32.add seg.seq
+             (String.length seg.payload + if seg.flags.syn then 1 else 0));
+    (match (conn.client_fin, min_ack t conn) with
+    | Some f, Some a when Seq32.ge a (Seq32.succ f) ->
+      conn.client_fin_acked <- true
+    | _ -> ());
+    maybe_finish t conn;
+    if seg.flags.rst then
+      (* the client aborted: both TCP layers will see the RST and die;
+         drop the bridge state too *)
+      ignore
+        ((Host.clock t.host).schedule 0 (fun () ->
+             Hashtbl.remove t.conns (key_of conn)));
+    (* Inverse sequence translation (§3.3): the client acknowledges wire
+       (secondary-space) sequence numbers; the primary's TCP layer counts
+       in its own space. *)
+    let accept pkt =
+      if t.claim_service then Ip_layer.Rx_deliver pkt else Ip_layer.Rx_pass pkt
+    in
+    match conn.delta with
+    | Some d when seg.flags.ack ->
+      let seg' = { seg with ack = Seq32.add seg.ack d } in
+      accept { pkt with payload = Ipv4_packet.Tcp seg' }
+    | _ -> accept pkt
+  end
+
+(* The client-FIN-acked condition can also be completed by a later server
+   ack; re-check whenever acks move.  (Hooked into from_client above and
+   into pump via maybe_finish.) *)
+
+(* ------------------------------------------------------------------ *)
+(* §6: failure of the secondary server                                 *)
+
+let flush_and_degrade_conn t conn =
+  if conn.mode = Active && conn.syn_done then begin
+    (* 1. Remove all payload data from the primary output queue and send
+       it to the client (in MSS-sized segments), with the primary's own
+       ack and window from now on. *)
+    let mss = max 1 conn.p_mss in
+    let ack = match conn.ack_p with Some a -> a | None -> Seq32.zero in
+    let rec flush () =
+      let chunk = Interval_buf.pop conn.pq ~max_len:mss in
+      if String.length chunk > 0 then begin
+        let seq = conn.next_seq in
+        conn.next_seq <- Seq32.add conn.next_seq (String.length chunk) ;
+        let fin =
+          (not conn.fin_sent)
+          && conn.p_fin = Some conn.next_seq
+        in
+        if fin then begin
+          conn.fin_sent <- true;
+          conn.next_seq <- Seq32.succ conn.next_seq
+        end;
+        conn.last_ack_sent <- Some ack;
+        conn.last_win_sent <- conn.win_p;
+        emit t conn
+          (Seg.make
+             ~flags:{ Seg.no_flags with ack = true; fin; psh = true }
+             ~ack ~window:conn.win_p ~payload:chunk
+             ~src_port:conn.local_port ~dst_port:(snd conn.remote) ~seq ());
+        flush ()
+      end
+    in
+    flush ();
+    if
+      (not conn.fin_sent)
+      && conn.p_fin = Some conn.next_seq
+    then begin
+      conn.fin_sent <- true;
+      let seq = conn.next_seq in
+      conn.next_seq <- Seq32.succ conn.next_seq;
+      emit t conn
+        (Seg.make
+           ~flags:{ Seg.no_flags with ack = true; fin = true }
+           ~ack ~window:conn.win_p ~src_port:conn.local_port
+           ~dst_port:(snd conn.remote) ~seq ())
+    end
+  end
+
+(* Degraded pass-through: continue to subtract Δseq forever (§6 step 3 —
+   the client's TCP layer is synchronized to the secondary's numbers). *)
+let degraded_tx t conn (seg : Seg.t) =
+  match conn.delta with
+  | None -> Ip_layer.Tx_drop (* never merged: the conn is dead *)
+  | Some d ->
+    let seg' = { seg with seq = Seq32.add seg.seq (-d) } in
+    (match t.out with
+    | Direct ->
+      Ip_layer.Tx_pass
+        (Ipv4_packet.make ~src:t.service_addr ~dst:(fst conn.remote)
+           (Ipv4_packet.Tcp seg'))
+    | Divert_to upstream ->
+      let seg' =
+        { seg' with
+          Seg.options = Seg.Orig_dst (fst conn.remote) :: seg'.options }
+      in
+      Ip_layer.Tx_pass
+        (Ipv4_packet.make ~src:t.self_addr ~dst:upstream
+           (Ipv4_packet.Tcp seg')))
+
+let secondary_failed t =
+  if not t.degraded then begin
+    t.degraded <- true;
+    Hashtbl.iter
+      (fun _ conn ->
+        conn.solo <- true;
+        flush_and_degrade_conn t conn)
+      t.conns
+  end
+
+(* Reintegration (beyond the paper's scope, §1): accept a fresh secondary.
+   Connections that outlived the old secondary remain solo — without
+   application-state transfer they cannot be re-replicated — but every
+   connection established from now on is fully protected again. *)
+let reinstate t ~secondary_addr =
+  t.secondary_addr <- secondary_addr;
+  t.degraded <- false
+
+(* ------------------------------------------------------------------ *)
+(* Hook plumbing                                                       *)
+
+let is_failover_seg t ~local_port ~remote_port =
+  Failover_config.is_failover_conn t.registry ~local_port ~remote_port
+
+let find_conn t ~remote ~local_port =
+  Hashtbl.find_opt t.conns (fst remote, snd remote, local_port)
+
+let find_or_create t ~remote ~local_port ~create =
+  match find_conn t ~remote ~local_port with
+  | Some c -> Some c
+  | None ->
+    if create then begin
+      let c = mk_conn ~remote ~local_port in
+      Hashtbl.replace t.conns (key_of c) c;
+      Some c
+    end
+    else None
+
+let tx_hook t (pkt : Ipv4_packet.t) =
+  match pkt.payload with
+  | Tcp seg
+    when Ipaddr.equal pkt.src t.service_addr
+         && is_failover_seg t ~local_port:seg.src_port
+              ~remote_port:seg.dst_port -> (
+    let remote = (pkt.dst, seg.dst_port) in
+    if t.degraded then
+      match find_conn t ~remote ~local_port:seg.src_port with
+      | Some conn -> degraded_tx t conn seg
+      | None -> Ip_layer.Tx_pass pkt (* post-failure conns are ordinary *)
+    else
+      match
+        find_or_create t ~remote ~local_port:seg.src_port
+          ~create:seg.flags.syn
+      with
+      | Some conn when conn.solo -> degraded_tx t conn seg
+      | Some conn ->
+        from_primary t conn seg;
+        Ip_layer.Tx_drop
+      | None -> Ip_layer.Tx_pass pkt)
+  | Tcp _ | Heartbeat _ | Raw _ -> Ip_layer.Tx_pass pkt
+
+let rx_hook t (pkt : Ipv4_packet.t) ~link_addressed =
+  ignore link_addressed;
+  match pkt.payload with
+  | Tcp seg
+    when Ipaddr.equal pkt.dst t.service_addr
+         || Ipaddr.equal pkt.dst t.self_addr -> (
+    match Seg.orig_dst_option seg with
+    | Some orig_dst
+      when is_failover_seg t ~local_port:seg.src_port
+             ~remote_port:seg.dst_port ->
+      (* Diverted segment from the secondary (§3.1): consumed by the
+         bridge, never delivered to the primary's TCP layer. *)
+      if t.degraded then Ip_layer.Rx_drop
+      else begin
+        (match
+           find_or_create t
+             ~remote:(orig_dst, seg.dst_port)
+             ~local_port:seg.src_port ~create:seg.flags.syn
+         with
+        | Some conn when conn.solo -> () (* outlived its secondary *)
+        | Some conn -> from_secondary t conn seg
+        | None -> ());
+        Ip_layer.Rx_drop
+      end
+    | Some _ | None -> (
+      (* Segment from the client (or unreplicated peer T). *)
+      if
+        Ipaddr.equal pkt.dst t.service_addr
+        && is_failover_seg t ~local_port:seg.dst_port
+             ~remote_port:seg.src_port
+      then
+        match find_conn t ~remote:(pkt.src, seg.src_port)
+                ~local_port:seg.dst_port with
+        | Some conn -> from_client t conn pkt seg
+        | None ->
+          if t.claim_service then Ip_layer.Rx_deliver pkt
+          else Ip_layer.Rx_pass pkt
+      else Ip_layer.Rx_pass pkt))
+  | Tcp _ | Heartbeat _ | Raw _ -> Ip_layer.Rx_pass pkt
+
+let install host ~registry ~service_addr ~secondary_addr ?(output = Direct)
+    ?(claim_service = false) () =
+  let t =
+    {
+      host;
+      registry;
+      service_addr;
+      secondary_addr;
+      self_addr = Host.addr host;
+      out = output;
+      claim_service;
+      conns = Hashtbl.create 16;
+      degraded = false;
+      installed = true;
+      total_emitted = 0;
+    }
+  in
+  Ip_layer.set_tx_hook (Host.ip host) (Some (fun pkt -> tx_hook t pkt));
+  Ip_layer.set_rx_hook (Host.ip host)
+    (Some (fun pkt ~link_addressed -> rx_hook t pkt ~link_addressed));
+  t
+
+let uninstall t =
+  if t.installed then begin
+    t.installed <- false;
+    Ip_layer.set_tx_hook (Host.ip t.host) None;
+    Ip_layer.set_rx_hook (Host.ip t.host) None
+  end
+
+let connection_count t = Hashtbl.length t.conns
+
+type conn_stats = {
+  delta : int option;
+  next_wire_seq : Seq32.t;
+  p_queued : int;
+  s_queued : int;
+  segments_emitted : int;
+  retransmissions_forwarded : int;
+  empty_acks_emitted : int;
+}
+
+let conn_stats t ~remote ~local_port =
+  Option.map
+    (fun (c : conn) ->
+      {
+        delta = c.delta;
+        next_wire_seq = c.next_seq;
+        p_queued = Interval_buf.total_buffered c.pq;
+        s_queued = Interval_buf.total_buffered c.sq;
+        segments_emitted = c.emitted;
+        retransmissions_forwarded = c.retrans_fwd;
+        empty_acks_emitted = c.empty_acks;
+      })
+    (find_conn t ~remote ~local_port)
+
+let total_emitted t = t.total_emitted
+let degraded t = t.degraded
+let promote t = t.out <- Direct
+let output t = t.out

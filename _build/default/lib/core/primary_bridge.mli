@@ -1,0 +1,99 @@
+(** The primary server's bridge sublayer (paper §3.2–§3.4, §4, §6, §7, §8).
+
+    Sits between the primary's TCP layer and IP layer (installed on the
+    {!Tcpfo_ip.Ip_layer} hooks) and, for every failover connection:
+
+    - intercepts and holds the local TCP layer's output, shifting its
+      sequence numbers into the secondary's sequence space
+      (Δseq = seq_P,init − seq_S,init, §3.3);
+    - intercepts the secondary's diverted output (recognized by the
+      [Orig_dst] TCP option) and matches the two byte streams, emitting to
+      the client only bytes both replicas produced (§3.4, Fig. 2);
+    - stamps outgoing segments with the minimum of the two replicas'
+      acknowledgment numbers and advertised windows (§3.2), so a failover
+      never acknowledges data the survivor lacks;
+    - recognizes retransmissions (sequence range already emitted) and
+      forwards them immediately instead of queueing (§4);
+    - constructs empty acknowledgment segments when the joint
+      acknowledgment (or, to avoid a zero-window deadlock, the joint
+      window) advances with no data to carry it (§3.4);
+    - translates acknowledgment numbers of incoming segments into the
+      primary's sequence space (+Δseq) before its TCP layer sees them
+      (the inverse mapping implied by §3.3);
+    - merges SYNs: the SYN sent to the client carries the secondary's
+      initial sequence number and the minimum of the two MSS values (§7.1,
+      also for server-initiated opens §7.2);
+    - tracks FIN positions of both replicas and the client and tears its
+      state down only when both directions are fully closed, answering
+      stray retransmitted FINs afterwards (§8);
+    - on failure of the secondary, flushes the primary output queue to the
+      client and degrades to pure sequence-offset translation (§6). *)
+
+type t
+
+type output =
+  | Direct
+      (** emit merged segments straight to the client — the head of the
+          chain (the paper's primary server) *)
+  | Divert_to of Tcpfo_packet.Ipaddr.t
+      (** divert merged segments to the next replica up the chain, exactly
+          like a secondary diverts its raw output — this is what makes
+          daisy-chained replication (paper §1) compose: a middle replica
+          merges everything below it and presents the merged stream
+          upstream as if it were a single secondary *)
+
+val install :
+  Tcpfo_host.Host.t ->
+  registry:Failover_config.registry ->
+  service_addr:Tcpfo_packet.Ipaddr.t ->
+  secondary_addr:Tcpfo_packet.Ipaddr.t ->
+  ?output:output ->
+  ?claim_service:bool ->
+  unit ->
+  t
+(** Install the bridge on the host's IP hooks.  [service_addr] is the
+    service address a_p (the address clients connect to).  [output]
+    defaults to [Direct].  [claim_service] (default false) makes the
+    bridge claim client datagrams addressed to the service address for
+    local delivery — required on middle chain nodes, whose NIC sees them
+    only promiscuously; the head owns the address and needs no claim. *)
+
+val promote : t -> unit
+(** Switch a diverting (middle) bridge to [Direct] output: the node has
+    taken over as head of the chain. *)
+
+val output : t -> output
+
+val uninstall : t -> unit
+
+val secondary_failed : t -> unit
+(** §6 recovery: flush queues, switch every connection to offset-only
+    pass-through, treat new connections as ordinary TCP. *)
+
+val reinstate : t -> secondary_addr:Tcpfo_packet.Ipaddr.t -> unit
+(** Reintegration (beyond the paper's scope): pair with a fresh secondary.
+    Connections that outlived the old secondary stay solo (offset-only);
+    new connections are replicated again. *)
+
+val connection_count : t -> int
+
+(** {1 Introspection for tests and benchmarks} *)
+
+type conn_stats = {
+  delta : int option;
+  next_wire_seq : Tcpfo_util.Seq32.t;
+  p_queued : int;  (** unmatched bytes from the primary's TCP layer *)
+  s_queued : int;  (** unmatched bytes from the secondary *)
+  segments_emitted : int;
+  retransmissions_forwarded : int;
+  empty_acks_emitted : int;
+}
+
+val conn_stats :
+  t ->
+  remote:Tcpfo_packet.Ipaddr.t * int ->
+  local_port:int ->
+  conn_stats option
+
+val total_emitted : t -> int
+val degraded : t -> bool

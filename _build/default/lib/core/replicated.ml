@@ -1,0 +1,126 @@
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Ipaddr = Tcpfo_packet.Ipaddr
+
+type event =
+  | Secondary_failure_detected
+  | Primary_failure_detected
+  | Takeover_complete
+  | Reintegrated
+
+type t = {
+  primary : Host.t;
+  mutable secondary : Host.t;
+  config : Failover_config.t;
+  registry : Failover_config.registry;
+  pbridge : Primary_bridge.t;
+  mutable sbridge : Secondary_bridge.t;
+  mutable hb_on_primary : Heartbeat.t option;
+  mutable hb_on_secondary : Heartbeat.t option;
+  mutable services : (int * (role:[ `Primary | `Secondary ] -> Tcb.t -> unit)) list;
+  mutable status : [ `Normal | `Primary_failed | `Secondary_failed ];
+  mutable on_event : event -> unit;
+}
+
+(* watch the secondary from the primary; on failure run §6 *)
+let watch_secondary t =
+  Heartbeat.start t.primary ~peer:(Host.addr t.secondary) ~role:`Primary
+    ~config:t.config ~on_peer_failure:(fun () ->
+      if t.status = `Normal then begin
+        t.status <- `Secondary_failed;
+        Primary_bridge.secondary_failed t.pbridge;
+        t.on_event Secondary_failure_detected
+      end)
+
+let watch_primary t =
+  Heartbeat.start t.secondary ~peer:(Host.addr t.primary) ~role:`Secondary
+    ~config:t.config ~on_peer_failure:(fun () ->
+      if t.status = `Normal then begin
+        t.status <- `Primary_failed;
+        t.on_event Primary_failure_detected;
+        Secondary_bridge.begin_takeover t.sbridge ~on_complete:(fun () ->
+            t.on_event Takeover_complete)
+      end)
+
+let create ~primary ~secondary ~config () =
+  let service_addr = Host.addr primary in
+  let secondary_addr = Host.addr secondary in
+  let registry = Failover_config.create_registry config in
+  let pbridge =
+    Primary_bridge.install primary ~registry ~service_addr ~secondary_addr ()
+  in
+  let sbridge = Secondary_bridge.install secondary ~registry ~service_addr () in
+  let t =
+    {
+      primary;
+      secondary;
+      config;
+      registry;
+      pbridge;
+      sbridge;
+      hb_on_primary = None;
+      hb_on_secondary = None;
+      services = [];
+      status = `Normal;
+      on_event = (fun _ -> ());
+    }
+  in
+  t.hb_on_primary <- Some (watch_secondary t);
+  t.hb_on_secondary <- Some (watch_primary t);
+  t
+
+let service_addr t = Host.addr t.primary
+let registry t = t.registry
+let primary_bridge t = t.pbridge
+let secondary_bridge t = t.sbridge
+let set_on_event t fn = t.on_event <- fn
+let status t = t.status
+
+let listen t ~port ~on_accept =
+  Failover_config.register_endpoint t.registry ~local_port:port;
+  t.services <- (port, on_accept) :: t.services;
+  Stack.listen (Host.tcp t.primary) ~port ~on_accept:(fun tcb ->
+      on_accept ~role:`Primary tcb);
+  Stack.listen (Host.tcp t.secondary) ~port ~on_accept:(fun tcb ->
+      on_accept ~role:`Secondary tcb)
+
+let connect_backend t ~remote ?local_port ~setup () =
+  (match local_port with
+  | Some p -> Failover_config.register_endpoint t.registry ~local_port:p
+  | None ->
+    Failover_config.register_remote t.registry ~remote_port:(snd remote));
+  let service = service_addr t in
+  let cp =
+    Stack.connect (Host.tcp t.primary) ~local:service ?local_port ~remote ()
+  in
+  setup ~role:`Primary cp;
+  let cs =
+    Stack.connect (Host.tcp t.secondary) ~local:service ?local_port ~remote
+      ()
+  in
+  setup ~role:`Secondary cs
+
+let kill_primary t = Host.kill t.primary
+let kill_secondary t = Host.kill t.secondary
+
+let reintegrate t ~secondary =
+  if t.status <> `Secondary_failed then
+    invalid_arg "Replicated.reintegrate: no failed secondary to replace";
+  Option.iter Heartbeat.stop t.hb_on_primary;
+  t.secondary <- secondary;
+  t.sbridge <-
+    Secondary_bridge.install secondary ~registry:t.registry
+      ~service_addr:(service_addr t) ~only_new_connections:true ();
+  (* start the registered services on the new replica *)
+  List.iter
+    (fun (port, on_accept) ->
+      Stack.listen (Host.tcp secondary) ~port ~on_accept:(fun tcb ->
+          on_accept ~role:`Secondary tcb))
+    t.services;
+  (* pair the bridges and restart mutual fault detection *)
+  Primary_bridge.reinstate t.pbridge ~secondary_addr:(Host.addr secondary);
+  t.status <- `Normal;
+  t.hb_on_primary <- Some (watch_secondary t);
+  t.hb_on_secondary <- Some (watch_primary t);
+  t.on_event Reintegrated

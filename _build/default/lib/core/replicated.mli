@@ -1,0 +1,77 @@
+(** One-call construction of a replicated TCP server pair.
+
+    Wires the primary and secondary bridges, the bidirectional heartbeat
+    fault detectors, and the failover procedures of §5/§6 onto two hosts
+    that share an Ethernet segment.  The replicated application is started
+    through {!listen} (TCP-server role) or {!connect_backend} (TCP-client
+    role, §7.2) so that both replicas run identical, deterministic code —
+    the paper's active-replication model.
+
+    The service address is the primary's: clients connect to it before and
+    after any failover. *)
+
+type t
+
+type event =
+  | Secondary_failure_detected
+      (** primary's detector fired; §6 recovery ran *)
+  | Primary_failure_detected  (** secondary's detector fired *)
+  | Takeover_complete
+      (** §5 steps 1–5 finished: the secondary owns the service address *)
+  | Reintegrated
+      (** a fresh secondary joined after a secondary failure *)
+
+val create :
+  primary:Tcpfo_host.Host.t ->
+  secondary:Tcpfo_host.Host.t ->
+  config:Failover_config.t ->
+  unit ->
+  t
+
+val service_addr : t -> Tcpfo_packet.Ipaddr.t
+val registry : t -> Failover_config.registry
+val primary_bridge : t -> Primary_bridge.t
+val secondary_bridge : t -> Secondary_bridge.t
+
+val set_on_event : t -> (event -> unit) -> unit
+
+val listen :
+  t ->
+  port:int ->
+  on_accept:(role:[ `Primary | `Secondary ] -> Tcpfo_tcp.Tcb.t -> unit) ->
+  unit
+(** Start the replicated server application on both replicas.  Registers
+    [port] as a failover service port (the paper's socket-option method)
+    and listens on both stacks; [on_accept] must install identical,
+    deterministic behaviour on both. *)
+
+val connect_backend :
+  t ->
+  remote:Tcpfo_packet.Ipaddr.t * int ->
+  ?local_port:int ->
+  setup:(role:[ `Primary | `Secondary ] -> Tcpfo_tcp.Tcb.t -> unit) ->
+  unit ->
+  unit
+(** §7.2: both replicas open a connection to an unreplicated server
+    [remote] from the service address.  Both replicas must issue their
+    connects in the same order so the (deterministic) ephemeral port
+    allocators agree; pass [local_port] to pin the source port
+    explicitly. *)
+
+val kill_primary : t -> unit
+(** Crash the primary host (fail-stop); the secondary's detector will
+    notice and run the takeover. *)
+
+val kill_secondary : t -> unit
+
+val status : t -> [ `Normal | `Primary_failed | `Secondary_failed ]
+
+val reintegrate : t -> secondary:Tcpfo_host.Host.t -> unit
+(** Reintegration of a failed server — which the paper explicitly leaves
+    out of scope (§1) — at connection granularity: after a *secondary*
+    failure, pair the primary with a fresh host.  Connections that
+    outlived the old secondary remain unreplicated (their state exists
+    nowhere else), but every service registered through {!listen} is
+    started on the new host and every connection established from now on
+    is fully protected again.  Raises [Invalid_argument] unless the pair
+    is in the secondary-failed state. *)

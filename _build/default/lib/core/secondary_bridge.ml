@@ -1,0 +1,153 @@
+module Time = Tcpfo_sim.Time
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Seg = Tcpfo_packet.Tcp_segment
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Ip_layer = Tcpfo_ip.Ip_layer
+module Eth_iface = Tcpfo_ip.Eth_iface
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+
+type mode = Normal | Paused | Taken_over
+
+type t = {
+  host : Host.t;
+  registry : Failover_config.registry;
+  service_addr : Ipaddr.t;
+  mutable divert_to : Ipaddr.t;
+  only_new : bool;
+      (* reintegrated secondary: claim only connections its own stack
+         knows (or fresh SYNs) — pre-existing connections belong solely to
+         the primary and must not be answered with RSTs *)
+  mutable mode : mode;
+  held : Ipv4_packet.t Queue.t;
+  mutable installed : bool;
+  mutable claimed : int;
+  mutable diverted : int;
+  mutable held_count : int;
+}
+
+let config t = Failover_config.config t.registry
+
+let is_failover t ~local_port ~remote_port =
+  Failover_config.is_failover_conn t.registry ~local_port ~remote_port
+
+(* §3.1: divert a reply to the primary, recording the original
+   destination in a TCP header option.  (On a byte-encoded segment this
+   is where the incremental checksum update of §3.1 happens; see
+   Wire.rewrite_dst_ip, validated in the test suite.) *)
+let divert t (pkt : Ipv4_packet.t) (seg : Seg.t) =
+  t.diverted <- t.diverted + 1;
+  let seg' =
+    { seg with Seg.options = Seg.Orig_dst pkt.dst :: seg.options }
+  in
+  Ip_layer.Tx_pass
+    (Ipv4_packet.make ~ident:pkt.ident ~src:(Host.addr t.host)
+       ~dst:t.divert_to (Ipv4_packet.Tcp seg'))
+
+let tx_hook t (pkt : Ipv4_packet.t) =
+  match pkt.payload with
+  | Tcp seg
+    when Ipaddr.equal pkt.src t.service_addr
+         && is_failover t ~local_port:seg.src_port ~remote_port:seg.dst_port
+    -> (
+    match t.mode with
+    | Normal -> divert t pkt seg
+    | Paused ->
+      (* §5 step 1: stop sending segments addressed to the client until
+         the IP takeover completes. *)
+      t.held_count <- t.held_count + 1;
+      Queue.push pkt t.held;
+      Ip_layer.Tx_drop
+    | Taken_over -> Ip_layer.Tx_pass pkt)
+  | Tcp _ | Heartbeat _ | Raw _ -> Ip_layer.Tx_pass pkt
+
+let rx_hook t (pkt : Ipv4_packet.t) ~link_addressed =
+  match pkt.payload with
+  | Tcp seg
+    when Ipaddr.equal pkt.dst t.service_addr
+         && is_failover t ~local_port:seg.dst_port ~remote_port:seg.src_port
+    -> (
+    match t.mode with
+    | Normal | Paused ->
+      (* §3.1: claim the datagram for local delivery — conceptually the
+         a_p → a_s destination translation.  [link_addressed] datagrams
+         also land here (the primary's bridge answering a stray FIN frames
+         the reply to our MAC). *)
+      let known_or_new =
+        (not t.only_new)
+        || (seg.flags.syn && not seg.flags.ack)
+        || Stack.find (Host.tcp t.host)
+             ~local:(pkt.dst, seg.dst_port)
+             ~remote:(pkt.src, seg.src_port)
+           <> None
+      in
+      if known_or_new then begin
+        t.claimed <- t.claimed + 1;
+        Ip_layer.Rx_deliver pkt
+      end
+      else Ip_layer.Rx_drop
+    | Taken_over ->
+      (* translation disabled: the service address is now a local alias
+         and normal delivery applies *)
+      Ip_layer.Rx_pass pkt)
+  | Tcp _ | Heartbeat _ | Raw _ ->
+    ignore link_addressed;
+    Ip_layer.Rx_pass pkt
+
+let install host ~registry ~service_addr ?divert_to
+    ?(only_new_connections = false) () =
+  let t =
+    {
+      host;
+      registry;
+      service_addr;
+      divert_to = (match divert_to with Some a -> a | None -> service_addr);
+      only_new = only_new_connections;
+      mode = Normal;
+      held = Queue.create ();
+      installed = true;
+      claimed = 0;
+      diverted = 0;
+      held_count = 0;
+    }
+  in
+  Eth_iface.set_promiscuous (Host.eth host) true;
+  Stack.set_extra_local (Host.tcp host) (fun ip ->
+      Ipaddr.equal ip service_addr);
+  Ip_layer.set_tx_hook (Host.ip host) (Some (fun pkt -> tx_hook t pkt));
+  Ip_layer.set_rx_hook (Host.ip host)
+    (Some (fun pkt ~link_addressed -> rx_hook t pkt ~link_addressed));
+  t
+
+let uninstall t =
+  if t.installed then begin
+    t.installed <- false;
+    Eth_iface.set_promiscuous (Host.eth t.host) false;
+    Ip_layer.set_tx_hook (Host.ip t.host) None;
+    Ip_layer.set_rx_hook (Host.ip t.host) None
+  end
+
+let begin_takeover t ~on_complete =
+  if t.mode = Normal then begin
+    (* §5 step 1: hold outgoing segments *)
+    t.mode <- Paused;
+    ignore
+      ((Host.clock t.host).schedule (config t).takeover_processing
+         (fun () ->
+           (* §5 steps 2-4: disable promiscuous snooping and both
+              translations *)
+           Eth_iface.set_promiscuous (Host.eth t.host) false;
+           (* §5 step 5: IP takeover — alias + gratuitous ARP *)
+           Eth_iface.add_address (Host.eth t.host) t.service_addr;
+           t.mode <- Taken_over;
+           (* release held segments, now sent natively *)
+           Queue.iter (fun pkt -> Ip_layer.send (Host.ip t.host) pkt) t.held;
+           Queue.clear t.held;
+           on_complete ()))
+  end
+
+let retarget t addr = t.divert_to <- addr
+let taken_over t = t.mode = Taken_over
+let stats_claimed t = t.claimed
+let stats_diverted t = t.diverted
+let stats_held t = t.held_count

@@ -1,0 +1,1 @@
+lib/host/host.ml: Lazy List Tcpfo_ip Tcpfo_net Tcpfo_packet Tcpfo_sim Tcpfo_tcp Tcpfo_util

@@ -1,0 +1,1 @@
+lib/host/world.ml: Host List Tcpfo_ip Tcpfo_net Tcpfo_packet Tcpfo_sim Tcpfo_util

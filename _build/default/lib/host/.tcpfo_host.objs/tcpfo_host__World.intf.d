@@ -1,0 +1,1 @@
+lib/host/world.mli: Host Tcpfo_net Tcpfo_sim Tcpfo_tcp Tcpfo_util

@@ -1,0 +1,152 @@
+module Engine = Tcpfo_sim.Engine
+module Clock = Tcpfo_sim.Clock
+module Time = Tcpfo_sim.Time
+module Rng = Tcpfo_util.Rng
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Macaddr = Tcpfo_packet.Macaddr
+module Medium = Tcpfo_net.Medium
+module Link = Tcpfo_net.Link
+module Nic = Tcpfo_net.Nic
+module Eth_iface = Tcpfo_ip.Eth_iface
+module Ip_layer = Tcpfo_ip.Ip_layer
+module Stack = Tcpfo_tcp.Stack
+module Tcp_config = Tcpfo_tcp.Tcp_config
+
+type profile = {
+  tx_cost : Time.t;
+  rx_cost : Time.t;
+  jitter_frac : float; (* uniform extra cost, as a fraction of the base *)
+  hiccup_prob : float; (* rare scheduler hiccup adding ~3x the base cost *)
+}
+
+let default_profile =
+  { tx_cost = Time.us 30; rx_cost = Time.us 45; jitter_frac = 0.0;
+    hiccup_prob = 0.0 }
+
+type iface_entry =
+  | Lan of Eth_iface.t * Ip_layer.iface
+  | Ptp of Link.endpoint * Ipaddr.t * Ip_layer.iface
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  rng : Rng.t;
+  clock : Clock.t;
+  ip : Ip_layer.t;
+  tcp : Stack.t;
+  mutable ifaces : iface_entry list;
+  mutable alive : bool;
+}
+
+let create engine ~name ~rng ?(profile = default_profile)
+    ?(tcp_config = Tcp_config.default) () =
+  let rec t =
+    lazy
+      (let clock = Clock.guarded engine ~alive:(fun () -> (Lazy.force t).alive) in
+       let jitter =
+         if profile.jitter_frac > 0.0 || profile.hiccup_prob > 0.0 then begin
+           let base = (profile.tx_cost + profile.rx_cost) / 2 in
+           Some
+             (fun () ->
+               let extra =
+                 if profile.jitter_frac > 0.0 then
+                   Rng.int rng
+                     (max 1
+                        (int_of_float
+                           (float_of_int base *. profile.jitter_frac)))
+                 else 0
+               in
+               if
+                 profile.hiccup_prob > 0.0 && Rng.bool rng profile.hiccup_prob
+               then extra + (3 * base)
+               else extra)
+         end
+         else None
+       in
+       let ip =
+         Ip_layer.create clock ~name ~tx_cost:profile.tx_cost
+           ~rx_cost:profile.rx_cost ?jitter ()
+       in
+       let tcp = Stack.create clock ~ip ~config:tcp_config ~rng in
+       { engine; name; rng; clock; ip; tcp; ifaces = []; alive = true })
+  in
+  Lazy.force t
+
+let name t = t.name
+let engine t = t.engine
+let clock t = t.clock
+let rng t = t.rng
+let ip t = t.ip
+let cpu t = Ip_layer.cpu t.ip
+let tcp t = t.tcp
+let alive t = t.alive
+
+let attach_lan t medium ~addr ?(prefix = 24) ~mac () =
+  let nic = Nic.create t.engine ~mac medium in
+  let eth = Eth_iface.create t.clock ~nic ~addr ~prefix in
+  let iface = Ip_layer.add_eth_iface t.ip eth in
+  t.ifaces <- t.ifaces @ [ Lan (eth, iface) ];
+  eth
+
+let attach_ptp t ep ~addr =
+  let iface = Ip_layer.add_ptp_iface t.ip ep ~addr in
+  (* connected route for the link subnet, so replies reach the peer *)
+  Ip_layer.add_route t.ip ~net:addr ~prefix:24 iface;
+  t.ifaces <- t.ifaces @ [ Ptp (ep, addr, iface) ]
+
+let first_ptp t =
+  List.find_map
+    (function Ptp (ep, _, iface) -> Some (ep, iface) | Lan _ -> None)
+    t.ifaces
+
+let set_default_via_ptp t =
+  match first_ptp t with
+  | Some (_, iface) ->
+    Ip_layer.add_route t.ip ~net:Ipaddr.any ~prefix:0 iface
+  | None -> invalid_arg "Host.set_default_via_ptp: no ptp interface"
+
+let eth t =
+  match
+    List.find_map
+      (function Lan (e, _) -> Some e | Ptp _ -> None)
+      t.ifaces
+  with
+  | Some e -> e
+  | None -> invalid_arg (t.name ^ ": no ethernet interface")
+
+let lan_iface t =
+  match
+    List.find_map
+      (function Lan (_, i) -> Some i | Ptp _ -> None)
+      t.ifaces
+  with
+  | Some i -> i
+  | None -> invalid_arg (t.name ^ ": no ethernet interface")
+
+let set_default_via_lan t ~gateway =
+  Ip_layer.set_default_route t.ip ~gateway (lan_iface t)
+
+let set_forwarding t v = Ip_layer.set_forwarding t.ip v
+
+let addr t =
+  match t.ifaces with
+  | Lan (e, _) :: _ -> Eth_iface.primary_address e
+  | Ptp (_, a, _) :: _ -> a
+  | [] -> invalid_arg (t.name ^ ": no interface")
+
+let kill t =
+  if t.alive then begin
+    t.alive <- false;
+    List.iter
+      (function
+        | Lan (e, _) -> Eth_iface.shutdown e
+        | Ptp (ep, _, _) -> Link.set_receiver ep (fun _ -> ()))
+      t.ifaces
+  end
+
+let learn_arp t peer_ip peer_mac =
+  List.iter
+    (function
+      | Lan (e, _) -> Tcpfo_ip.Arp_cache.learn (Eth_iface.arp_cache e) peer_ip peer_mac
+      | Ptp _ -> ())
+    t.ifaces

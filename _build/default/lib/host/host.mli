@@ -1,0 +1,79 @@
+(** A simulated host: NIC(s) + ARP + IP + TCP, with crash-fault injection.
+
+    [kill] models a fail-stop crash (the paper's fault model): the NIC
+    detaches from the wire and every pending timer of the host becomes
+    inert, as if power were cut.  Nothing is flushed and no FIN or RST is
+    emitted — surviving nodes only notice through missing heartbeats and
+    missing acknowledgments. *)
+
+type profile = {
+  tx_cost : Tcpfo_sim.Time.t;  (** per-datagram transmit-path CPU cost *)
+  rx_cost : Tcpfo_sim.Time.t;  (** per-datagram receive-path CPU cost *)
+  jitter_frac : float;
+      (** uniform per-packet extra cost in [0, frac·base) — OS noise *)
+  hiccup_prob : float;
+      (** probability of a rare ~3× scheduling hiccup per packet *)
+}
+
+val default_profile : profile
+(** Calibrated so that a standard-TCP connection setup on an otherwise
+    idle 100 Mb/s LAN lands near the paper's ~294 µs median (§9). *)
+
+type t
+
+val create :
+  Tcpfo_sim.Engine.t ->
+  name:string ->
+  rng:Tcpfo_util.Rng.t ->
+  ?profile:profile ->
+  ?tcp_config:Tcpfo_tcp.Tcp_config.t ->
+  unit ->
+  t
+
+val attach_lan :
+  t ->
+  Tcpfo_net.Medium.t ->
+  addr:Tcpfo_packet.Ipaddr.t ->
+  ?prefix:int ->
+  mac:Tcpfo_packet.Macaddr.t ->
+  unit ->
+  Tcpfo_ip.Eth_iface.t
+
+val attach_ptp :
+  t ->
+  Tcpfo_net.Link.endpoint ->
+  addr:Tcpfo_packet.Ipaddr.t ->
+  unit
+(** Point-to-point attachment (the WAN side of a router, or a remote
+    client).  Adds a connected host route for the peer; use
+    {!set_default_via_ptp} to route everything through it. *)
+
+val set_default_via_ptp : t -> unit
+(** Default route through the (single) point-to-point interface. *)
+
+val set_default_via_lan : t -> gateway:Tcpfo_packet.Ipaddr.t -> unit
+
+val set_forwarding : t -> bool -> unit
+
+val name : t -> string
+val engine : t -> Tcpfo_sim.Engine.t
+val clock : t -> Tcpfo_sim.Clock.t
+val rng : t -> Tcpfo_util.Rng.t
+val ip : t -> Tcpfo_ip.Ip_layer.t
+val cpu : t -> Tcpfo_sim.Cpu.t
+val tcp : t -> Tcpfo_tcp.Stack.t
+val eth : t -> Tcpfo_ip.Eth_iface.t
+(** The (first) Ethernet interface.  Raises if none is attached. *)
+
+val addr : t -> Tcpfo_packet.Ipaddr.t
+(** Primary address of the first interface attached. *)
+
+val alive : t -> bool
+
+val kill : t -> unit
+(** Fail-stop crash. *)
+
+val learn_arp :
+  t -> Tcpfo_packet.Ipaddr.t -> Tcpfo_packet.Macaddr.t -> unit
+(** Pre-warm the ARP cache (the paper pre-warms all caches before
+    measuring, §9). *)

@@ -1,0 +1,83 @@
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module Rng = Tcpfo_util.Rng
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Macaddr = Tcpfo_packet.Macaddr
+module Medium = Tcpfo_net.Medium
+module Link = Tcpfo_net.Link
+module Eth_iface = Tcpfo_ip.Eth_iface
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  mutable next_mac : int;
+}
+
+let create ?(seed = 0xC0FFEE) () =
+  { engine = Engine.create (); rng = Rng.create ~seed; next_mac = 1 }
+
+let engine t = t.engine
+let rng t = t.rng
+let fresh_rng t = Rng.split t.rng
+
+let fresh_mac t =
+  let m = Macaddr.of_int (0x020000000000 lor t.next_mac) in
+  t.next_mac <- t.next_mac + 1;
+  m
+
+let make_lan t ?(config = Medium.default_config) () =
+  Medium.create t.engine ~rng:(fresh_rng t) config
+
+let add_host t medium ~name ~addr ?profile ?tcp_config () =
+  let h = Host.create t.engine ~name ~rng:(fresh_rng t) ?profile ?tcp_config () in
+  let _ : Eth_iface.t =
+    Host.attach_lan h medium ~addr:(Ipaddr.of_string addr) ~mac:(fresh_mac t) ()
+  in
+  h
+
+let router_profile =
+  { Host.tx_cost = Time.us 5; rx_cost = Time.us 10; jitter_frac = 0.0;
+    hiccup_prob = 0.0 }
+
+let add_router t medium ~lan_addr ~wan_link ~wan_addr () =
+  let h =
+    Host.create t.engine ~name:"router" ~rng:(fresh_rng t)
+      ~profile:router_profile ()
+  in
+  let _ : Eth_iface.t =
+    Host.attach_lan h medium ~addr:(Ipaddr.of_string lan_addr)
+      ~mac:(fresh_mac t) ()
+  in
+  Host.attach_ptp h (Link.endpoint_b wan_link) ~addr:(Ipaddr.of_string wan_addr);
+  Host.set_forwarding h true;
+  h
+
+let add_wan_client t ~wan_link ~addr ?profile ?tcp_config () =
+  let h =
+    Host.create t.engine ~name:"wan-client" ~rng:(fresh_rng t) ?profile
+      ?tcp_config ()
+  in
+  Host.attach_ptp h (Link.endpoint_a wan_link) ~addr:(Ipaddr.of_string addr);
+  Host.set_default_via_ptp h;
+  h
+
+let warm_arp hosts =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if Host.name a <> Host.name b then
+            match
+              ( (try Some (Host.eth b) with Invalid_argument _ -> None),
+                (try Some (Host.addr b) with Invalid_argument _ -> None) )
+            with
+            | Some eth_b, Some addr_b ->
+              Host.learn_arp a addr_b
+                (Tcpfo_net.Nic.mac (Eth_iface.nic eth_b))
+            | _ -> ())
+        hosts)
+    hosts
+
+let run t ~for_ = Engine.run_for t.engine for_
+let run_until_idle t = Engine.run t.engine
+let now t = Engine.now t.engine

@@ -1,0 +1,1 @@
+lib/ip/arp_cache.ml: Hashtbl List Tcpfo_packet Tcpfo_sim

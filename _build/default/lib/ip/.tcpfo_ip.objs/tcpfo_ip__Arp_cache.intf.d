@@ -1,0 +1,1 @@
+lib/ip/arp_cache.mli: Tcpfo_packet Tcpfo_sim

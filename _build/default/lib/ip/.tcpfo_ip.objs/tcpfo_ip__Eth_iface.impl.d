@@ -1,0 +1,1 @@
+lib/ip/eth_iface.ml: Arp_cache Hashtbl List Queue Tcpfo_net Tcpfo_packet Tcpfo_sim

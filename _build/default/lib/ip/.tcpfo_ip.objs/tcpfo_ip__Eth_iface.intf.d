@@ -1,0 +1,1 @@
+lib/ip/eth_iface.mli: Arp_cache Tcpfo_net Tcpfo_packet Tcpfo_sim

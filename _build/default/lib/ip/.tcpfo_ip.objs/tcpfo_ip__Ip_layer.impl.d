@@ -1,0 +1,1 @@
+lib/ip/ip_layer.ml: Eth_iface List Tcpfo_net Tcpfo_packet Tcpfo_sim

@@ -1,0 +1,1 @@
+lib/ip/ip_layer.mli: Eth_iface Tcpfo_net Tcpfo_packet Tcpfo_sim

@@ -1,0 +1,34 @@
+module Clock = Tcpfo_sim.Clock
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Macaddr = Tcpfo_packet.Macaddr
+
+type entry = { mac : Macaddr.t; expires : Tcpfo_sim.Time.t }
+
+type t = {
+  clock : Clock.t;
+  ttl : Tcpfo_sim.Time.t;
+  table : (Ipaddr.t, entry) Hashtbl.t;
+}
+
+let create clock ~ttl = { clock; ttl; table = Hashtbl.create 16 }
+
+let lookup t ip =
+  match Hashtbl.find_opt t.table ip with
+  | Some e when e.expires > t.clock.now () -> Some e.mac
+  | Some _ ->
+    Hashtbl.remove t.table ip;
+    None
+  | None -> None
+
+let learn t ip mac =
+  Hashtbl.replace t.table ip { mac; expires = t.clock.now () + t.ttl }
+
+let forget t ip = Hashtbl.remove t.table ip
+let clear t = Hashtbl.reset t.table
+
+let entries t =
+  let now = t.clock.now () in
+  Hashtbl.fold
+    (fun ip e acc -> if e.expires > now then (ip, e.mac) :: acc else acc)
+    t.table []
+  |> List.sort (fun (a, _) (b, _) -> Ipaddr.compare a b)

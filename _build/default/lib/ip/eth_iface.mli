@@ -1,0 +1,46 @@
+(** An Ethernet interface: a NIC plus ARP resolution plus a set of local
+    IPv4 addresses (aliases).
+
+    IP takeover (paper §5, step 5) is [add_address], which installs the
+    failed primary's address as an alias and broadcasts a gratuitous ARP so
+    that every cache on the segment — client, router — rebinds the address
+    to this interface's MAC. *)
+
+type t
+
+val create :
+  Tcpfo_sim.Clock.t ->
+  nic:Tcpfo_net.Nic.t ->
+  addr:Tcpfo_packet.Ipaddr.t ->
+  prefix:int ->
+  t
+
+val nic : t -> Tcpfo_net.Nic.t
+val addresses : t -> Tcpfo_packet.Ipaddr.t list
+val primary_address : t -> Tcpfo_packet.Ipaddr.t
+val prefix : t -> int
+val has_address : t -> Tcpfo_packet.Ipaddr.t -> bool
+
+val add_address : t -> Tcpfo_packet.Ipaddr.t -> unit
+(** Install an alias and announce it with a gratuitous ARP. *)
+
+val remove_address : t -> Tcpfo_packet.Ipaddr.t -> unit
+
+val arp_cache : t -> Arp_cache.t
+
+val set_rx :
+  t ->
+  (Tcpfo_packet.Ipv4_packet.t -> link_addressed:bool -> unit) ->
+  unit
+(** Upcall for received IPv4 datagrams.  [link_addressed] is false for
+    datagrams seen only via promiscuous mode.  ARP is handled internally
+    and never reaches the upcall. *)
+
+val send_ip :
+  t -> next_hop:Tcpfo_packet.Ipaddr.t -> Tcpfo_packet.Ipv4_packet.t -> unit
+(** Resolve [next_hop] (emitting ARP requests as needed, queueing up to a
+    small number of datagrams per pending resolution) and transmit. *)
+
+val set_promiscuous : t -> bool -> unit
+
+val shutdown : t -> unit

@@ -1,0 +1,238 @@
+module Clock = Tcpfo_sim.Clock
+module Cpu = Tcpfo_sim.Cpu
+module Time = Tcpfo_sim.Time
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Tcp_segment = Tcpfo_packet.Tcp_segment
+module Link = Tcpfo_net.Link
+
+type iface_kind =
+  | Eth of Eth_iface.t
+  | Ptp of { ep : Link.endpoint; addr : Ipaddr.t }
+
+type iface = { id : int; kind : iface_kind }
+
+type route = {
+  net : Ipaddr.t;
+  rprefix : int;
+  via : iface;
+  gateway : Ipaddr.t option;
+}
+
+type tx_verdict = Tx_pass of Ipv4_packet.t | Tx_drop
+
+type rx_verdict =
+  | Rx_pass of Ipv4_packet.t
+  | Rx_deliver of Ipv4_packet.t
+  | Rx_drop
+
+type t = {
+  clock : Clock.t;
+  name : string;
+  tx_cost : Time.t;
+  rx_cost : Time.t;
+  jitter : (unit -> Time.t) option; (* extra per-packet processing noise *)
+  cpu : Cpu.t;
+  mutable ifaces : iface list;
+  mutable next_iface : int;
+  mutable routes : route list;
+  mutable forwarding : bool;
+  mutable tcp_handler :
+    src:Ipaddr.t -> dst:Ipaddr.t -> Tcp_segment.t -> unit;
+  mutable hb_handler : src:Ipaddr.t -> Ipv4_packet.heartbeat -> unit;
+  mutable raw_handler : src:Ipaddr.t -> proto:int -> string -> unit;
+  mutable tx_hook : (Ipv4_packet.t -> tx_verdict) option;
+  mutable rx_hook :
+    (Ipv4_packet.t -> link_addressed:bool -> rx_verdict) option;
+  mutable ident : int;
+  mutable n_tx : int;
+  mutable n_rx : int;
+  mutable n_forwarded : int;
+  mutable wire_roundtrip : bool;
+}
+
+let create clock ~name ?(tx_cost = 0) ?(rx_cost = 0) ?jitter ?cpu () =
+  {
+    clock;
+    name;
+    tx_cost;
+    rx_cost;
+    jitter;
+    cpu = (match cpu with Some c -> c | None -> Cpu.create clock);
+    ifaces = [];
+    next_iface = 0;
+    routes = [];
+    forwarding = false;
+    tcp_handler = (fun ~src:_ ~dst:_ _ -> ());
+    hb_handler = (fun ~src:_ _ -> ());
+    raw_handler = (fun ~src:_ ~proto:_ _ -> ());
+    tx_hook = None;
+    rx_hook = None;
+    ident = 1;
+    n_tx = 0;
+    n_rx = 0;
+    n_forwarded = 0;
+    wire_roundtrip = false;
+  }
+
+let name t = t.name
+let clock t = t.clock
+
+let addresses t =
+  List.concat_map
+    (fun i ->
+      match i.kind with
+      | Eth e -> Eth_iface.addresses e
+      | Ptp p -> [ p.addr ])
+    t.ifaces
+
+let is_local_address t ip = List.exists (Ipaddr.equal ip) (addresses t)
+
+let set_forwarding t v = t.forwarding <- v
+let set_tcp_handler t fn = t.tcp_handler <- fn
+let set_heartbeat_handler t fn = t.hb_handler <- fn
+let set_raw_handler t fn = t.raw_handler <- fn
+let set_tx_hook t h = t.tx_hook <- h
+let set_rx_hook t h = t.rx_hook <- h
+let tx_hook t = t.tx_hook
+let rx_hook t = t.rx_hook
+
+let fresh_ident t =
+  let v = t.ident in
+  t.ident <- (t.ident + 1) land 0xFFFF;
+  v
+
+let add_route t ~net ~prefix ?gateway via =
+  t.routes <-
+    List.sort
+      (fun a b -> compare b.rprefix a.rprefix) (* longest prefix first *)
+      ({ net = Ipaddr.network net ~prefix; rprefix = prefix; via; gateway }
+      :: t.routes)
+
+let route_for t dst =
+  List.find_opt
+    (fun r -> Ipaddr.same_network r.net dst ~prefix:r.rprefix)
+    t.routes
+
+let set_wire_roundtrip t v = t.wire_roundtrip <- v
+
+(* Validation mode: serialize the TCP segment to real octets and parse it
+   back; transmit the parsed copy. *)
+let roundtrip_pkt (pkt : Ipv4_packet.t) =
+  match pkt.payload with
+  | Tcp seg ->
+    let b = Tcpfo_packet.Wire.encode_tcp ~src_ip:pkt.src ~dst_ip:pkt.dst seg in
+    let seg' = Tcpfo_packet.Wire.decode_tcp ~src_ip:pkt.src ~dst_ip:pkt.dst b in
+    { pkt with payload = Tcp seg' }
+  | Heartbeat _ | Raw _ -> pkt
+
+let transmit t pkt =
+  let pkt = if t.wire_roundtrip then roundtrip_pkt pkt else pkt in
+  match route_for t pkt.Ipv4_packet.dst with
+  | None -> () (* no route: drop *)
+  | Some r ->
+    t.n_tx <- t.n_tx + 1;
+    (match r.via.kind with
+    | Ptp p -> Link.send p.ep pkt
+    | Eth e ->
+      let next_hop =
+        match r.gateway with Some g -> g | None -> pkt.Ipv4_packet.dst
+      in
+      Eth_iface.send_ip e ~next_hop pkt)
+
+(* Local protocol demultiplexing. *)
+let deliver t (pkt : Ipv4_packet.t) =
+  t.n_rx <- t.n_rx + 1;
+  match pkt.payload with
+  | Tcp seg -> t.tcp_handler ~src:pkt.src ~dst:pkt.dst seg
+  | Heartbeat hb -> t.hb_handler ~src:pkt.src hb
+  | Raw { proto; data } -> t.raw_handler ~src:pkt.src ~proto data
+
+let forward t (pkt : Ipv4_packet.t) =
+  if pkt.ttl > 1 then begin
+    t.n_forwarded <- t.n_forwarded + 1;
+    transmit t { pkt with ttl = pkt.ttl - 1 }
+  end
+
+let process_rx t pkt ~link_addressed =
+  let verdict =
+    match t.rx_hook with
+    | None -> Rx_pass pkt
+    | Some hook -> hook pkt ~link_addressed
+  in
+  match verdict with
+  | Rx_drop -> ()
+  | Rx_deliver pkt -> deliver t pkt
+  | Rx_pass pkt ->
+    if is_local_address t pkt.Ipv4_packet.dst then
+      (if link_addressed then deliver t pkt)
+      (* a promiscuously captured frame for one of our own addresses but a
+         foreign MAC is someone else's traffic: ignore unless a hook
+         claimed it *)
+    else if t.forwarding && link_addressed then forward t pkt
+    else ()
+
+let apply_jitter t base =
+  match t.jitter with None -> base | Some j -> base + j ()
+
+let rx_entry t pkt ~link_addressed =
+  if t.rx_cost > 0 then
+    Cpu.run t.cpu ~cost:(apply_jitter t t.rx_cost) (fun () ->
+        process_rx t pkt ~link_addressed)
+  else process_rx t pkt ~link_addressed
+
+let add_iface t kind =
+  let i = { id = t.next_iface; kind } in
+  t.next_iface <- t.next_iface + 1;
+  t.ifaces <- t.ifaces @ [ i ];
+  i
+
+let add_eth_iface t e =
+  let i = add_iface t (Eth e) in
+  Eth_iface.set_rx e (fun pkt ~link_addressed -> rx_entry t pkt ~link_addressed);
+  add_route t
+    ~net:(Eth_iface.primary_address e)
+    ~prefix:(Eth_iface.prefix e) i;
+  i
+
+let add_ptp_iface t ep ~addr =
+  let i = add_iface t (Ptp { ep; addr }) in
+  Link.set_receiver ep (fun pkt -> rx_entry t pkt ~link_addressed:true);
+  i
+
+let eth_of_iface i = match i.kind with Eth e -> Some e | Ptp _ -> None
+
+let set_default_route t ~gateway via =
+  add_route t ~net:Ipaddr.any ~prefix:0 ~gateway via
+
+let do_send t pkt ~hooked =
+  (* Loopback: a datagram to one of our own addresses never touches the
+     wire. *)
+  if is_local_address t pkt.Ipv4_packet.dst then
+    ignore (t.clock.schedule 0 (fun () -> deliver t pkt))
+  else begin
+    let verdict =
+      if hooked then
+        match t.tx_hook with None -> Tx_pass pkt | Some hook -> hook pkt
+      else Tx_pass pkt
+    in
+    match verdict with
+    | Tx_drop -> ()
+    | Tx_pass pkt ->
+      if t.tx_cost > 0 then
+        Cpu.run t.cpu ~cost:(apply_jitter t t.tx_cost) (fun () ->
+            transmit t pkt)
+      else transmit t pkt
+  end
+
+let send t pkt = do_send t pkt ~hooked:true
+let inject t pkt = do_send t pkt ~hooked:false
+
+let send_tcp t ~src ~dst seg =
+  send t (Ipv4_packet.make ~ident:(fresh_ident t) ~src ~dst (Tcp seg))
+
+let cpu t = t.cpu
+
+let stats_tx t = t.n_tx
+let stats_rx t = t.n_rx
+let stats_forwarded t = t.n_forwarded

@@ -1,0 +1,131 @@
+(** Host IP layer: interfaces, routing, local delivery, forwarding — and
+    the hook points where the TCP failover bridge interposes itself
+    between TCP and IP (the paper's "bridge" sublayer sits exactly here).
+
+    Hooks:
+    - the [tx hook] sees every locally-originated datagram before routing;
+      the primary bridge uses it to delay, renumber and merge the TCP
+      layer's segments (paper §3.2–3.4), the secondary bridge to divert
+      replies to the primary (§3.1).
+    - the [rx hook] sees every datagram that arrives on any interface,
+      including frames captured only by promiscuous mode; the secondary
+      bridge uses it to accept datagrams addressed to the primary (§3.1),
+      the primary bridge to intercept the secondary's diverted replies and
+      to translate acknowledgment numbers for its own TCP layer (§3.3).
+
+    Packets emitted by a bridge itself go through {!inject}, which skips
+    the tx hook. *)
+
+type t
+
+type iface
+(** Handle to an attached interface. *)
+
+type tx_verdict =
+  | Tx_pass of Tcpfo_packet.Ipv4_packet.t  (** send this (possibly rewritten) datagram *)
+  | Tx_drop  (** consumed by the hook *)
+
+type rx_verdict =
+  | Rx_pass of Tcpfo_packet.Ipv4_packet.t
+      (** continue normal processing (local delivery check, forwarding) *)
+  | Rx_deliver of Tcpfo_packet.Ipv4_packet.t
+      (** force local delivery even if the destination is not one of our
+          addresses — how the secondary accepts traffic sent to the
+          primary *)
+  | Rx_drop  (** consumed by the hook *)
+
+val create :
+  Tcpfo_sim.Clock.t ->
+  name:string ->
+  ?tx_cost:Tcpfo_sim.Time.t ->
+  ?rx_cost:Tcpfo_sim.Time.t ->
+  ?jitter:(unit -> Tcpfo_sim.Time.t) ->
+  ?cpu:Tcpfo_sim.Cpu.t ->
+  unit ->
+  t
+(** [tx_cost]/[rx_cost] model per-datagram host processing (protocol stack
+    traversal, interrupts); they default to zero.  [jitter], when given,
+    is sampled per packet and added on top — OS scheduling noise.  All
+    processing serializes through [cpu] (one is created if not given), so
+    a host's packet throughput is bounded by 1/cost. *)
+
+val cpu : t -> Tcpfo_sim.Cpu.t
+
+val name : t -> string
+val clock : t -> Tcpfo_sim.Clock.t
+
+val add_eth_iface : t -> Eth_iface.t -> iface
+(** Attaching also installs a connected route for the interface prefix. *)
+
+val add_ptp_iface :
+  t -> Tcpfo_net.Link.endpoint -> addr:Tcpfo_packet.Ipaddr.t -> iface
+
+val eth_of_iface : iface -> Eth_iface.t option
+
+val add_route :
+  t -> net:Tcpfo_packet.Ipaddr.t -> prefix:int ->
+  ?gateway:Tcpfo_packet.Ipaddr.t -> iface -> unit
+
+val set_default_route : t -> gateway:Tcpfo_packet.Ipaddr.t -> iface -> unit
+
+val addresses : t -> Tcpfo_packet.Ipaddr.t list
+val is_local_address : t -> Tcpfo_packet.Ipaddr.t -> bool
+
+val set_forwarding : t -> bool -> unit
+(** Router behaviour: non-local datagrams are re-routed instead of
+    dropped. *)
+
+val set_tcp_handler :
+  t ->
+  (src:Tcpfo_packet.Ipaddr.t -> dst:Tcpfo_packet.Ipaddr.t ->
+   Tcpfo_packet.Tcp_segment.t -> unit) ->
+  unit
+
+val set_heartbeat_handler :
+  t ->
+  (src:Tcpfo_packet.Ipaddr.t -> Tcpfo_packet.Ipv4_packet.heartbeat -> unit) ->
+  unit
+
+val set_raw_handler :
+  t ->
+  (src:Tcpfo_packet.Ipaddr.t -> proto:int -> string -> unit) ->
+  unit
+
+val set_tx_hook : t -> (Tcpfo_packet.Ipv4_packet.t -> tx_verdict) option -> unit
+
+val set_rx_hook :
+  t ->
+  (Tcpfo_packet.Ipv4_packet.t -> link_addressed:bool -> rx_verdict) option ->
+  unit
+
+val tx_hook : t -> (Tcpfo_packet.Ipv4_packet.t -> tx_verdict) option
+val rx_hook :
+  t ->
+  (Tcpfo_packet.Ipv4_packet.t -> link_addressed:bool -> rx_verdict) option
+(** Current hooks, so that test instrumentation (targeted drop filters,
+    packet taps) can wrap rather than replace a bridge's hooks. *)
+
+val set_wire_roundtrip : t -> bool -> unit
+(** Debug/validation mode: every outgoing TCP segment is encoded to RFC
+    793 octets (checksum over the IPv4 pseudo-header included) and parsed
+    back before transmission.  Proves that nothing in the system —
+    including the bridge's rewritten and merged segments — depends on
+    structure sharing, and that every emitted segment is wire-legal.
+    Raises {!Tcpfo_packet.Wire.Malformed} on any discrepancy. *)
+
+val send : t -> Tcpfo_packet.Ipv4_packet.t -> unit
+(** Normal transmission path: tx hook, then routing. *)
+
+val send_tcp :
+  t -> src:Tcpfo_packet.Ipaddr.t -> dst:Tcpfo_packet.Ipaddr.t ->
+  Tcpfo_packet.Tcp_segment.t -> unit
+
+val inject : t -> Tcpfo_packet.Ipv4_packet.t -> unit
+(** Transmit bypassing the tx hook — used by the bridges for the segments
+    they construct themselves. *)
+
+val fresh_ident : t -> int
+
+val stats_tx : t -> int
+val stats_rx : t -> int
+val stats_forwarded : t -> int

@@ -1,0 +1,1 @@
+lib/net/capture.ml: Buffer Format List Medium Tcpfo_packet Tcpfo_sim

@@ -1,0 +1,1 @@
+lib/net/capture.mli: Medium Tcpfo_packet Tcpfo_sim

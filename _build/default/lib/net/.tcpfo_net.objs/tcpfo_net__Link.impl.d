@@ -1,0 +1,1 @@
+lib/net/link.ml: Queue Tcpfo_packet Tcpfo_sim Tcpfo_util

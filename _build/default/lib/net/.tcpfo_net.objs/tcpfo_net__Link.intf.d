@@ -1,0 +1,1 @@
+lib/net/link.mli: Tcpfo_packet Tcpfo_sim Tcpfo_util

@@ -1,0 +1,1 @@
+lib/net/medium.ml: List Queue Tcpfo_packet Tcpfo_sim Tcpfo_util

@@ -1,0 +1,1 @@
+lib/net/nic.ml: Medium Tcpfo_packet

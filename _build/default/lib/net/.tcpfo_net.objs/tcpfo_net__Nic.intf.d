@@ -1,0 +1,1 @@
+lib/net/nic.mli: Medium Tcpfo_packet Tcpfo_sim

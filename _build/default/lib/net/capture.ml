@@ -1,0 +1,76 @@
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module Eth_frame = Tcpfo_packet.Eth_frame
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+
+type record = { at : Time.t; frame : Eth_frame.t }
+
+type t = {
+  engine : Engine.t;
+  filter : Eth_frame.t -> bool;
+  limit : int;
+  mutable recs : record list; (* newest first *)
+  mutable n_kept : int;
+  mutable n_seen : int;
+  mutable running : bool;
+  mutable port : Medium.port option;
+  medium : Medium.t;
+}
+
+let start engine medium ?(filter = fun _ -> true) ?(limit = 100_000) () =
+  let t =
+    { engine; filter; limit; recs = []; n_kept = 0; n_seen = 0;
+      running = true; port = None; medium }
+  in
+  let deliver frame =
+    if t.running then begin
+      t.n_seen <- t.n_seen + 1;
+      if t.filter frame then begin
+        t.recs <- { at = Engine.now engine; frame } :: t.recs;
+        t.n_kept <- t.n_kept + 1;
+        if t.n_kept > t.limit then begin
+          (* drop the oldest record *)
+          t.recs <- List.filteri (fun i _ -> i < t.limit) t.recs;
+          t.n_kept <- t.limit
+        end
+      end
+    end
+  in
+  t.port <- Some (Medium.attach medium ~deliver);
+  t
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    match t.port with
+    | Some p ->
+      Medium.detach t.medium p;
+      t.port <- None
+    | None -> ()
+  end
+
+let count t = t.n_kept
+let seen t = t.n_seen
+let records t = List.rev t.recs
+
+let tcp_segments t =
+  List.filter_map
+    (fun r ->
+      match r.frame.Eth_frame.payload with
+      | Eth_frame.Ip ({ payload = Ipv4_packet.Tcp _; _ } as pkt) ->
+        Some (r.at, pkt)
+      | Eth_frame.Ip _ | Eth_frame.Arp _ -> None)
+    (records t)
+
+let dump t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Format.asprintf "[%a] %a@." Time.pp r.at Eth_frame.pp r.frame))
+    (records t);
+  Buffer.contents b
+
+let clear t =
+  t.recs <- [];
+  t.n_kept <- 0

@@ -1,0 +1,43 @@
+(** Passive packet capture on a shared Ethernet segment — a promiscuous
+    observer like tcpdump, for debugging, tests, and the CLI trace.
+
+    A capture sees every frame on the medium (hub semantics), timestamped
+    with the simulated clock, optionally filtered.  It consumes no
+    bandwidth and no host CPU. *)
+
+type t
+
+type record = {
+  at : Tcpfo_sim.Time.t;
+  frame : Tcpfo_packet.Eth_frame.t;
+}
+
+val start :
+  Tcpfo_sim.Engine.t ->
+  Medium.t ->
+  ?filter:(Tcpfo_packet.Eth_frame.t -> bool) ->
+  ?limit:int ->
+  unit ->
+  t
+(** Begin capturing.  [filter] keeps only matching frames (default: all);
+    [limit] caps retained records (default 100_000; older records are
+    dropped first). *)
+
+val stop : t -> unit
+val count : t -> int
+(** Frames retained (post-filter). *)
+
+val seen : t -> int
+(** Frames observed (pre-filter). *)
+
+val records : t -> record list
+(** In capture order. *)
+
+val tcp_segments :
+  t -> (Tcpfo_sim.Time.t * Tcpfo_packet.Ipv4_packet.t) list
+(** Just the TCP-bearing datagrams, for protocol assertions in tests. *)
+
+val dump : t -> string
+(** Multi-line human-readable rendering, one frame per line. *)
+
+val clear : t -> unit

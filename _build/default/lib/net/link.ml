@@ -1,0 +1,98 @@
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module Rng = Tcpfo_util.Rng
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+
+type config = {
+  bandwidth_bps : int;
+  delay : Time.t;
+  jitter : Time.t;
+  loss_prob : float;
+  dup_prob : float;
+  reorder_prob : float;
+  queue_capacity : int;
+}
+
+let default_config =
+  { bandwidth_bps = 10_000_000; delay = Time.ms 20; jitter = 0;
+    loss_prob = 0.0; dup_prob = 0.0; reorder_prob = 0.0;
+    queue_capacity = 64 }
+
+(* One direction: a serializing queue feeding a delay line. *)
+type direction = {
+  mutable receiver : Ipv4_packet.t -> unit;
+  queue : Ipv4_packet.t Queue.t;
+  mutable transmitting : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  config : config;
+  a_to_b : direction;
+  b_to_a : direction;
+  mutable dropped : int;
+  mutable delivered : int;
+}
+
+type endpoint = { link : t; out_dir : direction; in_dir : direction }
+
+let mk_direction () =
+  { receiver = (fun _ -> ()); queue = Queue.create (); transmitting = false }
+
+let create engine ~rng config =
+  { engine; rng; config; a_to_b = mk_direction (); b_to_a = mk_direction ();
+    dropped = 0; delivered = 0 }
+
+let endpoint_a t = { link = t; out_dir = t.a_to_b; in_dir = t.b_to_a }
+let endpoint_b t = { link = t; out_dir = t.b_to_a; in_dir = t.a_to_b }
+
+let set_receiver ep fn = ep.in_dir.receiver <- fn
+
+let serialization_time t p =
+  Ipv4_packet.wire_length p * 8 * 1_000_000_000 / t.config.bandwidth_bps
+
+let rec pump t dir =
+  match Queue.peek_opt dir.queue with
+  | None -> dir.transmitting <- false
+  | Some p ->
+    ignore (Queue.pop dir.queue);
+    dir.transmitting <- true;
+    let ser = serialization_time t p in
+    let lost = t.config.loss_prob > 0.0 && Rng.bool t.rng t.config.loss_prob in
+    let extra =
+      if t.config.jitter > 0 then Rng.int t.rng (t.config.jitter + 1) else 0
+    in
+    (* a reordered packet is held back by several serialization times so
+       that packets behind it overtake *)
+    let extra =
+      if t.config.reorder_prob > 0.0 && Rng.bool t.rng t.config.reorder_prob
+      then extra + (ser * (2 + Rng.int t.rng 6))
+      else extra
+    in
+    if not lost then begin
+      let deliver_once delay =
+        ignore
+          (Engine.schedule t.engine ~delay (fun () ->
+               t.delivered <- t.delivered + 1;
+               dir.receiver p))
+      in
+      deliver_once (ser + t.config.delay + extra);
+      if t.config.dup_prob > 0.0 && Rng.bool t.rng t.config.dup_prob then
+        deliver_once (ser + t.config.delay + extra + (ser / 2) + 1)
+    end
+    else t.dropped <- t.dropped + 1;
+    ignore (Engine.schedule t.engine ~delay:ser (fun () -> pump t dir))
+
+let send ep p =
+  let t = ep.link in
+  let dir = ep.out_dir in
+  if Queue.length dir.queue >= t.config.queue_capacity then
+    t.dropped <- t.dropped + 1
+  else begin
+    Queue.push p dir.queue;
+    if not dir.transmitting then pump t dir
+  end
+
+let stats_dropped t = t.dropped
+let stats_delivered t = t.delivered

@@ -1,0 +1,40 @@
+(** Full-duplex point-to-point link carrying IP datagrams (PPP-style).
+
+    Models the wide-area path of the paper's FTP experiment (§9, Fig. 6):
+    finite bandwidth, propagation delay, optional jitter, random loss, and
+    a drop-tail queue.  Each direction is independent. *)
+
+type t
+type endpoint
+
+type config = {
+  bandwidth_bps : int;
+  delay : Tcpfo_sim.Time.t;       (** one-way propagation *)
+  jitter : Tcpfo_sim.Time.t;      (** max extra uniform random delay *)
+  loss_prob : float;              (** per-packet drop probability *)
+  dup_prob : float;               (** per-packet duplication probability *)
+  reorder_prob : float;
+      (** probability that a packet is held back long enough for later
+          packets to overtake it *)
+  queue_capacity : int;           (** packets per direction *)
+}
+
+val default_config : config
+(** 10 Mb/s, 20 ms delay, no jitter, no loss/dup/reorder, 64-packet
+    queue. *)
+
+val create : Tcpfo_sim.Engine.t -> rng:Tcpfo_util.Rng.t -> config -> t
+
+val endpoint_a : t -> endpoint
+val endpoint_b : t -> endpoint
+
+val set_receiver : endpoint -> (Tcpfo_packet.Ipv4_packet.t -> unit) -> unit
+(** Handler for datagrams arriving at this end. *)
+
+val send : endpoint -> Tcpfo_packet.Ipv4_packet.t -> unit
+(** Transmit toward the opposite end. *)
+
+val stats_dropped : t -> int
+(** Packets lost to random loss or queue overflow, both directions. *)
+
+val stats_delivered : t -> int

@@ -1,0 +1,173 @@
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module Rng = Tcpfo_util.Rng
+module Eth_frame = Tcpfo_packet.Eth_frame
+
+type config = {
+  bandwidth_bps : int;
+  propagation : Time.t;
+  loss_prob : float;
+  enable_collisions : bool;
+  collision_prob : float;
+}
+
+let default_config =
+  { bandwidth_bps = 100_000_000; propagation = Time.us 1; loss_prob = 0.0;
+    enable_collisions = true; collision_prob = 0.3 }
+
+type port = {
+  id : int;
+  mutable deliver : Eth_frame.t -> unit;
+  mutable attached : bool;
+  backlog : Eth_frame.t Queue.t;
+  mutable attempts : int; (* collisions suffered by the head frame *)
+  mutable deferring : bool; (* queued waiting for the medium to go idle *)
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  config : config;
+  mutable ports : port list; (* in attach order, for determinism *)
+  mutable next_id : int;
+  mutable busy : bool;
+  mutable waiters : port list; (* deferring stations, FIFO *)
+  mutable collisions : int;
+  mutable frames : int;
+  mutable bytes : int;
+  mutable busy_ns : Time.t;
+}
+
+let create engine ~rng config =
+  { engine; rng; config; ports = []; next_id = 0; busy = false;
+    waiters = []; collisions = 0; frames = 0; bytes = 0; busy_ns = 0 }
+
+let attach t ~deliver =
+  let p =
+    { id = t.next_id; deliver; attached = true; backlog = Queue.create ();
+      attempts = 0; deferring = false }
+  in
+  t.next_id <- t.next_id + 1;
+  t.ports <- t.ports @ [ p ];
+  p
+
+let detach t p =
+  p.attached <- false;
+  Queue.clear p.backlog;
+  t.ports <- List.filter (fun q -> q.id <> p.id) t.ports;
+  t.waiters <- List.filter (fun q -> q.id <> p.id) t.waiters
+
+(* Serialization time includes 8 bytes preamble + 12 bytes inter-frame gap. *)
+let serialization_time t frame =
+  let bits = (Eth_frame.wire_length frame + 20) * 8 in
+  bits * 1_000_000_000 / t.config.bandwidth_bps
+
+let slot_time = Time.ns 5_120 (* 512 bit times at 100 Mb/s *)
+let max_attempts = 16
+
+let rec start_single t p =
+  match Queue.peek_opt p.backlog with
+  | None -> ()
+  | Some frame ->
+    ignore (Queue.pop p.backlog);
+    p.attempts <- 0;
+    t.busy <- true;
+    let ser = serialization_time t frame in
+    t.busy_ns <- t.busy_ns + ser;
+    t.frames <- t.frames + 1;
+    t.bytes <- t.bytes + Eth_frame.wire_length frame;
+    let lost =
+      t.config.loss_prob > 0.0 && Rng.bool t.rng t.config.loss_prob
+    in
+    (* Delivery completes one serialization + propagation later. *)
+    ignore
+      (Engine.schedule t.engine ~delay:(ser + t.config.propagation)
+         (fun () ->
+           if not lost then
+             List.iter
+               (fun q ->
+                 if q.attached && q.id <> p.id then q.deliver frame)
+               t.ports));
+    ignore
+      (Engine.schedule t.engine ~delay:ser (fun () ->
+           t.busy <- false;
+           if p.attached && not (Queue.is_empty p.backlog) then defer t p;
+           on_idle t))
+
+and on_idle t =
+  let ready =
+    List.filter (fun p -> p.attached && not (Queue.is_empty p.backlog))
+      t.waiters
+  in
+  t.waiters <- [];
+  List.iter (fun p -> p.deferring <- false) ready;
+  match ready with
+  | [] -> ()
+  | [ p ] -> start_single t p
+  | contenders when not t.config.enable_collisions ->
+    (* deterministic FIFO service *)
+    (match contenders with
+    | first :: rest ->
+      List.iter (fun p -> defer t p) rest;
+      start_single t first
+    | [] -> ())
+  | contenders
+    when t.config.collision_prob < 1.0
+         && not (Rng.bool t.rng t.config.collision_prob) ->
+    (* Contention resolved by carrier sense: the first waiter starts, the
+       rest keep deferring. *)
+    (match contenders with
+    | first :: rest ->
+      List.iter (fun p -> defer t p) rest;
+      start_single t first
+    | [] -> ())
+  | contenders ->
+    (* Collision: jam, then each contender backs off and retries. *)
+    t.collisions <- t.collisions + 1;
+    t.busy <- true;
+    t.busy_ns <- t.busy_ns + slot_time;
+    ignore
+      (Engine.schedule t.engine ~delay:slot_time (fun () ->
+           t.busy <- false;
+           on_idle t));
+    List.iter
+      (fun p ->
+        p.attempts <- p.attempts + 1;
+        if p.attempts > max_attempts then begin
+          ignore (Queue.pop p.backlog);
+          p.attempts <- 0;
+          if not (Queue.is_empty p.backlog) then retry_later t p 0
+        end
+        else begin
+          let k = min p.attempts 10 in
+          let slots = Rng.int t.rng (1 lsl k) in
+          retry_later t p slots
+        end)
+      contenders
+
+and retry_later t p slots =
+  ignore
+    (Engine.schedule t.engine
+       ~delay:(slot_time + (slots * slot_time))
+       (fun () -> try_send t p))
+
+and defer t p =
+  if not p.deferring then begin
+    p.deferring <- true;
+    t.waiters <- t.waiters @ [ p ]
+  end
+
+and try_send t p =
+  if p.attached && not (Queue.is_empty p.backlog) then
+    if t.busy then defer t p else start_single t p
+
+let transmit t p frame =
+  if p.attached then begin
+    Queue.push frame p.backlog;
+    if not p.deferring then try_send t p
+  end
+
+let stats_collisions t = t.collisions
+let stats_frames t = t.frames
+let stats_bytes t = t.bytes
+let busy_time t = t.busy_ns

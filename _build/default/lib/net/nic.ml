@@ -1,0 +1,53 @@
+module Eth_frame = Tcpfo_packet.Eth_frame
+module Macaddr = Tcpfo_packet.Macaddr
+
+type t = {
+  mac : Macaddr.t;
+  medium : Medium.t;
+  mutable port : Medium.port option;
+  mutable promiscuous : bool;
+  mutable rx : Eth_frame.t -> addressed_to_me:bool -> unit;
+  mutable rx_count : int;
+  mutable tx_count : int;
+}
+
+let create _engine ~mac medium =
+  let t =
+    { mac; medium; port = None; promiscuous = false;
+      rx = (fun _ ~addressed_to_me:_ -> ()); rx_count = 0; tx_count = 0 }
+  in
+  let deliver frame =
+    let to_me =
+      Macaddr.equal frame.Eth_frame.dst t.mac
+      || Macaddr.is_broadcast frame.Eth_frame.dst
+    in
+    if to_me || t.promiscuous then begin
+      t.rx_count <- t.rx_count + 1;
+      t.rx frame ~addressed_to_me:to_me
+    end
+  in
+  t.port <- Some (Medium.attach medium ~deliver);
+  t
+
+let mac t = t.mac
+let set_promiscuous t v = t.promiscuous <- v
+let promiscuous t = t.promiscuous
+let set_rx t fn = t.rx <- fn
+let up t = t.port <> None
+
+let send t ~dst payload =
+  match t.port with
+  | None -> ()
+  | Some port ->
+    t.tx_count <- t.tx_count + 1;
+    Medium.transmit t.medium port (Eth_frame.make ~src:t.mac ~dst payload)
+
+let shutdown t =
+  match t.port with
+  | None -> ()
+  | Some port ->
+    Medium.detach t.medium port;
+    t.port <- None
+
+let stats_rx t = t.rx_count
+let stats_tx t = t.tx_count

@@ -1,0 +1,1 @@
+lib/packet/arp_packet.mli: Format Ipaddr Macaddr

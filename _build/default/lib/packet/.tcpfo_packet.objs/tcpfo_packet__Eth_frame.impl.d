@@ -1,0 +1,1 @@
+lib/packet/eth_frame.ml: Arp_packet Format Ipv4_packet Macaddr

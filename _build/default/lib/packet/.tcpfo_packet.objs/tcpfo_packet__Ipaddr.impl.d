@@ -1,0 +1,1 @@
+lib/packet/ipaddr.ml: Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/packet/ipv4_packet.ml: Format Ipaddr String Tcp_segment

@@ -1,0 +1,1 @@
+lib/packet/ipv4_packet.mli: Format Ipaddr Tcp_segment

@@ -1,0 +1,1 @@
+lib/packet/macaddr.ml: Format List Printf String

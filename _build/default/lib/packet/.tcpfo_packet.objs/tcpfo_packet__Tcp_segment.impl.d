@@ -1,0 +1,1 @@
+lib/packet/tcp_segment.ml: Format Ipaddr List String Tcpfo_util

@@ -1,0 +1,1 @@
+lib/packet/tcp_segment.mli: Format Ipaddr Tcpfo_util

@@ -1,0 +1,1 @@
+lib/packet/wire.ml: Buffer Bytes Char Ipaddr Ipv4_packet List String Tcp_segment Tcpfo_util

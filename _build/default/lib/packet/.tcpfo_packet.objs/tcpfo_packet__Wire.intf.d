@@ -1,0 +1,1 @@
+lib/packet/wire.mli: Ipaddr Ipv4_packet Tcp_segment

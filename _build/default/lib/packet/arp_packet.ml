@@ -1,0 +1,34 @@
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Macaddr.t;
+  sender_ip : Ipaddr.t;
+  target_mac : Macaddr.t;
+  target_ip : Ipaddr.t;
+}
+
+let request ~sender_mac ~sender_ip ~target_ip =
+  { op = Request; sender_mac; sender_ip; target_mac = Macaddr.of_int 0;
+    target_ip }
+
+let reply ~sender_mac ~sender_ip ~target_mac ~target_ip =
+  { op = Reply; sender_mac; sender_ip; target_mac; target_ip }
+
+let gratuitous ~sender_mac ~ip =
+  { op = Reply; sender_mac; sender_ip = ip; target_mac = Macaddr.broadcast;
+    target_ip = ip }
+
+let is_gratuitous t = Ipaddr.equal t.sender_ip t.target_ip
+
+let wire_length = 28
+
+let pp fmt t =
+  match t.op with
+  | Request ->
+    Format.fprintf fmt "arp who-has %a tell %a" Ipaddr.pp t.target_ip
+      Ipaddr.pp t.sender_ip
+  | Reply ->
+    Format.fprintf fmt "arp %a is-at %a%s" Ipaddr.pp t.sender_ip Macaddr.pp
+      t.sender_mac
+      (if is_gratuitous t then " (gratuitous)" else "")

@@ -1,0 +1,14 @@
+(** Ethernet II frames. *)
+
+type payload = Arp of Arp_packet.t | Ip of Ipv4_packet.t
+
+type t = { src : Macaddr.t; dst : Macaddr.t; payload : payload }
+
+val make : src:Macaddr.t -> dst:Macaddr.t -> payload -> t
+
+val wire_length : t -> int
+(** Header (14) + payload + FCS (4), padded to the 64-byte Ethernet
+    minimum.  Preamble and inter-frame gap are accounted for by the medium
+    when computing serialization time. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = int
+
+let mask = 0xFFFF_FFFF_FFFF
+
+let of_int n = n land mask
+let to_int t = t
+
+let broadcast = mask
+let is_broadcast t = t = mask
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = compare a b
+
+let to_string t =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" ((t lsr 40) land 0xFF)
+    ((t lsr 32) land 0xFF) ((t lsr 24) land 0xFF) ((t lsr 16) land 0xFF)
+    ((t lsr 8) land 0xFF) (t land 0xFF)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c; d; e; f ] ->
+    (try
+       List.fold_left
+         (fun acc part -> (acc lsl 8) lor int_of_string ("0x" ^ part))
+         0 [ a; b; c; d; e; f ]
+     with _ -> invalid_arg ("Macaddr.of_string: " ^ s))
+  | _ -> invalid_arg ("Macaddr.of_string: " ^ s)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

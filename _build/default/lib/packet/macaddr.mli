@@ -1,0 +1,21 @@
+(** 48-bit Ethernet MAC addresses. *)
+
+type t
+
+val of_int : int -> t
+(** Low 48 bits are used. *)
+
+val to_int : t -> int
+
+val of_string : string -> t
+(** Parses ["aa:bb:cc:dd:ee:ff"].  Raises [Invalid_argument] on malformed
+    input. *)
+
+val to_string : t -> string
+
+val broadcast : t
+val is_broadcast : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type event = { cancelled : bool ref; fn : unit -> unit }
+type event_id = bool ref
+
+type t = {
+  mutable clock : Time.t;
+  queue : event Tcpfo_util.Heap.t;
+  mutable live : int;
+}
+
+let create () = { clock = 0; queue = Tcpfo_util.Heap.create (); live = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~at fn =
+  let at = max at t.clock in
+  let cancelled = ref false in
+  Tcpfo_util.Heap.push t.queue ~prio:at { cancelled; fn };
+  t.live <- t.live + 1;
+  cancelled
+
+let schedule t ~delay fn = schedule_at t ~at:(t.clock + max 0 delay) fn
+
+let cancel t id =
+  if not !id then begin
+    id := true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec step t =
+  match Tcpfo_util.Heap.pop t.queue with
+  | None -> false
+  | Some (at, ev) ->
+    if !(ev.cancelled) then step t
+    else begin
+      t.clock <- at;
+      t.live <- t.live - 1;
+      ev.fn ();
+      true
+    end
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Tcpfo_util.Heap.peek_prio t.queue with
+    | None -> continue := false
+    | Some at ->
+      (match until with
+      | Some u when at > u ->
+        t.clock <- max t.clock u;
+        continue := false
+      | _ ->
+        ignore (step t);
+        decr budget)
+  done;
+  match until with
+  | Some u when Tcpfo_util.Heap.peek_prio t.queue = None ->
+    t.clock <- max t.clock u
+  | _ -> ()
+
+let run_for t d = run t ~until:(t.clock + d)

@@ -1,0 +1,40 @@
+(** Deterministic discrete-event simulation engine.
+
+    A single [Engine.t] owns the simulated clock and the event queue.
+    Events scheduled for the same instant fire in scheduling order, which
+    makes whole-network simulations reproducible. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> event_id
+(** [schedule t ~delay f] runs [f] at [now t + delay].  A negative delay is
+    clipped to zero. *)
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> event_id
+(** Absolute-time variant.  Times in the past are clipped to [now]. *)
+
+val cancel : t -> event_id -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of live (non-cancelled) events still queued. *)
+
+val step : t -> bool
+(** Execute the next event; [false] if the queue is empty. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** Drain the queue, stopping when it is empty, when simulated time would
+    exceed [until], or after [max_events] events.  Events beyond [until]
+    remain queued and the clock is left at the time of the last executed
+    event (or advanced to [until] if nothing fired). *)
+
+val run_for : t -> Time.t -> unit
+(** [run_for t d] is [run t ~until:(now t + d)]. *)

@@ -1,0 +1,21 @@
+(** Simulated time, in integer nanoseconds.
+
+    An OCaml [int] holds 63 bits, i.e. ~292 simulated years at nanosecond
+    resolution — ample for any experiment in the paper. *)
+
+type t = int
+(** Nanoseconds since the start of the simulation. *)
+
+val zero : t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : float -> t
+
+val to_us : t -> float
+val to_ms : t -> float
+val to_sec : t -> float
+
+val add : t -> t -> t
+val pp : Format.formatter -> t -> unit
+(** Human-readable, scaled (ns/µs/ms/s). *)

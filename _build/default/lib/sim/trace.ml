@@ -1,0 +1,22 @@
+type level = Quiet | Error | Info | Debug
+
+let current = ref Quiet
+let set_level l = current := l
+let level () = !current
+
+let rank = function Quiet -> 0 | Error -> 1 | Info -> 2 | Debug -> 3
+
+let log engine component fmt k =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "[%a] %s: %s@." Time.pp (Engine.now engine) component msg;
+      k)
+    fmt
+
+let emit lvl engine component fmt =
+  if rank !current >= rank lvl then log engine component fmt ()
+  else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
+
+let errorf engine component fmt = emit Error engine component fmt
+let infof engine component fmt = emit Info engine component fmt
+let debugf engine component fmt = emit Debug engine component fmt

@@ -1,0 +1,20 @@
+(** Lightweight, simulation-time-aware tracing.
+
+    Disabled by default so tests and benchmarks stay quiet; examples and the
+    CLI enable it to show packet-level activity. *)
+
+type level = Quiet | Error | Info | Debug
+
+val set_level : level -> unit
+val level : unit -> level
+
+val errorf :
+  Engine.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val infof :
+  Engine.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val debugf :
+  Engine.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [debugf engine component fmt ...] prints
+    ["\[<time>\] <component>: <message>"] when the level admits it. *)

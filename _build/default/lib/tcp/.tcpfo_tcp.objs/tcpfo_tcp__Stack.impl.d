@@ -1,0 +1,1 @@
+lib/tcp/stack.ml: Hashtbl Tcb Tcp_config Tcpfo_ip Tcpfo_packet Tcpfo_sim Tcpfo_util

@@ -1,0 +1,1 @@
+lib/tcp/tcb.ml: Buffer List Rto String Tcp_config Tcpfo_packet Tcpfo_sim Tcpfo_util

@@ -1,0 +1,1 @@
+lib/tcp/tcb.mli: Tcp_config Tcpfo_packet Tcpfo_sim Tcpfo_util

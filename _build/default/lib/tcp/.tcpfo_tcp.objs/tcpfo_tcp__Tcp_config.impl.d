@@ -1,0 +1,1 @@
+lib/tcp/tcp_config.ml: Tcpfo_sim

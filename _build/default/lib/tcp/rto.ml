@@ -1,0 +1,37 @@
+type t = {
+  rto_min : int;
+  rto_max : int;
+  mutable srtt : float option; (* ns *)
+  mutable rttvar : float;
+  mutable base : int; (* ns, before backoff *)
+  mutable shift : int; (* backoff exponent *)
+}
+
+let create ~init ~min ~max =
+  { rto_min = min; rto_max = max; srtt = None; rttvar = 0.0; base = init;
+    shift = 0 }
+
+let clamp t v = Stdlib.max t.rto_min (Stdlib.min t.rto_max v)
+
+let sample t rtt =
+  let r = float_of_int rtt in
+  (match t.srtt with
+  | None ->
+    t.srtt <- Some r;
+    t.rttvar <- r /. 2.0
+  | Some srtt ->
+    let alpha = 0.125 and beta = 0.25 in
+    t.rttvar <- ((1.0 -. beta) *. t.rttvar) +. (beta *. Float.abs (srtt -. r));
+    t.srtt <- Some (((1.0 -. alpha) *. srtt) +. (alpha *. r)));
+  match t.srtt with
+  | Some srtt ->
+    t.base <- clamp t (int_of_float (srtt +. Stdlib.max 1.0 (4.0 *. t.rttvar)))
+  | None -> ()
+
+let current t =
+  let v = t.base lsl t.shift in
+  clamp t v
+
+let backoff t = if current t < t.rto_max then t.shift <- t.shift + 1
+let reset_backoff t = t.shift <- 0
+let srtt t = Option.map int_of_float t.srtt

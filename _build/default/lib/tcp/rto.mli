@@ -1,0 +1,22 @@
+(** Retransmission-timeout estimation (RFC 6298: Jacobson/Karels SRTT and
+    RTTVAR, Karn's rule enforced by the caller, exponential backoff). *)
+
+type t
+
+val create :
+  init:Tcpfo_sim.Time.t -> min:Tcpfo_sim.Time.t -> max:Tcpfo_sim.Time.t -> t
+
+val sample : t -> Tcpfo_sim.Time.t -> unit
+(** Feed a round-trip measurement from an un-retransmitted segment. *)
+
+val current : t -> Tcpfo_sim.Time.t
+(** RTO to arm now, including any backoff. *)
+
+val backoff : t -> unit
+(** Double the timeout after a retransmission (capped at [max]). *)
+
+val reset_backoff : t -> unit
+(** Called when new data is acknowledged. *)
+
+val srtt : t -> Tcpfo_sim.Time.t option
+(** Smoothed RTT, if at least one sample has been taken. *)

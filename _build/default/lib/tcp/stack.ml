@@ -1,0 +1,139 @@
+module Clock = Tcpfo_sim.Clock
+module Seq32 = Tcpfo_util.Seq32
+module Rng = Tcpfo_util.Rng
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Seg = Tcpfo_packet.Tcp_segment
+module Ip_layer = Tcpfo_ip.Ip_layer
+
+type key = Ipaddr.t * int * Ipaddr.t * int (* local, lport, remote, rport *)
+
+type t = {
+  clock : Clock.t;
+  ip : Ip_layer.t;
+  config : Tcp_config.t;
+  rng : Rng.t;
+  conns : (key, Tcb.t) Hashtbl.t;
+  listeners : (int, Tcb.t -> unit) Hashtbl.t;
+  mutable extra_local : Ipaddr.t -> bool;
+  mutable next_ephemeral : int;
+  mutable rst_sent : int;
+}
+
+let config t = t.config
+let ip t = t.ip
+let set_extra_local t p = t.extra_local <- p
+let connection_count t = Hashtbl.length t.conns
+
+let local_ok t addr =
+  Ip_layer.is_local_address t.ip addr || t.extra_local addr
+
+let find t ~local:(la, lp) ~remote:(ra, rp) =
+  Hashtbl.find_opt t.conns (la, lp, ra, rp)
+
+let fresh_port t =
+  let p = t.next_ephemeral in
+  t.next_ephemeral <- (if p >= 65535 then 49152 else p + 1);
+  p
+
+let send_rst_for t ~src ~dst (seg : Seg.t) =
+  if not seg.flags.rst then begin
+    t.rst_sent <- t.rst_sent + 1;
+    let rst =
+      if seg.flags.ack then
+        Seg.make
+          ~flags:{ Seg.no_flags with rst = true }
+          ~window:0 ~src_port:seg.dst_port ~dst_port:seg.src_port
+          ~seq:seg.ack ()
+      else
+        Seg.make
+          ~flags:{ Seg.no_flags with rst = true; ack = true }
+          ~ack:(Seq32.add seg.seq (Seg.seq_length seg))
+          ~window:0 ~src_port:seg.dst_port ~dst_port:seg.src_port
+          ~seq:Seq32.zero ()
+    in
+    (* src/dst swapped: we answer as the destination of the offender *)
+    Ip_layer.send_tcp t.ip ~src:dst ~dst:src rst
+  end
+
+let actions_for t key (local, remote) =
+  {
+    Tcb.emit =
+      (fun seg ->
+        Ip_layer.send_tcp t.ip ~src:(fst local) ~dst:(fst remote) seg);
+    on_delete = (fun () -> Hashtbl.remove t.conns key);
+  }
+
+let fresh_iss t =
+  match t.config.iss_override with
+  | Some v -> Seq32.of_int v
+  | None -> Seq32.of_int (Rng.bits32 t.rng)
+
+let handle_segment t ~src ~dst (seg : Seg.t) =
+  let key = (dst, seg.dst_port, src, seg.src_port) in
+  match Hashtbl.find_opt t.conns key with
+  | Some tcb -> Tcb.segment_arrives tcb seg
+  | None -> (
+    match Hashtbl.find_opt t.listeners seg.dst_port with
+    | Some on_accept
+      when seg.flags.syn && (not seg.flags.ack) && (not seg.flags.rst)
+           && local_ok t dst ->
+      let local = (dst, seg.dst_port) and remote = (src, seg.src_port) in
+      let iss = fresh_iss t in
+      (* Register before creating: Tcb emission of the SYN-ACK must find
+         the connection present if anything loops back synchronously. *)
+      let actions = actions_for t key (local, remote) in
+      let tcb =
+        Tcb.create_passive t.clock ~config:t.config ~local ~remote ~iss
+          actions ~syn:seg
+      in
+      Hashtbl.replace t.conns key tcb;
+      on_accept tcb
+    | Some _ | None -> send_rst_for t ~src ~dst seg)
+
+let create clock ~ip ~config ~rng =
+  let t =
+    {
+      clock;
+      ip;
+      config;
+      rng;
+      conns = Hashtbl.create 64;
+      listeners = Hashtbl.create 8;
+      extra_local = (fun _ -> false);
+      next_ephemeral = 49152;
+      rst_sent = 0;
+    }
+  in
+  Ip_layer.set_tcp_handler ip (fun ~src ~dst seg ->
+      handle_segment t ~src ~dst seg);
+  t
+
+let listen t ~port ~on_accept = Hashtbl.replace t.listeners port on_accept
+let unlisten t ~port = Hashtbl.remove t.listeners port
+
+let connect t ?local ?local_port ~remote () =
+  let local_addr =
+    match local with
+    | Some a ->
+      if not (local_ok t a) then
+        invalid_arg "Stack.connect: source address not local";
+      a
+    | None -> (
+      match Ip_layer.addresses t.ip with
+      | a :: _ -> a
+      | [] -> invalid_arg "Stack.connect: host has no address")
+  in
+  let lport = match local_port with Some p -> p | None -> fresh_port t in
+  let local = (local_addr, lport) in
+  let key = (local_addr, lport, fst remote, snd remote) in
+  if Hashtbl.mem t.conns key then
+    invalid_arg "Stack.connect: connection already exists";
+  let iss = fresh_iss t in
+  let actions = actions_for t key (local, remote) in
+  let tcb =
+    Tcb.create_active t.clock ~config:t.config ~local ~remote ~iss actions
+  in
+  Hashtbl.replace t.conns key tcb;
+  tcb
+
+let stats_rst_sent t = t.rst_sent

@@ -1,0 +1,57 @@
+(** TCP stack instance for one host: connection demultiplexing, listeners,
+    active opens, RST generation for unmatched segments.
+
+    The [extra-local] predicate is the single concession to the failover
+    system: the secondary server's bridge registers the primary's address
+    as acceptable so that connections snooped in promiscuous mode are keyed
+    under the service address they will keep after IP takeover (paper §5 —
+    this is what makes "disable the translation and take over the IP
+    address" sufficient for the TCP layer to continue undisturbed). *)
+
+type t
+
+val create :
+  Tcpfo_sim.Clock.t ->
+  ip:Tcpfo_ip.Ip_layer.t ->
+  config:Tcp_config.t ->
+  rng:Tcpfo_util.Rng.t ->
+  t
+(** Installs itself as the IP layer's TCP protocol handler. *)
+
+val config : t -> Tcp_config.t
+val ip : t -> Tcpfo_ip.Ip_layer.t
+
+val listen :
+  t -> port:int -> on_accept:(Tcb.t -> unit) -> unit
+(** Accept connections to [port] on any local (or extra-local) address.
+    [on_accept] fires as soon as the connection is created (SYN received);
+    use {!Tcb.set_on_established} for handshake completion. *)
+
+val unlisten : t -> port:int -> unit
+
+val connect :
+  t ->
+  ?local:Tcpfo_packet.Ipaddr.t ->
+  ?local_port:int ->
+  remote:Tcpfo_packet.Ipaddr.t * int ->
+  unit ->
+  Tcb.t
+(** Active open.  [local] defaults to the first address of the IP layer;
+    [local_port] to a fresh ephemeral port. *)
+
+val set_extra_local : t -> (Tcpfo_packet.Ipaddr.t -> bool) -> unit
+(** Extend the set of addresses considered local for listening sockets and
+    as permissible [~local] in {!connect}. *)
+
+val connection_count : t -> int
+
+val find :
+  t ->
+  local:Tcpfo_packet.Ipaddr.t * int ->
+  remote:Tcpfo_packet.Ipaddr.t * int ->
+  Tcb.t option
+
+val fresh_port : t -> int
+(** Allocate an ephemeral port. *)
+
+val stats_rst_sent : t -> int

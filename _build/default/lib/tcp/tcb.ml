@@ -1,0 +1,1012 @@
+module Clock = Tcpfo_sim.Clock
+module Time = Tcpfo_sim.Time
+module Seq32 = Tcpfo_util.Seq32
+module Bytebuf = Tcpfo_util.Bytebuf
+module Rangeset = Tcpfo_util.Rangeset
+module Interval_buf = Tcpfo_util.Interval_buf
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Seg = Tcpfo_packet.Tcp_segment
+
+type state =
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+let state_to_string = function
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+  | Closed -> "CLOSED"
+
+type actions = { emit : Seg.t -> unit; on_delete : unit -> unit }
+
+type t = {
+  clock : Clock.t;
+  config : Tcp_config.t;
+  local : Ipaddr.t * int;
+  remote : Ipaddr.t * int;
+  actions : actions;
+  mutable state : state;
+  (* --- send side --- *)
+  iss : Seq32.t;
+  sndbuf : Bytebuf.t; (* buffer offset o <-> sequence iss+1+o *)
+  mutable snd_una : Seq32.t;
+  mutable snd_nxt : Seq32.t;
+  mutable snd_max : Seq32.t; (* highest sequence ever transmitted *)
+  mutable snd_wnd : int;
+  mutable snd_wl1 : Seq32.t;
+  mutable snd_wl2 : Seq32.t;
+  mutable peer_mss : int;
+  mutable snd_wscale : int; (* shift applied to the peer's window fields *)
+  mutable rcv_wscale : int; (* shift applied to our advertised window *)
+  mutable ts_on : bool; (* RFC 7323 timestamps negotiated *)
+  mutable ts_recent : int; (* latest in-order TSval from the peer *)
+  mutable sack_on : bool; (* RFC 2018 negotiated *)
+  sack_board : Rangeset.t; (* ranges the peer holds beyond snd_una *)
+  mutable fin_queued : bool;
+  mutable fin_sent : bool;
+  mutable send_full : bool; (* a send was refused; fire on_drain later *)
+  (* --- receive side --- *)
+  mutable irs : Seq32.t;
+  mutable rcv_nxt : Seq32.t;
+  mutable reasm : Interval_buf.t;
+  mutable rcv_fin : Seq32.t option; (* position of the peer's FIN *)
+  mutable eof_signalled : bool;
+  mutable recv_paused : bool;
+  recv_pending : Buffer.t; (* in-order bytes awaiting a paused reader *)
+  (* --- timers --- *)
+  rto : Rto.t;
+  mutable rtx_timer : Tcpfo_sim.Engine.event_id option;
+  mutable delack_timer : Tcpfo_sim.Engine.event_id option;
+  mutable timewait_timer : Tcpfo_sim.Engine.event_id option;
+  mutable persist_timer : Tcpfo_sim.Engine.event_id option;
+  mutable persist_shift : int;
+  mutable keepalive_timer : Tcpfo_sim.Engine.event_id option;
+  mutable ka_probes_sent : int;
+  mutable last_activity : Time.t;
+  mutable retry_count : int;
+  mutable rtt_probe : (Seq32.t * Time.t) option;
+  (* --- congestion --- *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable dupacks : int;
+  (* --- callbacks --- *)
+  mutable on_established : unit -> unit;
+  mutable on_data : string -> unit;
+  mutable on_eof : unit -> unit;
+  mutable on_drain : unit -> unit;
+  mutable on_close : unit -> unit;
+  mutable on_reset : unit -> unit;
+  (* --- stats --- *)
+  mutable n_bytes_acked : int;
+  mutable n_bytes_received : int;
+  mutable n_retransmits : int;
+  mutable n_segments_in : int;
+  mutable n_segments_out : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                          *)
+
+let set_on_established t f = t.on_established <- f
+let set_on_data t f = t.on_data <- f
+let set_on_eof t f = t.on_eof <- f
+let set_on_drain t f = t.on_drain <- f
+let set_on_close t f = t.on_close <- f
+let set_on_reset t f = t.on_reset <- f
+
+let state t = t.state
+let local_endpoint t = t.local
+let remote_endpoint t = t.remote
+let effective_mss t = min t.config.mss t.peer_mss
+let iss t = t.iss
+let snd_una t = t.snd_una
+let snd_nxt t = t.snd_nxt
+let rcv_nxt t = t.rcv_nxt
+let snd_wnd t = t.snd_wnd
+let timestamps_enabled t = t.ts_on
+let sack_enabled t = t.sack_on
+let srtt t = Rto.srtt t.rto
+let bytes_acked t = t.n_bytes_acked
+let bytes_received t = t.n_bytes_received
+let bytes_sent t = Bytebuf.end_offset t.sndbuf
+let retransmits t = t.n_retransmits
+let segments_in t = t.n_segments_in
+let segments_out t = t.n_segments_out
+
+(* Sequence <-> send-buffer offset mapping. *)
+let seq_of_offset t o = Seq32.add t.iss (1 + o)
+let offset_of_seq t s = Seq32.diff s t.iss - 1
+
+(* Sequence position of our FIN; meaningful only once [fin_queued]. *)
+let fin_seq t = seq_of_offset t (Bytebuf.end_offset t.sndbuf)
+
+let rcv_wnd t =
+  (* Window = receive buffer minus bytes parked out of order in
+     reassembly and minus in-order bytes a paused reader has not yet
+     consumed; representable range grows with window scaling. *)
+  max 0
+    (min (65535 lsl t.rcv_wscale)
+       (t.config.recv_buf_size
+       - Interval_buf.total_buffered t.reasm
+       - Buffer.length t.recv_pending))
+
+(* value of the 16-bit window field on a non-SYN segment *)
+let advertised_window t = min 0xFFFF (rcv_wnd t asr t.rcv_wscale)
+
+let now_ms t = t.clock.now () / 1_000_000
+
+let ts_option t =
+  if t.ts_on then [ Seg.Timestamps (now_ms t land 0xFFFFFFFF, t.ts_recent) ]
+  else []
+
+(* RFC 2018: report up to three out-of-order islands *)
+let sack_blocks t =
+  if not t.sack_on then []
+  else
+    match Interval_buf.spans t.reasm with
+    | [] -> []
+    | spans ->
+      (* capped at two blocks so that a diverted copy (which gains the
+         6-byte Orig_dst option) still fits the 40-byte option space *)
+      let blocks =
+        List.filteri (fun i _ -> i < 2) spans
+        |> List.map (fun (lo, len) -> (lo, Seq32.add lo len))
+      in
+      [ Seg.Sack blocks ]
+
+(* options we offer on our SYN / SYN-ACK *)
+let syn_options t =
+  [ Seg.Mss t.config.mss ]
+  @ (if t.config.window_scale > 0 then
+       [ Seg.Window_scale t.config.window_scale ]
+     else [])
+  @ (if t.config.sack then [ Seg.Sack_permitted ] else [])
+  @
+  if t.config.timestamps then
+    [ Seg.Timestamps (now_ms t land 0xFFFFFFFF, t.ts_recent) ]
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* Timer plumbing                                                     *)
+
+let cancel_timer t slot =
+  match slot with
+  | Some id ->
+    t.clock.cancel id;
+    None
+  | None -> None
+
+let cancel_all_timers t =
+  t.rtx_timer <- cancel_timer t t.rtx_timer;
+  t.delack_timer <- cancel_timer t t.delack_timer;
+  t.timewait_timer <- cancel_timer t t.timewait_timer;
+  t.persist_timer <- cancel_timer t t.persist_timer;
+  t.keepalive_timer <- cancel_timer t t.keepalive_timer
+
+let delete t =
+  if t.state <> Closed then begin
+    t.state <- Closed;
+    cancel_all_timers t;
+    t.actions.on_delete ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Segment emission                                                   *)
+
+let emit t seg =
+  t.n_segments_out <- t.n_segments_out + 1;
+  t.actions.emit seg
+
+let mk_seg t ?(payload = "") ?(options = []) ~flags ~seq () =
+  let options = options @ ts_option t @ sack_blocks t in
+  Seg.make ~flags ~ack:t.rcv_nxt
+    ~window:(advertised_window t)
+    ~options ~payload ~src_port:(snd t.local) ~dst_port:(snd t.remote) ~seq
+    ()
+
+let ack_flags = { Seg.no_flags with ack = true }
+
+let send_ack_now t =
+  t.delack_timer <- cancel_timer t t.delack_timer;
+  emit t (mk_seg t ~flags:ack_flags ~seq:t.snd_nxt ())
+
+let send_rst t ~seq =
+  emit t
+    (Seg.make
+       ~flags:{ Seg.no_flags with rst = true; ack = true }
+       ~ack:t.rcv_nxt ~window:0 ~src_port:(snd t.local)
+       ~dst_port:(snd t.remote) ~seq ())
+
+(* Keepalive (RFC 1122 4.2.3.6): after [keepalive] of silence on an
+   established connection, probe with a zero-length segment one byte
+   below snd_una; an alive peer answers a duplicate ACK.  After
+   [keepalive_probes] unanswered probes the connection is reset. *)
+let rec arm_keepalive t =
+  match t.config.keepalive with
+  | None -> ()
+  | Some interval ->
+    if t.keepalive_timer = None then
+      t.keepalive_timer <-
+        Some
+          (t.clock.schedule interval (fun () ->
+               t.keepalive_timer <- None;
+               if t.state = Established then begin
+                 let idle = t.clock.now () - t.last_activity in
+                 if idle >= interval then begin
+                   if t.ka_probes_sent >= t.config.keepalive_probes then begin
+                     let cb = t.on_reset in
+                     delete t;
+                     cb ()
+                   end
+                   else begin
+                     t.ka_probes_sent <- t.ka_probes_sent + 1;
+                     emit t
+                       (mk_seg t ~flags:ack_flags
+                          ~seq:(Seq32.add t.snd_una (-1))
+                          ());
+                     arm_keepalive t
+                   end
+                 end
+                 else arm_keepalive t
+               end))
+
+(* ------------------------------------------------------------------ *)
+(* Output engine                                                      *)
+
+let flight_size t = Seq32.diff t.snd_nxt t.snd_una
+
+let effective_window t =
+  let w = if t.config.congestion_control then min t.snd_wnd t.cwnd
+          else t.snd_wnd in
+  max 0 w
+
+let can_send_data t =
+  match t.state with
+  | Established | Close_wait | Fin_wait_1 | Closing | Last_ack -> true
+  | Syn_sent | Syn_received | Fin_wait_2 | Time_wait | Closed -> false
+(* Fin_wait_1/Closing/Last_ack: data already queued before close may still
+   be draining. *)
+
+let stop_persist t = t.persist_timer <- cancel_timer t t.persist_timer
+
+let rec arm_rtx t =
+  if t.rtx_timer = None then begin
+    let delay = Rto.current t.rto in
+    t.rtx_timer <- Some (t.clock.schedule delay (fun () -> on_rtx t))
+  end
+
+and restart_rtx t =
+  t.rtx_timer <- cancel_timer t t.rtx_timer;
+  arm_rtx t
+
+(* Retransmit the first unacknowledged chunk (go-back from snd_una). *)
+and retransmit_one t =
+  t.n_retransmits <- t.n_retransmits + 1;
+  t.rtt_probe <- None (* Karn's rule *);
+  match t.state with
+  | Syn_sent ->
+    emit t
+      (Seg.make
+         ~flags:{ Seg.no_flags with syn = true }
+         ~window:(min 0xFFFF (rcv_wnd t))
+         ~options:(syn_options t) ~src_port:(snd t.local)
+         ~dst_port:(snd t.remote) ~seq:t.iss ())
+  | Syn_received ->
+    emit t
+      (Seg.make
+         ~flags:{ Seg.no_flags with syn = true; ack = true }
+         ~ack:t.rcv_nxt
+         ~window:(min 0xFFFF (rcv_wnd t))
+         ~options:(syn_options t) ~src_port:(snd t.local)
+         ~dst_port:(snd t.remote) ~seq:t.iss ())
+  | _ ->
+    let data_end = seq_of_offset t (Bytebuf.end_offset t.sndbuf) in
+    if Seq32.lt t.snd_una data_end then begin
+      (* unacked payload exists: resend one MSS from snd_una *)
+      let len = min (effective_mss t) (Seq32.diff data_end t.snd_una) in
+      let payload =
+        Bytebuf.read t.sndbuf ~pos:(offset_of_seq t t.snd_una) ~len
+      in
+      let reaches_end = Seq32.equal (Seq32.add t.snd_una len) data_end in
+      let fin_here = t.fin_sent && reaches_end in
+      let flags = { ack_flags with psh = reaches_end; fin = fin_here } in
+      emit t (mk_seg t ~payload ~flags ~seq:t.snd_una ())
+    end
+    else if t.fin_sent then
+      (* only the FIN is outstanding *)
+      emit t (mk_seg t ~flags:{ ack_flags with fin = true } ~seq:(fin_seq t) ())
+    else send_ack_now t
+
+and on_rtx t =
+  t.rtx_timer <- None;
+  if t.state <> Closed && Seq32.lt t.snd_una t.snd_max then begin
+    t.retry_count <- t.retry_count + 1;
+    let limit =
+      match t.state with
+      | Syn_sent | Syn_received -> t.config.max_syn_retries
+      | _ -> t.config.max_data_retries
+    in
+    if t.retry_count > limit then begin
+      let cb = t.on_reset in
+      delete t;
+      cb ()
+    end
+    else begin
+      (* congestion response to a timeout.  With SACK evidence that most
+         of the flight arrived, recovery retransmits the holes at
+         ssthresh pace instead of slow-starting from one segment
+         (RFC 6675 spirit). *)
+      if t.config.congestion_control then begin
+        let mss = effective_mss t in
+        t.ssthresh <- max (flight_size t / 2) (2 * mss);
+        t.cwnd <-
+          (if t.sack_on && not (Rangeset.is_empty t.sack_board) then
+             t.ssthresh
+           else mss)
+      end;
+      Rto.backoff t.rto;
+      (match t.state with
+      | Syn_sent | Syn_received -> retransmit_one t
+      | _ ->
+        (* go-back-N: rewind to the first unacknowledged byte and let the
+           output engine slow-start through the gap *)
+        t.rtt_probe <- None;
+        t.snd_nxt <- t.snd_una;
+        t.n_retransmits <- t.n_retransmits + 1;
+        try_output t);
+      arm_rtx t
+    end
+  end
+
+and arm_persist t =
+  if t.persist_timer = None then begin
+    let delay =
+      min (Rto.current t.rto lsl t.persist_shift) (Time.sec 60.0)
+    in
+    t.persist_timer <-
+      Some
+        (t.clock.schedule delay (fun () ->
+             t.persist_timer <- None;
+             if t.state <> Closed && t.snd_wnd = 0 then begin
+               t.persist_shift <- min (t.persist_shift + 1) 6;
+               (* 1-byte window probe *)
+               let data_end =
+                 seq_of_offset t (Bytebuf.end_offset t.sndbuf)
+               in
+               if Seq32.lt t.snd_nxt data_end then begin
+                 let payload =
+                   Bytebuf.read t.sndbuf ~pos:(offset_of_seq t t.snd_nxt)
+                     ~len:1
+                 in
+                 emit t (mk_seg t ~payload ~flags:ack_flags ~seq:t.snd_nxt ());
+                 (* the probe byte is real data on the wire: account for it
+                    (the receiver may accept it even at window zero) *)
+                 t.snd_nxt <- Seq32.succ t.snd_nxt;
+                 t.snd_max <- Seq32.max t.snd_max t.snd_nxt;
+                 arm_rtx t
+               end
+               else send_ack_now t;
+               arm_persist t
+             end))
+  end
+
+(* Push out as much new data as windows allow. *)
+and try_output t =
+  if can_send_data t then begin
+    let mss = effective_mss t in
+    let data_end = seq_of_offset t (Bytebuf.end_offset t.sndbuf) in
+    let limit = Seq32.add t.snd_una (effective_window t) in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      (* RFC 2018: never (re)transmit ranges the peer already holds *)
+      (match Rangeset.covering_end t.sack_board t.snd_nxt with
+      | Some skip_to when Seq32.gt skip_to t.snd_nxt ->
+        t.snd_nxt <- Seq32.min skip_to (seq_of_offset t (Bytebuf.end_offset t.sndbuf))
+      | Some _ | None -> ());
+      let sendable = Seq32.diff data_end t.snd_nxt in
+      let window_room = Seq32.diff limit t.snd_nxt in
+      let len = min mss (min sendable window_room) in
+      if len > 0 then begin
+        let nagle_blocked =
+          t.config.nagle && len < mss
+          && Seq32.lt t.snd_una t.snd_nxt
+          && not t.fin_queued
+        in
+        if not nagle_blocked then begin
+          let payload =
+            Bytebuf.read t.sndbuf ~pos:(offset_of_seq t t.snd_nxt) ~len
+          in
+          let reaches_end = Seq32.equal (Seq32.add t.snd_nxt len) data_end in
+          let fin_here = t.fin_queued && reaches_end in
+          let flags = { ack_flags with psh = reaches_end; fin = fin_here } in
+          t.delack_timer <- cancel_timer t t.delack_timer;
+          emit t (mk_seg t ~payload ~flags ~seq:t.snd_nxt ());
+          t.snd_nxt <- Seq32.add t.snd_nxt (len + if fin_here then 1 else 0);
+          let frontier = Seq32.gt t.snd_nxt t.snd_max in
+          t.snd_max <- Seq32.max t.snd_max t.snd_nxt;
+          if fin_here then fin_was_sent t;
+          (* Karn: time only segments that carry new data *)
+          if t.rtt_probe = None && frontier then
+            t.rtt_probe <- Some (t.snd_nxt, t.clock.now ());
+          arm_rtx t;
+          progress := true
+        end
+      end
+    done;
+    (* FIN with no data left to send (first emission or a post-rewind
+       retransmission) *)
+    if
+      t.fin_queued
+      && Seq32.equal t.snd_nxt data_end
+      && Seq32.diff limit t.snd_nxt >= 0
+    then begin
+      t.delack_timer <- cancel_timer t t.delack_timer;
+      emit t (mk_seg t ~flags:{ ack_flags with fin = true } ~seq:t.snd_nxt ());
+      t.snd_nxt <- Seq32.succ t.snd_nxt;
+      t.snd_max <- Seq32.max t.snd_max t.snd_nxt;
+      fin_was_sent t;
+      arm_rtx t
+    end;
+    (* zero-window persist *)
+    if
+      t.snd_wnd = 0
+      && Seq32.equal t.snd_una t.snd_nxt
+      && Seq32.lt t.snd_nxt data_end
+    then arm_persist t
+  end
+
+and fin_was_sent t =
+  t.fin_sent <- true;
+  match t.state with
+  | Established | Syn_received -> t.state <- Fin_wait_1
+  | Close_wait -> t.state <- Last_ack
+  | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait | Closed
+  | Syn_sent ->
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+
+let make clock ~config ~local ~remote ~iss actions state =
+  {
+    clock;
+    config;
+    local;
+    remote;
+    actions;
+    state;
+    iss;
+    sndbuf = Bytebuf.create ~capacity:config.send_buf_size;
+    snd_una = iss;
+    snd_nxt = iss;
+    snd_max = iss;
+    snd_wnd = 0;
+    snd_wl1 = Seq32.zero;
+    snd_wl2 = Seq32.zero;
+    peer_mss = 536;
+    snd_wscale = 0;
+    rcv_wscale = 0;
+    ts_on = false;
+    ts_recent = 0;
+    sack_on = false;
+    sack_board = Rangeset.create ();
+    fin_queued = false;
+    fin_sent = false;
+    send_full = false;
+    irs = Seq32.zero;
+    rcv_nxt = Seq32.zero;
+    reasm = Interval_buf.create ~base:Seq32.zero;
+    rcv_fin = None;
+    eof_signalled = false;
+    recv_paused = false;
+    recv_pending = Buffer.create 0;
+    rto = Rto.create ~init:config.rto_init ~min:config.rto_min
+        ~max:config.rto_max;
+    rtx_timer = None;
+    delack_timer = None;
+    timewait_timer = None;
+    persist_timer = None;
+    persist_shift = 0;
+    keepalive_timer = None;
+    ka_probes_sent = 0;
+    last_activity = clock.now ();
+    retry_count = 0;
+    rtt_probe = None;
+    cwnd = 2 * config.mss;
+    ssthresh = 1 lsl 30 (* RFC 5681: initially arbitrarily high *);
+    dupacks = 0;
+    on_established = (fun () -> ());
+    on_data = (fun _ -> ());
+    on_eof = (fun () -> ());
+    on_drain = (fun () -> ());
+    on_close = (fun () -> ());
+    on_reset = (fun () -> ());
+    n_bytes_acked = 0;
+    n_bytes_received = 0;
+    n_retransmits = 0;
+    n_segments_in = 0;
+    n_segments_out = 0;
+  }
+
+let create_active clock ~config ~local ~remote ~iss actions =
+  let t = make clock ~config ~local ~remote ~iss actions Syn_sent in
+  emit t
+    (Seg.make
+       ~flags:{ Seg.no_flags with syn = true }
+       ~window:(min 0xFFFF (rcv_wnd t))
+       ~options:(syn_options t)
+       ~src_port:(snd local) ~dst_port:(snd remote) ~seq:iss ());
+  t.snd_nxt <- Seq32.succ iss;
+  t.snd_max <- t.snd_nxt;
+  t.rtt_probe <- Some (t.snd_nxt, t.clock.now ());
+  arm_rtx t;
+  t
+
+let accept_syn t (syn : Seg.t) =
+  t.irs <- syn.seq;
+  t.rcv_nxt <- Seq32.succ syn.seq;
+  t.reasm <- Interval_buf.create ~base:t.rcv_nxt;
+  (match Seg.mss_option syn with
+  | Some m -> t.peer_mss <- m
+  | None -> t.peer_mss <- 536);
+  (* RFC 7323 negotiation: an option is live only if both sides sent it *)
+  (match Seg.window_scale_option syn with
+  | Some peer_shift when t.config.window_scale > 0 ->
+    t.snd_wscale <- min 14 peer_shift;
+    t.rcv_wscale <- t.config.window_scale
+  | Some _ | None ->
+    t.snd_wscale <- 0;
+    t.rcv_wscale <- 0);
+  (match Seg.timestamps_option syn with
+  | Some (tsval, _) when t.config.timestamps ->
+    t.ts_on <- true;
+    t.ts_recent <- tsval
+  | Some _ | None -> t.ts_on <- false);
+  t.sack_on <-
+    t.config.sack
+    && Seg.find_map_option syn (function
+         | Seg.Sack_permitted -> Some ()
+         | _ -> None)
+       <> None;
+  t.snd_wnd <- syn.window (* SYN windows are never scaled *);
+  t.snd_wl1 <- syn.seq;
+  t.snd_wl2 <- syn.ack
+
+let create_passive clock ~config ~local ~remote ~iss actions ~syn =
+  let t = make clock ~config ~local ~remote ~iss actions Syn_received in
+  accept_syn t syn;
+  emit t
+    (Seg.make
+       ~flags:{ Seg.no_flags with syn = true; ack = true }
+       ~ack:t.rcv_nxt
+       ~window:(min 0xFFFF (rcv_wnd t))
+       ~options:(syn_options t) ~src_port:(snd local) ~dst_port:(snd remote)
+       ~seq:iss ());
+  t.snd_nxt <- Seq32.succ iss;
+  t.snd_max <- t.snd_nxt;
+  t.rtt_probe <- Some (t.snd_nxt, t.clock.now ());
+  arm_rtx t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Application calls                                                  *)
+
+let pause_reading t = t.recv_paused <- true
+
+let resume_reading t =
+  if t.recv_paused then begin
+    t.recv_paused <- false;
+    let closed = rcv_wnd t = 0 in
+    if Buffer.length t.recv_pending > 0 then begin
+      let data = Buffer.contents t.recv_pending in
+      Buffer.clear t.recv_pending;
+      t.on_data data
+    end;
+    (* the window may have been closed: advertise that it reopened *)
+    if closed && t.state <> Closed then send_ack_now t
+  end
+
+let reading_paused t = t.recv_paused
+let recv_queue_length t = Buffer.length t.recv_pending
+
+let send_space t = Bytebuf.free t.sndbuf
+
+let send t data =
+  let allowed =
+    match t.state with
+    | Syn_sent | Syn_received | Established | Close_wait -> not t.fin_queued
+    | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait | Closed ->
+      false
+  in
+  if not allowed then 0
+  else begin
+    let n = Bytebuf.push t.sndbuf data in
+    if n < String.length data then t.send_full <- true;
+    if n > 0 then try_output t;
+    n
+  end
+
+let close t =
+  match t.state with
+  | Closed -> ()
+  | Syn_sent ->
+    (* nothing established yet: just delete *)
+    delete t
+  | Time_wait | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack -> ()
+  | Syn_received | Established | Close_wait ->
+    if not t.fin_queued then begin
+      t.fin_queued <- true;
+      try_output t
+    end
+
+let abort t =
+  if t.state <> Closed then begin
+    (match t.state with
+    | Syn_sent -> ()
+    | _ -> send_rst t ~seq:t.snd_nxt);
+    delete t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* TIME_WAIT                                                          *)
+
+let enter_time_wait t =
+  let first_entry = t.state <> Time_wait in
+  t.state <- Time_wait;
+  t.rtx_timer <- cancel_timer t t.rtx_timer;
+  t.persist_timer <- cancel_timer t t.persist_timer;
+  t.timewait_timer <- cancel_timer t t.timewait_timer;
+  t.timewait_timer <-
+    Some (t.clock.schedule (2 * t.config.msl) (fun () -> delete t));
+  if first_entry then t.on_close ()
+
+(* ------------------------------------------------------------------ *)
+(* Input processing                                                   *)
+
+let acceptable_segment t (seg : Seg.t) =
+  let wnd = rcv_wnd t in
+  let seg_len = Seg.seq_length seg in
+  if seg_len = 0 then
+    if wnd = 0 then Seq32.equal seg.seq t.rcv_nxt
+    else Seq32.between ~low:t.rcv_nxt ~high:(Seq32.add t.rcv_nxt wnd) seg.seq
+  else
+    (* A segment that starts exactly at rcv_nxt is always acceptable, even
+       with a zero window: when reordering parks a full buffer of
+       out-of-order data, the advertised window collapses and the
+       hole-filling retransmission would otherwise be rejected forever —
+       a deadlock a real stack avoids the same way. *)
+    Seq32.equal seg.seq t.rcv_nxt
+    || (wnd > 0
+       && Seq32.lt seg.seq (Seq32.add t.rcv_nxt wnd)
+       && Seq32.gt (Seg.seq_end seg) t.rcv_nxt)
+
+let schedule_ack t ~immediate =
+  if immediate || not t.config.delayed_ack then send_ack_now t
+  else
+    match t.delack_timer with
+    | Some _ ->
+      (* second segment since the last ACK: ack now *)
+      send_ack_now t
+    | None ->
+      t.delack_timer <-
+        Some
+          (t.clock.schedule t.config.delack_delay (fun () ->
+               t.delack_timer <- None;
+               if t.state <> Closed then
+                 emit t (mk_seg t ~flags:ack_flags ~seq:t.snd_nxt ())))
+
+let process_fin_if_reached t =
+  match t.rcv_fin with
+  | Some fpos when Seq32.equal t.rcv_nxt fpos ->
+    t.rcv_nxt <- Seq32.succ t.rcv_nxt;
+    send_ack_now t;
+    (* transition BEFORE signalling EOF, so an application that closes
+       inside on_eof sees CLOSE_WAIT and ends up in LAST_ACK, not in a
+       spurious simultaneous-close *)
+    (match t.state with
+    | Established -> t.state <- Close_wait
+    | Fin_wait_1 ->
+      (* our FIN acked? then both sides done *)
+      if t.fin_sent && Seq32.ge t.snd_una (Seq32.succ (fin_seq t)) then
+        enter_time_wait t
+      else t.state <- Closing
+    | Fin_wait_2 -> enter_time_wait t
+    | Syn_received -> t.state <- Close_wait
+    | Close_wait | Closing | Last_ack | Time_wait | Closed | Syn_sent -> ());
+    if not t.eof_signalled then begin
+      t.eof_signalled <- true;
+      t.on_eof ()
+    end
+  | Some _ | None -> ()
+
+let deliver_payload t (seg : Seg.t) =
+  if String.length seg.payload > 0 then begin
+    (* SYN consumes a sequence position before the payload *)
+    let data_seq = if seg.flags.syn then Seq32.succ seg.seq else seg.seq in
+    let in_order = Seq32.equal data_seq t.rcv_nxt in
+    Interval_buf.insert t.reasm ~seq:data_seq seg.payload;
+    let delivered = Interval_buf.pop t.reasm ~max_len:max_int in
+    if String.length delivered > 0 then begin
+      t.rcv_nxt <- Seq32.add t.rcv_nxt (String.length delivered);
+      t.n_bytes_received <- t.n_bytes_received + String.length delivered;
+      (match t.state with
+      | Established | Fin_wait_1 | Fin_wait_2 ->
+        if t.recv_paused then Buffer.add_string t.recv_pending delivered
+        else t.on_data delivered
+      | Syn_received | Syn_sent | Close_wait | Closing | Last_ack
+      | Time_wait | Closed ->
+        ())
+    end;
+    process_fin_if_reached t;
+    (* Out-of-order segments and gap fills are acknowledged immediately so
+       the sender can fast-retransmit; in-order data uses delayed ACKs. *)
+    if t.state <> Closed then
+      schedule_ack t ~immediate:(not in_order || String.length delivered = 0)
+  end
+
+let note_fin t (seg : Seg.t) =
+  if seg.flags.fin then begin
+    let fpos = Seq32.add seg.seq (String.length seg.payload
+                                  + if seg.flags.syn then 1 else 0) in
+    (match t.rcv_fin with
+    | None -> t.rcv_fin <- Some fpos
+    | Some _ -> ());
+    process_fin_if_reached t
+  end
+
+let update_send_window t (seg : Seg.t) =
+  if
+    Seq32.lt t.snd_wl1 seg.seq
+    || (Seq32.equal t.snd_wl1 seg.seq && Seq32.le t.snd_wl2 seg.ack)
+  then begin
+    let scaled =
+      if seg.flags.syn then seg.window else seg.window lsl t.snd_wscale
+    in
+    let opened = scaled > 0 && t.snd_wnd = 0 in
+    t.snd_wnd <- scaled;
+    t.snd_wl1 <- seg.seq;
+    t.snd_wl2 <- seg.ack;
+    if opened then begin
+      stop_persist t;
+      t.persist_shift <- 0
+    end
+  end
+
+let congestion_on_ack t acked =
+  if t.config.congestion_control && acked > 0 then begin
+    let mss = effective_mss t in
+    if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd + mss
+    else t.cwnd <- t.cwnd + max 1 (mss * mss / t.cwnd)
+  end
+
+let fast_retransmit t =
+  if t.config.congestion_control then begin
+    let mss = effective_mss t in
+    t.ssthresh <- max (flight_size t / 2) (2 * mss);
+    t.cwnd <- t.ssthresh
+  end;
+  retransmit_one t;
+  restart_rtx t
+
+let record_sack t (seg : Seg.t) =
+  if t.sack_on then
+    match Seg.sack_option seg with
+    | Some blocks ->
+      List.iter
+        (fun (lo, hi) ->
+          (* ignore blocks outside the live window *)
+          if Seq32.ge lo t.snd_una && Seq32.le hi t.snd_max then
+            Rangeset.add t.sack_board ~lo ~hi)
+        blocks
+    | None -> ()
+
+let process_ack t (seg : Seg.t) =
+  record_sack t seg;
+  if Seq32.gt seg.ack t.snd_max then
+    (* acks something we never sent: resynchronize the peer *)
+    send_ack_now t
+  else if Seq32.gt seg.ack t.snd_una then begin
+    let acked = Seq32.diff seg.ack t.snd_una in
+    t.snd_una <- seg.ack;
+    Rangeset.clear_below t.sack_board t.snd_una;
+    (* a cumulative ack can overtake a rewound snd_nxt; restore the
+       invariant snd_una <= snd_nxt before any callback (on_drain) can
+       re-enter the output engine *)
+    t.snd_nxt <- Seq32.max t.snd_nxt t.snd_una;
+    t.dupacks <- 0;
+    t.retry_count <- 0;
+    Rto.reset_backoff t.rto;
+    (* RTT sample (Karn: probe cleared on any retransmission) *)
+    (match t.rtt_probe with
+    | Some (pseq, sent_at) when Seq32.ge seg.ack pseq ->
+      Rto.sample t.rto (t.clock.now () - sent_at);
+      t.rtt_probe <- None
+    | Some _ | None -> ());
+    (* release acked payload bytes from the send buffer *)
+    let data_ack =
+      (* clip the ack to the payload region: SYN and FIN occupy sequence
+         space but no buffer space *)
+      let lo = Seq32.succ t.iss in
+      if Seq32.lt seg.ack lo then 0
+      else
+        let o = offset_of_seq t seg.ack in
+        min o (Bytebuf.end_offset t.sndbuf)
+    in
+    if data_ack > Bytebuf.start_offset t.sndbuf then begin
+      let released = data_ack - Bytebuf.start_offset t.sndbuf in
+      t.n_bytes_acked <- t.n_bytes_acked + released;
+      Bytebuf.release_to t.sndbuf ~pos:data_ack;
+      if t.send_full && Bytebuf.free t.sndbuf > 0 then begin
+        t.send_full <- false;
+        t.on_drain ()
+      end
+    end;
+    congestion_on_ack t acked;
+    update_send_window t seg;
+    t.snd_nxt <- Seq32.max t.snd_nxt t.snd_una;
+    if Seq32.equal t.snd_una t.snd_max then
+      t.rtx_timer <- cancel_timer t t.rtx_timer
+    else restart_rtx t;
+    (* our FIN acknowledged? *)
+    if t.fin_sent && Seq32.ge t.snd_una (Seq32.succ (fin_seq t)) then begin
+      match t.state with
+      | Fin_wait_1 -> t.state <- Fin_wait_2
+      | Closing -> enter_time_wait t
+      | Last_ack ->
+        let cb = t.on_close in
+        delete t;
+        cb ()
+      | Established | Syn_sent | Syn_received | Fin_wait_2 | Close_wait
+      | Time_wait | Closed ->
+        ()
+    end;
+    try_output t
+  end
+  else begin
+    (* old or duplicate ack *)
+    update_send_window t seg;
+    if
+      t.config.fast_retransmit
+      && Seq32.equal seg.ack t.snd_una
+      && String.length seg.payload = 0
+      && (not seg.flags.syn) && (not seg.flags.fin)
+      && Seq32.lt t.snd_una t.snd_max
+    then begin
+      t.dupacks <- t.dupacks + 1;
+      if t.dupacks = 3 then fast_retransmit t
+    end;
+    try_output t
+  end
+
+let handle_reset t =
+  let cb = t.on_reset in
+  delete t;
+  cb ()
+
+let segment_in_syn_sent t (seg : Seg.t) =
+  if seg.flags.ack && not (Seq32.between ~low:(Seq32.succ t.iss)
+                             ~high:(Seq32.succ t.snd_nxt) seg.ack)
+  then begin
+    if not seg.flags.rst then send_rst t ~seq:seg.ack
+  end
+  else if seg.flags.rst then (if seg.flags.ack then handle_reset t)
+  else if seg.flags.syn then begin
+    accept_syn t seg;
+    if seg.flags.ack then begin
+      t.snd_una <- seg.ack;
+      t.rtx_timer <- cancel_timer t t.rtx_timer;
+      (match t.rtt_probe with
+      | Some (pseq, sent_at) when Seq32.ge seg.ack pseq ->
+        Rto.sample t.rto (t.clock.now () - sent_at);
+        t.rtt_probe <- None
+      | Some _ | None -> ());
+      t.state <- Established;
+      arm_keepalive t;
+      send_ack_now t;
+      t.on_established ();
+      deliver_payload t seg;
+      note_fin t seg;
+      try_output t
+    end
+    else begin
+      (* simultaneous open *)
+      t.state <- Syn_received;
+      emit t
+        (Seg.make
+           ~flags:{ Seg.no_flags with syn = true; ack = true }
+           ~ack:t.rcv_nxt
+           ~window:(min 0xFFFF (rcv_wnd t))
+           ~options:(syn_options t) ~src_port:(snd t.local)
+           ~dst_port:(snd t.remote) ~seq:t.iss ());
+      arm_rtx t
+    end
+  end
+
+let segment_arrives t (seg : Seg.t) =
+  if t.state = Closed then ()
+  else begin
+    t.n_segments_in <- t.n_segments_in + 1;
+    t.last_activity <- t.clock.now ();
+    t.ka_probes_sent <- 0;
+    match t.state with
+    | Syn_sent -> segment_in_syn_sent t seg
+    | Closed -> ()
+    | _ ->
+      if not (acceptable_segment t seg) then begin
+        (* old duplicate or out-of-window: re-ack unless it is an RST.
+           In TIME_WAIT a retransmitted FIN also restarts the 2MSL
+           timer. *)
+        if not seg.flags.rst then begin
+          send_ack_now t;
+          if t.state = Time_wait && seg.flags.fin then enter_time_wait t
+        end
+      end
+      else if seg.flags.rst then handle_reset t
+      else if seg.flags.syn && Seq32.gt seg.seq t.rcv_nxt then begin
+        (* new SYN inside the window: fatal *)
+        send_rst t ~seq:t.snd_nxt;
+        handle_reset t
+      end
+      else if not seg.flags.ack then ()
+      else begin
+        (* RFC 7323: track the peer's timestamp and measure RTT from the
+           echoed value of every acceptable ACK *)
+        if t.ts_on then begin
+          (match Seg.timestamps_option seg with
+          | Some (tsval, tsecr) ->
+            if Seq32.le seg.seq t.rcv_nxt then t.ts_recent <- tsval;
+            if seg.flags.ack && tsecr > 0 then begin
+              let rtt_ms = (now_ms t land 0xFFFFFFFF) - tsecr in
+              if rtt_ms >= 0 && rtt_ms < 60_000
+                 && Seq32.gt seg.ack t.snd_una then
+                Rto.sample t.rto (rtt_ms * 1_000_000)
+            end
+          | None -> ())
+        end;
+        (match t.state with
+        | Syn_received ->
+          if
+            Seq32.between ~low:t.snd_una ~high:(Seq32.succ t.snd_nxt)
+              seg.ack
+          then begin
+            t.state <- Established;
+            arm_keepalive t;
+            t.retry_count <- 0;
+            t.rtx_timer <- cancel_timer t t.rtx_timer;
+            (match t.rtt_probe with
+            | Some (pseq, sent_at) when Seq32.ge seg.ack pseq ->
+              Rto.sample t.rto (t.clock.now () - sent_at);
+              t.rtt_probe <- None
+            | Some _ | None -> ());
+            t.snd_wnd <- seg.window;
+            t.snd_wl1 <- seg.seq;
+            t.snd_wl2 <- seg.ack;
+            t.on_established ()
+          end
+          else begin
+            send_rst t ~seq:seg.ack;
+            handle_reset t
+          end
+        | _ -> ());
+        if t.state <> Closed then begin
+          process_ack t seg;
+          deliver_payload t seg;
+          note_fin t seg
+        end
+      end
+  end

@@ -1,0 +1,141 @@
+(** A TCP connection endpoint (transmission control block).
+
+    Implements the RFC 793 state machine with sliding-window flow control,
+    MSS negotiation, delayed acknowledgments, Jacobson RTO with Karn's rule
+    and exponential backoff, Reno congestion control with fast retransmit,
+    zero-window persist probes, and full FIN/TIME_WAIT teardown.
+
+    A [Tcb.t] knows nothing about replication: the failover bridge operates
+    purely on the segments this module emits and consumes, which is the
+    transparency property the paper claims. *)
+
+type state =
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+val state_to_string : state -> string
+
+type t
+
+(** Callbacks a connection raises toward the application.  All default to
+    no-ops and can be set at any time. *)
+
+val set_on_established : t -> (unit -> unit) -> unit
+(** Connection reached ESTABLISHED (handshake finished). *)
+
+val set_on_data : t -> (string -> unit) -> unit
+(** In-order payload delivery.  The receive window reopens as data is
+    delivered (the application consumes eagerly) unless reading is
+    paused. *)
+
+val pause_reading : t -> unit
+(** Application backpressure: in-order data is parked in the receive
+    queue (shrinking the advertised window) instead of being delivered.
+    A slow consumer closes its window, which is what the bridge's
+    joint-window rule (§3.2) propagates to the client. *)
+
+val resume_reading : t -> unit
+(** Deliver everything parked and reopen the window (advertising it with
+    a window update if it had closed). *)
+
+val reading_paused : t -> bool
+val recv_queue_length : t -> int
+
+val set_on_eof : t -> (unit -> unit) -> unit
+(** Peer sent FIN; no more data will arrive. *)
+
+val set_on_drain : t -> (unit -> unit) -> unit
+(** Send-buffer space became available after being full. *)
+
+val set_on_close : t -> (unit -> unit) -> unit
+(** Connection fully terminated (reached CLOSED, possibly via TIME_WAIT
+    which is reported at entry). *)
+
+val set_on_reset : t -> (unit -> unit) -> unit
+(** Connection aborted: peer RST or retry exhaustion. *)
+
+(** {1 Creation} — used by {!Stack}, not by applications directly. *)
+
+type actions = {
+  emit : Tcpfo_packet.Tcp_segment.t -> unit;
+      (** transmit a segment to the peer *)
+  on_delete : unit -> unit;  (** remove me from the demux table *)
+}
+
+val create_active :
+  Tcpfo_sim.Clock.t ->
+  config:Tcp_config.t ->
+  local:Tcpfo_packet.Ipaddr.t * int ->
+  remote:Tcpfo_packet.Ipaddr.t * int ->
+  iss:Tcpfo_util.Seq32.t ->
+  actions ->
+  t
+(** Client-side open: emits the initial SYN immediately. *)
+
+val create_passive :
+  Tcpfo_sim.Clock.t ->
+  config:Tcp_config.t ->
+  local:Tcpfo_packet.Ipaddr.t * int ->
+  remote:Tcpfo_packet.Ipaddr.t * int ->
+  iss:Tcpfo_util.Seq32.t ->
+  actions ->
+  syn:Tcpfo_packet.Tcp_segment.t ->
+  t
+(** Server-side open from a received SYN: emits the SYN-ACK. *)
+
+val segment_arrives : t -> Tcpfo_packet.Tcp_segment.t -> unit
+
+(** {1 Application interface} *)
+
+val send : t -> string -> int
+(** Append to the send buffer; returns bytes accepted (0 when full or when
+    sending is no longer allowed). *)
+
+val send_space : t -> int
+(** Free send-buffer space. *)
+
+val close : t -> unit
+(** Orderly release: FIN after all buffered data.  Further [send]s are
+    rejected. *)
+
+val abort : t -> unit
+(** Send RST and drop the connection. *)
+
+val state : t -> state
+val local_endpoint : t -> Tcpfo_packet.Ipaddr.t * int
+val remote_endpoint : t -> Tcpfo_packet.Ipaddr.t * int
+val effective_mss : t -> int
+(** min(our configured MSS, peer's advertised MSS). *)
+
+val iss : t -> Tcpfo_util.Seq32.t
+val snd_una : t -> Tcpfo_util.Seq32.t
+val snd_nxt : t -> Tcpfo_util.Seq32.t
+val rcv_nxt : t -> Tcpfo_util.Seq32.t
+
+val snd_wnd : t -> int
+(** Peer's advertised window, descaled to bytes (RFC 7323). *)
+
+val timestamps_enabled : t -> bool
+val sack_enabled : t -> bool
+val srtt : t -> Tcpfo_sim.Time.t option
+(** Smoothed round-trip estimate, once at least one sample exists. *)
+
+(** {1 Statistics} *)
+
+val bytes_sent : t -> int
+(** Distinct payload bytes accepted from the application and transmitted at
+    least once. *)
+
+val bytes_acked : t -> int
+val bytes_received : t -> int
+val retransmits : t -> int
+val segments_in : t -> int
+val segments_out : t -> int

@@ -1,0 +1,43 @@
+(** Tunables of the TCP stack.
+
+    Defaults mirror the paper's testbed era (FreeBSD 4.4-ish): 1460-byte
+    MSS, 64 KB send and receive buffers (the knee in Figure 3 comes from
+    the 64 KB send buffer), delayed ACKs, Reno congestion control. *)
+
+type t = {
+  mss : int;  (** MSS we advertise in our SYN *)
+  send_buf_size : int;
+  recv_buf_size : int;
+  rto_init : Tcpfo_sim.Time.t;
+  rto_min : Tcpfo_sim.Time.t;
+  rto_max : Tcpfo_sim.Time.t;
+  delayed_ack : bool;
+  delack_delay : Tcpfo_sim.Time.t;
+  nagle : bool;
+  msl : Tcpfo_sim.Time.t;  (** TIME_WAIT lasts 2×MSL *)
+  max_syn_retries : int;
+  max_data_retries : int;
+  fast_retransmit : bool;
+  congestion_control : bool;  (** Reno slow-start/avoidance when true *)
+  iss_override : int option;
+      (** force every new connection's initial send sequence number
+          (normally random).  For tests that must cross the 2^32
+          sequence-space boundary mid-transfer. *)
+  window_scale : int;
+      (** RFC 7323 receive-window shift to request (0 = option off).
+          Effective only when both ends offer the option. *)
+  timestamps : bool;
+      (** RFC 7323 timestamps: every segment carries TSval/TSecr and RTT
+          is measured per ACK instead of one probe at a time. *)
+  sack : bool;
+      (** RFC 2018 selective acknowledgments: the receiver reports
+          out-of-order islands and the sender retransmits only the
+          holes. *)
+  keepalive : Tcpfo_sim.Time.t option;
+      (** probe an idle established connection after this much silence;
+          after {!field-keepalive_probes} unanswered probes the connection
+          is reset (None = keepalives off, the default) *)
+  keepalive_probes : int;
+}
+
+val default : t

@@ -1,0 +1,1 @@
+lib/util/interval_buf.ml: Format List Seq32 String

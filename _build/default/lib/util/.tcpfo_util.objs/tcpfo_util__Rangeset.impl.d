@@ -1,0 +1,1 @@
+lib/util/rangeset.ml: List Seq32

@@ -1,0 +1,1 @@
+lib/util/rangeset.mli: Seq32

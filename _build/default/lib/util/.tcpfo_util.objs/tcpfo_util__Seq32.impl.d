@@ -1,0 +1,1 @@
+lib/util/seq32.ml: Format

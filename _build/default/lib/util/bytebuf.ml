@@ -1,0 +1,81 @@
+type t = {
+  capacity : int;
+  mutable chunks : string list; (* in order; head is oldest *)
+  mutable tail_rev : string list; (* newest first; amortizes appends *)
+  mutable start : int; (* absolute offset of first held byte *)
+  mutable len : int;
+  mutable head_skip : int; (* bytes of the first chunk already released *)
+}
+
+let create ~capacity =
+  { capacity; chunks = []; tail_rev = []; start = 0; len = 0; head_skip = 0 }
+
+let capacity t = t.capacity
+let length t = t.len
+let free t = t.capacity - t.len
+let start_offset t = t.start
+let end_offset t = t.start + t.len
+let is_empty t = t.len = 0
+
+let push t s =
+  let n = min (String.length s) (free t) in
+  if n > 0 then begin
+    let s = if n = String.length s then s else String.sub s 0 n in
+    t.tail_rev <- s :: t.tail_rev;
+    t.len <- t.len + n
+  end;
+  n
+
+let normalize t =
+  if t.tail_rev <> [] then begin
+    t.chunks <- t.chunks @ List.rev t.tail_rev;
+    t.tail_rev <- []
+  end
+
+let read t ~pos ~len =
+  assert (pos >= t.start);
+  normalize t;
+  let avail = t.start + t.len - pos in
+  let len = min len (max 0 avail) in
+  if len = 0 then ""
+  else begin
+    let b = Bytes.create len in
+    (* walk the chunks to the position *)
+    let rec go chunks skip pos_off written =
+      if written >= len then ()
+      else
+        match chunks with
+        | [] -> assert false
+        | c :: rest ->
+          let clen = String.length c - skip in
+          if pos_off >= clen then go rest 0 (pos_off - clen) written
+          else begin
+            let take = min (clen - pos_off) (len - written) in
+            Bytes.blit_string c (skip + pos_off) b written take;
+            go rest 0 0 (written + take)
+          end
+    in
+    go t.chunks t.head_skip (pos - t.start) 0;
+    Bytes.unsafe_to_string b
+  end
+
+let release_to t ~pos =
+  if pos > t.start then begin
+    normalize t;
+    let drop = min (pos - t.start) t.len in
+    let rec go chunks skip remaining =
+      if remaining = 0 then (chunks, skip)
+      else
+        match chunks with
+        | [] -> ([], 0)
+        | c :: rest ->
+          let clen = String.length c - skip in
+          if remaining >= clen then go rest 0 (remaining - clen)
+          else (chunks, skip + remaining)
+    in
+    let chunks, skip = go t.chunks t.head_skip drop in
+    t.chunks <- chunks;
+    t.head_skip <- skip;
+    t.start <- t.start + drop;
+    t.len <- t.len - drop
+  end

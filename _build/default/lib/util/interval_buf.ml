@@ -1,0 +1,131 @@
+(* Invariant: [islands] is sorted by modular order relative to [base];
+   islands are non-overlapping, non-adjacent-mergeable is allowed (we merge
+   adjacent islands on insert), and every island starts at or after [base]. *)
+
+type island = { start : Seq32.t; data : string }
+
+type t = {
+  mutable base : Seq32.t;
+  mutable islands : island list; (* sorted by start *)
+}
+
+let create ~base = { base; islands = [] }
+let base t = t.base
+
+let island_end i = Seq32.add i.start (String.length i.data)
+
+(* Clip [data]@[seq] to the part at or after [floor]. *)
+let clip_low ~floor ~seq data =
+  let cut = Seq32.diff floor seq in
+  if cut <= 0 then Some (seq, data)
+  else if cut >= String.length data then None
+  else Some (floor, String.sub data cut (String.length data - cut))
+
+let insert t ~seq data =
+  if String.length data = 0 then ()
+  else
+    match clip_low ~floor:t.base ~seq data with
+    | None -> ()
+    | Some (seq, data) ->
+      (* Walk the sorted island list, splicing in the new range.  Existing
+         bytes win on overlap. *)
+      let rec splice seq data islands =
+        if String.length data = 0 then islands
+        else
+          match islands with
+          | [] -> [ { start = seq; data } ]
+          | i :: rest ->
+            let dlen = String.length data in
+            if Seq32.le (Seq32.add seq dlen) i.start then
+              (* entirely before island i *)
+              { start = seq; data } :: islands
+            else if Seq32.ge seq (island_end i) then
+              (* entirely after island i *)
+              i :: splice seq data rest
+            else begin
+              (* overlap with island i: keep i's bytes, recurse on the
+                 non-overlapping head/tail of the new data *)
+              let head =
+                let n = Seq32.diff i.start seq in
+                if n > 0 then Some (seq, String.sub data 0 n) else None
+              in
+              let tail =
+                let cut = Seq32.diff (island_end i) seq in
+                if cut < dlen then
+                  Some (island_end i, String.sub data cut (dlen - cut))
+                else None
+              in
+              let rest' =
+                match tail with
+                | None -> i :: rest
+                | Some (ts, td) -> i :: splice ts td rest
+              in
+              match head with
+              | None -> rest'
+              | Some (hs, hd) -> { start = hs; data = hd } :: rest'
+            end
+      in
+      let islands = splice seq data t.islands in
+      (* merge adjacent islands *)
+      let rec merge = function
+        | a :: b :: rest when Seq32.equal (island_end a) b.start ->
+          merge ({ start = a.start; data = a.data ^ b.data } :: rest)
+        | a :: rest -> a :: merge rest
+        | [] -> []
+      in
+      t.islands <- merge islands
+
+let contiguous_length t =
+  match t.islands with
+  | i :: _ when Seq32.equal i.start t.base -> String.length i.data
+  | _ -> 0
+
+let peek t ~max_len =
+  match t.islands with
+  | i :: _ when Seq32.equal i.start t.base ->
+    let n = min max_len (String.length i.data) in
+    String.sub i.data 0 n
+  | _ -> ""
+
+let drop t ~len =
+  if len <= 0 then ()
+  else begin
+    let new_base = Seq32.add t.base len in
+    let rec go = function
+      | [] -> []
+      | i :: rest ->
+        if Seq32.le (island_end i) new_base then go rest
+        else
+          match clip_low ~floor:new_base ~seq:i.start i.data with
+          | None -> go rest
+          | Some (s, d) -> { start = s; data = d } :: rest
+    in
+    t.islands <- go t.islands;
+    t.base <- new_base
+  end
+
+let pop t ~max_len =
+  let s = peek t ~max_len in
+  drop t ~len:(String.length s);
+  s
+
+let total_buffered t =
+  List.fold_left (fun acc i -> acc + String.length i.data) 0 t.islands
+
+let is_empty t = t.islands = []
+
+let has_byte t s =
+  Seq32.ge s t.base
+  && List.exists
+       (fun i -> Seq32.ge s i.start && Seq32.lt s (island_end i))
+       t.islands
+
+let spans t = List.map (fun i -> (i.start, String.length i.data)) t.islands
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>base=%a" Seq32.pp t.base;
+  List.iter
+    (fun i ->
+      Format.fprintf fmt " [%a,+%d)" Seq32.pp i.start (String.length i.data))
+    t.islands;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,45 @@
+(* Sorted list of disjoint [lo, hi) ranges; modular order anchored by the
+   usual TCP assumption that all live ranges span < 2^31. *)
+
+type t = { mutable ranges : (Seq32.t * Seq32.t) list }
+
+let create () = { ranges = [] }
+
+let add t ~lo ~hi =
+  if Seq32.lt lo hi then begin
+    let rec insert = function
+      | [] -> [ (lo, hi) ]
+      | ((rlo, rhi) as r) :: rest ->
+        if Seq32.lt hi rlo then (lo, hi) :: r :: rest
+        else if Seq32.gt lo rhi then r :: insert rest
+        else
+          (* overlap or adjacency: merge and keep folding *)
+          let merged_lo = Seq32.min lo rlo and merged_hi = Seq32.max hi rhi in
+          let rec fold lo hi = function
+            | ((nlo, nhi) as n) :: rest' when Seq32.le nlo hi ->
+              ignore n;
+              fold lo (Seq32.max hi nhi) rest'
+            | rest' -> (lo, hi) :: rest'
+          in
+          fold merged_lo merged_hi rest
+    in
+    t.ranges <- insert t.ranges
+  end
+
+let covering_end t s =
+  List.find_map
+    (fun (lo, hi) -> if Seq32.ge s lo && Seq32.lt s hi then Some hi else None)
+    t.ranges
+
+let clear_below t floor =
+  t.ranges <-
+    List.filter_map
+      (fun (lo, hi) ->
+        if Seq32.le hi floor then None
+        else if Seq32.lt lo floor then Some (floor, hi)
+        else Some (lo, hi))
+      t.ranges
+
+let clear t = t.ranges <- []
+let is_empty t = t.ranges = []
+let ranges t = t.ranges

@@ -1,0 +1,24 @@
+(** Set of disjoint half-open sequence-number ranges [lo, hi) under
+    mod-2^32 ordering — the SACK scoreboard (RFC 2018): the sender records
+    which ranges the receiver has acknowledged selectively and skips them
+    when retransmitting. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> lo:Seq32.t -> hi:Seq32.t -> unit
+(** Insert a range; overlapping/adjacent ranges merge.  No-op when
+    [lo >= hi]. *)
+
+val covering_end : t -> Seq32.t -> Seq32.t option
+(** If the given sequence number lies inside a stored range, the end of
+    that range — the retransmission skip target. *)
+
+val clear_below : t -> Seq32.t -> unit
+(** Discard everything below the cumulative acknowledgment. *)
+
+val clear : t -> unit
+val is_empty : t -> bool
+val ranges : t -> (Seq32.t * Seq32.t) list
+(** Sorted, for diagnostics and tests. *)

@@ -1,0 +1,28 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every stochastic component of the simulator (initial sequence numbers,
+    link loss, jitter, workload generators) draws from an [Rng.t] derived
+    from a single experiment seed, so a run is reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** An independent stream derived from (and advancing) [t]. *)
+
+val int64 : t -> int64
+val bits32 : t -> int
+(** Uniform in [0, 2^32). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).  Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [0, x). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)

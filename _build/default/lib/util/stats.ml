@@ -1,0 +1,55 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  p95 : float;
+  max : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | sorted ->
+    let n = List.length sorted in
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
+    in
+    let rank = max 0 (min (n - 1) rank) in
+    List.nth sorted rank
+
+let median xs = percentile 50.0 xs
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs
+      /. float_of_int (List.length xs)
+    in
+    {
+      count = List.length xs;
+      mean = m;
+      stddev = sqrt var;
+      min = List.fold_left min infinity xs;
+      p25 = percentile 25.0 xs;
+      median = median xs;
+      p75 = percentile 75.0 xs;
+      p95 = percentile 95.0 xs;
+      max = List.fold_left max neg_infinity xs;
+    }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f" s.count
+    s.mean s.stddev s.min s.median s.p95 s.max

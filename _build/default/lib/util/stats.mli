@@ -1,0 +1,26 @@
+(** Small descriptive-statistics helpers for the measurement harness
+    (the paper reports medians and maxima; §9). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on an empty list. *)
+
+val median : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], nearest-rank on the sorted
+    sample. *)
+
+val mean : float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit

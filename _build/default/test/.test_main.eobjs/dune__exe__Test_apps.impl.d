@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Char List QCheck QCheck_alcotest String Tcpfo_apps Tcpfo_core Tcpfo_host Tcpfo_net Tcpfo_sim Tcpfo_tcp Testutil

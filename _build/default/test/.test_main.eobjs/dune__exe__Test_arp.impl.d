@@ -1,0 +1,1 @@
+test/test_arp.ml: Alcotest Tcpfo_host Tcpfo_ip Tcpfo_net Tcpfo_packet Tcpfo_sim Testutil

@@ -1,0 +1,1 @@
+test/test_bridge_unit.ml: Alcotest Buffer List Printf String Tcpfo_core Tcpfo_host Tcpfo_packet Tcpfo_sim Tcpfo_tcp Tcpfo_util Testutil

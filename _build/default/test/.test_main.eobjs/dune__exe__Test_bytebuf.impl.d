@@ -1,0 +1,1 @@
+test/test_bytebuf.ml: Alcotest Buffer List QCheck QCheck_alcotest String Tcpfo_util Testutil

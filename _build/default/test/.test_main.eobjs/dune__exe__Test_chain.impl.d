@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Buffer Hashtbl List Printf QCheck QCheck_alcotest String Tcpfo_core Tcpfo_host Tcpfo_sim Tcpfo_tcp Testutil

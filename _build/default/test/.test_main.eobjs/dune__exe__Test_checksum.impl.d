@@ -1,0 +1,1 @@
+test/test_checksum.ml: Alcotest Bytes Char Gen QCheck QCheck_alcotest String Tcpfo_util Testutil

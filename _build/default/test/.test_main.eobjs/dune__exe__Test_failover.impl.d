@@ -1,0 +1,1 @@
+test/test_failover.ml: Alcotest Buffer List Printf String Tcpfo_core Tcpfo_host Tcpfo_ip Tcpfo_packet Tcpfo_sim Tcpfo_tcp Testutil

@@ -1,0 +1,1 @@
+test/test_failover_prop.ml: Buffer List QCheck QCheck_alcotest String Tcpfo_core Tcpfo_host Tcpfo_net Tcpfo_packet Tcpfo_sim Tcpfo_tcp Testutil

@@ -1,0 +1,1 @@
+test/test_interval_buf.ml: Alcotest Char List QCheck QCheck_alcotest String Tcpfo_util Testutil

@@ -1,0 +1,1 @@
+test/test_link.ml: Alcotest List Printf String Tcpfo_net Tcpfo_packet Tcpfo_sim Tcpfo_util Testutil

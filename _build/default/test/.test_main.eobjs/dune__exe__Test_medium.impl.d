@@ -1,0 +1,1 @@
+test/test_medium.ml: Alcotest Array List String Tcpfo_net Tcpfo_packet Tcpfo_sim Tcpfo_util Testutil

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest List String Tcpfo_core Tcpfo_host Tcpfo_ip Tcpfo_net Tcpfo_packet Tcpfo_sim Tcpfo_tcp Testutil

@@ -1,0 +1,1 @@
+test/test_rangeset.ml: Alcotest Array List Option QCheck QCheck_alcotest Tcpfo_util

@@ -1,0 +1,1 @@
+test/test_rng_stats.ml: Alcotest List Tcpfo_util Testutil

@@ -1,0 +1,1 @@
+test/test_seq32.ml: Alcotest QCheck QCheck_alcotest Tcpfo_util Testutil

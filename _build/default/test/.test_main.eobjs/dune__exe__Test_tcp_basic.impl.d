@@ -1,0 +1,1 @@
+test/test_tcp_basic.ml: Alcotest Buffer Tcpfo_host Tcpfo_sim Tcpfo_tcp Tcpfo_util Testutil

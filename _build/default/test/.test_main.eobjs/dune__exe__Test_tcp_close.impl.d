@@ -1,0 +1,1 @@
+test/test_tcp_close.ml: Alcotest Tcpfo_host Tcpfo_sim Tcpfo_tcp Testutil

@@ -1,0 +1,1 @@
+test/test_tcp_edge.ml: Alcotest Buffer List Printf Tcpfo_host Tcpfo_ip Tcpfo_net Tcpfo_packet Tcpfo_sim Tcpfo_tcp Tcpfo_util Testutil

@@ -1,0 +1,1 @@
+test/test_tcp_loss.ml: Alcotest String Tcpfo_host Tcpfo_ip Tcpfo_net Tcpfo_packet Tcpfo_sim Tcpfo_tcp Testutil

@@ -1,0 +1,1 @@
+test/test_tcp_options.ml: Alcotest Buffer Hashtbl Ipv4_packet Printf String Tcpfo_core Tcpfo_host Tcpfo_ip Tcpfo_net Tcpfo_packet Tcpfo_sim Tcpfo_tcp Tcpfo_util Testutil

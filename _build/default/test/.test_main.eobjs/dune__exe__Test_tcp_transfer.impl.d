@@ -1,0 +1,1 @@
+test/test_tcp_transfer.ml: Alcotest Buffer List String Tcpfo_host Tcpfo_sim Tcpfo_tcp Testutil

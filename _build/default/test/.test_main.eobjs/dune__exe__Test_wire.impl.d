@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes Char List QCheck QCheck_alcotest Tcpfo_packet Tcpfo_util Testutil

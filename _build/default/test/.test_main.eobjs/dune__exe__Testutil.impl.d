@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Buffer Char String Tcpfo_core Tcpfo_host Tcpfo_ip Tcpfo_packet Tcpfo_sim Tcpfo_tcp

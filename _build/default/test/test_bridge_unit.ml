@@ -1,0 +1,572 @@
+(* Fault-free behaviour of the failover bridge (paper §3, §7, §8). *)
+
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module Seq32 = Tcpfo_util.Seq32
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Tcp_config = Tcpfo_tcp.Tcp_config
+module Replicated = Tcpfo_core.Replicated
+module Primary_bridge = Tcpfo_core.Primary_bridge
+module Secondary_bridge = Tcpfo_core.Secondary_bridge
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Seg = Tcpfo_packet.Tcp_segment
+open Testutil
+
+let test_handshake_through_bridge () =
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:4 ~reply_of:(fun _ -> "pong") r.repl ~port:80
+    ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  run_repl r;
+  check_bool "client established" true csink.established;
+  (* both replicas accepted the same connection *)
+  check_int "two replica connections" 2 (List.length !sinks);
+  check_bool "both established" true
+    (List.for_all (fun (_, s) -> s.established) !sinks)
+
+let test_request_reply () =
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:4
+    ~reply_of:(fun req -> "reply-to-" ^ req)
+    r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "ping"));
+  run_repl r;
+  check_string "client got exactly one reply" "reply-to-ping"
+    (sink_contents csink);
+  (* both replicas saw the request *)
+  List.iter
+    (fun (_, s) -> check_string "replica request" "ping" (sink_contents s))
+    !sinks
+
+let test_mss_is_minimum_of_replicas () =
+  let r =
+    make_repl_lan
+      ~secondary_tcp_config:{ Tcp_config.default with mss = 1000 }
+      ()
+  in
+  let sinks = ref [] in
+  echo_service ~request_size:4 ~reply_of:(fun _ -> "x") r.repl ~port:80
+    ~sinks ();
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  run_repl r;
+  (* §7.1: the SYN sent to the client carries min(MSS_P, MSS_S) *)
+  check_int "client sees min mss" 1000 (Tcb.effective_mss c)
+
+let test_different_segmentation_matches_bytes () =
+  (* §3.4/Fig 2: P and S segment the same reply differently (different
+     MSS); the bridge must match byte ranges, not segments. *)
+  let reply = pattern ~tag:21 50_000 in
+  let r =
+    make_repl_lan
+      ~primary_tcp_config:{ Tcp_config.default with mss = 1460 }
+      ~secondary_tcp_config:{ Tcp_config.default with mss = 536 }
+      ()
+  in
+  let sinks = ref [] in
+  echo_service ~request_size:3 ~reply_of:(fun _ -> reply) ~close_after:true
+    r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get"));
+  run_repl r;
+  check_string "byte-exact reply" reply (sink_contents csink);
+  check_bool "client saw eof" true csink.eof
+
+let test_client_to_server_bulk () =
+  let data = pattern ~tag:22 200_000 in
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:(String.length data) ~reply_of:(fun _ -> "ok")
+    r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> send_all c data);
+  run_repl r;
+  check_string "ack of upload" "ok" (sink_contents csink);
+  List.iter
+    (fun (role, s) ->
+      let name =
+        match role with `Primary -> "primary" | `Secondary -> "secondary"
+      in
+      check_string (name ^ " has full upload") data (sink_contents s))
+    !sinks
+
+let test_bridge_stats_and_delta () =
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:4 ~reply_of:(fun _ -> String.make 5000 'z')
+    r.repl ~port:80 ~sinks ();
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "ping"));
+  run_repl r;
+  let stats =
+    Primary_bridge.conn_stats
+      (Replicated.primary_bridge r.repl)
+      ~remote:(Host.addr r.rclient, snd (Tcb.local_endpoint c))
+      ~local_port:80
+  in
+  match stats with
+  | None -> Alcotest.fail "no bridge connection state"
+  | Some st ->
+    check_bool "delta recorded" true (st.delta <> None);
+    check_bool "segments emitted" true (st.segments_emitted > 3);
+    check_int "P queue drained" 0 st.p_queued;
+    check_int "S queue drained" 0 st.s_queued
+
+let test_secondary_diverts_everything () =
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:4 ~reply_of:(fun _ -> String.make 20_000 'r')
+    r.repl ~port:80 ~sinks ();
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  let csink = make_sink () in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "ping"));
+  (* no frame on the wire may carry a TCP segment from a_s to the client:
+     everything from the secondary must go via the primary *)
+  let direct_to_client = ref 0 in
+  let _ =
+    drop_rx r.rclient ~pred:(fun pkt ->
+        (match pkt.Ipv4_packet.payload with
+        | Tcp _
+          when Tcpfo_packet.Ipaddr.equal pkt.src (Host.addr r.secondary) ->
+          incr direct_to_client
+        | _ -> ());
+        false)
+  in
+  run_repl r;
+  check_int "no direct secondary->client tcp" 0 !direct_to_client;
+  check_string "reply intact" (String.make 20_000 'r') (sink_contents csink);
+  check_bool "secondary diverted segments" true
+    (Secondary_bridge.stats_diverted (Replicated.secondary_bridge r.repl) > 0);
+  check_bool "secondary snooped client traffic" true
+    (Secondary_bridge.stats_claimed (Replicated.secondary_bridge r.repl) > 0)
+
+let test_retransmission_forwarded_immediately () =
+  (* drop one merged data segment at the client: both replicas retransmit;
+     the bridge forwards the retransmissions instead of queueing (§4) *)
+  let reply = pattern ~tag:23 30_000 in
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:3 ~reply_of:(fun _ -> reply) r.repl ~port:80
+    ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get"));
+  let first_data = ref true in
+  let _ =
+    drop_rx r.rclient ~pred:(fun pkt ->
+        match pkt.Ipv4_packet.payload with
+        | Tcp seg when String.length seg.payload > 1000 && !first_data ->
+          first_data := false;
+          true
+        | _ -> false)
+  in
+  run_repl r;
+  check_string "stream heals" reply (sink_contents csink);
+  let stats =
+    Primary_bridge.conn_stats
+      (Replicated.primary_bridge r.repl)
+      ~remote:(Host.addr r.rclient, snd (Tcb.local_endpoint c))
+      ~local_port:80
+  in
+  (match stats with
+  | Some st ->
+    check_bool "bridge forwarded retransmissions" true
+      (st.retransmissions_forwarded >= 1)
+  | None ->
+    (* connection may have fully closed and been collected — acceptable *)
+    ())
+
+let test_client_upload_with_secondary_loss () =
+  (* §4 second bullet: the secondary misses a client segment the primary
+     received.  The joint (minimum) ack must hold the client back until
+     the secondary has the bytes; the upload still completes exactly. *)
+  let data = pattern ~tag:24 40_000 in
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:(String.length data) ~reply_of:(fun _ -> "ok")
+    r.repl ~port:80 ~sinks ();
+  let dropped = ref false in
+  let _ =
+    drop_rx r.secondary ~pred:(fun pkt ->
+        match pkt.Ipv4_packet.payload with
+        | Tcp seg
+          when String.length seg.payload > 1000 && not !dropped ->
+          dropped := true;
+          true
+        | _ -> false)
+  in
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> send_all c data);
+  run_repl r;
+  check_bool "a segment was withheld from secondary" true !dropped;
+  check_string "client saw completion" "ok" (sink_contents csink);
+  List.iter
+    (fun (_, s) -> check_string "replica complete" data (sink_contents s))
+    !sinks
+
+let test_full_close_through_bridge () =
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~close_after:true ~request_size:4
+    ~reply_of:(fun _ -> "done")
+    r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () ->
+      ignore (Tcb.send c "ping");
+      Tcb.close c);
+  (* bound the run: TIME_WAIT etc. *)
+  World.run r.rworld ~for_:(Time.sec 30.0);
+  check_string "reply received" "done" (sink_contents csink);
+  check_bool "client saw eof" true csink.eof;
+  check_bool "client terminated" true
+    (match Tcb.state c with Tcb.Closed | Tcb.Time_wait -> true | _ -> false)
+
+let test_non_failover_port_bypasses_bridge () =
+  let r = make_repl_lan () in
+  (* an ordinary, unreplicated service on the primary host, port 9000:
+     must work untouched although the bridge is installed *)
+  let ssink = make_sink () in
+  Stack.listen (Host.tcp r.primary) ~port:9000 ~on_accept:(fun tcb ->
+      wire_sink ssink tcb;
+      Tcb.set_on_data tcb (fun d ->
+          Buffer.add_string ssink.buf d;
+          ignore (Tcb.send tcb "plain")));
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient) ~remote:(Host.addr r.primary, 9000) ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "hi"));
+  run_repl r;
+  check_string "plain tcp works" "plain" (sink_contents csink);
+  check_int "bridge untouched" 0
+    (Primary_bridge.connection_count (Replicated.primary_bridge r.repl))
+
+let test_server_initiated_connection () =
+  (* §7.2: the replicated pair connects out to an unreplicated back end,
+     which must share the replicas' segment — built explicitly here *)
+  let world = World.create () in
+  let lan = World.make_lan world () in
+  let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10" () in
+  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
+  let secondary =
+    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
+  in
+  let backend = World.add_host world lan ~name:"backend" ~addr:"10.0.0.3" () in
+  World.warm_arp [ client; primary; secondary; backend ];
+  let repl =
+    Replicated.create ~primary ~secondary
+      ~config:Tcpfo_core.Failover_config.default ()
+  in
+  (* backend: receives a query, answers *)
+  let bsink = make_sink () in
+  Stack.listen (Host.tcp backend) ~port:5432 ~on_accept:(fun tcb ->
+      wire_sink bsink tcb;
+      Tcb.set_on_data tcb (fun d ->
+          Buffer.add_string bsink.buf d;
+          if Buffer.contents bsink.buf = "query" then
+            ignore (Tcb.send tcb "rows")));
+  let replica_rx = ref [] in
+  Replicated.connect_backend repl
+    ~remote:(Host.addr backend, 5432)
+    ~setup:(fun ~role tcb ->
+      let sink = make_sink () in
+      replica_rx := (role, sink) :: !replica_rx;
+      wire_sink sink tcb;
+      Tcb.set_on_established tcb (fun () -> ignore (Tcb.send tcb "query")))
+    ();
+  World.run world ~for_:(Time.sec 30.0);
+  check_string "backend got one query" "query" (sink_contents bsink);
+  check_int "both replicas connected" 2 (List.length !replica_rx);
+  List.iter
+    (fun (_, s) -> check_string "replica got rows" "rows" (sink_contents s))
+    !replica_rx
+
+let test_concurrent_connections () =
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:6
+    ~reply_of:(fun req -> "R:" ^ req)
+    r.repl ~port:80 ~sinks ();
+  let results = ref [] in
+  for i = 1 to 5 do
+    let c =
+      Stack.connect (Host.tcp r.rclient)
+        ~remote:(Replicated.service_addr r.repl, 80)
+        ()
+    in
+    let sink = make_sink () in
+    wire_sink sink c;
+    results := (i, sink) :: !results;
+    Tcb.set_on_established c (fun () ->
+        ignore (Tcb.send c (Printf.sprintf "req-%02d" i)))
+  done;
+  run_repl r;
+  check_int "ten replica conns" 10 (List.length !sinks);
+  List.iter
+    (fun (i, sink) ->
+      check_string "per-conn reply"
+        (Printf.sprintf "R:req-%02d" i)
+        (sink_contents sink))
+    !results
+
+let suite =
+  [
+    Alcotest.test_case "handshake through bridge" `Quick
+      test_handshake_through_bridge;
+    Alcotest.test_case "request/reply: one merged reply" `Quick
+      test_request_reply;
+    Alcotest.test_case "SYN carries min MSS (7.1)" `Quick
+      test_mss_is_minimum_of_replicas;
+    Alcotest.test_case "byte matching across segmentations (3.4)" `Quick
+      test_different_segmentation_matches_bytes;
+    Alcotest.test_case "client upload reaches both replicas" `Quick
+      test_client_to_server_bulk;
+    Alcotest.test_case "bridge stats and delta" `Quick
+      test_bridge_stats_and_delta;
+    Alcotest.test_case "secondary output diverted, never direct (3.1)"
+      `Quick test_secondary_diverts_everything;
+    Alcotest.test_case "retransmissions forwarded immediately (4)" `Quick
+      test_retransmission_forwarded_immediately;
+    Alcotest.test_case "min-ack holds client back on secondary loss (4)"
+      `Quick test_client_upload_with_secondary_loss;
+    Alcotest.test_case "orderly close through bridge (8)" `Quick
+      test_full_close_through_bridge;
+    Alcotest.test_case "non-failover port bypasses bridge (7)" `Quick
+      test_non_failover_port_bypasses_bridge;
+    Alcotest.test_case "server-initiated connection (7.2)" `Quick
+      test_server_initiated_connection;
+    Alcotest.test_case "five concurrent connections" `Quick
+      test_concurrent_connections;
+  ]
+
+let test_late_client_fin_answered_after_teardown () =
+  (* §8: the server closes first; the client closes from CLOSE_WAIT and
+     its FIN is acknowledged by the bridge — but that ACK is lost.  The
+     client retransmits the FIN from LAST_ACK after the bridge tore down,
+     and the lingering connection record answers it. *)
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~close_after:true ~request_size:4 ~reply_of:(fun _ -> "done")
+    r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "ping"));
+  (* close only after the server side has fully closed toward us *)
+  Tcb.set_on_eof c (fun () ->
+      csink.eof <- true;
+      ignore
+        ((Host.clock r.rclient).schedule (Time.ms 5) (fun () -> Tcb.close c)));
+  (* drop the first pure ACK that covers the client's FIN while the
+     client sits in LAST_ACK *)
+  let dropped = ref false in
+  let _ =
+    drop_rx r.rclient ~pred:(fun pkt ->
+        match pkt.Ipv4_packet.payload with
+        | Tcp seg
+          when (not !dropped) && seg.flags.ack && (not seg.flags.fin)
+               && String.length seg.payload = 0
+               && Tcb.state c = Tcb.Last_ack
+               && Tcpfo_util.Seq32.equal seg.ack (Tcb.snd_nxt c) ->
+          dropped := true;
+          true
+        | _ -> false)
+  in
+  run_repl r ~for_sec:60.0;
+  check_bool "the covering ACK was dropped" true !dropped;
+  check_bool "client still terminated cleanly" true
+    (Tcb.state c = Tcb.Closed);
+  check_int "no reset" 0 csink.resets
+
+let test_late_secondary_fin_answered_after_teardown () =
+  (* §8: the client closes first; the servers close from CLOSE_WAIT; the
+     client's final ACK of the server FIN is withheld from the secondary
+     only.  The secondary's TCB retransmits its FIN from LAST_ACK after
+     the bridge tore down; the bridge answers with an ACK slipped to the
+     secondary, and the secondary's connection terminates cleanly instead
+     of dying on retry exhaustion. *)
+  let r = make_repl_lan () in
+  let server_conns = ref [] in
+  Replicated.listen r.repl ~port:80 ~on_accept:(fun ~role tcb ->
+      server_conns := (role, tcb) :: !server_conns;
+      let got = ref 0 in
+      Tcb.set_on_data tcb (fun d ->
+          got := !got + String.length d;
+          if !got >= 4 then ignore (Tcb.send tcb "done"));
+      Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () ->
+      ignore (Tcb.send c "ping");
+      ignore
+        ((Host.clock r.rclient).schedule (Time.ms 10) (fun () -> Tcb.close c)));
+  let dropped = ref false in
+  let _ =
+    drop_rx r.secondary ~pred:(fun pkt ->
+        match pkt.Ipv4_packet.payload with
+        | Tcp seg
+          when (not !dropped) && seg.flags.ack && (not seg.flags.fin)
+               && String.length seg.payload = 0
+               && Tcpfo_packet.Ipaddr.equal pkt.src (Host.addr r.rclient)
+               && (match List.assoc_opt `Secondary !server_conns with
+                  | Some s -> Tcb.state s = Tcb.Last_ack
+                  | None -> false) ->
+          dropped := true;
+          true
+        | _ -> false)
+  in
+  run_repl r ~for_sec:90.0;
+  check_bool "the final ACK was withheld from the secondary" true !dropped;
+  (match List.assoc_opt `Secondary !server_conns with
+  | Some s ->
+    check_bool "secondary conn terminated cleanly" true
+      (Tcb.state s = Tcb.Closed)
+  | None -> Alcotest.fail "no secondary conn");
+  check_string "client unaffected" "done" (sink_contents csink)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "late client FIN answered after teardown (8)"
+        `Quick test_late_client_fin_answered_after_teardown;
+      Alcotest.test_case "late secondary FIN answered after teardown (8)"
+        `Quick test_late_secondary_fin_answered_after_teardown;
+    ]
+
+let test_sequence_wraparound_through_bridge () =
+  (* every party's initial sequence number sits just below 2^32, so the
+     whole transfer — client stream, both replicas' streams, the wire
+     stream, Δseq arithmetic — crosses the wrap boundary *)
+  let near_top v = { Tcp_config.default with iss_override = Some v } in
+  let r =
+    make_repl_lan
+      ~client_tcp_config:(near_top 0xFFFF_F000)
+      ~primary_tcp_config:(near_top 0xFFFF_FF00)
+      ~secondary_tcp_config:(near_top 0xFFFF_8000)
+      ()
+  in
+  let reply = pattern ~tag:81 200_000 in
+  let sinks = ref [] in
+  echo_service ~request_size:40_000 ~reply_of:(fun _ -> reply)
+    ~close_after:true r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  let up = pattern ~tag:82 40_000 in
+  Tcb.set_on_established c (fun () -> send_all c up);
+  run_repl r ~for_sec:60.0;
+  check_string "reply exact across 2^32 wrap" reply (sink_contents csink);
+  List.iter
+    (fun (_, s) -> check_string "upload exact across wrap" up (sink_contents s))
+    !sinks
+
+let test_sequence_wraparound_with_failover () =
+  let near_top v = { Tcp_config.default with iss_override = Some v } in
+  let r =
+    make_repl_lan
+      ~client_tcp_config:(near_top 0xFFFF_FFF0)
+      ~primary_tcp_config:(near_top 0xFFFF_FFFa)
+      ~secondary_tcp_config:(near_top 0xFFFF_0000)
+      ()
+  in
+  let reply = pattern ~tag:83 300_000 in
+  let sinks = ref [] in
+  echo_service ~request_size:3 ~reply_of:(fun _ -> reply) ~close_after:true
+    r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get"));
+  ignore
+    (Engine.schedule (World.engine r.rworld) ~delay:(Time.ms 40) (fun () ->
+         Replicated.kill_primary r.repl));
+  run_repl r ~for_sec:90.0;
+  check_string "failover across the wrap, byte-exact" reply
+    (sink_contents csink);
+  check_int "no reset" 0 csink.resets
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "2^32 wraparound through the bridge" `Quick
+        test_sequence_wraparound_through_bridge;
+      Alcotest.test_case "2^32 wraparound with failover" `Quick
+        test_sequence_wraparound_with_failover;
+    ]

@@ -1,0 +1,84 @@
+module Bytebuf = Tcpfo_util.Bytebuf
+
+let test_push_capacity () =
+  let b = Bytebuf.create ~capacity:10 in
+  Testutil.check_int "accept all" 6 (Bytebuf.push b "abcdef");
+  Testutil.check_int "partial" 4 (Bytebuf.push b "ghijkl");
+  Testutil.check_int "full" 0 (Bytebuf.push b "x");
+  Testutil.check_int "len" 10 (Bytebuf.length b)
+
+let test_read_offsets () =
+  let b = Bytebuf.create ~capacity:100 in
+  ignore (Bytebuf.push b "hello");
+  ignore (Bytebuf.push b " world");
+  Testutil.check_string "across chunks" "lo wo" (Bytebuf.read b ~pos:3 ~len:5);
+  Testutil.check_string "clip at end" "rld" (Bytebuf.read b ~pos:8 ~len:50)
+
+let test_release () =
+  let b = Bytebuf.create ~capacity:10 in
+  ignore (Bytebuf.push b "0123456789");
+  Bytebuf.release_to b ~pos:4;
+  Testutil.check_int "start" 4 (Bytebuf.start_offset b);
+  Testutil.check_int "free" 4 (Bytebuf.free b);
+  Testutil.check_string "read after release" "4567" (Bytebuf.read b ~pos:4 ~len:4);
+  Testutil.check_int "accept again" 4 (Bytebuf.push b "abcdef");
+  Testutil.check_string "appended" "89ab" (Bytebuf.read b ~pos:8 ~len:4)
+
+let test_release_mid_chunk () =
+  let b = Bytebuf.create ~capacity:100 in
+  ignore (Bytebuf.push b "abcdefgh");
+  Bytebuf.release_to b ~pos:3;
+  Bytebuf.release_to b ~pos:5;
+  Testutil.check_string "tail" "fgh" (Bytebuf.read b ~pos:5 ~len:10);
+  Bytebuf.release_to b ~pos:2 (* no-op backwards *);
+  Testutil.check_int "start stable" 5 (Bytebuf.start_offset b)
+
+let prop_fifo =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 20)
+        (string_size ~gen:(char_range 'a' 'z') (int_range 0 50)))
+  in
+  QCheck.Test.make ~name:"pushed bytes read back in order" ~count:200
+    (QCheck.make gen) (fun pieces ->
+      let b = Bytebuf.create ~capacity:10_000 in
+      let expected = Buffer.create 64 in
+      List.iter
+        (fun s ->
+          let n = Bytebuf.push b s in
+          Buffer.add_string expected (String.sub s 0 n))
+        pieces;
+      let total = Bytebuf.length b in
+      Bytebuf.read b ~pos:0 ~len:total = Buffer.contents expected)
+
+let prop_release_read_agree =
+  let gen =
+    QCheck.Gen.(
+      let* pieces =
+        list_size (int_range 1 10)
+          (string_size ~gen:(char_range 'A' 'Z') (int_range 1 40))
+      in
+      let total = List.fold_left (fun a s -> a + String.length s) 0 pieces in
+      let* rel = int_range 0 total in
+      return (pieces, rel))
+  in
+  QCheck.Test.make ~name:"read after release matches suffix" ~count:200
+    (QCheck.make gen) (fun (pieces, rel) ->
+      let b = Bytebuf.create ~capacity:10_000 in
+      List.iter (fun s -> ignore (Bytebuf.push b s)) pieces;
+      let all = String.concat "" pieces in
+      Bytebuf.release_to b ~pos:rel;
+      let remaining = String.length all - rel in
+      Bytebuf.read b ~pos:rel ~len:remaining
+      = String.sub all rel remaining)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "capacity enforced" `Quick test_push_capacity;
+    Alcotest.test_case "read spans chunks" `Quick test_read_offsets;
+    Alcotest.test_case "release frees space" `Quick test_release;
+    Alcotest.test_case "release mid-chunk" `Quick test_release_mid_chunk;
+    q prop_fifo;
+    q prop_release_read_agree;
+  ]

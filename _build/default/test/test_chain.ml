@@ -1,0 +1,281 @@
+(* Daisy-chained replication (the paper's §1 future work): three (and
+   more) replicas, arbitrary failure sequences. *)
+
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Tcp_config = Tcpfo_tcp.Tcp_config
+module Chain = Tcpfo_core.Chain
+module Failover_config = Tcpfo_core.Failover_config
+open Testutil
+
+type chain_lan = {
+  cworld : World.t;
+  cclient : Host.t;
+  chain : Chain.t;
+  hosts : Host.t list;
+}
+
+let make_chain ?seed ?(n = 3) ?configs () =
+  let world = World.create ?seed () in
+  let lan = World.make_lan world () in
+  let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10" () in
+  let hosts =
+    List.init n (fun i ->
+        let tcp_config =
+          match configs with Some f -> Some (f i) | None -> None
+        in
+        World.add_host world lan
+          ~name:(Printf.sprintf "replica%d" i)
+          ~addr:(Printf.sprintf "10.0.0.%d" (i + 1))
+          ?tcp_config ())
+  in
+  World.warm_arp (client :: hosts);
+  let chain =
+    Chain.create ~replicas:hosts ~config:Failover_config.default ()
+  in
+  { cworld = world; cclient = client; chain; hosts }
+
+(* install the reply service; returns per-replica request sinks *)
+let serve c ~reply =
+  let sinks = Hashtbl.create 4 in
+  Chain.listen c.chain ~port:80 ~on_accept:(fun ~replica tcb ->
+      let buf = Buffer.create 64 in
+      Hashtbl.replace sinks replica buf;
+      Tcb.set_on_data tcb (fun d ->
+          Buffer.add_string buf d;
+          if Buffer.length buf = 3 then begin
+            let off = ref 0 in
+            let size = String.length reply in
+            let rec pump () =
+              if !off < size then begin
+                let want = min 32768 (size - !off) in
+                let n = Tcb.send tcb (String.sub reply !off want) in
+                off := !off + n;
+                if n < want then Tcb.set_on_drain tcb pump else pump ()
+              end
+              else Tcb.close tcb
+            in
+            pump ()
+          end);
+      Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
+  sinks
+
+let download ?(kills = []) ?(reply_size = 200_000) ?seed ?n ?configs () =
+  let c = make_chain ?seed ?n ?configs () in
+  let reply = pattern ~tag:55 reply_size in
+  let sinks = serve c ~reply in
+  let csink = make_sink () in
+  let conn =
+    Stack.connect (Host.tcp c.cclient)
+      ~remote:(Chain.service_addr c.chain, 80)
+      ()
+  in
+  wire_sink csink conn;
+  Tcb.set_on_established conn (fun () -> ignore (Tcb.send conn "get"));
+  List.iter
+    (fun (at, idx) ->
+      ignore
+        (Engine.schedule (World.engine c.cworld) ~delay:at (fun () ->
+             Chain.kill c.chain idx)))
+    kills;
+  World.run c.cworld ~for_:(Time.sec 120.0);
+  (c, reply, csink, sinks, conn)
+
+let test_three_replica_fault_free () =
+  let c, reply, csink, sinks, _ = download () in
+  check_string "reply exact through 3-way chain" reply (sink_contents csink);
+  check_bool "eof" true csink.eof;
+  check_int "all three replicas saw the request" 3 (Hashtbl.length sinks);
+  Hashtbl.iter
+    (fun _ buf -> check_string "request replicated" "get" (Buffer.contents buf))
+    sinks;
+  Alcotest.(check (list int)) "all alive" [ 0; 1; 2 ] (Chain.alive c.chain)
+
+let test_chain_mss_minimum () =
+  (* the merged SYN must carry the minimum MSS of the whole chain *)
+  let mss_of = function 0 -> 1460 | 1 -> 1200 | _ -> 900 in
+  let c =
+    make_chain ~configs:(fun i -> { Tcp_config.default with mss = mss_of i }) ()
+  in
+  let _ = serve c ~reply:"ok" in
+  let conn =
+    Stack.connect (Host.tcp c.cclient)
+      ~remote:(Chain.service_addr c.chain, 80)
+      ()
+  in
+  World.run c.cworld ~for_:(Time.sec 1.0);
+  check_int "min MSS across three replicas" 900 (Tcb.effective_mss conn)
+
+let test_head_dies () =
+  let c, reply, csink, _, _ =
+    download ~kills:[ (Time.ms 30, 0) ] ()
+  in
+  check_string "stream exact after head death" reply (sink_contents csink);
+  check_int "no reset" 0 csink.resets;
+  check_int "replica 1 promoted" 1 (Chain.head c.chain)
+
+let test_mid_dies () =
+  let c, reply, csink, _, _ =
+    download ~kills:[ (Time.ms 30, 1) ] ()
+  in
+  check_string "stream exact after middle death" reply (sink_contents csink);
+  check_int "no reset" 0 csink.resets;
+  check_int "head unchanged" 0 (Chain.head c.chain);
+  Alcotest.(check (list int)) "live chain" [ 0; 2 ] (Chain.alive c.chain)
+
+let test_tail_dies () =
+  let c, reply, csink, _, _ =
+    download ~kills:[ (Time.ms 30, 2) ] ()
+  in
+  check_string "stream exact after tail death" reply (sink_contents csink);
+  check_int "no reset" 0 csink.resets;
+  Alcotest.(check (list int)) "live chain" [ 0; 1 ] (Chain.alive c.chain)
+
+let test_two_sequential_deaths_head_then_head () =
+  (* head dies; the promoted middle dies; the original tail serves alone *)
+  let c, reply, csink, _, _ =
+    download
+      ~kills:[ (Time.ms 30, 0); (Time.ms 900, 1) ]
+      ~reply_size:600_000 ()
+  in
+  check_string "stream exact after two failovers" reply
+    (sink_contents csink);
+  check_int "no reset" 0 csink.resets;
+  Alcotest.(check (list int)) "single survivor" [ 2 ] (Chain.alive c.chain)
+
+let test_two_sequential_deaths_tail_then_head () =
+  let c, reply, csink, _, _ =
+    download
+      ~kills:[ (Time.ms 30, 2); (Time.ms 900, 0) ]
+      ~reply_size:600_000 ()
+  in
+  check_string "stream exact (tail then head)" reply (sink_contents csink);
+  Alcotest.(check (list int)) "middle survives" [ 1 ] (Chain.alive c.chain)
+
+let test_upload_replicated_to_all () =
+  let c = make_chain () in
+  let data = pattern ~tag:56 150_000 in
+  let sinks = Hashtbl.create 4 in
+  Chain.listen c.chain ~port:80 ~on_accept:(fun ~replica tcb ->
+      let buf = Buffer.create 64 in
+      Hashtbl.replace sinks replica buf;
+      Tcb.set_on_data tcb (fun d -> Buffer.add_string buf d);
+      Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
+  let conn =
+    Stack.connect (Host.tcp c.cclient)
+      ~remote:(Chain.service_addr c.chain, 80)
+      ()
+  in
+  Tcb.set_on_established conn (fun () -> send_all ~close:true conn data);
+  World.run c.cworld ~for_:(Time.sec 60.0);
+  check_int "three sinks" 3 (Hashtbl.length sinks);
+  Hashtbl.iter
+    (fun i buf ->
+      check_string
+        (Printf.sprintf "replica %d holds the full upload" i)
+        data (Buffer.contents buf))
+    sinks
+
+let test_four_replica_chain () =
+  let c, reply, csink, sinks, _ =
+    download ~n:4 ~kills:[ (Time.ms 30, 0) ] ()
+  in
+  check_string "4-chain stream exact after head death" reply
+    (sink_contents csink);
+  check_int "four replicas accepted" 4 (Hashtbl.length sinks);
+  check_int "replica 1 promoted" 1 (Chain.head c.chain)
+
+let prop_chain_any_single_failure =
+  QCheck.Test.make ~name:"3-chain stream exact for any victim and time"
+    ~count:9
+    QCheck.(pair (int_range 0 2) (int_range 1_000 120_000))
+    (fun (victim, kill_us) ->
+      let _, reply, csink, _, _ =
+        download ~seed:(victim * 1000 + kill_us)
+          ~kills:[ (Tcpfo_sim.Time.us kill_us, victim) ]
+          ()
+      in
+      sink_contents csink = reply && csink.resets = 0 && csink.eof)
+
+let suite =
+  [
+    Alcotest.test_case "three replicas, fault-free" `Quick
+      test_three_replica_fault_free;
+    Alcotest.test_case "merged SYN carries chain-wide min MSS" `Quick
+      test_chain_mss_minimum;
+    Alcotest.test_case "head dies: next replica promotes" `Quick
+      test_head_dies;
+    Alcotest.test_case "middle dies: tail re-diverts" `Quick test_mid_dies;
+    Alcotest.test_case "tail dies: middle degrades (6)" `Quick
+      test_tail_dies;
+    Alcotest.test_case "two deaths: head then new head" `Quick
+      test_two_sequential_deaths_head_then_head;
+    Alcotest.test_case "two deaths: tail then head" `Quick
+      test_two_sequential_deaths_tail_then_head;
+    Alcotest.test_case "upload reaches every replica" `Quick
+      test_upload_replicated_to_all;
+    Alcotest.test_case "four-replica chain" `Quick test_four_replica_chain;
+    QCheck_alcotest.to_alcotest prop_chain_any_single_failure;
+  ]
+
+let test_chain_server_initiated () =
+  (* §7.2 through a 3-chain: all three replicas open one logical
+     connection to an unreplicated back end; the back end sees exactly
+     one; the session survives the head's death *)
+  let world = World.create () in
+  let lan = World.make_lan world () in
+  let hosts =
+    List.init 3 (fun i ->
+        World.add_host world lan
+          ~name:(Printf.sprintf "replica%d" i)
+          ~addr:(Printf.sprintf "10.0.0.%d" (i + 1))
+          ())
+  in
+  let backend = World.add_host world lan ~name:"backend" ~addr:"10.0.0.9" () in
+  World.warm_arp (backend :: hosts);
+  let chain = Chain.create ~replicas:hosts ~config:Failover_config.default () in
+  let accepted = ref 0 in
+  let bsink = make_sink () in
+  Stack.listen (Host.tcp backend) ~port:5432 ~on_accept:(fun tcb ->
+      incr accepted;
+      wire_sink bsink tcb;
+      Tcb.set_on_data tcb (fun d ->
+          Buffer.add_string bsink.buf d;
+          ignore (Tcb.send tcb ("ok:" ^ d))));
+  let sinks = ref [] in
+  Chain.connect_backend chain ~remote:(Host.addr backend, 5432)
+    ~setup:(fun ~replica tcb ->
+      let sink = make_sink () in
+      sinks := (replica, sink, tcb) :: !sinks;
+      wire_sink sink tcb;
+      Tcb.set_on_established tcb (fun () -> ignore (Tcb.send tcb "q1")))
+    ();
+  World.run world ~for_:(Time.sec 2.0);
+  check_int "backend accepted exactly one connection" 1 !accepted;
+  check_string "backend got one q1" "q1" (sink_contents bsink);
+  List.iter
+    (fun (_, sink, _) ->
+      check_string "every replica got the reply" "ok:q1" (sink_contents sink))
+    !sinks;
+  (* kill the head; survivors keep the backend session *)
+  Chain.kill chain 0;
+  World.run world ~for_:(Time.sec 2.0);
+  List.iter
+    (fun (replica, _, tcb) ->
+      if replica <> 0 then ignore (Tcb.send tcb "q2"))
+    !sinks;
+  World.run world ~for_:(Time.sec 5.0);
+  check_string "session continued after head death" "q1q2"
+    (sink_contents bsink);
+  check_int "still a single backend connection" 1 !accepted
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "server-initiated through a chain (7.2)" `Quick
+        test_chain_server_initiated;
+    ]

@@ -1,0 +1,91 @@
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+
+let test_fires_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:(Time.us 30) (fun () -> log := 30 :: !log));
+  ignore (Engine.schedule e ~delay:(Time.us 10) (fun () -> log := 10 :: !log));
+  ignore (Engine.schedule e ~delay:(Time.us 20) (fun () -> log := 20 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "order" [ 10; 20; 30 ] (List.rev !log)
+
+let test_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:(Time.us 7) (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref Time.zero in
+  ignore (Engine.schedule e ~delay:(Time.ms 5) (fun () -> seen := Engine.now e));
+  Engine.run e;
+  Testutil.check_int "now at fire" (Time.ms 5) !seen
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule e ~delay:(Time.us 1) (fun () -> fired := true) in
+  Engine.cancel e id;
+  Engine.run e;
+  Testutil.check_bool "cancelled" false !fired;
+  Testutil.check_int "pending" 0 (Engine.pending e)
+
+let test_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:(Time.us 10) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule e ~delay:(Time.us 5) (fun () ->
+                log := "inner" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Testutil.check_int "time" (Time.us 15) (Engine.now e)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:(Time.us 10) (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:(Time.us 100) (fun () -> incr fired));
+  Engine.run e ~until:(Time.us 50);
+  Testutil.check_int "only first" 1 !fired;
+  Testutil.check_int "one pending" 1 (Engine.pending e);
+  Engine.run e;
+  Testutil.check_int "both" 2 !fired
+
+let test_run_until_idle_advances_clock () =
+  let e = Engine.create () in
+  Engine.run e ~until:(Time.ms 3);
+  Testutil.check_int "clock at until" (Time.ms 3) (Engine.now e)
+
+let test_guarded_clock () =
+  let e = Engine.create () in
+  let alive = ref true in
+  let clock = Tcpfo_sim.Clock.guarded e ~alive:(fun () -> !alive) in
+  let fired = ref [] in
+  ignore (clock.schedule (Time.us 1) (fun () -> fired := 1 :: !fired));
+  ignore (clock.schedule (Time.us 10) (fun () -> fired := 2 :: !fired));
+  ignore (Engine.schedule e ~delay:(Time.us 5) (fun () -> alive := false));
+  Engine.run e;
+  Alcotest.(check (list int)) "only pre-death" [ 1 ] (List.rev !fired)
+
+let suite =
+  [
+    Alcotest.test_case "time ordering" `Quick test_fires_in_time_order;
+    Alcotest.test_case "FIFO at equal time" `Quick test_same_time_fifo;
+    Alcotest.test_case "clock advances to event" `Quick test_clock_advances;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_schedule;
+    Alcotest.test_case "run ~until leaves future events" `Quick
+      test_run_until;
+    Alcotest.test_case "run ~until advances idle clock" `Quick
+      test_run_until_idle_advances_clock;
+    Alcotest.test_case "guarded clock dies with host" `Quick
+      test_guarded_clock;
+  ]

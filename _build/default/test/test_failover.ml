@@ -1,0 +1,423 @@
+(* Failover behaviour: §5 (primary fails), §6 (secondary fails). *)
+
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Replicated = Tcpfo_core.Replicated
+module Primary_bridge = Tcpfo_core.Primary_bridge
+module Secondary_bridge = Tcpfo_core.Secondary_bridge
+module Ipaddr = Tcpfo_packet.Ipaddr
+open Testutil
+
+let events r =
+  let log = ref [] in
+  Replicated.set_on_event r.repl (fun e -> log := e :: !log);
+  log
+
+let test_no_false_failover () =
+  let r = make_repl_lan () in
+  let log = events r in
+  let sinks = ref [] in
+  echo_service ~request_size:4 ~reply_of:(fun _ -> "pong") r.repl ~port:80
+    ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "ping"));
+  World.run r.rworld ~for_:(Time.sec 5.0);
+  check_string "reply" "pong" (sink_contents csink);
+  check_int "no failover events" 0 (List.length !log);
+  check_bool "status normal" true (Replicated.status r.repl = `Normal)
+
+(* Download [reply] through the bridge and kill [victim] at [kill_at].
+   Returns (received-by-client, repl status, world). *)
+let download_with_kill ?seed ?(reply_size = 400_000) ~victim ~kill_at () =
+  let reply = pattern ~tag:31 reply_size in
+  let r = make_repl_lan ?seed () in
+  let sinks = ref [] in
+  echo_service ~request_size:3 ~reply_of:(fun _ -> reply) ~close_after:true
+    r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  let eof_at = ref None in
+  Tcb.set_on_eof c (fun () ->
+      csink.eof <- true;
+      eof_at := Some (World.now r.rworld));
+  Tcb.set_on_established c (fun () ->
+      csink.established <- true;
+      ignore (Tcb.send c "get"));
+  ignore
+    (Engine.schedule (World.engine r.rworld) ~delay:kill_at (fun () ->
+         match victim with
+         | `Primary -> Replicated.kill_primary r.repl
+         | `Secondary -> Replicated.kill_secondary r.repl));
+  World.run r.rworld ~for_:(Time.sec 120.0);
+  (reply, csink, r, eof_at)
+
+let test_primary_fails_mid_download () =
+  let expected, csink, r, _eof_at =
+    download_with_kill ~victim:`Primary ~kill_at:(Time.ms 50) ()
+  in
+  check_int "client byte count" (String.length expected)
+    (String.length (sink_contents csink));
+  check_string "client stream byte-exact across failover" expected
+    (sink_contents csink);
+  check_bool "client saw eof" true csink.eof;
+  check_int "client never reset" 0 csink.resets;
+  check_bool "takeover happened" true
+    (Secondary_bridge.taken_over (Replicated.secondary_bridge r.repl))
+
+let test_secondary_fails_mid_download () =
+  let expected, csink, r, _eof_at =
+    download_with_kill ~victim:`Secondary ~kill_at:(Time.ms 50) ()
+  in
+  check_string "client stream byte-exact" expected (sink_contents csink);
+  check_bool "eof" true csink.eof;
+  check_int "no reset" 0 csink.resets;
+  check_bool "primary degraded (6)" true
+    (Primary_bridge.degraded (Replicated.primary_bridge r.repl))
+
+let test_primary_fails_mid_upload () =
+  let data = pattern ~tag:32 400_000 in
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:(String.length data) ~reply_of:(fun _ -> "ok")
+    ~close_after:true r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> send_all c data);
+  ignore
+    (Engine.schedule (World.engine r.rworld) ~delay:(Time.ms 60) (fun () ->
+         Replicated.kill_primary r.repl));
+  World.run r.rworld ~for_:(Time.sec 120.0);
+  check_string "completion ack from survivor" "ok" (sink_contents csink);
+  check_int "no reset" 0 csink.resets;
+  (* requirement 2 (§2): the survivor must hold every byte ever
+     acknowledged to the client — it received the whole upload *)
+  (match List.assoc_opt `Secondary !sinks with
+  | Some s -> check_string "secondary holds full upload" data (sink_contents s)
+  | None -> Alcotest.fail "secondary never accepted")
+
+let test_secondary_fails_mid_upload () =
+  let data = pattern ~tag:33 400_000 in
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:(String.length data) ~reply_of:(fun _ -> "ok")
+    ~close_after:true r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> send_all c data);
+  ignore
+    (Engine.schedule (World.engine r.rworld) ~delay:(Time.ms 60) (fun () ->
+         Replicated.kill_secondary r.repl));
+  World.run r.rworld ~for_:(Time.sec 120.0);
+  check_string "completion ack" "ok" (sink_contents csink);
+  (match List.assoc_opt `Primary !sinks with
+  | Some s -> check_string "primary holds full upload" data (sink_contents s)
+  | None -> Alcotest.fail "primary never accepted")
+
+let test_failover_on_idle_connection () =
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:4 ~reply_of:(fun req -> "got:" ^ req) r.repl
+    ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  World.run r.rworld ~for_:(Time.ms 20) (* connection established, idle *);
+  check_bool "established" true csink.established;
+  Replicated.kill_primary r.repl;
+  World.run r.rworld ~for_:(Time.sec 2.0) (* failover completes *);
+  ignore (Tcb.send c "ping");
+  World.run r.rworld ~for_:(Time.sec 10.0);
+  check_string "post-failover request served by survivor" "got:ping"
+    (sink_contents csink);
+  check_int "no reset" 0 csink.resets
+
+let test_failover_during_handshake () =
+  (* kill the primary immediately after the client's SYN is sent: the
+     client's SYN retransmission must be answered by the secondary after
+     takeover *)
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:4 ~reply_of:(fun _ -> "late-hello") r.repl
+    ~port:80 ~sinks ();
+  Replicated.kill_primary r.repl;
+  (* small head start so the kill is strictly before the SYN *)
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () ->
+      csink.established <- true;
+      ignore (Tcb.send c "ping"));
+  World.run r.rworld ~for_:(Time.sec 30.0);
+  check_bool "eventually established" true csink.established;
+  check_string "served by secondary" "late-hello" (sink_contents csink)
+
+let test_new_connections_after_takeover () =
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:4 ~reply_of:(fun _ -> "fresh") r.repl ~port:80
+    ~sinks ();
+  Replicated.kill_primary r.repl;
+  World.run r.rworld ~for_:(Time.sec 2.0);
+  check_bool "taken over" true
+    (Secondary_bridge.taken_over (Replicated.secondary_bridge r.repl));
+  (* brand-new connection to the service address: served natively by the
+     secondary *)
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "ping"));
+  World.run r.rworld ~for_:(Time.sec 5.0);
+  check_string "served" "fresh" (sink_contents csink)
+
+let test_new_connections_after_secondary_death () =
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  echo_service ~request_size:4 ~reply_of:(fun _ -> "solo") r.repl ~port:80
+    ~sinks ();
+  Replicated.kill_secondary r.repl;
+  World.run r.rworld ~for_:(Time.sec 2.0);
+  check_bool "degraded" true
+    (Primary_bridge.degraded (Replicated.primary_bridge r.repl));
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "ping"));
+  World.run r.rworld ~for_:(Time.sec 5.0);
+  check_string "served as plain tcp" "solo" (sink_contents csink)
+
+let test_failover_latency_bounded () =
+  (* the client-visible stall is detector timeout + takeover processing +
+     a couple of retransmission timeouts, not tens of seconds *)
+  let _, csink, _r, eof_at =
+    download_with_kill ~victim:`Primary ~kill_at:(Time.ms 40)
+      ~reply_size:600_000 ()
+  in
+  check_bool "complete" true csink.eof;
+  (* 600 KB at ~8 MB/s is ~75 ms; allow detector + takeover + RTO recovery
+     but the whole transfer must finish well under 10 s *)
+  (match !eof_at with
+  | Some t -> check_bool "bounded stall" true (t < Time.sec 10.0)
+  | None -> Alcotest.fail "no eof")
+
+let test_concurrent_connections_all_survive () =
+  let r = make_repl_lan () in
+  let sinks = ref [] in
+  let reply_of req = "R" ^ req ^ String.make 40_000 'w' in
+  echo_service ~request_size:6 ~reply_of ~close_after:true r.repl ~port:80
+    ~sinks ();
+  let conns =
+    List.init 4 (fun i ->
+        let c =
+          Stack.connect (Host.tcp r.rclient)
+            ~remote:(Replicated.service_addr r.repl, 80)
+            ()
+        in
+        let sink = make_sink () in
+        wire_sink sink c;
+        Tcb.set_on_established c (fun () ->
+            ignore (Tcb.send c (Printf.sprintf "req-%02d" i)));
+        (i, sink))
+  in
+  ignore
+    (Engine.schedule (World.engine r.rworld) ~delay:(Time.ms 30) (fun () ->
+         Replicated.kill_primary r.repl));
+  World.run r.rworld ~for_:(Time.sec 120.0);
+  List.iter
+    (fun (i, sink) ->
+      check_string
+        (Printf.sprintf "conn %d stream intact" i)
+        (reply_of (Printf.sprintf "req-%02d" i))
+        (sink_contents sink);
+      check_int "no reset" 0 sink.resets)
+    conns
+
+let suite =
+  [
+    Alcotest.test_case "no false failover" `Quick test_no_false_failover;
+    Alcotest.test_case "primary fails mid-download (5)" `Quick
+      test_primary_fails_mid_download;
+    Alcotest.test_case "secondary fails mid-download (6)" `Quick
+      test_secondary_fails_mid_download;
+    Alcotest.test_case "primary fails mid-upload (2 req.2)" `Quick
+      test_primary_fails_mid_upload;
+    Alcotest.test_case "secondary fails mid-upload" `Quick
+      test_secondary_fails_mid_upload;
+    Alcotest.test_case "failover on idle connection" `Quick
+      test_failover_on_idle_connection;
+    Alcotest.test_case "failover during handshake" `Quick
+      test_failover_during_handshake;
+    Alcotest.test_case "new connections after takeover" `Quick
+      test_new_connections_after_takeover;
+    Alcotest.test_case "new connections after secondary death" `Quick
+      test_new_connections_after_secondary_death;
+    Alcotest.test_case "failover latency bounded" `Quick
+      test_failover_latency_bounded;
+    Alcotest.test_case "concurrent connections all survive failover"
+      `Quick test_concurrent_connections_all_survive;
+  ]
+
+let test_failover_with_wire_roundtrip () =
+  (* every segment of the whole exchange — including the bridge's merged
+     and diverted ones — is serialized to RFC octets and re-parsed at
+     transmit time; any malformed emission raises *)
+  let r = make_repl_lan () in
+  List.iter
+    (fun h -> Tcpfo_ip.Ip_layer.set_wire_roundtrip (Host.ip h) true)
+    [ r.rclient; r.primary; r.secondary ];
+  let reply = pattern ~tag:40 150_000 in
+  let sinks = ref [] in
+  echo_service ~request_size:3 ~reply_of:(fun _ -> reply) ~close_after:true
+    r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get"));
+  ignore
+    (Engine.schedule (World.engine r.rworld) ~delay:(Time.ms 25) (fun () ->
+         Replicated.kill_primary r.repl));
+  World.run r.rworld ~for_:(Time.sec 60.0);
+  check_string "byte-exact through real wire encoding" reply
+    (sink_contents csink);
+  check_int "no reset" 0 csink.resets
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "failover under wire-codec roundtrip" `Quick
+        test_failover_with_wire_roundtrip;
+    ]
+
+let test_reintegration () =
+  (* the old secondary dies mid-transfer; a fresh host joins; old (solo)
+     connections keep working; new connections are fully replicated and
+     survive a subsequent PRIMARY failure *)
+  let world = World.create () in
+  let lan_medium = World.make_lan world () in
+  let client =
+    World.add_host world lan_medium ~name:"client" ~addr:"10.0.0.10" ()
+  in
+  let primary =
+    World.add_host world lan_medium ~name:"primary" ~addr:"10.0.0.1" ()
+  in
+  let secondary =
+    World.add_host world lan_medium ~name:"secondary" ~addr:"10.0.0.2" ()
+  in
+  World.warm_arp [ client; primary; secondary ];
+  let repl =
+    Replicated.create ~primary ~secondary
+      ~config:Tcpfo_core.Failover_config.default ()
+  in
+  let sinks = ref [] in
+  Replicated.listen repl ~port:80 ~on_accept:(fun ~role tcb ->
+      let sink = make_sink () in
+      sinks := (role, sink) :: !sinks;
+      wire_sink sink tcb;
+      Tcb.set_on_data tcb (fun d ->
+          Buffer.add_string sink.buf d;
+          ignore (Tcb.send tcb ("R:" ^ d))));
+  (* connection #1, then the secondary dies *)
+  let c1sink = make_sink () in
+  let c1 =
+    Stack.connect (Host.tcp client) ~remote:(Replicated.service_addr repl, 80)
+      ()
+  in
+  wire_sink c1sink c1;
+  Tcb.set_on_established c1 (fun () -> ignore (Tcb.send c1 "one"));
+  World.run world ~for_:(Time.ms 50);
+  Replicated.kill_secondary repl;
+  World.run world ~for_:(Time.sec 2.0);
+  check_bool "secondary failure handled" true
+    (Replicated.status repl = `Secondary_failed);
+  (* the pre-existing connection keeps working in solo mode *)
+  ignore (Tcb.send c1 "two");
+  World.run world ~for_:(Time.sec 1.0);
+  check_string "solo conn served" "R:oneR:two" (sink_contents c1sink);
+  (* reintegrate a brand-new host *)
+  let fresh =
+    World.add_host world lan_medium ~name:"secondary2" ~addr:"10.0.0.3" ()
+  in
+  World.warm_arp [ client; primary; fresh ];
+  Replicated.reintegrate repl ~secondary:fresh;
+  check_bool "back to normal" true (Replicated.status repl = `Normal);
+  World.run world ~for_:(Time.ms 200);
+  (* the old solo connection is undisturbed by the newcomer *)
+  ignore (Tcb.send c1 "three");
+  World.run world ~for_:(Time.sec 1.0);
+  check_string "solo conn still served" "R:oneR:twoR:three"
+    (sink_contents c1sink);
+  check_int "solo conn never reset" 0 c1sink.resets;
+  (* a NEW connection is replicated on the fresh secondary... *)
+  let c2sink = make_sink () in
+  let c2 =
+    Stack.connect (Host.tcp client) ~remote:(Replicated.service_addr repl, 80)
+      ()
+  in
+  wire_sink c2sink c2;
+  Tcb.set_on_established c2 (fun () -> ignore (Tcb.send c2 "fresh"));
+  World.run world ~for_:(Time.sec 1.0);
+  check_string "new conn served" "R:fresh" (sink_contents c2sink);
+  check_bool "fresh secondary accepted the new conn" true
+    (List.exists
+       (fun (role, s) -> role = `Secondary && sink_contents s = "fresh")
+       !sinks);
+  (* ...and survives a PRIMARY failure: the full §5 failover now runs on
+     the reintegrated host *)
+  Replicated.kill_primary repl;
+  World.run world ~for_:(Time.sec 2.0);
+  ignore (Tcb.send c2 "after");
+  World.run world ~for_:(Time.sec 5.0);
+  check_string "new conn survives primary failure" "R:freshR:after"
+    (sink_contents c2sink);
+  check_int "never reset" 0 c2sink.resets
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "reintegration of a fresh secondary" `Quick
+        test_reintegration;
+    ]

@@ -1,0 +1,159 @@
+(* Property: the client's byte stream is exactly preserved no matter WHEN
+   the primary (or secondary) dies — the paper's transparency claim,
+   quantified over failure times and seeds. *)
+
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Replicated = Tcpfo_core.Replicated
+open Testutil
+
+(* One full run: client uploads [up] and downloads reply [down]; [victim]
+   dies at [kill_at] (None = no failure).  Returns true iff the client
+   received exactly [down], never saw a reset, and the surviving replica
+   received exactly [up]. *)
+let run_scenario ~seed ~victim ~kill_at ~up_size ~down_size =
+  let up = pattern ~tag:91 up_size in
+  let down = pattern ~tag:92 down_size in
+  let r = make_repl_lan ~seed () in
+  let sinks = ref [] in
+  echo_service ~request_size:up_size ~reply_of:(fun _ -> down)
+    ~close_after:true r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> send_all c up);
+  (match kill_at with
+  | None -> ()
+  | Some t ->
+    ignore
+      (Engine.schedule (World.engine r.rworld) ~delay:t (fun () ->
+           match victim with
+           | `Primary -> Replicated.kill_primary r.repl
+           | `Secondary -> Replicated.kill_secondary r.repl)));
+  World.run r.rworld ~for_:(Time.sec 180.0);
+  let survivor = match victim with `Primary -> `Secondary | `Secondary -> `Primary in
+  let survivor_ok =
+    match kill_at with
+    | None -> true
+    | Some _ -> (
+      match List.assoc_opt survivor !sinks with
+      | Some s -> sink_contents s = up
+      | None -> false)
+  in
+  sink_contents csink = down && csink.resets = 0 && csink.eof && survivor_ok
+
+let prop_primary_any_time =
+  QCheck.Test.make ~name:"client stream exact for any primary-kill time"
+    ~count:12
+    QCheck.(pair (int_bound 10_000) (int_range 0 150_000))
+    (fun (seed, kill_us) ->
+      run_scenario ~seed ~victim:`Primary
+        ~kill_at:(Some (Time.us kill_us))
+        ~up_size:60_000 ~down_size:120_000)
+
+let prop_secondary_any_time =
+  QCheck.Test.make ~name:"client stream exact for any secondary-kill time"
+    ~count:12
+    QCheck.(pair (int_bound 10_000) (int_range 0 150_000))
+    (fun (seed, kill_us) ->
+      run_scenario ~seed ~victim:`Secondary
+        ~kill_at:(Some (Time.us kill_us))
+        ~up_size:60_000 ~down_size:120_000)
+
+let prop_no_failure_baseline =
+  QCheck.Test.make ~name:"baseline (no failure) stream exact" ~count:6
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      run_scenario ~seed ~victim:`Primary ~kill_at:None ~up_size:30_000
+        ~down_size:50_000)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_no_failure_baseline; prop_primary_any_time;
+      prop_secondary_any_time ]
+
+(* Hostile WAN: the client reaches the replicated pair through a link
+   that drops, duplicates and reorders packets.  TCP must heal it all and
+   the bridge must stay transparent — with and without a failover. *)
+let hostile_run ~seed ~kill_primary =
+  let world = World.create ~seed () in
+  let lan = World.make_lan world () in
+  let wan =
+    Tcpfo_net.Link.create (World.engine world) ~rng:(World.fresh_rng world)
+      {
+        Tcpfo_net.Link.bandwidth_bps = 8_000_000;
+        delay = Time.ms 8;
+        jitter = Time.ms 2;
+        loss_prob = 0.02;
+        dup_prob = 0.02;
+        reorder_prob = 0.05;
+        queue_capacity = 64;
+      }
+  in
+  let router =
+    World.add_router world lan ~lan_addr:"10.0.0.254" ~wan_link:wan
+      ~wan_addr:"192.168.0.1" ()
+  in
+  let client = World.add_wan_client world ~wan_link:wan ~addr:"192.168.0.2" () in
+  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
+  let secondary =
+    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
+  in
+  let gw = Tcpfo_packet.Ipaddr.of_string "10.0.0.254" in
+  Host.set_default_via_lan primary ~gateway:gw;
+  Host.set_default_via_lan secondary ~gateway:gw;
+  World.warm_arp [ primary; secondary; router ];
+  let repl =
+    Replicated.create ~primary ~secondary
+      ~config:Tcpfo_core.Failover_config.default ()
+  in
+  let reply = pattern ~tag:95 120_000 in
+  let up = pattern ~tag:96 60_000 in
+  let upload_seen = ref "" in
+  Replicated.listen repl ~port:80 ~on_accept:(fun ~role tcb ->
+      let buf = Buffer.create 1024 in
+      Tcb.set_on_data tcb (fun d ->
+          Buffer.add_string buf d;
+          if Buffer.length buf = String.length up then begin
+            if role = `Secondary then upload_seen := Buffer.contents buf;
+            send_all ~close:true tcb reply
+          end);
+      Tcb.set_on_eof tcb (fun () -> ()));
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp client) ~remote:(Replicated.service_addr repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> send_all c up);
+  if kill_primary then
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(Time.ms 400) (fun () ->
+           Replicated.kill_primary repl));
+  World.run world ~for_:(Time.sec 300.0);
+  sink_contents csink = reply && csink.resets = 0
+  && (not kill_primary || !upload_seen = up)
+
+let prop_hostile_wan_fault_free =
+  QCheck.Test.make ~name:"hostile WAN (loss+dup+reorder), fault-free"
+    ~count:5
+    QCheck.(int_bound 100_000)
+    (fun seed -> hostile_run ~seed ~kill_primary:false)
+
+let prop_hostile_wan_with_failover =
+  QCheck.Test.make ~name:"hostile WAN with primary failover" ~count:5
+    QCheck.(int_bound 100_000)
+    (fun seed -> hostile_run ~seed ~kill_primary:true)
+
+let suite =
+  suite
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_hostile_wan_fault_free; prop_hostile_wan_with_failover ]

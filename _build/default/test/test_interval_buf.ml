@@ -1,0 +1,135 @@
+module Interval_buf = Tcpfo_util.Interval_buf
+module Seq32 = Tcpfo_util.Seq32
+
+let base100 () = Interval_buf.create ~base:(Seq32.of_int 100)
+
+let test_in_order () =
+  let b = base100 () in
+  Interval_buf.insert b ~seq:(Seq32.of_int 100) "abc";
+  Testutil.check_int "contig" 3 (Interval_buf.contiguous_length b);
+  Testutil.check_string "pop" "abc" (Interval_buf.pop b ~max_len:10);
+  Testutil.check_int "base moved" 103 (Seq32.to_int (Interval_buf.base b))
+
+let test_gap_then_fill () =
+  let b = base100 () in
+  Interval_buf.insert b ~seq:(Seq32.of_int 105) "xyz";
+  Testutil.check_int "gap blocks" 0 (Interval_buf.contiguous_length b);
+  Testutil.check_int "buffered" 3 (Interval_buf.total_buffered b);
+  Interval_buf.insert b ~seq:(Seq32.of_int 100) "abcde";
+  Testutil.check_int "filled" 8 (Interval_buf.contiguous_length b);
+  Testutil.check_string "pop all" "abcdexyz" (Interval_buf.pop b ~max_len:100)
+
+let test_overlap_first_write_wins () =
+  let b = base100 () in
+  Interval_buf.insert b ~seq:(Seq32.of_int 100) "AAAA";
+  Interval_buf.insert b ~seq:(Seq32.of_int 102) "bbbb";
+  Testutil.check_string "overlap" "AAAAbb" (Interval_buf.pop b ~max_len:100)
+
+let test_clip_below_base () =
+  let b = base100 () in
+  Interval_buf.insert b ~seq:(Seq32.of_int 95) "0123456789";
+  (* bytes 95..99 clipped; 100..104 = "56789" *)
+  Testutil.check_string "clipped" "56789" (Interval_buf.pop b ~max_len:100)
+
+let test_drop () =
+  let b = base100 () in
+  Interval_buf.insert b ~seq:(Seq32.of_int 100) "abcdef";
+  Interval_buf.drop b ~len:4;
+  Testutil.check_string "rest" "ef" (Interval_buf.pop b ~max_len:100)
+
+let test_has_byte () =
+  let b = base100 () in
+  Interval_buf.insert b ~seq:(Seq32.of_int 105) "xy";
+  Testutil.check_bool "at 105" true (Interval_buf.has_byte b (Seq32.of_int 105));
+  Testutil.check_bool "at 107" false (Interval_buf.has_byte b (Seq32.of_int 107));
+  Testutil.check_bool "below base" false (Interval_buf.has_byte b (Seq32.of_int 99))
+
+let test_wraparound () =
+  let near_top = Seq32.of_int 0xFFFF_FFFD in
+  let b = Interval_buf.create ~base:near_top in
+  Interval_buf.insert b ~seq:near_top "012345";
+  Testutil.check_string "across wrap" "012345" (Interval_buf.pop b ~max_len:100);
+  Testutil.check_int "base wrapped" 3 (Seq32.to_int (Interval_buf.base b))
+
+(* Property: inserting arbitrary (possibly overlapping, out of order)
+   chunks of one master string at their true offsets always reassembles to
+   a prefix of the master string, and reassembles completely if the chunks
+   cover it. *)
+let prop_reassembly =
+  let gen =
+    QCheck.Gen.(
+      let* len = int_range 1 400 in
+      let master = String.init len (fun i -> Char.chr (65 + (i mod 26))) in
+      let* n = int_range 1 30 in
+      let* chunks =
+        list_repeat n
+          (let* off = int_range 0 (len - 1) in
+           let* clen = int_range 1 (len - off) in
+           return (off, clen))
+      in
+      return (master, chunks))
+  in
+  QCheck.Test.make ~name:"reassembly yields prefix of master" ~count:300
+    (QCheck.make gen) (fun (master, chunks) ->
+      let base = Seq32.of_int 5000 in
+      let b = Interval_buf.create ~base in
+      List.iter
+        (fun (off, clen) ->
+          Interval_buf.insert b ~seq:(Seq32.add base off)
+            (String.sub master off clen))
+        chunks;
+      let out = Interval_buf.pop b ~max_len:max_int in
+      String.length out <= String.length master
+      && String.sub master 0 (String.length out) = out)
+
+let prop_full_cover =
+  let gen =
+    QCheck.Gen.(
+      let* len = int_range 1 300 in
+      let master = String.init len (fun i -> Char.chr (48 + (i mod 10))) in
+      (* random permutation of consecutive chunks *)
+      let* sizes =
+        let rec cut acc remaining =
+          if remaining = 0 then return (List.rev acc)
+          else
+            let* c = int_range 1 remaining in
+            cut (c :: acc) (remaining - c)
+        in
+        cut [] len
+      in
+      let offs =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (off, acc) sz -> (off + sz, (off, sz) :: acc))
+                (0, []) sizes))
+      in
+      let* shuffled = shuffle_l offs in
+      return (master, shuffled))
+  in
+  QCheck.Test.make ~name:"covering chunks reassemble exactly" ~count:300
+    (QCheck.make gen) (fun (master, chunks) ->
+      let base = Seq32.of_int 0xFFFF_FF00 (* crosses the wrap *) in
+      let b = Interval_buf.create ~base in
+      List.iter
+        (fun (off, clen) ->
+          Interval_buf.insert b ~seq:(Seq32.add base off)
+            (String.sub master off clen))
+        chunks;
+      Interval_buf.pop b ~max_len:max_int = master)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "in-order insert/pop" `Quick test_in_order;
+    Alcotest.test_case "gap blocks, fill releases" `Quick test_gap_then_fill;
+    Alcotest.test_case "overlap: first write wins" `Quick
+      test_overlap_first_write_wins;
+    Alcotest.test_case "bytes below base are clipped" `Quick
+      test_clip_below_base;
+    Alcotest.test_case "drop advances base" `Quick test_drop;
+    Alcotest.test_case "has_byte island query" `Quick test_has_byte;
+    Alcotest.test_case "sequence wraparound" `Quick test_wraparound;
+    q prop_reassembly;
+    q prop_full_cover;
+  ]

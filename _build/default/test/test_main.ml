@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "tcpfo"
+    [
+      ("seq32", Test_seq32.suite);
+      ("rangeset", Test_rangeset.suite);
+      ("checksum", Test_checksum.suite);
+      ("interval_buf", Test_interval_buf.suite);
+      ("bytebuf", Test_bytebuf.suite);
+      ("heap", Test_heap.suite);
+      ("engine", Test_engine.suite);
+      ("rng_stats", Test_rng_stats.suite);
+      ("wire", Test_wire.suite);
+      ("medium", Test_medium.suite);
+      ("link", Test_link.suite);
+      ("arp", Test_arp.suite);
+      ("tcp_basic", Test_tcp_basic.suite);
+      ("tcp_transfer", Test_tcp_transfer.suite);
+      ("tcp_loss", Test_tcp_loss.suite);
+      ("tcp_close", Test_tcp_close.suite);
+      ("tcp_options", Test_tcp_options.suite);
+      ("tcp_edge", Test_tcp_edge.suite);
+      ("bridge", Test_bridge_unit.suite);
+      ("failover", Test_failover.suite);
+      ("failover_prop", Test_failover_prop.suite);
+      ("apps", Test_apps.suite);
+      ("chain", Test_chain.suite);
+      ("misc", Test_misc.suite);
+    ]

@@ -1,0 +1,164 @@
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module Rng = Tcpfo_util.Rng
+module Medium = Tcpfo_net.Medium
+module Nic = Tcpfo_net.Nic
+module Eth_frame = Tcpfo_packet.Eth_frame
+module Macaddr = Tcpfo_packet.Macaddr
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+
+let mk_frame ~src ~dst n =
+  Eth_frame.make ~src:(Macaddr.of_int src) ~dst:(Macaddr.of_int dst)
+    (Eth_frame.Ip
+       (Ipv4_packet.make ~src:(Ipaddr.of_int 1) ~dst:(Ipaddr.of_int 2)
+          (Ipv4_packet.Raw { proto = 200; data = String.make n 'x' })))
+
+let setup ?(config = Medium.default_config) () =
+  let e = Engine.create () in
+  let m = Medium.create e ~rng:(Rng.create ~seed:11) config in
+  (e, m)
+
+let test_broadcast_semantics () =
+  (* hub: every other station sees the frame, the sender does not *)
+  let e, m = setup () in
+  let got = Array.make 3 0 in
+  let ports =
+    Array.init 3 (fun i ->
+        Medium.attach m ~deliver:(fun _ -> got.(i) <- got.(i) + 1))
+  in
+  Medium.transmit m ports.(0) (mk_frame ~src:1 ~dst:2 100);
+  Engine.run e;
+  Alcotest.(check (array int)) "all but sender" [| 0; 1; 1 |] got
+
+let test_serialization_time () =
+  let e, m = setup () in
+  let arrival = ref Time.zero in
+  let _p0 = Medium.attach m ~deliver:(fun _ -> ()) in
+  let _p1 = Medium.attach m ~deliver:(fun _ -> arrival := Engine.now e) in
+  let p2 = Medium.attach m ~deliver:(fun _ -> ()) in
+  (* 1000-byte raw payload: wire = 14 + 20 + 1000 + 4 = 1038; +20
+     preamble/IFG = 1058 bytes = 8464 bits @100Mb/s = 84.64 us, +1 us
+     propagation *)
+  Medium.transmit m p2 (mk_frame ~src:3 ~dst:1 1000);
+  Engine.run e;
+  Testutil.check_int "arrival time" (Time.ns 85_640) !arrival
+
+let test_fifo_when_busy () =
+  let e, m = setup () in
+  let log = ref [] in
+  let p0 =
+    Medium.attach m ~deliver:(fun f ->
+        log := Macaddr.to_int f.Eth_frame.src :: !log)
+  in
+  ignore p0;
+  let p1 = Medium.attach m ~deliver:(fun _ -> ()) in
+  let p2 = Medium.attach m ~deliver:(fun _ -> ()) in
+  (* p1 transmits; while busy, p2 queues; no collision since p2 defers *)
+  Medium.transmit m p1 (mk_frame ~src:11 ~dst:1 500);
+  ignore
+    (Engine.schedule e ~delay:(Time.us 5) (fun () ->
+         Medium.transmit m p2 (mk_frame ~src:22 ~dst:1 500)));
+  Engine.run e;
+  Alcotest.(check (list int)) "both delivered in order" [ 11; 22 ]
+    (List.rev !log);
+  Testutil.check_int "no collisions" 0 (Medium.stats_collisions m)
+
+let test_collision_backoff_resolves () =
+  let e, m =
+    setup ~config:{ Medium.default_config with collision_prob = 1.0 } ()
+  in
+  let received = ref 0 in
+  let _sink = Medium.attach m ~deliver:(fun _ -> incr received) in
+  let p1 = Medium.attach m ~deliver:(fun _ -> ()) in
+  let p2 = Medium.attach m ~deliver:(fun _ -> ()) in
+  let p3 = Medium.attach m ~deliver:(fun _ -> ()) in
+  (* all three want the wire while it is busy -> contention at idle *)
+  Medium.transmit m p1 (mk_frame ~src:1 ~dst:9 800);
+  Medium.transmit m p2 (mk_frame ~src:2 ~dst:9 800);
+  Medium.transmit m p3 (mk_frame ~src:3 ~dst:9 800);
+  Engine.run e;
+  Testutil.check_int "all delivered eventually" 3 !received;
+  Testutil.check_bool "collisions occurred" true
+    (Medium.stats_collisions m > 0)
+
+let test_collisions_disabled () =
+  let e, m =
+    setup ~config:{ Medium.default_config with enable_collisions = false } ()
+  in
+  let received = ref 0 in
+  let _sink = Medium.attach m ~deliver:(fun _ -> incr received) in
+  let p1 = Medium.attach m ~deliver:(fun _ -> ()) in
+  let p2 = Medium.attach m ~deliver:(fun _ -> ()) in
+  Medium.transmit m p1 (mk_frame ~src:1 ~dst:9 100);
+  Medium.transmit m p2 (mk_frame ~src:2 ~dst:9 100);
+  Medium.transmit m p1 (mk_frame ~src:1 ~dst:9 100);
+  Engine.run e;
+  Testutil.check_int "all delivered" 3 !received;
+  Testutil.check_int "no collisions" 0 (Medium.stats_collisions m)
+
+let test_detach_stops_delivery () =
+  let e, m = setup () in
+  let got = ref 0 in
+  let p0 = Medium.attach m ~deliver:(fun _ -> incr got) in
+  let p1 = Medium.attach m ~deliver:(fun _ -> ()) in
+  Medium.transmit m p1 (mk_frame ~src:2 ~dst:1 50);
+  Engine.run e;
+  Testutil.check_int "first arrives" 1 !got;
+  Medium.detach m p0;
+  Medium.transmit m p1 (mk_frame ~src:2 ~dst:1 50);
+  Engine.run e;
+  Testutil.check_int "after detach" 1 !got
+
+let test_random_loss () =
+  let e, m = setup ~config:{ Medium.default_config with loss_prob = 0.5 } () in
+  let got = ref 0 in
+  let _p0 = Medium.attach m ~deliver:(fun _ -> incr got) in
+  let p1 = Medium.attach m ~deliver:(fun _ -> ()) in
+  let n = 200 in
+  for i = 0 to n - 1 do
+    ignore
+      (Engine.schedule e ~delay:(Time.us (i * 200)) (fun () ->
+           Medium.transmit m p1 (mk_frame ~src:2 ~dst:1 50)))
+  done;
+  Engine.run e;
+  Testutil.check_bool "some lost" true (!got < n);
+  Testutil.check_bool "some arrive" true (!got > n / 4)
+
+let test_nic_promiscuous () =
+  let e, m = setup () in
+  let normal = ref 0 and promisc = ref 0 in
+  let nic1 = Nic.create e ~mac:(Macaddr.of_int 0x111) m in
+  let nic2 = Nic.create e ~mac:(Macaddr.of_int 0x222) m in
+  let nic3 = Nic.create e ~mac:(Macaddr.of_int 0x333) m in
+  Nic.set_rx nic2 (fun _ ~addressed_to_me -> if addressed_to_me then incr normal);
+  Nic.set_rx nic3 (fun _ ~addressed_to_me ->
+      if not addressed_to_me then incr promisc);
+  (* frame to nic2's MAC: nic3 sees nothing until promiscuous *)
+  Nic.send nic1 ~dst:(Macaddr.of_int 0x222)
+    (mk_frame ~src:0x111 ~dst:0x222 10).Eth_frame.payload;
+  Engine.run e;
+  Testutil.check_int "unicast received" 1 !normal;
+  Testutil.check_int "not snooped yet" 0 !promisc;
+  Nic.set_promiscuous nic3 true;
+  Nic.send nic1 ~dst:(Macaddr.of_int 0x222)
+    (mk_frame ~src:0x111 ~dst:0x222 10).Eth_frame.payload;
+  Engine.run e;
+  Testutil.check_int "snooped" 1 !promisc
+
+let suite =
+  [
+    Alcotest.test_case "hub broadcast semantics" `Quick
+      test_broadcast_semantics;
+    Alcotest.test_case "serialization + propagation timing" `Quick
+      test_serialization_time;
+    Alcotest.test_case "busy medium: FIFO, no collision" `Quick
+      test_fifo_when_busy;
+    Alcotest.test_case "collision backoff resolves" `Quick
+      test_collision_backoff_resolves;
+    Alcotest.test_case "collisions disabled" `Quick test_collisions_disabled;
+    Alcotest.test_case "detach stops delivery" `Quick
+      test_detach_stops_delivery;
+    Alcotest.test_case "random loss" `Quick test_random_loss;
+    Alcotest.test_case "nic promiscuous mode" `Quick test_nic_promiscuous;
+  ]

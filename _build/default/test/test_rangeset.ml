@@ -1,0 +1,118 @@
+module Rangeset = Tcpfo_util.Rangeset
+module Seq32 = Tcpfo_util.Seq32
+
+let sq = Seq32.of_int
+let pairs t = List.map (fun (a, b) -> (Seq32.to_int a, Seq32.to_int b))
+    (Rangeset.ranges t)
+
+let test_add_disjoint () =
+  let t = Rangeset.create () in
+  Rangeset.add t ~lo:(sq 100) ~hi:(sq 200);
+  Rangeset.add t ~lo:(sq 300) ~hi:(sq 400);
+  Rangeset.add t ~lo:(sq 10) ~hi:(sq 20);
+  Alcotest.(check (list (pair int int))) "sorted disjoint"
+    [ (10, 20); (100, 200); (300, 400) ] (pairs t)
+
+let test_merge_overlap () =
+  let t = Rangeset.create () in
+  Rangeset.add t ~lo:(sq 100) ~hi:(sq 200);
+  Rangeset.add t ~lo:(sq 150) ~hi:(sq 250);
+  Alcotest.(check (list (pair int int))) "merged" [ (100, 250) ] (pairs t)
+
+let test_merge_bridging () =
+  let t = Rangeset.create () in
+  Rangeset.add t ~lo:(sq 100) ~hi:(sq 200);
+  Rangeset.add t ~lo:(sq 300) ~hi:(sq 400);
+  Rangeset.add t ~lo:(sq 150) ~hi:(sq 350);
+  Alcotest.(check (list (pair int int))) "bridged" [ (100, 400) ] (pairs t)
+
+let test_adjacent_merge () =
+  let t = Rangeset.create () in
+  Rangeset.add t ~lo:(sq 100) ~hi:(sq 200);
+  Rangeset.add t ~lo:(sq 200) ~hi:(sq 300);
+  Alcotest.(check (list (pair int int))) "adjacent merged" [ (100, 300) ]
+    (pairs t)
+
+let test_empty_range_ignored () =
+  let t = Rangeset.create () in
+  Rangeset.add t ~lo:(sq 100) ~hi:(sq 100);
+  Rangeset.add t ~lo:(sq 200) ~hi:(sq 150);
+  Alcotest.(check bool) "still empty" true (Rangeset.is_empty t)
+
+let test_covering_end () =
+  let t = Rangeset.create () in
+  Rangeset.add t ~lo:(sq 100) ~hi:(sq 200);
+  Alcotest.(check (option int)) "inside" (Some 200)
+    (Option.map Seq32.to_int (Rangeset.covering_end t (sq 150)));
+  Alcotest.(check (option int)) "at lo" (Some 200)
+    (Option.map Seq32.to_int (Rangeset.covering_end t (sq 100)));
+  Alcotest.(check (option int)) "at hi (exclusive)" None
+    (Option.map Seq32.to_int (Rangeset.covering_end t (sq 200)));
+  Alcotest.(check (option int)) "outside" None
+    (Option.map Seq32.to_int (Rangeset.covering_end t (sq 99)))
+
+let test_clear_below () =
+  let t = Rangeset.create () in
+  Rangeset.add t ~lo:(sq 100) ~hi:(sq 200);
+  Rangeset.add t ~lo:(sq 300) ~hi:(sq 400);
+  Rangeset.clear_below t (sq 150);
+  Alcotest.(check (list (pair int int))) "trimmed"
+    [ (150, 200); (300, 400) ] (pairs t);
+  Rangeset.clear_below t (sq 250);
+  Alcotest.(check (list (pair int int))) "dropped" [ (300, 400) ] (pairs t)
+
+let test_wraparound () =
+  let t = Rangeset.create () in
+  let near = Seq32.of_int 0xFFFF_FFF0 in
+  Rangeset.add t ~lo:near ~hi:(Seq32.add near 32);
+  Alcotest.(check (option bool)) "covers across wrap" (Some true)
+    (Option.map (fun _ -> true) (Rangeset.covering_end t (Seq32.add near 20)))
+
+let prop_model =
+  (* model-based: compare membership against a naive bool array *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 20)
+        (let* lo = int_range 0 480 in
+         let* len = int_range 1 40 in
+         return (lo, lo + len)))
+  in
+  QCheck.Test.make ~name:"rangeset matches naive model" ~count:200
+    (QCheck.make gen) (fun ranges ->
+      let t = Rangeset.create () in
+      let model = Array.make 560 false in
+      List.iter
+        (fun (lo, hi) ->
+          Rangeset.add t ~lo:(sq (lo + 1000)) ~hi:(sq (hi + 1000));
+          for i = lo to hi - 1 do
+            model.(i) <- true
+          done)
+        ranges;
+      let ok = ref true in
+      for i = 0 to 559 do
+        let covered = Rangeset.covering_end t (sq (i + 1000)) <> None in
+        if covered <> model.(i) then ok := false
+      done;
+      (* ranges list must be sorted and disjoint *)
+      let rec disjoint = function
+        | (_, h1) :: ((l2, _) :: _ as rest) ->
+          Seq32.lt h1 l2 && disjoint rest
+        | _ -> true
+      in
+      !ok && disjoint (Rangeset.ranges t))
+
+let suite =
+  [
+    Alcotest.test_case "disjoint adds sorted" `Quick test_add_disjoint;
+    Alcotest.test_case "overlap merges" `Quick test_merge_overlap;
+    Alcotest.test_case "bridging add merges three" `Quick
+      test_merge_bridging;
+    Alcotest.test_case "adjacent ranges merge" `Quick test_adjacent_merge;
+    Alcotest.test_case "empty ranges ignored" `Quick
+      test_empty_range_ignored;
+    Alcotest.test_case "covering_end boundaries" `Quick test_covering_end;
+    Alcotest.test_case "clear_below trims and drops" `Quick
+      test_clear_below;
+    Alcotest.test_case "wraparound" `Quick test_wraparound;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

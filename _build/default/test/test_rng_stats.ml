@@ -1,0 +1,78 @@
+module Rng = Tcpfo_util.Rng
+module Stats = Tcpfo_util.Stats
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Testutil.check_bool "same stream" true (Rng.int64 a = Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let c = Rng.split a in
+  let v1 = Rng.int64 a and v2 = Rng.int64 c in
+  Testutil.check_bool "differ" true (v1 <> v2)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Testutil.check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create ~seed:2 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 3.5 in
+    Testutil.check_bool "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_bool_extremes () =
+  let r = Rng.create ~seed:3 in
+  Testutil.check_bool "p=0 never" false (Rng.bool r 0.0);
+  Testutil.check_bool "p=1 always" true (Rng.bool r 1.0)
+
+let test_median_odd_even () =
+  Alcotest.(check (float 1e-9)) "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  (* nearest-rank median of even-sized sample picks the lower middle *)
+  Alcotest.(check (float 1e-9)) "even" 2.0
+    (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p95" 95.0 (Stats.percentile 95.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile 100.0 xs);
+  Alcotest.(check (float 1e-9)) "p1" 1.0 (Stats.percentile 1.0 xs)
+
+let test_summary () =
+  let s = Stats.summarize [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 s.stddev;
+  Alcotest.(check (float 1e-9)) "min" 2.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 9.0 s.max;
+  Testutil.check_int "count" 8 s.count
+
+let test_exponential_mean () =
+  let r = Rng.create ~seed:9 in
+  let n = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.exponential r ~mean:5.0
+  done;
+  let m = !acc /. float_of_int n in
+  Testutil.check_bool "mean near 5" true (m > 4.5 && m < 5.5)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic by seed" `Quick
+      test_rng_deterministic;
+    Alcotest.test_case "split yields distinct stream" `Quick
+      test_rng_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+    Alcotest.test_case "bool extremes" `Quick test_rng_bool_extremes;
+    Alcotest.test_case "median" `Quick test_median_odd_even;
+    Alcotest.test_case "percentile nearest-rank" `Quick test_percentile;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+  ]

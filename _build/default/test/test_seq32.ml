@@ -1,0 +1,72 @@
+module Seq32 = Tcpfo_util.Seq32
+
+let top = 0xFFFF_FFFF
+
+let test_add_wraps () =
+  Testutil.check_int "wrap" 4 (Seq32.to_int (Seq32.add (Seq32.of_int top) 5));
+  Testutil.check_int "zero" 0 (Seq32.to_int (Seq32.add (Seq32.of_int top) 1));
+  Testutil.check_int "neg" top (Seq32.to_int (Seq32.add Seq32.zero (-1)))
+
+let test_diff_signed () =
+  let a = Seq32.of_int 10 and b = Seq32.of_int (top - 9) in
+  (* a is 20 ahead of b across the wrap point *)
+  Testutil.check_int "across wrap" 20 (Seq32.diff a b);
+  Testutil.check_int "reverse" (-20) (Seq32.diff b a);
+  Testutil.check_int "same" 0 (Seq32.diff a a)
+
+let test_ordering_across_wrap () =
+  let before = Seq32.of_int (top - 100) in
+  let after = Seq32.add before 200 in
+  Testutil.check_bool "lt" true (Seq32.lt before after);
+  Testutil.check_bool "gt" true (Seq32.gt after before);
+  Testutil.check_bool "le self" true (Seq32.le before before);
+  Testutil.check_bool "not lt self" false (Seq32.lt before before)
+
+let test_min_max () =
+  let a = Seq32.of_int (top - 5) in
+  let b = Seq32.add a 10 in
+  Testutil.check_int "max" (Seq32.to_int b) (Seq32.to_int (Seq32.max a b));
+  Testutil.check_int "min" (Seq32.to_int a) (Seq32.to_int (Seq32.min a b))
+
+let test_between () =
+  let low = Seq32.of_int (top - 10) in
+  let high = Seq32.add low 20 in
+  Testutil.check_bool "in" true
+    (Seq32.between ~low ~high (Seq32.add low 5));
+  Testutil.check_bool "at low" true (Seq32.between ~low ~high low);
+  Testutil.check_bool "at high" false (Seq32.between ~low ~high high);
+  Testutil.check_bool "out" false
+    (Seq32.between ~low ~high (Seq32.add high 1))
+
+let arb_seq = QCheck.map Seq32.of_int QCheck.(int_bound top)
+let arb_delta = QCheck.int_range (-1_000_000) 1_000_000
+
+let prop_add_diff =
+  QCheck.Test.make ~name:"diff (add s n) s = n" ~count:500
+    (QCheck.pair arb_seq arb_delta)
+    (fun (s, n) -> Seq32.diff (Seq32.add s n) s = n)
+
+let prop_ordering_antisym =
+  QCheck.Test.make ~name:"lt antisymmetric near" ~count:500
+    (QCheck.pair arb_seq (QCheck.int_range 1 1_000_000))
+    (fun (s, n) ->
+      let s' = Seq32.add s n in
+      Seq32.lt s s' && Seq32.gt s' s && not (Seq32.lt s' s))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_int/to_int roundtrip" ~count:500 arb_seq
+    (fun s -> Seq32.of_int (Seq32.to_int s) = s)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    Alcotest.test_case "add wraps mod 2^32" `Quick test_add_wraps;
+    Alcotest.test_case "diff is signed across wrap" `Quick test_diff_signed;
+    Alcotest.test_case "ordering across wrap" `Quick
+      test_ordering_across_wrap;
+    Alcotest.test_case "min/max modular" `Quick test_min_max;
+    Alcotest.test_case "between window" `Quick test_between;
+    q prop_add_diff;
+    q prop_ordering_antisym;
+    q prop_roundtrip;
+  ]

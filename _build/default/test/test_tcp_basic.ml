@@ -1,0 +1,157 @@
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Tcp_config = Tcpfo_tcp.Tcp_config
+open Testutil
+
+let test_handshake () =
+  let lan = make_simple_lan () in
+  let server_conn = ref None in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun tcb ->
+      server_conn := Some tcb);
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp lan.client)
+      ~remote:(Host.addr lan.server, 80)
+      ()
+  in
+  wire_sink csink c;
+  World.run_until_idle lan.world;
+  check_bool "client established" true csink.established;
+  check_bool "client state" true (Tcb.state c = Tcb.Established);
+  (match !server_conn with
+  | Some s -> check_bool "server state" true (Tcb.state s = Tcb.Established)
+  | None -> Alcotest.fail "no accept");
+  check_bool "no resets" true (csink.resets = 0)
+
+let test_mss_negotiation () =
+  let small = { Tcp_config.default with mss = 536 } in
+  let world = World.create () in
+  let lan_m = World.make_lan world () in
+  let client =
+    World.add_host world lan_m ~name:"client" ~addr:"10.0.0.10"
+      ~tcp_config:small ()
+  in
+  let server = World.add_host world lan_m ~name:"server" ~addr:"10.0.0.1" () in
+  World.warm_arp [ client; server ];
+  let server_conn = ref None in
+  Stack.listen (Host.tcp server) ~port:80 ~on_accept:(fun tcb ->
+      server_conn := Some tcb);
+  let c = Stack.connect (Host.tcp client) ~remote:(Host.addr server, 80) () in
+  World.run_until_idle world;
+  check_int "client side min" 536 (Tcb.effective_mss c);
+  (match !server_conn with
+  | Some s -> check_int "server side min" 536 (Tcb.effective_mss s)
+  | None -> Alcotest.fail "no accept")
+
+let test_rst_to_closed_port () =
+  let lan = make_simple_lan () in
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp lan.client)
+      ~remote:(Host.addr lan.server, 9999)
+      ()
+  in
+  wire_sink csink c;
+  World.run_until_idle lan.world;
+  check_bool "reset" true (csink.resets = 1);
+  check_bool "never established" false csink.established;
+  check_bool "closed" true (Tcb.state c = Tcb.Closed)
+
+let test_small_exchange () =
+  let lan = make_simple_lan () in
+  let ssink = make_sink () in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun tcb ->
+      wire_sink ssink tcb;
+      Tcb.set_on_data tcb (fun data ->
+          Buffer.add_string ssink.buf data;
+          ignore (Tcb.send tcb ("echo:" ^ data))));
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "hello"));
+  Tcb.set_on_data c (fun data -> Buffer.add_string csink.buf data);
+  World.run_until_idle lan.world;
+  check_string "server got" "hello" (Buffer.contents ssink.buf);
+  check_string "client got" "echo:hello" (Buffer.contents csink.buf)
+
+let test_connect_returns_distinct_ports () =
+  let lan = make_simple_lan () in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun _ -> ());
+  let c1 =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  let c2 =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  check_bool "ports differ" true
+    (snd (Tcb.local_endpoint c1) <> snd (Tcb.local_endpoint c2));
+  World.run_until_idle lan.world;
+  check_bool "both up" true
+    (Tcb.state c1 = Tcb.Established && Tcb.state c2 = Tcb.Established);
+  check_int "two conns client side" 2
+    (Stack.connection_count (Host.tcp lan.client))
+
+let test_isn_randomized () =
+  let lan = make_simple_lan () in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun _ -> ());
+  let c1 =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  let c2 =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  check_bool "distinct ISNs" true
+    (Tcpfo_util.Seq32.to_int (Tcb.iss c1)
+     <> Tcpfo_util.Seq32.to_int (Tcb.iss c2))
+
+let test_syn_retransmission_no_listener_host_down () =
+  (* connect to a dead host: SYN retransmits with backoff, then reset *)
+  let lan = make_simple_lan () in
+  Host.kill lan.server;
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  wire_sink csink c;
+  World.run_until_idle lan.world;
+  check_bool "gave up with reset" true (csink.resets = 1);
+  check_bool "retransmitted" true (Tcb.retransmits c >= 4)
+
+let test_connection_setup_time_plausible () =
+  (* sanity check on the latency model: standard TCP connection setup on a
+     warm LAN should land in the few-hundred-microsecond range (paper:
+     294 us median) *)
+  let lan = make_simple_lan () in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun _ -> ());
+  let t0 = World.now lan.world in
+  let done_at = ref Time.zero in
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  Tcb.set_on_established c (fun () -> done_at := World.now lan.world);
+  World.run_until_idle lan.world;
+  let dt = !done_at - t0 in
+  check_bool "> 50us" true (dt > Time.us 50);
+  check_bool "< 1ms" true (dt < Time.ms 1)
+
+let suite =
+  [
+    Alcotest.test_case "three-way handshake" `Quick test_handshake;
+    Alcotest.test_case "MSS negotiation picks minimum" `Quick
+      test_mss_negotiation;
+    Alcotest.test_case "RST for closed port" `Quick test_rst_to_closed_port;
+    Alcotest.test_case "small request/reply exchange" `Quick
+      test_small_exchange;
+    Alcotest.test_case "ephemeral ports distinct" `Quick
+      test_connect_returns_distinct_ports;
+    Alcotest.test_case "ISNs randomized" `Quick test_isn_randomized;
+    Alcotest.test_case "SYN retransmits then gives up" `Quick
+      test_syn_retransmission_no_listener_host_down;
+    Alcotest.test_case "connection setup time plausible" `Quick
+      test_connection_setup_time_plausible;
+  ]

@@ -1,0 +1,397 @@
+(* RFC 7323 extensions: window scaling and timestamps — on a plain
+   connection, over a long fat pipe, and through the failover bridge. *)
+
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Tcp_config = Tcpfo_tcp.Tcp_config
+module Link = Tcpfo_net.Link
+module Replicated = Tcpfo_core.Replicated
+open Testutil
+
+let big_cfg =
+  { Tcp_config.default with
+    window_scale = 7;
+    send_buf_size = 1 lsl 20;
+    recv_buf_size = 1 lsl 20 }
+
+let test_wscale_negotiated () =
+  let lan = make_simple_lan ~tcp_config:big_cfg () in
+  let server_conn = ref None in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun tcb ->
+      server_conn := Some tcb);
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "x"));
+  World.run lan.world ~for_:(Time.sec 2.0);
+  (* after the first data exchange both sides have seen scaled windows *)
+  check_bool "client sees window > 64K" true (Tcb.snd_wnd c > 65535);
+  match !server_conn with
+  | Some s -> check_bool "server too" true (Tcb.snd_wnd s > 65535)
+  | None -> Alcotest.fail "no accept"
+
+let test_wscale_requires_both () =
+  (* client offers scaling, server does not: both fall back to unscaled *)
+  let world = World.create () in
+  let lan = World.make_lan world () in
+  let client =
+    World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
+      ~tcp_config:big_cfg ()
+  in
+  let server = World.add_host world lan ~name:"server" ~addr:"10.0.0.1" () in
+  World.warm_arp [ client; server ];
+  Stack.listen (Host.tcp server) ~port:80 ~on_accept:(fun _ -> ());
+  let c = Stack.connect (Host.tcp client) ~remote:(Host.addr server, 80) () in
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "x"));
+  World.run world ~for_:(Time.sec 2.0);
+  check_bool "unscaled fallback" true (Tcb.snd_wnd c <= 65535)
+
+(* Two hosts joined by a long fat pipe (no router needed): 100 Mb/s,
+   30 ms one-way => ~750 KB of bandwidth-delay product. *)
+let fat_pipe_transfer ~tcp_config ~size =
+  let world = World.create () in
+  let link =
+    Link.create (World.engine world) ~rng:(World.fresh_rng world)
+      { Link.default_config with bandwidth_bps = 100_000_000;
+        delay = Time.ms 30; queue_capacity = 2048 }
+  in
+  let a = Host.create (World.engine world) ~name:"a" ~rng:(World.fresh_rng world)
+      ~tcp_config () in
+  Host.attach_ptp a (Link.endpoint_a link) ~addr:(Tcpfo_packet.Ipaddr.of_string "192.168.1.1");
+  let b = Host.create (World.engine world) ~name:"b" ~rng:(World.fresh_rng world)
+      ~tcp_config () in
+  Host.attach_ptp b (Link.endpoint_b link) ~addr:(Tcpfo_packet.Ipaddr.of_string "192.168.1.2");
+  let received = ref 0 in
+  let done_at = ref None in
+  Stack.listen (Host.tcp b) ~port:80 ~on_accept:(fun tcb ->
+      Tcb.set_on_data tcb (fun d ->
+          received := !received + String.length d;
+          if !received >= size then done_at := Some (World.now world)));
+  let c = Stack.connect (Host.tcp a) ~remote:(Host.addr b, 80) () in
+  let t0 = ref Time.zero in
+  Tcb.set_on_established c (fun () ->
+      t0 := World.now world;
+      send_all c (pattern ~tag:70 size));
+  World.run world ~for_:(Time.sec 120.0);
+  match !done_at with Some t -> Some (t - !t0) | None -> None
+
+let test_wscale_fills_fat_pipe () =
+  let size = 3_000_000 in
+  let slow = fat_pipe_transfer ~tcp_config:Tcp_config.default ~size in
+  let fast = fat_pipe_transfer ~tcp_config:big_cfg ~size in
+  match (slow, fast) with
+  | Some slow, Some fast ->
+    (* without scaling the 64K window caps at ~1 MB/s on a 60 ms RTT; with
+       scaling the pipe fills.  Expect a large speedup. *)
+    check_bool
+      (Printf.sprintf "scaling much faster (slow=%dms fast=%dms)"
+         (slow / 1_000_000) (fast / 1_000_000))
+      true
+      (float_of_int slow /. float_of_int fast > 3.0)
+  | _ -> Alcotest.fail "transfer incomplete"
+
+let ts_cfg = { Tcp_config.default with timestamps = true }
+
+let test_timestamps_rtt_measured () =
+  let lan = make_simple_lan ~tcp_config:ts_cfg () in
+  let ssink = make_sink () in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun tcb ->
+      wire_sink ssink tcb);
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  Tcb.set_on_established c (fun () -> send_all c (pattern ~tag:71 200_000));
+  World.run lan.world ~for_:(Time.sec 10.0);
+  check_bool "negotiated" true (Tcb.timestamps_enabled c);
+  check_string "content" (pattern ~tag:71 200_000) (sink_contents ssink);
+  match Tcb.srtt c with
+  | Some rtt ->
+    check_bool
+      (Printf.sprintf "plausible LAN rtt (%.0f us)" (Time.to_us rtt))
+      true
+      (rtt > Time.us 50 && rtt < Time.ms 50)
+  | None -> Alcotest.fail "no RTT sample"
+
+let test_timestamps_one_sided_off () =
+  let world = World.create () in
+  let lan = World.make_lan world () in
+  let client =
+    World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
+      ~tcp_config:ts_cfg ()
+  in
+  let server = World.add_host world lan ~name:"server" ~addr:"10.0.0.1" () in
+  World.warm_arp [ client; server ];
+  Stack.listen (Host.tcp server) ~port:80 ~on_accept:(fun _ -> ());
+  let c = Stack.connect (Host.tcp client) ~remote:(Host.addr server, 80) () in
+  World.run world ~for_:(Time.sec 1.0);
+  check_bool "not negotiated" false (Tcb.timestamps_enabled c)
+
+let test_options_through_bridge_with_failover () =
+  (* scaling + timestamps on every host, replicas with different shifts:
+     the bridge announces min(shift) and rides the secondary's timestamp
+     clock; the stream survives a failover byte-exact *)
+  let mk ws =
+    { Tcp_config.default with
+      window_scale = ws;
+      timestamps = true;
+      send_buf_size = 1 lsl 20;
+      recv_buf_size = 1 lsl 20 }
+  in
+  let r =
+    make_repl_lan ~client_tcp_config:(mk 7) ~primary_tcp_config:(mk 7)
+      ~secondary_tcp_config:(mk 3) ()
+  in
+  let reply = pattern ~tag:72 400_000 in
+  let sinks = ref [] in
+  echo_service ~request_size:3 ~reply_of:(fun _ -> reply) ~close_after:true
+    r.repl ~port:80 ~sinks ();
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get"));
+  ignore
+    (Engine.schedule (World.engine r.rworld) ~delay:(Time.ms 30) (fun () ->
+         Replicated.kill_primary r.repl));
+  run_repl r ~for_sec:90.0;
+  check_bool "client negotiated ts" true (Tcb.timestamps_enabled c);
+  check_string "byte-exact with options + failover" reply
+    (sink_contents csink);
+  check_int "no reset" 0 csink.resets;
+  (* merged shift is min(7,3)=3: the client can still see >64K windows *)
+  check_bool "scaled window visible" true (Tcb.snd_wnd c > 65535)
+
+let suite =
+  [
+    Alcotest.test_case "window scale negotiated" `Quick
+      test_wscale_negotiated;
+    Alcotest.test_case "window scale requires both sides" `Quick
+      test_wscale_requires_both;
+    Alcotest.test_case "scaling fills a long fat pipe" `Quick
+      test_wscale_fills_fat_pipe;
+    Alcotest.test_case "timestamps measure RTT" `Quick
+      test_timestamps_rtt_measured;
+    Alcotest.test_case "timestamps require both sides" `Quick
+      test_timestamps_one_sided_off;
+    Alcotest.test_case "options through bridge with failover" `Quick
+      test_options_through_bridge_with_failover;
+  ]
+
+(* ---------------- SACK ---------------- *)
+
+let sack_cfg = { Tcp_config.default with sack = true }
+
+let test_sack_behaviour_under_scattered_loss () =
+  (* Under scattered loss, SACK blocks must appear on the wire, the
+     transfer must stay byte-exact, and the SACK sender must transmit no
+     more segments than the plain one.  (No *speed* assertion: this
+     stack's RTO recovery rewinds to snd_una, paces at cwnd=1 and snaps
+     snd_nxt forward on every cumulative ack, so it already avoids
+     go-back-N waste — SACK's remaining benefit here is the multi-hole
+     recovery burst, which scattered single-hole-per-flight loss does not
+     exhibit reliably.) *)
+  let sack_seen = ref 0 in
+  let run ~sack =
+    let cfg = { Tcp_config.default with sack; fast_retransmit = false } in
+    let world = World.create () in
+    let link =
+      Link.create (World.engine world) ~rng:(World.fresh_rng world)
+        { Link.default_config with bandwidth_bps = 50_000_000;
+          delay = Time.ms 20; queue_capacity = 2048 }
+    in
+    let a = Host.create (World.engine world) ~name:"a"
+        ~rng:(World.fresh_rng world) ~tcp_config:cfg () in
+    Host.attach_ptp a (Link.endpoint_a link)
+      ~addr:(Tcpfo_packet.Ipaddr.of_string "192.168.1.1");
+    let b = Host.create (World.engine world) ~name:"b"
+        ~rng:(World.fresh_rng world) ~tcp_config:cfg () in
+    Host.attach_ptp b (Link.endpoint_b link)
+      ~addr:(Tcpfo_packet.Ipaddr.of_string "192.168.1.2");
+    (* drop scattered first-transmission data segments at b; count SACK
+       blocks heading back to a *)
+    let seen = ref 0 in
+    let seqs = Hashtbl.create 64 in
+    Tcpfo_ip.Ip_layer.set_rx_hook (Host.ip b)
+      (Some (fun pkt ~link_addressed:_ ->
+           match pkt.Tcpfo_packet.Ipv4_packet.payload with
+           | Tcp seg
+             when String.length seg.payload > 0
+                  && not (Hashtbl.mem seqs (Tcpfo_util.Seq32.to_int seg.seq))
+             ->
+             Hashtbl.replace seqs (Tcpfo_util.Seq32.to_int seg.seq) ();
+             incr seen;
+             if !seen mod 7 = 3 && !seen < 60 then
+               Tcpfo_ip.Ip_layer.Rx_drop
+             else Tcpfo_ip.Ip_layer.Rx_pass pkt
+           | _ -> Tcpfo_ip.Ip_layer.Rx_pass pkt));
+    Tcpfo_ip.Ip_layer.set_rx_hook (Host.ip a)
+      (Some (fun pkt ~link_addressed:_ ->
+           (match pkt.Tcpfo_packet.Ipv4_packet.payload with
+           | Tcp seg when Tcpfo_packet.Tcp_segment.sack_option seg <> None ->
+             incr sack_seen
+           | _ -> ());
+           Tcpfo_ip.Ip_layer.Rx_pass pkt));
+    let size = 120_000 in
+    let data = pattern ~tag:73 size in
+    let buf = Buffer.create size in
+    let done_at = ref None in
+    Stack.listen (Host.tcp b) ~port:80 ~on_accept:(fun tcb ->
+        Tcb.set_on_data tcb (fun d ->
+            Buffer.add_string buf d;
+            if Buffer.length buf >= size then done_at := Some (World.now world)));
+    let c = Stack.connect (Host.tcp a) ~remote:(Host.addr b, 80) () in
+    Tcb.set_on_established c (fun () -> send_all c data);
+    World.run world ~for_:(Time.sec 60.0);
+    check_string "stream exact under scattered loss" data (Buffer.contents buf);
+    (Tcb.segments_out c, Tcb.sack_enabled c)
+  in
+  let segs_plain, neg_plain = run ~sack:false in
+  let before = !sack_seen in
+  let segs_sack, neg_sack = run ~sack:true in
+  check_bool "plain did not negotiate" false neg_plain;
+  check_bool "sack negotiated" true neg_sack;
+  check_int "no sack blocks on plain run" 0 before;
+  check_bool
+    (Printf.sprintf "sack blocks on the wire (%d)" (!sack_seen - before))
+    true
+    (!sack_seen - before > 3);
+  (* segment counts stay in the same ballpark; with only two reportable
+     blocks the sender may still resend unreported islands, so an exact
+     inequality is not guaranteed *)
+  check_bool
+    (Printf.sprintf "segment counts comparable (%d vs %d)" segs_sack
+       segs_plain)
+    true
+    (float_of_int segs_sack /. float_of_int segs_plain < 1.25)
+
+let test_sack_requires_both () =
+  let world = World.create () in
+  let lan = World.make_lan world () in
+  let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
+      ~tcp_config:sack_cfg () in
+  let server = World.add_host world lan ~name:"server" ~addr:"10.0.0.1" () in
+  World.warm_arp [ client; server ];
+  let ssink = make_sink () in
+  Stack.listen (Host.tcp server) ~port:80 ~on_accept:(fun tcb ->
+      wire_sink ssink tcb);
+  let c = Stack.connect (Host.tcp client) ~remote:(Host.addr server, 80) () in
+  Tcb.set_on_established c (fun () -> send_all c (pattern ~tag:74 30_000));
+  World.run world ~for_:(Time.sec 10.0);
+  (* no negotiation, but everything still works *)
+  check_string "stream fine without sack" (pattern ~tag:74 30_000)
+    (sink_contents ssink)
+
+let test_sack_through_bridge_failover () =
+  (* all parties SACK-enabled; merged segments dropped at the client force
+     the client to emit SACK blocks, which the bridge must translate into
+     the primary's sequence space; then the primary dies *)
+  let mk = { Tcp_config.default with sack = true; timestamps = true } in
+  let r =
+    make_repl_lan ~client_tcp_config:mk ~primary_tcp_config:mk
+      ~secondary_tcp_config:mk ()
+  in
+  let reply = pattern ~tag:75 400_000 in
+  let sinks = ref [] in
+  echo_service ~request_size:3 ~reply_of:(fun _ -> reply) ~close_after:true
+    r.repl ~port:80 ~sinks ();
+  (* drop a couple of merged data segments at the client to create holes *)
+  let drops = ref 0 in
+  let _ =
+    drop_rx r.rclient ~pred:(fun pkt ->
+        match pkt.Ipv4_packet.payload with
+        | Tcp seg
+          when String.length seg.payload > 1000 && !drops < 2
+               && Tcpfo_util.Seq32.to_int seg.seq land 0x7 = 0 ->
+          incr drops;
+          true
+        | _ -> false)
+  in
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Tcpfo_core.Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get"));
+  ignore
+    (Engine.schedule (World.engine r.rworld) ~delay:(Time.ms 40) (fun () ->
+         Tcpfo_core.Replicated.kill_primary r.repl));
+  run_repl r ~for_sec:90.0;
+  check_string "byte-exact with sack + failover" reply (sink_contents csink);
+  check_int "no reset" 0 csink.resets
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "sack behaviour under scattered loss" `Quick
+        test_sack_behaviour_under_scattered_loss;
+      Alcotest.test_case "sack requires both sides" `Quick
+        test_sack_requires_both;
+      Alcotest.test_case "sack through bridge with failover" `Quick
+        test_sack_through_bridge_failover;
+    ]
+
+(* ---------------- keepalive ---------------- *)
+
+let test_keepalive_probes_dead_peer () =
+  let ka_cfg =
+    { Tcp_config.default with
+      keepalive = Some (Time.sec 5.0);
+      keepalive_probes = 3 }
+  in
+  let lan = make_simple_lan ~tcp_config:ka_cfg () in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun _ -> ());
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  let resets = ref 0 in
+  Tcb.set_on_reset c (fun () -> incr resets);
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "hi"));
+  (* connection goes fully idle; then the server host dies silently *)
+  World.run lan.world ~for_:(Time.sec 2.0);
+  Host.kill lan.server;
+  World.run lan.world ~for_:(Time.sec 60.0);
+  check_int "keepalive detected the dead peer" 1 !resets;
+  check_bool "closed" true (Tcb.state c = Tcb.Closed);
+  (* detection takes at least interval + probes * interval *)
+  check_bool "not before the probe schedule" true
+    (World.now lan.world >= Time.sec 20.0)
+
+let test_keepalive_alive_peer_untouched () =
+  let ka_cfg =
+    { Tcp_config.default with
+      keepalive = Some (Time.sec 3.0);
+      keepalive_probes = 2 }
+  in
+  let lan = make_simple_lan ~tcp_config:ka_cfg () in
+  let ssink = make_sink () in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun tcb ->
+      wire_sink ssink tcb);
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  let resets = ref 0 in
+  Tcb.set_on_reset c (fun () -> incr resets);
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "hi"));
+  (* a healthy but silent peer: probes are answered, connection stays up *)
+  World.run lan.world ~for_:(Time.sec 120.0);
+  check_int "no reset" 0 !resets;
+  check_bool "still established" true (Tcb.state c = Tcb.Established);
+  check_string "data fine" "hi" (sink_contents ssink)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "keepalive detects dead peer" `Quick
+        test_keepalive_probes_dead_peer;
+      Alcotest.test_case "keepalive leaves live peer alone" `Quick
+        test_keepalive_alive_peer_untouched;
+    ]

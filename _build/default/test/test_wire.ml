@@ -1,0 +1,188 @@
+module Seq32 = Tcpfo_util.Seq32
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Macaddr = Tcpfo_packet.Macaddr
+module Seg = Tcpfo_packet.Tcp_segment
+module Wire = Tcpfo_packet.Wire
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+
+let ip_a = Ipaddr.of_string "10.0.0.1"
+let ip_b = Ipaddr.of_string "10.0.0.2"
+let ip_c = Ipaddr.of_string "192.168.7.9"
+
+let test_addr_parse () =
+  Testutil.check_string "roundtrip" "10.0.0.1" (Ipaddr.to_string ip_a);
+  Testutil.check_int "int value" 0x0A000001 (Ipaddr.to_int ip_a);
+  Alcotest.check_raises "bad" (Invalid_argument "Ipaddr.of_string: 1.2.3")
+    (fun () -> ignore (Ipaddr.of_string "1.2.3"))
+
+let test_mac_parse () =
+  let m = Macaddr.of_string "02:00:00:00:00:2a" in
+  Testutil.check_int "int" 0x02000000002a (Macaddr.to_int m);
+  Testutil.check_string "string" "02:00:00:00:00:2a" (Macaddr.to_string m);
+  Testutil.check_bool "bcast" true (Macaddr.is_broadcast Macaddr.broadcast)
+
+let test_network () =
+  Testutil.check_bool "same /24" true
+    (Ipaddr.same_network ip_a ip_b ~prefix:24);
+  Testutil.check_bool "diff /24" false
+    (Ipaddr.same_network ip_a ip_c ~prefix:24)
+
+let mk_segment () =
+  Seg.make
+    ~flags:{ Seg.no_flags with syn = true; ack = true }
+    ~ack:(Seq32.of_int 123456)
+    ~window:8192
+    ~options:[ Seg.Mss 1460; Seg.Orig_dst ip_c ]
+    ~payload:"hello, failover" ~src_port:80 ~dst_port:54321
+    ~seq:(Seq32.of_int 0xFFFFFF00) ()
+
+let test_tcp_roundtrip () =
+  let seg = mk_segment () in
+  let b = Wire.encode_tcp ~src_ip:ip_a ~dst_ip:ip_b seg in
+  let seg' = Wire.decode_tcp ~src_ip:ip_a ~dst_ip:ip_b b in
+  Testutil.check_int "src port" seg.src_port seg'.src_port;
+  Testutil.check_int "dst port" seg.dst_port seg'.dst_port;
+  Testutil.check_int "seq" (Seq32.to_int seg.seq) (Seq32.to_int seg'.seq);
+  Testutil.check_int "ack" (Seq32.to_int seg.ack) (Seq32.to_int seg'.ack);
+  Testutil.check_bool "syn" true seg'.flags.syn;
+  Testutil.check_bool "ackf" true seg'.flags.ack;
+  Testutil.check_int "window" seg.window seg'.window;
+  Testutil.check_string "payload" seg.payload seg'.payload;
+  Testutil.check_bool "mss" true (Seg.mss_option seg' = Some 1460);
+  Testutil.check_bool "orig dst" true (Seg.orig_dst_option seg' = Some ip_c)
+
+let test_checksum_detects_corruption () =
+  let seg = mk_segment () in
+  let b = Wire.encode_tcp ~src_ip:ip_a ~dst_ip:ip_b seg in
+  Bytes.set b 25 (Char.chr (Char.code (Bytes.get b 25) lxor 0x40));
+  Alcotest.check_raises "corrupted"
+    (Wire.Malformed "TCP checksum mismatch") (fun () ->
+      ignore (Wire.decode_tcp ~src_ip:ip_a ~dst_ip:ip_b b))
+
+let test_checksum_binds_pseudo_header () =
+  let seg = mk_segment () in
+  let b = Wire.encode_tcp ~src_ip:ip_a ~dst_ip:ip_b seg in
+  Alcotest.check_raises "wrong dst" (Wire.Malformed "TCP checksum mismatch")
+    (fun () -> ignore (Wire.decode_tcp ~src_ip:ip_a ~dst_ip:ip_c b))
+
+let test_rewrite_dst_incremental () =
+  (* The bridge diverts a segment from dst ip_b to dst ip_c and fixes the
+     checksum incrementally; the result must verify under the new
+     pseudo-header. *)
+  let seg = mk_segment () in
+  let b = Wire.encode_tcp ~src_ip:ip_a ~dst_ip:ip_b seg in
+  Wire.rewrite_dst_ip ~src_ip:ip_a ~old_dst:ip_b ~new_dst:ip_c b;
+  let seg' = Wire.decode_tcp ~src_ip:ip_a ~dst_ip:ip_c b in
+  Testutil.check_string "payload survives" seg.payload seg'.payload
+
+let test_header_length_padding () =
+  let seg =
+    Seg.make ~options:[ Seg.Mss 1460 ] ~src_port:1 ~dst_port:2
+      ~seq:Seq32.zero ()
+  in
+  Testutil.check_int "mss only" 24 (Seg.header_length seg);
+  let seg2 =
+    Seg.make
+      ~options:[ Seg.Orig_dst ip_a ]
+      ~src_port:1 ~dst_port:2 ~seq:Seq32.zero ()
+  in
+  (* 6-byte option padded to 8 *)
+  Testutil.check_int "orig_dst padded" 28 (Seg.header_length seg2)
+
+let test_ipv4_header_roundtrip () =
+  let p =
+    Ipv4_packet.make ~ttl:17 ~ident:99 ~src:ip_a ~dst:ip_b
+      (Ipv4_packet.Raw { proto = 47; data = "xyz" })
+  in
+  let b = Wire.encode_ipv4_header p ~payload_len:3 in
+  let src, dst, proto, total = Wire.decode_ipv4_header b ~src:None () in
+  Testutil.check_bool "src" true (Ipaddr.equal src ip_a);
+  Testutil.check_bool "dst" true (Ipaddr.equal dst ip_b);
+  Testutil.check_int "proto" 47 proto;
+  Testutil.check_int "total" 23 total
+
+let arb_segment =
+  let open QCheck.Gen in
+  let gen =
+    let* src_port = int_range 1 65535 in
+    let* dst_port = int_range 1 65535 in
+    let* seq = int_bound 0xFFFFFFFF in
+    let* ack = int_bound 0xFFFFFFFF in
+    let* window = int_bound 65535 in
+    let* payload = string_size ~gen:char (int_range 0 200) in
+    let* syn = bool and* fin = bool and* psh = bool in
+    let* with_mss = bool and* with_odst = bool in
+    let* with_ws = bool and* with_ts = bool and* n_sack = int_range 0 2 in
+    let* ws = int_range 0 14 in
+    let* tsv = int_bound 0xFFFFFFF and* tse = int_bound 0xFFFFFFF in
+    let* sack_base = int_bound 0xFFFFFF in
+    let options =
+      (if with_mss then [ Seg.Mss 1460 ] else [])
+      @ (if with_ws then [ Seg.Window_scale ws ] else [])
+      @ (if with_ts then [ Seg.Timestamps (tsv, tse) ] else [])
+      @ (if n_sack > 0 then
+           [ Seg.Sack
+               (List.init n_sack (fun k ->
+                    ( Seq32.of_int (sack_base + (k * 3000)),
+                      Seq32.of_int (sack_base + (k * 3000) + 1460) ))) ]
+         else [])
+      @ if with_odst then [ Seg.Orig_dst ip_c ] else []
+    in
+    (* like a real stack, never exceed the 40-byte option space: shed the
+       SACK blocks first, then the rest, until it fits *)
+    let rec shed opts =
+      let seg =
+        Seg.make ~options:opts ~src_port:1 ~dst_port:2 ~seq:Seq32.zero ()
+      in
+      if Seg.header_length seg <= 60 then opts
+      else
+        match
+          List.filter (function Seg.Sack _ -> false | _ -> true) opts
+        with
+        | shorter when List.length shorter < List.length opts ->
+          shed shorter
+        | _ -> shed (List.tl opts)
+    in
+    let options = shed options in
+    return
+      (Seg.make
+         ~flags:{ Seg.no_flags with syn; fin; psh; ack = true }
+         ~ack:(Seq32.of_int ack) ~window ~options ~payload ~src_port
+         ~dst_port ~seq:(Seq32.of_int seq) ())
+  in
+  QCheck.make gen
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip preserves segment" ~count:300
+    arb_segment (fun seg ->
+      let b = Wire.encode_tcp ~src_ip:ip_a ~dst_ip:ip_b seg in
+      let s = Wire.decode_tcp ~src_ip:ip_a ~dst_ip:ip_b b in
+      s.src_port = seg.src_port && s.dst_port = seg.dst_port
+      && Seq32.equal s.seq seg.seq
+      && Seq32.equal s.ack seg.ack
+      && s.flags = seg.flags && s.window = seg.window
+      && s.payload = seg.payload
+      && Seg.mss_option s = Seg.mss_option seg
+      && Seg.window_scale_option s = Seg.window_scale_option seg
+      && Seg.timestamps_option s = Seg.timestamps_option seg
+      && Seg.sack_option s = Seg.sack_option seg
+      && Seg.orig_dst_option s = Seg.orig_dst_option seg)
+
+let suite =
+  [
+    Alcotest.test_case "ip address parsing" `Quick test_addr_parse;
+    Alcotest.test_case "mac address parsing" `Quick test_mac_parse;
+    Alcotest.test_case "network membership" `Quick test_network;
+    Alcotest.test_case "tcp encode/decode roundtrip" `Quick
+      test_tcp_roundtrip;
+    Alcotest.test_case "checksum detects corruption" `Quick
+      test_checksum_detects_corruption;
+    Alcotest.test_case "checksum binds pseudo-header" `Quick
+      test_checksum_binds_pseudo_header;
+    Alcotest.test_case "incremental dst rewrite keeps checksum valid"
+      `Quick test_rewrite_dst_incremental;
+    Alcotest.test_case "option padding" `Quick test_header_length_padding;
+    Alcotest.test_case "ipv4 header roundtrip" `Quick
+      test_ipv4_header_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]
