@@ -215,4 +215,5 @@ let run_exp ~trials =
     "expectation: without the min-ack rule the survivor is truncated\n\
      (failover requirement 2 violated); without the min-window rule the\n\
      client overruns the slow secondary and must heal by retransmission\n\
-     (the paper's 'risk of message loss', 3.2).\n%!"
+     (the paper's 'risk of message loss', 3.2).\n%!";
+  dump_metrics ~exp:"ablation"

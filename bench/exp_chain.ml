@@ -153,4 +153,5 @@ let run_exp ~trials =
      CPU on every frame of every level — snooping cost, not bandwidth,\n\
      bounds chain depth on a single shared segment; (3) head death costs\n\
      a takeover + one RTO, middle/tail deaths are far cheaper (re-divert\n\
-     or degrade only).\n%!"
+     or degrade only).\n%!";
+  dump_metrics ~exp:"chain"

@@ -157,4 +157,5 @@ let run_exp ~trials =
     [ Time.ms 10; Time.ms 30; Time.ms 100; Time.ms 300 ];
   Printf.printf
     "shape check: the stall tracks detector timeout + takeover + one or\n\
-     two client RTOs; stream integrity holds at every kill instant.\n%!"
+     two client RTOs; stream integrity holds at every kill instant.\n%!";
+  dump_metrics ~exp:"failover"

@@ -53,4 +53,5 @@ let run_exp ~sizes ~trials =
     std fo;
   Printf.printf
     "shape check: curves should overlap below ~32K (send buffer absorbs\n\
-     the message) and diverge beyond 64K where the wire rate dominates.\n%!"
+     the message) and diverge beyond 64K where the wire rate dominates.\n%!";
+  dump_metrics ~exp:"fig3"

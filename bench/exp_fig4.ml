@@ -73,4 +73,5 @@ let run_exp ~sizes ~trials =
   Printf.printf
     "shape check: failover pays roughly 2x for large replies (every reply\n\
      byte crosses the shared segment twice: secondary->primary, then\n\
-     primary->client).\n%!"
+     primary->client).\n%!";
+  dump_metrics ~exp:"fig4"

@@ -90,4 +90,5 @@ let run_exp ~size =
   Printf.printf
     "shape check: the receive-rate penalty (~0.40 in the paper) is much\n\
      larger than the send-rate penalty (~0.75) because every\n\
-     server-to-client byte crosses the shared segment twice.\n%!"
+     server-to-client byte crosses the shared segment twice.\n%!";
+  dump_metrics ~exp:"fig5"

@@ -205,4 +205,5 @@ let run_exp ~trials =
     "shape check: small files are latency-bound (get rates tiny, put rates\n\
      huge because the write loop never leaves the socket buffer); large\n\
      files converge to the WAN bottleneck with failover within ~10%% of\n\
-     standard TCP.\n%!"
+     standard TCP.\n%!";
+  dump_metrics ~exp:"fig6"

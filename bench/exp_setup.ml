@@ -39,4 +39,5 @@ let run_exp ~trials =
     (pp_time_us max_fo) n_fo;
   Printf.printf "paper:  standard 294 / 603    failover 505 / 1193\n";
   Printf.printf "ratio failover/standard: measured %.2f, paper 1.72\n%!"
-    (float_of_int med_fo /. float_of_int med_std)
+    (float_of_int med_fo /. float_of_int med_std);
+  dump_metrics ~exp:"setup"

@@ -41,8 +41,35 @@ type env = {
   servers : Host.t list;
 }
 
+(* --------------------------------------------------------------- *)
+(* Metrics snapshots.  Each experiment calls {!dump_metrics} once after
+   its last trial: the final world's registry is rendered to JSON,
+   either into [<metrics_dir>/<exp>.metrics.json] or as a
+   ["[metrics:<exp>] {...}"] stdout line.  Registry serialization is
+   sorted and format-stable, so two runs with the same seed produce
+   byte-identical snapshots. *)
+
+let metrics_dir : string option ref = ref None
+let last_world : World.t option ref = ref None
+
+let dump_metrics ~exp =
+  match !last_world with
+  | None -> ()
+  | Some world -> (
+    let json = Tcpfo_obs.Registry.to_json (World.metrics world) in
+    match !metrics_dir with
+    | Some dir ->
+      let path = Filename.concat dir (exp ^ ".metrics.json") in
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "[metrics:%s -> %s]\n%!" exp path
+    | None -> Printf.printf "[metrics:%s] %s\n%!" exp json)
+
 let make_env ?(seed = 1) mode =
   let world = World.create ~seed () in
+  last_world := Some world;
   let lan = World.make_lan world () in
   let client =
     World.add_host world lan ~name:"client" ~addr:"10.0.0.10"

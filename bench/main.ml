@@ -50,7 +50,19 @@ let which_conv =
           | Chain_exp -> "chain"
           | Micro_exp -> "micro") )
 
-let run which quick =
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    Sys.mkdir dir 0o755
+  end
+
+let run which quick metrics_dir =
+  (match metrics_dir with
+  | Some dir ->
+    mkdir_p dir;
+    Harness.metrics_dir := Some dir
+  | None -> ());
   let fig_trials = if quick then 1 else 3 in
   let sizes =
     if quick then [ 64; 1024; 16384; 65536; 262144; 1048576 ]
@@ -80,11 +92,16 @@ let which_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes and trial counts.")
 
+let metrics_dir_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-dir" ] ~docv:"DIR"
+         ~doc:"Write each experiment's metrics snapshot to \
+               DIR/<exp>.metrics.json instead of stdout.")
+
 let cmd =
   Cmd.v
     (Cmd.info "tcpfo-bench"
        ~doc:"Reproduce the evaluation of 'Transparent TCP Connection \
              Failover' (DSN 2003)")
-    Term.(const run $ which_arg $ quick_arg)
+    Term.(const run $ which_arg $ quick_arg $ metrics_dir_arg)
 
 let () = exit (Cmd.eval cmd)

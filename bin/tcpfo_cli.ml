@@ -12,33 +12,29 @@
 
 module Engine = Tcpfo_sim.Engine
 module Time = Tcpfo_sim.Time
-module Trace = Tcpfo_sim.Trace
+module Obs = Tcpfo_obs.Obs
+module Event = Tcpfo_obs.Event
+module Registry = Tcpfo_obs.Registry
 module World = Tcpfo_host.World
 module Host = Tcpfo_host.Host
 module Stack = Tcpfo_tcp.Stack
 module Tcb = Tcpfo_tcp.Tcb
-module Ip_layer = Tcpfo_ip.Ip_layer
-module Ipv4 = Tcpfo_packet.Ipv4_packet
 module Replicated = Tcpfo_core.Replicated
 module Failover_config = Tcpfo_core.Failover_config
 open Cmdliner
 
-let install_tap world name host =
-  let inner = Ip_layer.rx_hook (Host.ip host) in
-  Ip_layer.set_rx_hook (Host.ip host)
-    (Some
-       (fun pkt ~link_addressed ->
-         (match pkt.Ipv4.payload with
-         | Ipv4.Tcp _ ->
-           Printf.eprintf "[%10.3f ms] %-9s <- %s%s\n%!"
-             (Time.to_ms (World.now world))
-             name
-             (Format.asprintf "%a" Ipv4.pp pkt)
-             (if link_addressed then "" else "  (promiscuous)")
-         | _ -> ());
-         match inner with
-         | None -> Ip_layer.Rx_pass pkt
-         | Some hook -> hook pkt ~link_addressed))
+(* Subscribe a console printer to the world's event bus.  With [segments]
+   every Segment_tx/Segment_rx is shown (the old per-host packet tap);
+   without it only the control-plane events (divert, merge, hold,
+   failover phases, ARP takeover) appear. *)
+let attach_trace ?(segments = true) world =
+  ignore
+    (Event.Bus.attach_console
+       ~filter:(fun ev -> segments || not (Event.is_segment ev))
+       (Obs.bus (World.obs world)))
+
+let print_stats world =
+  print_string (Registry.dump (World.metrics world))
 
 let build_world ~seed ~detector_ms ~trace =
   let world = World.create ~seed () in
@@ -54,11 +50,7 @@ let build_world ~seed ~detector_ms ~trace =
       ~detector_timeout:(Time.ms detector_ms) ()
   in
   let repl = Replicated.create ~primary ~secondary ~config () in
-  if trace then begin
-    install_tap world "client" client;
-    install_tap world "primary" primary;
-    install_tap world "secondary" secondary
-  end;
+  if trace then attach_trace world;
   (world, client, repl)
 
 let serve_reply repl ~reply =
@@ -81,7 +73,7 @@ let serve_reply repl ~reply =
             pump ()
           end))
 
-let run_failover victim kill_at_ms size_kb detector_ms trace seed =
+let run_failover victim kill_at_ms size_kb detector_ms trace stats seed =
   let world, client, repl =
     build_world ~seed ~detector_ms ~trace:(trace && size_kb <= 16)
   in
@@ -133,9 +125,10 @@ let run_failover victim kill_at_ms size_kb detector_ms trace seed =
       (if Buffer.contents buf = reply then "BYTE-EXACT" else "CORRUPTED")
       (Time.to_ms !stall)
   | None -> Printf.printf "transfer did not complete\n");
+  if stats then print_stats world;
   if Buffer.contents buf = reply then 0 else 1
 
-let run_trace size_kb seed =
+let run_trace size_kb stats seed =
   let world, client, repl =
     build_world ~seed ~detector_ms:30 ~trace:true
   in
@@ -153,6 +146,7 @@ let run_trace size_kb seed =
   World.run world ~for_:(Time.sec 5.0);
   Printf.printf "received %d bytes, %s\n" (Buffer.length buf)
     (if Buffer.contents buf = reply then "byte-exact" else "CORRUPTED");
+  if stats then print_stats world;
   0
 
 let victim_arg =
@@ -179,11 +173,15 @@ let trace_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Dump the metrics registry after the run.")
+
 let failover_cmd =
   Cmd.v (Cmd.info "failover" ~doc:"Crash a replica mid-transfer.")
     Term.(
       const run_failover $ victim_arg $ kill_at_arg $ size_arg $ detector_arg
-      $ trace_arg $ seed_arg)
+      $ trace_arg $ stats_arg $ seed_arg)
 
 let trace_cmd =
   Cmd.v
@@ -191,9 +189,9 @@ let trace_cmd =
        ~doc:"Fault-free transfer with a full packet trace.")
     Term.(const run_trace $ Arg.(value & opt int 4 & info [ "size" ]
                                    ~docv:"KB" ~doc:"Reply size in KB.")
-          $ seed_arg)
+          $ stats_arg $ seed_arg)
 
-let run_chain n_replicas kills_ms size_kb seed =
+let run_chain n_replicas kills_ms size_kb trace stats seed =
   let world = World.create ~seed () in
   let lan = World.make_lan world () in
   let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10" () in
@@ -205,6 +203,7 @@ let run_chain n_replicas kills_ms size_kb seed =
           ())
   in
   World.warm_arp (client :: replicas);
+  if trace then attach_trace ~segments:false world;
   let chain =
     Tcpfo_core.Chain.create ~replicas ~config:Failover_config.default ()
   in
@@ -267,6 +266,7 @@ let run_chain n_replicas kills_ms size_kb seed =
       (String.concat ","
          (List.map string_of_int (Tcpfo_core.Chain.alive chain)))
   | None -> Printf.printf "transfer did not complete\n");
+  if stats then print_stats world;
   if Buffer.contents buf = reply then 0 else 1
 
 let chain_cmd =
@@ -282,10 +282,10 @@ let chain_cmd =
   Cmd.v
     (Cmd.info "chain"
        ~doc:"Daisy-chained replication under successive crashes.")
-    Term.(const run_chain $ n_arg $ kills_arg $ size_arg $ seed_arg)
+    Term.(const run_chain $ n_arg $ kills_arg $ size_arg $ trace_arg
+          $ stats_arg $ seed_arg)
 
 let () =
-  Trace.set_level Trace.Quiet;
   exit
     (Cmd.eval'
        (Cmd.group

@@ -5,6 +5,8 @@ module Ipaddr = Tcpfo_packet.Ipaddr
 module Ip_layer = Tcpfo_ip.Ip_layer
 module Eth_iface = Tcpfo_ip.Eth_iface
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
 
 type event =
   | Death_detected of int
@@ -28,6 +30,7 @@ type t = {
   service : Ipaddr.t;
   mutable dead : bool array;
   mutable on_event : event -> unit;
+  c_deaths : Registry.counter;
 }
 
 let service_addr t = t.service
@@ -172,6 +175,7 @@ let reconfigure t =
 let handle_death t ~observer:_ ~dead =
   if not t.dead.(dead) then begin
     t.dead.(dead) <- true;
+    Registry.Counter.incr t.c_deaths;
     t.on_event (Death_detected dead);
     reconfigure t
   end
@@ -214,6 +218,7 @@ let create ~replicas ~config () =
         in
         { index = i; host; bridge; is_head = i = 0 })
   in
+  let obs = Obs.scope (Obs.root (Host.obs (List.hd replicas))) "chain" in
   let t =
     {
       nodes;
@@ -222,6 +227,7 @@ let create ~replicas ~config () =
       service;
       dead = Array.make n false;
       on_event = (fun _ -> ());
+      c_deaths = Obs.counter obs "deaths";
     }
   in
   start_mesh t ~on_death:(fun ~observer ~dead ->

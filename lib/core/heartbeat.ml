@@ -1,6 +1,9 @@
 module Host = Tcpfo_host.Host
 module Ip_layer = Tcpfo_ip.Ip_layer
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Obs = Tcpfo_obs.Obs
+module Event = Tcpfo_obs.Event
+module Registry = Tcpfo_obs.Registry
 
 type t = {
   host : Host.t;
@@ -8,17 +11,20 @@ type t = {
   role : [ `Primary | `Secondary ];
   config : Failover_config.t;
   on_peer_failure : unit -> unit;
+  obs : Obs.t;
+  sent : Registry.counter;
+  received : Registry.counter;
   mutable running : bool;
   mutable seq : int;
   mutable last_seen : Tcpfo_sim.Time.t;
   mutable seen_any : bool;
   mutable fired : bool;
-  mutable received : int;
 }
 
 let rec send_loop t =
   if t.running && Host.alive t.host then begin
     t.seq <- t.seq + 1;
+    Registry.Counter.incr t.sent;
     Ip_layer.send (Host.ip t.host)
       (Ipv4_packet.make ~src:(Host.addr t.host) ~dst:t.peer
          (Ipv4_packet.Heartbeat
@@ -38,6 +44,9 @@ let rec check_loop t =
     if silent_for > t.config.detector_timeout && not t.fired then begin
       t.fired <- true;
       t.running <- false;
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~at:now
+          (Event.Failover { host = Host.name t.host; phase = Detected });
       t.on_peer_failure ()
     end
     else
@@ -47,6 +56,8 @@ let rec check_loop t =
   end
 
 let start host ~peer ~role ~config ~on_peer_failure =
+  let obs = Host.obs host in
+  let hb_obs = Obs.scope obs "heartbeat" in
   let t =
     {
       host;
@@ -54,18 +65,20 @@ let start host ~peer ~role ~config ~on_peer_failure =
       role;
       config;
       on_peer_failure;
+      obs;
+      sent = Obs.counter hb_obs "sent";
+      received = Obs.counter hb_obs "received";
       running = true;
       seq = 0;
       last_seen = 0;
       seen_any = false;
       fired = false;
-      received = 0;
     }
   in
   Ip_layer.set_heartbeat_handler (Host.ip host) (fun ~src hb ->
       if Tcpfo_packet.Ipaddr.equal src t.peer || hb.origin <> Host.name host
       then begin
-        t.received <- t.received + 1;
+        Registry.Counter.incr t.received;
         t.seen_any <- true;
         t.last_seen <- (Host.clock host).now ()
       end);
@@ -78,4 +91,3 @@ let start host ~peer ~role ~config ~on_peer_failure =
 
 let stop t = t.running <- false
 let peer_alive t = not t.fired
-let heartbeats_received t = t.received

@@ -16,7 +16,10 @@ val start :
   on_peer_failure:(unit -> unit) ->
   t
 (** Begin sending heartbeats to [peer] and watching for theirs.  Installs
-    itself as the host's heartbeat protocol handler. *)
+    itself as the host's heartbeat protocol handler.  Counters
+    [heartbeat.sent] and [heartbeat.received] register under the host's
+    scope; declaring the peer dead publishes a
+    [Failover Detected] event. *)
 
 val stop : t -> unit
 (** Stop sending and detecting (used after a completed failover, when the
@@ -24,5 +27,3 @@ val stop : t -> unit
 
 val peer_alive : t -> bool
 (** Current verdict. *)
-
-val heartbeats_received : t -> int

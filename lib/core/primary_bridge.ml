@@ -8,7 +8,9 @@ module Ipv4_packet = Tcpfo_packet.Ipv4_packet
 module Ip_layer = Tcpfo_ip.Ip_layer
 module Eth_iface = Tcpfo_ip.Eth_iface
 module Host = Tcpfo_host.Host
-module Trace = Tcpfo_sim.Trace
+module Obs = Tcpfo_obs.Obs
+module Event = Tcpfo_obs.Event
+module Registry = Tcpfo_obs.Registry
 
 type mode = Active | Linger
 
@@ -58,6 +60,8 @@ type conn = {
   mutable emitted : int;
   mutable retrans_fwd : int;
   mutable empty_acks : int;
+  mutable wait_since : Time.t option;
+      (* first unmatched byte arrived: feeds the merge-latency histogram *)
 }
 
 type key = Ipaddr.t * int * int (* remote addr, remote port, local port *)
@@ -76,9 +80,17 @@ type t = {
   mutable degraded : bool; (* secondary has failed: §6 mode *)
   mutable installed : bool;
   mutable total_emitted : int;
+  obs : Obs.t; (* world-absolute [bridge.primary] scope *)
+  c_emitted : Registry.counter;
+  c_retrans_fwd : Registry.counter;
+  c_empty_acks : Registry.counter;
+  c_syn_merges : Registry.counter;
+  c_merged_bytes : Registry.counter;
+  h_merge_latency : Registry.histogram;
 }
 
 let config t = Failover_config.config t.registry
+let now t = (Host.clock t.host).now ()
 
 let key_of conn = (fst conn.remote, snd conn.remote, conn.local_port)
 
@@ -120,6 +132,7 @@ let mk_conn ~remote ~local_port =
     emitted = 0;
     retrans_fwd = 0;
     empty_acks = 0;
+    wait_since = None;
   }
 
 (* Joint acknowledgment: the smaller of the replicas' cumulative acks
@@ -144,6 +157,7 @@ let merged_mss conn = min conn.p_mss conn.s_mss
 let emit t conn (seg : Seg.t) =
   conn.emitted <- conn.emitted + 1;
   t.total_emitted <- t.total_emitted + 1;
+  Registry.Counter.incr t.c_emitted;
   let pkt =
     match t.out with
     | Direct ->
@@ -198,6 +212,7 @@ let maybe_empty_ack t conn =
       in
       if advanced then begin
         conn.empty_acks <- conn.empty_acks + 1;
+        Registry.Counter.incr t.c_empty_acks;
         emit_data t conn ~seq:conn.next_seq ~payload:"" ~fin:false ~psh:false
       end
 
@@ -213,6 +228,7 @@ let reemit_merged_ack t conn =
     match min_ack t conn with
     | Some _ ->
       conn.empty_acks <- conn.empty_acks + 1;
+      Registry.Counter.incr t.c_empty_acks;
       emit_data t conn ~seq:conn.next_seq ~payload:"" ~fin:false ~psh:false
     | None -> ()
 
@@ -235,6 +251,7 @@ let rec pump t conn =
         let payload = Interval_buf.pop conn.pq ~max_len:len in
         let payload_s = Interval_buf.pop conn.sq ~max_len:len in
         assert (String.length payload = len && String.length payload_s = len);
+        Registry.Counter.add t.c_merged_bytes len;
         conn.next_seq <- Seq32.add conn.next_seq len;
         let fin = fin_ready conn in
         if fin then begin
@@ -258,7 +275,21 @@ let rec pump t conn =
       emit_data t conn ~seq ~payload:"" ~fin:true ~psh:false;
       progressed := true
     end;
-    if not !progressed then maybe_empty_ack t conn;
+    if !progressed then begin
+      (* merge latency: how long the earlier replica's bytes sat waiting
+         for their twin before the merged segment could go out *)
+      (match conn.wait_since with
+      | Some t0 ->
+        Registry.Histogram.observe t.h_merge_latency (Time.to_us (now t - t0))
+      | None -> ());
+      conn.wait_since <-
+        (if
+           Interval_buf.total_buffered conn.pq > 0
+           || Interval_buf.total_buffered conn.sq > 0
+         then Some (now t)
+         else None)
+    end
+    else maybe_empty_ack t conn;
     maybe_finish t conn
   end
 
@@ -319,6 +350,11 @@ let try_merge_syn t conn =
     | Some a, Some b -> conn.merged_shift <- min a b
     | _ -> conn.merged_shift <- 0);
     conn.syn_done <- true;
+    Registry.Counter.incr t.c_syn_merges;
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~at:(now t)
+        (Event.Merge
+           { host = Host.name t.host; port = conn.local_port; bytes = 0 });
     let with_ack =
       match conn.p_syn_flags with Some f -> f.Seg.ack | None -> false
     in
@@ -344,6 +380,7 @@ let reemit_merged_syn t conn =
   match conn.seqs_init with
   | Some ss when conn.syn_done ->
     conn.retrans_fwd <- conn.retrans_fwd + 1;
+    Registry.Counter.incr t.c_retrans_fwd;
     let with_ack =
       match conn.p_syn_flags with Some f -> f.Seg.ack | None -> false
     in
@@ -367,6 +404,7 @@ let reemit_merged_syn t conn =
 
 let forward_retransmission t conn ~wire_seq ~payload ~fin =
   conn.retrans_fwd <- conn.retrans_fwd + 1;
+  Registry.Counter.incr t.c_retrans_fwd;
   emit_data t conn ~seq:wire_seq ~payload ~fin ~psh:(payload <> "")
 
 (* ------------------------------------------------------------------ *)
@@ -386,7 +424,10 @@ let ingest_wire t conn ~queue ~set_fin ~wire_seq (seg : Seg.t) =
     forward_retransmission t conn ~wire_seq ~payload:seg.payload
       ~fin:seg.flags.fin
   else begin
-    if plen > 0 then Interval_buf.insert queue ~seq:wire_seq seg.payload;
+    if plen > 0 then begin
+      Interval_buf.insert queue ~seq:wire_seq seg.payload;
+      if conn.wait_since = None then conn.wait_since <- Some (now t)
+    end;
     if seg.flags.fin then set_fin (Seq32.add wire_seq plen);
     pump t conn
   end
@@ -444,8 +485,10 @@ let from_primary t conn (seg : Seg.t) =
       | None ->
         (* data before the handshake is merged: impossible for a correct
            TCP; drop defensively *)
-        Trace.debugf (Host.engine t.host) "bridge-p"
-          "dropping pre-merge segment %a" Seg.pp seg
+        if Obs.tracing t.obs then
+          Obs.emit t.obs ~at:(now t)
+            (Event.Segment_drop
+               { host = Host.name t.host; reason = "pre-merge"; seg })
       | Some d ->
         let pure_dup =
           String.length seg.payload = 0
@@ -662,6 +705,9 @@ let degraded_tx t conn (seg : Seg.t) =
 let secondary_failed t =
   if not t.degraded then begin
     t.degraded <- true;
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~at:(now t)
+        (Event.Failover { host = Host.name t.host; phase = Degraded });
     Hashtbl.iter
       (fun _ conn ->
         conn.solo <- true;
@@ -675,7 +721,10 @@ let secondary_failed t =
    connection established from now on is fully protected again. *)
 let reinstate t ~secondary_addr =
   t.secondary_addr <- secondary_addr;
-  t.degraded <- false
+  t.degraded <- false;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~at:(now t)
+      (Event.Failover { host = Host.name t.host; phase = Reintegrated })
 
 (* ------------------------------------------------------------------ *)
 (* Hook plumbing                                                       *)
@@ -762,6 +811,7 @@ let rx_hook t (pkt : Ipv4_packet.t) ~link_addressed =
 
 let install host ~registry ~service_addr ~secondary_addr ?(output = Direct)
     ?(claim_service = false) () =
+  let obs = Obs.scope (Obs.root (Host.obs host)) "bridge.primary" in
   let t =
     {
       host;
@@ -775,6 +825,13 @@ let install host ~registry ~service_addr ~secondary_addr ?(output = Direct)
       degraded = false;
       installed = true;
       total_emitted = 0;
+      obs;
+      c_emitted = Obs.counter obs "emitted";
+      c_retrans_fwd = Obs.counter obs "retrans_forwarded";
+      c_empty_acks = Obs.counter obs "empty_acks";
+      c_syn_merges = Obs.counter obs "syn_merges";
+      c_merged_bytes = Obs.counter obs "merged_bytes";
+      h_merge_latency = Obs.histogram obs "merge_latency_us";
     }
   in
   Ip_layer.set_tx_hook (Host.ip host) (Some (fun pkt -> tx_hook t pkt));

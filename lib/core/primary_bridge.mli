@@ -56,7 +56,16 @@ val install :
     defaults to [Direct].  [claim_service] (default false) makes the
     bridge claim client datagrams addressed to the service address for
     local delivery — required on middle chain nodes, whose NIC sees them
-    only promiscuously; the head owns the address and needs no claim. *)
+    only promiscuously; the head owns the address and needs no claim.
+
+    Observability: the world-absolute scope [bridge.primary] carries
+    counters [emitted], [retrans_forwarded], [empty_acks], [syn_merges]
+    and [merged_bytes], plus the histogram [merge_latency_us] (time the
+    earlier replica's bytes waited for their twin before the merged
+    segment went out).  [Merge], [Segment_drop] and
+    [Failover Degraded/Reintegrated] events are published when the bus
+    is active.  Instruments aggregate across every merging bridge of a
+    chain (shared names, shared registry). *)
 
 val promote : t -> unit
 (** Switch a diverting (middle) bridge to [Direct] output: the node has

@@ -6,6 +6,9 @@ module Ip_layer = Tcpfo_ip.Ip_layer
 module Eth_iface = Tcpfo_ip.Eth_iface
 module Host = Tcpfo_host.Host
 module Stack = Tcpfo_tcp.Stack
+module Obs = Tcpfo_obs.Obs
+module Event = Tcpfo_obs.Event
+module Registry = Tcpfo_obs.Registry
 
 type mode = Normal | Paused | Taken_over
 
@@ -21,9 +24,11 @@ type t = {
   mutable mode : mode;
   held : Ipv4_packet.t Queue.t;
   mutable installed : bool;
-  mutable claimed : int;
-  mutable diverted : int;
-  mutable held_count : int;
+  obs : Obs.t; (* world-absolute [bridge.secondary] scope *)
+  claimed : Registry.counter;
+  diverted : Registry.counter;
+  held_segments : Registry.counter;
+  held_bytes : Registry.gauge;
 }
 
 let config t = Failover_config.config t.registry
@@ -31,12 +36,17 @@ let config t = Failover_config.config t.registry
 let is_failover t ~local_port ~remote_port =
   Failover_config.is_failover_conn t.registry ~local_port ~remote_port
 
+let now t = (Host.clock t.host).now ()
+
 (* §3.1: divert a reply to the primary, recording the original
    destination in a TCP header option.  (On a byte-encoded segment this
    is where the incremental checksum update of §3.1 happens; see
    Wire.rewrite_dst_ip, validated in the test suite.) *)
 let divert t (pkt : Ipv4_packet.t) (seg : Seg.t) =
-  t.diverted <- t.diverted + 1;
+  Registry.Counter.incr t.diverted;
+  if Obs.tracing t.obs then
+    Obs.emit t.obs ~at:(now t)
+      (Event.Divert { host = Host.name t.host; orig_dst = pkt.dst; seg });
   let seg' =
     { seg with Seg.options = Seg.Orig_dst pkt.dst :: seg.options }
   in
@@ -55,7 +65,12 @@ let tx_hook t (pkt : Ipv4_packet.t) =
     | Paused ->
       (* §5 step 1: stop sending segments addressed to the client until
          the IP takeover completes. *)
-      t.held_count <- t.held_count + 1;
+      Registry.Counter.incr t.held_segments;
+      Registry.Gauge.add t.held_bytes (Seg.payload_length seg);
+      if Obs.tracing t.obs then
+        Obs.emit t.obs ~at:(now t)
+          (Event.Hold
+             { host = Host.name t.host; bytes = Seg.payload_length seg });
       Queue.push pkt t.held;
       Ip_layer.Tx_drop
     | Taken_over -> Ip_layer.Tx_pass pkt)
@@ -82,7 +97,7 @@ let rx_hook t (pkt : Ipv4_packet.t) ~link_addressed =
            <> None
       in
       if known_or_new then begin
-        t.claimed <- t.claimed + 1;
+        Registry.Counter.incr t.claimed;
         Ip_layer.Rx_deliver pkt
       end
       else Ip_layer.Rx_drop
@@ -96,6 +111,7 @@ let rx_hook t (pkt : Ipv4_packet.t) ~link_addressed =
 
 let install host ~registry ~service_addr ?divert_to
     ?(only_new_connections = false) () =
+  let obs = Obs.scope (Obs.root (Host.obs host)) "bridge.secondary" in
   let t =
     {
       host;
@@ -106,9 +122,11 @@ let install host ~registry ~service_addr ?divert_to
       mode = Normal;
       held = Queue.create ();
       installed = true;
-      claimed = 0;
-      diverted = 0;
-      held_count = 0;
+      obs;
+      claimed = Obs.counter obs "claimed";
+      diverted = Obs.counter obs "diverted";
+      held_segments = Obs.counter obs "held_segments";
+      held_bytes = Obs.gauge obs "held_bytes";
     }
   in
   Eth_iface.set_promiscuous (Host.eth host) true;
@@ -131,6 +149,9 @@ let begin_takeover t ~on_complete =
   if t.mode = Normal then begin
     (* §5 step 1: hold outgoing segments *)
     t.mode <- Paused;
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~at:(now t)
+        (Event.Failover { host = Host.name t.host; phase = Takeover_started });
     ignore
       ((Host.clock t.host).schedule (config t).takeover_processing
          (fun () ->
@@ -143,11 +164,13 @@ let begin_takeover t ~on_complete =
            (* release held segments, now sent natively *)
            Queue.iter (fun pkt -> Ip_layer.send (Host.ip t.host) pkt) t.held;
            Queue.clear t.held;
+           Registry.Gauge.set t.held_bytes 0;
+           if Obs.tracing t.obs then
+             Obs.emit t.obs ~at:(now t)
+               (Event.Failover
+                  { host = Host.name t.host; phase = Takeover_complete });
            on_complete ()))
   end
 
 let retarget t addr = t.divert_to <- addr
 let taken_over t = t.mode = Taken_over
-let stats_claimed t = t.claimed
-let stats_diverted t = t.diverted
-let stats_held t = t.held_count

@@ -35,7 +35,15 @@ val install :
 (** Installs IP hooks, enables promiscuous mode and registers the service
     address as acceptable-local with the TCP stack.  Replies are diverted
     to [divert_to] (default: the service address, i.e. the primary); in a
-    daisy chain the tail diverts to the replica directly above it. *)
+    daisy chain the tail diverts to the replica directly above it.
+
+    Observability: the world-absolute scope [bridge.secondary] carries
+    counters [claimed] (datagrams snooped and delivered locally),
+    [diverted] (replies re-addressed to the primary) and [held_segments],
+    plus the gauge [held_bytes] (payload parked during takeover, reset to
+    zero on release); [Divert], [Hold] and
+    [Failover Takeover_started/Takeover_complete] events are published
+    when the bus is active. *)
 
 val retarget : t -> Tcpfo_packet.Ipaddr.t -> unit
 (** Change the diversion target — used when the replica above this one in
@@ -49,12 +57,3 @@ val begin_takeover : t -> on_complete:(unit -> unit) -> unit
     released and [on_complete] fires. *)
 
 val taken_over : t -> bool
-
-val stats_claimed : t -> int
-(** Datagrams snooped from the wire and delivered locally. *)
-
-val stats_diverted : t -> int
-(** Reply segments diverted to the primary. *)
-
-val stats_held : t -> int
-(** Segments held during takeover reconfiguration. *)

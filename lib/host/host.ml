@@ -11,6 +11,7 @@ module Eth_iface = Tcpfo_ip.Eth_iface
 module Ip_layer = Tcpfo_ip.Ip_layer
 module Stack = Tcpfo_tcp.Stack
 module Tcp_config = Tcpfo_tcp.Tcp_config
+module Obs = Tcpfo_obs.Obs
 
 type profile = {
   tx_cost : Time.t;
@@ -32,6 +33,7 @@ type t = {
   name : string;
   rng : Rng.t;
   clock : Clock.t;
+  obs : Obs.t; (* scoped [host.<name>] *)
   ip : Ip_layer.t;
   tcp : Stack.t;
   mutable ifaces : iface_entry list;
@@ -39,7 +41,12 @@ type t = {
 }
 
 let create engine ~name ~rng ?(profile = default_profile)
-    ?(tcp_config = Tcp_config.default) () =
+    ?(tcp_config = Tcp_config.default) ?obs () =
+  let obs =
+    Obs.scope
+      (Obs.scope (match obs with Some o -> o | None -> Obs.silent ()) "host")
+      name
+  in
   let rec t =
     lazy
       (let clock = Clock.guarded engine ~alive:(fun () -> (Lazy.force t).alive) in
@@ -65,10 +72,10 @@ let create engine ~name ~rng ?(profile = default_profile)
        in
        let ip =
          Ip_layer.create clock ~name ~tx_cost:profile.tx_cost
-           ~rx_cost:profile.rx_cost ?jitter ()
+           ~rx_cost:profile.rx_cost ?jitter ~obs ()
        in
        let tcp = Stack.create clock ~ip ~config:tcp_config ~rng in
-       { engine; name; rng; clock; ip; tcp; ifaces = []; alive = true })
+       { engine; name; rng; clock; obs; ip; tcp; ifaces = []; alive = true })
   in
   Lazy.force t
 
@@ -76,14 +83,17 @@ let name t = t.name
 let engine t = t.engine
 let clock t = t.clock
 let rng t = t.rng
+let obs t = t.obs
 let ip t = t.ip
 let cpu t = Ip_layer.cpu t.ip
 let tcp t = t.tcp
 let alive t = t.alive
 
 let attach_lan t medium ~addr ?(prefix = 24) ~mac () =
-  let nic = Nic.create t.engine ~mac medium in
-  let eth = Eth_iface.create t.clock ~nic ~addr ~prefix in
+  let nic = Nic.create t.engine ~mac ~obs:t.obs medium in
+  let eth =
+    Eth_iface.create t.clock ~obs:t.obs ~host:t.name ~nic ~addr ~prefix ()
+  in
   let iface = Ip_layer.add_eth_iface t.ip eth in
   t.ifaces <- t.ifaces @ [ Lan (eth, iface) ];
   eth

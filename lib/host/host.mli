@@ -27,8 +27,14 @@ val create :
   rng:Tcpfo_util.Rng.t ->
   ?profile:profile ->
   ?tcp_config:Tcpfo_tcp.Tcp_config.t ->
+  ?obs:Tcpfo_obs.Obs.t ->
   unit ->
   t
+(** [obs] is normally the world's root handle; the host narrows it to
+    [host.<name>] and threads it through its NIC, ARP cache, IP layer and
+    TCP stack, so a fully-wired host reports e.g.
+    [host.server.tcp.retransmits] and [host.server.nic.rx] without
+    further plumbing. *)
 
 val attach_lan :
   t ->
@@ -59,6 +65,12 @@ val name : t -> string
 val engine : t -> Tcpfo_sim.Engine.t
 val clock : t -> Tcpfo_sim.Clock.t
 val rng : t -> Tcpfo_util.Rng.t
+
+val obs : t -> Tcpfo_obs.Obs.t
+(** The host's [host.<name>] scope.  In-host components (bridges,
+    heartbeat) derive their scopes from it; use [Obs.root] for
+    world-absolute names. *)
+
 val ip : t -> Tcpfo_ip.Ip_layer.t
 val cpu : t -> Tcpfo_sim.Cpu.t
 val tcp : t -> Tcpfo_tcp.Stack.t

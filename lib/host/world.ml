@@ -6,18 +6,23 @@ module Macaddr = Tcpfo_packet.Macaddr
 module Medium = Tcpfo_net.Medium
 module Link = Tcpfo_net.Link
 module Eth_iface = Tcpfo_ip.Eth_iface
+module Obs = Tcpfo_obs.Obs
 
 type t = {
   engine : Engine.t;
   rng : Rng.t;
+  obs : Obs.t;
   mutable next_mac : int;
 }
 
 let create ?(seed = 0xC0FFEE) () =
-  { engine = Engine.create (); rng = Rng.create ~seed; next_mac = 1 }
+  { engine = Engine.create (); rng = Rng.create ~seed;
+    obs = Obs.create (); next_mac = 1 }
 
 let engine t = t.engine
 let rng t = t.rng
+let obs t = t.obs
+let metrics t = Obs.metrics t.obs
 let fresh_rng t = Rng.split t.rng
 
 let fresh_mac t =
@@ -26,10 +31,13 @@ let fresh_mac t =
   m
 
 let make_lan t ?(config = Medium.default_config) () =
-  Medium.create t.engine ~rng:(fresh_rng t) config
+  Medium.create t.engine ~rng:(fresh_rng t) ~obs:t.obs config
 
 let add_host t medium ~name ~addr ?profile ?tcp_config () =
-  let h = Host.create t.engine ~name ~rng:(fresh_rng t) ?profile ?tcp_config () in
+  let h =
+    Host.create t.engine ~name ~rng:(fresh_rng t) ?profile ?tcp_config
+      ~obs:t.obs ()
+  in
   let _ : Eth_iface.t =
     Host.attach_lan h medium ~addr:(Ipaddr.of_string addr) ~mac:(fresh_mac t) ()
   in
@@ -42,7 +50,7 @@ let router_profile =
 let add_router t medium ~lan_addr ~wan_link ~wan_addr () =
   let h =
     Host.create t.engine ~name:"router" ~rng:(fresh_rng t)
-      ~profile:router_profile ()
+      ~profile:router_profile ~obs:t.obs ()
   in
   let _ : Eth_iface.t =
     Host.attach_lan h medium ~addr:(Ipaddr.of_string lan_addr)
@@ -55,7 +63,7 @@ let add_router t medium ~lan_addr ~wan_link ~wan_addr () =
 let add_wan_client t ~wan_link ~addr ?profile ?tcp_config () =
   let h =
     Host.create t.engine ~name:"wan-client" ~rng:(fresh_rng t) ?profile
-      ?tcp_config ()
+      ?tcp_config ~obs:t.obs ()
   in
   Host.attach_ptp h (Link.endpoint_a wan_link) ~addr:(Ipaddr.of_string addr);
   Host.set_default_via_ptp h;

@@ -15,6 +15,16 @@ val engine : t -> Tcpfo_sim.Engine.t
 val rng : t -> Tcpfo_util.Rng.t
 (** The root RNG; split it for workloads. *)
 
+val obs : t -> Tcpfo_obs.Obs.t
+(** Root observability handle shared by everything the world builds:
+    hosts scope themselves under [host.<name>], the LAN medium under
+    [medium].  Subscribe to [Tcpfo_obs.Event.Bus] via [Obs.bus] to watch
+    structured trace events. *)
+
+val metrics : t -> Tcpfo_obs.Registry.t
+(** Shortcut for [Obs.metrics (obs t)] — the registry to snapshot or
+    query at the end of a run. *)
+
 val fresh_rng : t -> Tcpfo_util.Rng.t
 
 val make_lan : t -> ?config:Tcpfo_net.Medium.config -> unit -> Tcpfo_net.Medium.t

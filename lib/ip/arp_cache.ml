@@ -1,6 +1,8 @@
 module Clock = Tcpfo_sim.Clock
 module Ipaddr = Tcpfo_packet.Ipaddr
 module Macaddr = Tcpfo_packet.Macaddr
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
 
 type entry = { mac : Macaddr.t; expires : Tcpfo_sim.Time.t }
 
@@ -8,19 +10,34 @@ type t = {
   clock : Clock.t;
   ttl : Tcpfo_sim.Time.t;
   table : (Ipaddr.t, entry) Hashtbl.t;
+  hits : Registry.counter;
+  misses : Registry.counter;
+  learned : Registry.counter;
 }
 
-let create clock ~ttl = { clock; ttl; table = Hashtbl.create 16 }
+let create clock ~ttl ?obs () =
+  let obs =
+    Obs.scope (match obs with Some o -> o | None -> Obs.silent ()) "arp"
+  in
+  { clock; ttl; table = Hashtbl.create 16; hits = Obs.counter obs "hits";
+    misses = Obs.counter obs "misses";
+    learned = Obs.counter obs "learned" }
 
 let lookup t ip =
   match Hashtbl.find_opt t.table ip with
-  | Some e when e.expires > t.clock.now () -> Some e.mac
+  | Some e when e.expires > t.clock.now () ->
+    Registry.Counter.incr t.hits;
+    Some e.mac
   | Some _ ->
     Hashtbl.remove t.table ip;
+    Registry.Counter.incr t.misses;
     None
-  | None -> None
+  | None ->
+    Registry.Counter.incr t.misses;
+    None
 
 let learn t ip mac =
+  Registry.Counter.incr t.learned;
   Hashtbl.replace t.table ip { mac; expires = t.clock.now () + t.ttl }
 
 let forget t ip = Hashtbl.remove t.table ip

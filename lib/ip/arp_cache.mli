@@ -7,8 +7,12 @@
 
 type t
 
-val create : Tcpfo_sim.Clock.t -> ttl:Tcpfo_sim.Time.t -> t
-(** Entries expire [ttl] after they were last learned. *)
+val create :
+  Tcpfo_sim.Clock.t -> ttl:Tcpfo_sim.Time.t -> ?obs:Tcpfo_obs.Obs.t ->
+  unit -> t
+(** Entries expire [ttl] after they were last learned.  Counters
+    [arp.hits], [arp.misses] and [arp.learned] are registered under
+    [obs]. *)
 
 val lookup : t -> Tcpfo_packet.Ipaddr.t -> Tcpfo_packet.Macaddr.t option
 (** [None] for missing or expired entries. *)

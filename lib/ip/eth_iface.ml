@@ -6,6 +6,8 @@ module Eth_frame = Tcpfo_packet.Eth_frame
 module Arp_packet = Tcpfo_packet.Arp_packet
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
 module Nic = Tcpfo_net.Nic
+module Obs = Tcpfo_obs.Obs
+module Event = Tcpfo_obs.Event
 
 let arp_retry_interval = Time.sec 1.0
 let arp_max_tries = 3
@@ -20,6 +22,8 @@ type pending = {
 type t = {
   clock : Clock.t;
   nic : Nic.t;
+  obs : Obs.t;
+  host : string; (* label carried by emitted events *)
   mutable addrs : Ipaddr.t list; (* head = primary address *)
   prefix : int;
   arp : Arp_cache.t;
@@ -27,14 +31,17 @@ type t = {
   mutable rx : Ipv4_packet.t -> link_addressed:bool -> unit;
 }
 
-let rec create clock ~nic ~addr ~prefix =
+let rec create clock ?obs ?(host = "host") ~nic ~addr ~prefix () =
+  let obs = match obs with Some o -> o | None -> Obs.silent () in
   let t =
     {
       clock;
       nic;
+      obs;
+      host;
       addrs = [ addr ];
       prefix;
-      arp = Arp_cache.create clock ~ttl:(Time.sec 1200.0);
+      arp = Arp_cache.create clock ~ttl:(Time.sec 1200.0) ~obs ();
       pending = Hashtbl.create 4;
       rx = (fun _ ~link_addressed:_ -> ());
     }
@@ -91,6 +98,9 @@ let send_arp_request t target_ip =
 let add_address t ip =
   if not (has_address t ip) then begin
     t.addrs <- t.addrs @ [ ip ];
+    if Obs.tracing t.obs then
+      Obs.emit t.obs ~at:(t.clock.now ())
+        (Event.Arp_takeover { host = t.host; ip });
     let g = Arp_packet.gratuitous ~sender_mac:(Nic.mac t.nic) ~ip in
     Nic.send t.nic ~dst:Macaddr.broadcast (Eth_frame.Arp g)
   end

@@ -10,10 +10,16 @@ type t
 
 val create :
   Tcpfo_sim.Clock.t ->
+  ?obs:Tcpfo_obs.Obs.t ->
+  ?host:string ->
   nic:Tcpfo_net.Nic.t ->
   addr:Tcpfo_packet.Ipaddr.t ->
   prefix:int ->
+  unit ->
   t
+(** [obs] is the host-level observability scope: the interface's ARP
+    cache registers its counters under it, and {!add_address} publishes
+    an [Arp_takeover] event labelled with [host] (default ["host"]). *)
 
 val nic : t -> Tcpfo_net.Nic.t
 val addresses : t -> Tcpfo_packet.Ipaddr.t list

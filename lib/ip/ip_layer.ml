@@ -5,6 +5,9 @@ module Ipaddr = Tcpfo_packet.Ipaddr
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
 module Tcp_segment = Tcpfo_packet.Tcp_segment
 module Link = Tcpfo_net.Link
+module Obs = Tcpfo_obs.Obs
+module Event = Tcpfo_obs.Event
+module Registry = Tcpfo_obs.Registry
 
 type iface_kind =
   | Eth of Eth_iface.t
@@ -45,13 +48,16 @@ type t = {
   mutable rx_hook :
     (Ipv4_packet.t -> link_addressed:bool -> rx_verdict) option;
   mutable ident : int;
-  mutable n_tx : int;
-  mutable n_rx : int;
-  mutable n_forwarded : int;
+  obs : Obs.t; (* host-level scope; [ip.*] instruments hang below it *)
+  n_tx : Registry.counter;
+  n_rx : Registry.counter;
+  n_forwarded : Registry.counter;
   mutable wire_roundtrip : bool;
 }
 
-let create clock ~name ?(tx_cost = 0) ?(rx_cost = 0) ?jitter ?cpu () =
+let create clock ~name ?(tx_cost = 0) ?(rx_cost = 0) ?jitter ?cpu ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.silent () in
+  let ip_obs = Obs.scope obs "ip" in
   {
     clock;
     name;
@@ -69,9 +75,10 @@ let create clock ~name ?(tx_cost = 0) ?(rx_cost = 0) ?jitter ?cpu () =
     tx_hook = None;
     rx_hook = None;
     ident = 1;
-    n_tx = 0;
-    n_rx = 0;
-    n_forwarded = 0;
+    obs;
+    n_tx = Obs.counter ip_obs "tx";
+    n_rx = Obs.counter ip_obs "rx";
+    n_forwarded = Obs.counter ip_obs "forwarded";
     wire_roundtrip = false;
   }
 
@@ -131,7 +138,13 @@ let transmit t pkt =
   match route_for t pkt.Ipv4_packet.dst with
   | None -> () (* no route: drop *)
   | Some r ->
-    t.n_tx <- t.n_tx + 1;
+    Registry.Counter.incr t.n_tx;
+    (if Obs.tracing t.obs then
+       match pkt.Ipv4_packet.payload with
+       | Tcp seg ->
+         Obs.emit t.obs ~at:(t.clock.now ())
+           (Event.Segment_tx { host = t.name; dst = pkt.Ipv4_packet.dst; seg })
+       | Heartbeat _ | Raw _ -> ());
     (match r.via.kind with
     | Ptp p -> Link.send p.ep pkt
     | Eth e ->
@@ -142,7 +155,13 @@ let transmit t pkt =
 
 (* Local protocol demultiplexing. *)
 let deliver t (pkt : Ipv4_packet.t) =
-  t.n_rx <- t.n_rx + 1;
+  Registry.Counter.incr t.n_rx;
+  (if Obs.tracing t.obs then
+     match pkt.payload with
+     | Tcp seg ->
+       Obs.emit t.obs ~at:(t.clock.now ())
+         (Event.Segment_rx { host = t.name; src = pkt.src; seg })
+     | Heartbeat _ | Raw _ -> ());
   match pkt.payload with
   | Tcp seg -> t.tcp_handler ~src:pkt.src ~dst:pkt.dst seg
   | Heartbeat hb -> t.hb_handler ~src:pkt.src hb
@@ -150,7 +169,7 @@ let deliver t (pkt : Ipv4_packet.t) =
 
 let forward t (pkt : Ipv4_packet.t) =
   if pkt.ttl > 1 then begin
-    t.n_forwarded <- t.n_forwarded + 1;
+    Registry.Counter.incr t.n_forwarded;
     transmit t { pkt with ttl = pkt.ttl - 1 }
   end
 
@@ -232,7 +251,4 @@ let send_tcp t ~src ~dst seg =
   send t (Ipv4_packet.make ~ident:(fresh_ident t) ~src ~dst (Tcp seg))
 
 let cpu t = t.cpu
-
-let stats_tx t = t.n_tx
-let stats_rx t = t.n_rx
-let stats_forwarded t = t.n_forwarded
+let obs t = t.obs

@@ -41,13 +41,20 @@ val create :
   ?rx_cost:Tcpfo_sim.Time.t ->
   ?jitter:(unit -> Tcpfo_sim.Time.t) ->
   ?cpu:Tcpfo_sim.Cpu.t ->
+  ?obs:Tcpfo_obs.Obs.t ->
   unit ->
   t
 (** [tx_cost]/[rx_cost] model per-datagram host processing (protocol stack
     traversal, interrupts); they default to zero.  [jitter], when given,
     is sampled per packet and added on top — OS scheduling noise.  All
     processing serializes through [cpu] (one is created if not given), so
-    a host's packet throughput is bounded by 1/cost. *)
+    a host's packet throughput is bounded by 1/cost.
+
+    [obs] is the host-level observability scope: counters [ip.tx],
+    [ip.rx] and [ip.forwarded] are registered one level below it, and —
+    when the event bus has subscribers — every TCP segment handed to the
+    wire or delivered upward is published as a [Segment_tx]/[Segment_rx]
+    event. *)
 
 val cpu : t -> Tcpfo_sim.Cpu.t
 
@@ -126,6 +133,6 @@ val inject : t -> Tcpfo_packet.Ipv4_packet.t -> unit
 
 val fresh_ident : t -> int
 
-val stats_tx : t -> int
-val stats_rx : t -> int
-val stats_forwarded : t -> int
+val obs : t -> Tcpfo_obs.Obs.t
+(** The host-level scope the layer was created with — bridges and other
+    in-host components derive their own scopes from it. *)

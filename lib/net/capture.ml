@@ -2,6 +2,8 @@ module Engine = Tcpfo_sim.Engine
 module Time = Tcpfo_sim.Time
 module Eth_frame = Tcpfo_packet.Eth_frame
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
 
 type record = { at : Time.t; frame : Eth_frame.t }
 
@@ -10,28 +12,32 @@ type t = {
   filter : Eth_frame.t -> bool;
   limit : int;
   mutable recs : record list; (* newest first *)
-  mutable n_kept : int;
-  mutable n_seen : int;
+  n_kept : Registry.gauge; (* drops on eviction/clear, hence a gauge *)
+  n_seen : Registry.counter;
   mutable running : bool;
   mutable port : Medium.port option;
   medium : Medium.t;
 }
 
-let start engine medium ?(filter = fun _ -> true) ?(limit = 100_000) () =
+let start engine medium ?(filter = fun _ -> true) ?(limit = 100_000) ?obs ()
+    =
+  let obs =
+    Obs.scope (match obs with Some o -> o | None -> Obs.silent ()) "capture"
+  in
   let t =
-    { engine; filter; limit; recs = []; n_kept = 0; n_seen = 0;
-      running = true; port = None; medium }
+    { engine; filter; limit; recs = []; n_kept = Obs.gauge obs "kept";
+      n_seen = Obs.counter obs "seen"; running = true; port = None; medium }
   in
   let deliver frame =
     if t.running then begin
-      t.n_seen <- t.n_seen + 1;
+      Registry.Counter.incr t.n_seen;
       if t.filter frame then begin
         t.recs <- { at = Engine.now engine; frame } :: t.recs;
-        t.n_kept <- t.n_kept + 1;
-        if t.n_kept > t.limit then begin
+        Registry.Gauge.add t.n_kept 1;
+        if Registry.Gauge.value t.n_kept > t.limit then begin
           (* drop the oldest record *)
           t.recs <- List.filteri (fun i _ -> i < t.limit) t.recs;
-          t.n_kept <- t.limit
+          Registry.Gauge.set t.n_kept t.limit
         end
       end
     end
@@ -49,8 +55,8 @@ let stop t =
     | None -> ()
   end
 
-let count t = t.n_kept
-let seen t = t.n_seen
+let count t = Registry.Gauge.value t.n_kept
+let seen t = Registry.Counter.value t.n_seen
 let records t = List.rev t.recs
 
 let tcp_segments t =
@@ -73,4 +79,4 @@ let dump t =
 
 let clear t =
   t.recs <- [];
-  t.n_kept <- 0
+  Registry.Gauge.set t.n_kept 0

@@ -17,11 +17,13 @@ val start :
   Medium.t ->
   ?filter:(Tcpfo_packet.Eth_frame.t -> bool) ->
   ?limit:int ->
+  ?obs:Tcpfo_obs.Obs.t ->
   unit ->
   t
 (** Begin capturing.  [filter] keeps only matching frames (default: all);
     [limit] caps retained records (default 100_000; older records are
-    dropped first). *)
+    dropped first).  When [obs] is given, the counter [capture.seen] and
+    gauge [capture.kept] mirror {!seen} and {!count} in the registry. *)
 
 val stop : t -> unit
 val count : t -> int

@@ -2,6 +2,8 @@ module Engine = Tcpfo_sim.Engine
 module Time = Tcpfo_sim.Time
 module Rng = Tcpfo_util.Rng
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
 
 type config = {
   bandwidth_bps : int;
@@ -31,8 +33,8 @@ type t = {
   config : config;
   a_to_b : direction;
   b_to_a : direction;
-  mutable dropped : int;
-  mutable delivered : int;
+  dropped : Registry.counter;
+  delivered : Registry.counter;
 }
 
 type endpoint = { link : t; out_dir : direction; in_dir : direction }
@@ -40,9 +42,13 @@ type endpoint = { link : t; out_dir : direction; in_dir : direction }
 let mk_direction () =
   { receiver = (fun _ -> ()); queue = Queue.create (); transmitting = false }
 
-let create engine ~rng config =
+let create engine ~rng ?obs config =
+  let obs =
+    Obs.scope (match obs with Some o -> o | None -> Obs.silent ()) "link"
+  in
   { engine; rng; config; a_to_b = mk_direction (); b_to_a = mk_direction ();
-    dropped = 0; delivered = 0 }
+    dropped = Obs.counter obs "dropped";
+    delivered = Obs.counter obs "delivered" }
 
 let endpoint_a t = { link = t; out_dir = t.a_to_b; in_dir = t.b_to_a }
 let endpoint_b t = { link = t; out_dir = t.b_to_a; in_dir = t.a_to_b }
@@ -74,25 +80,22 @@ let rec pump t dir =
       let deliver_once delay =
         ignore
           (Engine.schedule t.engine ~delay (fun () ->
-               t.delivered <- t.delivered + 1;
+               Registry.Counter.incr t.delivered;
                dir.receiver p))
       in
       deliver_once (ser + t.config.delay + extra);
       if t.config.dup_prob > 0.0 && Rng.bool t.rng t.config.dup_prob then
         deliver_once (ser + t.config.delay + extra + (ser / 2) + 1)
     end
-    else t.dropped <- t.dropped + 1;
+    else Registry.Counter.incr t.dropped;
     ignore (Engine.schedule t.engine ~delay:ser (fun () -> pump t dir))
 
 let send ep p =
   let t = ep.link in
   let dir = ep.out_dir in
   if Queue.length dir.queue >= t.config.queue_capacity then
-    t.dropped <- t.dropped + 1
+    Registry.Counter.incr t.dropped
   else begin
     Queue.push p dir.queue;
     if not dir.transmitting then pump t dir
   end
-
-let stats_dropped t = t.dropped
-let stats_delivered t = t.delivered

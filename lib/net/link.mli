@@ -23,7 +23,14 @@ val default_config : config
 (** 10 Mb/s, 20 ms delay, no jitter, no loss/dup/reorder, 64-packet
     queue. *)
 
-val create : Tcpfo_sim.Engine.t -> rng:Tcpfo_util.Rng.t -> config -> t
+val create :
+  Tcpfo_sim.Engine.t ->
+  rng:Tcpfo_util.Rng.t ->
+  ?obs:Tcpfo_obs.Obs.t ->
+  config ->
+  t
+(** Counters [link.dropped] (random loss + queue overflow, both
+    directions) and [link.delivered] are registered under [obs]. *)
 
 val endpoint_a : t -> endpoint
 val endpoint_b : t -> endpoint
@@ -33,8 +40,3 @@ val set_receiver : endpoint -> (Tcpfo_packet.Ipv4_packet.t -> unit) -> unit
 
 val send : endpoint -> Tcpfo_packet.Ipv4_packet.t -> unit
 (** Transmit toward the opposite end. *)
-
-val stats_dropped : t -> int
-(** Packets lost to random loss or queue overflow, both directions. *)
-
-val stats_delivered : t -> int

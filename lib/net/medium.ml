@@ -2,6 +2,8 @@ module Engine = Tcpfo_sim.Engine
 module Time = Tcpfo_sim.Time
 module Rng = Tcpfo_util.Rng
 module Eth_frame = Tcpfo_packet.Eth_frame
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
 
 type config = {
   bandwidth_bps : int;
@@ -32,15 +34,20 @@ type t = {
   mutable next_id : int;
   mutable busy : bool;
   mutable waiters : port list; (* deferring stations, FIFO *)
-  mutable collisions : int;
-  mutable frames : int;
-  mutable bytes : int;
+  collisions : Registry.counter;
+  frames : Registry.counter;
+  bytes : Registry.counter;
   mutable busy_ns : Time.t;
 }
 
-let create engine ~rng config =
+let create engine ~rng ?obs config =
+  let obs =
+    Obs.scope (match obs with Some o -> o | None -> Obs.silent ()) "medium"
+  in
   { engine; rng; config; ports = []; next_id = 0; busy = false;
-    waiters = []; collisions = 0; frames = 0; bytes = 0; busy_ns = 0 }
+    waiters = []; collisions = Obs.counter obs "collisions";
+    frames = Obs.counter obs "frames"; bytes = Obs.counter obs "bytes";
+    busy_ns = 0 }
 
 let attach t ~deliver =
   let p =
@@ -74,8 +81,8 @@ let rec start_single t p =
     t.busy <- true;
     let ser = serialization_time t frame in
     t.busy_ns <- t.busy_ns + ser;
-    t.frames <- t.frames + 1;
-    t.bytes <- t.bytes + Eth_frame.wire_length frame;
+    Registry.Counter.incr t.frames;
+    Registry.Counter.add t.bytes (Eth_frame.wire_length frame);
     let lost =
       t.config.loss_prob > 0.0 && Rng.bool t.rng t.config.loss_prob
     in
@@ -123,7 +130,7 @@ and on_idle t =
     | [] -> ())
   | contenders ->
     (* Collision: jam, then each contender backs off and retries. *)
-    t.collisions <- t.collisions + 1;
+    Registry.Counter.incr t.collisions;
     t.busy <- true;
     t.busy_ns <- t.busy_ns + slot_time;
     ignore
@@ -167,7 +174,4 @@ let transmit t p frame =
     if not p.deferring then try_send t p
   end
 
-let stats_collisions t = t.collisions
-let stats_frames t = t.frames
-let stats_bytes t = t.bytes
 let busy_time t = t.busy_ns

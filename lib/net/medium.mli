@@ -26,7 +26,14 @@ val default_config : config
 (** 100 Mb/s, 1 µs propagation, no random loss, collisions enabled with
     0.3 contention-collision probability. *)
 
-val create : Tcpfo_sim.Engine.t -> rng:Tcpfo_util.Rng.t -> config -> t
+val create :
+  Tcpfo_sim.Engine.t ->
+  rng:Tcpfo_util.Rng.t ->
+  ?obs:Tcpfo_obs.Obs.t ->
+  config ->
+  t
+(** Counters [medium.collisions], [medium.frames] and [medium.bytes] are
+    registered under [obs] (scoped one level deeper with ["medium"]). *)
 
 val attach : t -> deliver:(Tcpfo_packet.Eth_frame.t -> unit) -> port
 (** Register a station.  [deliver] is invoked for every frame put on the
@@ -39,11 +46,6 @@ val detach : t -> port -> unit
 
 val transmit : t -> port -> Tcpfo_packet.Eth_frame.t -> unit
 (** Queue a frame for transmission from the given port. *)
-
-val stats_collisions : t -> int
-val stats_frames : t -> int
-val stats_bytes : t -> int
-(** Cumulative totals since creation. *)
 
 val busy_time : t -> Tcpfo_sim.Time.t
 (** Cumulative time the medium has spent transmitting or jamming;

@@ -1,5 +1,7 @@
 module Eth_frame = Tcpfo_packet.Eth_frame
 module Macaddr = Tcpfo_packet.Macaddr
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
 
 type t = {
   mac : Macaddr.t;
@@ -7,14 +9,18 @@ type t = {
   mutable port : Medium.port option;
   mutable promiscuous : bool;
   mutable rx : Eth_frame.t -> addressed_to_me:bool -> unit;
-  mutable rx_count : int;
-  mutable tx_count : int;
+  rx_count : Registry.counter;
+  tx_count : Registry.counter;
 }
 
-let create _engine ~mac medium =
+let create _engine ~mac ?obs medium =
+  let obs =
+    Obs.scope (match obs with Some o -> o | None -> Obs.silent ()) "nic"
+  in
   let t =
     { mac; medium; port = None; promiscuous = false;
-      rx = (fun _ ~addressed_to_me:_ -> ()); rx_count = 0; tx_count = 0 }
+      rx = (fun _ ~addressed_to_me:_ -> ());
+      rx_count = Obs.counter obs "rx"; tx_count = Obs.counter obs "tx" }
   in
   let deliver frame =
     let to_me =
@@ -22,7 +28,7 @@ let create _engine ~mac medium =
       || Macaddr.is_broadcast frame.Eth_frame.dst
     in
     if to_me || t.promiscuous then begin
-      t.rx_count <- t.rx_count + 1;
+      Registry.Counter.incr t.rx_count;
       t.rx frame ~addressed_to_me:to_me
     end
   in
@@ -39,7 +45,7 @@ let send t ~dst payload =
   match t.port with
   | None -> ()
   | Some port ->
-    t.tx_count <- t.tx_count + 1;
+    Registry.Counter.incr t.tx_count;
     Medium.transmit t.medium port (Eth_frame.make ~src:t.mac ~dst payload)
 
 let shutdown t =
@@ -48,6 +54,3 @@ let shutdown t =
   | Some port ->
     Medium.detach t.medium port;
     t.port <- None
-
-let stats_rx t = t.rx_count
-let stats_tx t = t.tx_count

@@ -8,7 +8,13 @@
 type t
 
 val create :
-  Tcpfo_sim.Engine.t -> mac:Tcpfo_packet.Macaddr.t -> Medium.t -> t
+  Tcpfo_sim.Engine.t ->
+  mac:Tcpfo_packet.Macaddr.t ->
+  ?obs:Tcpfo_obs.Obs.t ->
+  Medium.t ->
+  t
+(** Counters [nic.rx] (accepted frames) and [nic.tx] are registered
+    under [obs]. *)
 
 val mac : t -> Tcpfo_packet.Macaddr.t
 
@@ -27,6 +33,3 @@ val up : t -> bool
 
 val shutdown : t -> unit
 (** Detach from the medium; no further tx or rx.  Crash-fault injection. *)
-
-val stats_rx : t -> int
-val stats_tx : t -> int

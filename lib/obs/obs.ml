@@ -1,0 +1,14 @@
+type t = { metrics : Registry.t; bus : Event.Bus.t; prefix : string }
+
+let create () = { metrics = Registry.create (); bus = Event.Bus.create (); prefix = "" }
+let silent = create
+let scope t seg = { t with prefix = (if t.prefix = "" then seg else t.prefix ^ "." ^ seg) }
+let root t = { t with prefix = "" }
+let name t s = if t.prefix = "" then s else t.prefix ^ "." ^ s
+let metrics t = t.metrics
+let bus t = t.bus
+let counter t s = Registry.counter t.metrics (name t s)
+let gauge t s = Registry.gauge t.metrics (name t s)
+let histogram t s = Registry.histogram t.metrics (name t s)
+let tracing t = Event.Bus.active t.bus
+let emit t ~at ev = Event.Bus.emit t.bus ~at ev

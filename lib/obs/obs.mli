@@ -1,0 +1,44 @@
+(** Scoped observability handle: one {!Registry} + one {!Event.Bus} plus
+    a dotted name prefix.
+
+    A world owns the root handle; each layer derives a narrower scope
+    ([Obs.scope obs "tcp"]) so instrument names compose hierarchically
+    ([host.a.tcp.retransmits]) without any layer knowing the full path.
+    Components take an optional [?obs] argument and default to
+    {!silent}, so unit tests that don't care about metrics pay nothing
+    and pass nothing. *)
+
+type t
+
+val create : unit -> t
+(** Fresh registry + bus, empty prefix. *)
+
+val silent : unit -> t
+(** Alias of {!create} — a private sink for components constructed
+    without an explicit handle. *)
+
+val scope : t -> string -> t
+(** [scope obs seg] shares the registry and bus, with [seg] appended to
+    the name prefix. *)
+
+val root : t -> t
+(** Same registry and bus with the prefix cleared — for components that
+    own an absolute name space (e.g. [bridge.primary.*]) regardless of
+    which host they run on. *)
+
+val name : t -> string -> string
+(** Fully-qualified instrument name under this scope's prefix. *)
+
+val metrics : t -> Registry.t
+val bus : t -> Event.Bus.t
+
+val counter : t -> string -> Registry.counter
+val gauge : t -> string -> Registry.gauge
+val histogram : t -> string -> Registry.histogram
+(** Create-or-get the instrument named [name t s] in the shared
+    registry. *)
+
+val tracing : t -> bool
+(** [Event.Bus.active (bus t)] — guard before constructing events. *)
+
+val emit : t -> at:Tcpfo_sim.Time.t -> Event.t -> unit

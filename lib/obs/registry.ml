@@ -1,0 +1,193 @@
+module Stats = Tcpfo_util.Stats
+
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+
+type histogram = {
+  mutable samples : float list; (* newest first *)
+  mutable n : int;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let register t name make describe =
+  match Hashtbl.find_opt t.tbl name with
+  | None ->
+    let i = make () in
+    Hashtbl.replace t.tbl name i;
+    i
+  | Some i -> describe i
+
+let kind_error name want =
+  invalid_arg
+    (Printf.sprintf "Registry.%s: %S is already registered as another kind"
+       want name)
+
+let counter t name =
+  match
+    register t name
+      (fun () -> C { c = 0 })
+      (function C _ as i -> i | G _ | H _ -> kind_error name "counter")
+  with
+  | C c -> c
+  | G _ | H _ -> assert false
+
+let gauge t name =
+  match
+    register t name
+      (fun () -> G { g = 0 })
+      (function G _ as i -> i | C _ | H _ -> kind_error name "gauge")
+  with
+  | G g -> g
+  | C _ | H _ -> assert false
+
+let histogram t name =
+  match
+    register t name
+      (fun () -> H { samples = []; n = 0 })
+      (function H _ as i -> i | C _ | G _ -> kind_error name "histogram")
+  with
+  | H h -> h
+  | C _ | G _ -> assert false
+
+module Counter = struct
+  let incr c = c.c <- c.c + 1
+  let add c n = c.c <- c.c + n
+  let value c = c.c
+end
+
+module Gauge = struct
+  let set g v = g.g <- v
+  let add g v = g.g <- g.g + v
+  let value g = g.g
+end
+
+module Histogram = struct
+  let observe h v =
+    h.samples <- v :: h.samples;
+    h.n <- h.n + 1
+
+  let count h = h.n
+  let summary h = if h.n = 0 then None else Some (Stats.summarize h.samples)
+end
+
+let counter_value t name =
+  match Hashtbl.find_opt t.tbl name with Some (C c) -> c.c | _ -> 0
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.tbl name with Some (G g) -> g.g | _ -> 0
+
+let histogram_summary t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (H h) -> Histogram.summary h
+  | _ -> None
+
+let sorted_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let names t = List.map fst (sorted_bindings t)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.  Hand-rolled JSON: names are dotted identifiers (no
+   escaping beyond the standard string rules), values are ints and
+   finite floats. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let obj b fields =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, render) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      Buffer.add_string b (json_escape k);
+      Buffer.add_string b "\":";
+      render b)
+    fields;
+  Buffer.add_char b '}'
+
+let summary_fields (s : Stats.summary) =
+  [
+    ("count", fun b -> Buffer.add_string b (string_of_int s.count));
+    ("mean", fun b -> Buffer.add_string b (json_float s.mean));
+    ("min", fun b -> Buffer.add_string b (json_float s.min));
+    ("p25", fun b -> Buffer.add_string b (json_float s.p25));
+    ("p50", fun b -> Buffer.add_string b (json_float s.median));
+    ("p75", fun b -> Buffer.add_string b (json_float s.p75));
+    ("p95", fun b -> Buffer.add_string b (json_float s.p95));
+    ("max", fun b -> Buffer.add_string b (json_float s.max));
+  ]
+
+let to_json t =
+  let bindings = sorted_bindings t in
+  let pick f = List.filter_map f bindings in
+  let counters =
+    pick (function k, C c -> Some (k, c.c) | _ -> None)
+  and gauges = pick (function k, G g -> Some (k, g.g) | _ -> None)
+  and hists = pick (function k, H h -> Some (k, h) | _ -> None) in
+  let b = Buffer.create 1024 in
+  obj b
+    [
+      ( "counters",
+        fun b ->
+          obj b
+            (List.map
+               (fun (k, v) ->
+                 (k, fun b -> Buffer.add_string b (string_of_int v)))
+               counters) );
+      ( "gauges",
+        fun b ->
+          obj b
+            (List.map
+               (fun (k, v) ->
+                 (k, fun b -> Buffer.add_string b (string_of_int v)))
+               gauges) );
+      ( "histograms",
+        fun b ->
+          obj b
+            (List.filter_map
+               (fun (k, h) ->
+                 Option.map
+                   (fun s -> (k, fun b -> obj b (summary_fields s)))
+                   (Histogram.summary h))
+               hists) );
+    ];
+  Buffer.contents b
+
+let dump t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (k, i) ->
+      match i with
+      | C c -> Buffer.add_string b (Printf.sprintf "%-48s %d\n" k c.c)
+      | G g -> Buffer.add_string b (Printf.sprintf "%-48s %d\n" k g.g)
+      | H h -> (
+        match Histogram.summary h with
+        | None -> Buffer.add_string b (Printf.sprintf "%-48s (empty)\n" k)
+        | Some s ->
+          Buffer.add_string b
+            (Format.asprintf "%-48s %a\n" k Stats.pp_summary s)))
+    (sorted_bindings t);
+  Buffer.contents b

@@ -203,7 +203,7 @@ let encode_ipv4_header (p : Ipv4_packet.t) ~payload_len =
   set16 b 10 ck;
   b
 
-let decode_ipv4_header b ~src:_ () =
+let decode_ipv4_header b =
   if Bytes.length b < 20 then raise (Malformed "short IPv4 header");
   if Char.code (Bytes.get b 0) lsr 4 <> 4 then raise (Malformed "not IPv4");
   if not (Checksum.valid (Bytes.sub b 0 20)) then

@@ -24,11 +24,9 @@ val tcp_checksum :
 val encode_ipv4_header : Ipv4_packet.t -> payload_len:int -> bytes
 (** The 20-byte header with a valid header checksum. *)
 
-val decode_ipv4_header :
-  bytes -> src:Ipaddr.t option -> unit -> Ipaddr.t * Ipaddr.t * int * int
-(** [decode_ipv4_header b ~src ()] returns (src, dst, protocol, total_len);
-    [src] is unused and present only to keep the signature stable.  Raises
-    {!Malformed} on checksum or version errors. *)
+val decode_ipv4_header : bytes -> Ipaddr.t * Ipaddr.t * int * int
+(** [decode_ipv4_header b] returns (src, dst, protocol, total_len).
+    Raises {!Malformed} on checksum or version errors. *)
 
 val rewrite_dst_ip :
   src_ip:Ipaddr.t -> old_dst:Ipaddr.t -> new_dst:Ipaddr.t -> bytes -> unit

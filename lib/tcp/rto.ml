@@ -1,3 +1,6 @@
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
+
 type t = {
   rto_min : int;
   rto_max : int;
@@ -5,15 +8,20 @@ type t = {
   mutable rttvar : float;
   mutable base : int; (* ns, before backoff *)
   mutable shift : int; (* backoff exponent *)
+  backoffs : Registry.counter;
+  rtt_us : Registry.histogram;
 }
 
-let create ~init ~min ~max =
+let create ?obs ~init ~min ~max () =
+  let obs = match obs with Some o -> o | None -> Obs.silent () in
   { rto_min = min; rto_max = max; srtt = None; rttvar = 0.0; base = init;
-    shift = 0 }
+    shift = 0; backoffs = Obs.counter obs "rto_backoffs";
+    rtt_us = Obs.histogram obs "rtt_us" }
 
 let clamp t v = Stdlib.max t.rto_min (Stdlib.min t.rto_max v)
 
 let sample t rtt =
+  Registry.Histogram.observe t.rtt_us (float_of_int rtt /. 1_000.0);
   let r = float_of_int rtt in
   (match t.srtt with
   | None ->
@@ -32,6 +40,11 @@ let current t =
   let v = t.base lsl t.shift in
   clamp t v
 
-let backoff t = if current t < t.rto_max then t.shift <- t.shift + 1
+let backoff t =
+  if current t < t.rto_max then begin
+    Registry.Counter.incr t.backoffs;
+    t.shift <- t.shift + 1
+  end
+
 let reset_backoff t = t.shift <- 0
 let srtt t = Option.map int_of_float t.srtt

@@ -4,7 +4,15 @@
 type t
 
 val create :
-  init:Tcpfo_sim.Time.t -> min:Tcpfo_sim.Time.t -> max:Tcpfo_sim.Time.t -> t
+  ?obs:Tcpfo_obs.Obs.t ->
+  init:Tcpfo_sim.Time.t ->
+  min:Tcpfo_sim.Time.t ->
+  max:Tcpfo_sim.Time.t ->
+  unit ->
+  t
+(** [obs] (normally the stack's [tcp] scope) receives the shared counter
+    [rto_backoffs] and histogram [rtt_us] — every RTT measurement, in
+    microseconds. *)
 
 val sample : t -> Tcpfo_sim.Time.t -> unit
 (** Feed a round-trip measurement from an un-retransmitted segment. *)

@@ -4,6 +4,8 @@ module Rng = Tcpfo_util.Rng
 module Ipaddr = Tcpfo_packet.Ipaddr
 module Seg = Tcpfo_packet.Tcp_segment
 module Ip_layer = Tcpfo_ip.Ip_layer
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
 
 type key = Ipaddr.t * int * Ipaddr.t * int (* local, lport, remote, rport *)
 
@@ -12,17 +14,22 @@ type t = {
   ip : Ip_layer.t;
   config : Tcp_config.t;
   rng : Rng.t;
+  obs : Obs.t; (* the host scope narrowed to "tcp" *)
   conns : (key, Tcb.t) Hashtbl.t;
   listeners : (int, Tcb.t -> unit) Hashtbl.t;
   mutable extra_local : Ipaddr.t -> bool;
   mutable next_ephemeral : int;
-  mutable rst_sent : int;
+  rst_sent : Registry.counter;
+  connections : Registry.gauge;
 }
 
 let config t = t.config
 let ip t = t.ip
 let set_extra_local t p = t.extra_local <- p
 let connection_count t = Hashtbl.length t.conns
+
+let sync_conn_gauge t =
+  Registry.Gauge.set t.connections (Hashtbl.length t.conns)
 
 let local_ok t addr =
   Ip_layer.is_local_address t.ip addr || t.extra_local addr
@@ -37,7 +44,7 @@ let fresh_port t =
 
 let send_rst_for t ~src ~dst (seg : Seg.t) =
   if not seg.flags.rst then begin
-    t.rst_sent <- t.rst_sent + 1;
+    Registry.Counter.incr t.rst_sent;
     let rst =
       if seg.flags.ack then
         Seg.make
@@ -60,7 +67,10 @@ let actions_for t key (local, remote) =
     Tcb.emit =
       (fun seg ->
         Ip_layer.send_tcp t.ip ~src:(fst local) ~dst:(fst remote) seg);
-    on_delete = (fun () -> Hashtbl.remove t.conns key);
+    on_delete =
+      (fun () ->
+        Hashtbl.remove t.conns key;
+        sync_conn_gauge t);
   }
 
 let fresh_iss t =
@@ -83,25 +93,29 @@ let handle_segment t ~src ~dst (seg : Seg.t) =
          the connection present if anything loops back synchronously. *)
       let actions = actions_for t key (local, remote) in
       let tcb =
-        Tcb.create_passive t.clock ~config:t.config ~local ~remote ~iss
-          actions ~syn:seg
+        Tcb.create_passive t.clock ~obs:t.obs ~config:t.config ~local ~remote
+          ~iss actions ~syn:seg
       in
       Hashtbl.replace t.conns key tcb;
+      sync_conn_gauge t;
       on_accept tcb
     | Some _ | None -> send_rst_for t ~src ~dst seg)
 
 let create clock ~ip ~config ~rng =
+  let obs = Obs.scope (Ip_layer.obs ip) "tcp" in
   let t =
     {
       clock;
       ip;
       config;
       rng;
+      obs;
       conns = Hashtbl.create 64;
       listeners = Hashtbl.create 8;
       extra_local = (fun _ -> false);
       next_ephemeral = 49152;
-      rst_sent = 0;
+      rst_sent = Obs.counter obs "rst_sent";
+      connections = Obs.gauge obs "connections";
     }
   in
   Ip_layer.set_tcp_handler ip (fun ~src ~dst seg ->
@@ -131,9 +145,11 @@ let connect t ?local ?local_port ~remote () =
   let iss = fresh_iss t in
   let actions = actions_for t key (local, remote) in
   let tcb =
-    Tcb.create_active t.clock ~config:t.config ~local ~remote ~iss actions
+    Tcb.create_active t.clock ~obs:t.obs ~config:t.config ~local ~remote ~iss
+      actions
   in
   Hashtbl.replace t.conns key tcb;
+  sync_conn_gauge t;
   tcb
 
-let stats_rst_sent t = t.rst_sent
+let obs t = t.obs

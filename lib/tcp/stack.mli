@@ -16,7 +16,11 @@ val create :
   config:Tcp_config.t ->
   rng:Tcpfo_util.Rng.t ->
   t
-(** Installs itself as the IP layer's TCP protocol handler. *)
+(** Installs itself as the IP layer's TCP protocol handler.  Derives its
+    observability scope from the IP layer's ([<host>.tcp]): counter
+    [tcp.rst_sent], gauge [tcp.connections], and — via the connections it
+    creates — [tcp.retransmits], [tcp.rto_backoffs] and the [tcp.rtt_us]
+    histogram. *)
 
 val config : t -> Tcp_config.t
 val ip : t -> Tcpfo_ip.Ip_layer.t
@@ -54,4 +58,5 @@ val find :
 val fresh_port : t -> int
 (** Allocate an ephemeral port. *)
 
-val stats_rst_sent : t -> int
+val obs : t -> Tcpfo_obs.Obs.t
+(** The stack's [tcp]-narrowed scope. *)

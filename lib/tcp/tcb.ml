@@ -6,6 +6,8 @@ module Rangeset = Tcpfo_util.Rangeset
 module Interval_buf = Tcpfo_util.Interval_buf
 module Ipaddr = Tcpfo_packet.Ipaddr
 module Seg = Tcpfo_packet.Tcp_segment
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
 
 type state =
   | Syn_sent
@@ -96,6 +98,7 @@ type t = {
   mutable n_retransmits : int;
   mutable n_segments_in : int;
   mutable n_segments_out : int;
+  c_retransmits : Registry.counter; (* stack-wide [tcp.retransmits] *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -296,6 +299,7 @@ and restart_rtx t =
 (* Retransmit the first unacknowledged chunk (go-back from snd_una). *)
 and retransmit_one t =
   t.n_retransmits <- t.n_retransmits + 1;
+  Registry.Counter.incr t.c_retransmits;
   t.rtt_probe <- None (* Karn's rule *);
   match t.state with
   | Syn_sent ->
@@ -367,6 +371,7 @@ and on_rtx t =
         t.rtt_probe <- None;
         t.snd_nxt <- t.snd_una;
         t.n_retransmits <- t.n_retransmits + 1;
+        Registry.Counter.incr t.c_retransmits;
         try_output t);
       arm_rtx t
     end
@@ -482,7 +487,8 @@ and fin_was_sent t =
 (* ------------------------------------------------------------------ *)
 (* Construction                                                       *)
 
-let make clock ~config ~local ~remote ~iss actions state =
+let make clock ?obs ~config ~local ~remote ~iss actions state =
+  let obs = match obs with Some o -> o | None -> Obs.silent () in
   {
     clock;
     config;
@@ -515,8 +521,8 @@ let make clock ~config ~local ~remote ~iss actions state =
     eof_signalled = false;
     recv_paused = false;
     recv_pending = Buffer.create 0;
-    rto = Rto.create ~init:config.rto_init ~min:config.rto_min
-        ~max:config.rto_max;
+    rto = Rto.create ~obs ~init:config.rto_init ~min:config.rto_min
+        ~max:config.rto_max ();
     rtx_timer = None;
     delack_timer = None;
     timewait_timer = None;
@@ -541,10 +547,11 @@ let make clock ~config ~local ~remote ~iss actions state =
     n_retransmits = 0;
     n_segments_in = 0;
     n_segments_out = 0;
+    c_retransmits = Obs.counter obs "retransmits";
   }
 
-let create_active clock ~config ~local ~remote ~iss actions =
-  let t = make clock ~config ~local ~remote ~iss actions Syn_sent in
+let create_active clock ?obs ~config ~local ~remote ~iss actions =
+  let t = make clock ?obs ~config ~local ~remote ~iss actions Syn_sent in
   emit t
     (Seg.make
        ~flags:{ Seg.no_flags with syn = true }
@@ -587,8 +594,8 @@ let accept_syn t (syn : Seg.t) =
   t.snd_wl1 <- syn.seq;
   t.snd_wl2 <- syn.ack
 
-let create_passive clock ~config ~local ~remote ~iss actions ~syn =
-  let t = make clock ~config ~local ~remote ~iss actions Syn_received in
+let create_passive clock ?obs ~config ~local ~remote ~iss actions ~syn =
+  let t = make clock ?obs ~config ~local ~remote ~iss actions Syn_received in
   accept_syn t syn;
   emit t
     (Seg.make

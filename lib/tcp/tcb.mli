@@ -72,6 +72,7 @@ type actions = {
 
 val create_active :
   Tcpfo_sim.Clock.t ->
+  ?obs:Tcpfo_obs.Obs.t ->
   config:Tcp_config.t ->
   local:Tcpfo_packet.Ipaddr.t * int ->
   remote:Tcpfo_packet.Ipaddr.t * int ->
@@ -82,6 +83,7 @@ val create_active :
 
 val create_passive :
   Tcpfo_sim.Clock.t ->
+  ?obs:Tcpfo_obs.Obs.t ->
   config:Tcp_config.t ->
   local:Tcpfo_packet.Ipaddr.t * int ->
   remote:Tcpfo_packet.Ipaddr.t * int ->

@@ -178,9 +178,13 @@ let test_secondary_diverts_everything () =
   check_int "no direct secondary->client tcp" 0 !direct_to_client;
   check_string "reply intact" (String.make 20_000 'r') (sink_contents csink);
   check_bool "secondary diverted segments" true
-    (Secondary_bridge.stats_diverted (Replicated.secondary_bridge r.repl) > 0);
+    (Tcpfo_obs.Registry.counter_value (World.metrics r.rworld)
+       "bridge.secondary.diverted"
+    > 0);
   check_bool "secondary snooped client traffic" true
-    (Secondary_bridge.stats_claimed (Replicated.secondary_bridge r.repl) > 0)
+    (Tcpfo_obs.Registry.counter_value (World.metrics r.rworld)
+       "bridge.secondary.claimed"
+    > 0)
 
 let test_retransmission_forwarded_immediately () =
   (* drop one merged data segment at the client: both replicas retransmit;

@@ -4,6 +4,8 @@ module Rng = Tcpfo_util.Rng
 module Link = Tcpfo_net.Link
 module Ipaddr = Tcpfo_packet.Ipaddr
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
 
 let mk_pkt n =
   Ipv4_packet.make ~src:(Ipaddr.of_int 1) ~dst:(Ipaddr.of_int 2)
@@ -61,12 +63,12 @@ let test_queue_serializes () =
   | _ -> Alcotest.fail "expected two deliveries")
 
 let test_queue_overflow_drops () =
-  let e, l =
-    setup
-      ~config:
-        { Link.default_config with queue_capacity = 2;
-          bandwidth_bps = 1_000_000 }
-      ()
+  let e = Engine.create () in
+  let obs = Obs.create () in
+  let l =
+    Link.create e ~rng:(Rng.create ~seed:5) ~obs
+      { Link.default_config with queue_capacity = 2;
+        bandwidth_bps = 1_000_000 }
   in
   let got = ref 0 in
   Link.set_receiver (Link.endpoint_b l) (fun _ -> incr got);
@@ -76,7 +78,8 @@ let test_queue_overflow_drops () =
   done;
   Engine.run e;
   Testutil.check_int "delivered" 3 !got;
-  Testutil.check_int "dropped" 7 (Link.stats_dropped l)
+  Testutil.check_int "dropped" 7
+    (Registry.counter_value (Obs.metrics obs) "link.dropped")
 
 let test_random_loss () =
   let e, l = setup ~config:{ Link.default_config with loss_prob = 0.3 } () in

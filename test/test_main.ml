@@ -25,4 +25,5 @@ let () =
       ("apps", Test_apps.suite);
       ("chain", Test_chain.suite);
       ("misc", Test_misc.suite);
+      ("obs", Test_obs.suite);
     ]

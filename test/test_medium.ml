@@ -7,6 +7,8 @@ module Eth_frame = Tcpfo_packet.Eth_frame
 module Macaddr = Tcpfo_packet.Macaddr
 module Ipaddr = Tcpfo_packet.Ipaddr
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
 
 let mk_frame ~src ~dst n =
   Eth_frame.make ~src:(Macaddr.of_int src) ~dst:(Macaddr.of_int dst)
@@ -16,12 +18,15 @@ let mk_frame ~src ~dst n =
 
 let setup ?(config = Medium.default_config) () =
   let e = Engine.create () in
-  let m = Medium.create e ~rng:(Rng.create ~seed:11) config in
-  (e, m)
+  let obs = Obs.create () in
+  let m = Medium.create e ~rng:(Rng.create ~seed:11) ~obs config in
+  (e, m, obs)
+
+let collisions obs = Registry.counter_value (Obs.metrics obs) "medium.collisions"
 
 let test_broadcast_semantics () =
   (* hub: every other station sees the frame, the sender does not *)
-  let e, m = setup () in
+  let e, m, _ = setup () in
   let got = Array.make 3 0 in
   let ports =
     Array.init 3 (fun i ->
@@ -32,7 +37,7 @@ let test_broadcast_semantics () =
   Alcotest.(check (array int)) "all but sender" [| 0; 1; 1 |] got
 
 let test_serialization_time () =
-  let e, m = setup () in
+  let e, m, _ = setup () in
   let arrival = ref Time.zero in
   let _p0 = Medium.attach m ~deliver:(fun _ -> ()) in
   let _p1 = Medium.attach m ~deliver:(fun _ -> arrival := Engine.now e) in
@@ -45,7 +50,7 @@ let test_serialization_time () =
   Testutil.check_int "arrival time" (Time.ns 85_640) !arrival
 
 let test_fifo_when_busy () =
-  let e, m = setup () in
+  let e, m, obs = setup () in
   let log = ref [] in
   let p0 =
     Medium.attach m ~deliver:(fun f ->
@@ -62,10 +67,10 @@ let test_fifo_when_busy () =
   Engine.run e;
   Alcotest.(check (list int)) "both delivered in order" [ 11; 22 ]
     (List.rev !log);
-  Testutil.check_int "no collisions" 0 (Medium.stats_collisions m)
+  Testutil.check_int "no collisions" 0 (collisions obs)
 
 let test_collision_backoff_resolves () =
-  let e, m =
+  let e, m, obs =
     setup ~config:{ Medium.default_config with collision_prob = 1.0 } ()
   in
   let received = ref 0 in
@@ -79,11 +84,10 @@ let test_collision_backoff_resolves () =
   Medium.transmit m p3 (mk_frame ~src:3 ~dst:9 800);
   Engine.run e;
   Testutil.check_int "all delivered eventually" 3 !received;
-  Testutil.check_bool "collisions occurred" true
-    (Medium.stats_collisions m > 0)
+  Testutil.check_bool "collisions occurred" true (collisions obs > 0)
 
 let test_collisions_disabled () =
-  let e, m =
+  let e, m, obs =
     setup ~config:{ Medium.default_config with enable_collisions = false } ()
   in
   let received = ref 0 in
@@ -95,10 +99,10 @@ let test_collisions_disabled () =
   Medium.transmit m p1 (mk_frame ~src:1 ~dst:9 100);
   Engine.run e;
   Testutil.check_int "all delivered" 3 !received;
-  Testutil.check_int "no collisions" 0 (Medium.stats_collisions m)
+  Testutil.check_int "no collisions" 0 (collisions obs)
 
 let test_detach_stops_delivery () =
-  let e, m = setup () in
+  let e, m, _ = setup () in
   let got = ref 0 in
   let p0 = Medium.attach m ~deliver:(fun _ -> incr got) in
   let p1 = Medium.attach m ~deliver:(fun _ -> ()) in
@@ -111,7 +115,9 @@ let test_detach_stops_delivery () =
   Testutil.check_int "after detach" 1 !got
 
 let test_random_loss () =
-  let e, m = setup ~config:{ Medium.default_config with loss_prob = 0.5 } () in
+  let e, m, _ =
+    setup ~config:{ Medium.default_config with loss_prob = 0.5 } ()
+  in
   let got = ref 0 in
   let _p0 = Medium.attach m ~deliver:(fun _ -> incr got) in
   let p1 = Medium.attach m ~deliver:(fun _ -> ()) in
@@ -126,7 +132,7 @@ let test_random_loss () =
   Testutil.check_bool "some arrive" true (!got > n / 4)
 
 let test_nic_promiscuous () =
-  let e, m = setup () in
+  let e, m, _ = setup () in
   let normal = ref 0 and promisc = ref 0 in
   let nic1 = Nic.create e ~mac:(Macaddr.of_int 0x111) m in
   let nic2 = Nic.create e ~mac:(Macaddr.of_int 0x222) m in

@@ -1,0 +1,191 @@
+(* The observability subsystem: registry semantics, scoped naming, the
+   event bus, snapshot determinism and the percentile edge cases the
+   histogram summaries rely on. *)
+
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Obs = Tcpfo_obs.Obs
+module Event = Tcpfo_obs.Event
+module Registry = Tcpfo_obs.Registry
+module Stats = Tcpfo_util.Stats
+open Testutil
+
+(* ---------------- registry semantics ---------------- *)
+
+let test_counter_basics () =
+  let r = Registry.create () in
+  let c = Registry.counter r "a.b" in
+  Registry.Counter.incr c;
+  Registry.Counter.add c 10;
+  check_int "value" 11 (Registry.Counter.value c);
+  check_int "by name" 11 (Registry.counter_value r "a.b");
+  check_int "absent counter reads zero" 0 (Registry.counter_value r "nope")
+
+let test_create_or_get_shares_instrument () =
+  let r = Registry.create () in
+  let c1 = Registry.counter r "shared" in
+  let c2 = Registry.counter r "shared" in
+  Registry.Counter.incr c1;
+  Registry.Counter.incr c2;
+  check_bool "same instrument" true (c1 == c2);
+  check_int "aggregated" 2 (Registry.counter_value r "shared")
+
+let test_kind_mismatch_raises () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "x");
+  check_bool "gauge over counter raises" true
+    (try
+       ignore (Registry.gauge r "x");
+       false
+     with Invalid_argument _ -> true);
+  check_bool "histogram over counter raises" true
+    (try
+       ignore (Registry.histogram r "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_gauge_and_histogram () =
+  let r = Registry.create () in
+  let g = Registry.gauge r "g" in
+  Registry.Gauge.set g 5;
+  Registry.Gauge.add g (-2);
+  check_int "gauge" 3 (Registry.gauge_value r "g");
+  let h = Registry.histogram r "h" in
+  check_bool "empty histogram has no summary" true
+    (Registry.histogram_summary r "h" = None);
+  List.iter (Registry.Histogram.observe h) [ 3.0; 1.0; 2.0 ];
+  check_int "histogram count" 3 (Registry.Histogram.count h);
+  match Registry.histogram_summary r "h" with
+  | None -> Alcotest.fail "expected a summary"
+  | Some s ->
+    check_int "count" 3 s.Stats.count;
+    Alcotest.(check (float 1e-9)) "median" 2.0 s.Stats.median;
+    Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+    Alcotest.(check (float 1e-9)) "max" 3.0 s.Stats.max
+
+let test_names_sorted () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "z");
+  ignore (Registry.gauge r "a");
+  ignore (Registry.counter r "m");
+  Alcotest.(check (list string)) "sorted" [ "a"; "m"; "z" ] (Registry.names r)
+
+(* ---------------- scoped naming ---------------- *)
+
+let test_scope_composition () =
+  let obs = Obs.create () in
+  let host = Obs.scope (Obs.scope obs "host") "a" in
+  Alcotest.(check string) "nested scope" "host.a.tcp.rst"
+    (Obs.name (Obs.scope host "tcp") "rst");
+  Alcotest.(check string) "root clears the prefix" "bridge.primary.emitted"
+    (Obs.name (Obs.scope (Obs.root host) "bridge.primary") "emitted");
+  (* scoped handles share one registry *)
+  Registry.Counter.incr (Obs.counter (Obs.scope host "tcp") "rst");
+  check_int "visible from the root" 1
+    (Registry.counter_value (Obs.metrics obs) "host.a.tcp.rst")
+
+let test_silent_is_private () =
+  let a = Obs.silent () in
+  let b = Obs.silent () in
+  Registry.Counter.incr (Obs.counter a "c");
+  check_int "other silent handle unaffected" 0
+    (Registry.counter_value (Obs.metrics b) "c")
+
+(* ---------------- event bus ---------------- *)
+
+let test_bus_subscribe_and_guard () =
+  let obs = Obs.create () in
+  check_bool "inactive without subscribers" false (Obs.tracing obs);
+  let seen = ref [] in
+  let sub =
+    Event.Bus.subscribe (Obs.bus obs) (fun ~at ev -> seen := (at, ev) :: !seen)
+  in
+  check_bool "active with a subscriber" true (Obs.tracing obs);
+  Obs.emit obs ~at:(Time.us 7)
+    (Event.Failover { host = "p"; phase = Event.Degraded });
+  check_int "delivered" 1 (List.length !seen);
+  (match !seen with
+  | [ (at, Event.Failover { host = "p"; phase = Event.Degraded }) ] ->
+    check_int "timestamped" (Time.us 7) at
+  | _ -> Alcotest.fail "unexpected event");
+  Event.Bus.unsubscribe (Obs.bus obs) sub;
+  check_bool "inactive again" false (Obs.tracing obs);
+  Obs.emit obs ~at:(Time.us 9)
+    (Event.Arp_takeover { host = "s"; ip = Tcpfo_packet.Ipaddr.of_int 1 });
+  check_int "not delivered after unsubscribe" 1 (List.length !seen)
+
+let test_is_segment_classifier () =
+  let seg = Tcpfo_packet.Tcp_segment.make ~src_port:1 ~dst_port:2
+      ~seq:(Tcpfo_util.Seq32.of_int 0) () in
+  let ip = Tcpfo_packet.Ipaddr.of_int 3 in
+  check_bool "tx is segment" true
+    (Event.is_segment (Event.Segment_tx { host = "h"; dst = ip; seg }));
+  check_bool "rx is segment" true
+    (Event.is_segment (Event.Segment_rx { host = "h"; src = ip; seg }));
+  check_bool "divert is control-plane" false
+    (Event.is_segment (Event.Divert { host = "h"; orig_dst = ip; seg }))
+
+(* ---------------- snapshot determinism ---------------- *)
+
+(* A short fault-free transfer populates medium/nic/ip/tcp instruments;
+   the JSON snapshot must be byte-identical across same-seed runs. *)
+let snapshot ~seed =
+  let lan = make_simple_lan ~seed () in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun tcb ->
+      Tcb.set_on_data tcb (fun _ ->
+          send_all ~close:true tcb (String.make 20_000 'r')));
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  let sink = make_sink () in
+  wire_sink sink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get"));
+  World.run lan.world ~for_:(Time.sec 5.0);
+  check_int "transfer complete" 20_000 (Buffer.length sink.buf);
+  Registry.to_json (World.metrics lan.world)
+
+let test_snapshot_deterministic () =
+  let a = snapshot ~seed:42 in
+  let b = snapshot ~seed:42 in
+  Alcotest.(check string) "same seed, byte-identical JSON" a b;
+  check_bool "instruments populated" true
+    (String.length a > 2 && a <> "{}")
+
+(* ---------------- percentile edge cases ---------------- *)
+
+let test_percentile_edges () =
+  Alcotest.(check (float 1e-9)) "single sample p0" 7.0
+    (Stats.percentile 0.0 [ 7.0 ]);
+  Alcotest.(check (float 1e-9)) "single sample p50" 7.0
+    (Stats.percentile 50.0 [ 7.0 ]);
+  Alcotest.(check (float 1e-9)) "single sample p100" 7.0
+    (Stats.percentile 100.0 [ 7.0 ]);
+  let xs = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "p0 is the minimum" 1.0
+    (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p100 is the maximum" 5.0
+    (Stats.percentile 100.0 xs);
+  Alcotest.(check (float 1e-9)) "p50 is the median" 3.0
+    (Stats.percentile 50.0 xs)
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "create-or-get shares the instrument" `Quick
+      test_create_or_get_shares_instrument;
+    Alcotest.test_case "kind mismatch raises" `Quick test_kind_mismatch_raises;
+    Alcotest.test_case "gauge and histogram" `Quick test_gauge_and_histogram;
+    Alcotest.test_case "names are sorted" `Quick test_names_sorted;
+    Alcotest.test_case "scope composition" `Quick test_scope_composition;
+    Alcotest.test_case "silent handles are private" `Quick
+      test_silent_is_private;
+    Alcotest.test_case "bus subscribe/emit/unsubscribe" `Quick
+      test_bus_subscribe_and_guard;
+    Alcotest.test_case "segment classifier" `Quick test_is_segment_classifier;
+    Alcotest.test_case "snapshot determinism" `Quick
+      test_snapshot_deterministic;
+    Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
+  ]

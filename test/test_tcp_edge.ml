@@ -56,7 +56,9 @@ let test_unlisten_stops_accepting () =
   (* the first connection is unaffected by unlisten *)
   check_bool "first conn alive" true (Tcb.state c1 = Tcb.Established);
   check_bool "server sent an RST" true
-    (Stack.stats_rst_sent (Host.tcp lan.server) >= 1)
+    (Tcpfo_obs.Registry.counter_value (World.metrics lan.world)
+       "host.server.tcp.rst_sent"
+    >= 1)
 
 let test_rst_counted_for_stray_segment () =
   let lan = make_simple_lan () in
@@ -71,7 +73,9 @@ let test_rst_counted_for_stray_segment () =
   Ip_layer.send_tcp (Host.ip lan.client) ~src:(Host.addr lan.client)
     ~dst:(Host.addr lan.server) seg;
   World.run_until_idle lan.world;
-  check_int "rst sent" 1 (Stack.stats_rst_sent (Host.tcp lan.server))
+  check_int "rst sent" 1
+    (Tcpfo_obs.Registry.counter_value (World.metrics lan.world)
+       "host.server.tcp.rst_sent")
 
 let test_ephemeral_wraparound () =
   let lan = make_simple_lan () in

@@ -95,7 +95,7 @@ let test_ipv4_header_roundtrip () =
       (Ipv4_packet.Raw { proto = 47; data = "xyz" })
   in
   let b = Wire.encode_ipv4_header p ~payload_len:3 in
-  let src, dst, proto, total = Wire.decode_ipv4_header b ~src:None () in
+  let src, dst, proto, total = Wire.decode_ipv4_header b in
   Testutil.check_bool "src" true (Ipaddr.equal src ip_a);
   Testutil.check_bool "dst" true (Ipaddr.equal dst ip_b);
   Testutil.check_int "proto" 47 proto;
