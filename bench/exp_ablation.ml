@@ -30,6 +30,7 @@ let upload_size = 120_000
    with the complete upload. *)
 let min_ack_run ~seed ~use_min_ack =
   let world = World.create ~seed () in
+  note_world world;
   let lan = World.make_lan world () in
   let client =
     World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
@@ -110,6 +111,7 @@ let min_ack_run ~seed ~use_min_ack =
    the secondary, and must heal with retransmission storms. *)
 let min_win_run ~seed ~use_min_window =
   let world = World.create ~seed () in
+  note_world world;
   let lan = World.make_lan world () in
   let client =
     World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
@@ -177,8 +179,7 @@ let run_exp ~trials =
   List.iter
     (fun use_min_ack ->
       let outcomes =
-        List.map (fun i -> min_ack_run ~seed:(8000 + i) ~use_min_ack)
-          (List.init trials (fun i -> i))
+        map_trials trials (fun i -> min_ack_run ~seed:(8000 + i) ~use_min_ack)
       in
       let exercised = List.filter fst outcomes in
       let ok = List.length (List.filter snd exercised) in
@@ -193,9 +194,9 @@ let run_exp ~trials =
   List.iter
     (fun use_min_window ->
       let runs =
-        List.filter_map
-          (fun i -> min_win_run ~seed:(8500 + i) ~use_min_window)
-          (List.init trials (fun i -> i))
+        List.filter_map Fun.id
+          (map_trials trials (fun i ->
+               min_win_run ~seed:(8500 + i) ~use_min_window))
       in
       match runs with
       | [] -> Printf.printf "%-28s %22s\n"

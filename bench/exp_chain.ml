@@ -41,6 +41,7 @@ type run_result = { total : Time.t; stall : Time.t; intact : bool }
 
 let chain_run ~n ~seed ~kill =
   let world = World.create ~seed () in
+  note_world world;
   let lan = World.make_lan world () in
   let client =
     World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
@@ -114,9 +115,9 @@ let run_exp ~trials =
   List.iter
     (fun n ->
       let runs =
-        List.filter_map
-          (fun i -> chain_run ~n ~seed:(9000 + (n * 100) + i) ~kill:None)
-          (List.init trials (fun i -> i))
+        List.filter_map Fun.id
+          (map_trials trials (fun i ->
+               chain_run ~n ~seed:(9000 + (n * 100) + i) ~kill:None))
       in
       match runs with
       | [] -> Printf.printf "%-10d %14s\n" n "DNF"
@@ -132,11 +133,10 @@ let run_exp ~trials =
   List.iter
     (fun (name, idx) ->
       let runs =
-        List.filter_map
-          (fun i ->
-            chain_run ~n:3 ~seed:(9500 + (idx * 100) + i)
-              ~kill:(Some (Time.ms 20, idx)))
-          (List.init trials (fun i -> i))
+        List.filter_map Fun.id
+          (map_trials trials (fun i ->
+               chain_run ~n:3 ~seed:(9500 + (idx * 100) + i)
+                 ~kill:(Some (Time.ms 20, idx))))
       in
       match runs with
       | [] -> Printf.printf "%-10s %8s\n" name "DNF"

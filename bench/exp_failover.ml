@@ -28,6 +28,7 @@ let reply_size = 400_000
 
 let one_run ~seed ~victim ~kill_at ~detector_timeout =
   let world = World.create ~seed () in
+  note_world world;
   let lan = World.make_lan world () in
   let client =
     World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
@@ -104,11 +105,9 @@ let run_exp ~trials =
   List.iter
     (fun kill_at ->
       let runs =
-        List.map
-          (fun i ->
+        map_trials trials (fun i ->
             one_run ~seed:(6000 + i) ~victim:`Primary ~kill_at
               ~detector_timeout:(Time.ms 30))
-          (List.init trials (fun i -> i))
       in
       let ok = List.for_all (fun r -> r.intact && r.completed) runs in
       let med f = Tcpfo_util.Stats.median (List.map f runs) in
@@ -124,11 +123,9 @@ let run_exp ~trials =
   List.iter
     (fun kill_at ->
       let runs =
-        List.map
-          (fun i ->
+        map_trials trials (fun i ->
             one_run ~seed:(6500 + i) ~victim:`Secondary ~kill_at
               ~detector_timeout:(Time.ms 30))
-          (List.init trials (fun i -> i))
       in
       let ok = List.for_all (fun r -> r.intact && r.completed) runs in
       let med f = Tcpfo_util.Stats.median (List.map f runs) in
@@ -143,11 +140,9 @@ let run_exp ~trials =
   List.iter
     (fun dt ->
       let runs =
-        List.map
-          (fun i ->
+        map_trials trials (fun i ->
             one_run ~seed:(7000 + i) ~victim:`Primary ~kill_at:(Time.ms 20)
               ~detector_timeout:dt)
-          (List.init trials (fun i -> i))
       in
       let med f = Tcpfo_util.Stats.median (List.map f runs) in
       Printf.printf "%-14s %14.2f %14.2f\n"

@@ -29,12 +29,23 @@ let one_trial mode ~size ~seed =
   run env ~for_:(Time.sec 60.0);
   Option.map (fun t -> t - !started) !finished
 
+(* All (size, trial) cells fan out in one batch so a parallel run keeps
+   every domain busy across the whole sweep, not just within one size. *)
 let series mode ~sizes ~trials =
-  List.map
-    (fun size ->
+  let sizes_arr = Array.of_list sizes in
+  let results =
+    Array.of_list
+      (map_trials
+         (Array.length sizes_arr * trials)
+         (fun k ->
+           one_trial mode ~size:sizes_arr.(k / trials)
+             ~seed:(2000 + (k mod trials))))
+  in
+  List.mapi
+    (fun j size ->
       let samples =
-        List.filter_map (fun i -> one_trial mode ~size ~seed:(2000 + i))
-          (List.init trials (fun i -> i))
+        List.filter_map Fun.id
+          (Array.to_list (Array.sub results (j * trials) trials))
       in
       (size, if samples = [] then nan
              else float_of_int (median_ns samples) /. 1e3))

@@ -23,8 +23,8 @@ let one_trial mode ~seed =
 
 let measure mode ~trials =
   let samples =
-    List.filter_map (fun i -> one_trial mode ~seed:(1000 + i))
-      (List.init trials (fun i -> i))
+    List.filter_map Fun.id
+      (map_trials trials (fun i -> one_trial mode ~seed:(1000 + i)))
   in
   (median_ns samples, max_ns samples, List.length samples)
 

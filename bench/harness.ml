@@ -42,6 +42,50 @@ type env = {
 }
 
 (* --------------------------------------------------------------- *)
+(* Parallel trial fan-out.  Every experiment builds one fully
+   independent world per trial (own engine, RNG, hosts, registry), so
+   trials are embarrassingly parallel: {!map_trials} fans them out over
+   [!jobs] OCaml domains via {!Tcpfo_util.Domain_pool} and gathers the
+   results by trial index, making the output byte-identical to the
+   serial [--jobs 1] path.
+
+   The only cross-trial state the harness itself kept was the
+   "last world" used for metrics snapshots; it now lives in
+   domain-local storage (each worker records the worlds it builds,
+   no cross-domain writes) and {!map_trials} re-publishes the
+   highest-index trial's world to the calling domain, which is exactly
+   the world a serial run would have ended on. *)
+
+let jobs = ref 1
+
+let dls_last_world : World.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let note_world world = Domain.DLS.get dls_last_world := Some world
+let last_world () = !(Domain.DLS.get dls_last_world)
+
+let map_trials n f =
+  let pairs =
+    Tcpfo_util.Domain_pool.map ~jobs:!jobs n (fun i ->
+        let slot = Domain.DLS.get dls_last_world in
+        slot := None;
+        let r = f i in
+        (r, !slot))
+  in
+  (match
+     List.fold_left
+       (fun acc (_, w) -> match w with Some _ -> w | None -> acc)
+       None pairs
+   with
+  | Some w -> note_world w
+  | None -> ());
+  List.map fst pairs
+
+let run_tasks tasks =
+  let arr = Array.of_list tasks in
+  map_trials (Array.length arr) (fun i -> arr.(i) ())
+
+(* --------------------------------------------------------------- *)
 (* Metrics snapshots.  Each experiment calls {!dump_metrics} once after
    its last trial: the final world's registry is rendered to JSON,
    either into [<metrics_dir>/<exp>.metrics.json] or as a
@@ -50,10 +94,9 @@ type env = {
    byte-identical snapshots. *)
 
 let metrics_dir : string option ref = ref None
-let last_world : World.t option ref = ref None
 
 let dump_metrics ~exp =
-  match !last_world with
+  match last_world () with
   | None -> ()
   | Some world -> (
     let json = Tcpfo_obs.Registry.to_json (World.metrics world) in
@@ -69,7 +112,7 @@ let dump_metrics ~exp =
 
 let make_env ?(seed = 1) mode =
   let world = World.create ~seed () in
-  last_world := Some world;
+  note_world world;
   let lan = World.make_lan world () in
   let client =
     World.add_host world lan ~name:"client" ~addr:"10.0.0.10"

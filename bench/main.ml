@@ -18,6 +18,7 @@ type which =
   | Failover_exp
   | Ablation
   | Chain_exp
+  | Scale_exp
   | Micro_exp
 
 let which_of_string = function
@@ -30,6 +31,7 @@ let which_of_string = function
   | "failover" -> Ok Failover_exp
   | "ablation" -> Ok Ablation
   | "chain" -> Ok Chain_exp
+  | "scale" -> Ok Scale_exp
   | "micro" -> Ok Micro_exp
   | s -> Error (`Msg ("unknown experiment: " ^ s))
 
@@ -48,6 +50,7 @@ let which_conv =
           | Failover_exp -> "failover"
           | Ablation -> "ablation"
           | Chain_exp -> "chain"
+          | Scale_exp -> "scale"
           | Micro_exp -> "micro") )
 
 let rec mkdir_p dir =
@@ -57,12 +60,16 @@ let rec mkdir_p dir =
     Sys.mkdir dir 0o755
   end
 
-let run which quick metrics_dir =
+let run which quick metrics_dir jobs =
   (match metrics_dir with
   | Some dir ->
     mkdir_p dir;
     Harness.metrics_dir := Some dir
   | None -> ());
+  let jobs =
+    if jobs = 0 then Tcpfo_util.Domain_pool.default_jobs () else max 1 jobs
+  in
+  Harness.jobs := jobs;
   let fig_trials = if quick then 1 else 3 in
   let sizes =
     if quick then [ 64; 1024; 16384; 65536; 262144; 1048576 ]
@@ -80,6 +87,11 @@ let run which quick metrics_dir =
     Exp_failover.run_exp ~trials:(if quick then 3 else 7);
   if should Ablation then Exp_ablation.run_exp ~trials:(if quick then 3 else 7);
   if should Chain_exp then Exp_chain.run_exp ~trials:(if quick then 3 else 5);
+  if should Scale_exp then
+    Exp_scale.run_exp
+      ~conns:(if quick then 64 else 256)
+      ~reply_size:(if quick then 4096 else 65536)
+      ~trials:(if quick then 2 else 4);
   if should Micro_exp then Micro.run_exp ();
   Printf.printf "\n[bench completed in %.1fs cpu time]\n%!"
     (Sys.time () -. t0)
@@ -87,7 +99,7 @@ let run which quick metrics_dir =
 let which_arg =
   Arg.(value & opt which_conv All & info [ "exp" ] ~docv:"EXP"
          ~doc:"Experiment to run: all, setup, fig3, fig4, fig5, fig6, \
-               failover, ablation, chain, micro.")
+               failover, ablation, chain, scale, micro.")
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes and trial counts.")
@@ -97,11 +109,17 @@ let metrics_dir_arg =
          ~doc:"Write each experiment's metrics snapshot to \
                DIR/<exp>.metrics.json instead of stdout.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Fan independent trials out over N OCaml domains (0 = one \
+               per recommended core).  Results and metrics snapshots are \
+               byte-identical to --jobs 1; only wall-clock changes.")
+
 let cmd =
   Cmd.v
     (Cmd.info "tcpfo-bench"
        ~doc:"Reproduce the evaluation of 'Transparent TCP Connection \
              Failover' (DSN 2003)")
-    Term.(const run $ which_arg $ quick_arg $ metrics_dir_arg)
+    Term.(const run $ which_arg $ quick_arg $ metrics_dir_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

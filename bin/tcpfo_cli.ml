@@ -34,6 +34,9 @@ let attach_trace ?(segments = true) world =
        (Obs.bus (World.obs world)))
 
 let print_stats world =
+  Printf.printf "engine: %d events processed in %.3f simulated ms\n"
+    (Engine.processed (World.engine world))
+    (float_of_int (World.now world) /. 1e6);
   print_string (Registry.dump (World.metrics world))
 
 let build_world ~seed ~detector_ms ~trace =

@@ -249,8 +249,10 @@ let rec pump t conn =
         let len = min common (merged_mss conn) in
         let seq = conn.next_seq in
         let payload = Interval_buf.pop conn.pq ~max_len:len in
-        let payload_s = Interval_buf.pop conn.sq ~max_len:len in
-        assert (String.length payload = len && String.length payload_s = len);
+        (* the secondary's copy carries the same bytes; drop without
+           materializing a second string (§3.4 merges identical streams) *)
+        Interval_buf.drop conn.sq ~len;
+        assert (String.length payload = len);
         Registry.Counter.add t.c_merged_bytes len;
         conn.next_seq <- Seq32.add conn.next_seq len;
         let fin = fin_ready conn in

@@ -24,26 +24,32 @@ type t = {
   nic : Nic.t;
   obs : Obs.t;
   host : string; (* label carried by emitted events *)
-  mutable addrs : Ipaddr.t list; (* head = primary address *)
+  addrs : Ipaddr.t Tcpfo_util.Vec.t; (* index 0 = primary address *)
   prefix : int;
   arp : Arp_cache.t;
   pending : (Ipaddr.t, pending) Hashtbl.t;
   mutable rx : Ipv4_packet.t -> link_addressed:bool -> unit;
+  mutable on_addr_change : unit -> unit;
+      (* lets the IP layer invalidate its local-address cache when a
+         failover takeover adds or removes an alias *)
 }
 
 let rec create clock ?obs ?(host = "host") ~nic ~addr ~prefix () =
   let obs = match obs with Some o -> o | None -> Obs.silent () in
+  let addrs = Tcpfo_util.Vec.create () in
+  Tcpfo_util.Vec.push addrs addr;
   let t =
     {
       clock;
       nic;
       obs;
       host;
-      addrs = [ addr ];
+      addrs;
       prefix;
       arp = Arp_cache.create clock ~ttl:(Time.sec 1200.0) ~obs ();
       pending = Hashtbl.create 4;
       rx = (fun _ ~link_addressed:_ -> ());
+      on_addr_change = (fun () -> ());
     }
   in
   Nic.set_rx nic (fun frame ~addressed_to_me ->
@@ -58,7 +64,8 @@ and handle_arp t (a : Arp_packet.t) =
   Arp_cache.learn t.arp a.sender_ip a.sender_mac;
   flush_pending t a.sender_ip;
   match a.op with
-  | Arp_packet.Request when List.exists (Ipaddr.equal a.target_ip) t.addrs ->
+  | Arp_packet.Request
+    when Tcpfo_util.Vec.exists (Ipaddr.equal a.target_ip) t.addrs ->
     let reply =
       Arp_packet.reply ~sender_mac:(Nic.mac t.nic) ~sender_ip:a.target_ip
         ~target_mac:a.sender_mac ~target_ip:a.sender_ip
@@ -79,12 +86,13 @@ and flush_pending t ip =
         p.queue)
 
 let nic t = t.nic
-let addresses t = t.addrs
-let primary_address t = List.hd t.addrs
+let addresses t = Tcpfo_util.Vec.to_list t.addrs
+let primary_address t = Tcpfo_util.Vec.get t.addrs 0
 let prefix t = t.prefix
-let has_address t ip = List.exists (Ipaddr.equal ip) t.addrs
+let has_address t ip = Tcpfo_util.Vec.exists (Ipaddr.equal ip) t.addrs
 let arp_cache t = t.arp
 let set_rx t fn = t.rx <- fn
+let set_on_addr_change t fn = t.on_addr_change <- fn
 let set_promiscuous t v = Nic.set_promiscuous t.nic v
 let shutdown t = Nic.shutdown t.nic
 
@@ -97,7 +105,8 @@ let send_arp_request t target_ip =
 
 let add_address t ip =
   if not (has_address t ip) then begin
-    t.addrs <- t.addrs @ [ ip ];
+    Tcpfo_util.Vec.push t.addrs ip;
+    t.on_addr_change ();
     if Obs.tracing t.obs then
       Obs.emit t.obs ~at:(t.clock.now ())
         (Event.Arp_takeover { host = t.host; ip });
@@ -106,7 +115,8 @@ let add_address t ip =
   end
 
 let remove_address t ip =
-  t.addrs <- List.filter (fun a -> not (Ipaddr.equal a ip)) t.addrs
+  if Tcpfo_util.Vec.remove_first (Ipaddr.equal ip) t.addrs then
+    t.on_addr_change ()
 
 let rec arm_retry t ip p =
   p.timer <-

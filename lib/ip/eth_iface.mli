@@ -32,6 +32,11 @@ val add_address : t -> Tcpfo_packet.Ipaddr.t -> unit
 
 val remove_address : t -> Tcpfo_packet.Ipaddr.t -> unit
 
+val set_on_addr_change : t -> (unit -> unit) -> unit
+(** Notification that the address set changed ({!add_address} /
+    {!remove_address}).  The IP layer uses it to invalidate its cached
+    local-address list. *)
+
 val arp_cache : t -> Arp_cache.t
 
 val set_rx :

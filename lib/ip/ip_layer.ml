@@ -5,6 +5,7 @@ module Ipaddr = Tcpfo_packet.Ipaddr
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
 module Tcp_segment = Tcpfo_packet.Tcp_segment
 module Link = Tcpfo_net.Link
+module Vec = Tcpfo_util.Vec
 module Obs = Tcpfo_obs.Obs
 module Event = Tcpfo_obs.Event
 module Registry = Tcpfo_obs.Registry
@@ -36,9 +37,17 @@ type t = {
   rx_cost : Time.t;
   jitter : (unit -> Time.t) option; (* extra per-packet processing noise *)
   cpu : Cpu.t;
-  mutable ifaces : iface list;
+  ifaces : iface Vec.t;
   mutable next_iface : int;
   mutable routes : route list;
+  (* Per-packet caches.  [route_cache] memoizes the last destination's
+     longest-prefix match (traffic is heavily repetitive per host);
+     [local_addrs] caches the flattened interface-address list that
+     [is_local_address] consults on every rx and tx.  Both are
+     invalidated on any interface, address, or route change. *)
+  mutable route_cache : (Ipaddr.t * route) option;
+  mutable local_addrs : Ipaddr.t list;
+  mutable local_addrs_dirty : bool;
   mutable forwarding : bool;
   mutable tcp_handler :
     src:Ipaddr.t -> dst:Ipaddr.t -> Tcp_segment.t -> unit;
@@ -65,9 +74,12 @@ let create clock ~name ?(tx_cost = 0) ?(rx_cost = 0) ?jitter ?cpu ?obs () =
     rx_cost;
     jitter;
     cpu = (match cpu with Some c -> c | None -> Cpu.create clock);
-    ifaces = [];
+    ifaces = Vec.create ();
     next_iface = 0;
     routes = [];
+    route_cache = None;
+    local_addrs = [];
+    local_addrs_dirty = true;
     forwarding = false;
     tcp_handler = (fun ~src:_ ~dst:_ _ -> ());
     hb_handler = (fun ~src:_ _ -> ());
@@ -85,15 +97,27 @@ let create clock ~name ?(tx_cost = 0) ?(rx_cost = 0) ?jitter ?cpu ?obs () =
 let name t = t.name
 let clock t = t.clock
 
-let addresses t =
-  List.concat_map
-    (fun i ->
-      match i.kind with
-      | Eth e -> Eth_iface.addresses e
-      | Ptp p -> [ p.addr ])
-    t.ifaces
+let invalidate_addr_cache t = t.local_addrs_dirty <- true
 
-let is_local_address t ip = List.exists (Ipaddr.equal ip) (addresses t)
+let refresh_local_addrs t =
+  if t.local_addrs_dirty then begin
+    t.local_addrs <-
+      List.concat_map
+        (fun i ->
+          match i.kind with
+          | Eth e -> Eth_iface.addresses e
+          | Ptp p -> [ p.addr ])
+        (Vec.to_list t.ifaces);
+    t.local_addrs_dirty <- false
+  end
+
+let addresses t =
+  refresh_local_addrs t;
+  t.local_addrs
+
+let is_local_address t ip =
+  refresh_local_addrs t;
+  List.exists (Ipaddr.equal ip) t.local_addrs
 
 let set_forwarding t v = t.forwarding <- v
 let set_tcp_handler t fn = t.tcp_handler <- fn
@@ -110,6 +134,7 @@ let fresh_ident t =
   v
 
 let add_route t ~net ~prefix ?gateway via =
+  t.route_cache <- None;
   t.routes <-
     List.sort
       (fun a b -> compare b.rprefix a.rprefix) (* longest prefix first *)
@@ -117,9 +142,18 @@ let add_route t ~net ~prefix ?gateway via =
       :: t.routes)
 
 let route_for t dst =
-  List.find_opt
-    (fun r -> Ipaddr.same_network r.net dst ~prefix:r.rprefix)
-    t.routes
+  match t.route_cache with
+  | Some (d, r) when Ipaddr.equal d dst -> Some r
+  | _ ->
+    let r =
+      List.find_opt
+        (fun r -> Ipaddr.same_network r.net dst ~prefix:r.rprefix)
+        t.routes
+    in
+    (match r with
+    | Some route -> t.route_cache <- Some (dst, route)
+    | None -> ());
+    r
 
 let set_wire_roundtrip t v = t.wire_roundtrip <- v
 
@@ -203,11 +237,13 @@ let rx_entry t pkt ~link_addressed =
 let add_iface t kind =
   let i = { id = t.next_iface; kind } in
   t.next_iface <- t.next_iface + 1;
-  t.ifaces <- t.ifaces @ [ i ];
+  Vec.push t.ifaces i;
+  invalidate_addr_cache t;
   i
 
 let add_eth_iface t e =
   let i = add_iface t (Eth e) in
+  Eth_iface.set_on_addr_change e (fun () -> invalidate_addr_cache t);
   Eth_iface.set_rx e (fun pkt ~link_addressed -> rx_entry t pkt ~link_addressed);
   add_route t
     ~net:(Eth_iface.primary_address e)

@@ -1,6 +1,7 @@
 module Engine = Tcpfo_sim.Engine
 module Time = Tcpfo_sim.Time
 module Rng = Tcpfo_util.Rng
+module Vec = Tcpfo_util.Vec
 module Eth_frame = Tcpfo_packet.Eth_frame
 module Obs = Tcpfo_obs.Obs
 module Registry = Tcpfo_obs.Registry
@@ -30,10 +31,10 @@ type t = {
   engine : Engine.t;
   rng : Rng.t;
   config : config;
-  mutable ports : port list; (* in attach order, for determinism *)
+  ports : port Vec.t; (* in attach order, for determinism *)
   mutable next_id : int;
   mutable busy : bool;
-  mutable waiters : port list; (* deferring stations, FIFO *)
+  waiters : port Queue.t; (* deferring stations, FIFO; filtered lazily *)
   collisions : Registry.counter;
   frames : Registry.counter;
   bytes : Registry.counter;
@@ -44,8 +45,8 @@ let create engine ~rng ?obs config =
   let obs =
     Obs.scope (match obs with Some o -> o | None -> Obs.silent ()) "medium"
   in
-  { engine; rng; config; ports = []; next_id = 0; busy = false;
-    waiters = []; collisions = Obs.counter obs "collisions";
+  { engine; rng; config; ports = Vec.create (); next_id = 0; busy = false;
+    waiters = Queue.create (); collisions = Obs.counter obs "collisions";
     frames = Obs.counter obs "frames"; bytes = Obs.counter obs "bytes";
     busy_ns = 0 }
 
@@ -55,14 +56,15 @@ let attach t ~deliver =
       attempts = 0; deferring = false }
   in
   t.next_id <- t.next_id + 1;
-  t.ports <- t.ports @ [ p ];
+  Vec.push t.ports p;
   p
 
 let detach t p =
   p.attached <- false;
   Queue.clear p.backlog;
-  t.ports <- List.filter (fun q -> q.id <> p.id) t.ports;
-  t.waiters <- List.filter (fun q -> q.id <> p.id) t.waiters
+  ignore (Vec.remove_first (fun q -> q.id = p.id) t.ports)
+(* a detached port still queued in [waiters] is skipped at the next
+   idle transition *)
 
 (* Serialization time includes 8 bytes preamble + 12 bytes inter-frame gap. *)
 let serialization_time t frame =
@@ -86,12 +88,13 @@ let rec start_single t p =
     let lost =
       t.config.loss_prob > 0.0 && Rng.bool t.rng t.config.loss_prob
     in
-    (* Delivery completes one serialization + propagation later. *)
-    ignore
-      (Engine.schedule t.engine ~delay:(ser + t.config.propagation)
-         (fun () ->
-           if not lost then
-             List.iter
+    (* Delivery completes one serialization + propagation later.  A frame
+       already decided lost never schedules its (no-op) delivery event. *)
+    if not lost then
+      ignore
+        (Engine.schedule t.engine ~delay:(ser + t.config.propagation)
+           (fun () ->
+             Vec.iter
                (fun q ->
                  if q.attached && q.id <> p.id then q.deliver frame)
                t.ports));
@@ -102,11 +105,15 @@ let rec start_single t p =
            on_idle t))
 
 and on_idle t =
-  let ready =
-    List.filter (fun p -> p.attached && not (Queue.is_empty p.backlog))
-      t.waiters
-  in
-  t.waiters <- [];
+  (* Drain every waiter (FIFO); stations that detached or drained their
+     backlog while queued are dropped here. *)
+  let ready_rev = ref [] in
+  while not (Queue.is_empty t.waiters) do
+    let p = Queue.pop t.waiters in
+    if p.attached && not (Queue.is_empty p.backlog) then
+      ready_rev := p :: !ready_rev
+  done;
+  let ready = List.rev !ready_rev in
   List.iter (fun p -> p.deferring <- false) ready;
   match ready with
   | [] -> ()
@@ -161,7 +168,7 @@ and retry_later t p slots =
 and defer t p =
   if not p.deferring then begin
     p.deferring <- true;
-    t.waiters <- t.waiters @ [ p ]
+    Queue.push p t.waiters
   end
 
 and try_send t p =

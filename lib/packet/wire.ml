@@ -212,6 +212,9 @@ let decode_ipv4_header b =
   let dst = Ipaddr.of_int (get32 b 16) in
   let proto = Char.code (Bytes.get b 9) in
   let total = get16 b 2 in
+  if total < 20 then raise (Malformed "IPv4 total length below header size");
+  if Bytes.length b > 20 && total > Bytes.length b then
+    raise (Malformed "IPv4 total length exceeds datagram");
   (src, dst, proto, total)
 
 let rewrite_dst_ip ~src_ip:_ ~old_dst ~new_dst b =

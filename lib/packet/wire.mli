@@ -26,7 +26,10 @@ val encode_ipv4_header : Ipv4_packet.t -> payload_len:int -> bytes
 
 val decode_ipv4_header : bytes -> Ipaddr.t * Ipaddr.t * int * int
 (** [decode_ipv4_header b] returns (src, dst, protocol, total_len).
-    Raises {!Malformed} on checksum or version errors. *)
+    Raises {!Malformed} on checksum or version errors, when [total_len]
+    is smaller than the 20-byte header, and — when [b] holds more than
+    the bare header, i.e. the datagram itself — when [total_len] claims
+    more bytes than [b] actually contains (truncation). *)
 
 val rewrite_dst_ip :
   src_ip:Ipaddr.t -> old_dst:Ipaddr.t -> new_dst:Ipaddr.t -> bytes -> unit

@@ -5,11 +5,14 @@ type t = {
   mutable clock : Time.t;
   queue : event Tcpfo_util.Heap.t;
   mutable live : int;
+  mutable processed : int;
 }
 
-let create () = { clock = 0; queue = Tcpfo_util.Heap.create (); live = 0 }
+let create () =
+  { clock = 0; queue = Tcpfo_util.Heap.create (); live = 0; processed = 0 }
 
 let now t = t.clock
+let processed t = t.processed
 
 let schedule_at t ~at fn =
   let at = max at t.clock in
@@ -36,6 +39,7 @@ let rec step t =
     else begin
       t.clock <- at;
       t.live <- t.live - 1;
+      t.processed <- t.processed + 1;
       ev.fn ();
       true
     end

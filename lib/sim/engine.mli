@@ -27,6 +27,10 @@ val cancel : t -> event_id -> unit
 val pending : t -> int
 (** Number of live (non-cancelled) events still queued. *)
 
+val processed : t -> int
+(** Cumulative number of events executed since [create].  Cancelled events
+    are popped silently and do not count. *)
+
 val step : t -> bool
 (** Execute the next event; [false] if the queue is empty. *)
 

@@ -1,14 +1,34 @@
+(* Ring-buffer implementation.
+
+   The original representation kept pushed strings as a chunk list and
+   re-appended the reversed tail on every read ([chunks @ List.rev
+   tail_rev]), making a push/read-heavy workload — exactly what the TCP
+   send path does per segment — quadratic in the number of outstanding
+   chunks.  The capacity is fixed at creation, so a circular byte buffer
+   gives O(n) push/read in the bytes moved and O(1) release, independent
+   of access history.
+
+   The physical ring starts small and doubles up to [capacity], so idle
+   connections don't pay for a full send buffer up front. *)
+
 type t = {
   capacity : int;
-  mutable chunks : string list; (* in order; head is oldest *)
-  mutable tail_rev : string list; (* newest first; amortizes appends *)
+  mutable buf : Bytes.t; (* physical ring; grows up to [capacity] *)
+  mutable head : int; (* physical index of the first held byte *)
   mutable start : int; (* absolute offset of first held byte *)
   mutable len : int;
-  mutable head_skip : int; (* bytes of the first chunk already released *)
 }
 
+let initial_size = 4096
+
 let create ~capacity =
-  { capacity; chunks = []; tail_rev = []; start = 0; len = 0; head_skip = 0 }
+  {
+    capacity;
+    buf = Bytes.create (min capacity initial_size);
+    head = 0;
+    start = 0;
+    len = 0;
+  }
 
 let capacity t = t.capacity
 let length t = t.len
@@ -17,65 +37,51 @@ let start_offset t = t.start
 let end_offset t = t.start + t.len
 let is_empty t = t.len = 0
 
+(* Re-allocate the ring to hold at least [needed] bytes, linearizing the
+   live window to the front. *)
+let grow t needed =
+  let size = Bytes.length t.buf in
+  let new_size = min t.capacity (max needed (max initial_size (2 * size))) in
+  let b = Bytes.create new_size in
+  let first = min t.len (size - t.head) in
+  Bytes.blit t.buf t.head b 0 first;
+  if t.len > first then Bytes.blit t.buf 0 b first (t.len - first);
+  t.buf <- b;
+  t.head <- 0
+
 let push t s =
   let n = min (String.length s) (free t) in
   if n > 0 then begin
-    let s = if n = String.length s then s else String.sub s 0 n in
-    t.tail_rev <- s :: t.tail_rev;
+    if t.len + n > Bytes.length t.buf then grow t (t.len + n);
+    let size = Bytes.length t.buf in
+    let tail = (t.head + t.len) mod size in
+    let first = min n (size - tail) in
+    Bytes.blit_string s 0 t.buf tail first;
+    if n > first then Bytes.blit_string s first t.buf 0 (n - first);
     t.len <- t.len + n
   end;
   n
 
-let normalize t =
-  if t.tail_rev <> [] then begin
-    t.chunks <- t.chunks @ List.rev t.tail_rev;
-    t.tail_rev <- []
-  end
-
 let read t ~pos ~len =
   assert (pos >= t.start);
-  normalize t;
   let avail = t.start + t.len - pos in
   let len = min len (max 0 avail) in
   if len = 0 then ""
   else begin
+    let size = Bytes.length t.buf in
+    let off = (t.head + (pos - t.start)) mod size in
     let b = Bytes.create len in
-    (* walk the chunks to the position *)
-    let rec go chunks skip pos_off written =
-      if written >= len then ()
-      else
-        match chunks with
-        | [] -> assert false
-        | c :: rest ->
-          let clen = String.length c - skip in
-          if pos_off >= clen then go rest 0 (pos_off - clen) written
-          else begin
-            let take = min (clen - pos_off) (len - written) in
-            Bytes.blit_string c (skip + pos_off) b written take;
-            go rest 0 0 (written + take)
-          end
-    in
-    go t.chunks t.head_skip (pos - t.start) 0;
+    let first = min len (size - off) in
+    Bytes.blit t.buf off b 0 first;
+    if len > first then Bytes.blit t.buf 0 b first (len - first);
     Bytes.unsafe_to_string b
   end
 
 let release_to t ~pos =
   if pos > t.start then begin
-    normalize t;
     let drop = min (pos - t.start) t.len in
-    let rec go chunks skip remaining =
-      if remaining = 0 then (chunks, skip)
-      else
-        match chunks with
-        | [] -> ([], 0)
-        | c :: rest ->
-          let clen = String.length c - skip in
-          if remaining >= clen then go rest 0 (remaining - clen)
-          else (chunks, skip + remaining)
-    in
-    let chunks, skip = go t.chunks t.head_skip drop in
-    t.chunks <- chunks;
-    t.head_skip <- skip;
+    let size = Bytes.length t.buf in
+    if size > 0 then t.head <- (t.head + drop) mod size;
     t.start <- t.start + drop;
     t.len <- t.len - drop
   end

@@ -1,0 +1,72 @@
+(* Minimal growable array with order-preserving removal.
+
+   Replaces the [xs <- xs @ [x]] pattern (O(n) per append, re-allocating
+   the whole spine) on simulator hot paths that must nevertheless keep
+   insertion order for determinism: medium ports, IP interfaces,
+   interface addresses.
+
+   Removed or popped slots are overwritten with a surviving element (the
+   array cannot hold a dummy for an arbitrary ['a]), so a stale reference
+   may be kept alive until the next push over that slot.  The intended
+   element types are small simulator records, where this is harmless. *)
+
+type 'a t = { mutable arr : 'a array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Vec.get: index out of bounds";
+  t.arr.(i)
+
+let push t x =
+  if t.size = Array.length t.arr then begin
+    let cap = max 8 (2 * Array.length t.arr) in
+    let arr = Array.make cap x in
+    Array.blit t.arr 0 arr 0 t.size;
+    t.arr <- arr
+  end;
+  t.arr.(t.size) <- x;
+  t.size <- t.size + 1
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.arr.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := f !acc t.arr.(i)
+  done;
+  !acc
+
+let exists f t =
+  let rec go i = i < t.size && (f t.arr.(i) || go (i + 1)) in
+  go 0
+
+let find_opt f t =
+  let rec go i =
+    if i >= t.size then None
+    else if f t.arr.(i) then Some t.arr.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* Remove the first element satisfying [f], shifting the tail left so
+   relative order is preserved (order determines event scheduling order in
+   the simulator).  Returns whether an element was removed. *)
+let remove_first f t =
+  let rec find i = if i >= t.size then -1 else if f t.arr.(i) then i else find (i + 1) in
+  let i = find 0 in
+  if i < 0 then false
+  else begin
+    Array.blit t.arr (i + 1) t.arr i (t.size - i - 1);
+    t.size <- t.size - 1;
+    true
+  end
+
+let to_list t =
+  let rec go acc i = if i < 0 then acc else go (t.arr.(i) :: acc) (i - 1) in
+  go [] (t.size - 1)

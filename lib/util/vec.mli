@@ -1,0 +1,33 @@
+(** Growable array with order-preserving removal.
+
+    The simulator keeps several small registries (medium ports, IP
+    interfaces, interface addresses) whose iteration order must match
+    insertion order for determinism.  [Vec] provides O(1) amortized
+    append and in-order traversal without the list re-allocation of
+    [xs @ [x]]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** Append at the end; O(1) amortized. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** In insertion order. *)
+
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+
+val remove_first : ('a -> bool) -> 'a t -> bool
+(** Remove the first matching element, shifting later elements left
+    (insertion order of survivors is preserved).  Returns [true] if an
+    element was removed.  O(n). *)
+
+val to_list : 'a t -> 'a list

@@ -72,6 +72,55 @@ let prop_release_read_agree =
       Bytebuf.read b ~pos:rel ~len:remaining
       = String.sub all rel remaining)
 
+(* Locks in O(1)-amortized push/read/release.  The former chunk-list
+   representation normalized (re-concatenated) the whole live window on
+   every read, so this sliding-window pattern — exactly what a TCP send
+   buffer does under a steady stream — was quadratic and took minutes at
+   this size.  The ring representation runs it in well under a second;
+   the bound is deliberately generous so slow CI machines never flake. *)
+let test_sliding_window_amortized () =
+  let iters = 50_000 in
+  let window = 1 lsl 16 in
+  let chunk = String.make 64 'p' in
+  let b = Bytebuf.create ~capacity:window in
+  let t0 = Sys.time () in
+  let pushed = ref 0 in
+  for _ = 1 to iters do
+    pushed := !pushed + Bytebuf.push b chunk;
+    let e = Bytebuf.end_offset b in
+    ignore (Bytebuf.read b ~pos:(max (Bytebuf.start_offset b) (e - 32)) ~len:32);
+    if Bytebuf.length b > window / 2 then
+      Bytebuf.release_to b ~pos:(e - (window / 4))
+  done;
+  let dt = Sys.time () -. t0 in
+  Testutil.check_int "offsets conserved" !pushed (Bytebuf.end_offset b);
+  Alcotest.(check bool)
+    (Printf.sprintf "sliding window stayed fast (%.2fs cpu)" dt)
+    true (dt < 5.0)
+
+(* Many push/release cycles over a tiny buffer force the ring head to wrap
+   hundreds of times; the reassembled stream must equal what was pushed. *)
+let test_wrap_stream_intact () =
+  let b = Bytebuf.create ~capacity:100 in
+  let sent = Buffer.create 4096 in
+  let got = Buffer.create 4096 in
+  let off = ref 0 in
+  for i = 0 to 999 do
+    let s =
+      String.init (1 + (i mod 37)) (fun k -> Char.chr ((i + (3 * k)) land 0xFF))
+    in
+    let n = Bytebuf.push b s in
+    Buffer.add_string sent (String.sub s 0 n);
+    let len = (Bytebuf.length b / 2) + 1 in
+    let piece = Bytebuf.read b ~pos:!off ~len in
+    Buffer.add_string got piece;
+    off := !off + String.length piece;
+    Bytebuf.release_to b ~pos:!off
+  done;
+  Buffer.add_string got (Bytebuf.read b ~pos:!off ~len:(Bytebuf.length b));
+  Testutil.check_string "wrapped stream intact" (Buffer.contents sent)
+    (Buffer.contents got)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -79,6 +128,10 @@ let suite =
     Alcotest.test_case "read spans chunks" `Quick test_read_offsets;
     Alcotest.test_case "release frees space" `Quick test_release;
     Alcotest.test_case "release mid-chunk" `Quick test_release_mid_chunk;
+    Alcotest.test_case "sliding window amortized O(1)" `Quick
+      test_sliding_window_amortized;
+    Alcotest.test_case "ring wrap keeps stream intact" `Quick
+      test_wrap_stream_intact;
     q prop_fifo;
     q prop_release_read_agree;
   ]

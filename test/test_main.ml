@@ -26,4 +26,5 @@ let () =
       ("chain", Test_chain.suite);
       ("misc", Test_misc.suite);
       ("obs", Test_obs.suite);
+      ("parallel", Test_parallel.suite);
     ]
