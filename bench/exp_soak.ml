@@ -1,0 +1,113 @@
+(* E10: failover soak — hundreds of seeded fault scenarios (kill the
+   primary or secondary during handshake / mid-transfer / in the
+   FIN window / at idle, under loss bursts, frame corruption, cross
+   traffic, client pauses and partitions) with the §2 correctness
+   requirements checked as hard invariants on every run.
+
+   Scenario construction, chaos plan and kill instant all derive from
+   the seed alone (see Tcpfo_fault.Soak), so any seed printed in a
+   failure report reproduces the run — including a byte-identical
+   metrics snapshot, which this experiment re-verifies on a sample of
+   seeds after the sweep. *)
+
+module Soak = Tcpfo_fault.Soak
+
+let bucket outcomes key_of =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (o : Soak.outcome) ->
+      let k = key_of o.scenario in
+      let ok, bad = Option.value (Hashtbl.find_opt tbl k) ~default:(0, 0) in
+      if o.violations = [] then Hashtbl.replace tbl k (ok + 1, bad)
+      else Hashtbl.replace tbl k (ok, bad + 1))
+    outcomes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare
+
+let print_buckets title rows =
+  Printf.printf "  %-12s %6s %6s\n" title "pass" "FAIL";
+  List.iter
+    (fun (k, (ok, bad)) -> Printf.printf "  %-12s %6d %6d\n" k ok bad)
+    rows
+
+let victim_key (s : Soak.scenario) =
+  match s.victim with
+  | Soak.Nobody -> "no-kill"
+  | Soak.Primary -> "primary/" ^ (match s.phase with
+      | Soak.Handshake -> "hs" | Soak.Transfer -> "xfer"
+      | Soak.Fin -> "fin" | Soak.Idle -> "idle")
+  | Soak.Secondary -> "secondary/" ^ (match s.phase with
+      | Soak.Handshake -> "hs" | Soak.Transfer -> "xfer"
+      | Soak.Fin -> "fin" | Soak.Idle -> "idle")
+
+let chaos_key (s : Soak.scenario) =
+  match s.chaos with
+  | Soak.Calm -> "calm"
+  | Soak.Burst -> "burst"
+  | Soak.Drops -> "drops"
+  | Soak.Corruption -> "corrupt"
+  | Soak.Cross_traffic -> "cross"
+  | Soak.Pause_client -> "pause"
+  | Soak.Partition_client -> "partition"
+
+let write_report path failures =
+  let oc = open_out path in
+  Printf.fprintf oc "# soak invariant failures (%d)\n" (List.length failures);
+  List.iter
+    (fun (o : Soak.outcome) ->
+      Printf.fprintf oc "%s\n" (Soak.describe o.scenario);
+      List.iter (Printf.fprintf oc "  violation: %s\n") o.violations;
+      Printf.fprintf oc "  replay: bench/main.exe --exp soak --seeds 1 \
+                         --first-seed %d\n"
+        o.scenario.Soak.seed)
+    failures;
+  close_out oc;
+  Printf.printf "  [failure report -> %s]\n%!" path
+
+(* Replay determinism: the same seed must reproduce the same world
+   byte for byte, which we check through the strongest observable —
+   the sorted JSON metrics snapshot. *)
+let replay_check outcomes =
+  let n = List.length outcomes in
+  let sample =
+    List.filteri (fun i _ -> i = 0 || i = n / 2 || i = n - 1) outcomes
+  in
+  List.for_all
+    (fun (o : Soak.outcome) ->
+      let again = Soak.run o.scenario in
+      let same = String.equal again.metrics o.metrics in
+      if not same then
+        Printf.printf "  REPLAY DIVERGED: %s\n" (Soak.describe o.scenario);
+      same)
+    sample
+
+let run_exp ~seeds ?(first_seed = 1) ?report () =
+  Harness.print_header
+    (Printf.sprintf "E10: failover soak (%d seeded fault scenarios)" seeds);
+  let outcomes =
+    Harness.map_trials seeds (fun i ->
+        Soak.run ~on_world:Harness.note_world
+          (Soak.scenario_of_seed (first_seed + i)))
+  in
+  print_buckets "kill" (bucket outcomes victim_key);
+  print_newline ();
+  print_buckets "chaos" (bucket outcomes chaos_key);
+  let failures =
+    List.filter (fun (o : Soak.outcome) -> o.violations <> []) outcomes
+  in
+  List.iter
+    (fun (o : Soak.outcome) ->
+      Printf.printf "  FAIL %s\n" (Soak.describe o.scenario);
+      List.iter (Printf.printf "       %s\n") o.violations)
+    failures;
+  let replays_ok = replay_check outcomes in
+  Printf.printf "  invariant violations : %d / %d scenarios\n"
+    (List.length failures) seeds;
+  Printf.printf "  seed-replay metrics  : %s\n%!"
+    (if replays_ok then "byte-identical" else "DIVERGED");
+  (match report with
+  | Some path when failures <> [] || not replays_ok ->
+    write_report path failures
+  | _ -> ());
+  Harness.dump_metrics ~exp:"soak";
+  List.length failures + if replays_ok then 0 else 1

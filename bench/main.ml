@@ -20,6 +20,7 @@ type which =
   | Chain_exp
   | Scale_exp
   | Micro_exp
+  | Soak_exp
 
 let which_of_string = function
   | "all" -> Ok All
@@ -33,6 +34,7 @@ let which_of_string = function
   | "chain" -> Ok Chain_exp
   | "scale" -> Ok Scale_exp
   | "micro" -> Ok Micro_exp
+  | "soak" -> Ok Soak_exp
   | s -> Error (`Msg ("unknown experiment: " ^ s))
 
 let which_conv =
@@ -51,7 +53,8 @@ let which_conv =
           | Ablation -> "ablation"
           | Chain_exp -> "chain"
           | Scale_exp -> "scale"
-          | Micro_exp -> "micro") )
+          | Micro_exp -> "micro"
+          | Soak_exp -> "soak") )
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -60,7 +63,7 @@ let rec mkdir_p dir =
     Sys.mkdir dir 0o755
   end
 
-let run which quick metrics_dir jobs =
+let run which quick metrics_dir jobs seeds first_seed soak_report =
   (match metrics_dir with
   | Some dir ->
     mkdir_p dir;
@@ -93,13 +96,21 @@ let run which quick metrics_dir jobs =
       ~reply_size:(if quick then 4096 else 65536)
       ~trials:(if quick then 2 else 4);
   if should Micro_exp then Micro.run_exp ();
+  let soak_failures =
+    if should Soak_exp then
+      Exp_soak.run_exp
+        ~seeds:(if quick then min seeds 20 else seeds)
+        ~first_seed ?report:soak_report ()
+    else 0
+  in
   Printf.printf "\n[bench completed in %.1fs cpu time]\n%!"
-    (Sys.time () -. t0)
+    (Sys.time () -. t0);
+  if soak_failures > 0 then exit 1
 
 let which_arg =
   Arg.(value & opt which_conv All & info [ "exp" ] ~docv:"EXP"
          ~doc:"Experiment to run: all, setup, fig3, fig4, fig5, fig6, \
-               failover, ablation, chain, scale, micro.")
+               failover, ablation, chain, scale, micro, soak.")
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes and trial counts.")
@@ -115,11 +126,27 @@ let jobs_arg =
                per recommended core).  Results and metrics snapshots are \
                byte-identical to --jobs 1; only wall-clock changes.")
 
+let seeds_arg =
+  Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N"
+         ~doc:"Number of seeded scenarios the soak experiment runs \
+               (seeds are consecutive from --first-seed).")
+
+let first_seed_arg =
+  Arg.(value & opt int 1 & info [ "first-seed" ] ~docv:"SEED"
+         ~doc:"First soak seed; replay a single failing scenario with \
+               --seeds 1 --first-seed SEED.")
+
+let soak_report_arg =
+  Arg.(value & opt (some string) None & info [ "soak-report" ] ~docv:"FILE"
+         ~doc:"Write soak invariant failures (with replay instructions) \
+               to FILE when any occur.")
+
 let cmd =
   Cmd.v
     (Cmd.info "tcpfo-bench"
        ~doc:"Reproduce the evaluation of 'Transparent TCP Connection \
              Failover' (DSN 2003)")
-    Term.(const run $ which_arg $ quick_arg $ metrics_dir_arg $ jobs_arg)
+    Term.(const run $ which_arg $ quick_arg $ metrics_dir_arg $ jobs_arg
+          $ seeds_arg $ first_seed_arg $ soak_report_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -39,7 +39,7 @@ let print_stats world =
     (float_of_int (World.now world) /. 1e6);
   print_string (Registry.dump (World.metrics world))
 
-let build_world ~seed ~detector_ms ~trace =
+let build_world ?fault_plan ~seed ~detector_ms ~trace () =
   let world = World.create ~seed () in
   let lan = World.make_lan world () in
   let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10" () in
@@ -53,6 +53,27 @@ let build_world ~seed ~detector_ms ~trace =
       ~detector_timeout:(Time.ms detector_ms) ()
   in
   let repl = Replicated.create ~primary ~secondary ~config () in
+  (match fault_plan with
+  | None -> ()
+  | Some text -> (
+    match Tcpfo_fault.Fault.parse text with
+    | Error m ->
+      prerr_endline ("tcpfo: bad --fault-plan: " ^ m);
+      exit 2
+    | Ok plan ->
+      let env =
+        {
+          Tcpfo_fault.Injector.engine = World.engine world;
+          rng = World.fresh_rng world;
+          hosts =
+            [
+              ("client", client); ("primary", primary);
+              ("secondary", secondary);
+            ];
+          nets = [ ("lan", Tcpfo_fault.Injector.Medium_net lan) ];
+        }
+      in
+      ignore (Tcpfo_fault.Injector.install env plan)));
   if trace then attach_trace world;
   (world, client, repl)
 
@@ -76,9 +97,11 @@ let serve_reply repl ~reply =
             pump ()
           end))
 
-let run_failover victim kill_at_ms size_kb detector_ms trace stats seed =
+let run_failover victim kill_at_ms size_kb detector_ms trace stats seed
+    fault_plan =
   let world, client, repl =
-    build_world ~seed ~detector_ms ~trace:(trace && size_kb <= 16)
+    build_world ?fault_plan ~seed ~detector_ms ~trace:(trace && size_kb <= 16)
+      ()
   in
   let reply =
     String.init (size_kb * 1024) (fun i -> Char.chr ((i * 31) land 0xFF))
@@ -132,9 +155,7 @@ let run_failover victim kill_at_ms size_kb detector_ms trace stats seed =
   if Buffer.contents buf = reply then 0 else 1
 
 let run_trace size_kb stats seed =
-  let world, client, repl =
-    build_world ~seed ~detector_ms:30 ~trace:true
-  in
+  let world, client, repl = build_world ~seed ~detector_ms:30 ~trace:true () in
   let reply =
     String.init (size_kb * 1024) (fun i -> Char.chr ((i * 31) land 0xFF))
   in
@@ -180,11 +201,20 @@ let stats_arg =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Dump the metrics registry after the run.")
 
+let fault_plan_arg =
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"PLAN"
+         ~doc:"Scripted fault plan run alongside the scenario, e.g. \
+               'at 10ms loss lan 0.3 for 5ms; at 30ms pause client; at \
+               40ms resume client'.  Hosts: client, primary, secondary; \
+               net: lan.  'pause'/'resume' freeze a host's timers and \
+               traffic reversibly (a VM pause), unlike 'kill' which is a \
+               permanent crash.")
+
 let failover_cmd =
   Cmd.v (Cmd.info "failover" ~doc:"Crash a replica mid-transfer.")
     Term.(
       const run_failover $ victim_arg $ kill_at_arg $ size_arg $ detector_arg
-      $ trace_arg $ stats_arg $ seed_arg)
+      $ trace_arg $ stats_arg $ seed_arg $ fault_plan_arg)
 
 let trace_cmd =
   Cmd.v

@@ -16,6 +16,7 @@ type t = {
   received : Registry.counter;
   mutable running : bool;
   mutable seq : int;
+  started_at : Tcpfo_sim.Time.t;
   mutable last_seen : Tcpfo_sim.Time.t;
   mutable seen_any : bool;
   mutable fired : bool;
@@ -34,24 +35,42 @@ let rec send_loop t =
            send_loop t))
   end
 
+(* Deadline-driven detector: each wake-up recomputes the silence deadline
+   from the freshest heartbeat and sleeps exactly until it.  (A
+   fixed-period poll could let almost a full extra timeout elapse between
+   the deadline passing and the next poll noticing, giving a worst-case
+   detection latency near 2x timeout + period; this way it is bounded by
+   timeout + 2 x period.)
+
+   The deadline anchors one period past the last arrival — the peer is
+   declared dead when the beat expected at [last_seen + period] is
+   [detector_timeout] overdue.  Measuring the timeout from the last
+   arrival itself would leave zero jitter margin: with
+   [timeout = k * period] it would fire on exactly [k] lost beats even
+   when the [k+1]'th is merely delayed by queueing noise. *)
 let rec check_loop t =
   if t.running && Host.alive t.host then begin
     let now = (Host.clock t.host).now () in
-    let silent_for =
-      if t.seen_any then now - t.last_seen
-      else now (* nothing ever received: count from start *)
+    let base =
+      if t.seen_any then t.last_seen
+      else t.started_at (* nothing ever received: count from start *)
     in
-    if silent_for > t.config.detector_timeout && not t.fired then begin
-      t.fired <- true;
-      t.running <- false;
-      if Obs.tracing t.obs then
-        Obs.emit t.obs ~at:now
-          (Event.Failover { host = Host.name t.host; phase = Detected });
-      t.on_peer_failure ()
+    let deadline =
+      base + t.config.heartbeat_period + t.config.detector_timeout
+    in
+    if now >= deadline then begin
+      if not t.fired then begin
+        t.fired <- true;
+        t.running <- false;
+        if Obs.tracing t.obs then
+          Obs.emit t.obs ~at:now
+            (Event.Failover { host = Host.name t.host; phase = Detected });
+        t.on_peer_failure ()
+      end
     end
     else
       ignore
-        ((Host.clock t.host).schedule t.config.heartbeat_period (fun () ->
+        ((Host.clock t.host).schedule (deadline - now) (fun () ->
              check_loop t))
   end
 
@@ -70,23 +89,30 @@ let start host ~peer ~role ~config ~on_peer_failure =
       received = Obs.counter hb_obs "received";
       running = true;
       seq = 0;
+      started_at = (Host.clock host).now ();
       last_seen = 0;
       seen_any = false;
       fired = false;
     }
   in
+  (* Only the watched peer's own beats reset the detector: a heartbeat
+     must come from the peer's address and carry the peer's (opposite)
+     role.  Anything looser lets a third replica pair on the same segment
+     keep a dead peer looking alive. *)
   Ip_layer.set_heartbeat_handler (Host.ip host) (fun ~src hb ->
-      if Tcpfo_packet.Ipaddr.equal src t.peer || hb.origin <> Host.name host
+      if Tcpfo_packet.Ipaddr.equal src t.peer && hb.role <> t.role
       then begin
         Registry.Counter.incr t.received;
         t.seen_any <- true;
         t.last_seen <- (Host.clock host).now ()
       end);
   send_loop t;
-  (* initial grace: start checking after one timeout has elapsed *)
+  (* initial grace: the first check coincides with the earliest possible
+     deadline, as if a beat had just been heard *)
   ignore
-    ((Host.clock host).schedule config.detector_timeout (fun () ->
-         check_loop t));
+    ((Host.clock host).schedule
+       (config.heartbeat_period + config.detector_timeout)
+       (fun () -> check_loop t));
   t
 
 let stop t = t.running <- false

@@ -4,7 +4,15 @@
     peer every [heartbeat_period]; the detector declares the peer failed
     after [detector_timeout] of silence and fires its callback exactly
     once.  A fail-stop host simply stops emitting heartbeats, which is the
-    paper's fault model (§2: "the system employs a fault detector"). *)
+    paper's fault model (§2: "the system employs a fault detector").
+
+    Only heartbeats from the watched peer's address carrying the peer's
+    role reset the detector — beats from other replicas sharing the
+    segment are ignored.  The detector is deadline-driven: it wakes
+    exactly when the beat expected at [last_seen + heartbeat_period]
+    becomes [detector_timeout] overdue, so detection latency is bounded
+    by [detector_timeout + 2 * heartbeat_period] (plus delivery delays),
+    not by an extra polling timeout. *)
 
 type t
 

@@ -710,6 +710,18 @@ let secondary_failed t =
     if Obs.tracing t.obs then
       Obs.emit t.obs ~at:(now t)
         (Event.Failover { host = Host.name t.host; phase = Degraded });
+    (* A connection whose SYN replicas never merged has emitted nothing
+       toward the client, so no sequence-space commitment exists: drop
+       the bridge state and let the primary's TCP layer finish the
+       handshake alone, in its own numbering.  Keeping such a conn would
+       swallow the primary's SYN-ACK retransmissions in degraded_tx
+       (delta is still None) and strand the client in SYN_SENT. *)
+    let unmerged =
+      Hashtbl.fold
+        (fun k conn acc -> if conn.syn_done then acc else k :: acc)
+        t.conns []
+    in
+    List.iter (Hashtbl.remove t.conns) unmerged;
     Hashtbl.iter
       (fun _ conn ->
         conn.solo <- true;

@@ -1,0 +1,144 @@
+module Time = Tcpfo_sim.Time
+
+type trigger =
+  | At of Time.t
+  | After of Time.t
+  | Every of Time.t * int option
+
+type action =
+  | Kill of string
+  | Pause_host of string
+  | Resume_host of string
+  | Partition of string * Time.t
+  | Drop_frames of int * string
+  | Corrupt of int * string
+  | Loss_burst of string * float * Time.t
+
+type stmt = { trigger : trigger; action : action; prob : float option }
+type plan = stmt list
+
+(* ---------------- printing ---------------- *)
+
+let time_to_string t =
+  if t mod 1_000_000_000 = 0 then Printf.sprintf "%ds" (t / 1_000_000_000)
+  else if t mod 1_000_000 = 0 then Printf.sprintf "%dms" (t / 1_000_000)
+  else if t mod 1_000 = 0 then Printf.sprintf "%dus" (t / 1_000)
+  else Printf.sprintf "%dns" t
+
+let trigger_to_string = function
+  | At t -> "at " ^ time_to_string t
+  | After t -> "after " ^ time_to_string t
+  | Every (p, None) -> "every " ^ time_to_string p
+  | Every (p, Some n) -> Printf.sprintf "every %s x %d" (time_to_string p) n
+
+let action_to_string = function
+  | Kill h -> "kill " ^ h
+  | Pause_host h -> "pause " ^ h
+  | Resume_host h -> "resume " ^ h
+  | Partition (h, d) -> Printf.sprintf "partition %s for %s" h (time_to_string d)
+  | Drop_frames (n, net) -> Printf.sprintf "drop %d %s" n net
+  | Corrupt (n, net) -> Printf.sprintf "corrupt %d %s" n net
+  | Loss_burst (net, p, d) ->
+    Printf.sprintf "loss %s %g for %s" net p (time_to_string d)
+
+let stmt_to_string s =
+  let base = trigger_to_string s.trigger ^ " " ^ action_to_string s.action in
+  match s.prob with None -> base | Some p -> Printf.sprintf "%s p=%g" base p
+
+let to_string plan = String.concat "; " (List.map stmt_to_string plan)
+
+(* ---------------- parsing ---------------- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* "20ms", "1.5s", "250us", "100ns"; plain numbers are rejected so a
+   forgotten unit cannot silently mean nanoseconds *)
+let parse_time tok =
+  let unit_start =
+    let n = String.length tok in
+    let rec go i =
+      if i >= n then n
+      else
+        match tok.[i] with
+        | '0' .. '9' | '.' | '-' -> go (i + 1)
+        | _ -> i
+    in
+    go 0
+  in
+  let num = String.sub tok 0 unit_start in
+  let unit = String.sub tok unit_start (String.length tok - unit_start) in
+  let v =
+    match float_of_string_opt num with
+    | Some v when v >= 0.0 -> v
+    | _ -> fail "bad duration %S" tok
+  in
+  let scale =
+    match unit with
+    | "ns" -> 1.0
+    | "us" -> 1e3
+    | "ms" -> 1e6
+    | "s" -> 1e9
+    | _ -> fail "bad time unit in %S (want ns/us/ms/s)" tok
+  in
+  int_of_float ((v *. scale) +. 0.5)
+
+let parse_int tok =
+  match int_of_string_opt tok with
+  | Some n when n >= 0 -> n
+  | _ -> fail "bad count %S" tok
+
+let parse_float tok =
+  match float_of_string_opt tok with
+  | Some f when f >= 0.0 && f <= 1.0 -> f
+  | _ -> fail "bad probability %S (want [0,1])" tok
+
+let parse_stmt s =
+  let toks =
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "")
+  in
+  (* optional trailing probability gate *)
+  let toks, prob =
+    match List.rev toks with
+    | last :: rest_rev when String.length last > 2 && String.sub last 0 2 = "p=" ->
+      ( List.rev rest_rev,
+        Some (parse_float (String.sub last 2 (String.length last - 2))) )
+    | _ -> (toks, None)
+  in
+  let trigger, rest =
+    match toks with
+    | "at" :: t :: rest -> (At (parse_time t), rest)
+    | "after" :: t :: rest -> (After (parse_time t), rest)
+    | "every" :: t :: "x" :: n :: rest ->
+      (Every (parse_time t, Some (parse_int n)), rest)
+    | "every" :: t :: rest -> (Every (parse_time t, None), rest)
+    | _ -> fail "statement %S: expected 'at'/'after'/'every' trigger" s
+  in
+  let action =
+    match rest with
+    | [ "kill"; h ] -> Kill h
+    | [ "pause"; h ] -> Pause_host h
+    | [ "resume"; h ] -> Resume_host h
+    | [ "partition"; h; "for"; d ] -> Partition (h, parse_time d)
+    | [ "drop"; n; net ] -> Drop_frames (parse_int n, net)
+    | [ "corrupt"; n; net ] -> Corrupt (parse_int n, net)
+    | [ "loss"; net; p; "for"; d ] ->
+      Loss_burst (net, parse_float p, parse_time d)
+    | _ -> fail "statement %S: unknown action" s
+  in
+  { trigger; action; prob }
+
+let parse text =
+  try
+    Ok
+      (String.split_on_char ';' text
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map parse_stmt)
+  with Bad m -> Error m
+
+let parse_exn text =
+  match parse text with Ok p -> p | Error m -> invalid_arg ("fault plan: " ^ m)

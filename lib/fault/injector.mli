@@ -1,0 +1,29 @@
+(** Installs a parsed {!Fault.plan} into a running simulation.
+
+    The environment names the hosts and media/links a plan may target.
+    Installing a plan schedules one engine event per trigger; count-based
+    drop/corrupt budgets and loss bursts are applied through a single
+    fault hook per referenced medium or link ({!Tcpfo_net.Medium.set_fault_hook}
+    / {!Tcpfo_net.Link.set_fault_hook}) — the injector owns those hooks,
+    so do not install competing ones on the same nets.
+
+    All randomness (probability gates, loss bursts) draws from rngs
+    derived from [env.rng], so a plan replays byte-identically under a
+    fixed world seed. *)
+
+type net = Medium_net of Tcpfo_net.Medium.t | Link_net of Tcpfo_net.Link.t
+
+type env = {
+  engine : Tcpfo_sim.Engine.t;
+  rng : Tcpfo_util.Rng.t;
+  hosts : (string * Tcpfo_host.Host.t) list;
+  nets : (string * net) list;
+}
+
+type t
+
+val install : env -> Fault.plan -> t
+(** Validates every name in the plan against [env] (raising
+    [Invalid_argument] on an unknown host or net), then schedules the
+    plan's triggers.  [At] is absolute simulated time; [After] and the
+    first [Every] firing are relative to the install instant. *)

@@ -1,0 +1,370 @@
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module Rng = Tcpfo_util.Rng
+module Seq32 = Tcpfo_util.Seq32
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Tcp_segment = Tcpfo_packet.Tcp_segment
+module Ip_layer = Tcpfo_ip.Ip_layer
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Replicated = Tcpfo_core.Replicated
+module Failover_config = Tcpfo_core.Failover_config
+module Registry = Tcpfo_obs.Registry
+
+type victim = Primary | Secondary | Nobody
+type phase = Handshake | Transfer | Fin | Idle
+
+type chaos =
+  | Calm
+  | Burst
+  | Drops
+  | Corruption
+  | Cross_traffic
+  | Pause_client
+  | Partition_client
+
+type scenario = {
+  seed : int;
+  victim : victim;
+  phase : phase;
+  chaos : chaos;
+  size : int;
+}
+
+type outcome = {
+  scenario : scenario;
+  violations : string list;
+  metrics : string;
+}
+
+let victim_to_string = function
+  | Primary -> "primary"
+  | Secondary -> "secondary"
+  | Nobody -> "nobody"
+
+let phase_to_string = function
+  | Handshake -> "handshake"
+  | Transfer -> "transfer"
+  | Fin -> "fin"
+  | Idle -> "idle"
+
+let chaos_to_string = function
+  | Calm -> "calm"
+  | Burst -> "burst"
+  | Drops -> "drops"
+  | Corruption -> "corruption"
+  | Cross_traffic -> "cross"
+  | Pause_client -> "pause"
+  | Partition_client -> "partition"
+
+let describe s =
+  Printf.sprintf "seed=%d kill=%s/%s chaos=%s size=%d" s.seed
+    (victim_to_string s.victim) (phase_to_string s.phase)
+    (chaos_to_string s.chaos) s.size
+
+(* The scenario space is drawn from the seed alone, so a seed printed in
+   a failure report reconstructs the exact run. *)
+let scenario_of_seed seed =
+  let r = Rng.create ~seed:(seed * 0x9E3779B9 + 1) in
+  let victim =
+    match Rng.int r 10 with
+    | 0 | 1 | 2 -> Nobody
+    | 3 | 4 | 5 | 6 | 7 -> Primary
+    | _ -> Secondary
+  in
+  let phase =
+    if victim = Nobody then Idle
+    else
+      match Rng.int r 6 with
+      | 0 -> Handshake
+      | 1 | 2 | 3 -> Transfer
+      | 4 -> Fin
+      | _ -> Idle
+  in
+  let chaos =
+    match Rng.int r 9 with
+    | 0 | 1 | 2 -> Calm
+    | 3 -> Burst
+    | 4 -> Drops
+    | 5 -> Corruption
+    | 6 -> Cross_traffic
+    | 7 -> Pause_client
+    | _ -> Partition_client
+  in
+  let size =
+    match Rng.int r 6 with
+    | 0 | 1 -> 2_000
+    | 2 | 3 -> 20_000
+    | 4 -> 120_000
+    | _ -> 400_000
+  in
+  { seed; victim; phase; chaos; size }
+
+let pattern ~tag n =
+  String.init n (fun i -> Char.chr ((i * 131 + tag * 7 + i / 251) land 0xFF))
+
+let service_port = 5000
+let cross_port = 5001
+let cross_size = 30_000
+
+(* deterministic request/reply service installed on both replicas *)
+let install_service repl ~port ~reply =
+  Replicated.listen repl ~port ~on_accept:(fun ~role:_ tcb ->
+      let got = Buffer.create 8 in
+      Tcb.set_on_data tcb (fun data ->
+          Buffer.add_string got data;
+          if Buffer.length got >= 4 then begin
+            let off = ref 0 in
+            let n = String.length reply in
+            let rec pump () =
+              if !off < n then begin
+                let want = min 32768 (n - !off) in
+                let sent = Tcb.send tcb (String.sub reply !off want) in
+                off := !off + sent;
+                if sent < want then Tcb.set_on_drain tcb pump else pump ()
+              end
+              else Tcb.close tcb
+            in
+            pump ()
+          end))
+
+(* Wire-level observer on the client: every TCP segment arriving from the
+   service address is checked against the service's sequence numbering.
+   After a failover the secondary must keep speaking in the numbering the
+   client already knows (the paper's central claim): a fresh SYN-ACK or a
+   data segment whose payload disagrees with the reply at its sequence
+   offset is a violation, as is any RST. *)
+let install_wire_check client ~svc ~reply violations =
+  let isn = ref None in
+  let inner = Ip_layer.rx_hook (Host.ip client) in
+  Ip_layer.set_rx_hook (Host.ip client)
+    (Some
+       (fun pkt ~link_addressed ->
+         (match pkt.Ipv4_packet.payload with
+         | Ipv4_packet.Tcp seg
+           when Ipaddr.equal pkt.Ipv4_packet.src svc
+                && seg.Tcp_segment.src_port = service_port -> (
+           let flags = seg.Tcp_segment.flags in
+           if flags.Tcp_segment.rst then
+             violations := "RST reached the client" :: !violations;
+           if flags.Tcp_segment.syn && flags.Tcp_segment.ack then (
+             match !isn with
+             | None -> isn := Some seg.Tcp_segment.seq
+             | Some i when Seq32.diff seg.Tcp_segment.seq i = 0 -> ()
+             | Some _ ->
+               violations :=
+                 "second SYN-ACK left the service's original numbering"
+                 :: !violations);
+           let len = String.length seg.Tcp_segment.payload in
+           if len > 0 then
+             match !isn with
+             | None ->
+               violations := "data before SYN-ACK" :: !violations
+             | Some i ->
+               let off = Seq32.diff seg.Tcp_segment.seq (Seq32.succ i) in
+               if off < 0 || off + len > String.length reply then
+                 violations :=
+                   Printf.sprintf
+                     "wire sequence offset %d outside the reply (len %d)"
+                     off len
+                   :: !violations
+               else if String.sub reply off len <> seg.Tcp_segment.payload
+               then
+                 violations :=
+                   Printf.sprintf "wire payload mismatch at offset %d" off
+                   :: !violations)
+         | _ -> ());
+         match inner with
+         | None -> Ip_layer.Rx_pass pkt
+         | Some hook -> hook pkt ~link_addressed))
+
+(* chaos plans, expressed in the DSL so every soak run also exercises the
+   parser and injector end to end; bursts are kept well under the
+   heartbeat detector's silence budget so chaos never masquerades as a
+   crash, and only the client is paused/partitioned (freezing a replica
+   IS a failure as far as the detector can know) *)
+let chaos_plan chaos =
+  match chaos with
+  | Calm | Cross_traffic -> []
+  | Burst -> Fault.parse_exn "at 2ms loss lan 0.35 for 6ms"
+  | Drops -> Fault.parse_exn "at 2ms drop 3 lan"
+  | Corruption -> Fault.parse_exn "at 2ms corrupt 2 lan"
+  | Pause_client -> Fault.parse_exn "at 2ms pause client; at 8ms resume client"
+  | Partition_client -> Fault.parse_exn "at 2ms partition client for 6ms"
+
+(* rough wire time of the reply, for placing mid-transfer kills *)
+let transfer_estimate size = Time.ms 1 + (size * 100)
+
+let run ?on_world scenario =
+  let sc = scenario in
+  let world = World.create ~seed:sc.seed () in
+  (match on_world with Some f -> f world | None -> ());
+  let timing_rng = Rng.create ~seed:((sc.seed * 1_000_003) lxor 0x50AC) in
+  let lan = World.make_lan world () in
+  let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10" () in
+  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
+  let secondary =
+    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
+  in
+  let cross_client =
+    if sc.chaos = Cross_traffic then
+      Some (World.add_host world lan ~name:"cross" ~addr:"10.0.0.11" ())
+    else None
+  in
+  World.warm_arp
+    (client :: primary :: secondary :: Option.to_list cross_client);
+  let config =
+    Failover_config.make ~service_ports:[ service_port; cross_port ] ()
+  in
+  let repl = Replicated.create ~primary ~secondary ~config () in
+  let svc = Replicated.service_addr repl in
+  let reply = pattern ~tag:sc.seed sc.size in
+  install_service repl ~port:service_port ~reply;
+  let cross_reply = pattern ~tag:(sc.seed + 1) cross_size in
+  if cross_client <> None then
+    install_service repl ~port:cross_port ~reply:cross_reply;
+  let violations = ref [] in
+  install_wire_check client ~svc ~reply violations;
+
+  (* client application *)
+  let buf = Buffer.create sc.size in
+  let eof = ref false in
+  let resets = ref 0 in
+  let c = Stack.connect (Host.tcp client) ~remote:(svc, service_port) () in
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get\n"));
+  Tcb.set_on_eof c (fun () ->
+      eof := true;
+      Tcb.close c);
+  Tcb.set_on_reset c (fun () -> incr resets);
+
+  (* optional cross traffic, started shortly after the main connection *)
+  let cross_buf = Buffer.create cross_size in
+  (match cross_client with
+  | None -> ()
+  | Some h ->
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(Time.us 500) (fun () ->
+           let cc = Stack.connect (Host.tcp h) ~remote:(svc, cross_port) () in
+           Tcb.set_on_established cc (fun () -> ignore (Tcb.send cc "get\n"));
+           Tcb.set_on_data cc (fun d -> Buffer.add_string cross_buf d);
+           Tcb.set_on_eof cc (fun () -> Tcb.close cc))));
+
+  (* the scripted chaos *)
+  let env =
+    {
+      Injector.engine = World.engine world;
+      rng = World.fresh_rng world;
+      hosts =
+        [ ("client", client); ("primary", primary); ("secondary", secondary) ];
+      nets = [ ("lan", Injector.Medium_net lan) ];
+    }
+  in
+  ignore (Injector.install env (chaos_plan sc.chaos));
+
+  (* the kill *)
+  let kill () =
+    match sc.victim with
+    | Primary -> Replicated.kill_primary repl
+    | Secondary -> Replicated.kill_secondary repl
+    | Nobody -> ()
+  in
+  (match (sc.victim, sc.phase) with
+  | Nobody, _ -> ()
+  | _, Handshake ->
+    (* during the three-way handshake (~300 us in) *)
+    ignore
+      (Engine.schedule (World.engine world)
+         ~delay:(Time.us 50 + Rng.int timing_rng (Time.us 350))
+         kill)
+  | _, Transfer ->
+    let est = transfer_estimate sc.size in
+    let frac = 10 + Rng.int timing_rng 80 in
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(est * frac / 100) kill)
+  | _, Fin ->
+    (* dynamically: the instant the client has the whole stream, the
+       server-side FIN is in flight / acked but the connection has not
+       fully closed — the paper's narrowest takeover window *)
+    let armed = ref false in
+    Tcb.set_on_data c (fun d ->
+        Buffer.add_string buf d;
+        if (not !armed) && Buffer.length buf >= sc.size then begin
+          armed := true;
+          ignore
+            (Engine.schedule (World.engine world)
+               ~delay:(Rng.int timing_rng (Time.us 200))
+               kill)
+        end)
+  | _, Idle ->
+    (* well after the connection is over *)
+    ignore
+      (Engine.schedule (World.engine world)
+         ~delay:(transfer_estimate sc.size + Time.sec 2.0)
+         kill));
+  (* default data sink unless the Fin arm installed its own *)
+  if not (sc.victim <> Nobody && sc.phase = Fin) then
+    Tcb.set_on_data c (fun d -> Buffer.add_string buf d);
+
+  (* run in slices; stop early once everything observable has settled *)
+  let deadline = Time.sec 60.0 in
+  let done_ () =
+    let client_done =
+      !eof
+      && (match Tcb.state c with Tcb.Closed | Tcb.Time_wait -> true | _ -> false)
+    in
+    let cross_done =
+      cross_client = None || Buffer.length cross_buf >= cross_size
+    in
+    let kill_done =
+      match sc.victim with
+      | Nobody -> true
+      | Primary -> Replicated.status repl = `Primary_failed
+      | Secondary -> Replicated.status repl = `Secondary_failed
+    in
+    client_done && cross_done && kill_done
+  in
+  let rec drive () =
+    if (not (done_ ())) && World.now world < deadline then begin
+      World.run world ~for_:(Time.sec 1.0);
+      drive ()
+    end
+  in
+  drive ();
+
+  (* ---------------- invariants ---------------- *)
+  let check cond msg = if not cond then violations := msg :: !violations in
+  check
+    (Buffer.contents buf = reply)
+    (Printf.sprintf "client stream diverged from the application's (%d/%d B)"
+       (Buffer.length buf) sc.size);
+  check !eof "connection never delivered EOF to the client";
+  check
+    (match Tcb.state c with Tcb.Closed | Tcb.Time_wait -> true | _ -> false)
+    (Printf.sprintf "connection never terminated (client state %s)"
+       (Tcb.state_to_string (Tcb.state c)));
+  check (!resets = 0) "client saw a connection reset";
+  (match sc.victim with
+  | Nobody ->
+    check
+      (Replicated.status repl = `Normal)
+      "spurious failover: no host was killed but status left Normal"
+  | Primary ->
+    check
+      (Replicated.status repl = `Primary_failed)
+      "primary killed but its failure was never detected"
+  | Secondary ->
+    check
+      (Replicated.status repl = `Secondary_failed)
+      "secondary killed but its failure was never detected");
+  if cross_client <> None then
+    check
+      (Buffer.contents cross_buf = cross_reply)
+      "cross-traffic stream diverged";
+  {
+    scenario = sc;
+    violations = List.rev !violations;
+    metrics = Registry.to_json (World.metrics world);
+  }

@@ -1,0 +1,64 @@
+(** Seeded failover soak scenarios: one scenario per seed, drawn from the
+    cross product of kill victim × kill phase × background chaos ×
+    transfer size, run against a full replicated-pair world and checked
+    against the paper's correctness requirements (§2).
+
+    Invariants checked by {!run}:
+
+    - the byte stream the client reads equals the reply the application
+      wrote (no loss, duplication or reordering across a failover);
+    - the connection terminates (EOF delivered, TCB reaches
+      CLOSED/TIME_WAIT) and the client never sees an RST;
+    - every segment on the wire from the service address stays in the
+      original numbering: one SYN-ACK ISN, every data payload matching
+      the reply at its sequence offset — after a takeover the secondary
+      must keep speaking in the sequence space the client already knows;
+    - the pair's failure status matches what was actually killed (no
+      missed and no spurious detections);
+    - a concurrent cross-traffic stream, when present, also completes
+      intact.
+
+    Everything — topology, chaos plan, kill instant — derives from the
+    scenario's seed, so [run (scenario_of_seed s)] replays
+    byte-identically, including its metrics snapshot. *)
+
+type victim = Primary | Secondary | Nobody
+
+type phase =
+  | Handshake  (** kill during the three-way handshake *)
+  | Transfer  (** kill mid-stream *)
+  | Fin
+      (** kill in the window between the server's FIN and the last ACK *)
+  | Idle  (** kill well after the connection closed *)
+
+type chaos =
+  | Calm
+  | Burst  (** short loss burst on the LAN (via a [loss] plan) *)
+  | Drops  (** a few deterministic frame drops (via a [drop] plan) *)
+  | Corruption  (** frames corrupted in flight (via a [corrupt] plan) *)
+  | Cross_traffic  (** a second client streams from the pair concurrently *)
+  | Pause_client  (** client host paused and resumed mid-connection *)
+  | Partition_client  (** client unplugged from the LAN for a few ms *)
+
+type scenario = {
+  seed : int;
+  victim : victim;
+  phase : phase;
+  chaos : chaos;
+  size : int;  (** reply size in bytes *)
+}
+
+type outcome = {
+  scenario : scenario;
+  violations : string list;  (** empty iff every invariant held *)
+  metrics : string;
+      (** deterministic {!Tcpfo_obs.Registry.to_json} snapshot — equal
+          strings across replays of the same seed *)
+}
+
+val scenario_of_seed : int -> scenario
+val describe : scenario -> string
+
+val run : ?on_world:(Tcpfo_host.World.t -> unit) -> scenario -> outcome
+(** [on_world] is called with the freshly created world before anything
+    is built on it (for harness bookkeeping). *)

@@ -38,6 +38,10 @@ type t = {
   tcp : Stack.t;
   mutable ifaces : iface_entry list;
   mutable alive : bool;
+  mutable paused : bool;
+  (* timers and packet deliveries that came due while paused, in firing
+     order; each carries its logical cancellation ref *)
+  deferred : (Engine.event_id * (unit -> unit)) Queue.t;
 }
 
 let create engine ~name ~rng ?(profile = default_profile)
@@ -49,7 +53,29 @@ let create engine ~name ~rng ?(profile = default_profile)
   in
   let rec t =
     lazy
-      (let clock = Clock.guarded engine ~alive:(fun () -> (Lazy.force t).alive) in
+      ((* Pause-aware variant of [Clock.guarded]: when the event comes due
+          on a paused host its body is parked on [deferred] instead of
+          running, keyed by the event's own id so a cancel that arrives
+          while the body is parked still takes effect (the engine keeps
+          cancelled-after-fire observable for exactly this purpose). *)
+       let clock =
+         let schedule delay fn =
+           let id_cell = ref None in
+           let id =
+             Engine.schedule engine ~delay (fun () ->
+                 let host = Lazy.force t in
+                 if host.alive then
+                   if host.paused then
+                     Queue.push (Option.get !id_cell, fn) host.deferred
+                   else fn ())
+           in
+           id_cell := Some id;
+           id
+         in
+         { Clock.now = (fun () -> Engine.now engine);
+           schedule;
+           cancel = (fun id -> Engine.cancel engine id) }
+       in
        let jitter =
          if profile.jitter_frac > 0.0 || profile.hiccup_prob > 0.0 then begin
            let base = (profile.tx_cost + profile.rx_cost) / 2 in
@@ -75,7 +101,8 @@ let create engine ~name ~rng ?(profile = default_profile)
            ~rx_cost:profile.rx_cost ?jitter ~obs ()
        in
        let tcp = Stack.create clock ~ip ~config:tcp_config ~rng in
-       { engine; name; rng; clock; obs; ip; tcp; ifaces = []; alive = true })
+       { engine; name; rng; clock; obs; ip; tcp; ifaces = []; alive = true;
+         paused = false; deferred = Queue.create () })
   in
   Lazy.force t
 
@@ -147,12 +174,38 @@ let addr t =
 let kill t =
   if t.alive then begin
     t.alive <- false;
+    Queue.clear t.deferred;
     List.iter
       (function
         | Lan (e, _) -> Eth_iface.shutdown e
         | Ptp (ep, _, _) -> Link.set_receiver ep (fun _ -> ()))
       t.ifaces
   end
+
+let paused t = t.paused
+let pause t = if t.alive then t.paused <- true
+
+let resume t =
+  if t.alive && t.paused then begin
+    t.paused <- false;
+    (* Everything that came due during the freeze fires now, in original
+       order, all at the resume instant — SIGCONT semantics.  A handler
+       may re-pause (or kill) the host, in which case the rest stays
+       deferred (resp. is discarded). *)
+    let continue = ref true in
+    while !continue && not (Queue.is_empty t.deferred) do
+      let id, fn = Queue.pop t.deferred in
+      if not (Engine.is_cancelled id) then fn ();
+      if t.paused || not t.alive then continue := false
+    done
+  end
+
+let set_partitioned t v =
+  List.iter
+    (function
+      | Lan (e, _) -> Nic.set_partitioned (Eth_iface.nic e) v
+      | Ptp (ep, _, _) -> Link.set_blocked ep v)
+    t.ifaces
 
 let learn_arp t peer_ip peer_mac =
   List.iter

@@ -85,6 +85,28 @@ val alive : t -> bool
 val kill : t -> unit
 (** Fail-stop crash. *)
 
+val pause : t -> unit
+(** Freeze the host without detaching it (SIGSTOP / VM-pause semantics):
+    timers that come due and packets that arrive while paused are queued
+    instead of processed — the NIC still sees the wire, so nothing is
+    physically lost, but the host emits nothing and reacts to nothing.
+    Unlike {!kill} this is reversible; surviving peers cannot tell the
+    two apart until the host comes back. *)
+
+val resume : t -> unit
+(** Thaw a paused host.  All work deferred during the freeze runs
+    immediately, in its original firing order, at the resume instant —
+    exactly what an OS does with expired timers after SIGCONT.  No-op if
+    not paused. *)
+
+val paused : t -> bool
+
+val set_partitioned : t -> bool -> unit
+(** Cut (or restore) the host's network without it noticing: every
+    attached interface silently discards inbound and outbound traffic
+    while partitioned, but timers keep running — the mirror image of
+    {!pause}, and likewise reversible. *)
+
 val learn_arp :
   t -> Tcpfo_packet.Ipaddr.t -> Tcpfo_packet.Macaddr.t -> unit
 (** Pre-warm the ARP cache (the paper pre-warms all caches before

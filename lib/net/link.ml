@@ -20,11 +20,17 @@ let default_config =
     loss_prob = 0.0; dup_prob = 0.0; reorder_prob = 0.0;
     queue_capacity = 64 }
 
-(* One direction: a serializing queue feeding a delay line. *)
+(* One direction: a serializing queue feeding a delay line.  [tx_blocked]
+   cuts off the sending endpoint (partition fault): packets offered to a
+   blocked direction vanish before queueing.  [rx_blocked] cuts off the
+   receiving endpoint: packets already in flight are discarded at delivery
+   time, as if the cable were unplugged at that end. *)
 type direction = {
   mutable receiver : Ipv4_packet.t -> unit;
   queue : Ipv4_packet.t Queue.t;
   mutable transmitting : bool;
+  mutable tx_blocked : bool;
+  mutable rx_blocked : bool;
 }
 
 type t = {
@@ -33,22 +39,33 @@ type t = {
   config : config;
   a_to_b : direction;
   b_to_a : direction;
+  mutable fault_hook : (Ipv4_packet.t -> Fault_hook.verdict) option;
   dropped : Registry.counter;
+  queue_full : Registry.counter;
   delivered : Registry.counter;
+  fault_dropped : Registry.counter;
+  corrupted : Registry.counter;
 }
 
 type endpoint = { link : t; out_dir : direction; in_dir : direction }
 
 let mk_direction () =
-  { receiver = (fun _ -> ()); queue = Queue.create (); transmitting = false }
+  { receiver = (fun _ -> ()); queue = Queue.create (); transmitting = false;
+    tx_blocked = false; rx_blocked = false }
 
 let create engine ~rng ?obs config =
   let obs =
     Obs.scope (match obs with Some o -> o | None -> Obs.silent ()) "link"
   in
   { engine; rng; config; a_to_b = mk_direction (); b_to_a = mk_direction ();
+    fault_hook = None;
     dropped = Obs.counter obs "dropped";
-    delivered = Obs.counter obs "delivered" }
+    queue_full = Obs.counter obs "queue_full";
+    delivered = Obs.counter obs "delivered";
+    fault_dropped = Obs.counter obs "fault_dropped";
+    corrupted = Obs.counter obs "corrupted" }
+
+let set_fault_hook t h = t.fault_hook <- h
 
 let endpoint_a t = { link = t; out_dir = t.a_to_b; in_dir = t.b_to_a }
 let endpoint_b t = { link = t; out_dir = t.b_to_a; in_dir = t.a_to_b }
@@ -66,6 +83,22 @@ let rec pump t dir =
     dir.transmitting <- true;
     let ser = serialization_time t p in
     let lost = t.config.loss_prob > 0.0 && Rng.bool t.rng t.config.loss_prob in
+    if lost then Registry.Counter.incr t.dropped;
+    (* the fault hook rules after the configured random loss has drawn, so
+       a pass-through hook leaves the rng stream untouched *)
+    let lost =
+      match t.fault_hook with
+      | None -> lost
+      | Some hook -> (
+        match hook p with
+        | Fault_hook.Pass -> lost
+        | Fault_hook.Drop ->
+          if not lost then Registry.Counter.incr t.fault_dropped;
+          true
+        | Fault_hook.Corrupt ->
+          if not lost then Registry.Counter.incr t.corrupted;
+          true)
+    in
     let extra =
       if t.config.jitter > 0 then Rng.int t.rng (t.config.jitter + 1) else 0
     in
@@ -80,22 +113,30 @@ let rec pump t dir =
       let deliver_once delay =
         ignore
           (Engine.schedule t.engine ~delay (fun () ->
-               Registry.Counter.incr t.delivered;
-               dir.receiver p))
+               if dir.rx_blocked then Registry.Counter.incr t.fault_dropped
+               else begin
+                 Registry.Counter.incr t.delivered;
+                 dir.receiver p
+               end))
       in
       deliver_once (ser + t.config.delay + extra);
       if t.config.dup_prob > 0.0 && Rng.bool t.rng t.config.dup_prob then
         deliver_once (ser + t.config.delay + extra + (ser / 2) + 1)
-    end
-    else Registry.Counter.incr t.dropped;
+    end;
     ignore (Engine.schedule t.engine ~delay:ser (fun () -> pump t dir))
 
 let send ep p =
   let t = ep.link in
   let dir = ep.out_dir in
-  if Queue.length dir.queue >= t.config.queue_capacity then
-    Registry.Counter.incr t.dropped
+  if dir.tx_blocked then Registry.Counter.incr t.fault_dropped
+  else if Queue.length dir.queue >= t.config.queue_capacity then
+    (* congestion drop, distinct from random in-flight loss *)
+    Registry.Counter.incr t.queue_full
   else begin
     Queue.push p dir.queue;
     if not dir.transmitting then pump t dir
   end
+
+let set_blocked ep b =
+  ep.out_dir.tx_blocked <- b;
+  ep.in_dir.rx_blocked <- b

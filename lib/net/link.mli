@@ -29,8 +29,11 @@ val create :
   ?obs:Tcpfo_obs.Obs.t ->
   config ->
   t
-(** Counters [link.dropped] (random loss + queue overflow, both
-    directions) and [link.delivered] are registered under [obs]. *)
+(** Counters registered under [obs]: [link.dropped] (random in-flight
+    loss), [link.queue_full] (drop-tail queue overflow — counted
+    separately from loss so congestion is distinguishable in metrics),
+    [link.delivered], and [link.fault_dropped] / [link.corrupted]
+    (injected faults, see {!set_fault_hook} and {!set_blocked}). *)
 
 val endpoint_a : t -> endpoint
 val endpoint_b : t -> endpoint
@@ -40,3 +43,19 @@ val set_receiver : endpoint -> (Tcpfo_packet.Ipv4_packet.t -> unit) -> unit
 
 val send : endpoint -> Tcpfo_packet.Ipv4_packet.t -> unit
 (** Transmit toward the opposite end. *)
+
+val set_fault_hook :
+  t -> (Tcpfo_packet.Ipv4_packet.t -> Fault_hook.verdict) option -> unit
+(** Install (or clear) a deterministic fault-injection hook, consulted for
+    every datagram (both directions) as it leaves the head of the queue —
+    after the configured random [loss_prob] has drawn from the link's rng,
+    so a pass-through hook leaves the rng stream untouched.  [Drop] and
+    [Corrupt] verdicts suppress delivery and bump [link.fault_dropped] /
+    [link.corrupted] respectively. *)
+
+val set_blocked : endpoint -> bool -> unit
+(** Partition this endpoint: while blocked, datagrams it sends vanish
+    before queueing and datagrams arriving for it are discarded at
+    delivery time (both counted as [link.fault_dropped]).  The opposite
+    endpoint is unaffected.  Unblocking does not resurrect anything
+    discarded meanwhile. *)

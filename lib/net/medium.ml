@@ -35,9 +35,12 @@ type t = {
   mutable next_id : int;
   mutable busy : bool;
   waiters : port Queue.t; (* deferring stations, FIFO; filtered lazily *)
+  mutable fault_hook : (Eth_frame.t -> Fault_hook.verdict) option;
   collisions : Registry.counter;
   frames : Registry.counter;
   bytes : Registry.counter;
+  fault_dropped : Registry.counter;
+  corrupted : Registry.counter;
   mutable busy_ns : Time.t;
 }
 
@@ -46,9 +49,14 @@ let create engine ~rng ?obs config =
     Obs.scope (match obs with Some o -> o | None -> Obs.silent ()) "medium"
   in
   { engine; rng; config; ports = Vec.create (); next_id = 0; busy = false;
-    waiters = Queue.create (); collisions = Obs.counter obs "collisions";
+    waiters = Queue.create (); fault_hook = None;
+    collisions = Obs.counter obs "collisions";
     frames = Obs.counter obs "frames"; bytes = Obs.counter obs "bytes";
+    fault_dropped = Obs.counter obs "fault_dropped";
+    corrupted = Obs.counter obs "corrupted";
     busy_ns = 0 }
+
+let set_fault_hook t h = t.fault_hook <- h
 
 let attach t ~deliver =
   let p =
@@ -87,6 +95,24 @@ let rec start_single t p =
     Registry.Counter.add t.bytes (Eth_frame.wire_length frame);
     let lost =
       t.config.loss_prob > 0.0 && Rng.bool t.rng t.config.loss_prob
+    in
+    (* The fault hook rules on every frame after the configured random
+       loss has drawn from the rng (so the rng stream is identical with
+       and without a pass-through hook).  Dropped and corrupted frames
+       still occupy the wire for their serialization time; only delivery
+       is suppressed. *)
+    let lost =
+      match t.fault_hook with
+      | None -> lost
+      | Some hook -> (
+        match hook frame with
+        | Fault_hook.Pass -> lost
+        | Fault_hook.Drop ->
+          Registry.Counter.incr t.fault_dropped;
+          true
+        | Fault_hook.Corrupt ->
+          Registry.Counter.incr t.corrupted;
+          true)
     in
     (* Delivery completes one serialization + propagation later.  A frame
        already decided lost never schedules its (no-op) delivery event. *)

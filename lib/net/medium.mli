@@ -32,8 +32,9 @@ val create :
   ?obs:Tcpfo_obs.Obs.t ->
   config ->
   t
-(** Counters [medium.collisions], [medium.frames] and [medium.bytes] are
-    registered under [obs] (scoped one level deeper with ["medium"]). *)
+(** Counters [medium.collisions], [medium.frames], [medium.bytes],
+    [medium.fault_dropped] and [medium.corrupted] are registered under
+    [obs] (scoped one level deeper with ["medium"]). *)
 
 val attach : t -> deliver:(Tcpfo_packet.Eth_frame.t -> unit) -> port
 (** Register a station.  [deliver] is invoked for every frame put on the
@@ -46,6 +47,16 @@ val detach : t -> port -> unit
 
 val transmit : t -> port -> Tcpfo_packet.Eth_frame.t -> unit
 (** Queue a frame for transmission from the given port. *)
+
+val set_fault_hook :
+  t -> (Tcpfo_packet.Eth_frame.t -> Fault_hook.verdict) option -> unit
+(** Install (or clear) a deterministic fault-injection hook, consulted for
+    every frame at the moment it is committed to the wire — after the
+    configured random [loss_prob] has drawn from the medium's rng, so a
+    pass-through hook leaves the rng stream untouched.  [Drop] and
+    [Corrupt] verdicts suppress delivery (the frame still occupies the
+    wire for its serialization time) and bump the [medium.fault_dropped] /
+    [medium.corrupted] counters respectively. *)
 
 val busy_time : t -> Tcpfo_sim.Time.t
 (** Cumulative time the medium has spent transmitting or jamming;

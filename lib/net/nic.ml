@@ -8,6 +8,7 @@ type t = {
   medium : Medium.t;
   mutable port : Medium.port option;
   mutable promiscuous : bool;
+  mutable partitioned : bool;
   mutable rx : Eth_frame.t -> addressed_to_me:bool -> unit;
   rx_count : Registry.counter;
   tx_count : Registry.counter;
@@ -18,7 +19,7 @@ let create _engine ~mac ?obs medium =
     Obs.scope (match obs with Some o -> o | None -> Obs.silent ()) "nic"
   in
   let t =
-    { mac; medium; port = None; promiscuous = false;
+    { mac; medium; port = None; promiscuous = false; partitioned = false;
       rx = (fun _ ~addressed_to_me:_ -> ());
       rx_count = Obs.counter obs "rx"; tx_count = Obs.counter obs "tx" }
   in
@@ -27,7 +28,7 @@ let create _engine ~mac ?obs medium =
       Macaddr.equal frame.Eth_frame.dst t.mac
       || Macaddr.is_broadcast frame.Eth_frame.dst
     in
-    if to_me || t.promiscuous then begin
+    if (to_me || t.promiscuous) && not t.partitioned then begin
       Registry.Counter.incr t.rx_count;
       t.rx frame ~addressed_to_me:to_me
     end
@@ -38,12 +39,15 @@ let create _engine ~mac ?obs medium =
 let mac t = t.mac
 let set_promiscuous t v = t.promiscuous <- v
 let promiscuous t = t.promiscuous
+let set_partitioned t v = t.partitioned <- v
+let partitioned t = t.partitioned
 let set_rx t fn = t.rx <- fn
 let up t = t.port <> None
 
 let send t ~dst payload =
   match t.port with
   | None -> ()
+  | Some _ when t.partitioned -> ()
   | Some port ->
     Registry.Counter.incr t.tx_count;
     Medium.transmit t.medium port (Eth_frame.make ~src:t.mac ~dst payload)

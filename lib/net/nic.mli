@@ -21,6 +21,15 @@ val mac : t -> Tcpfo_packet.Macaddr.t
 val set_promiscuous : t -> bool -> unit
 val promiscuous : t -> bool
 
+val set_partitioned : t -> bool -> unit
+(** While partitioned the NIC stays attached to the medium but silently
+    discards everything: incoming frames are never delivered upward and
+    outgoing frames never reach the wire.  Models unplugging the cable
+    (or a switch port going down) without the host noticing — unlike
+    {!shutdown}, the fault is reversible. *)
+
+val partitioned : t -> bool
+
 val set_rx :
   t -> (Tcpfo_packet.Eth_frame.t -> addressed_to_me:bool -> unit) -> unit
 (** Upcall for accepted frames.  [addressed_to_me] is true for unicast

@@ -1,5 +1,9 @@
-type event = { cancelled : bool ref; fn : unit -> unit }
-type event_id = bool ref
+(* [cancelled] and [consumed] are tracked separately so that an id can be
+   cancelled *after* its event fired and the distinction still observed:
+   a pause-aware host clock defers fired events and must honour a cancel
+   that arrives while the body is parked (see Tcpfo_host.Host). *)
+type event_id = { mutable cancelled : bool; mutable consumed : bool }
+type event = { id : event_id; fn : unit -> unit }
 
 type t = {
   mutable clock : Time.t;
@@ -16,30 +20,34 @@ let processed t = t.processed
 
 let schedule_at t ~at fn =
   let at = max at t.clock in
-  let cancelled = ref false in
-  Tcpfo_util.Heap.push t.queue ~prio:at { cancelled; fn };
+  let id = { cancelled = false; consumed = false } in
+  Tcpfo_util.Heap.push t.queue ~prio:at { id; fn };
   t.live <- t.live + 1;
-  cancelled
+  id
 
 let schedule t ~delay fn = schedule_at t ~at:(t.clock + max 0 delay) fn
 
 let cancel t id =
-  if not !id then begin
-    id := true;
-    t.live <- t.live - 1
+  if not id.cancelled then begin
+    id.cancelled <- true;
+    (* a consumed event already left the live count at firing time *)
+    if not id.consumed then t.live <- t.live - 1
   end
 
 let pending t = t.live
+
+let is_cancelled id = id.cancelled
 
 let rec step t =
   match Tcpfo_util.Heap.pop t.queue with
   | None -> false
   | Some (at, ev) ->
-    if !(ev.cancelled) then step t
+    if ev.id.cancelled then step t
     else begin
       t.clock <- at;
       t.live <- t.live - 1;
       t.processed <- t.processed + 1;
+      ev.id.consumed <- true;
       ev.fn ();
       true
     end

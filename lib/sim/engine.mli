@@ -22,7 +22,13 @@ val schedule_at : t -> at:Time.t -> (unit -> unit) -> event_id
 (** Absolute-time variant.  Times in the past are clipped to [now]. *)
 
 val cancel : t -> event_id -> unit
-(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+(** Cancelling an already-cancelled event is a no-op.  Cancelling an event
+    that already fired is also safe and marks the id cancelled without
+    touching the live count — a clock wrapper that parked the event's body
+    (pause-aware host) can then observe the cancellation via
+    {!is_cancelled} and skip the parked body. *)
+
+val is_cancelled : event_id -> bool
 
 val pending : t -> int
 (** Number of live (non-cancelled) events still queued. *)

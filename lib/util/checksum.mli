@@ -13,9 +13,20 @@ val of_bytes : ?accum:int -> bytes -> t
     allowing pseudo-header prefixes. *)
 
 val partial : ?accum:int -> bytes -> int
-(** Uncomplemented running 16-bit ones-complement sum of [b], foldable. *)
+(** Uncomplemented running 16-bit ones-complement sum of [b], foldable.
+    Chaining via [accum] is only correct when every chunk but the last
+    has even length — an odd chunk's trailing byte is padded as if it
+    ended the message.  Use {!partial_parity} to sum across arbitrary
+    split points. *)
 
 val partial_string : ?accum:int -> string -> int
+
+val partial_parity : ?state:int * bool -> bytes -> int * bool
+(** Parity-carrying chunked sum.  The state is [(sum, odd)]: [odd] means
+    the previous chunk ended mid-word, and the next chunk's first byte
+    fills the low half of that word.  Feed each chunk the previous
+    result; [fst] of the final state equals [partial] of the
+    concatenation (then {!finish} it).  Initial state [(0, false)]. *)
 
 val finish : int -> t
 (** Fold and complement a partial sum into a final checksum. *)

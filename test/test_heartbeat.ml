@@ -1,0 +1,101 @@
+(* Regression tests for the heartbeat fault detector: peer filtering on a
+   shared segment and the detection-latency bound. *)
+
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Heartbeat = Tcpfo_core.Heartbeat
+module Failover_config = Tcpfo_core.Failover_config
+open Testutil
+
+let period = Time.ms 10
+let timeout = Time.ms 30
+
+let hb_config =
+  Failover_config.make ~heartbeat_period:period ~detector_timeout:timeout ()
+
+(* Three replicas on one LAN: [a] watches [b], while bystander [c] beats
+   toward [a] the whole time.  The detector must not mistake c's beats
+   for signs of life from b — an origin-based filter (anything not from
+   myself) does exactly that and never notices b dying. *)
+let test_bystander_does_not_mask_dead_peer () =
+  let world = World.create () in
+  let lan = World.make_lan world () in
+  let a = World.add_host world lan ~name:"a" ~addr:"10.0.0.1" () in
+  let b = World.add_host world lan ~name:"b" ~addr:"10.0.0.2" () in
+  let c = World.add_host world lan ~name:"c" ~addr:"10.0.0.3" () in
+  World.warm_arp [ a; b; c ];
+  let detected_at = ref None in
+  let _ha =
+    Heartbeat.start a ~peer:(Host.addr b) ~role:`Primary ~config:hb_config
+      ~on_peer_failure:(fun () -> detected_at := Some (World.now world))
+  in
+  let _hb =
+    Heartbeat.start b ~peer:(Host.addr a) ~role:`Secondary ~config:hb_config
+      ~on_peer_failure:(fun () -> ())
+  in
+  (* c beats toward a with the same role b has, so only the source-address
+     check tells them apart *)
+  let _hc =
+    Heartbeat.start c ~peer:(Host.addr a) ~role:`Secondary ~config:hb_config
+      ~on_peer_failure:(fun () -> ())
+  in
+  World.run world ~for_:(Time.ms 200);
+  Host.kill b;
+  let kill_time = World.now world in
+  World.run world ~for_:(Time.sec 2.0);
+  (match !detected_at with
+  | None -> Alcotest.fail "b's death masked by bystander heartbeats"
+  | Some t ->
+    check_bool "detected within bound" true
+      (t - kill_time <= timeout + (2 * period) + Time.ms 1));
+  (* c kept beating throughout; its beats reached a but must not have
+     been credited to b *)
+  let received host =
+    Tcpfo_obs.Registry.counter_value (World.metrics world)
+      (Printf.sprintf "host.%s.heartbeat.received" host)
+  in
+  check_bool "a counted only b's beats" true (received "a" <= 21)
+
+(* Worst-case detection latency: kill the peer immediately after a beat
+   arrived, so the detector has to ride out the longest possible silence.
+   The deadline-driven check must fire by [timeout + 2 x period] (the
+   beat expected one period after the last arrival, [timeout] overdue,
+   plus sub-period delivery slack) — a fixed-period poll that re-arms a
+   full timeout can take nearly [2 x timeout + period]. *)
+let test_detection_latency_bound () =
+  let world = World.create () in
+  let lan = World.make_lan world () in
+  let a = World.add_host world lan ~name:"a" ~addr:"10.0.0.1" () in
+  let b = World.add_host world lan ~name:"b" ~addr:"10.0.0.2" () in
+  World.warm_arp [ a; b ];
+  let detected_at = ref None in
+  let _ha =
+    Heartbeat.start a ~peer:(Host.addr b) ~role:`Primary ~config:hb_config
+      ~on_peer_failure:(fun () -> detected_at := Some (World.now world))
+  in
+  let _hb =
+    Heartbeat.start b ~peer:(Host.addr a) ~role:`Secondary ~config:hb_config
+      ~on_peer_failure:(fun () -> ())
+  in
+  (* stop just past a beat emission (beats go out at multiples of the
+     period), then kill: the silence window starts at its maximum *)
+  World.run world ~for_:(Time.ms 201);
+  Host.kill b;
+  let kill_time = World.now world in
+  World.run world ~for_:(Time.sec 2.0);
+  match !detected_at with
+  | None -> Alcotest.fail "failure never detected"
+  | Some t ->
+    let latency = t - kill_time in
+    check_bool "waited out the timeout" true (latency >= timeout - period);
+    check_bool "fired within timeout + 2 periods" true
+      (latency <= timeout + (2 * period))
+
+let suite =
+  [
+    Alcotest.test_case "bystander does not mask dead peer" `Quick
+      test_bystander_does_not_mask_dead_peer;
+    Alcotest.test_case "detection latency bound" `Quick
+      test_detection_latency_bound;
+  ]

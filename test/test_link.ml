@@ -78,7 +78,10 @@ let test_queue_overflow_drops () =
   done;
   Engine.run e;
   Testutil.check_int "delivered" 3 !got;
-  Testutil.check_int "dropped" 7
+  (* congestion drops land in their own counter, not in random loss *)
+  Testutil.check_int "queue_full" 7
+    (Registry.counter_value (Obs.metrics obs) "link.queue_full");
+  Testutil.check_int "dropped" 0
     (Registry.counter_value (Obs.metrics obs) "link.dropped")
 
 let test_random_loss () =

@@ -25,6 +25,9 @@ let () =
       ("apps", Test_apps.suite);
       ("chain", Test_chain.suite);
       ("misc", Test_misc.suite);
+      ("heartbeat", Test_heartbeat.suite);
+      ("fault", Test_fault.suite);
+      ("soak", Test_soak.suite);
       ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,45 @@
+(* Tier-1 subset of the E10 soak sweep: a fixed handful of seeded fault
+   scenarios run end to end with every invariant checked, plus the
+   seed-replay determinism guarantee.  The full sweep lives in
+   bench/exp_soak.ml (bench/main.exe --exp soak). *)
+
+module Soak = Tcpfo_fault.Soak
+open Testutil
+
+let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 ]
+
+let test_invariants_hold () =
+  List.iter
+    (fun seed ->
+      let o = Soak.run (Soak.scenario_of_seed seed) in
+      Alcotest.(check (list string))
+        (Soak.describe o.Soak.scenario)
+        [] o.Soak.violations)
+    seeds
+
+(* The scenario space must stay covered as seeds are drawn: the fixed
+   set above exercises kills of both replicas plus a no-kill control. *)
+let test_seed_set_covers_victims () =
+  let victims =
+    List.map (fun s -> (Soak.scenario_of_seed s).Soak.victim) seeds
+  in
+  check_bool "kills a primary" true (List.mem Soak.Primary victims);
+  check_bool "kills a secondary" true (List.mem Soak.Secondary victims);
+  check_bool "has a no-kill control" true (List.mem Soak.Nobody victims)
+
+let test_replay_is_byte_identical () =
+  let sc = Soak.scenario_of_seed 5 in
+  let a = Soak.run sc in
+  let b = Soak.run sc in
+  check_string "metrics snapshots identical across replays" a.Soak.metrics
+    b.Soak.metrics
+
+let suite =
+  [
+    Alcotest.test_case "invariants hold on the fixed seed set" `Quick
+      test_invariants_hold;
+    Alcotest.test_case "seed set covers both victims" `Quick
+      test_seed_set_covers_victims;
+    Alcotest.test_case "seed replay byte-identical" `Quick
+      test_replay_is_byte_identical;
+  ]
