@@ -1,0 +1,189 @@
+(* E11 — hot state transfer (not in the paper): reintegration cost vs
+   number of live connections.
+
+   Topology: one client, a replicated pair, one spare host on a shared
+   LAN.  [conns] connections open and exchange one request/reply, then
+   stay open.  The secondary is killed; after detection a fresh host is
+   reintegrated and every live connection is re-replicated onto it via
+   the statex hot state transfer.  The trial reports how many
+   connections transferred, how many bytes of sealed snapshot crossed
+   the control channel, and the sim-time from [reintegrate] to the
+   [Transfers_complete] event.
+
+   The payoff check rides along: after the transfer settles the ORIGINAL
+   primary is killed too, so the connections — all established before
+   failure #1 — must survive a second failover byte-for-byte on the
+   repaired host.  A trial only counts as ok when every connection's
+   stream is exact and RST-free through both failovers.
+
+   Everything is seeded and simulated, so the table is byte-identical
+   across --jobs 1/2/4. *)
+
+open Harness
+module Engine = Tcpfo_sim.Engine
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Replicated = Tcpfo_core.Replicated
+module Failover_config = Tcpfo_core.Failover_config
+module Stats = Tcpfo_util.Stats
+
+let service_port = 7000
+
+type outcome = {
+  conns : int;
+  transferred : int;
+  xfer_bytes : int;  (** sealed snapshot bytes over the control channel *)
+  latency_us : float;  (** reintegrate -> Transfers_complete, sim time *)
+  ok : bool;  (** every stream exact and RST-free after BOTH failovers *)
+}
+
+let one_trial ~conns ~seed =
+  let world = World.create ~seed () in
+  note_world world;
+  let lan = World.make_lan world () in
+  let client =
+    World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
+      ~profile:paper_profile ()
+  in
+  let primary =
+    World.add_host world lan ~name:"primary" ~addr:"10.0.0.1"
+      ~profile:paper_profile ()
+  in
+  let secondary =
+    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2"
+      ~profile:paper_profile ()
+  in
+  World.warm_arp [ client; primary; secondary ];
+  let config = Failover_config.make ~service_ports:[ service_port ] () in
+  let repl = Replicated.create ~primary ~secondary ~config () in
+  Replicated.listen repl ~port:service_port ~on_accept:(fun ~role:_ tcb ->
+      Tcb.set_on_data tcb (fun d -> ignore (Tcb.send tcb ("R:" ^ d)));
+      Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
+  let service = Replicated.service_addr repl in
+  let engine = World.engine world in
+  let bufs = Array.init conns (fun _ -> Buffer.create 64) in
+  let resets = ref 0 in
+  let tcbs = Array.make conns None in
+  for i = 0 to conns - 1 do
+    ignore
+      (Engine.schedule engine ~delay:(i * Time.us 500) (fun () ->
+           let c =
+             Stack.connect (Host.tcp client) ~remote:(service, service_port)
+               ()
+           in
+           tcbs.(i) <- Some c;
+           Tcb.set_on_established c (fun () ->
+               ignore (Tcb.send c (Printf.sprintf "req%d" i)));
+           Tcb.set_on_data c (fun d -> Buffer.add_string bufs.(i) d);
+           Tcb.set_on_reset c (fun () -> incr resets)))
+  done;
+  World.run world ~for_:(Time.ms 100);
+  (* failure #1: the secondary dies and is detected *)
+  Replicated.kill_secondary repl;
+  World.run world ~for_:(Time.sec 2.0);
+  (* repair: fresh host joins, live connections re-replicate onto it *)
+  let fresh =
+    World.add_host world lan ~name:"repaired" ~addr:"10.0.0.3"
+      ~profile:paper_profile ()
+  in
+  World.warm_arp [ client; primary; fresh ];
+  let transferred = ref 0 in
+  let latency_us = ref nan in
+  let t_reint = World.now world in
+  Replicated.set_on_event repl (function
+    | Replicated.Transfers_complete n ->
+      transferred := n;
+      latency_us := float_of_int (World.now world - t_reint) /. 1e3
+    | _ -> ());
+  Replicated.reintegrate repl ~secondary:fresh;
+  World.run world ~for_:(Time.sec 1.0);
+  let send_all tag =
+    Array.iteri
+      (fun i c ->
+        match c with
+        | Some c -> ignore (Tcb.send c tag)
+        | None -> ignore i)
+      tcbs
+  in
+  send_all "mid";
+  World.run world ~for_:(Time.sec 1.0);
+  (* failure #2: the surviving original dies; the repaired host must
+     carry every connection onward in the original sequence space *)
+  Replicated.kill_primary repl;
+  World.run world ~for_:(Time.sec 2.5);
+  send_all "end";
+  World.run world ~for_:(Time.sec 2.0);
+  let ok = ref (!resets = 0) in
+  Array.iteri
+    (fun i buf ->
+      let want = Printf.sprintf "R:req%dR:midR:end" i in
+      if Buffer.contents buf <> want then ok := false)
+    bufs;
+  let stats = Replicated.transfer_stats repl in
+  {
+    conns;
+    transferred = !transferred;
+    xfer_bytes = stats.Tcpfo_statex.Transfer.transfer_bytes;
+    latency_us = !latency_us;
+    ok = !ok;
+  }
+
+let run_exp ~conn_counts ~trials =
+  print_header
+    (Printf.sprintf
+       "E11: hot state transfer — reintegration cost vs live connections \
+        (%d trial%s per point, %d job%s)"
+       trials
+       (if trials = 1 then "" else "s")
+       !jobs
+       (if !jobs = 1 then "" else "s"));
+  Printf.printf "%-8s %8s %12s %14s %14s %8s\n" "conns" "moved" "bytes"
+    "bytes/conn" "latency[us]" "ok";
+  let all_ok = ref true in
+  let rows =
+    List.map
+      (fun conns ->
+        let outcomes =
+          map_trials trials (fun i ->
+              one_trial ~conns ~seed:(11_000 + (100 * conns) + i))
+        in
+        let med f = Stats.median (List.map f outcomes) in
+        let bytes = med (fun o -> float_of_int o.xfer_bytes) in
+        let lat = med (fun o -> o.latency_us) in
+        let moved = med (fun o -> float_of_int o.transferred) in
+        let ok =
+          List.for_all (fun o -> o.ok && o.transferred = o.conns) outcomes
+        in
+        if not ok then all_ok := false;
+        Printf.printf "%-8d %8.0f %12.0f %14.1f %14.1f %8s\n" conns moved
+          bytes
+          (bytes /. float_of_int conns)
+          lat
+          (if ok then "yes" else "NO");
+        (conns, moved, bytes, lat, ok))
+      conn_counts
+  in
+  Printf.printf
+    "%s\n"
+    (if !all_ok then
+       "every connection survived both failovers byte-exactly"
+     else "WARNING: some connections did not survive the second failover");
+  (* machine-readable line for BENCH_reintegration.json bookkeeping *)
+  let row_json =
+    String.concat ","
+      (List.map
+         (fun (c, moved, bytes, lat, ok) ->
+           Printf.sprintf
+             "{\"conns\":%d,\"transferred\":%.0f,\"transfer_bytes\":%.0f,\
+              \"latency_us\":%.1f,\"ok\":%b}"
+             c moved bytes lat ok)
+         rows)
+  in
+  Printf.printf
+    "[reintegration-summary] {\"trials\":%d,\"jobs\":%d,\"all_ok\":%b,\
+     \"rows\":[%s]}\n%!"
+    trials !jobs !all_ok row_json;
+  dump_metrics ~exp:"reintegration"

@@ -21,6 +21,7 @@ type which =
   | Scale_exp
   | Micro_exp
   | Soak_exp
+  | Reintegration_exp
 
 let which_of_string = function
   | "all" -> Ok All
@@ -35,6 +36,7 @@ let which_of_string = function
   | "scale" -> Ok Scale_exp
   | "micro" -> Ok Micro_exp
   | "soak" -> Ok Soak_exp
+  | "reintegration" -> Ok Reintegration_exp
   | s -> Error (`Msg ("unknown experiment: " ^ s))
 
 let which_conv =
@@ -54,7 +56,8 @@ let which_conv =
           | Chain_exp -> "chain"
           | Scale_exp -> "scale"
           | Micro_exp -> "micro"
-          | Soak_exp -> "soak") )
+          | Soak_exp -> "soak"
+          | Reintegration_exp -> "reintegration") )
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -96,6 +99,10 @@ let run which quick metrics_dir jobs seeds first_seed soak_report =
       ~reply_size:(if quick then 4096 else 65536)
       ~trials:(if quick then 2 else 4);
   if should Micro_exp then Micro.run_exp ();
+  if should Reintegration_exp then
+    Exp_reintegration.run_exp
+      ~conn_counts:(if quick then [ 1; 4; 8 ] else [ 1; 2; 4; 8; 16 ])
+      ~trials:(if quick then 2 else 3);
   let soak_failures =
     if should Soak_exp then
       Exp_soak.run_exp
@@ -110,7 +117,8 @@ let run which quick metrics_dir jobs seeds first_seed soak_report =
 let which_arg =
   Arg.(value & opt which_conv All & info [ "exp" ] ~docv:"EXP"
          ~doc:"Experiment to run: all, setup, fig3, fig4, fig5, fig6, \
-               failover, ablation, chain, scale, micro, soak.")
+               failover, ablation, chain, scale, micro, soak, \
+               reintegration.")
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes and trial counts.")

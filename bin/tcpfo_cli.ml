@@ -75,7 +75,7 @@ let build_world ?fault_plan ~seed ~detector_ms ~trace () =
       in
       ignore (Tcpfo_fault.Injector.install env plan)));
   if trace then attach_trace world;
-  (world, client, repl)
+  (world, lan, client, primary, secondary, repl)
 
 let serve_reply repl ~reply =
   Replicated.listen repl ~port:80 ~on_accept:(fun ~role:_ tcb ->
@@ -98,8 +98,8 @@ let serve_reply repl ~reply =
           end))
 
 let run_failover victim kill_at_ms size_kb detector_ms trace stats seed
-    fault_plan =
-  let world, client, repl =
+    fault_plan repair_at_ms rekill_at_ms =
+  let world, lan, client, primary, secondary, repl =
     build_world ?fault_plan ~seed ~detector_ms ~trace:(trace && size_kb <= 16)
       ()
   in
@@ -115,7 +115,10 @@ let run_failover victim kill_at_ms size_kb detector_ms trace stats seed
         | Secondary_failure_detected ->
           "secondary failure detected; primary degrades"
         | Takeover_complete -> "IP takeover complete"
-        | Reintegrated -> "secondary reintegrated"));
+        | Reintegrated -> "replica reintegrated"
+        | Transfers_complete n ->
+          Printf.sprintf "hot state transfer done: %d connections re-replicated"
+            n));
   let buf = Buffer.create (size_kb * 1024) in
   let last = ref Time.zero in
   let stall = ref 0 in
@@ -142,6 +145,39 @@ let run_failover victim kill_at_ms size_kb detector_ms trace stats seed
          match victim with
          | "secondary" -> Replicated.kill_secondary repl
          | _ -> Replicated.kill_primary repl));
+  (match repair_at_ms with
+  | None -> ()
+  | Some ms ->
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(Time.ms ms) (fun () ->
+           if Replicated.status repl = `Normal then
+             Printf.printf
+               "[%10.3f ms] pair is healthy — nothing to reintegrate\n%!"
+               (Time.to_ms (World.now world))
+           else begin
+             Printf.printf "[%10.3f ms] reintegrating a repaired host\n%!"
+               (Time.to_ms (World.now world));
+             let fresh =
+               World.add_host world lan ~name:"repaired" ~addr:"10.0.0.3" ()
+             in
+             let survivor =
+               if victim = "secondary" then primary else secondary
+             in
+             World.warm_arp [ client; survivor; fresh ];
+             try Replicated.reintegrate repl ~secondary:fresh
+             with Invalid_argument m ->
+               Printf.printf "[%10.3f ms] reintegration refused: %s\n%!"
+                 (Time.to_ms (World.now world))
+                 m
+           end)));
+  (match rekill_at_ms with
+  | None -> ()
+  | Some ms ->
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(Time.ms ms) (fun () ->
+           Printf.printf "[%10.3f ms] crashing the surviving original\n%!"
+             (Time.to_ms (World.now world));
+           Replicated.kill_primary repl)));
   World.run world ~for_:(Time.sec 120.0);
   (match !finished with
   | Some t ->
@@ -151,11 +187,23 @@ let run_failover victim kill_at_ms size_kb detector_ms trace stats seed
       (if Buffer.contents buf = reply then "BYTE-EXACT" else "CORRUPTED")
       (Time.to_ms !stall)
   | None -> Printf.printf "transfer did not complete\n");
+  (match repair_at_ms with
+  | None -> ()
+  | Some _ ->
+    let s = Replicated.transfer_stats repl in
+    Printf.printf
+      "hot state transfer: %d offered, %d accepted, %d rejected, %d timed \
+       out, %d snapshot bytes\n"
+      s.Tcpfo_statex.Transfer.offers_sent s.Tcpfo_statex.Transfer.accepts
+      s.Tcpfo_statex.Transfer.rejects s.Tcpfo_statex.Transfer.timeouts
+      s.Tcpfo_statex.Transfer.transfer_bytes);
   if stats then print_stats world;
   if Buffer.contents buf = reply then 0 else 1
 
 let run_trace size_kb stats seed =
-  let world, client, repl = build_world ~seed ~detector_ms:30 ~trace:true () in
+  let world, _, client, _, _, repl =
+    build_world ~seed ~detector_ms:30 ~trace:true ()
+  in
   let reply =
     String.init (size_kb * 1024) (fun i -> Char.chr ((i * 31) land 0xFF))
   in
@@ -210,11 +258,25 @@ let fault_plan_arg =
                traffic reversibly (a VM pause), unlike 'kill' which is a \
                permanent crash.")
 
+let repair_at_arg =
+  Arg.(value & opt (some int) None & info [ "repair-at" ] ~docv:"MS"
+         ~doc:"Reintegrate a fresh host at this time (milliseconds); live \
+               connections are re-replicated onto it via hot state \
+               transfer.  Must be after the failure is detected.")
+
+let rekill_at_arg =
+  Arg.(value & opt (some int) None & info [ "rekill-at" ] ~docv:"MS"
+         ~doc:"Crash the surviving original replica at this time \
+               (milliseconds) — use with --repair-at to demonstrate a \
+               connection surviving a second failover on the repaired \
+               host.")
+
 let failover_cmd =
   Cmd.v (Cmd.info "failover" ~doc:"Crash a replica mid-transfer.")
     Term.(
       const run_failover $ victim_arg $ kill_at_arg $ size_arg $ detector_arg
-      $ trace_arg $ stats_arg $ seed_arg $ fault_plan_arg)
+      $ trace_arg $ stats_arg $ seed_arg $ fault_plan_arg $ repair_at_arg
+      $ rekill_at_arg)
 
 let trace_cmd =
   Cmd.v

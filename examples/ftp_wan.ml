@@ -77,7 +77,9 @@ let () =
         | Replicated.Primary_failure_detected -> "primary failure detected"
         | Secondary_failure_detected -> "secondary failure detected"
         | Takeover_complete -> "IP takeover complete"
-        | Reintegrated -> "secondary reintegrated"));
+        | Reintegrated -> "secondary reintegrated"
+        | Transfers_complete n ->
+          Printf.sprintf "%d live connections re-replicated" n));
 
   let t0 = ref Time.zero in
   let _client_ftp =

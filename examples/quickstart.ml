@@ -43,7 +43,9 @@ let () =
         | Replicated.Primary_failure_detected -> "primary failure detected"
         | Secondary_failure_detected -> "secondary failure detected"
         | Takeover_complete -> "IP takeover complete"
-        | Reintegrated -> "secondary reintegrated"));
+        | Reintegrated -> "secondary reintegrated"
+        | Transfers_complete n ->
+          Printf.sprintf "%d live connections re-replicated" n));
 
   (* 3. the replicated application: a plain echo server on port 7 —
         it has no idea replication exists *)

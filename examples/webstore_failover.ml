@@ -46,7 +46,9 @@ let () =
         | Replicated.Primary_failure_detected -> "primary died; failing over"
         | Secondary_failure_detected -> "secondary died"
         | Takeover_complete -> "secondary now owns the service address"
-        | Reintegrated -> "secondary reintegrated"));
+        | Reintegrated -> "secondary reintegrated"
+        | Transfers_complete n ->
+          Printf.sprintf "%d live connections re-replicated" n));
 
   let conn =
     Stack.connect (Host.tcp customer)

@@ -8,6 +8,7 @@ module Ipv4_packet = Tcpfo_packet.Ipv4_packet
 module Ip_layer = Tcpfo_ip.Ip_layer
 module Eth_iface = Tcpfo_ip.Eth_iface
 module Host = Tcpfo_host.Host
+module Tcb = Tcpfo_tcp.Tcb
 module Obs = Tcpfo_obs.Obs
 module Event = Tcpfo_obs.Event
 module Registry = Tcpfo_obs.Registry
@@ -56,6 +57,17 @@ type conn = {
   mutable last_ack_sent : Seq32.t option;
   mutable last_win_sent : int;
   mutable client_ack : Seq32.t option; (* highest ack the client has sent *)
+  (* --- hot state transfer (reintegration) --- *)
+  mutable xfer_hold : bool;
+      (* per-connection quiesce: the local TCP layer's output is parked
+         in [xfer_held] between snapshot and cut-over, so nothing escapes
+         in a sequence range the snapshot does not cover *)
+  xfer_held : Seg.t Queue.t;
+  xfer_tap : Ipv4_packet.t Queue.t;
+      (* client datagrams seen during the hold, re-forwarded to the
+         repaired replica at cut-over: the client never retransmits data
+         the survivor already acknowledged, so the replica would
+         otherwise miss it forever *)
   (* --- statistics --- *)
   mutable emitted : int;
   mutable retrans_fwd : int;
@@ -129,6 +141,9 @@ let mk_conn ~remote ~local_port =
     last_ack_sent = None;
     last_win_sent = 0;
     client_ack = None;
+    xfer_hold = false;
+    xfer_held = Queue.create ();
+    xfer_tap = Queue.create ();
     emitted = 0;
     retrans_fwd = 0;
     empty_acks = 0;
@@ -595,6 +610,7 @@ let from_client t conn (pkt : Ipv4_packet.t) (seg : Seg.t) =
     Ip_layer.Rx_drop
   end
   else begin
+    if conn.xfer_hold then Queue.push pkt conn.xfer_tap;
     if seg.flags.ack then
       conn.client_ack <-
         Some
@@ -760,6 +776,160 @@ let find_or_create t ~remote ~local_port ~create =
     end
     else None
 
+(* ------------------------------------------------------------------ *)
+(* Hot state transfer: quiesce / cut-over / abort                      *)
+
+(* Quiesce one connection: from this instant until {!complete_transfer}
+   or {!abort_transfer}, every segment the local TCP layer emits for it
+   is parked in [xfer_held] (tx_hook checks the flag before any other
+   dispatch) and every client datagram is tapped.  The snapshot the
+   orchestrator takes in the same simulation instant is therefore exact:
+   no byte escapes in a range the snapshot does not cover.  For a
+   promoted survivor the bridge is freshly installed and has no conn for
+   pre-failure connections yet — create it here, otherwise held output
+   would bypass the bridge entirely during the hold. *)
+let begin_transfer t ~remote ~local_port =
+  let conn =
+    match find_or_create t ~remote ~local_port ~create:true with
+    | Some c -> c
+    | None -> assert false
+  in
+  conn.xfer_hold <- true
+
+(* Re-arm the bridge connection around the restored pair and cut over.
+   The replica was installed from a snapshot in wire numbering, so the
+   new Δseq is exactly the survivor's [delta] (0 for a promoted
+   survivor).  Held survivor output is released through the ordinary
+   merge path; tapped client datagrams are re-forwarded to the repaired
+   replica, which never saw them (the client will not retransmit bytes
+   the survivor already acknowledged).  Duplicates are harmless — TCP
+   discards them. *)
+let complete_transfer t ~remote ~local_port ~(tcb : Tcb.t) ~delta =
+  match find_conn t ~remote ~local_port with
+  | None -> ()
+  | Some conn ->
+    let wire s = Seq32.add s (-delta) in
+    let wire_iss = wire (Tcb.iss tcb) in
+    let next_seq = wire (Tcb.snd_max tcb) in
+    let mss = Tcb.effective_mss tcb in
+    let w = Tcb.rcv_wscale tcb in
+    let win = Tcb.receive_window tcb in
+    let ts = Tcb.timestamps_enabled tcb in
+    conn.solo <- false;
+    conn.mode <- Active;
+    conn.seqp_init <- Some (Tcb.iss tcb);
+    conn.seqs_init <- Some wire_iss;
+    conn.delta <- Some delta;
+    conn.p_syn_flags <- None;
+    conn.p_mss <- mss;
+    conn.s_mss <- mss;
+    conn.shift_p <- (if w > 0 then Some w else None);
+    conn.shift_s <- (if w > 0 then Some w else None);
+    conn.merged_shift <- w;
+    conn.ts_p <- ts;
+    conn.ts_s <- ts;
+    conn.s_syn_ts <- None;
+    conn.last_ts_s <- None;
+    conn.syn_done <- true;
+    conn.next_seq <- next_seq;
+    conn.pq <- Interval_buf.create ~base:next_seq;
+    conn.sq <- Interval_buf.create ~base:next_seq;
+    conn.fin_sent <- Tcb.fin_sent tcb;
+    (if Tcb.fin_sent tcb then begin
+       (* snd_max covers the FIN, which sits one below the frontier *)
+       let fin_pos = Seq32.add next_seq (-1) in
+       conn.p_fin <- Some fin_pos;
+       conn.s_fin <- Some fin_pos
+     end
+     else begin
+       conn.p_fin <- None;
+       conn.s_fin <- None
+     end);
+    conn.client_fin <- Tcb.rcv_fin tcb;
+    conn.client_fin_acked <- Tcb.eof_signalled tcb;
+    conn.ack_p <- Some (Tcb.rcv_nxt tcb);
+    conn.ack_s <- None;
+    conn.win_p <- win;
+    conn.win_s <- win;
+    conn.client_ack <- Some (wire (Tcb.snd_una tcb));
+    conn.last_ack_sent <- Some (Tcb.rcv_nxt tcb);
+    conn.last_win_sent <- win;
+    conn.xfer_hold <- false;
+    let held = Queue.create () in
+    Queue.transfer conn.xfer_held held;
+    Queue.iter (fun seg -> from_primary t conn seg) held;
+    let tap = Queue.create () in
+    Queue.transfer conn.xfer_tap tap;
+    Queue.iter
+      (fun pkt ->
+        Eth_iface.send_ip (Host.eth t.host) ~next_hop:t.secondary_addr pkt)
+      tap;
+    (* a conn transferred in a terminal state (e.g. TIME_WAIT) may already
+       satisfy the teardown condition: move it to linger straight away *)
+    maybe_finish t conn
+
+(* Transfer failed (reject or timeout): release the held output the way
+   degraded pass-through would have sent it, drop the tap, and forget a
+   conn that only existed for the transfer. *)
+let abort_transfer t ~remote ~local_port =
+  match find_conn t ~remote ~local_port with
+  | None -> ()
+  | Some conn ->
+    if conn.xfer_hold then begin
+      conn.xfer_hold <- false;
+      Queue.iter
+        (fun (seg : Seg.t) ->
+          let seg' =
+            match conn.delta with
+            | Some d -> { seg with Seg.seq = Seq32.add seg.seq (-d) }
+            | None -> seg
+          in
+          let pkt =
+            match t.out with
+            | Direct ->
+              Ipv4_packet.make
+                ~ident:(Ip_layer.fresh_ident (Host.ip t.host))
+                ~src:t.service_addr ~dst:(fst conn.remote)
+                (Ipv4_packet.Tcp seg')
+            | Divert_to upstream ->
+              let seg' =
+                { seg' with
+                  Seg.options =
+                    Seg.Orig_dst (fst conn.remote) :: seg'.options }
+              in
+              Ipv4_packet.make
+                ~ident:(Ip_layer.fresh_ident (Host.ip t.host))
+                ~src:t.self_addr ~dst:upstream (Ipv4_packet.Tcp seg')
+          in
+          Ip_layer.inject (Host.ip t.host) pkt)
+        conn.xfer_held;
+      Queue.clear conn.xfer_held;
+      Queue.clear conn.xfer_tap;
+      if not conn.syn_done then Hashtbl.remove t.conns (key_of conn)
+    end
+
+(* Mark a connection that is NOT being transferred as permanently solo.
+   This pins its emissions to the degraded pass-through path so a
+   surviving half-open handshake cannot SYN-merge with the fresh
+   replica's different ISN after reinstatement.  Δ is forced to 0 only
+   when the conn never merged — such a conn has been running in the
+   survivor's own numbering all along. *)
+let isolate_conn t ~remote ~local_port =
+  let conn =
+    match find_or_create t ~remote ~local_port ~create:true with
+    | Some c -> c
+    | None -> assert false
+  in
+  conn.solo <- true;
+  conn.syn_done <- true;
+  if conn.delta = None then conn.delta <- Some 0
+
+(* Bridge-side Δseq for a live connection, if one is recorded. *)
+let conn_delta t ~remote ~local_port =
+  match find_conn t ~remote ~local_port with
+  | Some { delta = Some d; _ } -> Some d
+  | _ -> None
+
 let tx_hook t (pkt : Ipv4_packet.t) =
   match pkt.payload with
   | Tcp seg
@@ -769,6 +939,9 @@ let tx_hook t (pkt : Ipv4_packet.t) =
     let remote = (pkt.dst, seg.dst_port) in
     if t.degraded then
       match find_conn t ~remote ~local_port:seg.src_port with
+      | Some conn when conn.xfer_hold ->
+        Queue.push seg conn.xfer_held;
+        Ip_layer.Tx_drop
       | Some conn -> degraded_tx t conn seg
       | None -> Ip_layer.Tx_pass pkt (* post-failure conns are ordinary *)
     else
@@ -776,6 +949,9 @@ let tx_hook t (pkt : Ipv4_packet.t) =
         find_or_create t ~remote ~local_port:seg.src_port
           ~create:seg.flags.syn
       with
+      | Some conn when conn.xfer_hold ->
+        Queue.push seg conn.xfer_held;
+        Ip_layer.Tx_drop
       | Some conn when conn.solo -> degraded_tx t conn seg
       | Some conn ->
         from_primary t conn seg;

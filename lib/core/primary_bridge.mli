@@ -81,8 +81,53 @@ val secondary_failed : t -> unit
 
 val reinstate : t -> secondary_addr:Tcpfo_packet.Ipaddr.t -> unit
 (** Reintegration (beyond the paper's scope): pair with a fresh secondary.
-    Connections that outlived the old secondary stay solo (offset-only);
-    new connections are replicated again. *)
+    Connections that outlived the old secondary stay solo (offset-only)
+    unless hot state transfer re-replicates them (below); new connections
+    are replicated again. *)
+
+(** {1 Hot state transfer}
+
+    Per-connection quiesce / cut-over used by
+    {!Tcpfo_core.Replicated.reintegrate} to re-replicate live
+    connections onto a repaired replica.  Protocol: [begin_transfer]
+    (parks local TCP output, taps client datagrams) → snapshot shipped →
+    on acceptance [complete_transfer] (re-arms the bridge connection
+    around the restored pair, releases the hold through the merge path,
+    re-forwards tapped client datagrams to the replica) or on
+    rejection/timeout [abort_transfer] (releases the hold through the
+    degraded pass-through path). *)
+
+val begin_transfer :
+  t -> remote:Tcpfo_packet.Ipaddr.t * int -> local_port:int -> unit
+(** Quiesce one connection: must be called in the same simulation
+    instant as {!Tcpfo_tcp.Tcb.snapshot}.  Creates the bridge connection
+    if the bridge has none yet (fresh bridge on a promoted survivor). *)
+
+val complete_transfer :
+  t ->
+  remote:Tcpfo_packet.Ipaddr.t * int ->
+  local_port:int ->
+  tcb:Tcpfo_tcp.Tcb.t ->
+  delta:int ->
+  unit
+(** Cut over: the repaired replica accepted the snapshot.  [tcb] is the
+    surviving local TCB; [delta] the (re-established) Δseq — 0 for a
+    promoted survivor, the pre-failure Δseq for a surviving primary. *)
+
+val abort_transfer :
+  t -> remote:Tcpfo_packet.Ipaddr.t * int -> local_port:int -> unit
+(** Transfer failed: release held output as degraded pass-through and
+    drop transfer state.  The connection continues solo. *)
+
+val isolate_conn :
+  t -> remote:Tcpfo_packet.Ipaddr.t * int -> local_port:int -> unit
+(** Pin a connection that is not being transferred to the solo
+    pass-through path, so its segments can never merge with the fresh
+    replica's different sequence numbers. *)
+
+val conn_delta :
+  t -> remote:Tcpfo_packet.Ipaddr.t * int -> local_port:int -> int option
+(** The recorded Δseq for a connection, if it ever merged. *)
 
 val connection_count : t -> int
 

@@ -2,25 +2,42 @@ module Host = Tcpfo_host.Host
 module Stack = Tcpfo_tcp.Stack
 module Tcb = Tcpfo_tcp.Tcb
 module Ipaddr = Tcpfo_packet.Ipaddr
+module Time = Tcpfo_sim.Time
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
+module Transfer = Tcpfo_statex.Transfer
+module Snapshot = Tcpfo_statex.Snapshot
 
 type event =
   | Secondary_failure_detected
   | Primary_failure_detected
   | Takeover_complete
   | Reintegrated
+  | Transfers_complete of int
 
 type t = {
-  primary : Host.t;
+  mutable primary : Host.t;
   mutable secondary : Host.t;
+  service_addr : Ipaddr.t;
+      (* fixed for the lifetime of the pair: after a primary failure and
+         reintegration the promoted survivor keeps serving it, so it can
+         no longer be derived from [Host.addr t.primary] *)
   config : Failover_config.t;
   registry : Failover_config.registry;
-  pbridge : Primary_bridge.t;
+  mutable pbridge : Primary_bridge.t;
   mutable sbridge : Secondary_bridge.t;
+  mutable xfer_p : Transfer.t;  (* control-channel endpoint on primary *)
+  mutable xfer_s : Transfer.t;  (* ... and on secondary *)
   mutable hb_on_primary : Heartbeat.t option;
   mutable hb_on_secondary : Heartbeat.t option;
   mutable services : (int * (role:[ `Primary | `Secondary ] -> Tcb.t -> unit)) list;
   mutable status : [ `Normal | `Primary_failed | `Secondary_failed ];
   mutable on_event : event -> unit;
+  (* hot-state-transfer bookkeeping *)
+  mutable pending : int;
+  mutable reint_started : Time.t option;
+  mutable reintegrations : int;
+  reint_latency : Registry.histogram;
 }
 
 (* watch the secondary from the primary; on failure run §6 *)
@@ -43,6 +60,124 @@ let watch_primary t =
             t.on_event Takeover_complete)
       end)
 
+(* --- hot state transfer -------------------------------------------- *)
+
+(* Time_wait transfers too: the replica must keep answering retransmitted
+   FINs after a second failover, or a late client FIN meets an RST. *)
+let transferable_state : Tcb.state -> bool = function
+  | Tcb.Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
+  | Last_ack | Time_wait ->
+    true
+  | Syn_sent | Syn_received | Closed -> false
+
+(* Install an incoming snapshot into [host]'s stack: adopt a restored
+   TCB, hand it to the registered service as a secondary-role accept
+   (the service installs its callbacks and the retained-input replay
+   rebuilds its per-connection state), then resume. *)
+let installer t host ~src:_ (sc : Snapshot.conn) =
+  let snap = sc.Snapshot.tcb in
+  if not (transferable_state snap.Tcb.sn_state) then
+    Error "connection state not transferable"
+  else if not (Ipaddr.equal (fst snap.Tcb.sn_local) t.service_addr) then
+    Error "snapshot is not for the service address"
+  else
+    let stack = Host.tcp host in
+    match
+      Stack.adopt stack ~local:snap.Tcb.sn_local ~remote:snap.Tcb.sn_remote
+        ~make:(fun actions ->
+          Tcb.restore (Host.clock host) ~obs:(Stack.obs stack)
+            ~config:(Stack.config stack) actions snap)
+    with
+    | Error _ as e -> e
+    | Ok tcb ->
+      (match List.assoc_opt (snd snap.Tcb.sn_local) t.services with
+      | Some on_accept -> on_accept ~role:`Secondary tcb
+      | None -> ());
+      Tcb.resume_restored tcb;
+      Ok ()
+
+let attach_transfer t host =
+  let xfer = Transfer.attach host in
+  Transfer.set_installer xfer (installer t host);
+  xfer
+
+(* Every service connection on the survivor is either shipped to the new
+   replica or pinned solo — nothing is left in a state where it could
+   half-merge with the fresh replica's different sequence numbers. *)
+let start_transfers t =
+  let survivor = t.primary in
+  let pb = t.pbridge in
+  let dst = Host.addr t.secondary in
+  let clock = Host.clock survivor in
+  t.reint_started <- Some (clock.now ());
+  let candidates =
+    List.filter
+      (fun tcb ->
+        let la, lp = Tcb.local_endpoint tcb in
+        Ipaddr.equal la t.service_addr
+        && Failover_config.is_failover_local_port t.registry lp)
+      (Stack.connections (Host.tcp survivor))
+  in
+  let to_transfer, to_isolate =
+    List.partition
+      (fun tcb ->
+        transferable_state (Tcb.state tcb)
+        && Tcb.input_retention_enabled tcb)
+      candidates
+  in
+  List.iter
+    (fun tcb ->
+      let _, lp = Tcb.local_endpoint tcb in
+      Primary_bridge.isolate_conn pb ~remote:(Tcb.remote_endpoint tcb)
+        ~local_port:lp)
+    to_isolate;
+  let finish () =
+    (match t.reint_started with
+    | Some t0 ->
+      t.reint_started <- None;
+      Registry.Histogram.observe t.reint_latency
+        (Time.to_us (clock.now () - t0))
+    | None -> ());
+    t.on_event (Transfers_complete t.reintegrations)
+  in
+  t.pending <- List.length to_transfer;
+  t.reintegrations <- 0;
+  if t.pending = 0 then finish ()
+  else
+    List.iter
+      (fun tcb ->
+        let _, lp = Tcb.local_endpoint tcb in
+        let remote = Tcb.remote_endpoint tcb in
+        let delta_opt = Primary_bridge.conn_delta pb ~remote ~local_port:lp in
+        let delta = Option.value delta_opt ~default:0 in
+        Primary_bridge.begin_transfer pb ~remote ~local_port:lp;
+        let snap = Tcb.snapshot tcb in
+        let snap =
+          if delta <> 0 then Tcb.shift_snapshot snap (-delta) else snap
+        in
+        let sc =
+          {
+            Snapshot.tcb = snap;
+            delta;
+            next_wire_seq = snap.Tcb.sn_snd_max;
+            held_segments = 0;
+            solo = delta_opt <> None;
+          }
+        in
+        Transfer.offer t.xfer_p ~dst sc ~on_result:(fun res ->
+            (match res with
+            | Ok () when t.status = `Normal ->
+              t.reintegrations <- t.reintegrations + 1;
+              Primary_bridge.complete_transfer pb ~remote ~local_port:lp
+                ~tcb ~delta
+            | Ok () | Error _ ->
+              Primary_bridge.abort_transfer pb ~remote ~local_port:lp);
+            t.pending <- t.pending - 1;
+            if t.pending = 0 then finish ()))
+      to_transfer
+
+(* --- construction --------------------------------------------------- *)
+
 let create ~primary ~secondary ~config () =
   let service_addr = Host.addr primary in
   let secondary_addr = Host.addr secondary in
@@ -51,38 +186,55 @@ let create ~primary ~secondary ~config () =
     Primary_bridge.install primary ~registry ~service_addr ~secondary_addr ()
   in
   let sbridge = Secondary_bridge.install secondary ~registry ~service_addr () in
+  let statex = Obs.scope (Obs.root (Host.obs primary)) "statex" in
   let t =
     {
       primary;
       secondary;
+      service_addr;
       config;
       registry;
       pbridge;
       sbridge;
+      xfer_p = Transfer.attach primary;
+      xfer_s = Transfer.attach secondary;
       hb_on_primary = None;
       hb_on_secondary = None;
       services = [];
       status = `Normal;
       on_event = (fun _ -> ());
+      pending = 0;
+      reint_started = None;
+      reintegrations = 0;
+      reint_latency = Obs.histogram statex "reintegration_us";
     }
   in
+  Transfer.set_installer t.xfer_p (installer t primary);
+  Transfer.set_installer t.xfer_s (installer t secondary);
   t.hb_on_primary <- Some (watch_secondary t);
   t.hb_on_secondary <- Some (watch_primary t);
   t
 
-let service_addr t = Host.addr t.primary
+let service_addr t = t.service_addr
 let registry t = t.registry
 let primary_bridge t = t.pbridge
 let secondary_bridge t = t.sbridge
 let set_on_event t fn = t.on_event <- fn
 let status t = t.status
+let pending_transfers t = t.pending
+let transfer_stats t = Transfer.stats t.xfer_p
 
 let listen t ~port ~on_accept =
   Failover_config.register_endpoint t.registry ~local_port:port;
   t.services <- (port, on_accept) :: t.services;
+  (* retention makes the connection transferable: a later reintegration
+     replays the retained input on the new replica to rebuild the
+     application layer *)
   Stack.listen (Host.tcp t.primary) ~port ~on_accept:(fun tcb ->
+      Tcb.enable_input_retention tcb;
       on_accept ~role:`Primary tcb);
   Stack.listen (Host.tcp t.secondary) ~port ~on_accept:(fun tcb ->
+      Tcb.enable_input_retention tcb;
       on_accept ~role:`Secondary tcb)
 
 let connect_backend t ~remote ?local_port ~setup () =
@@ -104,23 +256,58 @@ let connect_backend t ~remote ?local_port ~setup () =
 let kill_primary t = Host.kill t.primary
 let kill_secondary t = Host.kill t.secondary
 
-let reintegrate t ~secondary =
-  if t.status <> `Secondary_failed then
-    invalid_arg "Replicated.reintegrate: no failed secondary to replace";
-  Option.iter Heartbeat.stop t.hb_on_primary;
-  t.secondary <- secondary;
-  t.sbridge <-
-    Secondary_bridge.install secondary ~registry:t.registry
-      ~service_addr:(service_addr t) ~only_new_connections:true ();
+(* Role-agnostic reintegration.  Two shapes:
+
+   - the *secondary* failed: the surviving primary keeps its role; the
+     fresh host becomes the new secondary.  Live connections are shipped
+     shifted by −Δseq into wire space.
+
+   - the *primary* failed: the surviving secondary was promoted by the
+     §5 takeover and keeps serving under the service address; the fresh
+     host becomes the new secondary of the *promoted* pair.  The
+     survivor's TCBs already count in wire space (Δ = 0), so snapshots
+     ship unshifted; the survivor swaps its (taken-over) secondary
+     bridge for a primary bridge. *)
+let reintegrate t ~secondary:fresh =
+  (match t.status with
+  | `Normal ->
+    invalid_arg "Replicated.reintegrate: no failed replica to replace"
+  | `Secondary_failed ->
+    Option.iter Heartbeat.stop t.hb_on_primary;
+    t.secondary <- fresh;
+    t.sbridge <-
+      Secondary_bridge.install fresh ~registry:t.registry
+        ~service_addr:t.service_addr ~only_new_connections:true ();
+    t.xfer_s <- attach_transfer t fresh;
+    Primary_bridge.reinstate t.pbridge ~secondary_addr:(Host.addr fresh)
+  | `Primary_failed ->
+    if not (Secondary_bridge.taken_over t.sbridge) then
+      invalid_arg "Replicated.reintegrate: takeover still in progress";
+    Option.iter Heartbeat.stop t.hb_on_secondary;
+    let survivor = t.secondary in
+    Secondary_bridge.uninstall t.sbridge;
+    t.primary <- survivor;
+    t.secondary <- fresh;
+    t.pbridge <-
+      Primary_bridge.install survivor ~registry:t.registry
+        ~service_addr:t.service_addr ~secondary_addr:(Host.addr fresh) ();
+    t.sbridge <-
+      Secondary_bridge.install fresh ~registry:t.registry
+        ~service_addr:t.service_addr ~only_new_connections:true ();
+    t.xfer_p <- t.xfer_s;
+    Transfer.set_installer t.xfer_p (installer t survivor);
+    t.xfer_s <- attach_transfer t fresh);
   (* start the registered services on the new replica *)
   List.iter
     (fun (port, on_accept) ->
-      Stack.listen (Host.tcp secondary) ~port ~on_accept:(fun tcb ->
+      Stack.listen (Host.tcp fresh) ~port ~on_accept:(fun tcb ->
+          Tcb.enable_input_retention tcb;
           on_accept ~role:`Secondary tcb))
     t.services;
-  (* pair the bridges and restart mutual fault detection *)
-  Primary_bridge.reinstate t.pbridge ~secondary_addr:(Host.addr secondary);
+  (* restart mutual fault detection *)
   t.status <- `Normal;
   t.hb_on_primary <- Some (watch_secondary t);
   t.hb_on_secondary <- Some (watch_primary t);
-  t.on_event Reintegrated
+  t.on_event Reintegrated;
+  (* re-replicate live connections onto the fresh replica *)
+  start_transfers t

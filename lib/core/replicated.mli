@@ -19,7 +19,10 @@ type event =
   | Takeover_complete
       (** §5 steps 1–5 finished: the secondary owns the service address *)
   | Reintegrated
-      (** a fresh secondary joined after a secondary failure *)
+      (** a fresh replica joined after a failure (either role) *)
+  | Transfers_complete of int
+      (** hot state transfer finished; the payload is the number of live
+          connections successfully re-replicated onto the fresh host *)
 
 val create :
   primary:Tcpfo_host.Host.t ->
@@ -68,10 +71,28 @@ val status : t -> [ `Normal | `Primary_failed | `Secondary_failed ]
 
 val reintegrate : t -> secondary:Tcpfo_host.Host.t -> unit
 (** Reintegration of a failed server — which the paper explicitly leaves
-    out of scope (§1) — at connection granularity: after a *secondary*
-    failure, pair the primary with a fresh host.  Connections that
-    outlived the old secondary remain unreplicated (their state exists
-    nowhere else), but every service registered through {!listen} is
-    started on the new host and every connection established from now on
-    is fully protected again.  Raises [Invalid_argument] unless the pair
-    is in the secondary-failed state. *)
+    out of scope (§1).  Role-agnostic: after a *secondary* failure the
+    surviving primary pairs with the fresh host; after a *primary*
+    failure the promoted survivor keeps serving under the service
+    address and the fresh host becomes the secondary of the promoted
+    pair.  Every service registered through {!listen} is started on the
+    new host, mutual fault detection is re-armed, and live connections
+    are re-replicated by hot state transfer: each transferable
+    connection is quiesced, snapshotted into wire sequence space,
+    shipped over the in-sim control channel, and — on acceptance —
+    resumed as a freshly merged replica pair, so it survives a *second*
+    failover byte-exactly.  Connections that cannot be transferred
+    (mid-handshake, closing down, or missing retained input) stay solo.
+
+    Status returns to [`Normal] immediately; transfers complete
+    asynchronously within a few control-channel round trips
+    ({!Transfers_complete}, {!pending_transfers}).  Raises
+    [Invalid_argument] in the normal state, or while a §5 takeover is
+    still in progress. *)
+
+val pending_transfers : t -> int
+(** Hot-state-transfer offers still awaiting a verdict (0 when
+    reintegration has settled). *)
+
+val transfer_stats : t -> Tcpfo_statex.Transfer.stats
+(** Aggregate control-channel counters ([statex.*] scope). *)

@@ -26,12 +26,15 @@ type chaos =
   | Pause_client
   | Partition_client
 
+type repair = No_repair | Repair | Repair_then_rekill
+
 type scenario = {
   seed : int;
   victim : victim;
   phase : phase;
   chaos : chaos;
   size : int;
+  repair : repair;
 }
 
 type outcome = {
@@ -60,10 +63,15 @@ let chaos_to_string = function
   | Pause_client -> "pause"
   | Partition_client -> "partition"
 
+let repair_to_string = function
+  | No_repair -> "none"
+  | Repair -> "repair"
+  | Repair_then_rekill -> "repair+rekill"
+
 let describe s =
-  Printf.sprintf "seed=%d kill=%s/%s chaos=%s size=%d" s.seed
+  Printf.sprintf "seed=%d kill=%s/%s chaos=%s size=%d repair=%s" s.seed
     (victim_to_string s.victim) (phase_to_string s.phase)
-    (chaos_to_string s.chaos) s.size
+    (chaos_to_string s.chaos) s.size (repair_to_string s.repair)
 
 (* The scenario space is drawn from the seed alone, so a seed printed in
    a failure report reconstructs the exact run. *)
@@ -101,7 +109,17 @@ let scenario_of_seed seed =
     | 4 -> 120_000
     | _ -> 400_000
   in
-  { seed; victim; phase; chaos; size }
+  (* drawn after every pre-existing dimension, so adding the repair axis
+     left all earlier seed → scenario mappings intact *)
+  let repair =
+    if victim = Nobody then No_repair
+    else
+      match Rng.int r 4 with
+      | 0 | 1 -> No_repair
+      | 2 -> Repair
+      | _ -> Repair_then_rekill
+  in
+  { seed; victim; phase; chaos; size; repair }
 
 let pattern ~tag n =
   String.init n (fun i -> Char.chr ((i * 131 + tag * 7 + i / 251) land 0xFF))
@@ -271,6 +289,55 @@ let run ?on_world scenario =
     | Secondary -> Replicated.kill_secondary repl
     | Nobody -> ()
   in
+  (* repair: once the failure is detected (and, for a primary kill, the
+     §5 takeover finished), bring up a fresh host and reintegrate it —
+     hot state transfer re-replicates the live connections.  For
+     [Repair_then_rekill], the instant the transfers settle the CURRENT
+     primary (the original survivor) is killed too: a connection opened
+     before failure #1 must survive failure #2 byte-exactly on the
+     repaired host. *)
+  let repaired = ref false in
+  let rekilled = ref false in
+  if sc.repair <> No_repair then
+    Replicated.set_on_event repl (fun e ->
+        let ready =
+          match (sc.victim, e) with
+          | Secondary, Replicated.Secondary_failure_detected -> true
+          | Primary, Replicated.Takeover_complete -> true
+          | _ -> false
+        in
+        if ready && not !repaired then begin
+          repaired := true;
+          ignore
+            (Engine.schedule (World.engine world)
+               ~delay:(Time.ms 1 + Rng.int timing_rng (Time.ms 4))
+               (fun () ->
+                 let h =
+                   World.add_host world lan ~name:"repaired" ~addr:"10.0.0.3"
+                     ()
+                 in
+                 (* warm only the LIVE hosts: the dead one still claims its
+                    address (for a primary victim, the service address!),
+                    and re-learning it would override the takeover's
+                    gratuitous ARP *)
+                 let survivor =
+                   match sc.victim with
+                   | Primary -> secondary
+                   | Secondary | Nobody -> primary
+                 in
+                 World.warm_arp
+                   (client :: survivor :: h :: Option.to_list cross_client);
+                 Replicated.reintegrate repl ~secondary:h))
+        end;
+        match e with
+        | Replicated.Transfers_complete _
+          when sc.repair = Repair_then_rekill && not !rekilled ->
+          rekilled := true;
+          ignore
+            (Engine.schedule (World.engine world)
+               ~delay:(Time.us 200 + Rng.int timing_rng (Time.ms 2))
+               (fun () -> Replicated.kill_primary repl))
+        | _ -> ());
   (match (sc.victim, sc.phase) with
   | Nobody, _ -> ()
   | _, Handshake ->
@@ -319,10 +386,16 @@ let run ?on_world scenario =
       cross_client = None || Buffer.length cross_buf >= cross_size
     in
     let kill_done =
-      match sc.victim with
-      | Nobody -> true
-      | Primary -> Replicated.status repl = `Primary_failed
-      | Secondary -> Replicated.status repl = `Secondary_failed
+      match (sc.victim, sc.repair) with
+      | Nobody, _ -> true
+      | Primary, No_repair -> Replicated.status repl = `Primary_failed
+      | Secondary, No_repair -> Replicated.status repl = `Secondary_failed
+      | _, Repair ->
+        !repaired
+        && Replicated.status repl = `Normal
+        && Replicated.pending_transfers repl = 0
+      | _, Repair_then_rekill ->
+        !rekilled && Replicated.status repl = `Primary_failed
     in
     client_done && cross_done && kill_done
   in
@@ -346,19 +419,32 @@ let run ?on_world scenario =
     (Printf.sprintf "connection never terminated (client state %s)"
        (Tcb.state_to_string (Tcb.state c)));
   check (!resets = 0) "client saw a connection reset";
-  (match sc.victim with
-  | Nobody ->
+  (match (sc.victim, sc.repair) with
+  | Nobody, _ ->
     check
       (Replicated.status repl = `Normal)
       "spurious failover: no host was killed but status left Normal"
-  | Primary ->
+  | Primary, No_repair ->
     check
       (Replicated.status repl = `Primary_failed)
       "primary killed but its failure was never detected"
-  | Secondary ->
+  | Secondary, No_repair ->
     check
       (Replicated.status repl = `Secondary_failed)
-      "secondary killed but its failure was never detected");
+      "secondary killed but its failure was never detected"
+  | _, Repair ->
+    check !repaired "repair never triggered";
+    check
+      (Replicated.status repl = `Normal)
+      "repaired host joined but the pair never returned to Normal";
+    check
+      (Replicated.pending_transfers repl = 0)
+      "hot state transfers never settled"
+  | _, Repair_then_rekill ->
+    check !rekilled "re-kill never triggered";
+    check
+      (Replicated.status repl = `Primary_failed)
+      "survivor re-killed but the repaired host never detected it");
   if cross_client <> None then
     check
       (Buffer.contents cross_buf = cross_reply)

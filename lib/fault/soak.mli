@@ -1,6 +1,7 @@
 (** Seeded failover soak scenarios: one scenario per seed, drawn from the
     cross product of kill victim × kill phase × background chaos ×
-    transfer size, run against a full replicated-pair world and checked
+    transfer size × repair plan, run against a full replicated-pair
+    world and checked
     against the paper's correctness requirements (§2).
 
     Invariants checked by {!run}:
@@ -40,12 +41,20 @@ type chaos =
   | Pause_client  (** client host paused and resumed mid-connection *)
   | Partition_client  (** client unplugged from the LAN for a few ms *)
 
+type repair = No_repair | Repair | Repair_then_rekill
+
 type scenario = {
   seed : int;
   victim : victim;
   phase : phase;
   chaos : chaos;
   size : int;  (** reply size in bytes *)
+  repair : repair;
+      (** after the kill is detected: do nothing, reintegrate a fresh
+          host (hot state transfer re-replicates live connections), or
+          reintegrate and then kill the surviving original too — the
+          connection must survive the second failover byte-exactly on
+          the repaired host *)
 }
 
 type outcome = {

@@ -1,0 +1,26 @@
+(** The unit of hot state transfer: one connection's full TCB image plus
+    the bridge-side state the surviving host held for it.
+
+    The TCB image travels in the *wire* (client-visible) sequence space:
+    a surviving primary shifts its snapshot by −Δseq before shipping
+    ({!Tcpfo_tcp.Tcb.shift_snapshot}); a promoted secondary's state is
+    already in wire space (Δ = 0). *)
+
+type conn = {
+  tcb : Tcpfo_tcp.Tcb.snapshot;
+  delta : int;
+      (** Δseq the surviving bridge applied for this connection — carried
+          for validation and metrics; the restored pair always starts at
+          Δ = 0 with respect to the shipped image. *)
+  next_wire_seq : Tcpfo_util.Seq32.t;
+      (** Merge frontier (next un-emitted wire sequence) at capture. *)
+  held_segments : int;
+      (** Segments parked in the quiesce hold-back queue at capture. *)
+  solo : bool;  (** Whether the connection was running unreplicated. *)
+}
+
+val encode : conn -> string
+(** Binary image wrapped in the versioned, checksummed envelope. *)
+
+val decode : string -> (conn, string) result
+(** Inverse of {!encode}; any corruption or truncation yields [Error]. *)

@@ -1,0 +1,182 @@
+(* Control channel + transfer manager.
+
+   Transfers ride an in-sim control channel: raw IP protocol 254
+   datagrams between the surviving host and the repaired replica
+   (heartbeats use 253).  The protocol is a single round trip per
+   connection:
+
+     survivor  --- Offer {xfer_id, sealed snapshot} --->  repaired host
+     survivor  <-- Accept {xfer_id} | Reject {xfer_id, reason} --
+
+   The receiver decodes and verifies the envelope, hands the snapshot to
+   the installer the orchestrator registered, and answers.  The sender
+   times out unanswered offers so a second failure during reintegration
+   degrades cleanly instead of wedging. *)
+
+module Time = Tcpfo_sim.Time
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Ipv4_packet = Tcpfo_packet.Ipv4_packet
+module Ip_layer = Tcpfo_ip.Ip_layer
+module Host = Tcpfo_host.Host
+module Obs = Tcpfo_obs.Obs
+module Registry = Tcpfo_obs.Registry
+
+let proto = 254
+let default_timeout = Time.ms 20
+
+type pending = {
+  on_result : (unit, string) result -> unit;
+  payload_bytes : int;
+}
+
+type t = {
+  host : Host.t;
+  mutable installer :
+    (src:Ipaddr.t -> Snapshot.conn -> (unit, string) result) option;
+  pending : (int, pending) Hashtbl.t;
+  mutable next_id : int;
+  (* world-absolute [statex.*] scope: both ends of a transfer share the
+     registry, so these aggregate across hosts like the bridge metrics *)
+  offers_sent : Registry.counter;
+  offers_received : Registry.counter;
+  accepts : Registry.counter;
+  rejects : Registry.counter;
+  timeouts : Registry.counter;
+  transfer_bytes : Registry.counter;
+}
+
+type msg =
+  | Offer of { xfer_id : int; payload : string }
+  | Accept of { xfer_id : int }
+  | Reject of { xfer_id : int; reason : string }
+
+let encode_msg m =
+  let b = Codec.W.create () in
+  (match m with
+  | Offer { xfer_id; payload } ->
+    Codec.W.u8 b 0;
+    Codec.W.u32 b xfer_id;
+    Codec.W.str b payload
+  | Accept { xfer_id } ->
+    Codec.W.u8 b 1;
+    Codec.W.u32 b xfer_id
+  | Reject { xfer_id; reason } ->
+    Codec.W.u8 b 2;
+    Codec.W.u32 b xfer_id;
+    Codec.W.str b reason);
+  Codec.W.contents b
+
+let decode_msg s =
+  try
+    let r = Codec.R.of_string s in
+    let kind = Codec.R.u8 r in
+    let xfer_id = Codec.R.u32 r in
+    match kind with
+    | 0 -> Some (Offer { xfer_id; payload = Codec.R.str r })
+    | 1 -> Some (Accept { xfer_id })
+    | 2 -> Some (Reject { xfer_id; reason = Codec.R.str r })
+    | _ -> None
+  with Codec.Corrupt _ -> None
+
+let send_msg t ~dst m =
+  Ip_layer.send (Host.ip t.host)
+    (Ipv4_packet.make ~src:(Host.addr t.host) ~dst
+       (Ipv4_packet.Raw { proto; data = encode_msg m }))
+
+let handle_offer t ~src ~xfer_id ~payload =
+  Registry.Counter.incr t.offers_received;
+  let verdict =
+    match Snapshot.decode payload with
+    | Error e -> Error e
+    | Ok conn -> (
+      match t.installer with
+      | None -> Error "no installer registered"
+      | Some install -> install ~src conn)
+  in
+  match verdict with
+  | Ok () -> send_msg t ~dst:src (Accept { xfer_id })
+  | Error reason ->
+    Registry.Counter.incr t.rejects;
+    send_msg t ~dst:src (Reject { xfer_id; reason })
+
+let handle_msg t ~src m =
+  match m with
+  | Offer { xfer_id; payload } -> handle_offer t ~src ~xfer_id ~payload
+  | Accept { xfer_id } -> (
+    match Hashtbl.find_opt t.pending xfer_id with
+    | None -> ()
+    | Some p ->
+      Hashtbl.remove t.pending xfer_id;
+      Registry.Counter.incr t.accepts;
+      Registry.Counter.add t.transfer_bytes p.payload_bytes;
+      p.on_result (Ok ()))
+  | Reject { xfer_id; reason } -> (
+    match Hashtbl.find_opt t.pending xfer_id with
+    | None -> ()
+    | Some p ->
+      Hashtbl.remove t.pending xfer_id;
+      p.on_result (Error reason))
+
+let attach host =
+  let obs = Obs.scope (Obs.root (Host.obs host)) "statex" in
+  let t =
+    {
+      host;
+      installer = None;
+      pending = Hashtbl.create 8;
+      next_id = 1;
+      offers_sent = Obs.counter obs "offers_sent";
+      offers_received = Obs.counter obs "offers_received";
+      accepts = Obs.counter obs "accepts";
+      rejects = Obs.counter obs "rejects";
+      timeouts = Obs.counter obs "timeouts";
+      transfer_bytes = Obs.counter obs "transfer_bytes";
+    }
+  in
+  Ip_layer.set_raw_handler (Host.ip host) (fun ~src ~proto:p data ->
+      if p = proto then
+        match decode_msg data with
+        | Some m -> handle_msg t ~src m
+        | None -> ());
+  t
+
+let set_installer t f = t.installer <- Some f
+
+let offer t ?(timeout = default_timeout) ~dst conn ~on_result =
+  let xfer_id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let payload = Snapshot.encode conn in
+  Registry.Counter.incr t.offers_sent;
+  Hashtbl.replace t.pending xfer_id
+    { on_result; payload_bytes = String.length payload };
+  send_msg t ~dst (Offer { xfer_id; payload });
+  ignore
+    ((Host.clock t.host).schedule timeout (fun () ->
+         match Hashtbl.find_opt t.pending xfer_id with
+         | None -> ()
+         | Some p ->
+           Hashtbl.remove t.pending xfer_id;
+           Registry.Counter.incr t.timeouts;
+           p.on_result (Error "transfer timed out")))
+
+let pending_count t = Hashtbl.length t.pending
+
+type stats = {
+  offers_sent : int;
+  offers_received : int;
+  accepts : int;
+  rejects : int;
+  timeouts : int;
+  transfer_bytes : int;
+}
+
+let stats (t : t) =
+  let v = Registry.Counter.value in
+  {
+    offers_sent = v t.offers_sent;
+    offers_received = v t.offers_received;
+    accepts = v t.accepts;
+    rejects = v t.rejects;
+    timeouts = v t.timeouts;
+    transfer_bytes = v t.transfer_bytes;
+  }

@@ -1,0 +1,55 @@
+(** Per-host endpoint of the hot-state-transfer control channel (raw IP
+    protocol 254).
+
+    One [t] per host serves both roles: it ships snapshots out
+    ({!offer}) and installs snapshots in (via the orchestrator-supplied
+    installer).  Registers counters under the world-absolute [statex.*]
+    scope: [offers_sent], [offers_received], [accepts], [rejects],
+    [timeouts] and [transfer_bytes] (encoded payload bytes of accepted
+    transfers). *)
+
+type t
+
+val proto : int
+(** Raw IP protocol number used by the channel (254). *)
+
+val attach : Tcpfo_host.Host.t -> t
+(** Installs itself as the host's raw-protocol handler. *)
+
+val set_installer :
+  t ->
+  (src:Tcpfo_packet.Ipaddr.t ->
+  Snapshot.conn ->
+  (unit, string) result) ->
+  unit
+(** Called for every verified incoming snapshot; [Ok] answers Accept,
+    [Error] answers Reject with the reason.  Corrupt payloads are
+    rejected before the installer is consulted. *)
+
+val offer :
+  t ->
+  ?timeout:Tcpfo_sim.Time.t ->
+  dst:Tcpfo_packet.Ipaddr.t ->
+  Snapshot.conn ->
+  on_result:((unit, string) result -> unit) ->
+  unit
+(** Encode, ship, and await the peer's verdict.  [on_result] fires
+    exactly once: [Ok] on Accept, [Error] on Reject or after [timeout]
+    (default 20 ms) of silence. *)
+
+val pending_count : t -> int
+(** Offers awaiting a verdict. *)
+
+type stats = {
+  offers_sent : int;
+  offers_received : int;
+  accepts : int;
+  rejects : int;
+  timeouts : int;
+  transfer_bytes : int;
+}
+
+val stats : t -> stats
+(** Current values of the [statex.*] counters.  The scope is
+    world-absolute, so both endpoints of a pair report the same
+    aggregate numbers. *)

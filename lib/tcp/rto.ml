@@ -48,3 +48,19 @@ let backoff t =
 
 let reset_backoff t = t.shift <- 0
 let srtt t = Option.map int_of_float t.srtt
+
+type snapshot = {
+  s_srtt : float option;
+  s_rttvar : float;
+  s_base : int;
+  s_shift : int;
+}
+
+let export t =
+  { s_srtt = t.srtt; s_rttvar = t.rttvar; s_base = t.base; s_shift = t.shift }
+
+let import t s =
+  t.srtt <- s.s_srtt;
+  t.rttvar <- s.s_rttvar;
+  t.base <- clamp t s.s_base;
+  t.shift <- s.s_shift

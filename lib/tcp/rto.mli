@@ -28,3 +28,18 @@ val reset_backoff : t -> unit
 
 val srtt : t -> Tcpfo_sim.Time.t option
 (** Smoothed RTT, if at least one sample has been taken. *)
+
+(** Portable estimator state for hot state transfer: the smoothed RTT,
+    its variance, the pre-backoff timeout and the backoff exponent. *)
+type snapshot = {
+  s_srtt : float option;
+  s_rttvar : float;
+  s_base : int;
+  s_shift : int;
+}
+
+val export : t -> snapshot
+
+val import : t -> snapshot -> unit
+(** Overwrite the estimator state with a previously exported snapshot
+    (bounds re-clamped against this instance's min/max). *)

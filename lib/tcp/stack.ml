@@ -152,4 +152,32 @@ let connect t ?local ?local_port ~remote () =
   sync_conn_gauge t;
   tcb
 
+let adopt t ~local ~remote ~make =
+  let key = (fst local, snd local, fst remote, snd remote) in
+  if Hashtbl.mem t.conns key then
+    Error "Stack.adopt: connection already exists"
+  else begin
+    let actions = actions_for t key (local, remote) in
+    let tcb = make actions in
+    Hashtbl.replace t.conns key tcb;
+    sync_conn_gauge t;
+    Ok tcb
+  end
+
+let connections t =
+  let cmp (la, lp, ra, rp) (la', lp', ra', rp') =
+    let c = Ipaddr.compare la la' in
+    if c <> 0 then c
+    else
+      let c = compare lp lp' in
+      if c <> 0 then c
+      else
+        let c = Ipaddr.compare ra ra' in
+        if c <> 0 then c else compare rp rp'
+  in
+  Hashtbl.fold (fun k tcb acc -> (k, tcb) :: acc) t.conns []
+  |> List.sort (fun (a, _) (b, _) -> cmp a b)
+  |> List.map snd
+
+let clock t = t.clock
 let obs t = t.obs

@@ -58,5 +58,23 @@ val find :
 val fresh_port : t -> int
 (** Allocate an ephemeral port. *)
 
+val adopt :
+  t ->
+  local:Tcpfo_packet.Ipaddr.t * int ->
+  remote:Tcpfo_packet.Ipaddr.t * int ->
+  make:(Tcb.actions -> Tcb.t) ->
+  (Tcb.t, string) result
+(** Register a connection built outside the ordinary open paths — a
+    restored TCB arriving via hot state transfer.  [make] receives the
+    demux-table actions (emit / on_delete) exactly as {!connect} and
+    listeners wire them.  Errors (without calling [make]) if the 4-tuple
+    is already present. *)
+
+val connections : t -> Tcb.t list
+(** All live connections in a deterministic order (sorted by 4-tuple),
+    so iteration is reproducible across runs and [--jobs] settings. *)
+
+val clock : t -> Tcpfo_sim.Clock.t
+
 val obs : t -> Tcpfo_obs.Obs.t
 (** The stack's [tcp]-narrowed scope. *)

@@ -44,7 +44,7 @@ type t = {
   mutable state : state;
   (* --- send side --- *)
   iss : Seq32.t;
-  sndbuf : Bytebuf.t; (* buffer offset o <-> sequence iss+1+o *)
+  mutable sndbuf : Bytebuf.t; (* buffer offset o <-> sequence iss+1+o *)
   mutable snd_una : Seq32.t;
   mutable snd_nxt : Seq32.t;
   mutable snd_max : Seq32.t; (* highest sequence ever transmitted *)
@@ -85,6 +85,17 @@ type t = {
   mutable cwnd : int;
   mutable ssthresh : int;
   mutable dupacks : int;
+  (* --- state transfer --- *)
+  mutable retained : string list option;
+      (* every in-order chunk ever delivered to the application (reversed),
+         kept so a restored replica can replay the input and regenerate
+         the output stream (hot state transfer).  Chunk boundaries are
+         preserved: a service may frame its replies per delivery, so
+         replaying a coalesced blob would regenerate different output *)
+  mutable resync_skip : int;
+      (* app-stream bytes of regenerated output to swallow after a
+         restore: everything below the snapshotted send-buffer end was
+         either acked or shipped inside the snapshot *)
   (* --- callbacks --- *)
   mutable on_established : unit -> unit;
   mutable on_data : string -> unit;
@@ -533,6 +544,8 @@ let make clock ?obs ~config ~local ~remote ~iss actions state =
     last_activity = clock.now ();
     retry_count = 0;
     rtt_probe = None;
+    retained = None;
+    resync_skip = 0;
     cwnd = 2 * config.mss;
     ssthresh = 1 lsl 30 (* RFC 5681: initially arbitrarily high *);
     dupacks = 0;
@@ -633,7 +646,7 @@ let recv_queue_length t = Buffer.length t.recv_pending
 
 let send_space t = Bytebuf.free t.sndbuf
 
-let send t data =
+let send_rest t data =
   let allowed =
     match t.state with
     | Syn_sent | Syn_received | Established | Close_wait -> not t.fin_queued
@@ -647,6 +660,28 @@ let send t data =
     if n > 0 then try_output t;
     n
   end
+
+let send t data =
+  (* After a hot-state restore the application replays its input and
+     regenerates output from byte 0; everything below the snapshotted
+     send-buffer end offset is already acked or carried in the snapshot
+     and must be swallowed, not retransmitted.  The discard path bypasses
+     the state/fin checks on purpose: the snapshot may be past
+     ESTABLISHED (e.g. FIN_WAIT_1) while the replayed prefix is still
+     draining. *)
+  if t.resync_skip > 0 then begin
+    let n = String.length data in
+    if n <= t.resync_skip then begin
+      t.resync_skip <- t.resync_skip - n;
+      n
+    end
+    else begin
+      let skip = t.resync_skip in
+      t.resync_skip <- 0;
+      skip + send_rest t (String.sub data skip (n - skip))
+    end
+  end
+  else send_rest t data
 
 let close t =
   match t.state with
@@ -751,6 +786,9 @@ let deliver_payload t (seg : Seg.t) =
     if String.length delivered > 0 then begin
       t.rcv_nxt <- Seq32.add t.rcv_nxt (String.length delivered);
       t.n_bytes_received <- t.n_bytes_received + String.length delivered;
+      (match t.retained with
+      | Some chunks -> t.retained <- Some (delivered :: chunks)
+      | None -> ());
       (match t.state with
       | Established | Fin_wait_1 | Fin_wait_2 ->
         if t.recv_paused then Buffer.add_string t.recv_pending delivered
@@ -943,6 +981,185 @@ let segment_in_syn_sent t (seg : Seg.t) =
       arm_rtx t
     end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Hot state transfer (snapshot / restore)                            *)
+
+(* A self-contained, plain-data image of a connection: every field is an
+   int, string, bool, option or list thereof, so structural equality and
+   a flat binary codec are both valid on it.  Sequence numbers travel as
+   [Seq32.t] (an int underneath). *)
+type snapshot = {
+  sn_state : state;
+  sn_local : Ipaddr.t * int;
+  sn_remote : Ipaddr.t * int;
+  sn_iss : Seq32.t;
+  sn_sndbuf_start : int;
+  sn_sndbuf_data : string;
+  sn_snd_una : Seq32.t;
+  sn_snd_max : Seq32.t;
+  sn_snd_wnd : int;
+  sn_snd_wl1 : Seq32.t;
+  sn_snd_wl2 : Seq32.t;
+  sn_peer_mss : int;
+  sn_snd_wscale : int;
+  sn_rcv_wscale : int;
+  sn_ts_on : bool;
+  sn_ts_recent : int;
+  sn_sack_on : bool;
+  sn_sack_ranges : (Seq32.t * Seq32.t) list;
+  sn_fin_queued : bool;
+  sn_fin_sent : bool;
+  sn_irs : Seq32.t;
+  sn_rcv_nxt : Seq32.t;
+  sn_reasm : (Seq32.t * string) list;
+  sn_rcv_fin : Seq32.t option;
+  sn_eof_signalled : bool;
+  sn_srtt : float option;
+  sn_rttvar : float;
+  sn_rto_base : int;
+  sn_rto_shift : int;
+  sn_cwnd : int;
+  sn_ssthresh : int;
+  sn_retained_input : string list;
+}
+
+let enable_input_retention t =
+  if t.retained = None then t.retained <- Some []
+
+let input_retention_enabled t = t.retained <> None
+
+let snapshot t =
+  let rto = Rto.export t.rto in
+  {
+    sn_state = t.state;
+    sn_local = t.local;
+    sn_remote = t.remote;
+    sn_iss = t.iss;
+    sn_sndbuf_start = Bytebuf.start_offset t.sndbuf;
+    sn_sndbuf_data =
+      Bytebuf.read t.sndbuf
+        ~pos:(Bytebuf.start_offset t.sndbuf)
+        ~len:(Bytebuf.length t.sndbuf);
+    sn_snd_una = t.snd_una;
+    sn_snd_max = t.snd_max;
+    sn_snd_wnd = t.snd_wnd;
+    sn_snd_wl1 = t.snd_wl1;
+    sn_snd_wl2 = t.snd_wl2;
+    sn_peer_mss = t.peer_mss;
+    sn_snd_wscale = t.snd_wscale;
+    sn_rcv_wscale = t.rcv_wscale;
+    sn_ts_on = t.ts_on;
+    sn_ts_recent = t.ts_recent;
+    sn_sack_on = t.sack_on;
+    sn_sack_ranges = Rangeset.ranges t.sack_board;
+    sn_fin_queued = t.fin_queued;
+    sn_fin_sent = t.fin_sent;
+    sn_irs = t.irs;
+    sn_rcv_nxt = t.rcv_nxt;
+    sn_reasm = Interval_buf.islands t.reasm;
+    sn_rcv_fin = t.rcv_fin;
+    sn_eof_signalled = t.eof_signalled;
+    sn_srtt = rto.Rto.s_srtt;
+    sn_rttvar = rto.Rto.s_rttvar;
+    sn_rto_base = rto.Rto.s_base;
+    sn_rto_shift = rto.Rto.s_shift;
+    sn_cwnd = t.cwnd;
+    sn_ssthresh = t.ssthresh;
+    sn_retained_input =
+      (match t.retained with Some chunks -> List.rev chunks | None -> []);
+  }
+
+(* Translate the send-side sequence space by [n] (receive side and
+   [snd_wl1], which carries a peer sequence number, are untouched).  Used
+   to move a snapshot taken in the surviving primary's space into the
+   wire (secondary) space before shipping: wire seq = primary seq − Δ. *)
+let shift_snapshot s n =
+  let sh x = Seq32.add x n in
+  {
+    s with
+    sn_iss = sh s.sn_iss;
+    sn_snd_una = sh s.sn_snd_una;
+    sn_snd_max = sh s.sn_snd_max;
+    sn_snd_wl2 = sh s.sn_snd_wl2;
+    sn_sack_ranges =
+      List.map (fun (lo, hi) -> (sh lo, sh hi)) s.sn_sack_ranges;
+  }
+
+let restore clock ?obs ~config actions (s : snapshot) =
+  let t =
+    make clock ?obs ~config ~local:s.sn_local ~remote:s.sn_remote
+      ~iss:s.sn_iss actions s.sn_state
+  in
+  t.sndbuf <-
+    Bytebuf.of_string ~capacity:config.Tcp_config.send_buf_size
+      ~start_offset:s.sn_sndbuf_start s.sn_sndbuf_data;
+  t.snd_una <- s.sn_snd_una;
+  (* resume transmitting at the frontier; a hole below it is repaired by
+     the ordinary go-back-N RTO / fast-retransmit machinery *)
+  t.snd_nxt <- s.sn_snd_max;
+  t.snd_max <- s.sn_snd_max;
+  t.snd_wnd <- s.sn_snd_wnd;
+  t.snd_wl1 <- s.sn_snd_wl1;
+  t.snd_wl2 <- s.sn_snd_wl2;
+  t.peer_mss <- s.sn_peer_mss;
+  t.snd_wscale <- s.sn_snd_wscale;
+  t.rcv_wscale <- s.sn_rcv_wscale;
+  t.ts_on <- s.sn_ts_on;
+  t.ts_recent <- s.sn_ts_recent;
+  t.sack_on <- s.sn_sack_on;
+  List.iter (fun (lo, hi) -> Rangeset.add t.sack_board ~lo ~hi)
+    s.sn_sack_ranges;
+  t.fin_queued <- s.sn_fin_queued;
+  t.fin_sent <- s.sn_fin_sent;
+  t.irs <- s.sn_irs;
+  t.rcv_nxt <- s.sn_rcv_nxt;
+  t.reasm <- Interval_buf.create ~base:s.sn_rcv_nxt;
+  List.iter (fun (seq, data) -> Interval_buf.insert t.reasm ~seq data)
+    s.sn_reasm;
+  t.rcv_fin <- s.sn_rcv_fin;
+  t.eof_signalled <- s.sn_eof_signalled;
+  Rto.import t.rto
+    {
+      Rto.s_srtt = s.sn_srtt;
+      s_rttvar = s.sn_rttvar;
+      s_base = s.sn_rto_base;
+      s_shift = s.sn_rto_shift;
+    };
+  t.cwnd <- s.sn_cwnd;
+  t.ssthresh <- s.sn_ssthresh;
+  t.retained <- Some (List.rev s.sn_retained_input);
+  (* the application will replay the retained input and regenerate its
+     output stream from byte 0: swallow the prefix the snapshot already
+     accounts for *)
+  t.resync_skip <- s.sn_sndbuf_start + String.length s.sn_sndbuf_data;
+  t
+
+(* Bring a freshly restored connection to life: replay the application's
+   view of history (established, retained input, EOF) so the service
+   layer rebuilds its per-connection state, then re-arm timers.  Output
+   regenerated during the replay is swallowed by [resync_skip] up to the
+   snapshot point, after which genuinely new bytes flow normally. *)
+let resume_restored t =
+  t.on_established ();
+  (match t.retained with
+  | Some chunks -> List.iter t.on_data (List.rev chunks)
+  | None -> ());
+  if t.eof_signalled then t.on_eof ();
+  if t.state = Established then arm_keepalive t;
+  (* a restored TIME_WAIT connection must still answer retransmitted
+     FINs, and still eventually evaporate: restart the 2MSL timer *)
+  if t.state = Time_wait then enter_time_wait t;
+  if Seq32.lt t.snd_una t.snd_max then arm_rtx t;
+  try_output t
+
+let snd_max t = t.snd_max
+let rcv_wscale t = t.rcv_wscale
+let fin_queued t = t.fin_queued
+let fin_sent t = t.fin_sent
+let rcv_fin t = t.rcv_fin
+let eof_signalled t = t.eof_signalled
+let receive_window t = rcv_wnd t
 
 let segment_arrives t (seg : Seg.t) =
   if t.state = Closed then ()

@@ -130,6 +130,101 @@ val sack_enabled : t -> bool
 val srtt : t -> Tcpfo_sim.Time.t option
 (** Smoothed round-trip estimate, once at least one sample exists. *)
 
+val snd_max : t -> Tcpfo_util.Seq32.t
+(** Highest sequence number ever transmitted. *)
+
+val rcv_wscale : t -> int
+(** Shift applied to our advertised window (0 when scaling is off). *)
+
+val fin_queued : t -> bool
+val fin_sent : t -> bool
+val rcv_fin : t -> Tcpfo_util.Seq32.t option
+val eof_signalled : t -> bool
+
+val receive_window : t -> int
+(** Current receive window in bytes (before 16-bit field scaling). *)
+
+(** {1 Hot state transfer}
+
+    A connection can be frozen into a plain-data {!snapshot}, shipped to
+    another host, and {!restore}d into a fresh TCB that resumes exactly
+    where the original stood.  The application layer is rebuilt by
+    replaying the retained input ({!resume_restored}); the output it
+    regenerates is swallowed up to the snapshot point, so the wire
+    stream continues byte-for-byte (paper §3.4 transparency, extended to
+    replica reintegration). *)
+
+type snapshot = {
+  sn_state : state;
+  sn_local : Tcpfo_packet.Ipaddr.t * int;
+  sn_remote : Tcpfo_packet.Ipaddr.t * int;
+  sn_iss : Tcpfo_util.Seq32.t;
+  sn_sndbuf_start : int;
+  sn_sndbuf_data : string;
+  sn_snd_una : Tcpfo_util.Seq32.t;
+  sn_snd_max : Tcpfo_util.Seq32.t;
+  sn_snd_wnd : int;
+  sn_snd_wl1 : Tcpfo_util.Seq32.t;
+  sn_snd_wl2 : Tcpfo_util.Seq32.t;
+  sn_peer_mss : int;
+  sn_snd_wscale : int;
+  sn_rcv_wscale : int;
+  sn_ts_on : bool;
+  sn_ts_recent : int;
+  sn_sack_on : bool;
+  sn_sack_ranges : (Tcpfo_util.Seq32.t * Tcpfo_util.Seq32.t) list;
+  sn_fin_queued : bool;
+  sn_fin_sent : bool;
+  sn_irs : Tcpfo_util.Seq32.t;
+  sn_rcv_nxt : Tcpfo_util.Seq32.t;
+  sn_reasm : (Tcpfo_util.Seq32.t * string) list;
+  sn_rcv_fin : Tcpfo_util.Seq32.t option;
+  sn_eof_signalled : bool;
+  sn_srtt : float option;
+  sn_rttvar : float;
+  sn_rto_base : int;
+  sn_rto_shift : int;
+  sn_cwnd : int;
+  sn_ssthresh : int;
+  sn_retained_input : string list;
+      (** in-order application-delivery chunks, boundaries preserved *)
+}
+
+val enable_input_retention : t -> unit
+(** Start keeping every in-order byte delivered to the application, so
+    the connection becomes transferable.  Idempotent.  The failover
+    orchestrator enables this on every replicated server connection at
+    accept time. *)
+
+val input_retention_enabled : t -> bool
+
+val snapshot : t -> snapshot
+(** Freeze the current connection state.  The caller is responsible for
+    quiescing output around the capture (the bridge's per-connection
+    hold does this). *)
+
+val shift_snapshot : snapshot -> int -> snapshot
+(** [shift_snapshot s n] translates the send-side sequence space by [n]
+    (receive side untouched) — used to move a snapshot from the
+    surviving primary's space into the wire/secondary space (−Δseq)
+    before shipping. *)
+
+val restore :
+  Tcpfo_sim.Clock.t ->
+  ?obs:Tcpfo_obs.Obs.t ->
+  config:Tcp_config.t ->
+  actions ->
+  snapshot ->
+  t
+(** Rebuild a TCB from a snapshot on this host.  Emits nothing; timers
+    are re-armed by {!resume_restored}. *)
+
+val resume_restored : t -> unit
+(** Fire the application callbacks as history replay (established →
+    retained input → EOF if signalled), re-arm keepalive/retransmission,
+    and resume output.  Call after the service's accept handler has
+    installed its callbacks on the restored TCB. *)
+
 (** {1 Statistics} *)
 
 val bytes_sent : t -> int

@@ -77,6 +77,16 @@ let read t ~pos ~len =
     Bytes.unsafe_to_string b
   end
 
+let of_string ~capacity ~start_offset data =
+  let len = String.length data in
+  if len > capacity then invalid_arg "Bytebuf.of_string: data exceeds capacity";
+  let t = create ~capacity in
+  t.start <- start_offset;
+  if t.len + len > Bytes.length t.buf then grow t len;
+  Bytes.blit_string data 0 t.buf 0 len;
+  t.len <- len;
+  t
+
 let release_to t ~pos =
   if pos > t.start then begin
     let drop = min (pos - t.start) t.len in

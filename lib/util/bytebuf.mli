@@ -32,6 +32,13 @@ val read : t -> pos:int -> len:int -> string
     [pos .. pos+len-1], clipped to the held range.  Requires
     [pos >= start_offset t]. *)
 
+val of_string : capacity:int -> start_offset:int -> string -> t
+(** [of_string ~capacity ~start_offset data] rebuilds a buffer whose held
+    window is exactly [data] at absolute offsets [start_offset ..
+    start_offset + length data - 1].  Used to restore a snapshotted send
+    buffer on another host.  Raises [Invalid_argument] if [data] exceeds
+    [capacity]. *)
+
 val release_to : t -> pos:int -> unit
 (** Discard all bytes below absolute offset [pos] (no-op if already
     released). *)

@@ -121,6 +121,7 @@ let has_byte t s =
        t.islands
 
 let spans t = List.map (fun i -> (i.start, String.length i.data)) t.islands
+let islands t = List.map (fun i -> (i.start, i.data)) t.islands
 
 let pp fmt t =
   Format.fprintf fmt "@[<h>base=%a" Seq32.pp t.base;

@@ -50,4 +50,9 @@ val has_byte : t -> Seq32.t -> bool
 val spans : t -> (Seq32.t * int) list
 (** Sorted list of (start, length) islands, for diagnostics and tests. *)
 
+val islands : t -> (Seq32.t * string) list
+(** Sorted list of (start, data) islands with their bytes — used to
+    snapshot a reassembly buffer for state transfer.  Rebuild with
+    [create ~base] + [insert]. *)
+
 val pp : Format.formatter -> t -> unit

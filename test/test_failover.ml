@@ -415,9 +415,80 @@ let test_reintegration () =
     (sink_contents c2sink);
   check_int "never reset" 0 c2sink.resets
 
+let test_reintegration_after_primary_death () =
+  (* role-agnostic reintegration: the PRIMARY dies, the secondary takes
+     over (§5), then a fresh host joins the PROMOTED survivor.  The
+     pre-failure connection is hot-transferred onto the newcomer and
+     must survive a SECOND failover byte-for-byte. *)
+  let world = World.create () in
+  let lan_medium = World.make_lan world () in
+  let client =
+    World.add_host world lan_medium ~name:"client" ~addr:"10.0.0.10" ()
+  in
+  let primary =
+    World.add_host world lan_medium ~name:"primary" ~addr:"10.0.0.1" ()
+  in
+  let secondary =
+    World.add_host world lan_medium ~name:"secondary" ~addr:"10.0.0.2" ()
+  in
+  World.warm_arp [ client; primary; secondary ];
+  let repl =
+    Replicated.create ~primary ~secondary
+      ~config:Tcpfo_core.Failover_config.default ()
+  in
+  Replicated.listen repl ~port:80 ~on_accept:(fun ~role:_ tcb ->
+      Tcb.set_on_data tcb (fun d -> ignore (Tcb.send tcb ("R:" ^ d))));
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp client) ~remote:(Replicated.service_addr repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "one"));
+  World.run world ~for_:(Time.ms 50);
+  (* failure #1: the primary dies; the secondary takes the service over *)
+  Replicated.kill_primary repl;
+  World.run world ~for_:(Time.sec 2.0);
+  check_bool "primary failure handled" true
+    (Replicated.status repl = `Primary_failed);
+  ignore (Tcb.send c "two");
+  World.run world ~for_:(Time.sec 1.0);
+  check_string "conn survives the takeover" "R:oneR:two"
+    (sink_contents csink);
+  (* repair: a fresh host joins the promoted survivor *)
+  let fresh =
+    World.add_host world lan_medium ~name:"repaired" ~addr:"10.0.0.3" ()
+  in
+  World.warm_arp [ client; secondary; fresh ];
+  Replicated.reintegrate repl ~secondary:fresh;
+  check_bool "back to normal after primary-side repair" true
+    (Replicated.status repl = `Normal);
+  World.run world ~for_:(Time.sec 1.0);
+  check_int "hot transfers settled" 0 (Replicated.pending_transfers repl);
+  let stats = Replicated.transfer_stats repl in
+  check_bool "the live conn was re-replicated" true
+    (stats.Tcpfo_statex.Transfer.accepts >= 1);
+  ignore (Tcb.send c "three");
+  World.run world ~for_:(Time.sec 1.0);
+  check_string "conn still served after reintegration" "R:oneR:twoR:three"
+    (sink_contents csink);
+  (* failure #2: the surviving original dies too; the repaired host must
+     carry the SAME connection onward in the original sequence space *)
+  Replicated.kill_primary repl;
+  World.run world ~for_:(Time.sec 2.0);
+  check_bool "second failure handled" true
+    (Replicated.status repl = `Primary_failed);
+  ignore (Tcb.send c "four");
+  World.run world ~for_:(Time.sec 2.0);
+  check_string "conn survives the SECOND failover byte-exactly"
+    "R:oneR:twoR:threeR:four" (sink_contents csink);
+  check_int "never reset across both failovers" 0 csink.resets
+
 let suite =
   suite
   @ [
       Alcotest.test_case "reintegration of a fresh secondary" `Quick
         test_reintegration;
+      Alcotest.test_case "reintegration after a primary death" `Quick
+        test_reintegration_after_primary_death;
     ]

@@ -92,10 +92,55 @@ let test_detection_latency_bound () =
     check_bool "fired within timeout + 2 periods" true
       (latency <= timeout + (2 * period))
 
+module Replicated = Tcpfo_core.Replicated
+
+(* Reintegration must re-arm the detector on BOTH hosts: after a fresh
+   host replaces a dead secondary, killing the newcomer has to be
+   detected just like the original death was — and the same holds in the
+   promoted direction after a primary death. *)
+let test_detector_rearmed_after_reintegration () =
+  let run_case ~first_victim =
+    let world = World.create () in
+    let lan = World.make_lan world () in
+    let a = World.add_host world lan ~name:"a" ~addr:"10.0.0.1" () in
+    let b = World.add_host world lan ~name:"b" ~addr:"10.0.0.2" () in
+    World.warm_arp [ a; b ];
+    let repl = Replicated.create ~primary:a ~secondary:b ~config:hb_config () in
+    let detections = ref 0 in
+    Replicated.set_on_event repl (function
+      | Replicated.Primary_failure_detected
+      | Replicated.Secondary_failure_detected -> incr detections
+      | _ -> ());
+    World.run world ~for_:(Time.ms 100);
+    (match first_victim with
+    | `Primary -> Replicated.kill_primary repl
+    | `Secondary -> Replicated.kill_secondary repl);
+    World.run world ~for_:(Time.sec 1.0);
+    check_int "first death detected" 1 !detections;
+    let fresh = World.add_host world lan ~name:"fresh" ~addr:"10.0.0.3" () in
+    let survivor = match first_victim with `Primary -> b | `Secondary -> a in
+    World.warm_arp [ survivor; fresh ];
+    Replicated.reintegrate repl ~secondary:fresh;
+    check_bool "pair healthy again" true (Replicated.status repl = `Normal);
+    (* let the new watchers exchange a few beats, then kill the newcomer:
+       the re-armed detector on the survivor must notice *)
+    World.run world ~for_:(Time.ms 200);
+    check_int "no spurious detection after reintegration" 1 !detections;
+    Replicated.kill_secondary repl;
+    World.run world ~for_:(Time.sec 1.0);
+    check_int "newcomer's death detected by re-armed watcher" 2 !detections;
+    check_bool "status reflects the second death" true
+      (Replicated.status repl = `Secondary_failed)
+  in
+  run_case ~first_victim:`Secondary;
+  run_case ~first_victim:`Primary
+
 let suite =
   [
     Alcotest.test_case "bystander does not mask dead peer" `Quick
       test_bystander_does_not_mask_dead_peer;
     Alcotest.test_case "detection latency bound" `Quick
       test_detection_latency_bound;
+    Alcotest.test_case "detector re-armed after reintegration" `Quick
+      test_detector_rearmed_after_reintegration;
   ]

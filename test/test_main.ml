@@ -28,6 +28,7 @@ let () =
       ("heartbeat", Test_heartbeat.suite);
       ("fault", Test_fault.suite);
       ("soak", Test_soak.suite);
+      ("statex", Test_statex.suite);
       ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,186 @@
+(* Properties of the hot-state-transfer codec (lib/statex): a snapshot
+   round-trips through encode/decode structurally intact for arbitrary
+   connection states, and any corruption of the wire image — bit flips,
+   truncation, trailing garbage — is rejected before anything could be
+   installed. *)
+
+module Tcb = Tcpfo_tcp.Tcb
+module Snapshot = Tcpfo_statex.Snapshot
+module Seq32 = Tcpfo_util.Seq32
+module Ipaddr = Tcpfo_packet.Ipaddr
+open Testutil
+
+(* -- deterministic random snapshot generator ---------------------------- *)
+
+let states =
+  [|
+    Tcb.Syn_sent; Tcb.Syn_received; Tcb.Established; Tcb.Fin_wait_1;
+    Tcb.Fin_wait_2; Tcb.Close_wait; Tcb.Closing; Tcb.Last_ack;
+    Tcb.Time_wait; Tcb.Closed;
+  |]
+
+let rand_string st n =
+  String.init n (fun _ -> Char.chr (QCheck.Gen.int_bound 255 st))
+
+let u16 st = QCheck.Gen.int_bound 0xFFFF st
+let u32 st = (u16 st lsl 16) lor u16 st
+
+(* sequence numbers anywhere on the 32-bit circle, including near the
+   wrap point *)
+let rand_seq st =
+  match QCheck.Gen.int_bound 3 st with
+  | 0 -> Seq32.of_int (u16 st)
+  | 1 -> Seq32.of_int (0xFFFF_FF00 + QCheck.Gen.int_bound 0xFF st)
+  | _ -> Seq32.of_int (u32 st)
+
+let rand_addr st =
+  Ipaddr.of_string
+    (Printf.sprintf "10.%d.%d.%d"
+       (QCheck.Gen.int_bound 255 st)
+       (QCheck.Gen.int_bound 255 st)
+       (QCheck.Gen.int_bound 255 st))
+
+let rand_snapshot st =
+  let iss = rand_seq st in
+  let sndbuf = rand_string st (QCheck.Gen.int_bound 300 st) in
+  let start = QCheck.Gen.int_bound 1_000_000 st in
+  {
+    Tcb.sn_state = states.(QCheck.Gen.int_bound (Array.length states - 1) st);
+    sn_local = (rand_addr st, QCheck.Gen.int_bound 0xFFFF st);
+    sn_remote = (rand_addr st, QCheck.Gen.int_bound 0xFFFF st);
+    sn_iss = iss;
+    sn_sndbuf_start = start;
+    sn_sndbuf_data = sndbuf;
+    sn_snd_una = Seq32.add iss start;
+    sn_snd_max = Seq32.add iss (start + QCheck.Gen.int_bound 200 st);
+    sn_snd_wnd = QCheck.Gen.int_bound 1_000_000 st;
+    sn_snd_wl1 = rand_seq st;
+    sn_snd_wl2 = rand_seq st;
+    sn_peer_mss = 1 + QCheck.Gen.int_bound 0xFFFE st;
+    sn_snd_wscale = QCheck.Gen.int_bound 14 st;
+    sn_rcv_wscale = QCheck.Gen.int_bound 14 st;
+    sn_ts_on = QCheck.Gen.bool st;
+    sn_ts_recent = u32 st;
+    sn_sack_on = QCheck.Gen.bool st;
+    sn_sack_ranges =
+      List.init (QCheck.Gen.int_bound 4 st) (fun _ ->
+          let lo = rand_seq st in
+          (lo, Seq32.add lo (1 + QCheck.Gen.int_bound 5000 st)));
+    sn_fin_queued = QCheck.Gen.bool st;
+    sn_fin_sent = QCheck.Gen.bool st;
+    sn_irs = rand_seq st;
+    sn_rcv_nxt = rand_seq st;
+    sn_reasm =
+      List.init (QCheck.Gen.int_bound 3 st) (fun _ ->
+          (rand_seq st, rand_string st (1 + QCheck.Gen.int_bound 50 st)));
+    sn_rcv_fin =
+      (if QCheck.Gen.bool st then Some (rand_seq st) else None);
+    sn_eof_signalled = QCheck.Gen.bool st;
+    sn_srtt =
+      (if QCheck.Gen.bool st then Some (QCheck.Gen.float_bound_exclusive 1e6 st)
+       else None);
+    sn_rttvar = QCheck.Gen.float_bound_exclusive 1e6 st;
+    (* ns-scale RTO base: spread over the u64 field's useful range *)
+    sn_rto_base = u32 st * (1 + QCheck.Gen.int_bound 60 st);
+    sn_rto_shift = QCheck.Gen.int_bound 6 st;
+    sn_cwnd = 1 + QCheck.Gen.int_bound 1_000_000 st;
+    sn_ssthresh = 1 + QCheck.Gen.int_bound 1_000_000 st;
+    sn_retained_input =
+      List.init (QCheck.Gen.int_bound 5 st) (fun _ ->
+          rand_string st (QCheck.Gen.int_bound 60 st));
+  }
+
+let rand_conn st =
+  {
+    Snapshot.tcb = rand_snapshot st;
+    delta =
+      (match QCheck.Gen.int_bound 2 st with
+      | 0 -> 0
+      | 1 -> u32 st land 0x7FFF_FFFF
+      | _ -> -(u32 st land 0x7FFF_FFFF));
+    next_wire_seq = rand_seq st;
+    held_segments = QCheck.Gen.int_bound 64 st;
+    solo = QCheck.Gen.bool st;
+  }
+
+let conn_arb =
+  QCheck.make ~print:(fun c -> Printf.sprintf "<conn %d bytes encoded>"
+                         (String.length (Snapshot.encode c)))
+    rand_conn
+
+(* -- properties --------------------------------------------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"codec round-trip restores structural equality"
+    ~count:300 conn_arb (fun conn ->
+      match Snapshot.decode (Snapshot.encode conn) with
+      | Ok conn' -> conn' = conn
+      | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m)
+
+let prop_bitflip_rejected =
+  QCheck.Test.make ~name:"any single byte flip is rejected" ~count:60
+    QCheck.(pair conn_arb (int_bound 10_000))
+    (fun (conn, pos_seed) ->
+      let img = Snapshot.encode conn in
+      let pos = pos_seed mod String.length img in
+      let b = Bytes.of_string img in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      match Snapshot.decode (Bytes.to_string b) with
+      | Error _ -> true
+      | Ok _ -> QCheck.Test.fail_reportf "flip at byte %d accepted" pos)
+
+let prop_truncation_rejected =
+  QCheck.Test.make ~name:"every truncation is rejected" ~count:40 conn_arb
+    (fun conn ->
+      let img = Snapshot.encode conn in
+      let ok = ref true in
+      (* check a spread of cut points including all the short prefixes
+         that land inside the envelope header *)
+      for cut = 0 to min 24 (String.length img - 1) do
+        match Snapshot.decode (String.sub img 0 cut) with
+        | Error _ -> ()
+        | Ok _ -> ok := false
+      done;
+      let n = String.length img in
+      List.iter
+        (fun cut ->
+          if cut >= 0 && cut < n then
+            match Snapshot.decode (String.sub img 0 cut) with
+            | Error _ -> ()
+            | Ok _ -> ok := false)
+        [ n - 1; n - 8; n / 2; (3 * n) / 4 ];
+      !ok)
+
+let prop_trailing_garbage_rejected =
+  QCheck.Test.make ~name:"trailing garbage is rejected" ~count:40 conn_arb
+    (fun conn ->
+      match Snapshot.decode (Snapshot.encode conn ^ "\x00") with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let test_exhaustive_small_flip () =
+  (* deterministic complement to the sampled property: flip EVERY byte
+     of one small image *)
+  let st = Random.State.make [| 42 |] in
+  let conn = rand_conn st in
+  let img = Snapshot.encode conn in
+  for pos = 0 to String.length img - 1 do
+    let b = Bytes.of_string img in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+    match Snapshot.decode (Bytes.to_string b) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "byte flip at %d accepted" pos
+  done;
+  check_bool "original still decodes" true
+    (Snapshot.decode img = Ok conn)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_roundtrip; prop_bitflip_rejected; prop_truncation_rejected;
+      prop_trailing_garbage_rejected;
+    ]
+  @ [
+      Alcotest.test_case "exhaustive single-byte corruption" `Quick
+        test_exhaustive_small_flip;
+    ]
