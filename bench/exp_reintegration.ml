@@ -29,6 +29,8 @@ module Tcb = Tcpfo_tcp.Tcb
 module Replicated = Tcpfo_core.Replicated
 module Failover_config = Tcpfo_core.Failover_config
 module Stats = Tcpfo_util.Stats
+module Fault = Tcpfo_fault.Fault
+module Injector = Tcpfo_fault.Injector
 
 let service_port = 7000
 
@@ -36,11 +38,12 @@ type outcome = {
   conns : int;
   transferred : int;
   xfer_bytes : int;  (** sealed snapshot bytes over the control channel *)
+  retransmits : int;  (** statex chunk retransmissions *)
   latency_us : float;  (** reintegrate -> Transfers_complete, sim time *)
   ok : bool;  (** every stream exact and RST-free after BOTH failovers *)
 }
 
-let one_trial ~conns ~seed =
+let one_trial ~conns ~loss ~seed =
   let world = World.create ~seed () in
   note_world world;
   let lan = World.make_lan world () in
@@ -89,7 +92,21 @@ let one_trial ~conns ~seed =
     World.add_host world lan ~name:"repaired" ~addr:"10.0.0.3"
       ~profile:paper_profile ()
   in
-  World.warm_arp [ client; primary; fresh ];
+  (* warm_arp itself skips the dead secondary *)
+  World.warm_arp [ client; primary; secondary; fresh ];
+  (* the --loss axis: a loss burst on the LAN covering the transfers,
+     which the streaming control channel must retransmit through *)
+  if loss > 0.0 then
+    ignore
+      (Injector.install
+         {
+           Injector.engine;
+           rng = World.fresh_rng world;
+           hosts = [];
+           nets = [ ("lan", Injector.Medium_net lan) ];
+         }
+         (Fault.parse_exn
+            (Printf.sprintf "after 0us loss lan %.2f for 8ms" loss)));
   let transferred = ref 0 in
   let latency_us = ref nan in
   let t_reint = World.now world in
@@ -127,44 +144,56 @@ let one_trial ~conns ~seed =
     conns;
     transferred = !transferred;
     xfer_bytes = stats.Tcpfo_statex.Transfer.transfer_bytes;
+    retransmits = stats.Tcpfo_statex.Transfer.chunk_retransmits;
     latency_us = !latency_us;
     ok = !ok;
   }
 
-let run_exp ~conn_counts ~trials =
+let run_exp ~conn_counts ~loss_rates ~trials =
   print_header
     (Printf.sprintf
        "E11: hot state transfer — reintegration cost vs live connections \
-        (%d trial%s per point, %d job%s)"
+        and control-channel loss (%d trial%s per point, %d job%s)"
        trials
        (if trials = 1 then "" else "s")
        !jobs
        (if !jobs = 1 then "" else "s"));
-  Printf.printf "%-8s %8s %12s %14s %14s %8s\n" "conns" "moved" "bytes"
-    "bytes/conn" "latency[us]" "ok";
+  Printf.printf "%-6s %-8s %8s %12s %14s %8s %14s %8s\n" "loss" "conns"
+    "moved" "bytes" "bytes/conn" "rtx" "latency[us]" "ok";
   let all_ok = ref true in
+  let points =
+    List.concat_map
+      (fun loss -> List.map (fun conns -> (loss, conns)) conn_counts)
+      loss_rates
+  in
   let rows =
     List.map
-      (fun conns ->
+      (fun (loss, conns) ->
+        (* the loss-0 seeds predate the --loss axis; a nonzero rate maps
+           to its own disjoint seed block so every point is independent
+           and replayable *)
+        let loss_salt = int_of_float ((loss *. 1000.) +. 0.5) * 4099 in
         let outcomes =
           map_trials trials (fun i ->
-              one_trial ~conns ~seed:(11_000 + (100 * conns) + i))
+              one_trial ~conns ~loss
+                ~seed:(11_000 + (100 * conns) + i + loss_salt))
         in
         let med f = Stats.median (List.map f outcomes) in
         let bytes = med (fun o -> float_of_int o.xfer_bytes) in
         let lat = med (fun o -> o.latency_us) in
         let moved = med (fun o -> float_of_int o.transferred) in
+        let rtx = med (fun o -> float_of_int o.retransmits) in
         let ok =
           List.for_all (fun o -> o.ok && o.transferred = o.conns) outcomes
         in
         if not ok then all_ok := false;
-        Printf.printf "%-8d %8.0f %12.0f %14.1f %14.1f %8s\n" conns moved
-          bytes
+        Printf.printf "%-6.2f %-8d %8.0f %12.0f %14.1f %8.0f %14.1f %8s\n"
+          loss conns moved bytes
           (bytes /. float_of_int conns)
-          lat
+          rtx lat
           (if ok then "yes" else "NO");
-        (conns, moved, bytes, lat, ok))
-      conn_counts
+        (loss, conns, moved, bytes, rtx, lat, ok))
+      points
   in
   Printf.printf
     "%s\n"
@@ -175,11 +204,12 @@ let run_exp ~conn_counts ~trials =
   let row_json =
     String.concat ","
       (List.map
-         (fun (c, moved, bytes, lat, ok) ->
+         (fun (loss, c, moved, bytes, rtx, lat, ok) ->
            Printf.sprintf
-             "{\"conns\":%d,\"transferred\":%.0f,\"transfer_bytes\":%.0f,\
+             "{\"loss\":%.2f,\"conns\":%d,\"transferred\":%.0f,\
+              \"transfer_bytes\":%.0f,\"retransmits\":%.0f,\
               \"latency_us\":%.1f,\"ok\":%b}"
-             c moved bytes lat ok)
+             loss c moved bytes rtx lat ok)
          rows)
   in
   Printf.printf

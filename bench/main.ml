@@ -66,7 +66,7 @@ let rec mkdir_p dir =
     Sys.mkdir dir 0o755
   end
 
-let run which quick metrics_dir jobs seeds first_seed soak_report =
+let run which quick metrics_dir jobs seeds first_seed soak_report loss_rates =
   (match metrics_dir with
   | Some dir ->
     mkdir_p dir;
@@ -102,6 +102,7 @@ let run which quick metrics_dir jobs seeds first_seed soak_report =
   if should Reintegration_exp then
     Exp_reintegration.run_exp
       ~conn_counts:(if quick then [ 1; 4; 8 ] else [ 1; 2; 4; 8; 16 ])
+      ~loss_rates:(if loss_rates = [] then [ 0.0 ] else loss_rates)
       ~trials:(if quick then 2 else 3);
   let soak_failures =
     if should Soak_exp then
@@ -149,12 +150,20 @@ let soak_report_arg =
          ~doc:"Write soak invariant failures (with replay instructions) \
                to FILE when any occur.")
 
+let loss_arg =
+  Arg.(value & opt (list float) [ 0.0 ] & info [ "loss" ] ~docv:"P,..."
+         ~doc:"Control-channel loss rates the reintegration experiment \
+               sweeps (comma-separated probabilities, e.g. 0,0.25): each \
+               rate runs the hot state transfers under a loss burst on \
+               the LAN, reporting transfer latency and chunk \
+               retransmissions.")
+
 let cmd =
   Cmd.v
     (Cmd.info "tcpfo-bench"
        ~doc:"Reproduce the evaluation of 'Transparent TCP Connection \
              Failover' (DSN 2003)")
     Term.(const run $ which_arg $ quick_arg $ metrics_dir_arg $ jobs_arg
-          $ seeds_arg $ first_seed_arg $ soak_report_arg)
+          $ seeds_arg $ first_seed_arg $ soak_report_arg $ loss_arg)
 
 let () = exit (Cmd.eval cmd)

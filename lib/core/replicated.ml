@@ -37,6 +37,7 @@ type t = {
   mutable pending : int;
   mutable reint_started : Time.t option;
   mutable reintegrations : int;
+  mutable xfer_failures : int;
   reint_latency : Registry.histogram;
 }
 
@@ -171,6 +172,9 @@ let start_transfers t =
               Primary_bridge.complete_transfer pb ~remote ~local_port:lp
                 ~tcb ~delta
             | Ok () | Error _ ->
+              (match res with
+              | Error _ -> t.xfer_failures <- t.xfer_failures + 1
+              | Ok () -> ());
               Primary_bridge.abort_transfer pb ~remote ~local_port:lp);
             t.pending <- t.pending - 1;
             if t.pending = 0 then finish ()))
@@ -206,6 +210,7 @@ let create ~primary ~secondary ~config () =
       pending = 0;
       reint_started = None;
       reintegrations = 0;
+      xfer_failures = 0;
       reint_latency = Obs.histogram statex "reintegration_us";
     }
   in
@@ -222,6 +227,7 @@ let secondary_bridge t = t.sbridge
 let set_on_event t fn = t.on_event <- fn
 let status t = t.status
 let pending_transfers t = t.pending
+let transfer_failures t = t.xfer_failures
 let transfer_stats t = Transfer.stats t.xfer_p
 
 let listen t ~port ~on_accept =

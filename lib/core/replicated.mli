@@ -94,5 +94,11 @@ val pending_transfers : t -> int
 (** Hot-state-transfer offers still awaiting a verdict (0 when
     reintegration has settled). *)
 
+val transfer_failures : t -> int
+(** Transfers that ended in Reject or retry-budget exhaustion since the
+    pair was created.  The streaming control channel retransmits
+    through loss, so any nonzero value under a merely lossy (not dead)
+    channel is an invariant violation. *)
+
 val transfer_stats : t -> Tcpfo_statex.Transfer.stats
 (** Aggregate control-channel counters ([statex.*] scope). *)

@@ -106,32 +106,36 @@ let validate t stmt =
   | Fault.Loss_burst (n, _, _) ->
     ignore (net t n)
 
-let install env plan =
-  let t = { env; states = Hashtbl.create 4 } in
+let schedule_stmt t stmt =
+  let env = t.env in
+  let fire () =
+    let go =
+      match stmt.Fault.prob with
+      | None -> true
+      | Some p -> Rng.bool env.rng p
+    in
+    if go then apply t stmt.Fault.action
+  in
+  match stmt.Fault.trigger with
+  | Fault.At at -> ignore (Engine.schedule_at env.engine ~at fire)
+  | Fault.After d -> ignore (Engine.schedule env.engine ~delay:d fire)
+  | Fault.Every (period, count) ->
+    let rec tick k () =
+      (* k is the ordinal of this firing, 1-based *)
+      let continue = match count with Some n -> k <= n | None -> true in
+      if continue then begin
+        fire ();
+        ignore (Engine.schedule env.engine ~delay:period (tick (k + 1)))
+      end
+    in
+    ignore (Engine.schedule env.engine ~delay:period (tick 1))
+
+let add t plan =
   (* surface unknown names at install time, not at first firing *)
   List.iter (validate t) plan;
-  List.iter
-    (fun stmt ->
-      let fire () =
-        let go =
-          match stmt.Fault.prob with
-          | None -> true
-          | Some p -> Rng.bool env.rng p
-        in
-        if go then apply t stmt.Fault.action
-      in
-      match stmt.Fault.trigger with
-      | Fault.At at -> ignore (Engine.schedule_at env.engine ~at fire)
-      | Fault.After d -> ignore (Engine.schedule env.engine ~delay:d fire)
-      | Fault.Every (period, count) ->
-        let rec tick k () =
-          (* k is the ordinal of this firing, 1-based *)
-          let continue = match count with Some n -> k <= n | None -> true in
-          if continue then begin
-            fire ();
-            ignore (Engine.schedule env.engine ~delay:period (tick (k + 1)))
-          end
-        in
-        ignore (Engine.schedule env.engine ~delay:period (tick 1)))
-    plan;
+  List.iter (schedule_stmt t) plan
+
+let install env plan =
+  let t = { env; states = Hashtbl.create 4 } in
+  add t plan;
   t

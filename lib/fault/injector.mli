@@ -27,3 +27,10 @@ val install : env -> Fault.plan -> t
     [Invalid_argument] on an unknown host or net), then schedules the
     plan's triggers.  [At] is absolute simulated time; [After] and the
     first [Every] firing are relative to the install instant. *)
+
+val add : t -> Fault.plan -> unit
+(** Schedule additional statements onto an installed injector — same
+    validation and trigger semantics as {!install}, with [After]/first
+    [Every] relative to the add instant.  Statements share the per-net
+    fault state (and the single hook) with the original plan, so this is
+    the way to stack faults onto already-faulted nets mid-run. *)

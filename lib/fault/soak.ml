@@ -5,6 +5,9 @@ module Seq32 = Tcpfo_util.Seq32
 module Ipaddr = Tcpfo_packet.Ipaddr
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
 module Tcp_segment = Tcpfo_packet.Tcp_segment
+module Eth_frame = Tcpfo_packet.Eth_frame
+module Capture = Tcpfo_net.Capture
+module Transfer = Tcpfo_statex.Transfer
 module Ip_layer = Tcpfo_ip.Ip_layer
 module World = Tcpfo_host.World
 module Host = Tcpfo_host.Host
@@ -35,6 +38,7 @@ type scenario = {
   chaos : chaos;
   size : int;
   repair : repair;
+  xfer_loss : float;
 }
 
 type outcome = {
@@ -69,9 +73,9 @@ let repair_to_string = function
   | Repair_then_rekill -> "repair+rekill"
 
 let describe s =
-  Printf.sprintf "seed=%d kill=%s/%s chaos=%s size=%d repair=%s" s.seed
-    (victim_to_string s.victim) (phase_to_string s.phase)
-    (chaos_to_string s.chaos) s.size (repair_to_string s.repair)
+  Printf.sprintf "seed=%d kill=%s/%s chaos=%s size=%d repair=%s xloss=%.2f"
+    s.seed (victim_to_string s.victim) (phase_to_string s.phase)
+    (chaos_to_string s.chaos) s.size (repair_to_string s.repair) s.xfer_loss
 
 (* The scenario space is drawn from the seed alone, so a seed printed in
    a failure report reconstructs the exact run. *)
@@ -119,7 +123,15 @@ let scenario_of_seed seed =
       | 2 -> Repair
       | _ -> Repair_then_rekill
   in
-  { seed; victim; phase; chaos; size; repair }
+  (* lossy-control-channel axis, again drawn after everything older: a
+     loss burst covering the hot state transfers, under which every
+     transfer must still complete (the streaming protocol retransmits
+     through it) rather than strand connections solo *)
+  let xfer_loss =
+    if repair = No_repair then 0.0
+    else match Rng.int r 4 with 0 | 1 -> 0.0 | 2 -> 0.2 | _ -> 0.35
+  in
+  { seed; victim; phase; chaos; size; repair; xfer_loss }
 
 let pattern ~tag n =
   String.init n (fun i -> Char.chr ((i * 131 + tag * 7 + i / 251) land 0xFF))
@@ -280,7 +292,19 @@ let run ?on_world scenario =
       nets = [ ("lan", Injector.Medium_net lan) ];
     }
   in
-  ignore (Injector.install env (chaos_plan sc.chaos));
+  let inj = Injector.install env (chaos_plan sc.chaos) in
+
+  (* every statex control datagram on the LAN, for the MSS-bound check *)
+  let xfer_capture =
+    Capture.start (World.engine world) lan
+      ~filter:(fun f ->
+        match f.Eth_frame.payload with
+        | Eth_frame.Ip { Ipv4_packet.payload = Ipv4_packet.Raw { proto; _ }; _ }
+          ->
+          proto = Transfer.proto
+        | _ -> false)
+      ()
+  in
 
   (* the kill *)
   let kill () =
@@ -316,17 +340,20 @@ let run ?on_world scenario =
                    World.add_host world lan ~name:"repaired" ~addr:"10.0.0.3"
                      ()
                  in
-                 (* warm only the LIVE hosts: the dead one still claims its
-                    address (for a primary victim, the service address!),
-                    and re-learning it would override the takeover's
-                    gratuitous ARP *)
-                 let survivor =
-                   match sc.victim with
-                   | Primary -> secondary
-                   | Secondary | Nobody -> primary
-                 in
+                 (* warm_arp skips dead hosts itself, so the killed
+                    host's stale (service-address!) binding cannot
+                    override the takeover's gratuitous ARP *)
                  World.warm_arp
-                   (client :: survivor :: h :: Option.to_list cross_client);
+                   (client :: primary :: secondary :: h
+                   :: Option.to_list cross_client);
+                 (* the lossy-control-channel axis: a loss burst opening
+                    exactly when reintegration (and with it the hot
+                    state transfers) begins *)
+                 if sc.xfer_loss > 0.0 then
+                   Injector.add inj
+                     (Fault.parse_exn
+                        (Printf.sprintf "after 0us loss lan %.2f for 8ms"
+                           sc.xfer_loss));
                  Replicated.reintegrate repl ~secondary:h))
         end;
         match e with
@@ -449,6 +476,28 @@ let run ?on_world scenario =
     check
       (Buffer.contents cross_buf = cross_reply)
       "cross-traffic stream diverged";
+  (* streaming-transfer invariants: even under the lossy-control-channel
+     axis every transfer must settle without stranding a connection
+     solo, and no control datagram may outgrow the data path's MSS *)
+  if sc.repair <> No_repair then
+    check
+      (Replicated.transfer_failures repl = 0)
+      (Printf.sprintf
+         "%d hot state transfer(s) failed under a lossy control channel"
+         (Replicated.transfer_failures repl));
+  List.iter
+    (fun { Capture.frame; _ } ->
+      match frame.Eth_frame.payload with
+      | Eth_frame.Ip
+          { Ipv4_packet.payload = Ipv4_packet.Raw { data; _ }; _ } ->
+        check
+          (String.length data <= Transfer.max_datagram_bytes)
+          (Printf.sprintf
+             "transfer datagram of %d B exceeds the %d B MSS bound"
+             (String.length data) Transfer.max_datagram_bytes)
+      | _ -> ())
+    (Capture.records xfer_capture);
+  Capture.stop xfer_capture;
   {
     scenario = sc;
     violations = List.rev !violations;

@@ -17,7 +17,10 @@
     - the pair's failure status matches what was actually killed (no
       missed and no spurious detections);
     - a concurrent cross-traffic stream, when present, also completes
-      intact.
+      intact;
+    - in repair scenarios, every hot state transfer settles without a
+      failure even when a [loss] plan covers the control channel, and
+      no transfer datagram on the wire exceeds the MSS chunk bound.
 
     Everything — topology, chaos plan, kill instant — derives from the
     scenario's seed, so [run (scenario_of_seed s)] replays
@@ -55,6 +58,12 @@ type scenario = {
           reintegrate and then kill the surviving original too — the
           connection must survive the second failover byte-exactly on
           the repaired host *)
+  xfer_loss : float;
+      (** loss probability of an 8 ms burst on the LAN opening the
+          instant reintegration begins, so the hot state transfers run
+          over a lossy control channel.  0 when [repair] is
+          [No_repair].  Transfers must still all complete (streaming
+          retransmission), never stranding a connection solo. *)
 }
 
 type outcome = {

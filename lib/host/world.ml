@@ -70,6 +70,11 @@ let add_wan_client t ~wan_link ~addr ?profile ?tcp_config () =
   h
 
 let warm_arp hosts =
+  (* dead hosts neither learn nor teach: a killed host still claims its
+     address (after a primary death, the SERVICE address), and warming
+     its stale binding into the others would override the takeover's
+     gratuitous ARP and re-poison the service address *)
+  let hosts = List.filter Host.alive hosts in
   List.iter
     (fun a ->
       List.iter

@@ -62,7 +62,9 @@ val add_wan_client :
 
 val warm_arp : Host.t list -> unit
 (** Insert every host's (address, MAC) binding into every other host's ARP
-    cache, as the paper does before timing anything (§9). *)
+    cache, as the paper does before timing anything (§9).  Dead hosts are
+    skipped on both sides, so warming after a failure can never re-poison
+    a taken-over service address with the corpse's binding. *)
 
 val run : t -> for_:Tcpfo_sim.Time.t -> unit
 val run_until_idle : t -> unit

@@ -1,39 +1,151 @@
-(* Control channel + transfer manager.
+(* Streaming control channel + transfer manager.
 
    Transfers ride an in-sim control channel: raw IP protocol 254
    datagrams between the surviving host and the repaired replica
-   (heartbeats use 253).  The protocol is a single round trip per
-   connection:
+   (heartbeats use 253).  A sealed snapshot no longer crosses the wire
+   as one monolithic envelope: the sender slices it into MSS-bounded
+   installments and streams them under a sliding window, so no transfer
+   datagram ever exceeds what the data path itself would carry:
 
-     survivor  --- Offer {xfer_id, sealed snapshot} --->  repaired host
-     survivor  <-- Accept {xfer_id} | Reject {xfer_id, reason} --
+     sender  --- Chunk {xfer_id, seq, total, data}  --->  receiver
+     sender  <-- Ack {xfer_id, next}                ---   (cumulative)
+     ...
+     sender  <-- Accept {xfer_id} | Reject {xfer_id, reason} --
 
-   The receiver decodes and verifies the envelope, hands the snapshot to
-   the installer the orchestrator registered, and answers.  The sender
-   times out unanswered offers so a second failure during reintegration
-   degrades cleanly instead of wedging. *)
+   Every datagram is individually sealed in the versioned envelope, so a
+   corrupted installment is indistinguishable from a lost one and the
+   retransmission machinery covers both.  The receiver assembles chunks
+   incrementally and acknowledges the lowest seq it still needs; the
+   sender retransmits only that gap on an RTO taken from [lib/tcp]'s
+   estimator ({!Tcpfo_tcp.Rto}), backing off exponentially and giving up
+   only after a bounded number of silent timeouts — so a lossy LAN
+   delays a transfer instead of stranding the connection solo, while a
+   genuinely dead peer still degrades cleanly.  Because the receiver's
+   reassembly state survives the gaps, an interrupted transfer resumes
+   where it stopped rather than restarting. *)
 
 module Time = Tcpfo_sim.Time
+module Engine = Tcpfo_sim.Engine
 module Ipaddr = Tcpfo_packet.Ipaddr
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
 module Ip_layer = Tcpfo_ip.Ip_layer
 module Host = Tcpfo_host.Host
+module Rto = Tcpfo_tcp.Rto
 module Obs = Tcpfo_obs.Obs
 module Registry = Tcpfo_obs.Registry
 
 let proto = 254
-let default_timeout = Time.ms 20
 
-type pending = {
-  on_result : (unit, string) result -> unit;
-  payload_bytes : int;
+(* The chunk bound mirrors the data path's MSS: a transfer datagram must
+   never be bigger than a full-sized TCP segment's payload would be
+   ({!Tcpfo_tcp.Tcp_config.default}.mss). *)
+let max_datagram_bytes = 1460
+
+(* Fixed per-chunk cost: 18-byte sealed envelope (magic, version, body
+   length, FNV-1a-64 digest) + 1 kind + 4 xfer_id + 4 seq + 4 total +
+   4 data length. *)
+let chunk_overhead = 35
+let default_window = 8
+let default_max_attempts = 12
+
+(* Conservative cap on advertised chunk counts, so a corrupted-but-
+   validly-sealed header cannot make the receiver allocate gigabytes. *)
+let max_total_chunks = 1 lsl 20
+
+type msg =
+  | Chunk of { xfer_id : int; seq : int; total : int; data : string }
+  | Ack of { xfer_id : int; next : int }
+  | Accept of { xfer_id : int }
+  | Reject of { xfer_id : int; reason : string }
+
+let encode_msg m =
+  let b = Codec.W.create () in
+  (match m with
+  | Chunk { xfer_id; seq; total; data } ->
+    Codec.W.u8 b 0;
+    Codec.W.u32 b xfer_id;
+    Codec.W.u32 b seq;
+    Codec.W.u32 b total;
+    Codec.W.str b data
+  | Ack { xfer_id; next } ->
+    Codec.W.u8 b 1;
+    Codec.W.u32 b xfer_id;
+    Codec.W.u32 b next
+  | Accept { xfer_id } ->
+    Codec.W.u8 b 2;
+    Codec.W.u32 b xfer_id
+  | Reject { xfer_id; reason } ->
+    Codec.W.u8 b 3;
+    Codec.W.u32 b xfer_id;
+    Codec.W.str b reason);
+  Codec.seal (Codec.W.contents b)
+
+let decode_msg s =
+  match Codec.unseal s with
+  | Error _ -> None
+  | Ok body -> (
+    try
+      let r = Codec.R.of_string body in
+      let kind = Codec.R.u8 r in
+      let xfer_id = Codec.R.u32 r in
+      let m =
+        match kind with
+        | 0 ->
+          let seq = Codec.R.u32 r in
+          let total = Codec.R.u32 r in
+          let data = Codec.R.str r in
+          Some (Chunk { xfer_id; seq; total; data })
+        | 1 -> Some (Ack { xfer_id; next = Codec.R.u32 r })
+        | 2 -> Some (Accept { xfer_id })
+        | 3 -> Some (Reject { xfer_id; reason = Codec.R.str r })
+        | _ -> None
+      in
+      match m with
+      | Some _ when not (Codec.R.at_end r) -> None
+      | m -> m
+    with Codec.Corrupt _ -> None)
+
+(* --- sender-side state --------------------------------------------- *)
+
+type outgoing = {
+  o_dst : Ipaddr.t;
+  o_payload : string;  (* the sealed snapshot image *)
+  o_chunk_data : int;  (* data bytes per installment *)
+  o_total : int;
+  o_window : int;
+  o_max_attempts : int;
+  o_rto : Rto.t;
+  mutable o_next_needed : int;  (* receiver's cumulative frontier *)
+  mutable o_sent_hi : int;  (* first seq never transmitted *)
+  mutable o_attempts : int;  (* consecutive silent timeouts *)
+  mutable o_timer : Engine.event_id option;
+  mutable o_probe : (int * Time.t) option;
+      (* one un-retransmitted chunk being timed for the RTT estimator;
+         cleared on any retransmission at or below it (Karn's rule) *)
+  mutable o_done : bool;
+  o_on_result : (unit, string) result -> unit;
 }
+
+(* --- receiver-side state ------------------------------------------- *)
+
+type incoming =
+  | Assembling of {
+      a_total : int;
+      a_slots : string option array;
+      mutable a_next : int;  (* lowest seq still missing *)
+    }
+  | Verdict of (unit, string) result
+      (* transfer finished: chunks dropped, verdict kept so a
+         retransmitted installment re-elicits the (possibly lost)
+         Accept/Reject instead of reinstalling the connection *)
 
 type t = {
   host : Host.t;
+  obs : Obs.t;
   mutable installer :
     (src:Ipaddr.t -> Snapshot.conn -> (unit, string) result) option;
-  pending : (int, pending) Hashtbl.t;
+  pending : (int, outgoing) Hashtbl.t;
+  incoming : (int * int, incoming) Hashtbl.t;  (* (src, xfer_id) *)
   mutable next_id : int;
   (* world-absolute [statex.*] scope: both ends of a transfer share the
      registry, so these aggregate across hosts like the bridge metrics *)
@@ -43,87 +155,212 @@ type t = {
   rejects : Registry.counter;
   timeouts : Registry.counter;
   transfer_bytes : Registry.counter;
+  chunks_sent : Registry.counter;
+  chunks_received : Registry.counter;
+  chunk_retransmits : Registry.counter;
+  duplicate_chunks : Registry.counter;
+  corrupt_datagrams : Registry.counter;
 }
 
-type msg =
-  | Offer of { xfer_id : int; payload : string }
-  | Accept of { xfer_id : int }
-  | Reject of { xfer_id : int; reason : string }
-
-let encode_msg m =
-  let b = Codec.W.create () in
-  (match m with
-  | Offer { xfer_id; payload } ->
-    Codec.W.u8 b 0;
-    Codec.W.u32 b xfer_id;
-    Codec.W.str b payload
-  | Accept { xfer_id } ->
-    Codec.W.u8 b 1;
-    Codec.W.u32 b xfer_id
-  | Reject { xfer_id; reason } ->
-    Codec.W.u8 b 2;
-    Codec.W.u32 b xfer_id;
-    Codec.W.str b reason);
-  Codec.W.contents b
-
-let decode_msg s =
-  try
-    let r = Codec.R.of_string s in
-    let kind = Codec.R.u8 r in
-    let xfer_id = Codec.R.u32 r in
-    match kind with
-    | 0 -> Some (Offer { xfer_id; payload = Codec.R.str r })
-    | 1 -> Some (Accept { xfer_id })
-    | 2 -> Some (Reject { xfer_id; reason = Codec.R.str r })
-    | _ -> None
-  with Codec.Corrupt _ -> None
-
 let send_msg t ~dst m =
+  let data = encode_msg m in
+  assert (String.length data <= max_datagram_bytes);
   Ip_layer.send (Host.ip t.host)
     (Ipv4_packet.make ~src:(Host.addr t.host) ~dst
-       (Ipv4_packet.Raw { proto; data = encode_msg m }))
+       (Ipv4_packet.Raw { proto; data }))
 
-let handle_offer t ~src ~xfer_id ~payload =
-  Registry.Counter.incr t.offers_received;
-  let verdict =
-    match Snapshot.decode payload with
-    | Error e -> Error e
-    | Ok conn -> (
-      match t.installer with
-      | None -> Error "no installer registered"
-      | Some install -> install ~src conn)
+(* --- sender -------------------------------------------------------- *)
+
+let chunk_of o seq =
+  let lo = seq * o.o_chunk_data in
+  let len = min o.o_chunk_data (String.length o.o_payload - lo) in
+  String.sub o.o_payload lo len
+
+let send_chunk t o xfer_id seq =
+  Registry.Counter.incr t.chunks_sent;
+  send_msg t ~dst:o.o_dst
+    (Chunk { xfer_id; seq; total = o.o_total; data = chunk_of o seq })
+
+(* Ship never-sent chunks up to a full window beyond the receiver's
+   frontier; the first of them becomes the RTT probe if none is
+   outstanding. *)
+let rec refill t xfer_id o =
+  let hi = min o.o_total (o.o_next_needed + o.o_window) in
+  let lo = max o.o_next_needed o.o_sent_hi in
+  if lo < hi then begin
+    if o.o_probe = None then
+      o.o_probe <- Some (lo, (Host.clock t.host).now ());
+    for seq = lo to hi - 1 do
+      send_chunk t o xfer_id seq
+    done;
+    o.o_sent_hi <- hi
+  end;
+  arm_timer t xfer_id o
+
+(* RTO-driven resend of the gap the receiver last acknowledged up to —
+   only the missing installments go out again, never the whole image.
+   When everything is already delivered ([o_next_needed = o_total]) the
+   verdict itself must have been lost: re-poke the receiver with the
+   final chunk so it re-answers from its kept verdict. *)
+and retransmit_gap t xfer_id o =
+  o.o_probe <- None;  (* Karn: retransmitted flights never feed the RTT *)
+  let lo = min o.o_next_needed (o.o_total - 1) in
+  let hi = max o.o_sent_hi (lo + 1) in
+  for seq = lo to hi - 1 do
+    Registry.Counter.incr t.chunk_retransmits;
+    send_chunk t o xfer_id seq
+  done;
+  arm_timer t xfer_id o
+
+and arm_timer t xfer_id o =
+  let clock = Host.clock t.host in
+  (match o.o_timer with Some id -> clock.cancel id | None -> ());
+  o.o_timer <-
+    Some
+      (clock.schedule (Rto.current o.o_rto) (fun () ->
+           on_timeout t xfer_id o))
+
+and on_timeout t xfer_id o =
+  if not o.o_done then begin
+    o.o_attempts <- o.o_attempts + 1;
+    if o.o_attempts > o.o_max_attempts then begin
+      o.o_done <- true;
+      o.o_timer <- None;
+      Hashtbl.remove t.pending xfer_id;
+      Registry.Counter.incr t.timeouts;
+      o.o_on_result (Error "transfer retry budget exhausted")
+    end
+    else begin
+      Rto.backoff o.o_rto;
+      retransmit_gap t xfer_id o
+    end
+  end
+
+let finish t xfer_id o result =
+  if not o.o_done then begin
+    o.o_done <- true;
+    (match o.o_timer with
+    | Some id -> (Host.clock t.host).cancel id
+    | None -> ());
+    o.o_timer <- None;
+    Hashtbl.remove t.pending xfer_id;
+    (match result with
+    | Ok () ->
+      Registry.Counter.incr t.accepts;
+      Registry.Counter.add t.transfer_bytes (String.length o.o_payload)
+    | Error _ -> ());
+    o.o_on_result result
+  end
+
+let handle_ack t ~xfer_id ~next =
+  match Hashtbl.find_opt t.pending xfer_id with
+  | None -> ()
+  | Some o ->
+    if next > o.o_next_needed && next <= o.o_total then begin
+      (match o.o_probe with
+      | Some (p, t0) when next > p ->
+        Rto.sample o.o_rto ((Host.clock t.host).now () - t0);
+        o.o_probe <- None
+      | _ -> ());
+      o.o_next_needed <- next;
+      o.o_attempts <- 0;
+      Rto.reset_backoff o.o_rto;
+      if next < o.o_total then refill t xfer_id o
+      else
+        (* everything delivered; keep the timer armed so a lost verdict
+           is re-elicited rather than waited on forever *)
+        arm_timer t xfer_id o
+    end
+
+(* --- receiver ------------------------------------------------------ *)
+
+let send_verdict t ~dst ~xfer_id = function
+  | Ok () -> send_msg t ~dst (Accept { xfer_id })
+  | Error reason -> send_msg t ~dst (Reject { xfer_id; reason })
+
+let install_payload t ~src payload =
+  match Snapshot.decode payload with
+  | Error e -> Error e
+  | Ok conn -> (
+    match t.installer with
+    | None -> Error "no installer registered"
+    | Some install -> install ~src conn)
+
+let handle_chunk t ~src ~xfer_id ~seq ~total ~data =
+  Registry.Counter.incr t.chunks_received;
+  let key = (Ipaddr.to_int src, xfer_id) in
+  let state =
+    match Hashtbl.find_opt t.incoming key with
+    | Some st -> Some st
+    | None ->
+      if total < 1 || total > max_total_chunks then None
+      else begin
+        (* first installment of a new transfer *)
+        Registry.Counter.incr t.offers_received;
+        let st =
+          Assembling { a_total = total; a_slots = Array.make total None;
+                       a_next = 0 }
+        in
+        Hashtbl.replace t.incoming key st;
+        Some st
+      end
   in
-  match verdict with
-  | Ok () -> send_msg t ~dst:src (Accept { xfer_id })
-  | Error reason ->
-    Registry.Counter.incr t.rejects;
-    send_msg t ~dst:src (Reject { xfer_id; reason })
+  match state with
+  | None -> ()
+  | Some (Verdict v) ->
+    (* the sender re-poked: its Accept/Reject must have been lost *)
+    Registry.Counter.incr t.duplicate_chunks;
+    send_verdict t ~dst:src ~xfer_id v
+  | Some (Assembling a) ->
+    if total <> a.a_total || seq < 0 || seq >= a.a_total then ()
+    else begin
+      (match a.a_slots.(seq) with
+      | Some _ -> Registry.Counter.incr t.duplicate_chunks
+      | None ->
+        a.a_slots.(seq) <- Some data;
+        while a.a_next < a.a_total && a.a_slots.(a.a_next) <> None do
+          a.a_next <- a.a_next + 1
+        done);
+      send_msg t ~dst:src (Ack { xfer_id; next = a.a_next });
+      if a.a_next = a.a_total then begin
+        let payload =
+          String.concat ""
+            (Array.to_list
+               (Array.map (function Some s -> s | None -> "") a.a_slots))
+        in
+        let verdict = install_payload t ~src payload in
+        (match verdict with
+        | Ok () -> ()
+        | Error _ -> Registry.Counter.incr t.rejects);
+        (* drop the assembled chunks, keep only the verdict *)
+        Hashtbl.replace t.incoming key (Verdict verdict);
+        send_verdict t ~dst:src ~xfer_id verdict
+      end
+    end
 
 let handle_msg t ~src m =
   match m with
-  | Offer { xfer_id; payload } -> handle_offer t ~src ~xfer_id ~payload
+  | Chunk { xfer_id; seq; total; data } ->
+    handle_chunk t ~src ~xfer_id ~seq ~total ~data
+  | Ack { xfer_id; next } -> handle_ack t ~xfer_id ~next
   | Accept { xfer_id } -> (
     match Hashtbl.find_opt t.pending xfer_id with
     | None -> ()
-    | Some p ->
-      Hashtbl.remove t.pending xfer_id;
-      Registry.Counter.incr t.accepts;
-      Registry.Counter.add t.transfer_bytes p.payload_bytes;
-      p.on_result (Ok ()))
+    | Some o -> finish t xfer_id o (Ok ()))
   | Reject { xfer_id; reason } -> (
     match Hashtbl.find_opt t.pending xfer_id with
     | None -> ()
-    | Some p ->
-      Hashtbl.remove t.pending xfer_id;
-      p.on_result (Error reason))
+    | Some o -> finish t xfer_id o (Error reason))
 
 let attach host =
   let obs = Obs.scope (Obs.root (Host.obs host)) "statex" in
   let t =
     {
       host;
+      obs;
       installer = None;
       pending = Hashtbl.create 8;
+      incoming = Hashtbl.create 8;
       next_id = 1;
       offers_sent = Obs.counter obs "offers_sent";
       offers_received = Obs.counter obs "offers_received";
@@ -131,33 +368,57 @@ let attach host =
       rejects = Obs.counter obs "rejects";
       timeouts = Obs.counter obs "timeouts";
       transfer_bytes = Obs.counter obs "transfer_bytes";
+      chunks_sent = Obs.counter obs "chunks_sent";
+      chunks_received = Obs.counter obs "chunks_received";
+      chunk_retransmits = Obs.counter obs "chunk_retransmits";
+      duplicate_chunks = Obs.counter obs "duplicate_chunks";
+      corrupt_datagrams = Obs.counter obs "corrupt_datagrams";
     }
   in
   Ip_layer.set_raw_handler (Host.ip host) (fun ~src ~proto:p data ->
       if p = proto then
         match decode_msg data with
         | Some m -> handle_msg t ~src m
-        | None -> ());
+        | None -> Registry.Counter.incr t.corrupt_datagrams);
   t
 
 let set_installer t f = t.installer <- Some f
 
-let offer t ?(timeout = default_timeout) ~dst conn ~on_result =
+let offer t ?(chunk_bytes = max_datagram_bytes) ?(window = default_window)
+    ?(max_attempts = default_max_attempts) ~dst conn ~on_result =
+  if chunk_bytes <= chunk_overhead then
+    invalid_arg "Transfer.offer: chunk_bytes must exceed the chunk header";
+  if chunk_bytes > max_datagram_bytes then
+    invalid_arg "Transfer.offer: chunk_bytes above the MSS datagram bound";
   let xfer_id = t.next_id in
   t.next_id <- t.next_id + 1;
   let payload = Snapshot.encode conn in
+  let chunk_data = chunk_bytes - chunk_overhead in
+  let total = (String.length payload + chunk_data - 1) / chunk_data in
+  let total = max 1 total in
+  let o =
+    {
+      o_dst = dst;
+      o_payload = payload;
+      o_chunk_data = chunk_data;
+      o_total = total;
+      o_window = max 1 window;
+      o_max_attempts = max 1 max_attempts;
+      o_rto =
+        Rto.create ~obs:t.obs ~init:(Time.ms 10) ~min:(Time.ms 2)
+          ~max:(Time.ms 256) ();
+      o_next_needed = 0;
+      o_sent_hi = 0;
+      o_attempts = 0;
+      o_timer = None;
+      o_probe = None;
+      o_done = false;
+      o_on_result = on_result;
+    }
+  in
   Registry.Counter.incr t.offers_sent;
-  Hashtbl.replace t.pending xfer_id
-    { on_result; payload_bytes = String.length payload };
-  send_msg t ~dst (Offer { xfer_id; payload });
-  ignore
-    ((Host.clock t.host).schedule timeout (fun () ->
-         match Hashtbl.find_opt t.pending xfer_id with
-         | None -> ()
-         | Some p ->
-           Hashtbl.remove t.pending xfer_id;
-           Registry.Counter.incr t.timeouts;
-           p.on_result (Error "transfer timed out")))
+  Hashtbl.replace t.pending xfer_id o;
+  refill t xfer_id o
 
 let pending_count t = Hashtbl.length t.pending
 
@@ -168,6 +429,10 @@ type stats = {
   rejects : int;
   timeouts : int;
   transfer_bytes : int;
+  chunks_sent : int;
+  chunks_received : int;
+  chunk_retransmits : int;
+  duplicate_chunks : int;
 }
 
 let stats (t : t) =
@@ -179,4 +444,8 @@ let stats (t : t) =
     rejects = v t.rejects;
     timeouts = v t.timeouts;
     transfer_bytes = v t.transfer_bytes;
+    chunks_sent = v t.chunks_sent;
+    chunks_received = v t.chunks_received;
+    chunk_retransmits = v t.chunk_retransmits;
+    duplicate_chunks = v t.duplicate_chunks;
   }

@@ -3,15 +3,62 @@
 
     One [t] per host serves both roles: it ships snapshots out
     ({!offer}) and installs snapshots in (via the orchestrator-supplied
-    installer).  Registers counters under the world-absolute [statex.*]
-    scope: [offers_sent], [offers_received], [accepts], [rejects],
-    [timeouts] and [transfer_bytes] (encoded payload bytes of accepted
-    transfers). *)
+    installer).
+
+    Snapshots stream as MSS-bounded installments ([Chunk]) under a
+    sliding window; the receiver assembles them incrementally and
+    answers each with a cumulative [Ack] carrying the lowest seq it
+    still needs.  The sender retransmits only that gap, on an RTO from
+    {!Tcpfo_tcp.Rto} with exponential backoff, and aborts only after
+    a bounded number of consecutive silent timeouts — so loss delays a
+    transfer instead of stranding the connection, while a dead peer
+    still fails cleanly.  Receiver-side reassembly state survives the
+    gaps, so an interrupted transfer resumes where it stopped, and a
+    finished transfer keeps its verdict so retransmitted installments
+    re-elicit a lost Accept/Reject idempotently.
+
+    Registers counters under the world-absolute [statex.*] scope:
+    [offers_sent], [offers_received], [accepts], [rejects], [timeouts],
+    [transfer_bytes] (encoded payload bytes of accepted transfers),
+    [chunks_sent], [chunks_received], [chunk_retransmits],
+    [duplicate_chunks] and [corrupt_datagrams]. *)
 
 type t
 
 val proto : int
 (** Raw IP protocol number used by the channel (254). *)
+
+val max_datagram_bytes : int
+(** Hard bound on every transfer datagram (sealed envelope included):
+    1460 bytes, mirroring the data path's MSS
+    ({!Tcpfo_tcp.Tcp_config.default}[.mss]).  Enforced by construction
+    on send and asserted per datagram. *)
+
+val chunk_overhead : int
+(** Fixed per-chunk cost in bytes: sealed envelope + chunk header.
+    [max_datagram_bytes - chunk_overhead] snapshot bytes ride in each
+    full installment. *)
+
+(** Wire messages of the streaming protocol, exposed for tests that
+    hand-craft datagrams (duplicates, reorderings, stale transfers).
+    Every message is individually sealed in the versioned envelope, so
+    corruption is indistinguishable from loss and the retransmission
+    machinery covers both. *)
+type msg =
+  | Chunk of { xfer_id : int; seq : int; total : int; data : string }
+      (** One installment; [total] rides in every chunk so there is no
+          separate offer round-trip to lose. *)
+  | Ack of { xfer_id : int; next : int }
+      (** Cumulative: [next] is the lowest seq still missing. *)
+  | Accept of { xfer_id : int }
+  | Reject of { xfer_id : int; reason : string }
+
+val encode_msg : msg -> string
+(** Seal a message for the wire. *)
+
+val decode_msg : string -> msg option
+(** Unseal and parse; [None] on corruption, unknown kind, or trailing
+    bytes. *)
 
 val attach : Tcpfo_host.Host.t -> t
 (** Installs itself as the host's raw-protocol handler. *)
@@ -22,20 +69,29 @@ val set_installer :
   Snapshot.conn ->
   (unit, string) result) ->
   unit
-(** Called for every verified incoming snapshot; [Ok] answers Accept,
-    [Error] answers Reject with the reason.  Corrupt payloads are
-    rejected before the installer is consulted. *)
+(** Called for every fully reassembled, verified incoming snapshot;
+    [Ok] answers Accept, [Error] answers Reject with the reason.
+    Corrupt payloads are rejected before the installer is consulted. *)
 
 val offer :
   t ->
-  ?timeout:Tcpfo_sim.Time.t ->
+  ?chunk_bytes:int ->
+  ?window:int ->
+  ?max_attempts:int ->
   dst:Tcpfo_packet.Ipaddr.t ->
   Snapshot.conn ->
   on_result:((unit, string) result -> unit) ->
   unit
-(** Encode, ship, and await the peer's verdict.  [on_result] fires
-    exactly once: [Ok] on Accept, [Error] on Reject or after [timeout]
-    (default 20 ms) of silence. *)
+(** Encode, stream, and await the peer's verdict.  [on_result] fires
+    exactly once: [Ok] on Accept, [Error] on Reject or once
+    [max_attempts] (default 12) consecutive RTOs pass without any
+    acknowledgement progress — progress resets the budget, so a slow
+    lossy channel is distinguished from a dead one.  [chunk_bytes]
+    (default {!max_datagram_bytes}) bounds each datagram and must lie
+    in []({!chunk_overhead}, {!max_datagram_bytes}]]; [window] (default
+    8) caps unacknowledged installments in flight.
+
+    @raise Invalid_argument if [chunk_bytes] is out of range. *)
 
 val pending_count : t -> int
 (** Offers awaiting a verdict. *)
@@ -47,6 +103,10 @@ type stats = {
   rejects : int;
   timeouts : int;
   transfer_bytes : int;
+  chunks_sent : int;
+  chunks_received : int;
+  chunk_retransmits : int;
+  duplicate_chunks : int;
 }
 
 val stats : t -> stats

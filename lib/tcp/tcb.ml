@@ -96,6 +96,12 @@ type t = {
       (* app-stream bytes of regenerated output to swallow after a
          restore: everything below the snapshotted send-buffer end was
          either acked or shipped inside the snapshot *)
+  mutable retained_bytes : int;
+      (* bytes currently held in [retained]; bounded by
+         [config.retention_budget] *)
+  mutable retention_overflowed : bool;
+      (* the budget was exceeded: history dropped, connection no longer
+         transferable (and never again — the prefix is gone) *)
   (* --- callbacks --- *)
   mutable on_established : unit -> unit;
   mutable on_data : string -> unit;
@@ -110,6 +116,12 @@ type t = {
   mutable n_segments_in : int;
   mutable n_segments_out : int;
   c_retransmits : Registry.counter; (* stack-wide [tcp.retransmits] *)
+  c_retention_bytes : Registry.counter;
+      (* world-absolute [statex.retention_bytes]: cumulative bytes ever
+         retained for transfer, all connections *)
+  c_retention_overflows : Registry.counter;
+      (* world-absolute [statex.retention_overflows]: connections that
+         outgrew the budget and lost transferability *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -546,6 +558,8 @@ let make clock ?obs ~config ~local ~remote ~iss actions state =
     rtt_probe = None;
     retained = None;
     resync_skip = 0;
+    retained_bytes = 0;
+    retention_overflowed = false;
     cwnd = 2 * config.mss;
     ssthresh = 1 lsl 30 (* RFC 5681: initially arbitrarily high *);
     dupacks = 0;
@@ -561,6 +575,10 @@ let make clock ?obs ~config ~local ~remote ~iss actions state =
     n_segments_in = 0;
     n_segments_out = 0;
     c_retransmits = Obs.counter obs "retransmits";
+    c_retention_bytes =
+      Obs.counter (Obs.scope (Obs.root obs) "statex") "retention_bytes";
+    c_retention_overflows =
+      Obs.counter (Obs.scope (Obs.root obs) "statex") "retention_overflows";
   }
 
 let create_active clock ?obs ~config ~local ~remote ~iss actions =
@@ -787,7 +805,23 @@ let deliver_payload t (seg : Seg.t) =
       t.rcv_nxt <- Seq32.add t.rcv_nxt (String.length delivered);
       t.n_bytes_received <- t.n_bytes_received + String.length delivered;
       (match t.retained with
-      | Some chunks -> t.retained <- Some (delivered :: chunks)
+      | Some chunks ->
+        let nb = t.retained_bytes + String.length delivered in
+        if nb > t.config.retention_budget then begin
+          (* over budget: the replay prefix is irrecoverable, so keeping
+             a truncated history would be worse than keeping none.  Drop
+             it; the orchestrator isolates the connection at the next
+             reintegration instead of transferring it. *)
+          t.retained <- None;
+          t.retained_bytes <- 0;
+          t.retention_overflowed <- true;
+          Registry.Counter.incr t.c_retention_overflows
+        end
+        else begin
+          t.retained <- Some (delivered :: chunks);
+          t.retained_bytes <- nb;
+          Registry.Counter.add t.c_retention_bytes (String.length delivered)
+        end
       | None -> ());
       (match t.state with
       | Established | Fin_wait_1 | Fin_wait_2 ->
@@ -1025,9 +1059,13 @@ type snapshot = {
 }
 
 let enable_input_retention t =
-  if t.retained = None then t.retained <- Some []
+  (* never after an overflow: the replay prefix is gone for good, and a
+     partial history would silently corrupt a restored replica *)
+  if t.retained = None && not t.retention_overflowed then
+    t.retained <- Some []
 
 let input_retention_enabled t = t.retained <> None
+let input_retention_overflowed t = t.retention_overflowed
 
 let snapshot t =
   let rto = Rto.export t.rto in
@@ -1129,6 +1167,10 @@ let restore clock ?obs ~config actions (s : snapshot) =
   t.cwnd <- s.sn_cwnd;
   t.ssthresh <- s.sn_ssthresh;
   t.retained <- Some (List.rev s.sn_retained_input);
+  t.retained_bytes <-
+    List.fold_left
+      (fun acc c -> acc + String.length c)
+      0 s.sn_retained_input;
   (* the application will replay the retained input and regenerate its
      output stream from byte 0: swallow the prefix the snapshot already
      accounts for *)

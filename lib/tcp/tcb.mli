@@ -194,9 +194,19 @@ val enable_input_retention : t -> unit
 (** Start keeping every in-order byte delivered to the application, so
     the connection becomes transferable.  Idempotent.  The failover
     orchestrator enables this on every replicated server connection at
-    accept time. *)
+    accept time.  Retained input is capped by
+    {!Tcp_config.retention_budget}: once in-order deliveries outgrow
+    it, the history is dropped, the connection permanently stops being
+    transferable (re-enabling is a no-op — the replay prefix is gone),
+    and [statex.retention_overflows] is bumped.  A no-op after such an
+    overflow. *)
 
 val input_retention_enabled : t -> bool
+
+val input_retention_overflowed : t -> bool
+(** The retention budget was exceeded at some point: the connection
+    can no longer be hot-transferred and will be isolated (continue
+    solo) at the next reintegration. *)
 
 val snapshot : t -> snapshot
 (** Freeze the current connection state.  The caller is responsible for

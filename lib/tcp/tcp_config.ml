@@ -21,6 +21,7 @@ type t = {
   sack : bool;
   keepalive : Time.t option;
   keepalive_probes : int;
+  retention_budget : int;
 }
 
 let default =
@@ -45,4 +46,5 @@ let default =
     sack = false;
     keepalive = None;
     keepalive_probes = 3;
+    retention_budget = 1 lsl 20;
   }

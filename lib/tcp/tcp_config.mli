@@ -38,6 +38,13 @@ type t = {
           after {!field-keepalive_probes} unanswered probes the connection
           is reset (None = keepalives off, the default) *)
   keepalive_probes : int;
+  retention_budget : int;
+      (** Byte cap on input retained for hot state transfer.  A
+          connection whose in-order deliveries outgrow the budget drops
+          its retained history and becomes non-transferable (it is
+          isolated at the next reintegration instead of re-replicated);
+          the overflow is surfaced through the [statex.retention_*]
+          counters.  Default 1 MiB. *)
 }
 
 val default : t

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Style gate for OCaml sources and build files, used by the CI lint job
+# alongside `dune build @fmt` (which covers dune-file formatting).
+# Deterministic and dependency-free so it gives the same verdict on any
+# machine.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() {
+  echo "style: $1: $2" >&2
+  fail=1
+}
+
+# tracked sources only — _build and vendored artifacts are not ours
+files=$(git ls-files '*.ml' '*.mli' 'dune' '*/dune' 'dune-project')
+
+for f in $files; do
+  [ -f "$f" ] || continue
+
+  if LC_ALL=C grep -q -P '\t' "$f"; then
+    complain "$f" "tab character (sources are space-indented)"
+  fi
+
+  if LC_ALL=C grep -q -E ' +$' "$f"; then
+    complain "$f" "trailing whitespace"
+  fi
+
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f" | wc -l)" -eq 0 ]; then
+    complain "$f" "missing final newline"
+  fi
+
+  if LC_ALL=C grep -q $'\r' "$f"; then
+    complain "$f" "carriage return (CRLF line ending)"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "style: FAILED" >&2
+  exit 1
+fi
+echo "style: OK ($(echo "$files" | wc -l) files)"

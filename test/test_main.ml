@@ -29,6 +29,7 @@ let () =
       ("fault", Test_fault.suite);
       ("soak", Test_soak.suite);
       ("statex", Test_statex.suite);
+      ("transfer", Test_transfer.suite);
       ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,433 @@
+(* The streaming hot-state-transfer protocol (lib/statex Transfer):
+   chunking under the MSS bound, reassembly under duplication and
+   reordering, resume across a partition, the bounded retry budget, the
+   input-retention budget, and the repair-time ARP hygiene the transfer
+   path depends on. *)
+
+open Testutil
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Eth_frame = Tcpfo_packet.Eth_frame
+module Capture = Tcpfo_net.Capture
+module Transfer = Tcpfo_statex.Transfer
+module Snapshot = Tcpfo_statex.Snapshot
+module Seq32 = Tcpfo_util.Seq32
+module Tcp_config = Tcpfo_tcp.Tcp_config
+module Registry = Tcpfo_obs.Registry
+module Soak = Tcpfo_fault.Soak
+
+let counter world name = Registry.counter_value (World.metrics world) name
+
+(* A transferable connection image whose encoded size we can steer via
+   the send-buffer payload. *)
+let mk_conn ?(size = 8_000) () =
+  let iss = Seq32.of_int 1000 in
+  {
+    Snapshot.tcb =
+      {
+        Tcb.sn_state = Tcb.Established;
+        sn_local = (Ipaddr.of_string "10.0.0.1", 80);
+        sn_remote = (Ipaddr.of_string "10.0.0.10", 4000);
+        sn_iss = iss;
+        sn_sndbuf_start = 0;
+        sn_sndbuf_data = pattern ~tag:9 size;
+        sn_snd_una = iss;
+        sn_snd_max = iss;
+        sn_snd_wnd = 65535;
+        sn_snd_wl1 = Seq32.zero;
+        sn_snd_wl2 = Seq32.zero;
+        sn_peer_mss = 1460;
+        sn_snd_wscale = 0;
+        sn_rcv_wscale = 0;
+        sn_ts_on = false;
+        sn_ts_recent = 0;
+        sn_sack_on = false;
+        sn_sack_ranges = [];
+        sn_fin_queued = false;
+        sn_fin_sent = false;
+        sn_irs = Seq32.zero;
+        sn_rcv_nxt = Seq32.zero;
+        sn_reasm = [];
+        sn_rcv_fin = None;
+        sn_eof_signalled = false;
+        sn_srtt = None;
+        sn_rttvar = 0.0;
+        sn_rto_base = Time.sec 1.0;
+        sn_rto_shift = 0;
+        sn_cwnd = 2920;
+        sn_ssthresh = 1 lsl 30;
+        sn_retained_input = [];
+      };
+    delta = 0;
+    next_wire_seq = iss;
+    held_segments = 0;
+    solo = false;
+  }
+
+(* Two plain hosts with a Transfer endpoint each; the receiver records
+   every conn its installer is handed.  The medium is exposed so tests
+   can capture the control channel. *)
+type xfer_pair = {
+  xworld : World.t;
+  xmedium : Tcpfo_net.Medium.t;
+  ha : Host.t;
+  hb : Host.t;
+  xa : Transfer.t;
+  xb : Transfer.t;
+  installed : Snapshot.conn list ref;
+}
+
+let mk_pair () =
+  let xworld = World.create () in
+  let xmedium = World.make_lan xworld () in
+  let ha = World.add_host xworld xmedium ~name:"a" ~addr:"10.0.0.1" () in
+  let hb = World.add_host xworld xmedium ~name:"b" ~addr:"10.0.0.2" () in
+  World.warm_arp [ ha; hb ];
+  let xa = Transfer.attach ha in
+  let xb = Transfer.attach hb in
+  let installed = ref [] in
+  Transfer.set_installer xb (fun ~src:_ conn ->
+      installed := conn :: !installed;
+      Ok ());
+  { xworld; xmedium; ha; hb; xa; xb; installed }
+
+let statex_capture p =
+  Capture.start (World.engine p.xworld) p.xmedium
+    ~filter:(fun f ->
+      match f.Eth_frame.payload with
+      | Eth_frame.Ip { Ipv4_packet.payload = Ipv4_packet.Raw { proto; _ }; _ }
+        ->
+        proto = Transfer.proto
+      | _ -> false)
+    ()
+
+let raw_sizes cap =
+  List.filter_map
+    (fun { Capture.frame; _ } ->
+      match frame.Eth_frame.payload with
+      | Eth_frame.Ip { Ipv4_packet.payload = Ipv4_packet.Raw { data; _ }; _ }
+        ->
+        Some (String.length data)
+      | _ -> None)
+    (Capture.records cap)
+
+(* -- chunking ----------------------------------------------------------- *)
+
+let test_chunked_within_mss () =
+  let p = mk_pair () in
+  let cap = statex_capture p in
+  let conn = mk_conn ~size:8_000 () in
+  let payload_len = String.length (Snapshot.encode conn) in
+  let result = ref None in
+  Transfer.offer p.xa ~dst:(Host.addr p.hb) conn ~on_result:(fun r ->
+      result := Some r);
+  World.run_until_idle p.xworld;
+  check_bool "transfer accepted" true (!result = Some (Ok ()));
+  check_int "installed exactly once" 1 (List.length !(p.installed));
+  check_bool "installed image matches the offered one" true
+    (!(p.installed) = [ conn ]);
+  let sizes = raw_sizes cap in
+  check_bool "snapshot crossed in several installments" true
+    (payload_len > Transfer.max_datagram_bytes && List.length sizes > 2);
+  List.iter
+    (fun n ->
+      if n > Transfer.max_datagram_bytes then
+        Alcotest.failf "transfer datagram of %d B exceeds the MSS bound" n)
+    sizes;
+  let stats = Transfer.stats p.xa in
+  check_int "no retransmissions on a clean LAN" 0
+    stats.Transfer.chunk_retransmits;
+  check_int "no timeouts" 0 stats.Transfer.timeouts;
+  Capture.stop cap
+
+let test_chunk_bytes_validated () =
+  let p = mk_pair () in
+  let conn = mk_conn ~size:100 () in
+  let dst = Host.addr p.hb in
+  Alcotest.check_raises "chunk_bytes at the header size rejected"
+    (Invalid_argument
+       "Transfer.offer: chunk_bytes must exceed the chunk header")
+    (fun () ->
+      Transfer.offer p.xa ~chunk_bytes:Transfer.chunk_overhead ~dst conn
+        ~on_result:(fun _ -> ()));
+  Alcotest.check_raises "chunk_bytes above the MSS bound rejected"
+    (Invalid_argument
+       "Transfer.offer: chunk_bytes above the MSS datagram bound")
+    (fun () ->
+      Transfer.offer p.xa
+        ~chunk_bytes:(Transfer.max_datagram_bytes + 1)
+        ~dst conn
+        ~on_result:(fun _ -> ()))
+
+(* -- reassembly edge cases ---------------------------------------------- *)
+
+(* Hand-craft the receiver's datagrams so duplication and reordering are
+   exact, not probabilistic. *)
+let send_raw src dst msg =
+  Ip_layer.send (Host.ip src)
+    (Ipv4_packet.make ~src:(Host.addr src) ~dst
+       (Ipv4_packet.Raw
+          { proto = Transfer.proto; data = Transfer.encode_msg msg }))
+
+let test_duplicate_and_reordered_chunks () =
+  let p = mk_pair () in
+  let conn = mk_conn ~size:2_000 () in
+  let payload = Snapshot.encode conn in
+  let n = String.length payload in
+  let piece = (n + 2) / 3 in
+  let chunk seq =
+    let lo = seq * piece in
+    Transfer.Chunk
+      {
+        xfer_id = 7777;
+        seq;
+        total = 3;
+        data = String.sub payload lo (min piece (n - lo));
+      }
+  in
+  let dst = Host.addr p.hb in
+  (* duplicate of 0, then 2 before 1 *)
+  send_raw p.ha dst (chunk 0);
+  send_raw p.ha dst (chunk 0);
+  send_raw p.ha dst (chunk 2);
+  send_raw p.ha dst (chunk 1);
+  World.run_until_idle p.xworld;
+  check_int "installed exactly once" 1 (List.length !(p.installed));
+  check_bool "reassembled image structurally intact" true
+    (!(p.installed) = [ conn ]);
+  let stats = Transfer.stats p.xb in
+  check_bool "duplicate was counted" true
+    (stats.Transfer.duplicate_chunks >= 1);
+  (* a retransmitted installment arriving after the verdict re-elicits
+     the verdict instead of reinstalling the connection *)
+  send_raw p.ha dst (chunk 1);
+  World.run_until_idle p.xworld;
+  check_int "verdict kept, no second install" 1 (List.length !(p.installed))
+
+let test_corrupt_datagram_counted () =
+  let p = mk_pair () in
+  Ip_layer.send (Host.ip p.ha)
+    (Ipv4_packet.make ~src:(Host.addr p.ha) ~dst:(Host.addr p.hb)
+       (Ipv4_packet.Raw { proto = Transfer.proto; data = "not a sealed msg" }));
+  World.run_until_idle p.xworld;
+  check_int "nothing installed" 0 (List.length !(p.installed));
+  check_bool "corruption counted" true
+    (counter p.xworld "statex.corrupt_datagrams" >= 1)
+
+(* -- resume across a partition ------------------------------------------ *)
+
+let test_resume_after_partition () =
+  let p = mk_pair () in
+  (* 64 data bytes per installment: the image needs hundreds of chunks,
+     so the partition is guaranteed to open mid-transfer *)
+  let conn = mk_conn ~size:20_000 () in
+  let total =
+    let len = String.length (Snapshot.encode conn) in
+    (len + 63) / 64
+  in
+  check_bool "needs many installments" true (total > 100);
+  let result = ref None in
+  Transfer.offer p.xa
+    ~chunk_bytes:(Transfer.chunk_overhead + 64)
+    ~dst:(Host.addr p.hb) conn
+    ~on_result:(fun r -> result := Some r);
+  ignore
+    (Engine.schedule (World.engine p.xworld) ~delay:(Time.us 300) (fun () ->
+         Host.set_partitioned p.hb true));
+  ignore
+    (Engine.schedule (World.engine p.xworld) ~delay:(Time.ms 30) (fun () ->
+         Host.set_partitioned p.hb false));
+  World.run p.xworld ~for_:(Time.sec 5.0);
+  check_bool "transfer completed after the partition healed" true
+    (!result = Some (Ok ()));
+  check_int "installed exactly once" 1 (List.length !(p.installed));
+  check_bool "image intact across the resume" true (!(p.installed) = [ conn ]);
+  let stats = Transfer.stats p.xa in
+  check_bool "the gap was retransmitted" true
+    (stats.Transfer.chunk_retransmits > 0);
+  check_int "never gave up" 0 stats.Transfer.timeouts;
+  (* resumed, not restarted: far fewer transmissions than two full runs *)
+  check_bool "resumed rather than restarted" true
+    (stats.Transfer.chunks_sent < 2 * total)
+
+let test_retry_budget_exhausted () =
+  let p = mk_pair () in
+  Host.set_partitioned p.hb true;
+  let result = ref None in
+  Transfer.offer p.xa ~max_attempts:4 ~dst:(Host.addr p.hb)
+    (mk_conn ~size:500 ())
+    ~on_result:(fun r -> result := Some r);
+  World.run p.xworld ~for_:(Time.sec 3.0);
+  (match !result with
+  | Some (Error _) -> ()
+  | Some (Ok ()) -> Alcotest.fail "transfer to a dead peer succeeded"
+  | None -> Alcotest.fail "retry budget never exhausted");
+  let stats = Transfer.stats p.xa in
+  check_int "timeout counted" 1 stats.Transfer.timeouts;
+  check_int "no offer left pending" 0 (Transfer.pending_count p.xa)
+
+(* -- retention budget --------------------------------------------------- *)
+
+let test_retention_overflow_unit () =
+  let lan =
+    make_simple_lan
+      ~tcp_config:{ Tcp_config.default with retention_budget = 1_000 }
+      ()
+  in
+  let server_tcb = ref None in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun tcb ->
+      Tcb.enable_input_retention tcb;
+      server_tcb := Some tcb);
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  Tcb.set_on_established c (fun () -> send_all c (pattern ~tag:3 600));
+  World.run lan.world ~for_:(Time.sec 1.0);
+  let s = Option.get !server_tcb in
+  check_bool "under budget: still transferable" true
+    (Tcb.input_retention_enabled s);
+  check_bool "no overflow yet" false (Tcb.input_retention_overflowed s);
+  send_all c (pattern ~tag:4 600);
+  World.run lan.world ~for_:(Time.sec 1.0);
+  check_bool "over budget: retention dropped" false
+    (Tcb.input_retention_enabled s);
+  check_bool "overflow recorded" true (Tcb.input_retention_overflowed s);
+  check_bool "overflow surfaced in metrics" true
+    (counter lan.world "statex.retention_overflows" >= 1);
+  (* permanently: a partial history must never be replayed *)
+  Tcb.enable_input_retention s;
+  check_bool "re-enabling after overflow is a no-op" false
+    (Tcb.input_retention_enabled s)
+
+let test_retention_overflow_isolates () =
+  (* an overflowed connection must be excluded from hot state transfer
+     at reintegration and keep serving solo *)
+  let world = World.create () in
+  let lan_medium = World.make_lan world () in
+  let budget = { Tcp_config.default with retention_budget = 1_000 } in
+  let client =
+    World.add_host world lan_medium ~name:"client" ~addr:"10.0.0.10" ()
+  in
+  let primary =
+    World.add_host world lan_medium ~name:"primary" ~addr:"10.0.0.1"
+      ~tcp_config:budget ()
+  in
+  let secondary =
+    World.add_host world lan_medium ~name:"secondary" ~addr:"10.0.0.2"
+      ~tcp_config:budget ()
+  in
+  World.warm_arp [ client; primary; secondary ];
+  let repl =
+    Replicated.create ~primary ~secondary
+      ~config:Tcpfo_core.Failover_config.default ()
+  in
+  (* reply "done" after every 1200 request bytes — deterministic on both
+     replicas regardless of segment boundaries *)
+  Replicated.listen repl ~port:80 ~on_accept:(fun ~role:_ tcb ->
+      let got = ref 0 in
+      Tcb.set_on_data tcb (fun d ->
+          got := !got + String.length d;
+          if !got mod 1_200 = 0 then ignore (Tcb.send tcb "done")));
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp client)
+      ~remote:(Replicated.service_addr repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> send_all c (pattern ~tag:5 1_200));
+  World.run world ~for_:(Time.sec 1.0);
+  check_string "service replied" "done" (sink_contents csink);
+  (* the 1200 request bytes overflowed the 1000 B retention budget *)
+  check_bool "overflow recorded on the pair" true
+    (counter world "statex.retention_overflows" >= 1);
+  Replicated.kill_secondary repl;
+  World.run world ~for_:(Time.sec 2.0);
+  check_bool "secondary failure detected" true
+    (Replicated.status repl = `Secondary_failed);
+  let fresh =
+    World.add_host world lan_medium ~name:"repaired" ~addr:"10.0.0.3"
+      ~tcp_config:budget ()
+  in
+  World.warm_arp [ client; primary; secondary; fresh ];
+  Replicated.reintegrate repl ~secondary:fresh;
+  World.run world ~for_:(Time.sec 2.0);
+  check_int "transfers settled" 0 (Replicated.pending_transfers repl);
+  check_int "no transfer failures" 0 (Replicated.transfer_failures repl);
+  let stats = Replicated.transfer_stats repl in
+  check_int "the overflowed conn was never offered" 0
+    stats.Tcpfo_statex.Transfer.offers_sent;
+  (* ...and it still serves, solo, after reintegration *)
+  send_all c (pattern ~tag:6 1_200);
+  World.run world ~for_:(Time.sec 2.0);
+  check_string "solo conn still served after reintegration" "donedone"
+    (sink_contents csink);
+  check_int "never reset" 0 csink.resets
+
+(* -- repair-time ARP hygiene -------------------------------------------- *)
+
+let test_warm_arp_skips_dead_hosts () =
+  (* regression: warming the caches with the corpse still in the host
+     list used to re-insert the dead primary's binding for the service
+     address, re-poisoning the client after the takeover *)
+  let r = make_repl_lan () in
+  Replicated.listen r.repl ~port:80 ~on_accept:(fun ~role:_ tcb ->
+      Tcb.set_on_data tcb (fun d -> ignore (Tcb.send tcb ("R:" ^ d))));
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "one"));
+  run_repl ~for_sec:1.0 r;
+  check_string "served before the failure" "R:one" (sink_contents csink);
+  Replicated.kill_primary r.repl;
+  run_repl ~for_sec:2.0 r;
+  check_bool "takeover happened" true
+    (Replicated.status r.repl = `Primary_failed);
+  (* warm over the corpse: the dead primary still claims the service
+     address, but a dead host must neither learn nor teach *)
+  World.warm_arp [ r.rclient; r.primary; r.secondary ];
+  ignore (Tcb.send c "two");
+  run_repl ~for_sec:2.0 r;
+  check_string "still served after warming over the corpse" "R:oneR:two"
+    (sink_contents csink);
+  check_int "never reset" 0 csink.resets
+
+(* -- soak axis sanity --------------------------------------------------- *)
+
+let test_soak_draws_lossy_transfers () =
+  let scenarios = List.init 60 (fun i -> Soak.scenario_of_seed (i + 1)) in
+  check_bool "some scenario exercises a lossy control channel" true
+    (List.exists (fun s -> s.Soak.xfer_loss > 0.0) scenarios);
+  List.iter
+    (fun s ->
+      if s.Soak.repair = Soak.No_repair && s.Soak.xfer_loss <> 0.0 then
+        Alcotest.failf "seed %d: loss drawn without a repair phase"
+          s.Soak.seed)
+    scenarios
+
+let suite =
+  [
+    Alcotest.test_case "chunked transfer stays within the MSS" `Quick
+      test_chunked_within_mss;
+    Alcotest.test_case "chunk_bytes bounds are enforced" `Quick
+      test_chunk_bytes_validated;
+    Alcotest.test_case "duplicate and reordered chunks reassemble" `Quick
+      test_duplicate_and_reordered_chunks;
+    Alcotest.test_case "corrupt datagrams are counted, not installed" `Quick
+      test_corrupt_datagram_counted;
+    Alcotest.test_case "transfer resumes across a partition" `Quick
+      test_resume_after_partition;
+    Alcotest.test_case "retry budget bounds a dead-peer transfer" `Quick
+      test_retry_budget_exhausted;
+    Alcotest.test_case "retention budget overflow (unit)" `Quick
+      test_retention_overflow_unit;
+    Alcotest.test_case "retention overflow isolates the connection" `Quick
+      test_retention_overflow_isolates;
+    Alcotest.test_case "warm_arp skips dead hosts" `Quick
+      test_warm_arp_skips_dead_hosts;
+    Alcotest.test_case "soak seeds draw the lossy-transfer axis" `Quick
+      test_soak_draws_lossy_transfers;
+  ]
