@@ -1,0 +1,162 @@
+(* E12 — N-replica pool failover (not in the paper): cascading
+   promotions under repeated primary crashes.
+
+   Topology (built through Topo, as data): one client and an N-replica
+   pool on a shared LAN — active pair + N-2 cold standbys.  A client
+   opens one connection and keeps it open while the CURRENT primary is
+   crashed N-2 times in a row.  Each crash must cascade: the survivor
+   completes the §5 takeover, the next standby is promoted, and hot
+   state transfer re-replicates the connection onto it — so the pool
+   keeps a full replica pair behind the client until the standbys run
+   out.
+
+   Per cascade the trial reports the promotion latency (kill ->
+   Transfers_complete, sim time).  A trial only counts as ok when the
+   client's request/reply stream is byte-exact and RST-free through
+   every cascade and the pool ends Normal with its standbys drained.
+
+   Everything is seeded and simulated, so the table is byte-identical
+   across --jobs 1/2/4. *)
+
+open Harness
+module Time = Tcpfo_sim.Time
+module Stats = Tcpfo_util.Stats
+
+let service_port = 8000
+
+type outcome = {
+  kills : int;
+  latencies_us : float list;  (** per cascade: kill -> transfers settled *)
+  ok : bool;
+}
+
+let one_trial ~replicas ~seed =
+  let world = World.create ~seed () in
+  note_world world;
+  let names =
+    List.init replicas (fun i ->
+        match i with
+        | 0 -> "primary"
+        | 1 -> "secondary"
+        | n -> Printf.sprintf "standby%d" (n - 1))
+  in
+  let spec =
+    (Topo.segment "lan"
+    :: Topo.host ~profile:paper_profile ~addr:"10.0.0.10" ~seg:"lan" "client"
+    :: List.mapi
+         (fun i name ->
+           Topo.host ~profile:paper_profile
+             ~addr:(Printf.sprintf "10.0.0.%d" (i + 1))
+             ~seg:"lan" name)
+         names)
+    @ [ Topo.group ~members:names "pool" ]
+  in
+  let topo = Topo.build world spec in
+  let client = Topo.host_of topo "client" in
+  let config =
+    Failover_config.make ~service_ports:[ service_port ]
+      ~bridge_cost:(Time.us 55) ()
+  in
+  let repl =
+    Replicated.create_pool ~replicas:(Topo.group_of topo "pool") ~config ()
+  in
+  Replicated.listen repl ~port:service_port ~on_accept:(fun ~role:_ tcb ->
+      Tcb.set_on_data tcb (fun d -> ignore (Tcb.send tcb ("R:" ^ d)));
+      Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
+  let buf = Buffer.create 256 in
+  let resets = ref 0 in
+  let conn =
+    Stack.connect (Host.tcp client)
+      ~remote:(Replicated.service_addr repl, service_port)
+      ()
+  in
+  Tcb.set_on_established conn (fun () -> ignore (Tcb.send conn "req"));
+  Tcb.set_on_data conn (fun d -> Buffer.add_string buf d);
+  Tcb.set_on_reset conn (fun () -> incr resets);
+  World.run world ~for_:(Time.ms 50);
+  let expected = Buffer.create 256 in
+  Buffer.add_string expected "R:req";
+  let kills = replicas - 2 in
+  let latencies = ref [] in
+  let all_settled = ref true in
+  for k = 1 to kills do
+    let t0 = World.now world in
+    let settled = ref None in
+    Replicated.set_on_event repl (function
+      | Replicated.Transfers_complete _ when !settled = None ->
+        settled := Some (World.now world)
+      | _ -> ());
+    Replicated.kill_primary repl;
+    (* drive in slices until the cascade settles (cap: 5 simulated s) *)
+    let budget = ref 50 in
+    while !settled = None && !budget > 0 do
+      World.run world ~for_:(Time.ms 100);
+      decr budget
+    done;
+    (match !settled with
+    | Some t -> latencies := (float_of_int (t - t0) /. 1e3) :: !latencies
+    | None -> all_settled := false);
+    (* the SAME connection keeps working through the promoted pair *)
+    let msg = Printf.sprintf "mid%d" k in
+    ignore (Tcb.send conn msg);
+    Buffer.add_string expected ("R:" ^ msg);
+    World.run world ~for_:(Time.ms 50)
+  done;
+  Tcb.close conn;
+  World.run world ~for_:(Time.sec 1.0);
+  let ok =
+    !all_settled && !resets = 0
+    && Buffer.contents buf = Buffer.contents expected
+    && Replicated.status repl = `Normal
+    && Replicated.standbys repl = []
+  in
+  { kills; latencies_us = List.rev !latencies; ok }
+
+let run_exp ~pool_sizes ~trials =
+  print_header
+    (Printf.sprintf
+       "E12: N-replica pool — cascading failover under repeated primary \
+        crashes (%d trial%s per size, %d job%s)"
+       trials
+       (if trials = 1 then "" else "s")
+       !jobs
+       (if !jobs = 1 then "" else "s"));
+  Printf.printf "%-9s %6s %18s %18s %6s\n" "replicas" "kills"
+    "median promo[us]" "max promo[us]" "ok";
+  let all_ok = ref true in
+  let rows =
+    List.map
+      (fun replicas ->
+        let outcomes =
+          map_trials trials (fun i ->
+              one_trial ~replicas ~seed:(12_000 + (100 * replicas) + i))
+        in
+        let lats = List.concat_map (fun o -> o.latencies_us) outcomes in
+        let med = Stats.median lats in
+        let mx = List.fold_left max 0.0 lats in
+        let kills = (List.hd outcomes).kills in
+        let ok = List.for_all (fun o -> o.ok) outcomes in
+        if not ok then all_ok := false;
+        Printf.printf "%-9d %6d %18.1f %18.1f %6s\n" replicas kills med mx
+          (if ok then "yes" else "NO");
+        (replicas, kills, med, mx, ok))
+      pool_sizes
+  in
+  Printf.printf "%s\n"
+    (if !all_ok then
+       "every connection survived all cascading failovers byte-exactly"
+     else "WARNING: a pool failed to cascade cleanly");
+  let row_json =
+    String.concat ","
+      (List.map
+         (fun (r, k, med, mx, ok) ->
+           Printf.sprintf
+             "{\"replicas\":%d,\"kills\":%d,\"median_promotion_us\":%.1f,\
+              \"max_promotion_us\":%.1f,\"ok\":%b}"
+             r k med mx ok)
+         rows)
+  in
+  Printf.printf
+    "[pool-summary] {\"trials\":%d,\"jobs\":%d,\"all_ok\":%b,\"rows\":[%s]}\n%!"
+    trials !jobs !all_ok row_json;
+  dump_metrics ~exp:"pool"

@@ -46,22 +46,22 @@ type outcome = {
 let one_trial ~conns ~loss ~seed =
   let world = World.create ~seed () in
   note_world world;
-  let lan = World.make_lan world () in
-  let client =
-    World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
-      ~profile:paper_profile ()
+  let spec =
+    [
+      Topo.segment "lan";
+      Topo.host ~profile:paper_profile ~addr:"10.0.0.10" ~seg:"lan" "client";
+      Topo.host ~profile:paper_profile ~addr:"10.0.0.1" ~seg:"lan" "primary";
+      Topo.host ~profile:paper_profile ~addr:"10.0.0.2" ~seg:"lan" "secondary";
+      Topo.group ~members:[ "primary"; "secondary" ] "pool";
+    ]
   in
-  let primary =
-    World.add_host world lan ~name:"primary" ~addr:"10.0.0.1"
-      ~profile:paper_profile ()
-  in
-  let secondary =
-    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2"
-      ~profile:paper_profile ()
-  in
-  World.warm_arp [ client; primary; secondary ];
+  let topo = Topo.build world spec in
+  let lan = Topo.segment_of topo "lan" in
+  let client = Topo.host_of topo "client" in
   let config = Failover_config.make ~service_ports:[ service_port ] () in
-  let repl = Replicated.create ~primary ~secondary ~config () in
+  let repl =
+    Replicated.create_pool ~replicas:(Topo.group_of topo "pool") ~config ()
+  in
   Replicated.listen repl ~port:service_port ~on_accept:(fun ~role:_ tcb ->
       Tcb.set_on_data tcb (fun d -> ignore (Tcb.send tcb ("R:" ^ d)));
       Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
@@ -93,7 +93,7 @@ let one_trial ~conns ~loss ~seed =
       ~profile:paper_profile ()
   in
   (* warm_arp itself skips the dead secondary *)
-  World.warm_arp [ client; primary; secondary; fresh ];
+  World.warm_arp (fresh :: Topo.hosts topo);
   (* the --loss axis: a loss burst on the LAN covering the transfers,
      which the streaming control channel must retransmit through *)
   if loss > 0.0 then

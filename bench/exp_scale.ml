@@ -44,27 +44,31 @@ type outcome = {
 let one_trial ~conns ~reply_size ~seed =
   let world = World.create ~seed () in
   note_world world;
-  let lan = World.make_lan world () in
+  let spec =
+    (Topo.segment "lan"
+    :: List.init n_clients (fun i ->
+           Topo.host ~profile:paper_profile
+             ~addr:(Printf.sprintf "10.0.0.%d" (10 + i))
+             ~seg:"lan"
+             (Printf.sprintf "client%d" i)))
+    @ [
+        Topo.host ~profile:paper_profile ~addr:"10.0.0.1" ~seg:"lan" "primary";
+        Topo.host ~profile:paper_profile ~addr:"10.0.0.2" ~seg:"lan"
+          "secondary";
+        Topo.group ~members:[ "primary"; "secondary" ] "pool";
+      ]
+  in
+  let topo = Topo.build world spec in
   let clients =
     List.init n_clients (fun i ->
-        World.add_host world lan
-          ~name:(Printf.sprintf "client%d" i)
-          ~addr:(Printf.sprintf "10.0.0.%d" (10 + i))
-          ~profile:paper_profile ())
+        Topo.host_of topo (Printf.sprintf "client%d" i))
   in
-  let primary =
-    World.add_host world lan ~name:"primary" ~addr:"10.0.0.1"
-      ~profile:paper_profile ()
-  in
-  let secondary =
-    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2"
-      ~profile:paper_profile ()
-  in
-  World.warm_arp (primary :: secondary :: clients);
   let config =
     Failover_config.make ~service_ports ~bridge_cost:(Time.us 55) ()
   in
-  let repl = Replicated.create ~primary ~secondary ~config () in
+  let repl =
+    Replicated.create_pool ~replicas:(Topo.group_of topo "pool") ~config ()
+  in
   let service = Replicated.service_addr repl in
   List.iter
     (fun port ->

@@ -11,6 +11,7 @@ module Time = Tcpfo_sim.Time
 module Clock = Tcpfo_sim.Clock
 module World = Tcpfo_host.World
 module Host = Tcpfo_host.Host
+module Topo = Tcpfo_host.Topo
 module Stack = Tcpfo_tcp.Stack
 module Tcb = Tcpfo_tcp.Tcb
 module Replicated = Tcpfo_core.Replicated
@@ -113,18 +114,28 @@ let dump_metrics ~exp =
 let make_env ?(seed = 1) mode =
   let world = World.create ~seed () in
   note_world world;
-  let lan = World.make_lan world () in
-  let client =
-    World.add_host world lan ~name:"client" ~addr:"10.0.0.10"
-      ~profile:paper_profile ()
+  (* the benchmark testbed as data; declaration order mirrors the old
+     hand-wired construction so seeded runs stay byte-identical *)
+  let spec =
+    Topo.segment "lan"
+    :: Topo.host ~profile:paper_profile ~addr:"10.0.0.10" ~seg:"lan" "client"
+    ::
+    (match mode with
+    | Std ->
+      [ Topo.host ~profile:paper_profile ~addr:"10.0.0.1" ~seg:"lan" "server" ]
+    | Failover ->
+      [
+        Topo.host ~profile:paper_profile ~addr:"10.0.0.1" ~seg:"lan" "primary";
+        Topo.host ~profile:paper_profile ~addr:"10.0.0.2" ~seg:"lan"
+          "secondary";
+        Topo.group ~members:[ "primary"; "secondary" ] "pool";
+      ])
   in
+  let topo = Topo.build world spec in
+  let client = Topo.host_of topo "client" in
   match mode with
   | Std ->
-    let server =
-      World.add_host world lan ~name:"server" ~addr:"10.0.0.1"
-        ~profile:paper_profile ()
-    in
-    World.warm_arp [ client; server ];
+    let server = Topo.host_of topo "server" in
     {
       world;
       client;
@@ -135,17 +146,10 @@ let make_env ?(seed = 1) mode =
       servers = [ server ];
     }
   | Failover ->
-    let primary =
-      World.add_host world lan ~name:"primary" ~addr:"10.0.0.1"
-        ~profile:paper_profile ()
-    in
-    let secondary =
-      World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2"
-        ~profile:paper_profile ()
-    in
-    World.warm_arp [ client; primary; secondary ];
     let repl =
-      Replicated.create ~primary ~secondary ~config:bench_config ()
+      Replicated.create_pool
+        ~replicas:(Topo.group_of topo "pool")
+        ~config:bench_config ()
     in
     {
       world;
@@ -156,7 +160,7 @@ let make_env ?(seed = 1) mode =
           Replicated.listen repl ~port ~on_accept:(fun ~role:_ tcb ->
               handler tcb));
       repl = Some repl;
-      servers = [ primary; secondary ];
+      servers = Replicated.replicas repl;
     }
 
 let now env = World.now env.world

@@ -22,6 +22,7 @@ type which =
   | Micro_exp
   | Soak_exp
   | Reintegration_exp
+  | Pool_exp
 
 let which_of_string = function
   | "all" -> Ok All
@@ -37,6 +38,7 @@ let which_of_string = function
   | "micro" -> Ok Micro_exp
   | "soak" -> Ok Soak_exp
   | "reintegration" -> Ok Reintegration_exp
+  | "pool" -> Ok Pool_exp
   | s -> Error (`Msg ("unknown experiment: " ^ s))
 
 let which_conv =
@@ -57,7 +59,8 @@ let which_conv =
           | Scale_exp -> "scale"
           | Micro_exp -> "micro"
           | Soak_exp -> "soak"
-          | Reintegration_exp -> "reintegration") )
+          | Reintegration_exp -> "reintegration"
+          | Pool_exp -> "pool") )
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -104,6 +107,10 @@ let run which quick metrics_dir jobs seeds first_seed soak_report loss_rates =
       ~conn_counts:(if quick then [ 1; 4; 8 ] else [ 1; 2; 4; 8; 16 ])
       ~loss_rates:(if loss_rates = [] then [ 0.0 ] else loss_rates)
       ~trials:(if quick then 2 else 3);
+  if should Pool_exp then
+    Exp_pool.run_exp
+      ~pool_sizes:(if quick then [ 3; 4 ] else [ 3; 4; 5 ])
+      ~trials:(if quick then 2 else 3);
   let soak_failures =
     if should Soak_exp then
       Exp_soak.run_exp
@@ -119,7 +126,7 @@ let which_arg =
   Arg.(value & opt which_conv All & info [ "exp" ] ~docv:"EXP"
          ~doc:"Experiment to run: all, setup, fig3, fig4, fig5, fig6, \
                failover, ablation, chain, scale, micro, soak, \
-               reintegration.")
+               reintegration, pool.")
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes and trial counts.")

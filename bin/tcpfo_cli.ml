@@ -17,6 +17,7 @@ module Event = Tcpfo_obs.Event
 module Registry = Tcpfo_obs.Registry
 module World = Tcpfo_host.World
 module Host = Tcpfo_host.Host
+module Topo = Tcpfo_host.Topo
 module Stack = Tcpfo_tcp.Stack
 module Tcb = Tcpfo_tcp.Tcb
 module Replicated = Tcpfo_core.Replicated
@@ -39,20 +40,39 @@ let print_stats world =
     (float_of_int (World.now world) /. 1e6);
   print_string (Registry.dump (World.metrics world))
 
-let build_world ?fault_plan ~seed ~detector_ms ~trace () =
+let build_world ?fault_plan ?(standbys = 0) ~seed ~detector_ms ~trace () =
   let world = World.create ~seed () in
-  let lan = World.make_lan world () in
-  let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10" () in
-  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
-  let secondary =
-    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
+  let standby_names =
+    List.init standbys (fun i -> Printf.sprintf "standby%d" (i + 1))
   in
-  World.warm_arp [ client; primary; secondary ];
+  let topo =
+    Topo.build world
+      (Topo.segment "lan"
+      :: Topo.host ~addr:"10.0.0.10" ~seg:"lan" "client"
+      :: Topo.host ~addr:"10.0.0.1" ~seg:"lan" "primary"
+      :: Topo.host ~addr:"10.0.0.2" ~seg:"lan" "secondary"
+      :: (List.mapi
+            (fun i name ->
+              Topo.host ~addr:(Printf.sprintf "10.0.0.%d" (20 + i)) ~seg:"lan"
+                name)
+            standby_names
+         @ [
+             Topo.group
+               ~members:("primary" :: "secondary" :: standby_names)
+               "pool";
+           ]))
+  in
+  let lan = Topo.segment_of topo "lan" in
+  let client = Topo.host_of topo "client" in
+  let primary = Topo.host_of topo "primary" in
+  let secondary = Topo.host_of topo "secondary" in
   let config =
     Failover_config.make ~service_ports:[ 80 ]
       ~detector_timeout:(Time.ms detector_ms) ()
   in
-  let repl = Replicated.create ~primary ~secondary ~config () in
+  let repl =
+    Replicated.create_pool ~replicas:(Topo.group_of topo "pool") ~config ()
+  in
   (match fault_plan with
   | None -> ()
   | Some text -> (
@@ -98,10 +118,10 @@ let serve_reply repl ~reply =
           end))
 
 let run_failover victim kill_at_ms size_kb detector_ms trace stats seed
-    fault_plan repair_at_ms rekill_at_ms =
+    fault_plan repair_at_ms rekill_at_ms standbys =
   let world, lan, client, primary, secondary, repl =
-    build_world ?fault_plan ~seed ~detector_ms ~trace:(trace && size_kb <= 16)
-      ()
+    build_world ?fault_plan ~standbys ~seed ~detector_ms
+      ~trace:(trace && size_kb <= 16) ()
   in
   let reply =
     String.init (size_kb * 1024) (fun i -> Char.chr ((i * 31) land 0xFF))
@@ -110,15 +130,7 @@ let run_failover victim kill_at_ms size_kb detector_ms trace stats seed
   Replicated.set_on_event repl (fun e ->
       Printf.printf "[%10.3f ms] %s\n%!"
         (Time.to_ms (World.now world))
-        (match e with
-        | Replicated.Primary_failure_detected -> "primary failure detected"
-        | Secondary_failure_detected ->
-          "secondary failure detected; primary degrades"
-        | Takeover_complete -> "IP takeover complete"
-        | Reintegrated -> "replica reintegrated"
-        | Transfers_complete n ->
-          Printf.sprintf "hot state transfer done: %d connections re-replicated"
-            n));
+        (Replicated.event_to_string e));
   let buf = Buffer.create (size_kb * 1024) in
   let last = ref Time.zero in
   let stall = ref 0 in
@@ -271,12 +283,19 @@ let rekill_at_arg =
                connection surviving a second failover on the repaired \
                host.")
 
+let standbys_arg =
+  Arg.(value & opt int 0 & info [ "standbys" ] ~docv:"N"
+         ~doc:"Cold standbys behind the active pair (an N+2 replica \
+               pool).  When a replica dies the next standby is promoted \
+               and live connections re-replicate onto it, so a later \
+               --rekill-at cascades instead of ending the pool.")
+
 let failover_cmd =
   Cmd.v (Cmd.info "failover" ~doc:"Crash a replica mid-transfer.")
     Term.(
       const run_failover $ victim_arg $ kill_at_arg $ size_arg $ detector_arg
       $ trace_arg $ stats_arg $ seed_arg $ fault_plan_arg $ repair_at_arg
-      $ rekill_at_arg)
+      $ rekill_at_arg $ standbys_arg)
 
 let trace_cmd =
   Cmd.v
@@ -380,10 +399,62 @@ let chain_cmd =
     Term.(const run_chain $ n_arg $ kills_arg $ size_arg $ trace_arg
           $ stats_arg $ seed_arg)
 
+(* Parse and validate a topology file, then print the elaborated
+   host/segment table — a dry run of exactly what Topo.build would
+   construct (same MAC assignment, same declaration order). *)
+let run_topo file validate_only seed =
+  let read_all ic = really_input_string ic (in_channel_length ic) in
+  let text =
+    if file = "-" then In_channel.input_all stdin
+    else
+      match open_in_bin file with
+      | ic ->
+        let t = read_all ic in
+        close_in ic;
+        t
+      | exception Sys_error m ->
+        prerr_endline ("tcpfo: " ^ m);
+        exit 2
+  in
+  match Topo.parse text with
+  | Error m ->
+    prerr_endline ("tcpfo: parse error: " ^ m);
+    2
+  | Ok spec -> (
+    match Topo.validate spec with
+    | Error m ->
+      prerr_endline ("tcpfo: invalid topology: " ^ m);
+      1
+    | Ok () ->
+      if validate_only then print_endline "topology OK"
+      else begin
+        let world = World.create ~seed () in
+        print_string (Topo.to_table (Topo.build world spec))
+      end;
+      0)
+
+let topo_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Topology spec file ('-' for stdin): lines of 'lan NAME', \
+                 'link NAME bw=.. delay=..', 'host NAME ADDR SEGMENT \
+                 [gw=ADDR]', 'router NAME SEGMENT LAN_ADDR LINK WAN_ADDR', \
+                 'wanhost NAME ADDR LINK', 'group NAME MEMBER MEMBER...'; \
+                 '#' comments.")
+  in
+  let validate_arg =
+    Arg.(value & flag & info [ "validate" ]
+           ~doc:"Only parse and validate; print nothing but the verdict.")
+  in
+  Cmd.v
+    (Cmd.info "topo"
+       ~doc:"Parse, validate and elaborate a declarative topology spec.")
+    Term.(const run_topo $ file_arg $ validate_arg $ seed_arg)
+
 let () =
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "tcpfo"
              ~doc:"Transparent TCP connection failover simulator (DSN 2003)")
-          [ failover_cmd; trace_cmd; chain_cmd ]))
+          [ failover_cmd; trace_cmd; chain_cmd; topo_cmd ]))

@@ -11,6 +11,7 @@
 module Time = Tcpfo_sim.Time
 module World = Tcpfo_host.World
 module Host = Tcpfo_host.Host
+module Topo = Tcpfo_host.Topo
 module Link = Tcpfo_net.Link
 module Ipaddr = Tcpfo_packet.Ipaddr
 module Replicated = Tcpfo_core.Replicated
@@ -20,35 +21,41 @@ module Cross_traffic = Tcpfo_apps.Cross_traffic
 
 let () =
   let world = World.create ~seed:99 () in
-  let lan = World.make_lan world () in
-  let wan =
-    Link.create (World.engine world) ~rng:(World.fresh_rng world)
-      {
-        Link.bandwidth_bps = 2_000_000;
-        delay = Time.ms 15;
-        jitter = Time.ms 3;
-        loss_prob = 0.002;
-        dup_prob = 0.0;
-        reorder_prob = 0.0;
-        queue_capacity = 40;
-      }
+  (* topology as data: LAN + WAN link + router + replica pool, in one
+     declarative spec *)
+  let topo =
+    Topo.build world
+      [
+        Topo.segment "lan";
+        Topo.link "wan"
+          ~config:
+            {
+              Link.bandwidth_bps = 2_000_000;
+              delay = Time.ms 15;
+              jitter = Time.ms 3;
+              loss_prob = 0.002;
+              dup_prob = 0.0;
+              reorder_prob = 0.0;
+              queue_capacity = 40;
+            };
+        Topo.router ~seg:"lan" ~lan_addr:"10.0.0.254" ~link:"wan"
+          ~wan_addr:"192.168.0.1" "router";
+        Topo.wan_host ~addr:"192.168.0.2" ~link:"wan" "client";
+        Topo.host ~addr:"10.0.0.1" ~seg:"lan" ~gateway:"10.0.0.254" "primary";
+        Topo.host ~addr:"10.0.0.2" ~seg:"lan" ~gateway:"10.0.0.254"
+          "secondary";
+        Topo.group ~members:[ "primary"; "secondary" ] "pool";
+      ]
   in
-  let router =
-    World.add_router world lan ~lan_addr:"10.0.0.254" ~wan_link:wan
-      ~wan_addr:"192.168.0.1" ()
-  in
-  let client = World.add_wan_client world ~wan_link:wan ~addr:"192.168.0.2" () in
-  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
-  let secondary =
-    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
-  in
-  let gw = Ipaddr.of_string "10.0.0.254" in
-  Host.set_default_via_lan primary ~gateway:gw;
-  Host.set_default_via_lan secondary ~gateway:gw;
-  World.warm_arp [ primary; secondary; router ];
+  let wan = Topo.link_of topo "wan" in
+  let client = Topo.host_of topo "client" in
+  let primary = Topo.host_of topo "primary" in
+  let secondary = Topo.host_of topo "secondary" in
 
   let config = Failover_config.make ~service_ports:[ 21; 20 ] () in
-  let repl = Replicated.create ~primary ~secondary ~config () in
+  let repl =
+    Replicated.create_pool ~replicas:(Topo.group_of topo "pool") ~config ()
+  in
   let service = Replicated.service_addr repl in
 
   (* identical file stores on both replicas (active replication) *)
@@ -72,14 +79,7 @@ let () =
       fmt
   in
   Replicated.set_on_event repl (fun e ->
-      log "--- %s ---"
-        (match e with
-        | Replicated.Primary_failure_detected -> "primary failure detected"
-        | Secondary_failure_detected -> "secondary failure detected"
-        | Takeover_complete -> "IP takeover complete"
-        | Reintegrated -> "secondary reintegrated"
-        | Transfers_complete n ->
-          Printf.sprintf "%d live connections re-replicated" n));
+      log "--- %s ---" (Replicated.event_to_string e));
 
   let t0 = ref Time.zero in
   let _client_ftp =

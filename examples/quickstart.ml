@@ -10,6 +10,7 @@
 module Time = Tcpfo_sim.Time
 module World = Tcpfo_host.World
 module Host = Tcpfo_host.Host
+module Topo = Tcpfo_host.Topo
 module Stack = Tcpfo_tcp.Stack
 module Tcb = Tcpfo_tcp.Tcb
 module Replicated = Tcpfo_core.Replicated
@@ -23,29 +24,28 @@ let log world fmt =
     fmt
 
 let () =
-  (* 1. a simulated LAN with three hosts *)
+  (* 1. the topology as data: a LAN, three hosts, and the replica pool *)
   let world = World.create ~seed:7 () in
-  let lan = World.make_lan world () in
-  let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10" () in
-  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
-  let secondary =
-    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
+  let topo =
+    Topo.build world
+      [
+        Topo.segment "lan";
+        Topo.host ~addr:"10.0.0.10" ~seg:"lan" "client";
+        Topo.host ~addr:"10.0.0.1" ~seg:"lan" "primary";
+        Topo.host ~addr:"10.0.0.2" ~seg:"lan" "secondary";
+        Topo.group ~members:[ "primary"; "secondary" ] "pool";
+      ]
   in
-  World.warm_arp [ client; primary; secondary ];
+  let client = Topo.host_of topo "client" in
 
   (* 2. replicate: bridges, heartbeats, failover procedures *)
   let repl =
-    Replicated.create ~primary ~secondary ~config:Failover_config.default ()
+    Replicated.create_pool
+      ~replicas:(Topo.group_of topo "pool")
+      ~config:Failover_config.default ()
   in
   Replicated.set_on_event repl (fun e ->
-      log world "EVENT: %s"
-        (match e with
-        | Replicated.Primary_failure_detected -> "primary failure detected"
-        | Secondary_failure_detected -> "secondary failure detected"
-        | Takeover_complete -> "IP takeover complete"
-        | Reintegrated -> "secondary reintegrated"
-        | Transfers_complete n ->
-          Printf.sprintf "%d live connections re-replicated" n));
+      log world "EVENT: %s" (Replicated.event_to_string e));
 
   (* 3. the replicated application: a plain echo server on port 7 —
         it has no idea replication exists *)

@@ -8,6 +8,7 @@
 module Time = Tcpfo_sim.Time
 module World = Tcpfo_host.World
 module Host = Tcpfo_host.Host
+module Topo = Tcpfo_host.Topo
 module Stack = Tcpfo_tcp.Stack
 module Tcb = Tcpfo_tcp.Tcb
 module Replicated = Tcpfo_core.Replicated
@@ -20,17 +21,21 @@ let inventory =
 
 let () =
   let world = World.create ~seed:42 () in
-  let lan = World.make_lan world () in
-  let customer =
-    World.add_host world lan ~name:"customer" ~addr:"10.0.0.10" ()
+  let topo =
+    Topo.build world
+      [
+        Topo.segment "lan";
+        Topo.host ~addr:"10.0.0.10" ~seg:"lan" "customer";
+        Topo.host ~addr:"10.0.0.1" ~seg:"lan" "primary";
+        Topo.host ~addr:"10.0.0.2" ~seg:"lan" "secondary";
+        Topo.group ~members:[ "primary"; "secondary" ] "pool";
+      ]
   in
-  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
-  let secondary =
-    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
-  in
-  World.warm_arp [ customer; primary; secondary ];
+  let customer = Topo.host_of topo "customer" in
   let repl =
-    Replicated.create ~primary ~secondary ~config:Failover_config.default ()
+    Replicated.create_pool
+      ~replicas:(Topo.group_of topo "pool")
+      ~config:Failover_config.default ()
   in
   Store.serve_replicated ~inventory repl ~port:8080;
 
@@ -41,14 +46,7 @@ let () =
       fmt
   in
   Replicated.set_on_event repl (fun e ->
-      log "--- %s ---"
-        (match e with
-        | Replicated.Primary_failure_detected -> "primary died; failing over"
-        | Secondary_failure_detected -> "secondary died"
-        | Takeover_complete -> "secondary now owns the service address"
-        | Reintegrated -> "secondary reintegrated"
-        | Transfers_complete n ->
-          Printf.sprintf "%d live connections re-replicated" n));
+      log "--- %s ---" (Replicated.event_to_string e));
 
   let conn =
     Stack.connect (Host.tcp customer)

@@ -98,14 +98,24 @@ let start host ~peer ~role ~config ~on_peer_failure =
   (* Only the watched peer's own beats reset the detector: a heartbeat
      must come from the peer's address and carry the peer's (opposite)
      role.  Anything looser lets a third replica pair on the same segment
-     keep a dead peer looking alive. *)
+     keep a dead peer looking alive.
+
+     Watchers chain: a pool primary runs one detector per watched replica
+     (the active secondary plus every standby), so each new watcher wraps
+     the handler already installed instead of replacing it.  Stopped
+     watchers stay in the chain but ignore everything. *)
+  let inner = Ip_layer.heartbeat_handler (Host.ip host) in
   Ip_layer.set_heartbeat_handler (Host.ip host) (fun ~src hb ->
-      if Tcpfo_packet.Ipaddr.equal src t.peer && hb.role <> t.role
-      then begin
-        Registry.Counter.incr t.received;
-        t.seen_any <- true;
-        t.last_seen <- (Host.clock host).now ()
-      end);
+      (if
+         t.running
+         && Tcpfo_packet.Ipaddr.equal src t.peer
+         && hb.role <> t.role
+       then begin
+         Registry.Counter.incr t.received;
+         t.seen_any <- true;
+         t.last_seen <- (Host.clock host).now ()
+       end);
+      inner ~src hb);
   send_loop t;
   (* initial grace: the first check coincides with the earliest possible
      deadline, as if a beat had just been heard *)

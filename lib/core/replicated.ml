@@ -14,13 +14,27 @@ type event =
   | Takeover_complete
   | Reintegrated
   | Transfers_complete of int
+  | Promoted of string
+  | Standby_lost of string
+  | Rejoined of string
+
+let event_to_string = function
+  | Secondary_failure_detected -> "secondary failure detected"
+  | Primary_failure_detected -> "primary failure detected"
+  | Takeover_complete -> "IP takeover complete"
+  | Reintegrated -> "replica reintegrated"
+  | Transfers_complete n ->
+    Printf.sprintf "hot state transfer done: %d connections re-replicated" n
+  | Promoted name -> Printf.sprintf "standby %s promoted into the active pair" name
+  | Standby_lost name -> Printf.sprintf "standby %s declared dead" name
+  | Rejoined name -> Printf.sprintf "%s joined the back of the pool" name
 
 type t = {
   mutable primary : Host.t;
   mutable secondary : Host.t;
   service_addr : Ipaddr.t;
-      (* fixed for the lifetime of the pair: after a primary failure and
-         reintegration the promoted survivor keeps serving it, so it can
+      (* fixed for the lifetime of the pool: after a primary failure and
+         promotion the surviving replica keeps serving it, so it can
          no longer be derived from [Host.addr t.primary] *)
   config : Failover_config.t;
   registry : Failover_config.registry;
@@ -30,6 +44,11 @@ type t = {
   mutable xfer_s : Transfer.t;  (* ... and on secondary *)
   mutable hb_on_primary : Heartbeat.t option;
   mutable hb_on_secondary : Heartbeat.t option;
+  (* standbys in promotion order; only the active pair replicates
+     connection state — a standby is cold until it is promoted and hot
+     state transfer re-replicates the live connections onto it *)
+  mutable standbys : Host.t list;
+  mutable standby_watch : (Host.t * Heartbeat.t * Heartbeat.t) list;
   mutable services : (int * (role:[ `Primary | `Secondary ] -> Tcb.t -> unit)) list;
   mutable status : [ `Normal | `Primary_failed | `Secondary_failed ];
   mutable on_event : event -> unit;
@@ -41,25 +60,52 @@ type t = {
   reint_latency : Registry.histogram;
 }
 
-(* watch the secondary from the primary; on failure run §6 *)
-let watch_secondary t =
-  Heartbeat.start t.primary ~peer:(Host.addr t.secondary) ~role:`Primary
-    ~config:t.config ~on_peer_failure:(fun () ->
-      if t.status = `Normal then begin
-        t.status <- `Secondary_failed;
-        Primary_bridge.secondary_failed t.pbridge;
-        t.on_event Secondary_failure_detected
-      end)
+(* --- standby liveness ------------------------------------------------ *)
 
-let watch_primary t =
-  Heartbeat.start t.secondary ~peer:(Host.addr t.primary) ~role:`Secondary
-    ~config:t.config ~on_peer_failure:(fun () ->
-      if t.status = `Normal then begin
-        t.status <- `Primary_failed;
-        t.on_event Primary_failure_detected;
-        Secondary_bridge.begin_takeover t.sbridge ~on_complete:(fun () ->
-            t.on_event Takeover_complete)
-      end)
+(* One detector pair per standby: the primary watches the standby (so a
+   silently dead standby is dropped from the pool instead of being
+   promoted into a black hole much later) and the standby beacons to —
+   and watches — the primary.  The standby-side detector takes no action
+   of its own: promotion is driven by the active pair's §5/§6 machinery,
+   never by a cold replica's opinion. *)
+let disarm_standby t host =
+  t.standby_watch <-
+    List.filter
+      (fun (h, hb_p, hb_s) ->
+        if h == host then begin
+          Heartbeat.stop hb_p;
+          Heartbeat.stop hb_s;
+          false
+        end
+        else true)
+      t.standby_watch
+
+let watch_standby t standby =
+  let hb_p =
+    Heartbeat.start t.primary ~peer:(Host.addr standby) ~role:`Primary
+      ~config:t.config ~on_peer_failure:(fun () ->
+        if List.memq standby t.standbys then begin
+          t.standbys <- List.filter (fun h -> h != standby) t.standbys;
+          disarm_standby t standby;
+          t.on_event (Standby_lost (Host.name standby))
+        end)
+  in
+  let hb_s =
+    Heartbeat.start standby ~peer:(Host.addr t.primary) ~role:`Secondary
+      ~config:t.config
+      ~on_peer_failure:(fun () -> ())
+  in
+  (standby, hb_p, hb_s)
+
+(* Re-point every standby watcher at the current primary (promotions move
+   the primary role, and with it the watching end). *)
+let arm_standbys t =
+  List.iter
+    (fun (_, hb_p, hb_s) ->
+      Heartbeat.stop hb_p;
+      Heartbeat.stop hb_s)
+    t.standby_watch;
+  t.standby_watch <- List.map (fun s -> watch_standby t s) t.standbys
 
 (* --- hot state transfer -------------------------------------------- *)
 
@@ -180,87 +226,49 @@ let start_transfers t =
             if t.pending = 0 then finish ()))
       to_transfer
 
-(* --- construction --------------------------------------------------- *)
+(* --- failure handling, promotion, reintegration ---------------------- *)
 
-let create ~primary ~secondary ~config () =
-  let service_addr = Host.addr primary in
-  let secondary_addr = Host.addr secondary in
-  let registry = Failover_config.create_registry config in
-  let pbridge =
-    Primary_bridge.install primary ~registry ~service_addr ~secondary_addr ()
-  in
-  let sbridge = Secondary_bridge.install secondary ~registry ~service_addr () in
-  let statex = Obs.scope (Obs.root (Host.obs primary)) "statex" in
-  let t =
-    {
-      primary;
-      secondary;
-      service_addr;
-      config;
-      registry;
-      pbridge;
-      sbridge;
-      xfer_p = Transfer.attach primary;
-      xfer_s = Transfer.attach secondary;
-      hb_on_primary = None;
-      hb_on_secondary = None;
-      services = [];
-      status = `Normal;
-      on_event = (fun _ -> ());
-      pending = 0;
-      reint_started = None;
-      reintegrations = 0;
-      xfer_failures = 0;
-      reint_latency = Obs.histogram statex "reintegration_us";
-    }
-  in
-  Transfer.set_installer t.xfer_p (installer t primary);
-  Transfer.set_installer t.xfer_s (installer t secondary);
-  t.hb_on_primary <- Some (watch_secondary t);
-  t.hb_on_secondary <- Some (watch_primary t);
-  t
+(* watch the secondary from the primary; on failure run §6, then promote
+   the next standby (if any) into the vacated secondary role *)
+let rec watch_secondary t =
+  Heartbeat.start t.primary ~peer:(Host.addr t.secondary) ~role:`Primary
+    ~config:t.config ~on_peer_failure:(fun () ->
+      if t.status = `Normal then begin
+        t.status <- `Secondary_failed;
+        Primary_bridge.secondary_failed t.pbridge;
+        t.on_event Secondary_failure_detected;
+        promote_next t
+      end)
 
-let service_addr t = t.service_addr
-let registry t = t.registry
-let primary_bridge t = t.pbridge
-let secondary_bridge t = t.sbridge
-let set_on_event t fn = t.on_event <- fn
-let status t = t.status
-let pending_transfers t = t.pending
-let transfer_failures t = t.xfer_failures
-let transfer_stats t = Transfer.stats t.xfer_p
+(* watch the primary from the secondary; on failure run the §5 takeover,
+   then promote the next standby under the promoted survivor *)
+and watch_primary t =
+  Heartbeat.start t.secondary ~peer:(Host.addr t.primary) ~role:`Secondary
+    ~config:t.config ~on_peer_failure:(fun () ->
+      if t.status = `Normal then begin
+        t.status <- `Primary_failed;
+        t.on_event Primary_failure_detected;
+        Secondary_bridge.begin_takeover t.sbridge ~on_complete:(fun () ->
+            t.on_event Takeover_complete;
+            promote_next t)
+      end)
 
-let listen t ~port ~on_accept =
-  Failover_config.register_endpoint t.registry ~local_port:port;
-  t.services <- (port, on_accept) :: t.services;
-  (* retention makes the connection transferable: a later reintegration
-     replays the retained input on the new replica to rebuild the
-     application layer *)
-  Stack.listen (Host.tcp t.primary) ~port ~on_accept:(fun tcb ->
-      Tcb.enable_input_retention tcb;
-      on_accept ~role:`Primary tcb);
-  Stack.listen (Host.tcp t.secondary) ~port ~on_accept:(fun tcb ->
-      Tcb.enable_input_retention tcb;
-      on_accept ~role:`Secondary tcb)
-
-let connect_backend t ~remote ?local_port ~setup () =
-  (match local_port with
-  | Some p -> Failover_config.register_endpoint t.registry ~local_port:p
-  | None ->
-    Failover_config.register_remote t.registry ~remote_port:(snd remote));
-  let service = service_addr t in
-  let cp =
-    Stack.connect (Host.tcp t.primary) ~local:service ?local_port ~remote ()
-  in
-  setup ~role:`Primary cp;
-  let cs =
-    Stack.connect (Host.tcp t.secondary) ~local:service ?local_port ~remote
-      ()
-  in
-  setup ~role:`Secondary cs
-
-let kill_primary t = Host.kill t.primary
-let kill_secondary t = Host.kill t.secondary
+(* Cascading failover: the head of the standby list joins the active pair
+   through the same path a repaired host does — bridges reinstall, the
+   registered services start, and hot state transfer re-replicates every
+   live connection.  Standbys the detectors already know to be dead are
+   skipped (their [Standby_lost] may still be in flight). *)
+and promote_next t =
+  match t.standbys with
+  | [] -> ()
+  | s :: rest ->
+    t.standbys <- rest;
+    disarm_standby t s;
+    if Host.alive s then begin
+      t.on_event (Promoted (Host.name s));
+      reintegrate t ~secondary:s
+    end
+    else promote_next t
 
 (* Role-agnostic reintegration.  Two shapes:
 
@@ -274,7 +282,7 @@ let kill_secondary t = Host.kill t.secondary
      survivor's TCBs already count in wire space (Δ = 0), so snapshots
      ship unshifted; the survivor swaps its (taken-over) secondary
      bridge for a primary bridge. *)
-let reintegrate t ~secondary:fresh =
+and reintegrate t ~secondary:fresh =
   (match t.status with
   | `Normal ->
     invalid_arg "Replicated.reintegrate: no failed replica to replace"
@@ -310,10 +318,144 @@ let reintegrate t ~secondary:fresh =
           Tcb.enable_input_retention tcb;
           on_accept ~role:`Secondary tcb))
     t.services;
-  (* restart mutual fault detection *)
+  (* restart mutual fault detection, and re-point the remaining standby
+     watchers at the (possibly new) primary *)
   t.status <- `Normal;
   t.hb_on_primary <- Some (watch_secondary t);
   t.hb_on_secondary <- Some (watch_primary t);
+  arm_standbys t;
   t.on_event Reintegrated;
   (* re-replicate live connections onto the fresh replica *)
   start_transfers t
+
+(* A repaired host rejoins at the back of the pool.  If the pool is
+   degraded (a failure happened and no standby was left to promote), the
+   newcomer pairs with the survivor directly — the N = 2 reintegration;
+   if a §5 takeover is still running it queues and the takeover's
+   completion promotes it. *)
+let rejoin t host =
+  if not (Host.alive host) then
+    invalid_arg "Replicated.rejoin: host is not alive";
+  if
+    host == t.primary || host == t.secondary
+    || List.exists (fun h -> h == host) t.standbys
+  then invalid_arg "Replicated.rejoin: host is already in the pool";
+  match t.status with
+  | `Normal ->
+    t.standbys <- t.standbys @ [ host ];
+    t.standby_watch <- t.standby_watch @ [ watch_standby t host ];
+    t.on_event (Rejoined (Host.name host))
+  | `Primary_failed when not (Secondary_bridge.taken_over t.sbridge) ->
+    t.standbys <- t.standbys @ [ host ];
+    t.on_event (Rejoined (Host.name host))
+  | `Primary_failed | `Secondary_failed ->
+    t.on_event (Rejoined (Host.name host));
+    reintegrate t ~secondary:host
+
+(* --- construction --------------------------------------------------- *)
+
+let create_pool ~replicas ~config () =
+  let primary, secondary, standbys =
+    match replicas with
+    | p :: s :: rest -> (p, s, rest)
+    | _ -> invalid_arg "Replicated.create_pool: need at least two replicas"
+  in
+  let rec distinct = function
+    | [] -> true
+    | h :: rest -> (not (List.exists (fun h' -> h' == h) rest)) && distinct rest
+  in
+  if not (distinct replicas) then
+    invalid_arg "Replicated.create_pool: duplicate replica host";
+  List.iter
+    (fun h ->
+      if not (Host.alive h) then
+        invalid_arg
+          ("Replicated.create_pool: replica " ^ Host.name h ^ " is not alive"))
+    replicas;
+  let service_addr = Host.addr primary in
+  let secondary_addr = Host.addr secondary in
+  let registry = Failover_config.create_registry config in
+  let pbridge =
+    Primary_bridge.install primary ~registry ~service_addr ~secondary_addr ()
+  in
+  let sbridge = Secondary_bridge.install secondary ~registry ~service_addr () in
+  let statex = Obs.scope (Obs.root (Host.obs primary)) "statex" in
+  let t =
+    {
+      primary;
+      secondary;
+      service_addr;
+      config;
+      registry;
+      pbridge;
+      sbridge;
+      xfer_p = Transfer.attach primary;
+      xfer_s = Transfer.attach secondary;
+      hb_on_primary = None;
+      hb_on_secondary = None;
+      standbys;
+      standby_watch = [];
+      services = [];
+      status = `Normal;
+      on_event = (fun _ -> ());
+      pending = 0;
+      reint_started = None;
+      reintegrations = 0;
+      xfer_failures = 0;
+      reint_latency = Obs.histogram statex "reintegration_us";
+    }
+  in
+  Transfer.set_installer t.xfer_p (installer t primary);
+  Transfer.set_installer t.xfer_s (installer t secondary);
+  t.hb_on_primary <- Some (watch_secondary t);
+  t.hb_on_secondary <- Some (watch_primary t);
+  arm_standbys t;
+  t
+
+(* the original two-host API is the N = 2 pool *)
+let create ~primary ~secondary ~config () =
+  create_pool ~replicas:[ primary; secondary ] ~config ()
+
+let service_addr t = t.service_addr
+let registry t = t.registry
+let primary_bridge t = t.pbridge
+let secondary_bridge t = t.sbridge
+let set_on_event t fn = t.on_event <- fn
+let status t = t.status
+let standbys t = t.standbys
+let replicas t = t.primary :: t.secondary :: t.standbys
+let pending_transfers t = t.pending
+let transfer_failures t = t.xfer_failures
+let transfer_stats t = Transfer.stats t.xfer_p
+
+let listen t ~port ~on_accept =
+  Failover_config.register_endpoint t.registry ~local_port:port;
+  t.services <- (port, on_accept) :: t.services;
+  (* retention makes the connection transferable: a later reintegration
+     replays the retained input on the new replica to rebuild the
+     application layer *)
+  Stack.listen (Host.tcp t.primary) ~port ~on_accept:(fun tcb ->
+      Tcb.enable_input_retention tcb;
+      on_accept ~role:`Primary tcb);
+  Stack.listen (Host.tcp t.secondary) ~port ~on_accept:(fun tcb ->
+      Tcb.enable_input_retention tcb;
+      on_accept ~role:`Secondary tcb)
+
+let connect_backend t ~remote ?local_port ~setup () =
+  (match local_port with
+  | Some p -> Failover_config.register_endpoint t.registry ~local_port:p
+  | None ->
+    Failover_config.register_remote t.registry ~remote_port:(snd remote));
+  let service = service_addr t in
+  let cp =
+    Stack.connect (Host.tcp t.primary) ~local:service ?local_port ~remote ()
+  in
+  setup ~role:`Primary cp;
+  let cs =
+    Stack.connect (Host.tcp t.secondary) ~local:service ?local_port ~remote
+      ()
+  in
+  setup ~role:`Secondary cs
+
+let kill_primary t = Host.kill t.primary
+let kill_secondary t = Host.kill t.secondary

@@ -1,14 +1,24 @@
-(** One-call construction of a replicated TCP server pair.
+(** One-call construction of a replicated TCP server pool.
 
-    Wires the primary and secondary bridges, the bidirectional heartbeat
-    fault detectors, and the failover procedures of §5/§6 onto two hosts
-    that share an Ethernet segment.  The replicated application is started
-    through {!listen} (TCP-server role) or {!connect_backend} (TCP-client
-    role, §7.2) so that both replicas run identical, deterministic code —
-    the paper's active-replication model.
+    The paper builds a primary/secondary pair; this module generalizes it
+    to an N-replica pool with cascading failover.  The first two replicas
+    form the *active pair* and run the paper's machinery unchanged: the
+    primary and secondary bridges, the bidirectional heartbeat fault
+    detectors, and the failover procedures of §5/§6.  Every further
+    replica is an ordered *standby*: cold (it holds no connection state),
+    but liveness-watched.  When a member of the active pair dies, the
+    survivor completes the paper's takeover/degradation and the next
+    standby is promoted into the vacated slot through the statex
+    hot-state-transfer path, so live connections keep a full replica pair
+    behind them.  Repaired hosts {!rejoin} at the back of the pool.
 
-    The service address is the primary's: clients connect to it before and
-    after any failover. *)
+    The replicated application is started through {!listen} (TCP-server
+    role) or {!connect_backend} (TCP-client role, §7.2) so that the
+    active replicas run identical, deterministic code — the paper's
+    active-replication model.
+
+    The service address is the first replica's: clients connect to it
+    before and after any number of failovers. *)
 
 type t
 
@@ -19,10 +29,24 @@ type event =
   | Takeover_complete
       (** §5 steps 1–5 finished: the secondary owns the service address *)
   | Reintegrated
-      (** a fresh replica joined after a failure (either role) *)
+      (** a fresh replica joined the active pair after a failure (either
+          role) — by promotion from the pool or by {!rejoin} into a
+          degraded pair *)
   | Transfers_complete of int
       (** hot state transfer finished; the payload is the number of live
           connections successfully re-replicated onto the fresh host *)
+  | Promoted of string
+      (** the named standby left the pool for the active pair (cascading
+          failover); followed by [Reintegrated]/[Transfers_complete] *)
+  | Standby_lost of string
+      (** a standby's liveness watcher declared it dead; it was dropped
+          from the pool *)
+  | Rejoined of string
+      (** a repaired host joined the back of the pool (or, if the pool
+          was degraded, paired directly with the survivor) *)
+
+val event_to_string : event -> string
+(** One-line human description, for traces and CLIs. *)
 
 val create :
   primary:Tcpfo_host.Host.t ->
@@ -30,6 +54,19 @@ val create :
   config:Failover_config.t ->
   unit ->
   t
+(** [create ~primary ~secondary] is [create_pool ~replicas:[primary;
+    secondary]] — the paper's pair as the N = 2 pool. *)
+
+val create_pool :
+  replicas:Tcpfo_host.Host.t list ->
+  config:Failover_config.t ->
+  unit ->
+  t
+(** [replicas] ordered by promotion priority: the first is the active
+    primary, the second the active secondary, the rest cold standbys.
+    All replicas must share the primary's Ethernet segment (the §3.1
+    snooping model).  Raises [Invalid_argument] on fewer than two
+    replicas, duplicates, or dead hosts. *)
 
 val service_addr : t -> Tcpfo_packet.Ipaddr.t
 val registry : t -> Failover_config.registry
@@ -68,6 +105,26 @@ val kill_primary : t -> unit
 val kill_secondary : t -> unit
 
 val status : t -> [ `Normal | `Primary_failed | `Secondary_failed ]
+(** State of the *active pair*; a pool failure that has already cascaded
+    (a standby was promoted and transfers settled) reads [`Normal]
+    again. *)
+
+val standbys : t -> Tcpfo_host.Host.t list
+(** The cold standbys still in the pool, in promotion order. *)
+
+val replicas : t -> Tcpfo_host.Host.t list
+(** Active primary, active secondary, then {!standbys}.  A dead active
+    member remains listed until its failure is detected and a
+    replacement promoted. *)
+
+val rejoin : t -> Tcpfo_host.Host.t -> unit
+(** A repaired (or new) host joins the back of the pool as a cold
+    standby, liveness-watched from the primary.  If the pool is degraded
+    — a failure happened and no standby was left — the host instead
+    pairs with the survivor immediately, exactly like {!reintegrate};
+    if a §5 takeover is still in flight it queues and the takeover's
+    completion promotes it.  Raises [Invalid_argument] for a dead host
+    or one already pooled. *)
 
 val reintegrate : t -> secondary:Tcpfo_host.Host.t -> unit
 (** Reintegration of a failed server — which the paper explicitly leaves

@@ -11,6 +11,7 @@ module Transfer = Tcpfo_statex.Transfer
 module Ip_layer = Tcpfo_ip.Ip_layer
 module World = Tcpfo_host.World
 module Host = Tcpfo_host.Host
+module Topo = Tcpfo_host.Topo
 module Stack = Tcpfo_tcp.Stack
 module Tcb = Tcpfo_tcp.Tcb
 module Replicated = Tcpfo_core.Replicated
@@ -30,6 +31,7 @@ type chaos =
   | Partition_client
 
 type repair = No_repair | Repair | Repair_then_rekill
+type pool = Pair | Pool3 of { rejoin_first : bool }
 
 type scenario = {
   seed : int;
@@ -39,6 +41,7 @@ type scenario = {
   size : int;
   repair : repair;
   xfer_loss : float;
+  pool : pool;
 }
 
 type outcome = {
@@ -72,10 +75,17 @@ let repair_to_string = function
   | Repair -> "repair"
   | Repair_then_rekill -> "repair+rekill"
 
+let pool_to_string = function
+  | Pair -> "pair"
+  | Pool3 { rejoin_first = false } -> "pool3"
+  | Pool3 { rejoin_first = true } -> "pool3+rejoin"
+
 let describe s =
-  Printf.sprintf "seed=%d kill=%s/%s chaos=%s size=%d repair=%s xloss=%.2f"
-    s.seed (victim_to_string s.victim) (phase_to_string s.phase)
+  Printf.sprintf
+    "seed=%d kill=%s/%s chaos=%s size=%d repair=%s xloss=%.2f pool=%s" s.seed
+    (victim_to_string s.victim) (phase_to_string s.phase)
     (chaos_to_string s.chaos) s.size (repair_to_string s.repair) s.xfer_loss
+    (pool_to_string s.pool)
 
 (* The scenario space is drawn from the seed alone, so a seed printed in
    a failure report reconstructs the exact run. *)
@@ -131,7 +141,22 @@ let scenario_of_seed seed =
     if repair = No_repair then 0.0
     else match Rng.int r 4 with 0 | 1 -> 0.0 | 2 -> 0.2 | _ -> 0.35
   in
-  { seed; victim; phase; chaos; size; repair; xfer_loss }
+  (* pool-shape axis, newest of all, drawn last for the same reason.  A
+     pool scenario's repair IS the automatic promotion of its standby,
+     so the explicit repair axis is forced off — but only after its
+     draws happened, keeping older seeds' mappings intact.  The
+     xfer_loss draw is kept: in a pool run the burst covers the
+     promotion's hot state transfers instead. *)
+  let pool =
+    if victim = Nobody then Pair
+    else
+      match Rng.int r 4 with
+      | 0 | 1 -> Pair
+      | 2 -> Pool3 { rejoin_first = false }
+      | _ -> Pool3 { rejoin_first = true }
+  in
+  let repair = if pool = Pair then repair else No_repair in
+  { seed; victim; phase; chaos; size; repair; xfer_loss; pool }
 
 let pattern ~tag n =
   String.init n (fun i -> Char.chr ((i * 131 + tag * 7 + i / 251) land 0xFF))
@@ -233,23 +258,42 @@ let run ?on_world scenario =
   let world = World.create ~seed:sc.seed () in
   (match on_world with Some f -> f world | None -> ());
   let timing_rng = Rng.create ~seed:((sc.seed * 1_000_003) lxor 0x50AC) in
-  let lan = World.make_lan world () in
-  let client = World.add_host world lan ~name:"client" ~addr:"10.0.0.10" () in
-  let primary = World.add_host world lan ~name:"primary" ~addr:"10.0.0.1" () in
-  let secondary =
-    World.add_host world lan ~name:"secondary" ~addr:"10.0.0.2" ()
+  let pool3 = sc.pool <> Pair in
+  (* the scenario's world as data; declaration order matches the old
+     hand-wired construction exactly, so pre-pool seeds replay
+     byte-identically *)
+  let spec =
+    Topo.segment "lan"
+    :: Topo.host ~addr:"10.0.0.10" ~seg:"lan" "client"
+    :: Topo.host ~addr:"10.0.0.1" ~seg:"lan" "primary"
+    :: Topo.host ~addr:"10.0.0.2" ~seg:"lan" "secondary"
+    :: ((if sc.chaos = Cross_traffic then
+           [ Topo.host ~addr:"10.0.0.11" ~seg:"lan" "cross" ]
+         else [])
+       @ (if pool3 then [ Topo.host ~addr:"10.0.0.4" ~seg:"lan" "standby" ]
+          else [])
+       @ [
+           Topo.group "pool"
+             ~members:
+               ([ "primary"; "secondary" ]
+               @ if pool3 then [ "standby" ] else []);
+         ])
   in
+  let topo = Topo.build world spec in
+  let lan = Topo.segment_of topo "lan" in
+  let client = Topo.host_of topo "client" in
+  let primary = Topo.host_of topo "primary" in
+  let secondary = Topo.host_of topo "secondary" in
   let cross_client =
-    if sc.chaos = Cross_traffic then
-      Some (World.add_host world lan ~name:"cross" ~addr:"10.0.0.11" ())
+    if sc.chaos = Cross_traffic then Some (Topo.host_of topo "cross")
     else None
   in
-  World.warm_arp
-    (client :: primary :: secondary :: Option.to_list cross_client);
   let config =
     Failover_config.make ~service_ports:[ service_port; cross_port ] ()
   in
-  let repl = Replicated.create ~primary ~secondary ~config () in
+  let repl =
+    Replicated.create_pool ~replicas:(Topo.group_of topo "pool") ~config ()
+  in
   let svc = Replicated.service_addr repl in
   let reply = pattern ~tag:sc.seed sc.size in
   install_service repl ~port:service_port ~reply;
@@ -365,6 +409,45 @@ let run ?on_world scenario =
                ~delay:(Time.us 200 + Rng.int timing_rng (Time.ms 2))
                (fun () -> Replicated.kill_primary repl))
         | _ -> ());
+  (* pool scenarios: the kill cascades on its own — the standby is
+     promoted and hot state transfer re-replicates the live
+     connections.  The moment those transfers settle, kill the CURRENT
+     primary too: the §2 requirements must hold across two cascading
+     failovers.  With [rejoin_first], a repaired host rejoins the back
+     of the pool just before the second kill, so the second failover
+     also cascades and the pool ends fully recovered. *)
+  let promoted = ref false in
+  (match sc.pool with
+  | Pair -> ()
+  | Pool3 { rejoin_first } ->
+    Replicated.set_on_event repl (fun e ->
+        match e with
+        | Replicated.Promoted _ when not !promoted ->
+          promoted := true;
+          (* the lossy-control-channel axis covers the promotion's
+             transfers, which start right after this event *)
+          if sc.xfer_loss > 0.0 then
+            Injector.add inj
+              (Fault.parse_exn
+                 (Printf.sprintf "after 0us loss lan %.2f for 8ms"
+                    sc.xfer_loss))
+        | Replicated.Transfers_complete _ when !promoted && not !rekilled ->
+          rekilled := true;
+          ignore
+            (Engine.schedule (World.engine world)
+               ~delay:(Time.us 200 + Rng.int timing_rng (Time.ms 2))
+               (fun () ->
+                 if rejoin_first then begin
+                   let h =
+                     World.add_host world lan ~name:"repaired"
+                       ~addr:"10.0.0.3" ()
+                   in
+                   World.warm_arp (h :: Topo.hosts topo);
+                   repaired := true;
+                   Replicated.rejoin repl h
+                 end;
+                 Replicated.kill_primary repl))
+        | _ -> ()));
   (match (sc.victim, sc.phase) with
   | Nobody, _ -> ()
   | _, Handshake ->
@@ -413,16 +496,25 @@ let run ?on_world scenario =
       cross_client = None || Buffer.length cross_buf >= cross_size
     in
     let kill_done =
-      match (sc.victim, sc.repair) with
-      | Nobody, _ -> true
-      | Primary, No_repair -> Replicated.status repl = `Primary_failed
-      | Secondary, No_repair -> Replicated.status repl = `Secondary_failed
-      | _, Repair ->
-        !repaired
-        && Replicated.status repl = `Normal
-        && Replicated.pending_transfers repl = 0
-      | _, Repair_then_rekill ->
-        !rekilled && Replicated.status repl = `Primary_failed
+      match sc.pool with
+      | Pool3 { rejoin_first } ->
+        !rekilled
+        &&
+        if rejoin_first then
+          Replicated.status repl = `Normal
+          && Replicated.pending_transfers repl = 0
+        else Replicated.status repl = `Primary_failed
+      | Pair -> (
+        match (sc.victim, sc.repair) with
+        | Nobody, _ -> true
+        | Primary, No_repair -> Replicated.status repl = `Primary_failed
+        | Secondary, No_repair -> Replicated.status repl = `Secondary_failed
+        | _, Repair ->
+          !repaired
+          && Replicated.status repl = `Normal
+          && Replicated.pending_transfers repl = 0
+        | _, Repair_then_rekill ->
+          !rekilled && Replicated.status repl = `Primary_failed)
     in
     client_done && cross_done && kill_done
   in
@@ -446,32 +538,52 @@ let run ?on_world scenario =
     (Printf.sprintf "connection never terminated (client state %s)"
        (Tcb.state_to_string (Tcb.state c)));
   check (!resets = 0) "client saw a connection reset";
-  (match (sc.victim, sc.repair) with
-  | Nobody, _ ->
-    check
-      (Replicated.status repl = `Normal)
-      "spurious failover: no host was killed but status left Normal"
-  | Primary, No_repair ->
-    check
-      (Replicated.status repl = `Primary_failed)
-      "primary killed but its failure was never detected"
-  | Secondary, No_repair ->
-    check
-      (Replicated.status repl = `Secondary_failed)
-      "secondary killed but its failure was never detected"
-  | _, Repair ->
-    check !repaired "repair never triggered";
-    check
-      (Replicated.status repl = `Normal)
-      "repaired host joined but the pair never returned to Normal";
-    check
-      (Replicated.pending_transfers repl = 0)
-      "hot state transfers never settled"
-  | _, Repair_then_rekill ->
-    check !rekilled "re-kill never triggered";
-    check
-      (Replicated.status repl = `Primary_failed)
-      "survivor re-killed but the repaired host never detected it");
+  (match sc.pool with
+  | Pool3 { rejoin_first } ->
+    check !promoted "standby was never promoted after the first kill";
+    check !rekilled "cascading second kill never triggered";
+    if rejoin_first then begin
+      check
+        (Replicated.status repl = `Normal)
+        "pool never returned to Normal after the second failover";
+      check
+        (Replicated.pending_transfers repl = 0)
+        "hot state transfers never settled";
+      check
+        (Replicated.standbys repl = [])
+        "rejoined host was never promoted by the second failover"
+    end
+    else
+      check
+        (Replicated.status repl = `Primary_failed)
+        "second kill was never detected by the promoted pair"
+  | Pair -> (
+    match (sc.victim, sc.repair) with
+    | Nobody, _ ->
+      check
+        (Replicated.status repl = `Normal)
+        "spurious failover: no host was killed but status left Normal"
+    | Primary, No_repair ->
+      check
+        (Replicated.status repl = `Primary_failed)
+        "primary killed but its failure was never detected"
+    | Secondary, No_repair ->
+      check
+        (Replicated.status repl = `Secondary_failed)
+        "secondary killed but its failure was never detected"
+    | _, Repair ->
+      check !repaired "repair never triggered";
+      check
+        (Replicated.status repl = `Normal)
+        "repaired host joined but the pair never returned to Normal";
+      check
+        (Replicated.pending_transfers repl = 0)
+        "hot state transfers never settled"
+    | _, Repair_then_rekill ->
+      check !rekilled "re-kill never triggered";
+      check
+        (Replicated.status repl = `Primary_failed)
+        "survivor re-killed but the repaired host never detected it"));
   if cross_client <> None then
     check
       (Buffer.contents cross_buf = cross_reply)
@@ -479,7 +591,7 @@ let run ?on_world scenario =
   (* streaming-transfer invariants: even under the lossy-control-channel
      axis every transfer must settle without stranding a connection
      solo, and no control datagram may outgrow the data path's MSS *)
-  if sc.repair <> No_repair then
+  if sc.repair <> No_repair || sc.pool <> Pair then
     check
       (Replicated.transfer_failures repl = 0)
       (Printf.sprintf

@@ -1,8 +1,9 @@
 (** Seeded failover soak scenarios: one scenario per seed, drawn from the
     cross product of kill victim × kill phase × background chaos ×
-    transfer size × repair plan, run against a full replicated-pair
-    world and checked
-    against the paper's correctness requirements (§2).
+    transfer size × repair plan × pool shape, run against a full
+    replicated world (a pair, or a three-replica pool with cascading
+    failover) built through {!Tcpfo_host.Topo} and checked against the
+    paper's correctness requirements (§2).
 
     Invariants checked by {!run}:
 
@@ -46,6 +47,20 @@ type chaos =
 
 type repair = No_repair | Repair | Repair_then_rekill
 
+type pool =
+  | Pair  (** the paper's two-host pair *)
+  | Pool3 of { rejoin_first : bool }
+      (** a three-replica pool ([Replicated.create_pool] with one cold
+          standby).  After the kill the pool cascades on its own: the
+          standby is promoted and hot state transfer re-replicates the
+          live connections.  Once the transfers settle the CURRENT
+          primary is killed too — the §2 requirements must hold across
+          both cascading failovers.  With [rejoin_first] a repaired
+          host {!Tcpfo_core.Replicated.rejoin}s the back of the pool
+          just before the second kill, so the pool ends fully recovered
+          ([`Normal], transfers settled); without it the pool ends
+          degraded on its last survivor. *)
+
 type scenario = {
   seed : int;
   victim : victim;
@@ -63,7 +78,14 @@ type scenario = {
           instant reintegration begins, so the hot state transfers run
           over a lossy control channel.  0 when [repair] is
           [No_repair].  Transfers must still all complete (streaming
-          retransmission), never stranding a connection solo. *)
+          retransmission), never stranding a connection solo.  In pool
+          scenarios the burst instead opens when the standby is
+          promoted. *)
+  pool : pool;
+      (** drawn after every older axis, so adding the pool dimension
+          left all earlier seed → scenario mappings intact.  When a
+          pool is drawn the explicit [repair] axis is forced to
+          [No_repair]: promotion from the pool IS the repair. *)
 }
 
 type outcome = {

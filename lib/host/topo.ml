@@ -1,0 +1,584 @@
+module Time = Tcpfo_sim.Time
+module Ipaddr = Tcpfo_packet.Ipaddr
+module Macaddr = Tcpfo_packet.Macaddr
+module Medium = Tcpfo_net.Medium
+module Link = Tcpfo_net.Link
+module Nic = Tcpfo_net.Nic
+module Eth_iface = Tcpfo_ip.Eth_iface
+
+type host = {
+  h_name : string;
+  h_addr : string;
+  h_segment : string;
+  h_gateway : string option;
+  h_profile : Host.profile option;
+  h_tcp : Tcpfo_tcp.Tcp_config.t option;
+}
+
+type router = {
+  r_name : string;
+  r_segment : string;
+  r_lan_addr : string;
+  r_link : string;
+  r_wan_addr : string;
+}
+
+type wan_host = {
+  w_name : string;
+  w_addr : string;
+  w_link : string;
+  w_profile : Host.profile option;
+  w_tcp : Tcpfo_tcp.Tcp_config.t option;
+}
+
+type decl =
+  | Segment of string * Medium.config option
+  | Link of string * Link.config
+  | Host of host
+  | Router of router
+  | Wan_host of wan_host
+  | Group of string * string list
+
+type spec = decl list
+
+(* ------------------------------------------------------------------ *)
+(* constructors                                                        *)
+
+let segment ?config name = Segment (name, config)
+let link ?(config = Link.default_config) name = Link (name, config)
+
+let host ?gateway ?profile ?tcp_config ~addr ~seg name =
+  Host
+    {
+      h_name = name;
+      h_addr = addr;
+      h_segment = seg;
+      h_gateway = gateway;
+      h_profile = profile;
+      h_tcp = tcp_config;
+    }
+
+let router ~seg ~lan_addr ~link ~wan_addr name =
+  Router
+    {
+      r_name = name;
+      r_segment = seg;
+      r_lan_addr = lan_addr;
+      r_link = link;
+      r_wan_addr = wan_addr;
+    }
+
+let wan_host ?profile ?tcp_config ~addr ~link name =
+  Wan_host
+    {
+      w_name = name;
+      w_addr = addr;
+      w_link = link;
+      w_profile = profile;
+      w_tcp = tcp_config;
+    }
+
+let group ~members name = Group (name, members)
+
+(* ------------------------------------------------------------------ *)
+(* validation                                                          *)
+
+let is_addr s =
+  match Ipaddr.of_string s with
+  | (_ : Ipaddr.t) -> true
+  | exception _ -> false
+
+let validate (spec : spec) : (unit, string) result =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  (* accumulated declaration environments, in order *)
+  let segs = Hashtbl.create 8 in
+  (* host namespace: name -> `Lan of segment | `Router | `Wan *)
+  let hosts = Hashtbl.create 16 in
+  let groups = Hashtbl.create 4 in
+  (* per-segment claimed IPs: (segment, addr) *)
+  let seg_addrs = Hashtbl.create 16 in
+  (* link name -> (has_router, has_wan_host, wan addrs) *)
+  let links : (string, bool ref * bool ref * string list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let claim_addr seg addr who =
+    match Hashtbl.find_opt seg_addrs (seg, addr) with
+    | Some other ->
+      err "duplicate IP %s on segment %S (hosts %S and %S)" addr seg other who
+    | None ->
+      Hashtbl.add seg_addrs (seg, addr) who;
+      Ok ()
+  in
+  let check_addr who addr =
+    if is_addr addr then Ok () else err "host %S: bad address %S" who addr
+  in
+  let rec go = function
+    | [] ->
+      (* dangling link endpoints *)
+      Hashtbl.fold
+        (fun name (r, w, _) acc ->
+          match acc with
+          | Error _ -> acc
+          | Ok () ->
+            if not !r then
+              err "link %S has no router on its LAN side (dangling endpoint)"
+                name
+            else if not !w then
+              err "link %S has no WAN host (dangling endpoint)" name
+            else Ok ())
+        links (Ok ())
+    | d :: rest -> (
+      let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+      let continue () = go rest in
+      match d with
+      | Segment (name, _) ->
+        if Hashtbl.mem segs name then err "duplicate segment %S" name
+        else begin
+          Hashtbl.add segs name ();
+          continue ()
+        end
+      | Link (name, _) ->
+        if Hashtbl.mem links name then err "duplicate link %S" name
+        else begin
+          Hashtbl.add links name (ref false, ref false, ref []);
+          continue ()
+        end
+      | Host h ->
+        if Hashtbl.mem hosts h.h_name then
+          err "duplicate host name %S" h.h_name
+        else if not (Hashtbl.mem segs h.h_segment) then
+          err "host %S: unknown segment %S (segments must be declared first)"
+            h.h_name h.h_segment
+        else
+          let* () = check_addr h.h_name h.h_addr in
+          let* () =
+            match h.h_gateway with
+            | Some g when not (is_addr g) ->
+              err "host %S: bad gateway %S" h.h_name g
+            | _ -> Ok ()
+          in
+          let* () = claim_addr h.h_segment h.h_addr h.h_name in
+          Hashtbl.add hosts h.h_name (`Lan h.h_segment);
+          continue ()
+      | Router r -> (
+        if Hashtbl.mem hosts r.r_name then
+          err "duplicate host name %S" r.r_name
+        else if not (Hashtbl.mem segs r.r_segment) then
+          err "router %S: unknown segment %S" r.r_name r.r_segment
+        else
+          let* () = check_addr r.r_name r.r_lan_addr in
+          let* () = check_addr r.r_name r.r_wan_addr in
+          match Hashtbl.find_opt links r.r_link with
+          | None -> err "router %S: unknown link %S" r.r_name r.r_link
+          | Some (has_r, _, addrs) ->
+            if !has_r then
+              err "link %S claimed by two routers (%S is the second)"
+                r.r_link r.r_name
+            else
+              let* () = claim_addr r.r_segment r.r_lan_addr r.r_name in
+              has_r := true;
+              addrs := r.r_wan_addr :: !addrs;
+              Hashtbl.add hosts r.r_name `Router;
+              continue ())
+      | Wan_host w -> (
+        if Hashtbl.mem hosts w.w_name then
+          err "duplicate host name %S" w.w_name
+        else
+          let* () = check_addr w.w_name w.w_addr in
+          match Hashtbl.find_opt links w.w_link with
+          | None -> err "wan host %S: unknown link %S" w.w_name w.w_link
+          | Some (_, has_w, addrs) ->
+            if !has_w then
+              err "link %S claimed by two WAN hosts (%S is the second)"
+                w.w_link w.w_name
+            else if List.mem w.w_addr !addrs then
+              err "duplicate address %s on link %S" w.w_addr w.w_link
+            else begin
+              has_w := true;
+              addrs := w.w_addr :: !addrs;
+              Hashtbl.add hosts w.w_name `Wan;
+              continue ()
+            end)
+      | Group (name, members) -> (
+        if Hashtbl.mem groups name then err "duplicate group %S" name
+        else if List.length members < 2 then
+          err "group %S needs at least two members (a replica pair)" name
+        else
+          let segs_of =
+            List.map
+              (fun m ->
+                match Hashtbl.find_opt hosts m with
+                | Some (`Lan s) -> Ok (m, s)
+                | Some (`Router | `Wan) ->
+                  err "group %S: member %S is not a LAN host" name m
+                | None -> err "group %S: unknown member %S" name m)
+              members
+          in
+          match
+            List.fold_left
+              (fun acc r ->
+                match (acc, r) with
+                | (Error _ as e), _ -> e
+                | _, (Error _ as e) -> e
+                | Ok acc, Ok x -> Ok (x :: acc))
+              (Ok []) segs_of
+          with
+          | Error e -> Error e
+          | Ok pairs -> (
+            let dup =
+              let seen = Hashtbl.create 4 in
+              List.find_opt
+                (fun (m, _) ->
+                  if Hashtbl.mem seen m then true
+                  else begin
+                    Hashtbl.add seen m ();
+                    false
+                  end)
+                pairs
+            in
+            match dup with
+            | Some (m, _) -> err "group %S lists member %S twice" name m
+            | None -> (
+              match pairs with
+              | [] -> assert false
+              | (_, s0) :: _ -> (
+                match List.find_opt (fun (_, s) -> s <> s0) pairs with
+                | Some (m, s) ->
+                  err
+                    "group %S spans segments %S and %S (member %S) — the \
+                     snooping model needs one wire"
+                    name s0 s m
+                | None ->
+                  Hashtbl.add groups name ();
+                  continue ())))))
+  in
+  go spec
+
+(* ------------------------------------------------------------------ *)
+(* elaboration                                                         *)
+
+type built_host = {
+  bh_name : string;
+  bh_kind : string;
+  bh_where : string; (* segment or link name *)
+  bh_host : Host.t;
+}
+
+type built = {
+  b_segments : (string * Medium.t) list; (* decl order *)
+  b_links : (string * Link.t) list;
+  b_hosts : built_host list; (* decl order, all kinds *)
+  b_groups : (string * string list) list;
+  (* LAN membership per segment (hosts + routers), for warm_arp *)
+  b_members : (string * Host.t list) list;
+}
+
+let build world (spec : spec) : built =
+  (match validate spec with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Topo.build: " ^ e));
+  let segments = ref [] and links = ref [] in
+  let hosts = ref [] and groups = ref [] in
+  let members : (string, Host.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let seg_order = ref [] in
+  List.iter
+    (function
+      | Segment (name, config) ->
+        let m = World.make_lan world ?config () in
+        segments := (name, m) :: !segments;
+        seg_order := name :: !seg_order;
+        Hashtbl.add members name (ref [])
+      | Link (name, config) ->
+        let l =
+          Link.create (World.engine world)
+            ~rng:(World.fresh_rng world)
+            config
+        in
+        links := (name, l) :: !links
+      | Host h ->
+        let m = List.assoc h.h_segment !segments in
+        let host =
+          World.add_host world m ~name:h.h_name ~addr:h.h_addr
+            ?profile:h.h_profile ?tcp_config:h.h_tcp ()
+        in
+        (match h.h_gateway with
+        | Some g ->
+          Host.set_default_via_lan host ~gateway:(Ipaddr.of_string g)
+        | None -> ());
+        hosts :=
+          { bh_name = h.h_name; bh_kind = "host"; bh_where = h.h_segment;
+            bh_host = host }
+          :: !hosts;
+        let ms = Hashtbl.find members h.h_segment in
+        ms := host :: !ms
+      | Router r ->
+        let m = List.assoc r.r_segment !segments in
+        let l = List.assoc r.r_link !links in
+        let host =
+          World.add_router world m ~lan_addr:r.r_lan_addr ~wan_link:l
+            ~wan_addr:r.r_wan_addr ()
+        in
+        hosts :=
+          { bh_name = r.r_name; bh_kind = "router"; bh_where = r.r_segment;
+            bh_host = host }
+          :: !hosts;
+        let ms = Hashtbl.find members r.r_segment in
+        ms := host :: !ms
+      | Wan_host w ->
+        let l = List.assoc w.w_link !links in
+        let host =
+          World.add_wan_client world ~wan_link:l ~addr:w.w_addr
+            ?profile:w.w_profile ?tcp_config:w.w_tcp ()
+        in
+        hosts :=
+          { bh_name = w.w_name; bh_kind = "wan"; bh_where = w.w_link;
+            bh_host = host }
+          :: !hosts
+      | Group (name, ms) -> groups := (name, ms) :: !groups)
+    spec;
+  let b_members =
+    List.rev_map
+      (fun seg -> (seg, List.rev !(Hashtbl.find members seg)))
+      !seg_order
+  in
+  (* warm every segment's ARP caches over its own stations only: WAN
+     hosts are behind the router, and cross-segment bindings would be
+     wrong anyway *)
+  List.iter (fun (_, hs) -> World.warm_arp hs) b_members;
+  {
+    b_segments = List.rev !segments;
+    b_links = List.rev !links;
+    b_hosts = List.rev !hosts;
+    b_groups = List.rev !groups;
+    b_members;
+  }
+
+let host_of b name =
+  match List.find_opt (fun bh -> bh.bh_name = name) b.b_hosts with
+  | Some bh -> bh.bh_host
+  | None -> invalid_arg (Printf.sprintf "Topo.host_of: no host %S" name)
+
+let lookup what l name =
+  match List.assoc_opt name l with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Topo.%s_of: no %s %S" what what name)
+
+let segment_of b name = lookup "segment" b.b_segments name
+let link_of b name = lookup "link" b.b_links name
+
+let group_of b name =
+  let members = lookup "group" b.b_groups name in
+  List.map (host_of b) members
+
+let hosts b = List.map (fun bh -> bh.bh_host) b.b_hosts
+
+(* ------------------------------------------------------------------ *)
+(* concrete syntax                                                     *)
+
+let parse_duration s =
+  let num, unit_ =
+    let n = String.length s in
+    let rec split i =
+      if i >= n then (s, "")
+      else
+        match s.[i] with
+        | '0' .. '9' | '.' | '-' -> split (i + 1)
+        | _ -> (String.sub s 0 i, String.sub s i (n - i))
+    in
+    split 0
+  in
+  match (float_of_string_opt num, unit_) with
+  | Some f, ("ms" | "") -> Some (Time.us (int_of_float (f *. 1_000.)))
+  | Some f, "us" -> Some (Time.us (int_of_float f))
+  | Some f, "s" -> Some (Time.us (int_of_float (f *. 1_000_000.)))
+  | _ -> None
+
+let parse (text : string) : (spec, string) result =
+  let decls = ref [] in
+  let error = ref None in
+  let fail lineno fmt =
+    Printf.ksprintf
+      (fun m ->
+        if !error = None then error := Some (Printf.sprintf "line %d: %s" lineno m))
+      fmt
+  in
+  let kv_args lineno what args =
+    (* split positional words from k=v options *)
+    let pos, opts =
+      List.partition (fun a -> not (String.contains a '=')) args
+    in
+    let opts =
+      List.filter_map
+        (fun o ->
+          match String.index_opt o '=' with
+          | Some i ->
+            Some
+              ( String.sub o 0 i,
+                String.sub o (i + 1) (String.length o - i - 1) )
+          | None -> None)
+        opts
+    in
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k what) then
+          fail lineno "unknown option %S (expected one of: %s)" k
+            (String.concat ", " what))
+      opts;
+    (pos, opts)
+  in
+  let float_opt lineno opts k default =
+    match List.assoc_opt k opts with
+    | None -> default
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f -> f
+      | None ->
+        fail lineno "option %s: bad number %S" k v;
+        default)
+  in
+  let int_opt lineno opts k default =
+    match List.assoc_opt k opts with
+    | None -> default
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> i
+      | None ->
+        fail lineno "option %s: bad integer %S" k v;
+        default)
+  in
+  let dur_opt lineno opts k default =
+    match List.assoc_opt k opts with
+    | None -> default
+    | Some v -> (
+      match parse_duration v with
+      | Some d -> d
+      | None ->
+        fail lineno "option %s: bad duration %S (use e.g. 15ms, 200us, 1.5s)" k v;
+        default)
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> ()
+      | "lan" :: name :: args ->
+        let _, opts = kv_args lineno [ "bw"; "loss" ] args in
+        let config =
+          if opts = [] then None
+          else
+            Some
+              {
+                Medium.default_config with
+                bandwidth_bps =
+                  int_opt lineno opts "bw"
+                    Medium.default_config.bandwidth_bps;
+                loss_prob =
+                  float_opt lineno opts "loss"
+                    Medium.default_config.loss_prob;
+              }
+        in
+        decls := Segment (name, config) :: !decls
+      | "link" :: name :: args ->
+        let _, opts =
+          kv_args lineno
+            [ "bw"; "delay"; "jitter"; "loss"; "dup"; "reorder"; "queue" ]
+            args
+        in
+        let d = Link.default_config in
+        let config =
+          {
+            Link.bandwidth_bps = int_opt lineno opts "bw" d.bandwidth_bps;
+            delay = dur_opt lineno opts "delay" d.delay;
+            jitter = dur_opt lineno opts "jitter" d.jitter;
+            loss_prob = float_opt lineno opts "loss" d.loss_prob;
+            dup_prob = float_opt lineno opts "dup" d.dup_prob;
+            reorder_prob = float_opt lineno opts "reorder" d.reorder_prob;
+            queue_capacity = int_opt lineno opts "queue" d.queue_capacity;
+          }
+        in
+        decls := Link (name, config) :: !decls
+      | "host" :: name :: addr :: seg :: args ->
+        let _, opts = kv_args lineno [ "gw" ] args in
+        decls :=
+          Host
+            {
+              h_name = name;
+              h_addr = addr;
+              h_segment = seg;
+              h_gateway = List.assoc_opt "gw" opts;
+              h_profile = None;
+              h_tcp = None;
+            }
+          :: !decls
+      | [ "router"; name; seg; lan_addr; link; wan_addr ] ->
+        decls :=
+          Router
+            {
+              r_name = name;
+              r_segment = seg;
+              r_lan_addr = lan_addr;
+              r_link = link;
+              r_wan_addr = wan_addr;
+            }
+          :: !decls
+      | [ "wanhost"; name; addr; link ] ->
+        decls :=
+          Wan_host
+            {
+              w_name = name;
+              w_addr = addr;
+              w_link = link;
+              w_profile = None;
+              w_tcp = None;
+            }
+          :: !decls
+      | "group" :: name :: (_ :: _ as members) ->
+        decls := Group (name, members) :: !decls
+      | kw :: _ ->
+        fail lineno
+          "cannot parse %S (expected: lan, link, host, router, wanhost, \
+           group)"
+          kw)
+    lines;
+  match !error with Some e -> Error e | None -> Ok (List.rev !decls)
+
+(* ------------------------------------------------------------------ *)
+(* table                                                               *)
+
+let to_table (b : built) : string =
+  let buf = Buffer.create 256 in
+  let mac bh =
+    match Host.eth bh.bh_host with
+    | eth -> Macaddr.to_string (Nic.mac (Eth_iface.nic eth))
+    | exception Invalid_argument _ -> "-"
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %-7s %-15s %-18s %s\n" "HOST" "KIND" "ADDR" "MAC"
+       "WHERE");
+  List.iter
+    (fun bh ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %-7s %-15s %-18s %s\n" bh.bh_name bh.bh_kind
+           (Ipaddr.to_string (Host.addr bh.bh_host))
+           (mac bh) bh.bh_where))
+    b.b_hosts;
+  if b.b_groups <> [] then begin
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (name, members) ->
+        Buffer.add_string buf
+          (Printf.sprintf "group %-8s %s\n" name (String.concat " > " members)))
+      b.b_groups
+  end;
+  Buffer.contents buf

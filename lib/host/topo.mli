@@ -1,0 +1,162 @@
+(** Topology as data.
+
+    Every experiment in the repo used to hand-wire its world: make a
+    LAN, add hosts one by one, remember to warm ARP, keep the replica
+    order in your head.  [Topo] replaces that with a declarative
+    description — segments, hosts, links, routers and replica groups as
+    plain data — and one elaborator, {!build}, that turns a validated
+    {!spec} into live {!World} objects.
+
+    Declarations are an ordered list and are elaborated strictly in
+    declaration order.  This is a determinism contract, not a
+    convenience: every segment, link and host construction draws from
+    the world's root RNG (and the MAC allocator), so a spec whose
+    declarations mirror a hand-wired setup produces a byte-identical
+    world — same MACs, same per-host RNG streams, same metrics.
+
+    A tiny line-oriented concrete syntax ({!parse}) backs the CLI
+    [topo] subcommand, so topologies can live in files:
+
+    {v
+    # three-replica pool behind a WAN
+    lan net
+    link wan bw=2000000 delay=15ms loss=0.002
+    router gw net 10.0.0.254 wan 192.168.0.1
+    wanhost client 192.168.0.2 wan
+    host primary 10.0.0.1 net gw=10.0.0.254
+    host secondary 10.0.0.2 net gw=10.0.0.254
+    host standby 10.0.0.4 net gw=10.0.0.254
+    group pool primary secondary standby
+    v} *)
+
+(** {1 Spec} *)
+
+type host = {
+  h_name : string;
+  h_addr : string;  (** dotted quad *)
+  h_segment : string;  (** name of a [Segment] declared earlier *)
+  h_gateway : string option;  (** default route via this LAN gateway *)
+  h_profile : Host.profile option;
+  h_tcp : Tcpfo_tcp.Tcp_config.t option;
+}
+
+type router = {
+  r_name : string;
+  r_segment : string;
+  r_lan_addr : string;
+  r_link : string;  (** the router takes the link's B side *)
+  r_wan_addr : string;
+}
+
+type wan_host = {
+  w_name : string;
+  w_addr : string;
+  w_link : string;  (** the WAN host takes the link's A side *)
+  w_profile : Host.profile option;
+  w_tcp : Tcpfo_tcp.Tcp_config.t option;
+}
+
+type decl =
+  | Segment of string * Tcpfo_net.Medium.config option
+  | Link of string * Tcpfo_net.Link.config
+  | Host of host
+  | Router of router
+  | Wan_host of wan_host
+  | Group of string * string list
+      (** replica pool in promotion order: active primary first, active
+          secondary second, cold standbys after *)
+
+type spec = decl list
+
+(** {2 Constructors} — for terse programmatic specs *)
+
+val segment : ?config:Tcpfo_net.Medium.config -> string -> decl
+val link : ?config:Tcpfo_net.Link.config -> string -> decl
+
+val host :
+  ?gateway:string ->
+  ?profile:Host.profile ->
+  ?tcp_config:Tcpfo_tcp.Tcp_config.t ->
+  addr:string ->
+  seg:string ->
+  string ->
+  decl
+
+val router :
+  seg:string -> lan_addr:string -> link:string -> wan_addr:string ->
+  string -> decl
+
+val wan_host :
+  ?profile:Host.profile ->
+  ?tcp_config:Tcpfo_tcp.Tcp_config.t ->
+  addr:string ->
+  link:string ->
+  string ->
+  decl
+
+val group : members:string list -> string -> decl
+
+(** {1 Validation} *)
+
+val validate : spec -> (unit, string) result
+(** Structural checks, before anything is built:
+    - duplicate declaration names (hosts, routers and WAN hosts share
+      one namespace; segments, links and groups each have their own);
+    - references to undeclared (or later-declared) segments and links;
+    - duplicate IP addresses on one segment, and duplicate WAN-side
+      addresses on one link;
+    - dangling link endpoints: each link must be claimed by exactly one
+      router (B side) and exactly one WAN host (A side);
+    - groups with fewer than two members, unknown members, non-LAN
+      members, or members spread across different segments (the §3.1
+      snooping model needs the whole pool on one wire);
+    - malformed addresses and gateways. *)
+
+(** {1 Elaboration} *)
+
+type built
+
+val build : World.t -> spec -> built
+(** Validate, then elaborate in declaration order, drawing world RNG and
+    MAC state exactly as the equivalent hand-wired calls would.  After
+    all declarations, every segment's ARP caches are warmed
+    ({!World.warm_arp} — dead hosts skipped) over its LAN hosts and
+    routers.  Raises [Invalid_argument] with {!validate}'s message on an
+    invalid spec. *)
+
+val host_of : built -> string -> Host.t
+(** Any named host — LAN host, router or WAN host.  This and the other
+    accessors raise [Invalid_argument] on an unknown name. *)
+
+val segment_of : built -> string -> Tcpfo_net.Medium.t
+val link_of : built -> string -> Tcpfo_net.Link.t
+
+val group_of : built -> string -> Host.t list
+(** Members of a replica group, in promotion order — feed it straight to
+    [Replicated.create_pool ~replicas]. *)
+
+val hosts : built -> Host.t list
+(** Every host in declaration order (LAN hosts, routers, WAN hosts). *)
+
+(** {1 Concrete syntax} *)
+
+val parse : string -> (spec, string) result
+(** Parse the line-oriented syntax.  One declaration per line; [#] starts
+    a comment; blank lines are skipped.
+
+    {v
+    lan NAME [bw=BPS] [loss=P]
+    link NAME [bw=BPS] [delay=DUR] [jitter=DUR] [loss=P] [dup=P]
+              [reorder=P] [queue=N]
+    host NAME ADDR SEGMENT [gw=ADDR]
+    router NAME SEGMENT LAN_ADDR LINK WAN_ADDR
+    wanhost NAME ADDR LINK
+    group NAME MEMBER MEMBER [MEMBER...]
+    v}
+
+    Durations accept [ms]/[us]/[s] suffixes (e.g. [delay=15ms]).  The
+    result is unvalidated — run {!validate} (or {!build}) next. *)
+
+val to_table : built -> string
+(** Human-readable table of the elaborated topology: one row per host
+    (name, kind, address, MAC, segment/link), then the declared groups. *)

@@ -13,11 +13,37 @@ type t = {
   rng : Rng.t;
   obs : Obs.t;
   mutable next_mac : int;
+  (* every LAN attachment ever made, for duplicate-address detection:
+     (segment, ip, mac, host name) *)
+  mutable bindings : (Medium.t * Ipaddr.t * Macaddr.t * string) list;
 }
 
 let create ?(seed = 0xC0FFEE) () =
   { engine = Engine.create (); rng = Rng.create ~seed;
-    obs = Obs.create (); next_mac = 1 }
+    obs = Obs.create (); next_mac = 1; bindings = [] }
+
+(* Two hosts claiming one IP on one segment would fight over ARP — the
+   takeover's gratuitous ARP (§5 step 2) is the ONE sanctioned way an
+   address moves, so reject the topology outright.  Same for MACs: the
+   bridges snoop by address, and a duplicated MAC makes delivery depend
+   on attachment order. *)
+let record_binding t medium ~addr ~mac ~name =
+  List.iter
+    (fun (m, a, mc, n) ->
+      if m == medium then begin
+        if Ipaddr.equal a addr then
+          invalid_arg
+            (Printf.sprintf
+               "World: duplicate IP %s on one segment (hosts %S and %S)"
+               (Ipaddr.to_string addr) n name);
+        if Macaddr.equal mc mac then
+          invalid_arg
+            (Printf.sprintf
+               "World: duplicate MAC %s on one segment (hosts %S and %S)"
+               (Macaddr.to_string mac) n name)
+      end)
+    t.bindings;
+  t.bindings <- (medium, addr, mac, name) :: t.bindings
 
 let engine t = t.engine
 let rng t = t.rng
@@ -38,9 +64,10 @@ let add_host t medium ~name ~addr ?profile ?tcp_config () =
     Host.create t.engine ~name ~rng:(fresh_rng t) ?profile ?tcp_config
       ~obs:t.obs ()
   in
-  let _ : Eth_iface.t =
-    Host.attach_lan h medium ~addr:(Ipaddr.of_string addr) ~mac:(fresh_mac t) ()
-  in
+  let ip = Ipaddr.of_string addr in
+  let mac = fresh_mac t in
+  record_binding t medium ~addr:ip ~mac ~name;
+  let _ : Eth_iface.t = Host.attach_lan h medium ~addr:ip ~mac () in
   h
 
 let router_profile =
@@ -52,10 +79,10 @@ let add_router t medium ~lan_addr ~wan_link ~wan_addr () =
     Host.create t.engine ~name:"router" ~rng:(fresh_rng t)
       ~profile:router_profile ~obs:t.obs ()
   in
-  let _ : Eth_iface.t =
-    Host.attach_lan h medium ~addr:(Ipaddr.of_string lan_addr)
-      ~mac:(fresh_mac t) ()
-  in
+  let ip = Ipaddr.of_string lan_addr in
+  let mac = fresh_mac t in
+  record_binding t medium ~addr:ip ~mac ~name:"router";
+  let _ : Eth_iface.t = Host.attach_lan h medium ~addr:ip ~mac () in
   Host.attach_ptp h (Link.endpoint_b wan_link) ~addr:(Ipaddr.of_string wan_addr);
   Host.set_forwarding h true;
   h

@@ -38,7 +38,11 @@ val add_host :
   ?tcp_config:Tcpfo_tcp.Tcp_config.t ->
   unit ->
   Host.t
-(** LAN host with an auto-assigned MAC and a /24 on the given address. *)
+(** LAN host with an auto-assigned MAC and a /24 on the given address.
+    Raises [Invalid_argument] if the address (or MAC) is already claimed
+    on the same segment: the takeover's gratuitous ARP is the one
+    sanctioned way an address moves between hosts, so a statically
+    duplicated binding is always a topology bug. *)
 
 val add_router :
   t ->

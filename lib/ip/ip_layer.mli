@@ -93,6 +93,11 @@ val set_heartbeat_handler :
   (src:Tcpfo_packet.Ipaddr.t -> Tcpfo_packet.Ipv4_packet.heartbeat -> unit) ->
   unit
 
+val heartbeat_handler :
+  t -> src:Tcpfo_packet.Ipaddr.t -> Tcpfo_packet.Ipv4_packet.heartbeat -> unit
+(** The currently installed heartbeat handler, so a new watcher can chain
+    onto it — a pool primary runs one detector per watched replica. *)
+
 val set_raw_handler :
   t ->
   (src:Tcpfo_packet.Ipaddr.t -> proto:int -> string -> unit) ->

@@ -30,6 +30,8 @@ let () =
       ("soak", Test_soak.suite);
       ("statex", Test_statex.suite);
       ("transfer", Test_transfer.suite);
+      ("topo", Test_topo.suite);
+      ("pool", Test_pool.suite);
       ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
     ]

@@ -1,0 +1,178 @@
+(* Tests for the N-replica pool: cascading failover through successive
+   primary deaths, standby liveness, rejoin ordering, and pool
+   construction errors. *)
+
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Topo = Tcpfo_host.Topo
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Replicated = Tcpfo_core.Replicated
+module Failover_config = Tcpfo_core.Failover_config
+open Testutil
+
+let port = 5000
+
+(* [n]-replica pool behind one client, built through Topo; events are
+   recorded in arrival order. *)
+let make_pool ?(n = 3) ?(seed = 11) () =
+  let world = World.create ~seed () in
+  let names =
+    List.init n (fun i ->
+        match i with
+        | 0 -> "primary"
+        | 1 -> "secondary"
+        | k -> Printf.sprintf "standby%d" (k - 1))
+  in
+  let spec =
+    (Topo.segment "lan"
+    :: Topo.host ~addr:"10.0.0.10" ~seg:"lan" "client"
+    :: List.mapi
+         (fun i nm ->
+           Topo.host ~addr:(Printf.sprintf "10.0.0.%d" (i + 1)) ~seg:"lan" nm)
+         names)
+    @ [ Topo.group ~members:names "pool" ]
+  in
+  let topo = Topo.build world spec in
+  let repl =
+    Replicated.create_pool
+      ~replicas:(Topo.group_of topo "pool")
+      ~config:Failover_config.default ()
+  in
+  let events = ref [] in
+  Replicated.set_on_event repl (fun e -> events := e :: !events);
+  (world, topo, repl, events)
+
+let promoted events =
+  List.filter_map
+    (function Replicated.Promoted n -> Some n | _ -> None)
+    (List.rev !events)
+
+let standby_names repl = List.map Host.name (Replicated.standbys repl)
+
+let expect_invalid what f =
+  match f () with
+  | _ -> Alcotest.fail (what ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+(* One connection, opened before any failure, must survive TWO cascading
+   primary deaths byte-exactly: each death promotes the next standby, so
+   the client always sits behind a full replica pair. *)
+let test_cascading_double_failover () =
+  let world, topo, repl, events = make_pool ~n:4 () in
+  Replicated.listen repl ~port ~on_accept:(fun ~role:_ tcb ->
+      Tcb.set_on_data tcb (fun d -> ignore (Tcb.send tcb ("R:" ^ d)));
+      Tcb.set_on_eof tcb (fun () -> Tcb.close tcb));
+  let client = Topo.host_of topo "client" in
+  let sink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp client)
+      ~remote:(Replicated.service_addr repl, port)
+      ()
+  in
+  wire_sink sink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "req"));
+  World.run world ~for_:(Time.ms 100);
+  Replicated.kill_primary repl;
+  World.run world ~for_:(Time.sec 3.0);
+  ignore (Tcb.send c "mid1");
+  World.run world ~for_:(Time.sec 1.0);
+  Replicated.kill_primary repl;
+  World.run world ~for_:(Time.sec 3.0);
+  ignore (Tcb.send c "mid2");
+  World.run world ~for_:(Time.sec 1.0);
+  Tcb.close c;
+  World.run world ~for_:(Time.sec 2.0);
+  check_string "stream byte-exact through both failovers" "R:reqR:mid1R:mid2"
+    (sink_contents sink);
+  check_int "no resets" 0 sink.resets;
+  check_bool "pair whole again" true (Replicated.status repl = `Normal);
+  check_bool "standbys drained" true (Replicated.standbys repl = []);
+  check_bool "promotions in pool order" true
+    (promoted events = [ "standby1"; "standby2" ]);
+  check_int "no transfers stranded" 0 (Replicated.pending_transfers repl);
+  check_int "no transfer failures" 0 (Replicated.transfer_failures repl)
+
+(* A standby dying must be noticed by its liveness watcher and dropped
+   from the pool without disturbing the active pair. *)
+let test_standby_loss_detected () =
+  let world, _topo, repl, events = make_pool ~n:3 () in
+  World.run world ~for_:(Time.ms 200);
+  (match Replicated.standbys repl with
+  | [ s ] -> Host.kill s
+  | l -> Alcotest.failf "expected one standby, got %d" (List.length l));
+  World.run world ~for_:(Time.sec 3.0);
+  check_bool "standby dropped" true (Replicated.standbys repl = []);
+  check_bool "loss event emitted" true
+    (List.exists
+       (function Replicated.Standby_lost "standby1" -> true | _ -> false)
+       !events);
+  check_bool "active pair untouched" true (Replicated.status repl = `Normal)
+
+(* rejoin queues repaired hosts at the BACK of the pool, and rejects dead
+   or already-pooled hosts. *)
+let test_rejoin_ordering_and_errors () =
+  let world, topo, repl, _events = make_pool ~n:3 () in
+  let lan = Topo.segment_of topo "lan" in
+  World.run world ~for_:(Time.ms 100);
+  let fresh = World.add_host world lan ~name:"fresh" ~addr:"10.0.0.9" () in
+  World.warm_arp (fresh :: Topo.hosts topo);
+  Replicated.rejoin repl fresh;
+  check_bool "rejoined at the back" true
+    (standby_names repl = [ "standby1"; "fresh" ]);
+  expect_invalid "double rejoin" (fun () -> Replicated.rejoin repl fresh);
+  let corpse = World.add_host world lan ~name:"corpse" ~addr:"10.0.0.8" () in
+  Host.kill corpse;
+  expect_invalid "dead host rejoin" (fun () -> Replicated.rejoin repl corpse)
+
+(* With no standby left, rejoin into a degraded pair pairs immediately
+   with the survivor (the reintegrate path). *)
+let test_rejoin_into_degraded_pair () =
+  let world, topo, repl, events = make_pool ~n:2 () in
+  World.run world ~for_:(Time.ms 100);
+  Replicated.kill_secondary repl;
+  World.run world ~for_:(Time.sec 2.0);
+  check_bool "pair degraded" true (Replicated.status repl = `Secondary_failed);
+  let lan = Topo.segment_of topo "lan" in
+  let fresh = World.add_host world lan ~name:"fresh" ~addr:"10.0.0.9" () in
+  World.warm_arp (fresh :: Topo.hosts topo);
+  Replicated.rejoin repl fresh;
+  World.run world ~for_:(Time.sec 1.0);
+  check_bool "pair repaired immediately" true
+    (Replicated.status repl = `Normal);
+  check_bool "no residual standby" true (Replicated.standbys repl = []);
+  check_bool "rejoin event emitted" true
+    (List.exists
+       (function Replicated.Rejoined "fresh" -> true | _ -> false)
+       !events)
+
+let test_create_pool_rejects () =
+  let world = World.create () in
+  let lan = World.make_lan world () in
+  let a = World.add_host world lan ~name:"a" ~addr:"10.0.0.1" () in
+  let b = World.add_host world lan ~name:"b" ~addr:"10.0.0.2" () in
+  expect_invalid "single replica" (fun () ->
+      Replicated.create_pool ~replicas:[ a ] ~config:Failover_config.default
+        ());
+  expect_invalid "duplicate replica" (fun () ->
+      Replicated.create_pool ~replicas:[ a; b; a ]
+        ~config:Failover_config.default ());
+  Host.kill b;
+  expect_invalid "dead replica" (fun () ->
+      Replicated.create_pool ~replicas:[ a; b ]
+        ~config:Failover_config.default ())
+
+let suite =
+  [
+    Alcotest.test_case "cascading double failover is byte-exact" `Quick
+      test_cascading_double_failover;
+    Alcotest.test_case "standby loss detected and dropped" `Quick
+      test_standby_loss_detected;
+    Alcotest.test_case "rejoin ordering and errors" `Quick
+      test_rejoin_ordering_and_errors;
+    Alcotest.test_case "rejoin into degraded pair" `Quick
+      test_rejoin_into_degraded_pair;
+    Alcotest.test_case "create_pool rejects bad pools" `Quick
+      test_create_pool_rejects;
+  ]

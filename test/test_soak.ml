@@ -27,6 +27,28 @@ let test_seed_set_covers_victims () =
   check_bool "kills a secondary" true (List.mem Soak.Secondary victims);
   check_bool "has a no-kill control" true (List.mem Soak.Nobody victims)
 
+(* The pool axis must actually be drawn within the CI seed range, in
+   both variants, and those scenarios must run clean: a 3-replica pool
+   surviving a cascading double kill, with and without a rejoin between
+   the kills. *)
+let test_pool_axis_covered () =
+  let pool_seeds variant =
+    List.filter
+      (fun s -> (Soak.scenario_of_seed s).Soak.pool = variant)
+      (List.init 60 (fun i -> i + 1))
+  in
+  let plain = pool_seeds (Soak.Pool3 { rejoin_first = false }) in
+  let rejoin = pool_seeds (Soak.Pool3 { rejoin_first = true }) in
+  check_bool "seeds 1-60 draw pool3" true (plain <> []);
+  check_bool "seeds 1-60 draw pool3+rejoin" true (rejoin <> []);
+  List.iter
+    (fun seed ->
+      let o = Soak.run (Soak.scenario_of_seed seed) in
+      Alcotest.(check (list string))
+        (Soak.describe o.Soak.scenario)
+        [] o.Soak.violations)
+    [ List.hd plain; List.hd rejoin ]
+
 let test_replay_is_byte_identical () =
   let sc = Soak.scenario_of_seed 5 in
   let a = Soak.run sc in
@@ -40,6 +62,8 @@ let suite =
       test_invariants_hold;
     Alcotest.test_case "seed set covers both victims" `Quick
       test_seed_set_covers_victims;
+    Alcotest.test_case "pool axis covered and clean" `Quick
+      test_pool_axis_covered;
     Alcotest.test_case "seed replay byte-identical" `Quick
       test_replay_is_byte_identical;
   ]

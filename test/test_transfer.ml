@@ -403,8 +403,14 @@ let test_soak_draws_lossy_transfers () =
     (List.exists (fun s -> s.Soak.xfer_loss > 0.0) scenarios);
   List.iter
     (fun s ->
-      if s.Soak.repair = Soak.No_repair && s.Soak.xfer_loss <> 0.0 then
-        Alcotest.failf "seed %d: loss drawn without a repair phase"
+      (* a nonzero loss needs transfers to cover: either an explicit
+         repair phase, or a pool whose promotion reintegrates *)
+      if
+        s.Soak.repair = Soak.No_repair
+        && s.Soak.pool = Soak.Pair
+        && s.Soak.xfer_loss <> 0.0
+      then
+        Alcotest.failf "seed %d: loss drawn without a transfer phase"
           s.Soak.seed)
     scenarios
 
