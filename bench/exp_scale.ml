@@ -42,7 +42,7 @@ type outcome = {
 }
 
 let one_trial ~conns ~reply_size ~seed =
-  let world = World.create ~seed () in
+  let world = World.create ~seed ~engine_backend:!engine_backend () in
   note_world world;
   let spec =
     (Topo.segment "lan"
@@ -179,4 +179,6 @@ let run_exp ~conns ~reply_size ~trials =
      \"median_wall_s_per_sim_s\":%.4f,\"suite_wall_s\":%.3f,\
      \"all_completed\":%b}\n%!"
     conns reply_size trials !jobs med_eps med_wps wall_total all_done;
+  events_line ~exp:"scale"
+    (List.fold_left (fun acc o -> acc + o.events) 0 outcomes);
   dump_metrics ~exp:"scale"

@@ -59,6 +59,18 @@ type env = {
 
 let jobs = ref 1
 
+(* Engine scheduling backend for every world the experiments build,
+   set from --engine.  Simulation results are byte-identical across
+   backends (the packed table/metrics lines prove it per run); only
+   wall-clock differs. *)
+let engine_backend = ref Engine.Heap
+
+(* Deterministic total-event line, one per experiment run: CI smoke jobs
+   gate on these (and on the metrics snapshots) instead of wall-clock,
+   which varies with the runner. *)
+let events_line ~exp total =
+  Printf.printf "[events-total:%s] {\"events\":%d}\n%!" exp total
+
 let dls_last_world : World.t option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
@@ -112,7 +124,7 @@ let dump_metrics ~exp =
     | None -> Printf.printf "[metrics:%s] %s\n%!" exp json)
 
 let make_env ?(seed = 1) mode =
-  let world = World.create ~seed () in
+  let world = World.create ~seed ~engine_backend:!engine_backend () in
   note_world world;
   (* the benchmark testbed as data; declaration order mirrors the old
      hand-wired construction so seeded runs stay byte-identical *)

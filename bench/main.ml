@@ -23,6 +23,7 @@ type which =
   | Soak_exp
   | Reintegration_exp
   | Pool_exp
+  | Highconn_exp
 
 let which_of_string = function
   | "all" -> Ok All
@@ -39,6 +40,7 @@ let which_of_string = function
   | "soak" -> Ok Soak_exp
   | "reintegration" -> Ok Reintegration_exp
   | "pool" -> Ok Pool_exp
+  | "highconn" -> Ok Highconn_exp
   | s -> Error (`Msg ("unknown experiment: " ^ s))
 
 let which_conv =
@@ -60,7 +62,8 @@ let which_conv =
           | Micro_exp -> "micro"
           | Soak_exp -> "soak"
           | Reintegration_exp -> "reintegration"
-          | Pool_exp -> "pool") )
+          | Pool_exp -> "pool"
+          | Highconn_exp -> "highconn") )
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -69,12 +72,24 @@ let rec mkdir_p dir =
     Sys.mkdir dir 0o755
   end
 
-let run which quick metrics_dir jobs seeds first_seed soak_report loss_rates =
+let run which quick metrics_dir jobs seeds first_seed soak_report loss_rates
+    engines =
   (match metrics_dir with
   | Some dir ->
     mkdir_p dir;
     Harness.metrics_dir := Some dir
   | None -> ());
+  let backends =
+    List.map
+      (fun s ->
+        match Tcpfo_sim.Engine.backend_of_string s with
+        | Ok b -> b
+        | Error m -> failwith m)
+      (if engines = [] then [ "heap" ] else engines)
+  in
+  (* every experiment's worlds use the first listed backend; E13
+     additionally sweeps the full list *)
+  Harness.engine_backend := List.hd backends;
   let jobs =
     if jobs = 0 then Tcpfo_util.Domain_pool.default_jobs () else max 1 jobs
   in
@@ -111,6 +126,11 @@ let run which quick metrics_dir jobs seeds first_seed soak_report loss_rates =
     Exp_pool.run_exp
       ~pool_sizes:(if quick then [ 3; 4 ] else [ 3; 4; 5 ])
       ~trials:(if quick then 2 else 3);
+  if should Highconn_exp then
+    Exp_highconn.run_exp
+      ~conn_counts:(if quick then [ 100; 400 ] else [ 1000; 4000; 10000 ])
+      ~backends
+      ~trials:(if quick then 1 else 2);
   let soak_failures =
     if should Soak_exp then
       Exp_soak.run_exp
@@ -126,7 +146,7 @@ let which_arg =
   Arg.(value & opt which_conv All & info [ "exp" ] ~docv:"EXP"
          ~doc:"Experiment to run: all, setup, fig3, fig4, fig5, fig6, \
                failover, ablation, chain, scale, micro, soak, \
-               reintegration, pool.")
+               reintegration, pool, highconn.")
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes and trial counts.")
@@ -165,12 +185,20 @@ let loss_arg =
                the LAN, reporting transfer latency and chunk \
                retransmissions.")
 
+let engine_arg =
+  Arg.(value & opt (list string) [ "heap" ] & info [ "engine" ] ~docv:"B,..."
+         ~doc:"Engine scheduling backend(s): heap, wheel.  Experiments \
+               run on the first; the highconn experiment sweeps the \
+               whole list.  Results are byte-identical across backends \
+               (only wall-clock differs).")
+
 let cmd =
   Cmd.v
     (Cmd.info "tcpfo-bench"
        ~doc:"Reproduce the evaluation of 'Transparent TCP Connection \
              Failover' (DSN 2003)")
     Term.(const run $ which_arg $ quick_arg $ metrics_dir_arg $ jobs_arg
-          $ seeds_arg $ first_seed_arg $ soak_report_arg $ loss_arg)
+          $ seeds_arg $ first_seed_arg $ soak_report_arg $ loss_arg
+          $ engine_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -18,9 +18,20 @@ type t = {
   mutable bindings : (Medium.t * Ipaddr.t * Macaddr.t * string) list;
 }
 
-let create ?(seed = 0xC0FFEE) () =
-  { engine = Engine.create (); rng = Rng.create ~seed;
-    obs = Obs.create (); next_mac = 1; bindings = [] }
+let create ?(seed = 0xC0FFEE) ?engine_backend () =
+  let engine = Engine.create ?backend:engine_backend () in
+  let obs = Obs.create () in
+  (* [lib/sim] cannot see [lib/obs], so the engine's structural counters
+     are mirrored into the registry from here.  They are deliberately
+     backend-dependent: byte-identity across backends is asserted on
+     everything BUT the [engine.*] scope (see DESIGN). *)
+  let eobs = Obs.scope obs "engine" in
+  let skips = Obs.counter eobs "cancelled_skips" in
+  let cascades = Obs.counter eobs "wheel_cascades" in
+  Engine.set_stat_hooks engine
+    ~cancelled_skip:(fun () -> Tcpfo_obs.Registry.Counter.incr skips)
+    ~wheel_cascade:(fun () -> Tcpfo_obs.Registry.Counter.incr cascades);
+  { engine; rng = Rng.create ~seed; obs; next_mac = 1; bindings = [] }
 
 (* Two hosts claiming one IP on one segment would fight over ARP — the
    takeover's gratuitous ARP (§5 step 2) is the ONE sanctioned way an

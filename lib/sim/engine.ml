@@ -1,29 +1,403 @@
 (* [cancelled] and [consumed] are tracked separately so that an id can be
    cancelled *after* its event fired and the distinction still observed:
    a pause-aware host clock defers fired events and must honour a cancel
-   that arrives while the body is parked (see Tcpfo_host.Host). *)
-type event_id = { mutable cancelled : bool; mutable consumed : bool }
-type event = { id : event_id; fn : unit -> unit }
+   that arrives while the body is parked (see Tcpfo_host.Host).
+
+   The record doubles as the queue node: [at]/[seq] order it, [fn] is the
+   body, [next] threads it through a timer-wheel bucket, and [home] tells
+   {!cancel} which structure currently holds it.  One allocation per
+   scheduled event, reused end to end — scheduling never builds a
+   separate heap entry or closure wrapper. *)
+type event_id = {
+  mutable cancelled : bool;
+  mutable consumed : bool;
+  mutable at : Time.t;
+  mutable seq : int; (* global scheduling order; total tie-break *)
+  mutable fn : unit -> unit;
+  mutable next : event_id; (* intrusive bucket link; == nil when last *)
+  mutable home : int; (* which structure holds the event, see home_* *)
+}
+
+let rec nil =
+  { cancelled = true; consumed = true; at = max_int; seq = -1; fn = ignore;
+    next = nil; home = 0 }
+
+(* home values *)
+let home_main = 0 (* the heap backend's single queue *)
+let home_bucket = 1 (* a wheel bucket; swept when the bucket cascades *)
+let home_cur = 2 (* the wheel's open-slot heap *)
+let home_overflow = 3 (* the wheel's far-future heap *)
+let home_done = 4 (* popped (fired or discarded) *)
+
+(* ------------------------------------------------------------------ *)
+(* Flat binary min-heap over event_ids ordered by (at, seq).  Unlike the
+   generic Tcpfo_util.Heap it stores the event records directly (no
+   per-push entry allocation) and orders by the global scheduling
+   sequence, so events that reach a queue out of scheduling order (a
+   cascaded wheel bucket merging with directly-scheduled events) still
+   pop in exactly the order the heap backend fires them.  Cancelled
+   entries are tombstones: [note_dead] sweeps them once they outnumber
+   the live entries. *)
+module Evheap = struct
+  type h = {
+    mutable arr : event_id array;
+    mutable size : int;
+    mutable dead : int;
+  }
+
+  let create () = { arr = [||]; size = 0; dead = 0 }
+  let is_empty h = h.size = 0
+
+  let less a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+  let sift_down h i =
+    let i = ref i in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+      if r < h.size && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = h.arr.(!smallest) in
+        h.arr.(!smallest) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+
+  let push h ev =
+    if h.size = Array.length h.arr then begin
+      let cap = max 16 (2 * Array.length h.arr) in
+      let arr = Array.make cap nil in
+      Array.blit h.arr 0 arr 0 h.size;
+      h.arr <- arr
+    end;
+    h.arr.(h.size) <- ev;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      less h.arr.(!i) h.arr.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.arr.(p) in
+      h.arr.(p) <- h.arr.(!i);
+      h.arr.(!i) <- tmp;
+      i := p
+    done
+
+  let peek h = if h.size = 0 then nil else h.arr.(0)
+
+  let pop h =
+    if h.size = 0 then nil
+    else begin
+      let top = h.arr.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.arr.(0) <- h.arr.(h.size);
+        h.arr.(h.size) <- nil;
+        sift_down h 0
+      end
+      else h.arr.(0) <- nil;
+      if h.dead > 0 && top.cancelled then h.dead <- h.dead - 1;
+      top
+    end
+
+  (* Sweep tombstones once more than half the array is dead; (at, seq)
+     is a total order, so re-heapifying the survivors cannot change
+     their pop sequence. *)
+  let compact h =
+    let kept = ref 0 in
+    for i = 0 to h.size - 1 do
+      let ev = h.arr.(i) in
+      if not ev.cancelled then begin
+        h.arr.(!kept) <- ev;
+        incr kept
+      end
+      else begin
+        ev.home <- home_done;
+        ev.fn <- ignore
+      end
+    done;
+    for i = !kept to h.size - 1 do
+      h.arr.(i) <- nil
+    done;
+    h.size <- !kept;
+    h.dead <- 0;
+    for i = (h.size / 2) - 1 downto 0 do
+      sift_down h i
+    done
+
+  let note_dead h =
+    h.dead <- h.dead + 1;
+    if 2 * h.dead > h.size then compact h
+end
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical timer wheel: [levels] wheels of [wheel_slots] buckets
+   each, level [l] bucketing [granularity * wheel_slots^l] nanoseconds
+   per slot.  Near-future events hash into the finest wheel in O(1);
+   each coarser wheel covers 256x more time; anything beyond the top
+   span (~73 simulated minutes) waits in the overflow heap.  Events of
+   the slot currently being drained sit in [cur], a small (at, seq)
+   heap, which preserves the exact global firing order the heap backend
+   produces. *)
+
+let slot_bits = 10 (* 1.024 us granularity *)
+let wheel_bits = 8
+let wheel_slots = 1 lsl wheel_bits
+let slot_mask = wheel_slots - 1
+let levels = 4
+
+type wheel = {
+  heads : event_id array array; (* heads.(level).(slot), nil when empty *)
+  tails : event_id array array;
+  counts : int array; (* queued entries (incl. tombstones) per level *)
+  mutable opened : int; (* absolute level-0 slot number currently open *)
+  cur : Evheap.h;
+  overflow : Evheap.h;
+}
+
+type backend = Heap | Wheel
 
 type t = {
   mutable clock : Time.t;
-  queue : event Tcpfo_util.Heap.t;
+  backend : backend;
+  queue : Evheap.h; (* heap backend's only queue; unused under Wheel *)
+  wheel : wheel option;
   mutable live : int;
   mutable processed : int;
+  mutable seq : int;
+  mutable cancelled_skips : int;
+  mutable wheel_cascades : int;
+  mutable on_cancelled_skip : unit -> unit;
+  mutable on_wheel_cascade : unit -> unit;
 }
 
-let create () =
-  { clock = 0; queue = Tcpfo_util.Heap.create (); live = 0; processed = 0 }
+let create ?(backend = Heap) () =
+  let wheel =
+    match backend with
+    | Heap -> None
+    | Wheel ->
+      Some
+        {
+          heads = Array.init levels (fun _ -> Array.make wheel_slots nil);
+          tails = Array.init levels (fun _ -> Array.make wheel_slots nil);
+          counts = Array.make levels 0;
+          opened = 0;
+          cur = Evheap.create ();
+          overflow = Evheap.create ();
+        }
+  in
+  { clock = 0; backend; queue = Evheap.create (); wheel; live = 0;
+    processed = 0; seq = 0; cancelled_skips = 0; wheel_cascades = 0;
+    on_cancelled_skip = ignore; on_wheel_cascade = ignore }
+
+let backend t = t.backend
+let backend_name = function Heap -> "heap" | Wheel -> "wheel"
+
+let backend_of_string = function
+  | "heap" -> Ok Heap
+  | "wheel" -> Ok Wheel
+  | s -> Error (Printf.sprintf "unknown engine backend %S (heap|wheel)" s)
 
 let now t = t.clock
 let processed t = t.processed
+let cancelled_skips t = t.cancelled_skips
+let wheel_cascades t = t.wheel_cascades
+
+let set_stat_hooks t ~cancelled_skip ~wheel_cascade =
+  t.on_cancelled_skip <- cancelled_skip;
+  t.on_wheel_cascade <- wheel_cascade
+
+let discard t ev =
+  ev.home <- home_done;
+  ev.fn <- ignore;
+  t.cancelled_skips <- t.cancelled_skips + 1;
+  t.on_cancelled_skip ()
+
+(* -------------------------- wheel internals ----------------------- *)
+
+let bucket_append w ~level ~slot ev =
+  ev.next <- nil;
+  if w.heads.(level).(slot) == nil then w.heads.(level).(slot) <- ev
+  else w.tails.(level).(slot).next <- ev;
+  w.tails.(level).(slot) <- ev;
+  w.counts.(level) <- w.counts.(level) + 1
+
+(* Place [ev] relative to the wheel position (the open slot), not the
+   clock: after an overflow pop or an idle [run ~until] the clock can
+   drift from [opened], and classifying against the position is what
+   keeps every non-empty bucket strictly ahead of the wheel, so it
+   cascades before its events come due.  Events for the open slot (or
+   earlier) join [cur] directly. *)
+let wheel_insert w ev =
+  let slot_abs = ev.at lsr slot_bits in
+  if slot_abs <= w.opened then begin
+    ev.home <- home_cur;
+    Evheap.push w.cur ev
+  end
+  else begin
+    let delta = ev.at - (w.opened lsl slot_bits) in
+    let rec place level =
+      if level >= levels then begin
+        ev.home <- home_overflow;
+        Evheap.push w.overflow ev
+      end
+      else if delta < 1 lsl (slot_bits + (wheel_bits * (level + 1))) then begin
+        let slot =
+          (ev.at lsr (slot_bits + (wheel_bits * level))) land slot_mask
+        in
+        ev.home <- home_bucket;
+        bucket_append w ~level ~slot ev
+      end
+      else place (level + 1)
+    in
+    place 0
+  end
+
+let bucket_take w ~level ~slot =
+  let head = w.heads.(level).(slot) in
+  if head != nil then begin
+    let n = ref 0 in
+    let p = ref head in
+    while !p != nil do
+      incr n;
+      p := !p.next
+    done;
+    w.counts.(level) <- w.counts.(level) - !n;
+    w.heads.(level).(slot) <- nil;
+    w.tails.(level).(slot) <- nil
+  end;
+  head
+
+(* Tombstone compaction for bucketed events happens here: cancelled
+   entries are dropped instead of re-inserted, so a cancel costs O(1) at
+   cancel time and the corpse is reclaimed the next time its bucket
+   moves. *)
+let cascade t w ~level ~slot =
+  let head = bucket_take w ~level ~slot in
+  if head != nil then begin
+    t.wheel_cascades <- t.wheel_cascades + 1;
+    t.on_wheel_cascade ();
+    let p = ref head in
+    while !p != nil do
+      let ev = !p in
+      p := ev.next;
+      ev.next <- nil;
+      if ev.cancelled then discard t ev else wheel_insert w ev
+    done
+  end
+
+let open_slot t w pos =
+  let head = bucket_take w ~level:0 ~slot:(pos land slot_mask) in
+  let p = ref head in
+  while !p != nil do
+    let ev = !p in
+    p := ev.next;
+    ev.next <- nil;
+    if ev.cancelled then discard t ev
+    else begin
+      ev.home <- home_cur;
+      Evheap.push w.cur ev
+    end
+  done
+
+let enter t w pos =
+  w.opened <- pos;
+  if pos land ((1 lsl (3 * wheel_bits)) - 1) = 0 then
+    cascade t w ~level:3 ~slot:((pos lsr (3 * wheel_bits)) land slot_mask);
+  if pos land ((1 lsl (2 * wheel_bits)) - 1) = 0 then
+    cascade t w ~level:2 ~slot:((pos lsr (2 * wheel_bits)) land slot_mask);
+  if pos land slot_mask = 0 then
+    cascade t w ~level:1 ~slot:((pos lsr wheel_bits) land slot_mask);
+  open_slot t w pos
+
+(* Drop tombstones sitting on top of a heap, leaving a live minimum (or
+   an empty heap). *)
+let drain_tombstones t h =
+  let continue = ref true in
+  while !continue do
+    let top = Evheap.peek h in
+    if top != nil && top.cancelled then discard t (Evheap.pop h)
+    else continue := false
+  done
+
+let buckets_total w =
+  w.counts.(0) + w.counts.(1) + w.counts.(2) + w.counts.(3)
+
+(* Advance the wheel position until the open-slot heap holds a live
+   event or the wheels are empty.  Empty levels are skipped a whole
+   boundary at a time, so an idle gap costs O(wheel_slots * levels)
+   rather than one step per elapsed slot. *)
+let rec advance t w =
+  drain_tombstones t w.cur;
+  if Evheap.is_empty w.cur && buckets_total w > 0 then begin
+    let pos =
+      if w.counts.(0) > 0 then w.opened + 1
+      else if w.counts.(1) > 0 then (w.opened lor slot_mask) + 1
+      else if w.counts.(2) > 0 then
+        (w.opened lor ((1 lsl (2 * wheel_bits)) - 1)) + 1
+      else (w.opened lor ((1 lsl (3 * wheel_bits)) - 1)) + 1
+    in
+    enter t w pos;
+    advance t w
+  end
+
+(* The next live event, without removing it: the wheel candidate (after
+   advancing) compared against the overflow heap by (at, seq) — an event
+   scheduled beyond the horizon can come due before events bucketed
+   later from a nearer position. *)
+let wheel_peek t w =
+  advance t w;
+  drain_tombstones t w.overflow;
+  let a = Evheap.peek w.cur and b = Evheap.peek w.overflow in
+  if a == nil then if b == nil then nil else b
+  else if b == nil then a
+  else if Evheap.less a b then a
+  else b
+
+let wheel_take t w =
+  let ev = wheel_peek t w in
+  if ev == nil then nil
+  else begin
+    let h = if ev.home = home_cur then w.cur else w.overflow in
+    ignore (Evheap.pop h);
+    ev
+  end
+
+let heap_peek t =
+  drain_tombstones t t.queue;
+  Evheap.peek t.queue
+
+let heap_take t =
+  let ev = heap_peek t in
+  if ev == nil then nil else Evheap.pop t.queue
+
+let peek_next t =
+  match t.wheel with None -> heap_peek t | Some w -> wheel_peek t w
+
+let take_next t =
+  match t.wheel with None -> heap_take t | Some w -> wheel_take t w
+
+(* ------------------------------ API ------------------------------- *)
 
 let schedule_at t ~at fn =
   let at = max at t.clock in
-  let id = { cancelled = false; consumed = false } in
-  Tcpfo_util.Heap.push t.queue ~prio:at { id; fn };
+  t.seq <- t.seq + 1;
+  let ev =
+    { cancelled = false; consumed = false; at; seq = t.seq; fn; next = nil;
+      home = home_main }
+  in
+  (match t.wheel with
+  | None -> Evheap.push t.queue ev
+  | Some w -> wheel_insert w ev);
   t.live <- t.live + 1;
-  id
+  ev
 
 let schedule t ~delay fn = schedule_at t ~at:(t.clock + max 0 delay) fn
 
@@ -31,45 +405,53 @@ let cancel t id =
   if not id.cancelled then begin
     id.cancelled <- true;
     (* a consumed event already left the live count at firing time *)
-    if not id.consumed then t.live <- t.live - 1
+    if not id.consumed then begin
+      t.live <- t.live - 1;
+      if id.home = home_main then Evheap.note_dead t.queue
+      else
+        match t.wheel with
+        | Some w when id.home = home_cur -> Evheap.note_dead w.cur
+        | Some w when id.home = home_overflow -> Evheap.note_dead w.overflow
+        | _ -> () (* bucketed: reclaimed when the bucket next moves *)
+    end
   end
 
 let pending t = t.live
 
 let is_cancelled id = id.cancelled
 
-let rec step t =
-  match Tcpfo_util.Heap.pop t.queue with
-  | None -> false
-  | Some (at, ev) ->
-    if ev.id.cancelled then step t
-    else begin
-      t.clock <- at;
-      t.live <- t.live - 1;
-      t.processed <- t.processed + 1;
-      ev.id.consumed <- true;
-      ev.fn ();
-      true
-    end
+let step t =
+  let ev = take_next t in
+  if ev == nil then false
+  else begin
+    t.clock <- ev.at;
+    t.live <- t.live - 1;
+    t.processed <- t.processed + 1;
+    ev.consumed <- true;
+    ev.home <- home_done;
+    let fn = ev.fn in
+    ev.fn <- ignore;
+    fn ();
+    true
+  end
 
 let run ?until ?max_events t =
   let budget = ref (match max_events with Some n -> n | None -> max_int) in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Tcpfo_util.Heap.peek_prio t.queue with
-    | None -> continue := false
-    | Some at ->
-      (match until with
-      | Some u when at > u ->
+    let ev = peek_next t in
+    if ev == nil then continue := false
+    else
+      match until with
+      | Some u when ev.at > u ->
         t.clock <- max t.clock u;
         continue := false
       | _ ->
         ignore (step t);
-        decr budget)
+        decr budget
   done;
   match until with
-  | Some u when Tcpfo_util.Heap.peek_prio t.queue = None ->
-    t.clock <- max t.clock u
+  | Some u when peek_next t == nil -> t.clock <- max t.clock u
   | _ -> ()
 
 let run_for t d = run t ~until:(t.clock + d)

@@ -2,14 +2,36 @@
 
     A single [Engine.t] owns the simulated clock and the event queue.
     Events scheduled for the same instant fire in scheduling order, which
-    makes whole-network simulations reproducible. *)
+    makes whole-network simulations reproducible.
+
+    Two interchangeable scheduling backends exist ({!backend}).  Both
+    fire events in exactly the same order — (time, scheduling order) is a
+    total order and each backend realises it faithfully — so simulation
+    results are byte-identical across backends; only wall-clock cost
+    differs.  See DESIGN.md for the identity argument. *)
 
 type t
 
 type event_id
 (** Handle for cancelling a scheduled event. *)
 
-val create : unit -> t
+type backend =
+  | Heap  (** one global binary min-heap; O(log n) schedule/pop *)
+  | Wheel
+      (** hierarchical timer wheel: near-future events hash into
+          cascading buckets in O(1), far-future events wait in an
+          overflow heap.  Same firing order as [Heap]. *)
+
+val create : ?backend:backend -> unit -> t
+(** [backend] defaults to [Heap]. *)
+
+val backend : t -> backend
+
+val backend_name : backend -> string
+(** ["heap"] / ["wheel"] — the names accepted by {!backend_of_string}
+    and by bench [--engine]. *)
+
+val backend_of_string : string -> (backend, string) result
 
 val now : t -> Time.t
 (** Current simulated time. *)
@@ -36,6 +58,25 @@ val pending : t -> int
 val processed : t -> int
 (** Cumulative number of events executed since [create].  Cancelled events
     are popped silently and do not count. *)
+
+val cancelled_skips : t -> int
+(** Cancelled events the engine discarded while scanning for the next
+    live event (heap-top tombstones, cancelled wheel-bucket entries).
+    Entries swept by a heap compaction are not counted — this tallies
+    engine-side skips, not every reclaimed tombstone.  Backend-dependent
+    by construction (the two backends meet tombstones at different
+    moments), so it is excluded from cross-backend identity checks. *)
+
+val wheel_cascades : t -> int
+(** Non-empty bucket migrations performed by the wheel backend (always 0
+    under [Heap]).  Backend-structural, like {!cancelled_skips}. *)
+
+val set_stat_hooks :
+  t -> cancelled_skip:(unit -> unit) -> wheel_cascade:(unit -> unit) -> unit
+(** Mirror {!cancelled_skips} / {!wheel_cascades} increments into an
+    external sink (the obs registry).  [lib/sim] sits below [lib/obs] in
+    the layering, so the wiring is injected by the world builder rather
+    than referenced directly. *)
 
 val step : t -> bool
 (** Execute the next event; [false] if the queue is empty. *)

@@ -1,0 +1,56 @@
+module Heap = Tcpfo_util.Heap
+
+type 'a t = {
+  engine : Engine.t;
+  mutable fire : 'a -> unit;
+  queue : (Time.t * 'a) Heap.t; (* prio = due; FIFO on equal due *)
+  mutable armed : Engine.event_id option;
+  mutable armed_at : Time.t;
+  mutable draining : bool;
+}
+
+let create engine ~fire =
+  { engine; fire; queue = Heap.create (); armed = None; armed_at = 0;
+    draining = false }
+
+let set_fire t fire = t.fire <- fire
+
+let length t = Heap.length t.queue
+
+let rec drain t () =
+  t.armed <- None;
+  t.draining <- true;
+  let now = Engine.now t.engine in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some (_, (due, v)) when due <= now ->
+      ignore (Heap.pop t.queue);
+      (* firing may re-enter [add]; same-instant additions join this
+         drain, exactly as a freshly scheduled engine event would fire
+         later within the same timestamp *)
+      t.fire v
+    | _ -> continue := false
+  done;
+  t.draining <- false;
+  ensure_armed t
+
+(* Keep exactly one engine event outstanding, at the earliest due time.
+   An armed event that a nearer addition undercut is cancelled (the
+   engine compacts the tombstone) and re-armed earlier. *)
+and ensure_armed t =
+  match Heap.peek t.queue with
+  | None -> ()
+  | Some (_, (due, _)) -> (
+    match t.armed with
+    | Some _ when t.armed_at <= due -> ()
+    | existing ->
+      (match existing with
+      | Some id -> Engine.cancel t.engine id
+      | None -> ());
+      t.armed <- Some (Engine.schedule_at t.engine ~at:due (drain t));
+      t.armed_at <- due)
+
+let add t ~due v =
+  Heap.push t.queue ~prio:due (due, v);
+  if not t.draining then ensure_armed t

@@ -1,0 +1,25 @@
+(** Batched event delivery: many due-stamped payloads, one engine event.
+
+    A facility that previously scheduled one engine event per item (per
+    frame, per packet) instead [add]s items here; the queue keeps at most
+    one engine event outstanding — armed at the earliest due time — and
+    that event drains every item due at that instant in (due, insertion)
+    order.  Adding an item nearer than the armed event cancels and
+    re-arms, so ordering is exactly what per-item scheduling produced,
+    at a fraction of the engine traffic and allocation. *)
+
+type 'a t
+
+val create : Engine.t -> fire:('a -> unit) -> 'a t
+
+val set_fire : 'a t -> ('a -> unit) -> unit
+(** For owners whose delivery closure needs the record that contains the
+    queue: create with a placeholder, then patch. *)
+
+val add : 'a t -> due:Time.t -> 'a -> unit
+(** Enqueue [v] to be fired at simulated time [due] (clipped to now).
+    Items with equal due fire in [add] order; an item added while the
+    queue is draining at its own due instant joins that drain. *)
+
+val length : 'a t -> int
+(** Items currently queued (for tests/introspection). *)

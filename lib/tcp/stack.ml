@@ -7,7 +7,37 @@ module Ip_layer = Tcpfo_ip.Ip_layer
 module Obs = Tcpfo_obs.Obs
 module Registry = Tcpfo_obs.Registry
 
-type key = Ipaddr.t * int * Ipaddr.t * int (* local, lport, remote, rport *)
+(* Per-segment demultiplexing is the hottest lookup in the simulator, so
+   the 4-tuple is packed into a single immediate int and hashed with a
+   dedicated integer mix: no tuple allocation per lookup and no call
+   into caml's structural hashing.
+
+   A full IPv4 4-tuple is 96 bits — too wide for one OCaml int — so
+   addresses are interned into per-stack 15-bit ids (first-seen order;
+   a host sees far fewer than 32768 distinct peers) and the key packs
+   [lid:15 | lport:16 | rid:15 | rport:16] = 62 bits, injectively. *)
+module Key = struct
+  type t = int
+
+  let equal (a : int) (b : int) = a = b
+
+  (* splitmix64-style finalizer with the multipliers truncated to odd
+     62-bit constants (OCaml ints are 63-bit); [land max_int] keeps the
+     result non-negative *)
+  let hash k =
+    let h = k lxor (k lsr 30) in
+    let h = h * 0x3f58476d1ce4e5b9 in
+    let h = h lxor (h lsr 27) in
+    let h = h * 0x14d049bb133111eb in
+    (h lxor (h lsr 31)) land max_int
+end
+
+module Ctbl = Hashtbl.Make (Key)
+
+let max_addr_id = 0x7FFF
+
+let pack ~lid ~lport ~rid ~rport =
+  (((lid lsl 16) lor lport) lsl 31) lor ((rid lsl 16) lor rport)
 
 type t = {
   clock : Clock.t;
@@ -15,27 +45,46 @@ type t = {
   config : Tcp_config.t;
   rng : Rng.t;
   obs : Obs.t; (* the host scope narrowed to "tcp" *)
-  conns : (key, Tcb.t) Hashtbl.t;
+  conns : Tcb.t Ctbl.t;
+  addr_ids : int Ctbl.t; (* Ipaddr.to_int -> intern id, first-seen order *)
+  mutable next_addr_id : int;
   listeners : (int, Tcb.t -> unit) Hashtbl.t;
   mutable extra_local : Ipaddr.t -> bool;
   mutable next_ephemeral : int;
   rst_sent : Registry.counter;
   connections : Registry.gauge;
+  demux_hits : Registry.counter;
+  demux_misses : Registry.counter;
 }
 
 let config t = t.config
 let ip t = t.ip
 let set_extra_local t p = t.extra_local <- p
-let connection_count t = Hashtbl.length t.conns
+let connection_count t = Ctbl.length t.conns
+
+let intern t addr =
+  let a = Ipaddr.to_int addr in
+  match Ctbl.find t.addr_ids a with
+  | id -> id
+  | exception Not_found ->
+    let id = t.next_addr_id in
+    if id > max_addr_id then
+      invalid_arg "Stack: more than 32768 distinct addresses on one stack";
+    t.next_addr_id <- id + 1;
+    Ctbl.add t.addr_ids a id;
+    id
+
+let key_of t ~local:(la, lp) ~remote:(ra, rp) =
+  pack ~lid:(intern t la) ~lport:lp ~rid:(intern t ra) ~rport:rp
 
 let sync_conn_gauge t =
-  Registry.Gauge.set t.connections (Hashtbl.length t.conns)
+  Registry.Gauge.set t.connections (Ctbl.length t.conns)
 
 let local_ok t addr =
   Ip_layer.is_local_address t.ip addr || t.extra_local addr
 
-let find t ~local:(la, lp) ~remote:(ra, rp) =
-  Hashtbl.find_opt t.conns (la, lp, ra, rp)
+let find t ~local ~remote =
+  Ctbl.find_opt t.conns (key_of t ~local ~remote)
 
 let fresh_port t =
   let p = t.next_ephemeral in
@@ -69,7 +118,7 @@ let actions_for t key (local, remote) =
         Ip_layer.send_tcp t.ip ~src:(fst local) ~dst:(fst remote) seg);
     on_delete =
       (fun () ->
-        Hashtbl.remove t.conns key;
+        Ctbl.remove t.conns key;
         sync_conn_gauge t);
   }
 
@@ -79,10 +128,16 @@ let fresh_iss t =
   | None -> Seq32.of_int (Rng.bits32 t.rng)
 
 let handle_segment t ~src ~dst (seg : Seg.t) =
-  let key = (dst, seg.dst_port, src, seg.src_port) in
-  match Hashtbl.find_opt t.conns key with
-  | Some tcb -> Tcb.segment_arrives tcb seg
-  | None -> (
+  let key =
+    pack ~lid:(intern t dst) ~lport:seg.dst_port ~rid:(intern t src)
+      ~rport:seg.src_port
+  in
+  match Ctbl.find t.conns key with
+  | tcb ->
+    Registry.Counter.incr t.demux_hits;
+    Tcb.segment_arrives tcb seg
+  | exception Not_found -> (
+    Registry.Counter.incr t.demux_misses;
     match Hashtbl.find_opt t.listeners seg.dst_port with
     | Some on_accept
       when seg.flags.syn && (not seg.flags.ack) && (not seg.flags.rst)
@@ -96,7 +151,7 @@ let handle_segment t ~src ~dst (seg : Seg.t) =
         Tcb.create_passive t.clock ~obs:t.obs ~config:t.config ~local ~remote
           ~iss actions ~syn:seg
       in
-      Hashtbl.replace t.conns key tcb;
+      Ctbl.replace t.conns key tcb;
       sync_conn_gauge t;
       on_accept tcb
     | Some _ | None -> send_rst_for t ~src ~dst seg)
@@ -110,12 +165,16 @@ let create clock ~ip ~config ~rng =
       config;
       rng;
       obs;
-      conns = Hashtbl.create 64;
+      conns = Ctbl.create 64;
+      addr_ids = Ctbl.create 16;
+      next_addr_id = 0;
       listeners = Hashtbl.create 8;
       extra_local = (fun _ -> false);
       next_ephemeral = 49152;
       rst_sent = Obs.counter obs "rst_sent";
       connections = Obs.gauge obs "connections";
+      demux_hits = Obs.counter obs "demux_hits";
+      demux_misses = Obs.counter obs "demux_misses";
     }
   in
   Ip_layer.set_tcp_handler ip (fun ~src ~dst seg ->
@@ -139,8 +198,8 @@ let connect t ?local ?local_port ~remote () =
   in
   let lport = match local_port with Some p -> p | None -> fresh_port t in
   let local = (local_addr, lport) in
-  let key = (local_addr, lport, fst remote, snd remote) in
-  if Hashtbl.mem t.conns key then
+  let key = key_of t ~local ~remote in
+  if Ctbl.mem t.conns key then
     invalid_arg "Stack.connect: connection already exists";
   let iss = fresh_iss t in
   let actions = actions_for t key (local, remote) in
@@ -148,24 +207,30 @@ let connect t ?local ?local_port ~remote () =
     Tcb.create_active t.clock ~obs:t.obs ~config:t.config ~local ~remote ~iss
       actions
   in
-  Hashtbl.replace t.conns key tcb;
+  Ctbl.replace t.conns key tcb;
   sync_conn_gauge t;
   tcb
 
 let adopt t ~local ~remote ~make =
-  let key = (fst local, snd local, fst remote, snd remote) in
-  if Hashtbl.mem t.conns key then
-    Error "Stack.adopt: connection already exists"
+  let key = key_of t ~local ~remote in
+  if Ctbl.mem t.conns key then Error "Stack.adopt: connection already exists"
   else begin
     let actions = actions_for t key (local, remote) in
     let tcb = make actions in
-    Hashtbl.replace t.conns key tcb;
+    Ctbl.replace t.conns key tcb;
     sync_conn_gauge t;
     Ok tcb
   end
 
+(* Sorted by the real 4-tuple, not the packed key: intern ids depend on
+   first-contact order, and reintegration's transfer order must stay
+   byte-identical to the pre-packing implementation. *)
 let connections t =
-  let cmp (la, lp, ra, rp) (la', lp', ra', rp') =
+  let cmp a b =
+    let (la, lp), (ra, rp) = (Tcb.local_endpoint a, Tcb.remote_endpoint a) in
+    let (la', lp'), (ra', rp') =
+      (Tcb.local_endpoint b, Tcb.remote_endpoint b)
+    in
     let c = Ipaddr.compare la la' in
     if c <> 0 then c
     else
@@ -175,9 +240,18 @@ let connections t =
         let c = Ipaddr.compare ra ra' in
         if c <> 0 then c else compare rp rp'
   in
-  Hashtbl.fold (fun k tcb acc -> (k, tcb) :: acc) t.conns []
-  |> List.sort (fun (a, _) (b, _) -> cmp a b)
-  |> List.map snd
+  Ctbl.fold (fun _ tcb acc -> tcb :: acc) t.conns [] |> List.sort cmp
 
 let clock t = t.clock
 let obs t = t.obs
+
+module For_testing = struct
+  let pack = pack
+  let hash = Key.hash
+  let key_of = key_of
+  let intern = intern
+
+  let unpack k =
+    let lhalf = k lsr 31 and rhalf = k land 0x7FFFFFFF in
+    (lhalf lsr 16, lhalf land 0xFFFF, rhalf lsr 16, rhalf land 0xFFFF)
+end

@@ -77,4 +77,31 @@ val connections : t -> Tcb.t list
 val clock : t -> Tcpfo_sim.Clock.t
 
 val obs : t -> Tcpfo_obs.Obs.t
-(** The stack's [tcp]-narrowed scope. *)
+(** The stack's [tcp]-narrowed scope.  Demux instrumentation lives here
+    too: counters [tcp.demux_hits] / [tcp.demux_misses] (segments that
+    matched / failed to match an established connection). *)
+
+(** Internals of the packed demux key, exposed for regression tests.
+
+    Segments demux through a single 62-bit immediate int —
+    [lid:15|lport:16|rid:15|rport:16] with addresses interned to
+    per-stack 15-bit ids — hashed by a dedicated integer mix, so the
+    per-segment lookup allocates nothing and never enters caml
+    structural hashing. *)
+module For_testing : sig
+  val pack : lid:int -> lport:int -> rid:int -> rport:int -> int
+  val unpack : int -> int * int * int * int
+  (** Inverse of {!pack}: [(lid, lport, rid, rport)]. *)
+
+  val hash : int -> int
+
+  val key_of :
+    t ->
+    local:Tcpfo_packet.Ipaddr.t * int ->
+    remote:Tcpfo_packet.Ipaddr.t * int ->
+    int
+  (** The key a segment with these endpoints demuxes under (interns the
+      addresses as a side effect, exactly like the hot path). *)
+
+  val intern : t -> Tcpfo_packet.Ipaddr.t -> int
+end

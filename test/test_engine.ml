@@ -75,6 +75,143 @@ let test_guarded_clock () =
   Engine.run e;
   Alcotest.(check (list int)) "only pre-death" [ 1 ] (List.rev !fired)
 
+(* ---------------- wheel backend vs heap reference ------------------ *)
+
+(* Run the same deterministic scenario on both backends and demand
+   identical firing logs, clocks, and counters.  [scenario] receives the
+   engine and a [record : int -> unit] sink. *)
+let both_backends name scenario =
+  let run backend =
+    let e = Engine.create ~backend () in
+    let log = ref [] in
+    scenario e (fun tag -> log := (Engine.now e, tag) :: !log);
+    Engine.run e;
+    (List.rev !log, Engine.now e, Engine.processed e, Engine.pending e)
+  in
+  let lh, nh, ph, qh = run Engine.Heap in
+  let lw, nw, pw, qw = run Engine.Wheel in
+  Alcotest.(check (list (pair int int))) (name ^ ": log") lh lw;
+  Testutil.check_int (name ^ ": clock") nh nw;
+  Testutil.check_int (name ^ ": processed") ph pw;
+  Testutil.check_int (name ^ ": pending") qh qw
+
+(* The classification bug class this guards: an event scheduled while
+   far in the future reaches the open slot via cascades, while a second
+   event for the same instant is scheduled directly once the wheel is
+   close — equal times must still fire in scheduling order. *)
+let test_wheel_equal_time_across_paths () =
+  both_backends "cross-path tie" (fun e record ->
+      let at = Time.ms 5 in
+      ignore (Engine.schedule_at e ~at (fun () -> record 1));
+      ignore
+        (Engine.schedule_at e ~at:(Time.ms 4) (fun () ->
+             ignore (Engine.schedule_at e ~at (fun () -> record 2))));
+      ignore (Engine.schedule_at e ~at:(Time.us 1) (fun () -> record 0)))
+
+let test_wheel_spans () =
+  both_backends "all levels + overflow" (fun e record ->
+      (* one event per wheel level plus one beyond the ~73 min horizon *)
+      List.iteri
+        (fun i d -> ignore (Engine.schedule e ~delay:d (fun () -> record i)))
+        [
+          Time.ns 100; (* open slot *)
+          Time.us 50; (* level 0 *)
+          Time.ms 3; (* level 1 *)
+          Time.ms 900; (* level 2 *)
+          Time.sec 120.; (* level 3 *)
+          Time.sec 7200.; (* overflow heap *)
+        ])
+
+let test_wheel_idle_gap () =
+  both_backends "idle gap then burst" (fun e record ->
+      ignore (Engine.schedule e ~delay:(Time.us 2) (fun () -> record 0));
+      ignore
+        (Engine.schedule e ~delay:(Time.sec 60.) (fun () ->
+             record 1;
+             for i = 2 to 6 do
+               ignore
+                 (Engine.schedule e ~delay:(Time.us i) (fun () -> record i))
+             done)))
+
+(* Random schedule/cancel/run-until programs, interpreted on both
+   backends; handlers re-schedule children and cancel earlier ids, so
+   insertions happen at many wheel positions.  Delays mix every level
+   of the hierarchy including the overflow horizon. *)
+let prop_wheel_matches_heap =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          ( 6,
+            map2
+              (fun scale x -> `Schedule (max 1 (x * scale)))
+              (oneofl [ 1; 700; 40_000; 9_000_000; 2_000_000_000;
+                        300_000_000_000 ])
+              (int_range 1 900) );
+          (2, map (fun i -> `Cancel i) (int_range 0 200));
+          (1, map (fun d -> `Run_for (max 1 d)) (int_range 1 50_000_000));
+        ])
+  in
+  QCheck.Test.make ~name:"wheel fires identically to heap" ~count:60
+    QCheck.(make ~print:(fun l -> string_of_int (List.length l))
+              Gen.(list_size (int_range 5 60) op_gen))
+    (fun ops ->
+      let interp backend =
+        let e = Engine.create ~backend () in
+        let log = ref [] in
+        let ids = ref [||] in
+        let tag = ref 0 in
+        let rec handler n () =
+          log := (Engine.now e, n) :: !log;
+          (* deterministic in-handler activity driven by the tag *)
+          if n mod 3 = 0 then remember (n * 37 mod 2_000_000) (n + 1000);
+          if n mod 5 = 0 && Array.length !ids > 0 then
+            Engine.cancel e !ids.(n mod Array.length !ids)
+        and remember delay n =
+          let id = Engine.schedule e ~delay (fun () -> handler n ()) in
+          ids := Array.append !ids [| id |]
+        in
+        List.iter
+          (fun op ->
+            incr tag;
+            match op with
+            | `Schedule d -> remember d !tag
+            | `Cancel i ->
+              if Array.length !ids > 0 then
+                Engine.cancel e !ids.(i mod Array.length !ids)
+            | `Run_for d -> Engine.run_for e d)
+          ops;
+        Engine.run e;
+        (List.rev !log, Engine.now e, Engine.processed e, Engine.pending e)
+      in
+      interp Engine.Heap = interp Engine.Wheel)
+
+let test_backend_of_string () =
+  Testutil.check_bool "heap" true
+    (Engine.backend_of_string "heap" = Ok Engine.Heap);
+  Testutil.check_bool "wheel" true
+    (Engine.backend_of_string "wheel" = Ok Engine.Wheel);
+  Testutil.check_bool "junk" true
+    (match Engine.backend_of_string "btree" with
+    | Error _ -> true
+    | Ok _ -> false);
+  Testutil.check_string "name" "wheel" (Engine.backend_name Engine.Wheel)
+
+let test_wheel_counters () =
+  let e = Engine.create ~backend:Engine.Wheel () in
+  let skips = ref 0 and cascades = ref 0 in
+  Engine.set_stat_hooks e
+    ~cancelled_skip:(fun () -> incr skips)
+    ~wheel_cascade:(fun () -> incr cascades);
+  let id = Engine.schedule e ~delay:(Time.ms 3) ignore in
+  Engine.cancel e id;
+  ignore (Engine.schedule e ~delay:(Time.ms 4) ignore);
+  Engine.run e;
+  Testutil.check_int "skips counted" (Engine.cancelled_skips e) !skips;
+  Testutil.check_int "cascades counted" (Engine.wheel_cascades e) !cascades;
+  Testutil.check_bool "cascaded at least once" true (!cascades >= 1);
+  Testutil.check_bool "skipped the corpse" true (!skips >= 1)
+
 let suite =
   [
     Alcotest.test_case "time ordering" `Quick test_fires_in_time_order;
@@ -88,4 +225,13 @@ let suite =
       test_run_until_idle_advances_clock;
     Alcotest.test_case "guarded clock dies with host" `Quick
       test_guarded_clock;
+    Alcotest.test_case "wheel: equal time across insert paths" `Quick
+      test_wheel_equal_time_across_paths;
+    Alcotest.test_case "wheel: all levels + overflow" `Quick test_wheel_spans;
+    Alcotest.test_case "wheel: idle gap then burst" `Quick
+      test_wheel_idle_gap;
+    Alcotest.test_case "backend parsing" `Quick test_backend_of_string;
+    Alcotest.test_case "wheel: counters and stat hooks" `Quick
+      test_wheel_counters;
+    QCheck_alcotest.to_alcotest prop_wheel_matches_heap;
   ]

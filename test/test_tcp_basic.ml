@@ -139,6 +139,89 @@ let test_connection_setup_time_plausible () =
   check_bool "> 50us" true (dt > Time.us 50);
   check_bool "< 1ms" true (dt < Time.ms 1)
 
+(* ---------------------- packed demux key --------------------------- *)
+
+module K = Stack.For_testing
+
+let test_key_roundtrip_edges () =
+  (* every corner of each field: intern id 0 / 0x7FFF, port 0 / 65535 *)
+  List.iter
+    (fun ((lid, lport, rid, rport) as tuple) ->
+      let k = K.pack ~lid ~lport ~rid ~rport in
+      check_bool "fits 62 bits" true (k >= 0 && k lsr 62 = 0);
+      Alcotest.(check (pair (pair int int) (pair int int)))
+        "round-trip"
+        ((lid, lport), (rid, rport))
+        (let a, b, c, d = K.unpack k in
+         ((a, b), (c, d)));
+      ignore tuple)
+    [
+      (0, 0, 0, 0);
+      (0x7FFF, 65535, 0x7FFF, 65535);
+      (0, 65535, 0x7FFF, 0);
+      (0x7FFF, 0, 0, 65535);
+      (1, 80, 2, 49152);
+    ]
+
+let test_key_collision_pairs () =
+  (* tuples that collide under naive folds (sums, xors, mirrored roles)
+     must pack to distinct keys *)
+  let pairs =
+    [
+      (* mirrored local/remote *)
+      ((1, 80, 2, 5000), (2, 5000, 1, 80));
+      (* port/id bits swapped across fields *)
+      ((1, 2, 3, 4), (2, 1, 4, 3));
+      (* differ only in carry position between adjacent fields *)
+      ((0, 65535, 0, 0), (1, 0, 0, 0));
+      ((0, 0, 0, 65535), (0, 0, 1, 0));
+      (* same xor-fold *)
+      ((5, 5, 5, 5), (0, 0, 0, 0));
+    ]
+  in
+  List.iter
+    (fun ((a1, b1, c1, d1), (a2, b2, c2, d2)) ->
+      let k1 = K.pack ~lid:a1 ~lport:b1 ~rid:c1 ~rport:d1 in
+      let k2 = K.pack ~lid:a2 ~lport:b2 ~rid:c2 ~rport:d2 in
+      check_bool "distinct keys" true (k1 <> k2);
+      check_bool "hash deterministic" true (K.hash k1 = K.hash k1))
+    pairs
+
+let prop_key_injective =
+  QCheck.Test.make ~name:"packed key is injective" ~count:300
+    QCheck.(
+      pair
+        (pair (int_bound 0x7FFF) (int_bound 65535))
+        (pair (int_bound 0x7FFF) (int_bound 65535)))
+    (fun ((lid, lport), (rid, rport)) ->
+      let k = K.pack ~lid ~lport ~rid ~rport in
+      K.unpack k = (lid, lport, rid, rport) && K.hash k >= 0)
+
+let test_key_of_matches_demux () =
+  (* the key derived from endpoints is the one live traffic demuxes
+     under, interning is stable, and the hit/miss counters move *)
+  let lan = make_simple_lan () in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun _ -> ());
+  let stack = Host.tcp lan.client in
+  let c =
+    Stack.connect stack ~remote:(Host.addr lan.server, 80) ()
+  in
+  World.run_until_idle lan.world;
+  let local = Tcb.local_endpoint c and remote = Tcb.remote_endpoint c in
+  (match Stack.find stack ~local ~remote with
+  | Some tcb -> check_bool "find returns the connection" true (tcb == c)
+  | None -> Alcotest.fail "packed-key find missed");
+  let k1 = K.key_of stack ~local ~remote in
+  let k2 = K.key_of stack ~local ~remote in
+  check_int "key stable across interning" k1 k2;
+  check_int "intern stable" (K.intern stack (fst local))
+    (K.intern stack (fst local));
+  let m = World.metrics lan.world in
+  check_bool "demux hits counted" true
+    (Tcpfo_obs.Registry.counter_value m "host.client.tcp.demux_hits" > 0);
+  check_bool "server demux missed once (the SYN)" true
+    (Tcpfo_obs.Registry.counter_value m "host.server.tcp.demux_misses" > 0)
+
 let suite =
   [
     Alcotest.test_case "three-way handshake" `Quick test_handshake;
@@ -154,4 +237,11 @@ let suite =
       test_syn_retransmission_no_listener_host_down;
     Alcotest.test_case "connection setup time plausible" `Quick
       test_connection_setup_time_plausible;
+    Alcotest.test_case "packed key round-trip at edges" `Quick
+      test_key_roundtrip_edges;
+    Alcotest.test_case "packed key collision pairs" `Quick
+      test_key_collision_pairs;
+    Alcotest.test_case "packed key matches live demux" `Quick
+      test_key_of_matches_demux;
+    QCheck_alcotest.to_alcotest prop_key_injective;
   ]
