@@ -23,6 +23,7 @@ type which =
   | Soak_exp
   | Reintegration_exp
   | Pool_exp
+  | Threetier_exp
   | Highconn_exp
 
 let which_of_string = function
@@ -40,6 +41,7 @@ let which_of_string = function
   | "soak" -> Ok Soak_exp
   | "reintegration" -> Ok Reintegration_exp
   | "pool" -> Ok Pool_exp
+  | "threetier" -> Ok Threetier_exp
   | "highconn" -> Ok Highconn_exp
   | s -> Error (`Msg ("unknown experiment: " ^ s))
 
@@ -63,6 +65,7 @@ let which_conv =
           | Soak_exp -> "soak"
           | Reintegration_exp -> "reintegration"
           | Pool_exp -> "pool"
+          | Threetier_exp -> "threetier"
           | Highconn_exp -> "highconn") )
 
 let rec mkdir_p dir =
@@ -126,6 +129,10 @@ let run which quick metrics_dir jobs seeds first_seed soak_report loss_rates
     Exp_pool.run_exp
       ~pool_sizes:(if quick then [ 3; 4 ] else [ 3; 4; 5 ])
       ~trials:(if quick then 2 else 3);
+  if should Threetier_exp then
+    Exp_threetier.run_exp
+      ~cycle_counts:(if quick then [ 3 ] else [ 3; 6 ])
+      ~trials:(if quick then 2 else 3);
   if should Highconn_exp then
     Exp_highconn.run_exp
       ~conn_counts:(if quick then [ 100; 400 ] else [ 1000; 4000; 10000 ])
@@ -146,7 +153,7 @@ let which_arg =
   Arg.(value & opt which_conv All & info [ "exp" ] ~docv:"EXP"
          ~doc:"Experiment to run: all, setup, fig3, fig4, fig5, fig6, \
                failover, ablation, chain, scale, micro, soak, \
-               reintegration, pool, highconn.")
+               reintegration, pool, threetier, highconn.")
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes and trial counts.")

@@ -330,7 +330,12 @@ let run_chain n_replicas kills_ms size_kb trace stats seed =
         | Promoted i -> Printf.sprintf "replica %d promoted to head" i
         | Retargeted (i, j) ->
           Printf.sprintf "replica %d re-diverts to replica %d" i j
-        | Degraded i -> Printf.sprintf "replica %d degrades (lost its tail)" i));
+        | Degraded i -> Printf.sprintf "replica %d degrades (lost its tail)" i
+        | Rejoined i -> Printf.sprintf "replica %d rejoined at the tail" i
+        | Transfers_complete n ->
+          Printf.sprintf "%d connections re-replicated onto the tail" n
+        | Isolated { local_port; remote = _, rp } ->
+          Printf.sprintf "connection :%d <-> :%d pinned solo" local_port rp));
   let reply =
     String.init (size_kb * 1024) (fun i -> Char.chr ((i * 31) land 0xFF))
   in

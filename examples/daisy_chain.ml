@@ -41,7 +41,12 @@ let () =
         | Retargeted (i, j) ->
           Printf.sprintf "replica %d now diverts to replica %d" i j
         | Degraded i ->
-          Printf.sprintf "replica %d lost its tail, degrades per \xc2\xa76" i));
+          Printf.sprintf "replica %d lost its tail, degrades per \xc2\xa76" i
+        | Rejoined i -> Printf.sprintf "replica %d rejoined at the tail" i
+        | Transfers_complete n ->
+          Printf.sprintf "%d connections re-replicated onto the tail" n
+        | Isolated { local_port; remote = _, rp } ->
+          Printf.sprintf "connection :%d <-> :%d pinned solo" local_port rp));
 
   (* a counter service: proves all replicas advance through the same
      state, whoever happens to be serving *)

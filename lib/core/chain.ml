@@ -1,124 +1,149 @@
 module Time = Tcpfo_sim.Time
 module Host = Tcpfo_host.Host
 module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
 module Ipaddr = Tcpfo_packet.Ipaddr
 module Ip_layer = Tcpfo_ip.Ip_layer
 module Eth_iface = Tcpfo_ip.Eth_iface
 module Ipv4_packet = Tcpfo_packet.Ipv4_packet
 module Obs = Tcpfo_obs.Obs
 module Registry = Tcpfo_obs.Registry
+module Transfer = Tcpfo_statex.Transfer
+module Snapshot = Tcpfo_statex.Snapshot
 
 type event =
   | Death_detected of int
   | Promoted of int
   | Retargeted of int * int
   | Degraded of int
+  | Rejoined of int
+  | Transfers_complete of int
+  | Isolated of { local_port : int; remote : Ipaddr.t * int }
 
 type bridge = Merger of Primary_bridge.t | Tail of Secondary_bridge.t
 
 type node = {
   index : int;
   host : Host.t;
-  bridge : bridge;
+  mutable bridge : bridge;
   mutable is_head : bool;
+  xfer : Transfer.t;
 }
 
 type t = {
-  nodes : node array;
+  (* every node ever created, dead ones included: indices are stable and
+     never reused, so events keep naming retired replicas unambiguously *)
+  mutable nodes : node list;
+  (* the live chain, head first — rejoined replicas append at the tail,
+     so liveness order is no longer derivable from creation order *)
+  mutable order : int list;
+  mutable next_index : int;
   registry : Failover_config.registry;
   config : Failover_config.t;
   service : Ipaddr.t;
-  mutable dead : bool array;
+  mutable services : (int * (replica:int -> Tcb.t -> unit)) list;
+  (* §7.2 client-role connections: setup per backend endpoint, re-run
+     when a restored connection lands on a rejoined tail *)
+  mutable backends : ((Ipaddr.t * int) * (replica:int -> Tcb.t -> unit)) list;
   mutable on_event : event -> unit;
+  (* hot-state-transfer bookkeeping for the latest rejoin *)
+  mutable pending : int;
+  mutable xfers : int;
   c_deaths : Registry.counter;
+  c_isolated : Registry.counter;
 }
 
 let service_addr t = t.service
 let registry t = t.registry
 let set_on_event t fn = t.on_event <- fn
-
-let alive t =
-  Array.to_list t.nodes
-  |> List.filter_map (fun n -> if t.dead.(n.index) then None else Some n.index)
-
-let head t = match alive t with i :: _ -> i | [] -> -1
+let node_of t i = List.find (fun n -> n.index = i) t.nodes
+let alive t = t.order
+let head t = match t.order with i :: _ -> i | [] -> -1
+let pending_transfers t = t.pending
 
 (* ---------------------------------------------------------------- *)
-(* All-pairs heartbeat mesh.  Each node unicasts a heartbeat to every
-   other node each period; a per-node watcher tracks last-seen times and
-   reports silent peers. *)
+(* All-pairs heartbeat mesh.  Each live node unicasts a heartbeat to
+   every other live node each period; a per-node watcher tracks
+   last-seen times and reports silent peers.  Per-node state lives in
+   the closures of [start_node_mesh] so a rejoined replica gets a fresh
+   watcher, and existing watchers pick it up through [t.order]. *)
 
-let start_mesh t ~on_death =
-  let n = Array.length t.nodes in
-  let period = t.config.heartbeat_period in
-  let timeout = t.config.detector_timeout in
-  Array.iter
-    (fun node ->
-      let clock = Host.clock node.host in
-      (* sender *)
-      let seq = ref 0 in
-      let rec send_loop () =
-        if Host.alive node.host then begin
-          incr seq;
-          Array.iter
-            (fun peer ->
-              if peer.index <> node.index then
-                Ip_layer.send (Host.ip node.host)
-                  (Ipv4_packet.make ~src:(Host.addr node.host)
-                     ~dst:(Host.addr peer.host)
-                     (Ipv4_packet.Heartbeat
-                        {
-                          origin = Host.name node.host;
-                          hb_seq = !seq;
-                          role = (if node.is_head then `Primary else `Secondary);
-                        })))
-            t.nodes;
-          ignore (clock.schedule period send_loop)
-        end
-      in
-      send_loop ();
-      (* watcher *)
-      let last_seen = Array.make n 0 in
-      let reported = Array.make n false in
-      Ip_layer.set_heartbeat_handler (Host.ip node.host) (fun ~src _hb ->
-          Array.iter
-            (fun peer ->
-              if Ipaddr.equal src (Host.addr peer.host) then
-                last_seen.(peer.index) <- clock.now ())
-            t.nodes);
-      let rec check_loop () =
-        if Host.alive node.host then begin
-          let now = clock.now () in
-          Array.iter
-            (fun peer ->
-              if
-                peer.index <> node.index
-                && (not reported.(peer.index))
-                && now - last_seen.(peer.index) > timeout
-              then begin
-                reported.(peer.index) <- true;
-                on_death ~observer:node.index ~dead:peer.index
+let start_node_mesh t node ~on_death =
+  let clock = Host.clock node.host in
+  let period = t.config.Failover_config.heartbeat_period in
+  let timeout = t.config.Failover_config.detector_timeout in
+  (* sender *)
+  let seq = ref 0 in
+  let rec send_loop () =
+    if Host.alive node.host then begin
+      incr seq;
+      List.iter
+        (fun i ->
+          if i <> node.index then
+            let peer = node_of t i in
+            Ip_layer.send (Host.ip node.host)
+              (Ipv4_packet.make ~src:(Host.addr node.host)
+                 ~dst:(Host.addr peer.host)
+                 (Ipv4_packet.Heartbeat
+                    {
+                      origin = Host.name node.host;
+                      hb_seq = !seq;
+                      role = (if node.is_head then `Primary else `Secondary);
+                    })))
+        t.order;
+      ignore (clock.schedule period send_loop)
+    end
+  in
+  send_loop ();
+  (* watcher: peers alive when this watcher starts get their grace
+     period from now; peers that appear later (a rejoin) get it on
+     first sight *)
+  let last_seen : (int, Time.t) Hashtbl.t = Hashtbl.create 8 in
+  let reported : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun i -> if i <> node.index then Hashtbl.replace last_seen i (clock.now ()))
+    t.order;
+  Ip_layer.set_heartbeat_handler (Host.ip node.host) (fun ~src _hb ->
+      List.iter
+        (fun n ->
+          if Ipaddr.equal src (Host.addr n.host) then
+            Hashtbl.replace last_seen n.index (clock.now ()))
+        t.nodes);
+  let rec check_loop () =
+    if Host.alive node.host then begin
+      let now = clock.now () in
+      List.iter
+        (fun i ->
+          if i <> node.index && not (Hashtbl.mem reported i) then
+            match Hashtbl.find_opt last_seen i with
+            | None -> Hashtbl.replace last_seen i now
+            | Some seen ->
+              if now - seen > timeout then begin
+                Hashtbl.replace reported i ();
+                on_death ~observer:node.index ~dead:i
               end)
-            t.nodes;
-          ignore (clock.schedule period check_loop)
-        end
-      in
-      ignore (clock.schedule (timeout + period) check_loop))
-    t.nodes
+        t.order;
+      ignore (clock.schedule period check_loop)
+    end
+  in
+  ignore (clock.schedule (timeout + period) check_loop)
 
 (* ---------------------------------------------------------------- *)
 (* Role reconfiguration after a death.                               *)
 
-let upstream_addr t j live =
-  let pos = ref (-1) in
-  List.iteri (fun k i -> if i = j then pos := k) live;
-  if !pos <= 0 then None
-  else Some (Host.addr t.nodes.(List.nth live (!pos - 1)).host)
+let upstream_addr t j =
+  let rec find prev = function
+    | [] -> None
+    | i :: rest -> if i = j then prev else find (Some i) rest
+  in
+  match find None t.order with
+  | None -> None
+  | Some i -> Some (Host.addr (node_of t i).host)
 
 let promote_node t node =
   if not node.is_head then begin
     node.is_head <- true;
-    (match node.bridge with
+    match node.bridge with
     | Merger b ->
       (* generalized §5 for a middle replica: stop diverting upstream,
          leave promiscuous snooping, own the service address *)
@@ -131,29 +156,29 @@ let promote_node t node =
              t.on_event (Promoted node.index)))
     | Tail b ->
       Secondary_bridge.begin_takeover b ~on_complete:(fun () ->
-          t.on_event (Promoted node.index)))
+          t.on_event (Promoted node.index))
   end
 
 let reconfigure t =
-  let live = alive t in
+  let live = t.order in
   match live with
   | [] -> ()
   | head_idx :: _ ->
     let last = List.nth live (List.length live - 1) in
     List.iter
       (fun i ->
-        let node = t.nodes.(i) in
+        let node = node_of t i in
         (* 1. headship *)
         if i = head_idx then promote_node t node;
         (* 2. diversion targets follow the live chain *)
-        (match (upstream_addr t i live, node.bridge) with
+        (match (upstream_addr t i, node.bridge) with
         | Some up, Tail b ->
           Secondary_bridge.retarget b up;
           t.on_event
             (Retargeted
                ( i,
                  (let j = ref (-1) in
-                  Array.iter
+                  List.iter
                     (fun nd ->
                       if Ipaddr.equal (Host.addr nd.host) up then
                         j := nd.index)
@@ -162,7 +187,7 @@ let reconfigure t =
         | Some _, Merger _ | None, _ -> ());
         (* 3. the node at the end of the live chain has nothing below it
            any more: degrade per §6 if it was merging *)
-        if i = last && List.length live >= 1 then
+        if i = last then
           match node.bridge with
           | Merger b ->
             if not (Primary_bridge.degraded b) then begin
@@ -173,12 +198,137 @@ let reconfigure t =
       live
 
 let handle_death t ~observer:_ ~dead =
-  if not t.dead.(dead) then begin
-    t.dead.(dead) <- true;
+  if List.mem dead t.order then begin
+    t.order <- List.filter (fun i -> i <> dead) t.order;
     Registry.Counter.incr t.c_deaths;
     t.on_event (Death_detected dead);
     reconfigure t
   end
+
+(* ---------------------------------------------------------------- *)
+(* Hot state transfer onto a rejoined tail.                          *)
+
+let transferable_state : Tcb.state -> bool = function
+  | Tcb.Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
+  | Last_ack | Time_wait ->
+    true
+  | Syn_sent | Syn_received | Closed -> false
+
+let find_backend t (ra, rp) =
+  List.find_map
+    (fun ((a, p), setup) ->
+      if Ipaddr.equal a ra && p = rp then Some setup else None)
+    t.backends
+
+(* Mirror of {!Replicated}'s installer: adopt the restored TCB on the
+   rejoined replica, re-attach the application — listener for
+   server-role connections, connect_backend setup for client-role ones —
+   and resume. *)
+let installer t node ~src:_ (sc : Snapshot.conn) =
+  let snap = sc.Snapshot.tcb in
+  if not (transferable_state snap.Tcb.sn_state) then
+    Error "connection state not transferable"
+  else if not (Ipaddr.equal (fst snap.Tcb.sn_local) t.service) then
+    Error "snapshot is not for the service address"
+  else
+    let stack = Host.tcp node.host in
+    match
+      Stack.adopt stack ~local:snap.Tcb.sn_local ~remote:snap.Tcb.sn_remote
+        ~make:(fun actions ->
+          Tcb.restore (Host.clock node.host) ~obs:(Stack.obs stack)
+            ~config:(Stack.config stack) actions snap)
+    with
+    | Error _ as e -> e
+    | Ok tcb ->
+      (match sc.Snapshot.role with
+      | `Server ->
+        (match List.assoc_opt (snd snap.Tcb.sn_local) t.services with
+        | Some on_accept -> on_accept ~replica:node.index tcb
+        | None -> ())
+      | `Client ->
+        (match find_backend t snap.Tcb.sn_remote with
+        | Some setup -> setup ~replica:node.index tcb
+        | None -> ()));
+      Tcb.resume_restored tcb;
+      Ok ()
+
+(* Ship every live service connection of the end-of-chain node to the
+   rejoined tail; whatever cannot travel is pinned solo. *)
+let start_transfers t ~src:prev ~dst:fresh =
+  let pb =
+    match prev.bridge with
+    | Merger b -> b
+    | Tail _ -> invalid_arg "Chain: transfer source is not a merging level"
+  in
+  let dst = Host.addr fresh.host in
+  let candidates =
+    List.filter
+      (fun tcb ->
+        let la, lp = Tcb.local_endpoint tcb in
+        let _, rp = Tcb.remote_endpoint tcb in
+        Ipaddr.equal la t.service
+        && Failover_config.is_failover_conn t.registry ~local_port:lp
+             ~remote_port:rp)
+      (Stack.connections (Host.tcp prev.host))
+  in
+  let to_transfer, to_isolate =
+    List.partition
+      (fun tcb ->
+        transferable_state (Tcb.state tcb)
+        && Tcb.input_retention_enabled tcb)
+      candidates
+  in
+  let demote_solo tcb =
+    let _, lp = Tcb.local_endpoint tcb in
+    let remote = Tcb.remote_endpoint tcb in
+    Primary_bridge.isolate_conn pb ~remote ~local_port:lp;
+    Registry.Counter.incr t.c_isolated;
+    t.on_event (Isolated { local_port = lp; remote })
+  in
+  List.iter demote_solo to_isolate;
+  t.pending <- List.length to_transfer;
+  t.xfers <- 0;
+  if t.pending = 0 then t.on_event (Transfers_complete 0)
+  else
+    List.iter
+      (fun tcb ->
+        let _, lp = Tcb.local_endpoint tcb in
+        let remote = Tcb.remote_endpoint tcb in
+        let delta_opt = Primary_bridge.conn_delta pb ~remote ~local_port:lp in
+        let delta = Option.value delta_opt ~default:0 in
+        Primary_bridge.begin_transfer pb ~remote ~local_port:lp;
+        let snap = Tcb.snapshot tcb in
+        let snap =
+          if delta <> 0 then Tcb.shift_snapshot snap (-delta) else snap
+        in
+        let role =
+          if Option.is_some (find_backend t remote) then `Client else `Server
+        in
+        let sc =
+          {
+            Snapshot.tcb = snap;
+            role;
+            delta;
+            next_wire_seq = snap.Tcb.sn_snd_max;
+            held_segments = 0;
+            solo = delta_opt <> None;
+          }
+        in
+        Transfer.offer prev.xfer ~dst sc ~on_result:(fun res ->
+            (match res with
+            | Ok ()
+              when List.mem prev.index t.order
+                   && List.mem fresh.index t.order ->
+              t.xfers <- t.xfers + 1;
+              Primary_bridge.complete_transfer pb ~remote ~local_port:lp
+                ~tcb ~delta
+            | Ok () | Error _ ->
+              Primary_bridge.abort_transfer pb ~remote ~local_port:lp;
+              Registry.Counter.incr t.c_isolated;
+              t.on_event (Isolated { local_port = lp; remote }));
+            t.pending <- t.pending - 1;
+            if t.pending = 0 then t.on_event (Transfers_complete t.xfers)))
+      to_transfer
 
 (* ---------------------------------------------------------------- *)
 
@@ -191,7 +341,7 @@ let create ~replicas ~config () =
   let n = List.length replicas in
   let arr = Array.of_list replicas in
   let nodes =
-    Array.init n (fun i ->
+    List.init n (fun i ->
         let host = arr.(i) in
         let bridge =
           if i = 0 then
@@ -216,44 +366,146 @@ let create ~replicas ~config () =
                  ~divert_to:(Host.addr arr.(i - 1))
                  ())
         in
-        { index = i; host; bridge; is_head = i = 0 })
+        {
+          index = i;
+          host;
+          bridge;
+          is_head = i = 0;
+          xfer = Transfer.attach host;
+        })
   in
   let obs = Obs.scope (Obs.root (Host.obs (List.hd replicas))) "chain" in
+  let statex = Obs.scope (Obs.root (Host.obs (List.hd replicas))) "statex" in
   let t =
     {
       nodes;
+      order = List.init n (fun i -> i);
+      next_index = n;
       registry;
       config;
       service;
-      dead = Array.make n false;
+      services = [];
+      backends = [];
       on_event = (fun _ -> ());
+      pending = 0;
+      xfers = 0;
       c_deaths = Obs.counter obs "deaths";
+      c_isolated = Obs.counter statex "isolated_conns";
     }
   in
-  start_mesh t ~on_death:(fun ~observer ~dead ->
-      handle_death t ~observer ~dead);
+  List.iter (fun node -> Transfer.set_installer node.xfer (installer t node))
+    t.nodes;
+  List.iter
+    (fun node ->
+      start_node_mesh t node ~on_death:(fun ~observer ~dead ->
+          handle_death t ~observer ~dead))
+    t.nodes;
   t
 
 let listen t ~port ~on_accept =
   Failover_config.register_endpoint t.registry ~local_port:port;
-  Array.iter
-    (fun node ->
+  t.services <- (port, on_accept) :: t.services;
+  (* retention makes the connection transferable onto a rejoined tail *)
+  List.iter
+    (fun i ->
+      let node = node_of t i in
       Stack.listen (Host.tcp node.host) ~port ~on_accept:(fun tcb ->
+          Tcb.enable_input_retention tcb;
           on_accept ~replica:node.index tcb))
-    t.nodes
+    t.order
 
 let connect_backend t ~remote ?local_port ~setup () =
   (match local_port with
   | Some p -> Failover_config.register_endpoint t.registry ~local_port:p
   | None ->
     Failover_config.register_remote t.registry ~remote_port:(snd remote));
-  Array.iter
-    (fun node ->
+  t.backends <- (remote, setup) :: t.backends;
+  (* live replicas only: a dead node cannot connect, and a rejoined tail
+     receives the connection by hot state transfer instead *)
+  List.iter
+    (fun i ->
+      let node = node_of t i in
       let tcb =
         Stack.connect (Host.tcp node.host) ~local:t.service ?local_port
           ~remote ()
       in
+      Tcb.enable_input_retention tcb;
       setup ~replica:node.index tcb)
-    t.nodes
+    t.order
 
-let kill t i = Host.kill t.nodes.(i).host
+let rejoin t host =
+  if not (Host.alive host) then invalid_arg "Chain.rejoin: host is not alive";
+  if
+    List.exists
+      (fun n -> n.host == host && List.mem n.index t.order)
+      t.nodes
+  then invalid_arg "Chain.rejoin: host is already in the chain";
+  (match t.order with
+  | [] -> invalid_arg "Chain.rejoin: no live replica to join"
+  | _ -> ());
+  let last_idx = List.nth t.order (List.length t.order - 1) in
+  let prev = node_of t last_idx in
+  (match prev.bridge with
+  | Tail sb when prev.is_head && not (Secondary_bridge.taken_over sb) ->
+    invalid_arg "Chain.rejoin: takeover still in progress"
+  | _ -> ());
+  let newaddr = Host.addr host in
+  (* 1. the previous end of chain becomes a merging level over the
+     newcomer *)
+  (match prev.bridge with
+  | Merger b ->
+    (* a degraded §6 merger resumes replication toward the new tail *)
+    Primary_bridge.reinstate b ~secondary_addr:newaddr
+  | Tail sb ->
+    (* the original tail never merged: swap its secondary bridge for the
+       merging bridge a middle (or head) node runs *)
+    Secondary_bridge.uninstall sb;
+    let output =
+      if prev.is_head then Primary_bridge.Direct
+      else
+        match upstream_addr t prev.index with
+        | Some up -> Primary_bridge.Divert_to up
+        | None -> Primary_bridge.Direct
+    in
+    let claim = not prev.is_head in
+    if claim then begin
+      (* uninstall dropped the promiscuous snoop and the service-address
+         claim a middle node needs; restore them *)
+      Eth_iface.set_promiscuous (Host.eth prev.host) true;
+      Stack.set_extra_local (Host.tcp prev.host) (fun ip ->
+          Ipaddr.equal ip t.service)
+    end;
+    prev.bridge <-
+      Merger
+        (Primary_bridge.install prev.host ~registry:t.registry
+           ~service_addr:t.service ~secondary_addr:newaddr ~output
+           ~claim_service:claim ()));
+  (* 2. the newcomer joins as the new tail of the live chain *)
+  let idx = t.next_index in
+  t.next_index <- idx + 1;
+  let sb =
+    Secondary_bridge.install host ~registry:t.registry ~service_addr:t.service
+      ~divert_to:(Host.addr prev.host) ~only_new_connections:true ()
+  in
+  let node =
+    { index = idx; host; bridge = Tail sb; is_head = false;
+      xfer = Transfer.attach host }
+  in
+  Transfer.set_installer node.xfer (installer t node);
+  t.nodes <- t.nodes @ [ node ];
+  t.order <- t.order @ [ idx ];
+  (* start the registered services on the newcomer *)
+  List.iter
+    (fun (port, on_accept) ->
+      Stack.listen (Host.tcp host) ~port ~on_accept:(fun tcb ->
+          Tcb.enable_input_retention tcb;
+          on_accept ~replica:idx tcb))
+    t.services;
+  start_node_mesh t node ~on_death:(fun ~observer ~dead ->
+      handle_death t ~observer ~dead);
+  t.on_event (Rejoined idx);
+  (* 3. re-replicate live connections onto the new tail *)
+  start_transfers t ~src:prev ~dst:node;
+  idx
+
+let kill t i = Host.kill (node_of t i).host

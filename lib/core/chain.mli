@@ -26,7 +26,12 @@
       queue, continues offset-only) while still diverting upstream if it
       is itself a middle replica.
 
-    Any sequence of failures down to a single survivor is handled. *)
+    Any sequence of failures down to a single survivor is handled, and
+    repaired hosts {!rejoin} at the tail of the live chain: the previous
+    end of chain becomes a merging level over the newcomer and every
+    live service connection is re-replicated onto it by hot state
+    transfer, so the chain survives repeated kill/repair cycles on any
+    tier byte-exactly. *)
 
 type t
 
@@ -56,12 +61,16 @@ val connect_backend :
   setup:(replica:int -> Tcpfo_tcp.Tcb.t -> unit) ->
   unit ->
   unit
-(** §7.2 through the chain: every replica opens the connection to the
-    unreplicated server from the service address; the merging levels
-    collapse them into a single wire connection. *)
+(** §7.2 through the chain: every *live* replica opens the connection to
+    the unreplicated server from the service address; the merging levels
+    collapse them into a single wire connection.  Input retention is
+    enabled at connect time and [setup] is recorded against [remote], so
+    the connection is transferable onto a later {!rejoin}ed tail. *)
 
 val alive : t -> int list
-(** Indices of replicas not yet known dead, head-of-chain first. *)
+(** Indices of live replicas in chain order, head first.  Replicas that
+    {!rejoin}ed appear at the position they hold in the live chain (the
+    tail), not at their creation position. *)
 
 val head : t -> int
 (** Index of the current head. *)
@@ -69,10 +78,35 @@ val head : t -> int
 val kill : t -> int -> unit
 (** Crash replica [i] (fail-stop); detectors react. *)
 
+val rejoin : t -> Tcpfo_host.Host.t -> int
+(** A repaired (or new) host re-enters the chain at the tail and the
+    returned fresh replica index names it from now on (indices are never
+    reused).  The previous end of chain becomes a merging level over the
+    newcomer — a degraded merger is reinstated; an original tail swaps
+    its secondary bridge for the merging bridge (keeping its diversion
+    target, or [Direct] output if it had become head) — the registered
+    services start on the newcomer, the heartbeat mesh extends to it,
+    and every live service connection is quiesced, snapshotted into wire
+    sequence space and shipped onto it ({!Transfers_complete});
+    connections that cannot travel are pinned solo ({!Isolated}).
+    Raises [Invalid_argument] for a dead host, a host already in the
+    live chain, or while a §5 takeover is still in flight. *)
+
 type event =
   | Death_detected of int
   | Promoted of int  (** replica became head and owns the service address *)
   | Retargeted of int * int  (** replica i now diverts to replica j *)
   | Degraded of int  (** replica lost the node below it (§6) *)
+  | Rejoined of int  (** a repaired host joined as this (fresh) tail index *)
+  | Transfers_complete of int
+      (** rejoin's hot state transfer settled; payload counts the
+          connections re-replicated onto the new tail *)
+  | Isolated of { local_port : int; remote : Tcpfo_packet.Ipaddr.t * int }
+      (** a live connection could not be re-replicated onto the rejoined
+          tail and was demoted to solo; bumps [statex.isolated_conns] *)
 
 val set_on_event : t -> (event -> unit) -> unit
+
+val pending_transfers : t -> int
+(** Hot-state-transfer offers of the latest {!rejoin} still awaiting a
+    verdict (0 once it has settled). *)

@@ -727,17 +727,37 @@ let secondary_failed t =
       Obs.emit t.obs ~at:(now t)
         (Event.Failover { host = Host.name t.host; phase = Degraded });
     (* A connection whose SYN replicas never merged has emitted nothing
-       toward the client, so no sequence-space commitment exists: drop
-       the bridge state and let the primary's TCP layer finish the
-       handshake alone, in its own numbering.  Keeping such a conn would
-       swallow the primary's SYN-ACK retransmissions in degraded_tx
-       (delta is still None) and strand the client in SYN_SENT. *)
+       toward the client, so no sequence-space commitment exists.  With
+       [Direct] output, drop the bridge state and let the primary's TCP
+       layer finish the handshake alone, in its own numbering — keeping
+       such a conn would swallow the primary's SYN-ACK retransmissions
+       in degraded_tx (delta is still None) and strand the client in
+       SYN_SENT.  A [Divert_to] merger (a middle chain level) cannot
+       hand the handshake to its own TCP layer that way: without a conn
+       entry its SYN-ACK would Tx_pass straight to the client, bypassing
+       the level above, which still expects to merge and would answer
+       the resulting handshake with an RST.  Self-merge instead: adopt
+       the local stack's numbering as the downstream space (Δ = 0) and
+       pin the conn solo, so its SYN-ACK retransmissions travel upward
+       through the degraded pass-through and the level above merges
+       against them as if they came from a live secondary. *)
     let unmerged =
       Hashtbl.fold
         (fun k conn acc -> if conn.syn_done then acc else k :: acc)
         t.conns []
     in
-    List.iter (Hashtbl.remove t.conns) unmerged;
+    (match t.out with
+    | Direct -> List.iter (Hashtbl.remove t.conns) unmerged
+    | Divert_to _ ->
+      List.iter
+        (fun k ->
+          match Hashtbl.find_opt t.conns k with
+          | Some conn ->
+            conn.solo <- true;
+            conn.syn_done <- true;
+            if conn.delta = None then conn.delta <- Some 0
+          | None -> ())
+        unmerged);
     Hashtbl.iter
       (fun _ conn ->
         conn.solo <- true;

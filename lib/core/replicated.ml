@@ -17,6 +17,7 @@ type event =
   | Promoted of string
   | Standby_lost of string
   | Rejoined of string
+  | Isolated of { local_port : int; remote : Ipaddr.t * int }
 
 let event_to_string = function
   | Secondary_failure_detected -> "secondary failure detected"
@@ -28,6 +29,9 @@ let event_to_string = function
   | Promoted name -> Printf.sprintf "standby %s promoted into the active pair" name
   | Standby_lost name -> Printf.sprintf "standby %s declared dead" name
   | Rejoined name -> Printf.sprintf "%s joined the back of the pool" name
+  | Isolated { local_port; remote = ra, rp } ->
+    Printf.sprintf "connection :%d <-> %s:%d demoted to solo (not transferred)"
+      local_port (Ipaddr.to_string ra) rp
 
 type t = {
   mutable primary : Host.t;
@@ -50,6 +54,11 @@ type t = {
   mutable standbys : Host.t list;
   mutable standby_watch : (Host.t * Heartbeat.t * Heartbeat.t) list;
   mutable services : (int * (role:[ `Primary | `Secondary ] -> Tcb.t -> unit)) list;
+  (* §7.2 client-role connections: the setup registered for each backend
+     endpoint, re-invoked when a restored snapshot of that connection
+     lands on a fresh replica *)
+  mutable backends :
+    ((Ipaddr.t * int) * (role:[ `Primary | `Secondary ] -> Tcb.t -> unit)) list;
   mutable status : [ `Normal | `Primary_failed | `Secondary_failed ];
   mutable on_event : event -> unit;
   (* hot-state-transfer bookkeeping *)
@@ -58,6 +67,7 @@ type t = {
   mutable reintegrations : int;
   mutable xfer_failures : int;
   reint_latency : Registry.histogram;
+  isolated : Registry.counter;
 }
 
 (* --- standby liveness ------------------------------------------------ *)
@@ -117,10 +127,18 @@ let transferable_state : Tcb.state -> bool = function
     true
   | Syn_sent | Syn_received | Closed -> false
 
+let find_backend t (ra, rp) =
+  List.find_map
+    (fun ((a, p), setup) ->
+      if Ipaddr.equal a ra && p = rp then Some setup else None)
+    t.backends
+
 (* Install an incoming snapshot into [host]'s stack: adopt a restored
-   TCB, hand it to the registered service as a secondary-role accept
-   (the service installs its callbacks and the retained-input replay
-   rebuilds its per-connection state), then resume. *)
+   TCB, hand it back to the application as a secondary-role attach —
+   server-role connections through the registered listener, client-role
+   (§7.2) connections through the connect_backend setup registered for
+   the remote endpoint (the retained-input replay then rebuilds its
+   per-connection state) — and resume. *)
 let installer t host ~src:_ (sc : Snapshot.conn) =
   let snap = sc.Snapshot.tcb in
   if not (transferable_state snap.Tcb.sn_state) then
@@ -137,9 +155,15 @@ let installer t host ~src:_ (sc : Snapshot.conn) =
     with
     | Error _ as e -> e
     | Ok tcb ->
-      (match List.assoc_opt (snd snap.Tcb.sn_local) t.services with
-      | Some on_accept -> on_accept ~role:`Secondary tcb
-      | None -> ());
+      (match sc.Snapshot.role with
+      | `Server ->
+        (match List.assoc_opt (snd snap.Tcb.sn_local) t.services with
+        | Some on_accept -> on_accept ~role:`Secondary tcb
+        | None -> ())
+      | `Client ->
+        (match find_backend t snap.Tcb.sn_remote with
+        | Some setup -> setup ~role:`Secondary tcb
+        | None -> ()));
       Tcb.resume_restored tcb;
       Ok ()
 
@@ -158,11 +182,16 @@ let start_transfers t =
   let clock = Host.clock survivor in
   t.reint_started <- Some (clock.now ());
   let candidates =
+    (* both directions qualify: listener-side connections match on the
+       local service port, §7.2 client-role connections (registered via
+       [register_remote]) on the remote port *)
     List.filter
       (fun tcb ->
         let la, lp = Tcb.local_endpoint tcb in
+        let _, rp = Tcb.remote_endpoint tcb in
         Ipaddr.equal la t.service_addr
-        && Failover_config.is_failover_local_port t.registry lp)
+        && Failover_config.is_failover_conn t.registry ~local_port:lp
+             ~remote_port:rp)
       (Stack.connections (Host.tcp survivor))
   in
   let to_transfer, to_isolate =
@@ -172,12 +201,14 @@ let start_transfers t =
         && Tcb.input_retention_enabled tcb)
       candidates
   in
-  List.iter
-    (fun tcb ->
-      let _, lp = Tcb.local_endpoint tcb in
-      Primary_bridge.isolate_conn pb ~remote:(Tcb.remote_endpoint tcb)
-        ~local_port:lp)
-    to_isolate;
+  let demote_solo tcb =
+    let _, lp = Tcb.local_endpoint tcb in
+    let remote = Tcb.remote_endpoint tcb in
+    Primary_bridge.isolate_conn pb ~remote ~local_port:lp;
+    Registry.Counter.incr t.isolated;
+    t.on_event (Isolated { local_port = lp; remote })
+  in
+  List.iter demote_solo to_isolate;
   let finish () =
     (match t.reint_started with
     | Some t0 ->
@@ -202,9 +233,13 @@ let start_transfers t =
         let snap =
           if delta <> 0 then Tcb.shift_snapshot snap (-delta) else snap
         in
+        let role =
+          if Option.is_some (find_backend t remote) then `Client else `Server
+        in
         let sc =
           {
             Snapshot.tcb = snap;
+            role;
             delta;
             next_wire_seq = snap.Tcb.sn_snd_max;
             held_segments = 0;
@@ -221,7 +256,9 @@ let start_transfers t =
               (match res with
               | Error _ -> t.xfer_failures <- t.xfer_failures + 1
               | Ok () -> ());
-              Primary_bridge.abort_transfer pb ~remote ~local_port:lp);
+              Primary_bridge.abort_transfer pb ~remote ~local_port:lp;
+              Registry.Counter.incr t.isolated;
+              t.on_event (Isolated { local_port = lp; remote }));
             t.pending <- t.pending - 1;
             if t.pending = 0 then finish ()))
       to_transfer
@@ -396,6 +433,7 @@ let create_pool ~replicas ~config () =
       standbys;
       standby_watch = [];
       services = [];
+      backends = [];
       status = `Normal;
       on_event = (fun _ -> ());
       pending = 0;
@@ -403,6 +441,7 @@ let create_pool ~replicas ~config () =
       reintegrations = 0;
       xfer_failures = 0;
       reint_latency = Obs.histogram statex "reintegration_us";
+      isolated = Obs.counter statex "isolated_conns";
     }
   in
   Transfer.set_installer t.xfer_p (installer t primary);
@@ -446,15 +485,20 @@ let connect_backend t ~remote ?local_port ~setup () =
   | Some p -> Failover_config.register_endpoint t.registry ~local_port:p
   | None ->
     Failover_config.register_remote t.registry ~remote_port:(snd remote));
+  t.backends <- (remote, setup) :: t.backends;
   let service = service_addr t in
+  (* retention makes the client-role connection transferable, exactly as
+     [listen] does for server-role connections *)
   let cp =
     Stack.connect (Host.tcp t.primary) ~local:service ?local_port ~remote ()
   in
+  Tcb.enable_input_retention cp;
   setup ~role:`Primary cp;
   let cs =
     Stack.connect (Host.tcp t.secondary) ~local:service ?local_port ~remote
       ()
   in
+  Tcb.enable_input_retention cs;
   setup ~role:`Secondary cs
 
 let kill_primary t = Host.kill t.primary

@@ -44,6 +44,11 @@ type event =
   | Rejoined of string
       (** a repaired host joined the back of the pool (or, if the pool
           was degraded, paired directly with the survivor) *)
+  | Isolated of { local_port : int; remote : Tcpfo_packet.Ipaddr.t * int }
+      (** a live connection could not be re-replicated during
+          reintegration — untransferable state or a failed/rejected
+          transfer — and was demoted to solo on the survivor; also bumps
+          the [statex.isolated_conns] counter *)
 
 val event_to_string : event -> string
 (** One-line human description, for traces and CLIs. *)
@@ -96,7 +101,12 @@ val connect_backend :
     [remote] from the service address.  Both replicas must issue their
     connects in the same order so the (deterministic) ephemeral port
     allocators agree; pass [local_port] to pin the source port
-    explicitly. *)
+    explicitly.
+
+    Client-role connections are fully transferable: input retention is
+    enabled at connect time, and [setup] is recorded against [remote] so
+    a later {!reintegrate} can re-run it on the fresh replica when the
+    restored connection is installed there. *)
 
 val kill_primary : t -> unit
 (** Crash the primary host (fail-stop); the secondary's detector will

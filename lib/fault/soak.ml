@@ -15,6 +15,7 @@ module Topo = Tcpfo_host.Topo
 module Stack = Tcpfo_tcp.Stack
 module Tcb = Tcpfo_tcp.Tcb
 module Replicated = Tcpfo_core.Replicated
+module Chain = Tcpfo_core.Chain
 module Failover_config = Tcpfo_core.Failover_config
 module Registry = Tcpfo_obs.Registry
 
@@ -32,6 +33,7 @@ type chaos =
 
 type repair = No_repair | Repair | Repair_then_rekill
 type pool = Pair | Pool3 of { rejoin_first : bool }
+type role = Server | Backend_client | Chain3
 
 type scenario = {
   seed : int;
@@ -42,6 +44,7 @@ type scenario = {
   repair : repair;
   xfer_loss : float;
   pool : pool;
+  role : role;
 }
 
 type outcome = {
@@ -80,12 +83,18 @@ let pool_to_string = function
   | Pool3 { rejoin_first = false } -> "pool3"
   | Pool3 { rejoin_first = true } -> "pool3+rejoin"
 
+let role_to_string = function
+  | Server -> "server"
+  | Backend_client -> "backend"
+  | Chain3 -> "chain"
+
 let describe s =
   Printf.sprintf
-    "seed=%d kill=%s/%s chaos=%s size=%d repair=%s xloss=%.2f pool=%s" s.seed
+    "seed=%d kill=%s/%s chaos=%s size=%d repair=%s xloss=%.2f pool=%s role=%s"
+    s.seed
     (victim_to_string s.victim) (phase_to_string s.phase)
     (chaos_to_string s.chaos) s.size (repair_to_string s.repair) s.xfer_loss
-    (pool_to_string s.pool)
+    (pool_to_string s.pool) (role_to_string s.role)
 
 (* The scenario space is drawn from the seed alone, so a seed printed in
    a failure report reconstructs the exact run. *)
@@ -141,12 +150,12 @@ let scenario_of_seed seed =
     if repair = No_repair then 0.0
     else match Rng.int r 4 with 0 | 1 -> 0.0 | 2 -> 0.2 | _ -> 0.35
   in
-  (* pool-shape axis, newest of all, drawn last for the same reason.  A
-     pool scenario's repair IS the automatic promotion of its standby,
-     so the explicit repair axis is forced off — but only after its
-     draws happened, keeping older seeds' mappings intact.  The
-     xfer_loss draw is kept: in a pool run the burst covers the
-     promotion's hot state transfers instead. *)
+  (* pool-shape axis, drawn after the above for the same reason.  A pool
+     scenario's repair IS the automatic promotion of its standby, so the
+     explicit repair axis is forced off — but only after its draws
+     happened, keeping older seeds' mappings intact.  The xfer_loss draw
+     is kept: in a pool run the burst covers the promotion's hot state
+     transfers instead. *)
   let pool =
     if victim = Nobody then Pair
     else
@@ -156,43 +165,69 @@ let scenario_of_seed seed =
       | _ -> Pool3 { rejoin_first = true }
   in
   let repair = if pool = Pair then repair else No_repair in
-  { seed; victim; phase; chaos; size; repair; xfer_loss; pool }
+  (* service-role axis, newest of all: which shape of replicated
+     application carries the connection — the listening server, a §7.2
+     backend client, or a three-tier chain.  Drawn last, then forced to
+     [Server] for the no-kill control, pool scenarios and cross traffic
+     (those compose with the server app only), so every older seed's
+     world replays untouched. *)
+  let role =
+    match Rng.int r 5 with
+    | 0 | 1 | 2 -> Server
+    | 3 -> Backend_client
+    | _ -> Chain3
+  in
+  let role =
+    if victim = Nobody || pool <> Pair || chaos = Cross_traffic then Server
+    else role
+  in
+  { seed; victim; phase; chaos; size; repair; xfer_loss; pool; role }
 
 let pattern ~tag n =
   String.init n (fun i -> Char.chr ((i * 131 + tag * 7 + i / 251) land 0xFF))
 
 let service_port = 5000
 let cross_port = 5001
+let backend_port = 7000
 let cross_size = 30_000
+
+(* stream [payload] into [tcb] respecting the send buffer, then close *)
+let stream_and_close tcb payload =
+  let off = ref 0 in
+  let n = String.length payload in
+  let rec pump () =
+    if !off < n then begin
+      let want = min 32768 (n - !off) in
+      let sent = Tcb.send tcb (String.sub payload !off want) in
+      off := !off + sent;
+      if sent < want then Tcb.set_on_drain tcb pump else pump ()
+    end
+    else Tcb.close tcb
+  in
+  pump ()
+
+(* deterministic request/reply service body, shared by every role *)
+let service_app ~reply tcb =
+  let got = Buffer.create 8 in
+  Tcb.set_on_data tcb (fun data ->
+      Buffer.add_string got data;
+      if Buffer.length got >= 4 then stream_and_close tcb reply)
 
 (* deterministic request/reply service installed on both replicas *)
 let install_service repl ~port ~reply =
   Replicated.listen repl ~port ~on_accept:(fun ~role:_ tcb ->
-      let got = Buffer.create 8 in
-      Tcb.set_on_data tcb (fun data ->
-          Buffer.add_string got data;
-          if Buffer.length got >= 4 then begin
-            let off = ref 0 in
-            let n = String.length reply in
-            let rec pump () =
-              if !off < n then begin
-                let want = min 32768 (n - !off) in
-                let sent = Tcb.send tcb (String.sub reply !off want) in
-                off := !off + sent;
-                if sent < want then Tcb.set_on_drain tcb pump else pump ()
-              end
-              else Tcb.close tcb
-            in
-            pump ()
-          end))
+      service_app ~reply tcb)
 
-(* Wire-level observer on the client: every TCP segment arriving from the
-   service address is checked against the service's sequence numbering.
-   After a failover the secondary must keep speaking in the numbering the
-   client already knows (the paper's central claim): a fresh SYN-ACK or a
-   data segment whose payload disagrees with the reply at its sequence
-   offset is a violation, as is any RST. *)
-let install_wire_check client ~svc ~reply violations =
+(* Wire-level observer on the unreplicated peer: every TCP segment
+   arriving from the service address and matching [seg_match] is checked
+   against the service's sequence numbering.  After a failover the
+   survivor must keep speaking in the numbering the peer already knows
+   (the paper's central claim): a SYN carrying a fresh ISN or a data
+   segment whose payload disagrees with [expected] at its sequence
+   offset is a violation, as is any RST.  For a server-role service the
+   ISN arrives on the SYN-ACK; for a §7.2 client-role connection it
+   arrives on the service's own SYN. *)
+let install_wire_check client ~svc ~seg_match ~expected violations =
   let isn = ref None in
   let inner = Ip_layer.rx_hook (Host.ip client) in
   Ip_layer.set_rx_hook (Host.ip client)
@@ -200,33 +235,32 @@ let install_wire_check client ~svc ~reply violations =
        (fun pkt ~link_addressed ->
          (match pkt.Ipv4_packet.payload with
          | Ipv4_packet.Tcp seg
-           when Ipaddr.equal pkt.Ipv4_packet.src svc
-                && seg.Tcp_segment.src_port = service_port -> (
+           when Ipaddr.equal pkt.Ipv4_packet.src svc && seg_match seg -> (
            let flags = seg.Tcp_segment.flags in
            if flags.Tcp_segment.rst then
-             violations := "RST reached the client" :: !violations;
-           if flags.Tcp_segment.syn && flags.Tcp_segment.ack then (
+             violations := "RST reached the peer" :: !violations;
+           if flags.Tcp_segment.syn then (
              match !isn with
              | None -> isn := Some seg.Tcp_segment.seq
              | Some i when Seq32.diff seg.Tcp_segment.seq i = 0 -> ()
              | Some _ ->
                violations :=
-                 "second SYN-ACK left the service's original numbering"
+                 "second SYN left the service's original numbering"
                  :: !violations);
            let len = String.length seg.Tcp_segment.payload in
            if len > 0 then
              match !isn with
              | None ->
-               violations := "data before SYN-ACK" :: !violations
+               violations := "data before the service's SYN" :: !violations
              | Some i ->
                let off = Seq32.diff seg.Tcp_segment.seq (Seq32.succ i) in
-               if off < 0 || off + len > String.length reply then
+               if off < 0 || off + len > String.length expected then
                  violations :=
                    Printf.sprintf
-                     "wire sequence offset %d outside the reply (len %d)"
+                     "wire sequence offset %d outside the stream (len %d)"
                      off len
                    :: !violations
-               else if String.sub reply off len <> seg.Tcp_segment.payload
+               else if String.sub expected off len <> seg.Tcp_segment.payload
                then
                  violations :=
                    Printf.sprintf "wire payload mismatch at offset %d" off
@@ -253,7 +287,37 @@ let chaos_plan chaos =
 (* rough wire time of the reply, for placing mid-transfer kills *)
 let transfer_estimate size = Time.ms 1 + (size * 100)
 
-let run ?on_world scenario =
+(* every statex control datagram on the LAN, for the MSS-bound check *)
+let capture_transfers world lan =
+  Capture.start (World.engine world) lan
+    ~filter:(fun f ->
+      match f.Eth_frame.payload with
+      | Eth_frame.Ip { Ipv4_packet.payload = Ipv4_packet.Raw { proto; _ }; _ }
+        ->
+        proto = Transfer.proto
+      | _ -> false)
+    ()
+
+let check_transfer_mss xfer_capture ~check =
+  List.iter
+    (fun { Capture.frame; _ } ->
+      match frame.Eth_frame.payload with
+      | Eth_frame.Ip
+          { Ipv4_packet.payload = Ipv4_packet.Raw { data; _ }; _ } ->
+        check
+          (String.length data <= Transfer.max_datagram_bytes)
+          (Printf.sprintf
+             "transfer datagram of %d B exceeds the %d B MSS bound"
+             (String.length data) Transfer.max_datagram_bytes)
+      | _ -> ())
+    (Capture.records xfer_capture);
+  Capture.stop xfer_capture
+
+(* ------------------------------------------------------------------ *)
+(* Replicated-pair / pool worlds: the server app and the §7.2 backend
+   app share everything but the application plumbing. *)
+
+let run_replicated ?on_world scenario =
   let sc = scenario in
   let world = World.create ~seed:sc.seed () in
   (match on_world with Some f -> f world | None -> ());
@@ -296,23 +360,80 @@ let run ?on_world scenario =
   in
   let svc = Replicated.service_addr repl in
   let reply = pattern ~tag:sc.seed sc.size in
-  install_service repl ~port:service_port ~reply;
+  if sc.role = Server then install_service repl ~port:service_port ~reply;
   let cross_reply = pattern ~tag:(sc.seed + 1) cross_size in
   if cross_client <> None then
     install_service repl ~port:cross_port ~reply:cross_reply;
   let violations = ref [] in
-  install_wire_check client ~svc ~reply violations;
+  (* what the unreplicated peer must see from the service address: the
+     reply stream (server role) or the request the replicated client
+     sends its backend (§7.2 role) *)
+  let expected_wire = match sc.role with Server -> reply | _ -> "get\n" in
+  let seg_match =
+    match sc.role with
+    | Server | Chain3 ->
+      fun (seg : Tcp_segment.t) -> seg.Tcp_segment.src_port = service_port
+    | Backend_client ->
+      fun (seg : Tcp_segment.t) -> seg.Tcp_segment.dst_port = backend_port
+  in
+  install_wire_check client ~svc ~seg_match ~expected:expected_wire violations;
 
-  (* client application *)
+  (* unreplicated-peer state, filled in by the role-specific plumbing:
+     [buf] is the byte stream the peer read from the service, [peer] the
+     peer-side TCB once it exists *)
   let buf = Buffer.create sc.size in
   let eof = ref false in
   let resets = ref 0 in
-  let c = Stack.connect (Host.tcp client) ~remote:(svc, service_port) () in
-  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get\n"));
-  Tcb.set_on_eof c (fun () ->
-      eof := true;
-      Tcb.close c);
-  Tcb.set_on_reset c (fun () -> incr resets);
+  let peer : Tcb.t option ref = ref None in
+  let armed = ref false in
+  let kill () =
+    match sc.victim with
+    | Primary -> Replicated.kill_primary repl
+    | Secondary -> Replicated.kill_secondary repl
+    | Nobody -> ()
+  in
+  (* §7.2 replica-side assembly buffers, one per setup invocation
+     (including re-invocations on a repaired host) *)
+  let app_bufs : (Tcb.t * Buffer.t) list ref = ref [] in
+  (match sc.role with
+  | Chain3 -> assert false
+  | Server ->
+    let c = Stack.connect (Host.tcp client) ~remote:(svc, service_port) () in
+    peer := Some c;
+    Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get\n"));
+    Tcb.set_on_eof c (fun () ->
+        eof := true;
+        Tcb.close c);
+    Tcb.set_on_reset c (fun () -> incr resets)
+  | Backend_client ->
+    (* the "client" host plays the unreplicated backend server: it
+       receives the pool's request and streams the reply back *)
+    Stack.listen (Host.tcp client) ~port:backend_port ~on_accept:(fun tcb ->
+        peer := Some tcb;
+        Tcb.set_on_data tcb (fun d ->
+            Buffer.add_string buf d;
+            if Buffer.length buf >= 4 then stream_and_close tcb reply);
+        Tcb.set_on_eof tcb (fun () -> eof := true);
+        Tcb.set_on_reset tcb (fun () -> incr resets));
+    Replicated.connect_backend repl ~remote:(Host.addr client, backend_port)
+      ~setup:(fun ~role:_ tcb ->
+        let b = Buffer.create sc.size in
+        app_bufs := (tcb, b) :: !app_bufs;
+        Tcb.set_on_established tcb (fun () -> ignore (Tcb.send tcb "get\n"));
+        Tcb.set_on_data tcb (fun d ->
+            Buffer.add_string b d;
+            if
+              sc.victim <> Nobody && sc.phase = Fin && (not !armed)
+              && Buffer.length b >= sc.size
+            then begin
+              armed := true;
+              ignore
+                (Engine.schedule (World.engine world)
+                   ~delay:(Rng.int timing_rng (Time.us 200))
+                   kill)
+            end);
+        Tcb.set_on_eof tcb (fun () -> Tcb.close tcb))
+      ());
 
   (* optional cross traffic, started shortly after the main connection *)
   let cross_buf = Buffer.create cross_size in
@@ -337,26 +458,8 @@ let run ?on_world scenario =
     }
   in
   let inj = Injector.install env (chaos_plan sc.chaos) in
+  let xfer_capture = capture_transfers world lan in
 
-  (* every statex control datagram on the LAN, for the MSS-bound check *)
-  let xfer_capture =
-    Capture.start (World.engine world) lan
-      ~filter:(fun f ->
-        match f.Eth_frame.payload with
-        | Eth_frame.Ip { Ipv4_packet.payload = Ipv4_packet.Raw { proto; _ }; _ }
-          ->
-          proto = Transfer.proto
-        | _ -> false)
-      ()
-  in
-
-  (* the kill *)
-  let kill () =
-    match sc.victim with
-    | Primary -> Replicated.kill_primary repl
-    | Secondary -> Replicated.kill_secondary repl
-    | Nobody -> ()
-  in
   (* repair: once the failure is detected (and, for a primary kill, the
      §5 takeover finished), bring up a fresh host and reintegrate it —
      hot state transfer re-replicates the live connections.  For
@@ -462,19 +565,24 @@ let run ?on_world scenario =
     ignore
       (Engine.schedule (World.engine world) ~delay:(est * frac / 100) kill)
   | _, Fin ->
-    (* dynamically: the instant the client has the whole stream, the
-       server-side FIN is in flight / acked but the connection has not
-       fully closed — the paper's narrowest takeover window *)
-    let armed = ref false in
-    Tcb.set_on_data c (fun d ->
-        Buffer.add_string buf d;
-        if (not !armed) && Buffer.length buf >= sc.size then begin
-          armed := true;
-          ignore
-            (Engine.schedule (World.engine world)
-               ~delay:(Rng.int timing_rng (Time.us 200))
-               kill)
-        end)
+    (* dynamically: the instant the peer has the whole stream, the FIN
+       is in flight / acked but the connection has not fully closed —
+       the paper's narrowest takeover window.  For the server role the
+       arm lives here on the client TCB; the backend role arms inside
+       its setup callback instead (the big stream flows to the pool). *)
+    (match !peer with
+    | Some c when sc.role = Server ->
+      let armed_c = ref false in
+      Tcb.set_on_data c (fun d ->
+          Buffer.add_string buf d;
+          if (not !armed_c) && Buffer.length buf >= sc.size then begin
+            armed_c := true;
+            ignore
+              (Engine.schedule (World.engine world)
+                 ~delay:(Rng.int timing_rng (Time.us 200))
+                 kill)
+          end)
+    | _ -> ())
   | _, Idle ->
     (* well after the connection is over *)
     ignore
@@ -482,16 +590,22 @@ let run ?on_world scenario =
          ~delay:(transfer_estimate sc.size + Time.sec 2.0)
          kill));
   (* default data sink unless the Fin arm installed its own *)
-  if not (sc.victim <> Nobody && sc.phase = Fin) then
-    Tcb.set_on_data c (fun d -> Buffer.add_string buf d);
+  (match !peer with
+  | Some c when sc.role = Server && not (sc.victim <> Nobody && sc.phase = Fin)
+    ->
+    Tcb.set_on_data c (fun d -> Buffer.add_string buf d)
+  | _ -> ());
 
   (* run in slices; stop early once everything observable has settled *)
   let deadline = Time.sec 60.0 in
+  let peer_closed () =
+    match !peer with
+    | Some p -> (
+      match Tcb.state p with Tcb.Closed | Tcb.Time_wait -> true | _ -> false)
+    | None -> false
+  in
   let done_ () =
-    let client_done =
-      !eof
-      && (match Tcb.state c with Tcb.Closed | Tcb.Time_wait -> true | _ -> false)
-    in
+    let client_done = !eof && peer_closed () in
     let cross_done =
       cross_client = None || Buffer.length cross_buf >= cross_size
     in
@@ -516,7 +630,13 @@ let run ?on_world scenario =
         | _, Repair_then_rekill ->
           !rekilled && Replicated.status repl = `Primary_failed)
     in
-    client_done && cross_done && kill_done
+    let app_done =
+      sc.role = Server
+      || List.exists
+           (fun (_, b) -> Buffer.contents b = reply)
+           !app_bufs
+    in
+    client_done && cross_done && kill_done && app_done
   in
   let rec drive () =
     if (not (done_ ())) && World.now world < deadline then begin
@@ -529,15 +649,30 @@ let run ?on_world scenario =
   (* ---------------- invariants ---------------- *)
   let check cond msg = if not cond then violations := msg :: !violations in
   check
-    (Buffer.contents buf = reply)
-    (Printf.sprintf "client stream diverged from the application's (%d/%d B)"
-       (Buffer.length buf) sc.size);
-  check !eof "connection never delivered EOF to the client";
+    (Buffer.contents buf = expected_wire)
+    (Printf.sprintf "peer stream diverged from the application's (%d/%d B)"
+       (Buffer.length buf)
+       (String.length expected_wire));
+  check !eof "connection never delivered EOF to the peer";
   check
-    (match Tcb.state c with Tcb.Closed | Tcb.Time_wait -> true | _ -> false)
-    (Printf.sprintf "connection never terminated (client state %s)"
-       (Tcb.state_to_string (Tcb.state c)));
-  check (!resets = 0) "client saw a connection reset";
+    (peer_closed ())
+    (Printf.sprintf "connection never terminated (peer state %s)"
+       (match !peer with
+       | Some p -> Tcb.state_to_string (Tcb.state p)
+       | None -> "absent"));
+  check (!resets = 0) "peer saw a connection reset";
+  (* §7.2: the surviving replicas' application must hold the backend's
+     complete reply — after a repair, on the restored connection too *)
+  (if sc.role = Backend_client then begin
+     let full =
+       List.length
+         (List.filter (fun (_, b) -> Buffer.contents b = reply) !app_bufs)
+     in
+     check (full >= 1) "no replica application assembled the backend reply";
+     if sc.repair = Repair then
+       check (full >= 2)
+         "restored replica never assembled the backend reply"
+   end);
   (match sc.pool with
   | Pool3 { rejoin_first } ->
     check !promoted "standby was never promoted after the first kill";
@@ -597,21 +732,242 @@ let run ?on_world scenario =
       (Printf.sprintf
          "%d hot state transfer(s) failed under a lossy control channel"
          (Replicated.transfer_failures repl));
-  List.iter
-    (fun { Capture.frame; _ } ->
-      match frame.Eth_frame.payload with
-      | Eth_frame.Ip
-          { Ipv4_packet.payload = Ipv4_packet.Raw { data; _ }; _ } ->
-        check
-          (String.length data <= Transfer.max_datagram_bytes)
-          (Printf.sprintf
-             "transfer datagram of %d B exceeds the %d B MSS bound"
-             (String.length data) Transfer.max_datagram_bytes)
-      | _ -> ())
-    (Capture.records xfer_capture);
-  Capture.stop xfer_capture;
+  check_transfer_mss xfer_capture ~check;
   {
     scenario = sc;
     violations = List.rev !violations;
     metrics = Registry.to_json (World.metrics world);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Three-tier chain worlds: head / middle / tail serve the client; the
+   kill hits the head or the tail, and repair re-enters the chain
+   through {!Chain.rejoin} (hot state transfer onto the new tail). *)
+
+let run_chain ?on_world scenario =
+  let sc = scenario in
+  let world = World.create ~seed:sc.seed () in
+  (match on_world with Some f -> f world | None -> ());
+  let timing_rng = Rng.create ~seed:((sc.seed * 1_000_003) lxor 0x50AC) in
+  let spec =
+    [
+      Topo.segment "lan";
+      Topo.host ~addr:"10.0.0.10" ~seg:"lan" "client";
+      Topo.host ~addr:"10.0.0.1" ~seg:"lan" "head";
+      Topo.host ~addr:"10.0.0.2" ~seg:"lan" "middle";
+      Topo.host ~addr:"10.0.0.5" ~seg:"lan" "tail";
+    ]
+  in
+  let topo = Topo.build world spec in
+  let lan = Topo.segment_of topo "lan" in
+  let client = Topo.host_of topo "client" in
+  let head_h = Topo.host_of topo "head" in
+  let middle_h = Topo.host_of topo "middle" in
+  let tail_h = Topo.host_of topo "tail" in
+  let config = Failover_config.make ~service_ports:[ service_port ] () in
+  let chain =
+    Chain.create ~replicas:[ head_h; middle_h; tail_h ] ~config ()
+  in
+  let svc = Chain.service_addr chain in
+  let reply = pattern ~tag:sc.seed sc.size in
+  Chain.listen chain ~port:service_port ~on_accept:(fun ~replica:_ tcb ->
+      service_app ~reply tcb);
+  let violations = ref [] in
+  install_wire_check client ~svc
+    ~seg_match:(fun seg -> seg.Tcp_segment.src_port = service_port)
+    ~expected:reply violations;
+
+  (* client application *)
+  let buf = Buffer.create sc.size in
+  let eof = ref false in
+  let resets = ref 0 in
+  let c = Stack.connect (Host.tcp client) ~remote:(svc, service_port) () in
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get\n"));
+  Tcb.set_on_eof c (fun () ->
+      eof := true;
+      Tcb.close c);
+  Tcb.set_on_reset c (fun () -> incr resets);
+
+  (* the scripted chaos *)
+  let env =
+    {
+      Injector.engine = World.engine world;
+      rng = World.fresh_rng world;
+      hosts =
+        [
+          ("client", client); ("head", head_h); ("middle", middle_h);
+          ("tail", tail_h);
+        ];
+      nets = [ ("lan", Injector.Medium_net lan) ];
+    }
+  in
+  let inj = Injector.install env (chaos_plan sc.chaos) in
+  let xfer_capture = capture_transfers world lan in
+
+  (* the kill: the head or the tail of the three-tier chain *)
+  let victim_idx =
+    match sc.victim with Primary -> 0 | Secondary -> 2 | Nobody -> -1
+  in
+  let kill () = if victim_idx >= 0 then Chain.kill chain victim_idx in
+  (* repair: once the victim's loss has been absorbed (takeover for a
+     head kill, detection for a tail kill), a fresh host rejoins at the
+     tail and hot state transfer re-replicates the live connection onto
+     it.  For [Repair_then_rekill] the settled transfers trigger a kill
+     of the CURRENT head: the stream must survive the second failover
+     byte-exactly through the rejoined tier. *)
+  let deaths = ref 0 in
+  let repaired = ref false in
+  let rekilled = ref false in
+  let xfer_done = ref false in
+  let isolated = ref 0 in
+  let trigger_rejoin () =
+    if sc.repair <> No_repair && not !repaired then begin
+      repaired := true;
+      ignore
+        (Engine.schedule (World.engine world)
+           ~delay:(Time.ms 1 + Rng.int timing_rng (Time.ms 4))
+           (fun () ->
+             let h =
+               World.add_host world lan ~name:"repaired" ~addr:"10.0.0.3" ()
+             in
+             World.warm_arp (h :: Topo.hosts topo);
+             if sc.xfer_loss > 0.0 then
+               Injector.add inj
+                 (Fault.parse_exn
+                    (Printf.sprintf "after 0us loss lan %.2f for 8ms"
+                       sc.xfer_loss));
+             ignore (Chain.rejoin chain h)))
+    end
+  in
+  Chain.set_on_event chain (fun e ->
+      match e with
+      | Chain.Death_detected _ ->
+        incr deaths;
+        if sc.victim = Secondary then trigger_rejoin ()
+      | Chain.Promoted _ ->
+        if sc.victim = Primary then trigger_rejoin ()
+      | Chain.Isolated _ -> incr isolated
+      | Chain.Transfers_complete _ ->
+        if !repaired then begin
+          xfer_done := true;
+          if sc.repair = Repair_then_rekill && not !rekilled then begin
+            rekilled := true;
+            ignore
+              (Engine.schedule (World.engine world)
+                 ~delay:(Time.us 200 + Rng.int timing_rng (Time.ms 2))
+                 (fun () -> Chain.kill chain (Chain.head chain)))
+          end
+        end
+      | _ -> ());
+  (match (sc.victim, sc.phase) with
+  | Nobody, _ -> ()
+  | _, Handshake ->
+    ignore
+      (Engine.schedule (World.engine world)
+         ~delay:(Time.us 50 + Rng.int timing_rng (Time.us 350))
+         kill)
+  | _, Transfer ->
+    let est = transfer_estimate sc.size in
+    let frac = 10 + Rng.int timing_rng 80 in
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(est * frac / 100) kill)
+  | _, Fin ->
+    let armed = ref false in
+    Tcb.set_on_data c (fun d ->
+        Buffer.add_string buf d;
+        if (not !armed) && Buffer.length buf >= sc.size then begin
+          armed := true;
+          ignore
+            (Engine.schedule (World.engine world)
+               ~delay:(Rng.int timing_rng (Time.us 200))
+               kill)
+        end)
+  | _, Idle ->
+    ignore
+      (Engine.schedule (World.engine world)
+         ~delay:(transfer_estimate sc.size + Time.sec 2.0)
+         kill));
+  if not (sc.victim <> Nobody && sc.phase = Fin) then
+    Tcb.set_on_data c (fun d -> Buffer.add_string buf d);
+
+  (* run in slices; stop early once everything observable has settled *)
+  let deadline = Time.sec 60.0 in
+  let done_ () =
+    let client_done =
+      !eof
+      && (match Tcb.state c with Tcb.Closed | Tcb.Time_wait -> true | _ -> false)
+    in
+    let kill_done =
+      match (sc.victim, sc.repair) with
+      | Nobody, _ -> true
+      | _, No_repair -> !deaths >= 1
+      | _, Repair ->
+        !repaired && !xfer_done && Chain.pending_transfers chain = 0
+      | _, Repair_then_rekill -> !rekilled && !deaths >= 2
+    in
+    client_done && kill_done
+  in
+  let rec drive () =
+    if (not (done_ ())) && World.now world < deadline then begin
+      World.run world ~for_:(Time.sec 1.0);
+      drive ()
+    end
+  in
+  drive ();
+
+  (* ---------------- invariants ---------------- *)
+  let check cond msg = if not cond then violations := msg :: !violations in
+  check
+    (Buffer.contents buf = reply)
+    (Printf.sprintf "client stream diverged from the application's (%d/%d B)"
+       (Buffer.length buf) sc.size);
+  check !eof "connection never delivered EOF to the client";
+  check
+    (match Tcb.state c with Tcb.Closed | Tcb.Time_wait -> true | _ -> false)
+    (Printf.sprintf "connection never terminated (client state %s)"
+       (Tcb.state_to_string (Tcb.state c)));
+  check (!resets = 0) "client saw a connection reset";
+  (match (sc.victim, sc.repair) with
+  | Nobody, _ ->
+    check
+      (List.length (Chain.alive chain) = 3)
+      "spurious death: no replica was killed but one left the chain"
+  | _, No_repair ->
+    check (!deaths >= 1) "replica killed but its death was never detected";
+    check
+      (not (List.mem victim_idx (Chain.alive chain)))
+      "killed replica is still listed live"
+  | _, Repair ->
+    check !repaired "rejoin never triggered";
+    check !xfer_done "rejoin's hot state transfers never settled";
+    check
+      (Chain.pending_transfers chain = 0)
+      "hot state transfers still pending";
+    check
+      (List.length (Chain.alive chain) = 3)
+      "chain never returned to three live replicas";
+    (* a connection still mid-handshake when the rejoin scans candidates
+       is pinned solo by design (it cannot snapshot yet) — only an
+       established connection stranding solo is a failure *)
+    if sc.phase <> Handshake then
+      check (!isolated = 0)
+        (Printf.sprintf "%d connection(s) stranded solo by the rejoin"
+           !isolated)
+  | _, Repair_then_rekill ->
+    check !rekilled "cascading second kill never triggered";
+    check (!deaths >= 2) "second kill was never detected";
+    if sc.phase <> Handshake then
+      check (!isolated = 0)
+        (Printf.sprintf "%d connection(s) stranded solo by the rejoin"
+           !isolated));
+  check_transfer_mss xfer_capture ~check;
+  {
+    scenario = sc;
+    violations = List.rev !violations;
+    metrics = Registry.to_json (World.metrics world);
+  }
+
+let run ?on_world scenario =
+  match scenario.role with
+  | Server | Backend_client -> run_replicated ?on_world scenario
+  | Chain3 -> run_chain ?on_world scenario

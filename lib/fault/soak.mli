@@ -1,9 +1,9 @@
 (** Seeded failover soak scenarios: one scenario per seed, drawn from the
     cross product of kill victim × kill phase × background chaos ×
-    transfer size × repair plan × pool shape, run against a full
-    replicated world (a pair, or a three-replica pool with cascading
-    failover) built through {!Tcpfo_host.Topo} and checked against the
-    paper's correctness requirements (§2).
+    transfer size × repair plan × pool shape × service role, run against
+    a full replicated world (a pair, a three-replica pool with cascading
+    failover, or a three-tier chain) built through {!Tcpfo_host.Topo}
+    and checked against the paper's correctness requirements (§2).
 
     Invariants checked by {!run}:
 
@@ -21,7 +21,17 @@
       intact;
     - in repair scenarios, every hot state transfer settles without a
       failure even when a [loss] plan covers the control channel, and
-      no transfer datagram on the wire exceeds the MSS chunk bound.
+      no transfer datagram on the wire exceeds the MSS chunk bound;
+    - in backend-role scenarios (§7.2: the pool holds the client end),
+      the surviving replicas' application assembles the unreplicated
+      backend's complete reply — after a repair, on the restored
+      connection too — and the backend never sees a second ISN or an
+      RST;
+    - in chain scenarios a repaired host {!Tcpfo_core.Chain.rejoin}s at
+      the tail, the chain returns to three live replicas with all
+      transfers settled and no established connection stranded solo
+      ([statex.isolated_conns] stays 0; a connection still mid-handshake
+      at rejoin time is pinned solo by design).
 
     Everything — topology, chaos plan, kill instant — derives from the
     scenario's seed, so [run (scenario_of_seed s)] replays
@@ -61,6 +71,20 @@ type pool =
           ([`Normal], transfers settled); without it the pool ends
           degraded on its last survivor. *)
 
+type role =
+  | Server  (** the pool listens; the client streams the reply down *)
+  | Backend_client
+      (** §7.2: the pool opens the connection to an unreplicated backend
+          server (running on the client host) and streams the reply UP
+          from it — the replicated end holds the client role, so the
+          kill/repair cycle must restore a [connect_backend] connection
+          (retained input replays the reply into the restored
+          application) *)
+  | Chain3
+      (** a three-tier {!Tcpfo_core.Chain} serves the client; [Primary]
+          kills the head, [Secondary] kills the tail, and repair goes
+          through {!Tcpfo_core.Chain.rejoin} at the tail *)
+
 type scenario = {
   seed : int;
   victim : victim;
@@ -86,6 +110,10 @@ type scenario = {
           left all earlier seed → scenario mappings intact.  When a
           pool is drawn the explicit [repair] axis is forced to
           [No_repair]: promotion from the pool IS the repair. *)
+  role : role;
+      (** newest axis, drawn after everything older; forced to [Server]
+          for the no-kill control, pool scenarios and cross traffic, so
+          every pre-existing seed's world replays untouched *)
 }
 
 type outcome = {

@@ -120,7 +120,11 @@ let fnv1a64 s =
   !h
 
 let magic = "TFX1"
-let version = 1
+
+(* v2: Snapshot.conn carries the connection role (server / client) so
+   restored §7.2 client-role connections re-attach their application
+   layer through the connect_backend setup registry *)
+let version = 2
 
 let seal body =
   let b = Buffer.create (String.length body + 18) in

@@ -2,13 +2,23 @@ module Seq32 = Tcpfo_util.Seq32
 module Ipaddr = Tcpfo_packet.Ipaddr
 module Tcb = Tcpfo_tcp.Tcb
 
+type role = [ `Server | `Client ]
+
 type conn = {
   tcb : Tcb.snapshot;
+  role : role;
   delta : int;
   next_wire_seq : Seq32.t;
   held_segments : int;
   solo : bool;
 }
+
+let role_tag : role -> int = function `Server -> 0 | `Client -> 1
+
+let role_of_tag = function
+  | 0 -> `Server
+  | 1 -> `Client
+  | n -> raise (Codec.Corrupt (Printf.sprintf "invalid role tag %d" n))
 
 (* --- primitive field helpers ------------------------------------- *)
 
@@ -179,6 +189,7 @@ let read_tcb r : Tcb.snapshot =
 let encode c =
   let b = Codec.W.create () in
   write_tcb b c.tcb;
+  Codec.W.u8 b (role_tag c.role);
   Codec.W.u32 b (c.delta land 0xFFFF_FFFF);
   w_seq b c.next_wire_seq;
   Codec.W.u32 b c.held_segments;
@@ -192,6 +203,7 @@ let decode s =
     try
       let r = Codec.R.of_string body in
       let tcb = read_tcb r in
+      let role = role_of_tag (Codec.R.u8 r) in
       let delta =
         (* sign-extend the 32-bit two's-complement field *)
         let v = Codec.R.u32 r in
@@ -201,5 +213,5 @@ let decode s =
       let held_segments = Codec.R.u32 r in
       let solo = Codec.R.bool r in
       if not (Codec.R.at_end r) then Error "trailing bytes in snapshot"
-      else Ok { tcb; delta; next_wire_seq; held_segments; solo }
+      else Ok { tcb; role; delta; next_wire_seq; held_segments; solo }
     with Codec.Corrupt m -> Error m)

@@ -6,8 +6,18 @@
     ({!Tcpfo_tcp.Tcb.shift_snapshot}); a promoted secondary's state is
     already in wire space (Δ = 0). *)
 
+type role = [ `Server | `Client ]
+(** Which side of the connection the replicated application holds:
+    [`Server] for {!Tcpfo_tcp.Stack.listen}-accepted connections,
+    [`Client] for §7.2 server-initiated ([connect_backend]) connections.
+    The installer on the receiving replica needs it to rebuild the
+    application layer: server-role connections re-attach through the
+    registered listener, client-role connections through the
+    [connect_backend] setup registered for the remote endpoint. *)
+
 type conn = {
   tcb : Tcpfo_tcp.Tcb.snapshot;
+  role : role;
   delta : int;
       (** Δseq the surviving bridge applied for this connection — carried
           for validation and metrics; the restored pair always starts at

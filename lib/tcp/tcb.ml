@@ -99,6 +99,10 @@ type t = {
   mutable retained_bytes : int;
       (* bytes currently held in [retained]; bounded by
          [config.retention_budget] *)
+  mutable replaying : bool;
+      (* inside resume_restored's history replay: callbacks fired now
+         replay input the original already acted on, so applications
+         coupling connections (relays) must not re-forward it *)
   mutable retention_overflowed : bool;
       (* the budget was exceeded: history dropped, connection no longer
          transferable (and never again — the prefix is gone) *)
@@ -558,6 +562,7 @@ let make clock ?obs ~config ~local ~remote ~iss actions state =
     rtt_probe = None;
     retained = None;
     resync_skip = 0;
+    replaying = false;
     retained_bytes = 0;
     retention_overflowed = false;
     cwnd = 2 * config.mss;
@@ -1183,11 +1188,23 @@ let restore clock ?obs ~config actions (s : snapshot) =
    regenerated during the replay is swallowed by [resync_skip] up to the
    snapshot point, after which genuinely new bytes flow normally. *)
 let resume_restored t =
+  t.replaying <- true;
   t.on_established ();
   (match t.retained with
   | Some chunks -> List.iter t.on_data (List.rev chunks)
   | None -> ());
   if t.eof_signalled then t.on_eof ();
+  t.replaying <- false;
+  (* Regeneration is over: an application that derives its output from
+     the replayed input has re-sent its history synchronously inside the
+     callbacks above (swallowed sends never exert backpressure, so a
+     drain-pumped writer runs to the end of its history without
+     yielding).  An application that cannot regenerate — a relay whose
+     output originates on another connection — sends nothing during
+     replay.  Either way the snapshot's send buffer already carries
+     every unacknowledged byte, so whatever skip budget remains would
+     only swallow genuinely new data: cancel it. *)
+  t.resync_skip <- 0;
   if t.state = Established then arm_keepalive t;
   (* a restored TIME_WAIT connection must still answer retransmitted
      FINs, and still eventually evaporate: restart the 2MSL timer *)
@@ -1201,6 +1218,7 @@ let fin_queued t = t.fin_queued
 let fin_sent t = t.fin_sent
 let rcv_fin t = t.rcv_fin
 let eof_signalled t = t.eof_signalled
+let replaying t = t.replaying
 let receive_window t = rcv_wnd t
 
 let segment_arrives t (seg : Seg.t) =

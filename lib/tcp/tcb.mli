@@ -233,7 +233,26 @@ val resume_restored : t -> unit
 (** Fire the application callbacks as history replay (established →
     retained input → EOF if signalled), re-arm keepalive/retransmission,
     and resume output.  Call after the service's accept handler has
-    installed its callbacks on the restored TCB. *)
+    installed its callbacks on the restored TCB.
+
+    Output the application regenerates from inside the replay callbacks
+    is swallowed up to the snapshot point (replayed sends never exert
+    backpressure, so a drain-pumped writer regenerates its whole history
+    without yielding).  When the replay returns, any unregenerated
+    remainder is cancelled — the snapshot's send buffer already carries
+    every unacknowledged byte — so an application that cannot regenerate
+    its output (e.g. a relay fed by another connection, which must skip
+    forwards while {!replaying} is true) resumes cleanly: everything it
+    sends after the replay is treated as new data. *)
+
+val replaying : t -> bool
+(** True while {!resume_restored} is replaying history into the
+    application callbacks.  Output sent back to THIS connection during
+    replay is swallowed up to the snapshot point, but an application
+    that couples connections (a relay forwarding bytes from one to
+    another) must check this and skip the cross-connection forward: the
+    replayed input was already forwarded by the original replica, and
+    the partner connection's restored stream position accounts for it. *)
 
 (** {1 Statistics} *)
 

@@ -14,6 +14,7 @@ open Testutil
 
 type chain_lan = {
   cworld : World.t;
+  clan : Tcpfo_net.Medium.t;
   cclient : Host.t;
   chain : Chain.t;
   hosts : Host.t list;
@@ -37,7 +38,7 @@ let make_chain ?seed ?(n = 3) ?configs () =
   let chain =
     Chain.create ~replicas:hosts ~config:Failover_config.default ()
   in
-  { cworld = world; cclient = client; chain; hosts }
+  { cworld = world; clan = lan; cclient = client; chain; hosts }
 
 (* install the reply service; returns per-replica request sinks *)
 let serve c ~reply =
@@ -273,9 +274,126 @@ let test_chain_server_initiated () =
     (sink_contents bsink);
   check_int "still a single backend connection" 1 !accepted
 
+(* ---- rejoin: a repaired host re-enters at the tail -------------------- *)
+
+let test_chain_rejoin_restores_three_tiers () =
+  (* head dies mid-download; a repaired host rejoins at the tail by hot
+     state transfer; then the promoted head dies too.  The rejoined tail
+     must carry the stream to completion byte-exactly — the chain is
+     fully repairable, not merely survivable. *)
+  let c = make_chain () in
+  let reply = pattern ~tag:57 600_000 in
+  let _sinks = serve c ~reply in
+  let csink = make_sink () in
+  let conn =
+    Stack.connect (Host.tcp c.cclient)
+      ~remote:(Chain.service_addr c.chain, 80)
+      ()
+  in
+  wire_sink csink conn;
+  Tcb.set_on_established conn (fun () -> ignore (Tcb.send conn "get"));
+  let engine = World.engine c.cworld in
+  let tail_idx = ref (-1) in
+  let rejoin_scheduled = ref false in
+  let settled = ref None in
+  let rekilled = ref false in
+  let isolated = ref 0 in
+  Chain.set_on_event c.chain (fun ev ->
+      match ev with
+      | Chain.Promoted _ when not !rejoin_scheduled ->
+        rejoin_scheduled := true;
+        ignore
+          (Engine.schedule engine ~delay:(Time.ms 1) (fun () ->
+               let h =
+                 World.add_host c.cworld c.clan ~name:"repaired"
+                   ~addr:"10.0.0.8" ()
+               in
+               World.warm_arp (h :: c.cclient :: c.hosts);
+               tail_idx := Chain.rejoin c.chain h))
+      | Chain.Transfers_complete n when not !rekilled ->
+        rekilled := true;
+        settled := Some n;
+        ignore
+          (Engine.schedule engine ~delay:(Time.ms 5) (fun () ->
+               Chain.kill c.chain (Chain.head c.chain)))
+      | Chain.Isolated _ -> incr isolated
+      | _ -> ());
+  ignore
+    (Engine.schedule engine ~delay:(Time.ms 30) (fun () ->
+         Chain.kill c.chain 0));
+  World.run c.cworld ~for_:(Time.sec 120.0);
+  check_string "stream exact across kill, rejoin, and rekill" reply
+    (sink_contents csink);
+  check_bool "eof" true csink.eof;
+  check_int "no reset" 0 csink.resets;
+  check_bool "rejoin ran" true (!tail_idx >= 0);
+  Alcotest.(check (list int))
+    "repaired tail survives the second death"
+    [ 2; !tail_idx ] (Chain.alive c.chain);
+  check_bool "the live conn was re-replicated onto the tail" true
+    (match !settled with Some n -> n >= 1 | None -> false);
+  check_int "nothing isolated" 0 !isolated;
+  check_int "no pending transfers" 0 (Chain.pending_transfers c.chain)
+
+let test_chain_rejoin_validation () =
+  let c = make_chain () in
+  World.run c.cworld ~for_:(Time.ms 50);
+  Alcotest.check_raises "live member refused"
+    (Invalid_argument "Chain.rejoin: host is already in the chain")
+    (fun () -> ignore (Chain.rejoin c.chain (List.nth c.hosts 1)));
+  let dead = World.add_host c.cworld c.clan ~name:"dead" ~addr:"10.0.0.7" () in
+  Host.kill dead;
+  Alcotest.check_raises "dead host refused"
+    (Invalid_argument "Chain.rejoin: host is not alive")
+    (fun () -> ignore (Chain.rejoin c.chain dead))
+
+let test_chain_rejoin_during_takeover () =
+  (* on a pair, the survivor's §5 takeover is in flight between death
+     detection and [Promoted]: a rejoin inside that window must be
+     refused (the service address has no owner yet), and the same host
+     must be accepted once the takeover settles *)
+  let c = make_chain ~n:2 () in
+  let fresh =
+    World.add_host c.cworld c.clan ~name:"repaired" ~addr:"10.0.0.8" ()
+  in
+  World.warm_arp (fresh :: c.cclient :: c.hosts);
+  let engine = World.engine c.cworld in
+  let refused = ref false in
+  let joined = ref None in
+  Chain.set_on_event c.chain (fun ev ->
+      match ev with
+      | Chain.Death_detected _ ->
+        ignore
+          (Engine.schedule engine ~delay:(Time.us 1) (fun () ->
+               try ignore (Chain.rejoin c.chain fresh)
+               with Invalid_argument _ -> refused := true))
+      | Chain.Promoted _ ->
+        ignore
+          (Engine.schedule engine ~delay:(Time.us 1) (fun () ->
+               if !joined = None then joined := Some (Chain.rejoin c.chain fresh)))
+      | _ -> ());
+  ignore
+    (Engine.schedule engine ~delay:(Time.ms 30) (fun () ->
+         Chain.kill c.chain 0));
+  World.run c.cworld ~for_:(Time.sec 5.0);
+  check_bool "rejoin refused mid-takeover" true !refused;
+  (match !joined with
+  | Some idx ->
+    Alcotest.(check (list int))
+      "paired with the survivor after the takeover"
+      [ 1; idx ] (Chain.alive c.chain)
+  | None -> Alcotest.fail "rejoin never succeeded after the takeover");
+  check_int "no pending transfers" 0 (Chain.pending_transfers c.chain)
+
 let suite =
   suite
   @ [
       Alcotest.test_case "server-initiated through a chain (7.2)" `Quick
         test_chain_server_initiated;
+      Alcotest.test_case "rejoin restores three tiers mid-stream" `Quick
+        test_chain_rejoin_restores_three_tiers;
+      Alcotest.test_case "rejoin validation" `Quick
+        test_chain_rejoin_validation;
+      Alcotest.test_case "rejoin refused mid-takeover, accepted after" `Quick
+        test_chain_rejoin_during_takeover;
     ]

@@ -149,7 +149,16 @@ let test_registry_port_methods () =
   (* idempotent registration *)
   Failover_config.register_endpoint reg ~local_port:8080;
   check_bool "still works" true
-    (Failover_config.is_failover_local_port reg 8080)
+    (Failover_config.is_failover_local_port reg 8080);
+  (* the remote-port predicate the transfer candidate selection relies
+     on: a §7.2 client-role conn has an EPHEMERAL local port, so only
+     the remote side marks it as a failover connection *)
+  check_bool "remote predicate (static)" true
+    (Failover_config.is_failover_remote_port reg 5432);
+  check_bool "remote predicate (registered)" true
+    (Failover_config.is_failover_remote_port reg 6379);
+  check_bool "a local service port is not a remote one" false
+    (Failover_config.is_failover_remote_port reg 80)
 
 let suite =
   [

@@ -49,6 +49,29 @@ let test_pool_axis_covered () =
         [] o.Soak.violations)
     [ List.hd plain; List.hd rejoin ]
 
+(* The newest axis: the CI seed range must draw all three service
+   roles — classic server, §7.2 backend-client, and the three-tier
+   chain — and the first scenario of each new role must run clean. *)
+let test_role_axis_covered () =
+  let role_seeds r =
+    List.filter
+      (fun s -> (Soak.scenario_of_seed s).Soak.role = r)
+      (List.init 60 (fun i -> i + 1))
+  in
+  let server = role_seeds Soak.Server in
+  let backend = role_seeds Soak.Backend_client in
+  let chain = role_seeds Soak.Chain3 in
+  check_bool "seeds 1-60 draw the server role" true (server <> []);
+  check_bool "seeds 1-60 draw the backend-client role" true (backend <> []);
+  check_bool "seeds 1-60 draw the chain role" true (chain <> []);
+  List.iter
+    (fun seed ->
+      let o = Soak.run (Soak.scenario_of_seed seed) in
+      Alcotest.(check (list string))
+        (Soak.describe o.Soak.scenario)
+        [] o.Soak.violations)
+    [ List.hd backend; List.hd chain ]
+
 let test_replay_is_byte_identical () =
   let sc = Soak.scenario_of_seed 5 in
   let a = Soak.run sc in
@@ -64,6 +87,8 @@ let suite =
       test_seed_set_covers_victims;
     Alcotest.test_case "pool axis covered and clean" `Quick
       test_pool_axis_covered;
+    Alcotest.test_case "role axis covered and clean" `Quick
+      test_role_axis_covered;
     Alcotest.test_case "seed replay byte-identical" `Quick
       test_replay_is_byte_identical;
   ]

@@ -93,6 +93,7 @@ let rand_snapshot st =
 let rand_conn st =
   {
     Snapshot.tcb = rand_snapshot st;
+    role = (if QCheck.Gen.bool st then `Server else `Client);
     delta =
       (match QCheck.Gen.int_bound 2 st with
       | 0 -> 0

@@ -57,6 +57,7 @@ let mk_conn ?(size = 8_000) () =
         sn_ssthresh = 1 lsl 30;
         sn_retained_input = [];
       };
+    role = `Server;
     delta = 0;
     next_wire_seq = iss;
     held_segments = 0;
@@ -320,6 +321,11 @@ let test_retention_overflow_isolates () =
     Replicated.create ~primary ~secondary
       ~config:Tcpfo_core.Failover_config.default ()
   in
+  let isolated_ports = ref [] in
+  Replicated.set_on_event repl (function
+    | Replicated.Isolated { local_port; _ } ->
+      isolated_ports := local_port :: !isolated_ports
+    | _ -> ());
   (* reply "done" after every 1200 request bytes — deterministic on both
      replicas regardless of segment boundaries *)
   Replicated.listen repl ~port:80 ~on_accept:(fun ~role:_ tcb ->
@@ -356,11 +362,131 @@ let test_retention_overflow_isolates () =
   let stats = Replicated.transfer_stats repl in
   check_int "the overflowed conn was never offered" 0
     stats.Tcpfo_statex.Transfer.offers_sent;
+  (* the solo demotion is announced, per connection, and counted *)
+  Alcotest.(check (list int)) "Isolated event named the connection" [ 80 ]
+    !isolated_ports;
+  check_bool "isolation surfaced in metrics" true
+    (counter world "statex.isolated_conns" >= 1);
   (* ...and it still serves, solo, after reintegration *)
   send_all c (pattern ~tag:6 1_200);
   World.run world ~for_:(Time.sec 2.0);
   check_string "solo conn still served after reintegration" "donedone"
     (sink_contents csink);
+  check_int "never reset" 0 csink.resets
+
+(* -- role-complete transfer: the §7.2 client role ----------------------- *)
+
+let test_backend_conn_repair_and_rekill () =
+  (* A connect_backend connection has an EPHEMERAL local port, so the
+     transfer candidate selection must recognise it by its registered
+     REMOTE endpoint, ship it at reintegration, and re-run the recorded
+     setup on the fresh replica.  Acceptance: the session survives the
+     repair AND a second failover byte-exactly, over a single backend
+     connection, with nothing isolated. *)
+  let r = make_repl_lan () in
+  let backend_port = 7000 in
+  let accepted = ref 0 in
+  let bsink = make_sink () in
+  Stack.listen (Host.tcp r.rclient) ~port:backend_port ~on_accept:(fun tcb ->
+      incr accepted;
+      wire_sink bsink tcb;
+      Tcb.set_on_data tcb (fun d ->
+          Buffer.add_string bsink.buf d;
+          ignore (Tcb.send tcb ("ok:" ^ d))));
+  let isolated = ref 0 in
+  Replicated.set_on_event r.repl (function
+    | Replicated.Isolated _ -> incr isolated
+    | _ -> ());
+  (* one entry per replica instance, newest first: after the repair the
+     head is the restored copy living on the fresh host.  The setup
+     regenerates its output history ("q1" on established) — during the
+     restore replay that re-send is swallowed against the snapshot. *)
+  let copies = ref [] in
+  Replicated.connect_backend r.repl
+    ~remote:(Host.addr r.rclient, backend_port)
+    ~setup:(fun ~role:_ tcb ->
+      let sink = make_sink () in
+      copies := (tcb, sink) :: !copies;
+      wire_sink sink tcb;
+      Tcb.set_on_established tcb (fun () -> ignore (Tcb.send tcb "q1")))
+    ();
+  run_repl ~for_sec:2.0 r;
+  check_int "backend accepted exactly one connection" 1 !accepted;
+  check_string "backend served q1" "q1" (sink_contents bsink);
+  check_int "a copy on each replica" 2 (List.length !copies);
+  List.iter
+    (fun (_, sink) ->
+      check_string "every copy got the reply" "ok:q1" (sink_contents sink))
+    !copies;
+  (* the secondary dies; §6 leaves the primary serving solo *)
+  Replicated.kill_secondary r.repl;
+  run_repl ~for_sec:2.0 r;
+  check_bool "failure detected" true
+    (Replicated.status r.repl = `Secondary_failed);
+  (* repair: the client-role conn must transfer, not fall solo *)
+  let fresh =
+    World.add_host r.rworld r.rlan ~name:"repaired" ~addr:"10.0.0.3" ()
+  in
+  World.warm_arp [ r.rclient; r.primary; r.secondary; fresh ];
+  Replicated.reintegrate r.repl ~secondary:fresh;
+  run_repl ~for_sec:2.0 r;
+  check_int "transfers settled" 0 (Replicated.pending_transfers r.repl);
+  check_int "no transfer failures" 0 (Replicated.transfer_failures r.repl);
+  check_int "nothing isolated" 0 !isolated;
+  check_int "setup re-ran on the repaired host" 3 (List.length !copies);
+  (* second failover: the original primary dies; the repaired host must
+     carry the restored connection forward *)
+  Replicated.kill_primary r.repl;
+  run_repl ~for_sec:2.0 r;
+  check_bool "takeover by the repaired host" true
+    (Replicated.status r.repl = `Primary_failed);
+  let restored_tcb, restored_sink = List.hd !copies in
+  ignore (Tcb.send restored_tcb "q2");
+  run_repl ~for_sec:3.0 r;
+  check_string "backend session continued byte-exactly" "q1q2"
+    (sink_contents bsink);
+  check_string "restored copy replayed history and got the new reply"
+    "ok:q1ok:q2" (sink_contents restored_sink);
+  check_int "still a single backend connection" 1 !accepted;
+  check_int "backend never reset" 0 bsink.resets;
+  check_int "restored copy never reset" 0 restored_sink.resets
+
+let test_restored_relay_new_output_not_swallowed () =
+  (* Regression for the resume_restored regeneration contract: an
+     application that CANNOT regenerate its output (it guards its
+     on_data with Tcb.replaying, like a relay fed by another connection)
+     must still have its first post-restore sends delivered.  Before the
+     fix the leftover resync-skip budget swallowed them. *)
+  let r = make_repl_lan () in
+  Replicated.listen r.repl ~port:80 ~on_accept:(fun ~role:_ tcb ->
+      Tcb.set_on_data tcb (fun d ->
+          if not (Tcb.replaying tcb) then ignore (Tcb.send tcb ("R:" ^ d))));
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "one"));
+  run_repl ~for_sec:1.0 r;
+  check_string "served before any failure" "R:one" (sink_contents csink);
+  Replicated.kill_secondary r.repl;
+  run_repl ~for_sec:2.0 r;
+  let fresh =
+    World.add_host r.rworld r.rlan ~name:"repaired" ~addr:"10.0.0.3" ()
+  in
+  World.warm_arp [ r.rclient; r.primary; r.secondary; fresh ];
+  Replicated.reintegrate r.repl ~secondary:fresh;
+  run_repl ~for_sec:2.0 r;
+  check_int "transfers settled" 0 (Replicated.pending_transfers r.repl);
+  (* second failover: the restored, non-regenerating copy takes over *)
+  Replicated.kill_primary r.repl;
+  run_repl ~for_sec:2.0 r;
+  ignore (Tcb.send c "two");
+  run_repl ~for_sec:3.0 r;
+  check_string "new output after the restore reached the client"
+    "R:oneR:two" (sink_contents csink);
   check_int "never reset" 0 csink.resets
 
 (* -- repair-time ARP hygiene -------------------------------------------- *)
@@ -432,6 +558,10 @@ let suite =
       test_retention_overflow_unit;
     Alcotest.test_case "retention overflow isolates the connection" `Quick
       test_retention_overflow_isolates;
+    Alcotest.test_case "backend conn survives repair and rekill (7.2)" `Quick
+      test_backend_conn_repair_and_rekill;
+    Alcotest.test_case "restored relay's new output not swallowed" `Quick
+      test_restored_relay_new_output_not_swallowed;
     Alcotest.test_case "warm_arp skips dead hosts" `Quick
       test_warm_arp_skips_dead_hosts;
     Alcotest.test_case "soak seeds draw the lossy-transfer axis" `Quick

@@ -82,6 +82,7 @@ module Ipv4_packet = Tcpfo_packet.Ipv4_packet
 
 type repl_lan = {
   rworld : World.t;
+  rlan : Tcpfo_net.Medium.t;
   rclient : Host.t;
   primary : Host.t;
   secondary : Host.t;
@@ -106,7 +107,7 @@ let make_repl_lan ?seed ?medium_config ?client_tcp_config ?primary_tcp_config
   in
   World.warm_arp [ rclient; primary; secondary ];
   let repl = Replicated.create ~primary ~secondary ~config () in
-  { rworld = world; rclient; primary; secondary; repl }
+  { rworld = world; rlan = lan; rclient; primary; secondary; repl }
 
 (* A deterministic request/reply service: accumulate request bytes; once
    [request_size] bytes have arrived, send back [reply_of] applied to the
