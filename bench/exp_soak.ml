@@ -50,6 +50,46 @@ let chaos_key (s : Soak.scenario) =
   | Soak.Pause_client -> "pause"
   | Soak.Partition_client -> "partition"
 
+(* Machine-readable per-axis scenario counts: one JSON line a CI
+   artifact can diff run-to-run, proving each axis keeps being drawn as
+   the scenario space evolves (a forcing-rule regression that silently
+   starves an axis shows up here as a zero). *)
+let pool_key (s : Soak.scenario) =
+  match s.pool with
+  | Soak.Pair -> "pair"
+  | Soak.Pool3 { rejoin_first = false } -> "pool3"
+  | Soak.Pool3 { rejoin_first = true } -> "pool3_rejoin"
+
+let role_key (s : Soak.scenario) =
+  match s.role with
+  | Soak.Server -> "server"
+  | Soak.Backend_client -> "backend_client"
+  | Soak.Chain3 -> "chain3"
+
+let repair_key (s : Soak.scenario) =
+  match s.repair with
+  | Soak.No_repair -> "none"
+  | Soak.Repair -> "repair"
+  | Soak.Repair_then_rekill -> "repair_rekill"
+
+let fleet_key (s : Soak.scenario) = if s.fleet then "fleet" else "direct"
+
+let axes_line outcomes =
+  let axis key_of keys =
+    let count k =
+      List.length
+        (List.filter (fun (o : Soak.outcome) -> key_of o.scenario = k) outcomes)
+    in
+    String.concat ","
+      (List.map (fun k -> Printf.sprintf "%S:%d" k (count k)) keys)
+  in
+  Printf.printf
+    "[soak-axes] {\"pool\":{%s},\"role\":{%s},\"repair\":{%s},\"fleet\":{%s}}\n%!"
+    (axis pool_key [ "pair"; "pool3"; "pool3_rejoin" ])
+    (axis role_key [ "server"; "backend_client"; "chain3" ])
+    (axis repair_key [ "none"; "repair"; "repair_rekill" ])
+    (axis fleet_key [ "direct"; "fleet" ])
+
 let write_report path failures =
   let oc = open_out path in
   Printf.fprintf oc "# soak invariant failures (%d)\n" (List.length failures);
@@ -92,6 +132,7 @@ let run_exp ~seeds ?(first_seed = 1) ?report () =
   print_buckets "kill" (bucket outcomes victim_key);
   print_newline ();
   print_buckets "chaos" (bucket outcomes chaos_key);
+  axes_line outcomes;
   let failures =
     List.filter (fun (o : Soak.outcome) -> o.violations <> []) outcomes
   in

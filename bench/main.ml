@@ -25,6 +25,7 @@ type which =
   | Pool_exp
   | Threetier_exp
   | Highconn_exp
+  | Fleet_exp
 
 let which_of_string = function
   | "all" -> Ok All
@@ -43,6 +44,7 @@ let which_of_string = function
   | "pool" -> Ok Pool_exp
   | "threetier" -> Ok Threetier_exp
   | "highconn" -> Ok Highconn_exp
+  | "fleet" -> Ok Fleet_exp
   | s -> Error (`Msg ("unknown experiment: " ^ s))
 
 let which_conv =
@@ -66,7 +68,8 @@ let which_conv =
           | Reintegration_exp -> "reintegration"
           | Pool_exp -> "pool"
           | Threetier_exp -> "threetier"
-          | Highconn_exp -> "highconn") )
+          | Highconn_exp -> "highconn"
+          | Fleet_exp -> "fleet") )
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -138,6 +141,12 @@ let run which quick metrics_dir jobs seeds first_seed soak_report loss_rates
       ~conn_counts:(if quick then [ 100; 400 ] else [ 1000; 4000; 10000 ])
       ~backends
       ~trials:(if quick then 1 else 2);
+  if should Fleet_exp then
+    Exp_fleet.run_exp
+      ~pools:(if quick then 4 else 16)
+      ~conns:(if quick then 256 else 2048)
+      ~cycles:(if quick then 2 else 8)
+      ~trials:(if quick then 1 else 2);
   let soak_failures =
     if should Soak_exp then
       Exp_soak.run_exp
@@ -153,7 +162,7 @@ let which_arg =
   Arg.(value & opt which_conv All & info [ "exp" ] ~docv:"EXP"
          ~doc:"Experiment to run: all, setup, fig3, fig4, fig5, fig6, \
                failover, ablation, chain, scale, micro, soak, \
-               reintegration, pool, threetier, highconn.")
+               reintegration, pool, threetier, highconn, fleet.")
 
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sizes and trial counts.")

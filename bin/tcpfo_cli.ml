@@ -324,18 +324,7 @@ let run_chain n_replicas kills_ms size_kb trace stats seed =
   Tcpfo_core.Chain.set_on_event chain (fun e ->
       Printf.printf "[%10.3f ms] %s\n%!"
         (Time.to_ms (World.now world))
-        (match e with
-        | Tcpfo_core.Chain.Death_detected i ->
-          Printf.sprintf "replica %d declared dead" i
-        | Promoted i -> Printf.sprintf "replica %d promoted to head" i
-        | Retargeted (i, j) ->
-          Printf.sprintf "replica %d re-diverts to replica %d" i j
-        | Degraded i -> Printf.sprintf "replica %d degrades (lost its tail)" i
-        | Rejoined i -> Printf.sprintf "replica %d rejoined at the tail" i
-        | Transfers_complete n ->
-          Printf.sprintf "%d connections re-replicated onto the tail" n
-        | Isolated { local_port; remote = _, rp } ->
-          Printf.sprintf "connection :%d <-> :%d pinned solo" local_port rp));
+        (Tcpfo_core.Chain.event_to_string e));
   let reply =
     String.init (size_kb * 1024) (fun i -> Char.chr ((i * 31) land 0xFF))
   in
@@ -404,6 +393,166 @@ let chain_cmd =
     Term.(const run_chain $ n_arg $ kills_arg $ size_arg $ trace_arg
           $ stats_arg $ seed_arg)
 
+(* A small dispatcher fleet end to end: N two-replica shards behind one
+   sharded service address, a download through the dispatcher's NAT,
+   the pinned shard's replica crashed mid-stream, a repaired host
+   reintegrated — with the per-shard weight timeline printed as the
+   gradual-shifting machinery drains and restores the victim. *)
+let run_fleet shards victim size_kb kill_at_ms repair_at_ms trace stats seed =
+  let module Dispatch = Tcpfo_dispatch.Dispatch in
+  let world = World.create ~seed () in
+  let gw = "10.0.0.254" in
+  let shard_name i = Printf.sprintf "shard%d" i in
+  let spec =
+    [ Topo.segment "front"; Topo.segment "back";
+      Topo.host ~addr:"10.1.0.10" ~seg:"front" "client" ]
+    @ List.concat
+        (List.init shards (fun i ->
+             [
+               Topo.host ~gateway:gw
+                 ~addr:(Printf.sprintf "10.0.0.%d" (1 + (2 * i)))
+                 ~seg:"back"
+                 (Printf.sprintf "s%da" i);
+               Topo.host ~gateway:gw
+                 ~addr:(Printf.sprintf "10.0.0.%d" (2 + (2 * i)))
+                 ~seg:"back"
+                 (Printf.sprintf "s%db" i);
+             ]))
+    @ List.init shards (fun i ->
+          Topo.group
+            ~members:[ Printf.sprintf "s%da" i; Printf.sprintf "s%db" i ]
+            (shard_name i))
+    @ [
+        Topo.service ~seg:"front" ~addr:"10.1.0.1" "fleet";
+        Topo.dispatch ~service:"fleet" ~back:gw
+          ~shards:(List.init shards shard_name)
+          "disp";
+      ]
+  in
+  let topo = Topo.build world spec in
+  let client = Topo.host_of topo "client" in
+  if trace then attach_trace ~segments:false world;
+  let config = Failover_config.make ~service_ports:[ 80 ] () in
+  let disp, pools = Dispatch.of_topo topo ~name:"disp" ~config () in
+  let reply =
+    String.init (size_kb * 1024) (fun i -> Char.chr ((i * 31) land 0xFF))
+  in
+  List.iter (fun (_, pool) -> serve_reply pool ~reply) pools;
+  List.iter
+    (fun (name, pool) ->
+      Replicated.set_on_event pool (fun e ->
+          Printf.printf "[%10.3f ms] %s: %s\n%!"
+            (Time.to_ms (World.now world))
+            name
+            (Replicated.event_to_string e)))
+    pools;
+  (* weight timeline: sample every millisecond, print on change *)
+  let weights () =
+    String.concat " "
+      (List.map
+         (fun (name, _) ->
+           Printf.sprintf "%s=%d" name (Dispatch.weight disp name))
+         pools)
+  in
+  let last_weights = ref (weights ()) in
+  let rec watch () =
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(Time.ms 1) (fun () ->
+           let w = weights () in
+           if w <> !last_weights then begin
+             last_weights := w;
+             Printf.printf "[%10.3f ms] weights: %s\n%!"
+               (Time.to_ms (World.now world))
+               w
+           end;
+           watch ()))
+  in
+  watch ();
+  let buf = Buffer.create (size_kb * 1024) in
+  let finished = ref None in
+  let conn =
+    Stack.connect (Host.tcp client) ~remote:(Dispatch.service disp, 80) ()
+  in
+  Tcb.set_on_established conn (fun () -> ignore (Tcb.send conn "get"));
+  Tcb.set_on_data conn (fun d -> Buffer.add_string buf d);
+  Tcb.set_on_eof conn (fun () -> finished := Some (World.now world));
+  let victim_shard = ref (shard_name 0) in
+  ignore
+    (Engine.schedule (World.engine world) ~delay:(Time.ms kill_at_ms)
+       (fun () ->
+         (match
+            Dispatch.pinned_shard disp
+              ~client:(Host.addr client, snd (Tcb.local_endpoint conn))
+          with
+         | Some name -> victim_shard := name
+         | None -> ());
+         Printf.printf "[%10.3f ms] crashing the %s of %s (the pinned shard)\n%!"
+           (Time.to_ms (World.now world))
+           victim !victim_shard;
+         let pool = List.assoc !victim_shard pools in
+         match victim with
+         | "secondary" -> Replicated.kill_secondary pool
+         | _ -> Replicated.kill_primary pool));
+  (match repair_at_ms with
+  | None -> ()
+  | Some ms ->
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(Time.ms ms) (fun () ->
+           let pool = List.assoc !victim_shard pools in
+           Printf.printf "[%10.3f ms] reintegrating a repaired host into %s\n%!"
+             (Time.to_ms (World.now world))
+             !victim_shard;
+           let fresh =
+             World.add_host world
+               (Topo.segment_of topo "back")
+               ~name:"repaired" ~addr:"10.0.0.200" ()
+           in
+           Host.set_default_via_lan fresh
+             ~gateway:(Tcpfo_packet.Ipaddr.of_string gw);
+           World.warm_arp (fresh :: Topo.group_of topo !victim_shard);
+           Topo.warm_dispatch_arp topo "disp" [ fresh ];
+           Dispatch.arm_probe_responder fresh;
+           try Replicated.reintegrate pool ~secondary:fresh
+           with Invalid_argument m ->
+             Printf.printf "[%10.3f ms] reintegration refused: %s\n%!"
+               (Time.to_ms (World.now world))
+               m)));
+  World.run world ~for_:(Time.sec 10.0);
+  (match !finished with
+  | Some t ->
+    Printf.printf "transfer complete at %.3f ms; stream %s\n" (Time.to_ms t)
+      (if Buffer.contents buf = reply then "BYTE-EXACT" else "CORRUPTED")
+  | None -> Printf.printf "transfer did not complete\n");
+  let ctr = Dispatch.counters disp in
+  Printf.printf
+    "dispatcher: %d flows routed (%d drained to siblings), %d refused, %d \
+     unmatched, %d isolation drops, %d probes (%d answered)\n"
+    ctr.Dispatch.routed ctr.Dispatch.drained ctr.Dispatch.refused
+    ctr.Dispatch.unmatched ctr.Dispatch.isolation_drops
+    ctr.Dispatch.probes_sent ctr.Dispatch.probe_replies;
+  Printf.printf "final weights: %s\n" (weights ());
+  if stats then print_stats world;
+  if Buffer.contents buf = reply then 0 else 1
+
+let fleet_cmd =
+  let shards_arg =
+    Arg.(value & opt int 3 & info [ "shards" ] ~docv:"N"
+           ~doc:"Number of two-replica shard pools behind the dispatcher.")
+  in
+  let repair_fleet_arg =
+    Arg.(value & opt (some int) (Some 100) & info [ "repair-at" ] ~docv:"MS"
+           ~doc:"Reintegrate a repaired host into the victim shard at this \
+                 time (milliseconds); the shard's weight then ramps back \
+                 to max.  Pass no value to skip repair.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"A sharded dispatcher fleet: crash the pinned shard \
+             mid-transfer and watch traffic drain and return.")
+    Term.(
+      const run_fleet $ shards_arg $ victim_arg $ size_arg $ kill_at_arg
+      $ repair_fleet_arg $ trace_arg $ stats_arg $ seed_arg)
+
 (* Parse and validate a topology file, then print the elaborated
    host/segment table — a dry run of exactly what Topo.build would
    construct (same MAC assignment, same declaration order). *)
@@ -444,8 +593,9 @@ let topo_cmd =
            ~doc:"Topology spec file ('-' for stdin): lines of 'lan NAME', \
                  'link NAME bw=.. delay=..', 'host NAME ADDR SEGMENT \
                  [gw=ADDR]', 'router NAME SEGMENT LAN_ADDR LINK WAN_ADDR', \
-                 'wanhost NAME ADDR LINK', 'group NAME MEMBER MEMBER...'; \
-                 '#' comments.")
+                 'wanhost NAME ADDR LINK', 'group NAME MEMBER MEMBER...', \
+                 'service NAME ADDR SEGMENT', 'dispatch NAME SHARD... \
+                 service=NAME back=ADDR'; '#' comments.")
   in
   let validate_arg =
     Arg.(value & flag & info [ "validate" ]
@@ -453,7 +603,9 @@ let topo_cmd =
   in
   Cmd.v
     (Cmd.info "topo"
-       ~doc:"Parse, validate and elaborate a declarative topology spec.")
+       ~doc:"Parse, validate and elaborate a declarative topology spec.  \
+             Exits 0 when the spec is well formed, 1 when it parses but \
+             fails validation, 2 on a parse error.")
     Term.(const run_topo $ file_arg $ validate_arg $ seed_arg)
 
 let () =
@@ -462,4 +614,4 @@ let () =
        (Cmd.group
           (Cmd.info "tcpfo"
              ~doc:"Transparent TCP connection failover simulator (DSN 2003)")
-          [ failover_cmd; trace_cmd; chain_cmd; topo_cmd ]))
+          [ failover_cmd; trace_cmd; chain_cmd; fleet_cmd; topo_cmd ]))

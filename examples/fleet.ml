@@ -1,0 +1,120 @@
+(* Fleet: three replicated pools behind one dispatcher, surviving a
+   kill/repair cycle on one shard while traffic drains to its siblings.
+
+     dune exec examples/fleet.exe
+
+   Builds a front LAN (clients + dispatcher) and a back LAN (three
+   two-replica shard pools), connects clients to the single fleet
+   service address, kills one shard's primary mid-stream, watches the
+   shard's weight decay (new connections drain to the sibling shards
+   while the established one stays pinned and fails over inside its
+   pool), repairs the shard, and watches the weight ramp back. *)
+
+module Time = Tcpfo_sim.Time
+module World = Tcpfo_host.World
+module Host = Tcpfo_host.Host
+module Topo = Tcpfo_host.Topo
+module Stack = Tcpfo_tcp.Stack
+module Tcb = Tcpfo_tcp.Tcb
+module Replicated = Tcpfo_core.Replicated
+module Failover_config = Tcpfo_core.Failover_config
+module Dispatch = Tcpfo_dispatch.Dispatch
+module Echo = Tcpfo_apps.Echo
+
+let log world fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.printf "[%8.3f ms] %s\n%!" (Time.to_ms (World.now world)) s)
+    fmt
+
+let () =
+  let world = World.create ~seed:11 () in
+  let decls =
+    [
+      Topo.segment "front";
+      Topo.segment "back";
+      Topo.host ~addr:"10.1.0.10" ~seg:"front" "client";
+      Topo.service ~seg:"front" ~addr:"10.1.0.1" "fleet";
+    ]
+    @ List.concat_map
+        (fun i ->
+          [
+            Topo.host ~gateway:"10.0.0.254"
+              ~addr:(Printf.sprintf "10.0.0.%d" (1 + (2 * i)))
+              ~seg:"back"
+              (Printf.sprintf "s%da" i);
+            Topo.host ~gateway:"10.0.0.254"
+              ~addr:(Printf.sprintf "10.0.0.%d" (2 + (2 * i)))
+              ~seg:"back"
+              (Printf.sprintf "s%db" i);
+            Topo.group
+              ~members:[ Printf.sprintf "s%da" i; Printf.sprintf "s%db" i ]
+              (Printf.sprintf "shard%d" i);
+          ])
+        [ 0; 1; 2 ]
+    @ [
+        Topo.dispatch ~service:"fleet" ~back:"10.0.0.254"
+          ~shards:[ "shard0"; "shard1"; "shard2" ] "disp";
+      ]
+  in
+  let topo = Topo.build world decls in
+  let client = Topo.host_of topo "client" in
+
+  (* one Replicated pool per shard, the dispatcher in front of them *)
+  let disp, pools =
+    Dispatch.of_topo topo ~name:"disp" ~config:Failover_config.default ()
+  in
+  List.iter (fun (_, pool) -> Echo.serve_replicated pool ~port:7) pools;
+
+  let weights () =
+    String.concat " "
+      (List.map
+         (fun (name, _) -> Printf.sprintf "%s=%d" name (Dispatch.weight disp name))
+         pools)
+  in
+  log world "weights: %s" (weights ());
+
+  (* a client connection through the dispatcher — it only ever sees the
+     fleet address *)
+  let svc = Dispatch.service disp in
+  let conn = Stack.connect (Host.tcp client) ~remote:(svc, 7) () in
+  Tcb.set_on_data conn (fun reply -> log world "client received: %S" reply);
+  Tcb.set_on_established conn (fun () ->
+      ignore (Tcb.send conn "hello fleet"));
+  World.run world ~for_:(Time.ms 50);
+
+  let victim_name =
+    match
+      Dispatch.pinned_shard disp ~client:(Host.addr client, snd (Tcb.local_endpoint conn))
+    with
+    | Some s -> s
+    | None -> "shard0"
+  in
+  let victim = List.assoc victim_name pools in
+  log world "connection pinned to %s — killing its primary" victim_name;
+  Replicated.set_on_event victim (fun e ->
+      log world "EVENT[%s]: %s" victim_name (Replicated.event_to_string e));
+  Replicated.kill_primary victim;
+  World.run world ~for_:(Time.ms 60);
+  log world "weights: %s (killed shard drains)" (weights ());
+
+  (* the pinned connection failed over inside its pool — same wire
+     bytes, same fleet address *)
+  ignore (Tcb.send conn "hello after failover");
+  World.run world ~for_:(Time.ms 50);
+
+  (* repair: a fresh host joins the back LAN and the shard reintegrates *)
+  let fresh =
+    World.add_host world (Topo.segment_of topo "back") ~name:"repair"
+      ~addr:"10.0.0.100" ()
+  in
+  Host.set_default_via_lan fresh ~gateway:(Tcpfo_packet.Ipaddr.of_string "10.0.0.254");
+  World.warm_arp (fresh :: Topo.group_of topo victim_name);
+  Topo.warm_dispatch_arp topo "disp" [ fresh ];
+  Dispatch.arm_probe_responder fresh;
+  Replicated.reintegrate victim ~secondary:fresh;
+  World.run world ~for_:(Time.ms 100);
+  log world "weights: %s (repaired shard ramped back)" (weights ());
+
+  log world "connection state: %s" (Tcb.state_to_string (Tcb.state conn));
+  print_endline "fleet: done"

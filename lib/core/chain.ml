@@ -20,6 +20,19 @@ type event =
   | Transfers_complete of int
   | Isolated of { local_port : int; remote : Ipaddr.t * int }
 
+let event_to_string = function
+  | Death_detected i -> Printf.sprintf "replica %d declared dead" i
+  | Promoted i -> Printf.sprintf "replica %d promoted to head" i
+  | Retargeted (i, j) ->
+    Printf.sprintf "replica %d re-diverts to replica %d" i j
+  | Degraded i -> Printf.sprintf "replica %d degrades (lost its tail)" i
+  | Rejoined i -> Printf.sprintf "replica %d rejoined at the tail" i
+  | Transfers_complete n ->
+    Printf.sprintf "%d connections re-replicated onto the tail" n
+  | Isolated { local_port; remote = ra, rp } ->
+    Printf.sprintf "connection :%d <-> %s:%d pinned solo" local_port
+      (Ipaddr.to_string ra) rp
+
 type bridge = Merger of Primary_bridge.t | Tail of Secondary_bridge.t
 
 type node = {

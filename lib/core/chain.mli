@@ -105,6 +105,11 @@ type event =
       (** a live connection could not be re-replicated onto the rejoined
           tail and was demoted to solo; bumps [statex.isolated_conns] *)
 
+val event_to_string : event -> string
+(** One-line human description, for traces and CLIs — kept exhaustive
+    over every constructor (tested) so soak reports can never print an
+    event as a gap. *)
+
 val set_on_event : t -> (event -> unit) -> unit
 
 val pending_transfers : t -> int

@@ -61,6 +61,10 @@ type t = {
     ((Ipaddr.t * int) * (role:[ `Primary | `Secondary ] -> Tcb.t -> unit)) list;
   mutable status : [ `Normal | `Primary_failed | `Secondary_failed ];
   mutable on_event : event -> unit;
+  (* additional listeners ({!add_on_event}) fired after [on_event]: the
+     dispatcher tier's health model taps the pool here without stealing
+     the application's callback *)
+  mutable listeners : (event -> unit) list;
   (* hot-state-transfer bookkeeping *)
   mutable pending : int;
   mutable reint_started : Time.t option;
@@ -69,6 +73,10 @@ type t = {
   reint_latency : Registry.histogram;
   isolated : Registry.counter;
 }
+
+let emit t e =
+  t.on_event e;
+  List.iter (fun f -> f e) t.listeners
 
 (* --- standby liveness ------------------------------------------------ *)
 
@@ -97,7 +105,7 @@ let watch_standby t standby =
         if List.memq standby t.standbys then begin
           t.standbys <- List.filter (fun h -> h != standby) t.standbys;
           disarm_standby t standby;
-          t.on_event (Standby_lost (Host.name standby))
+          emit t (Standby_lost (Host.name standby))
         end)
   in
   let hb_s =
@@ -206,7 +214,7 @@ let start_transfers t =
     let remote = Tcb.remote_endpoint tcb in
     Primary_bridge.isolate_conn pb ~remote ~local_port:lp;
     Registry.Counter.incr t.isolated;
-    t.on_event (Isolated { local_port = lp; remote })
+    emit t (Isolated { local_port = lp; remote })
   in
   List.iter demote_solo to_isolate;
   let finish () =
@@ -216,7 +224,7 @@ let start_transfers t =
       Registry.Histogram.observe t.reint_latency
         (Time.to_us (clock.now () - t0))
     | None -> ());
-    t.on_event (Transfers_complete t.reintegrations)
+    emit t (Transfers_complete t.reintegrations)
   in
   t.pending <- List.length to_transfer;
   t.reintegrations <- 0;
@@ -258,7 +266,7 @@ let start_transfers t =
               | Ok () -> ());
               Primary_bridge.abort_transfer pb ~remote ~local_port:lp;
               Registry.Counter.incr t.isolated;
-              t.on_event (Isolated { local_port = lp; remote }));
+              emit t (Isolated { local_port = lp; remote }));
             t.pending <- t.pending - 1;
             if t.pending = 0 then finish ()))
       to_transfer
@@ -273,7 +281,7 @@ let rec watch_secondary t =
       if t.status = `Normal then begin
         t.status <- `Secondary_failed;
         Primary_bridge.secondary_failed t.pbridge;
-        t.on_event Secondary_failure_detected;
+        emit t Secondary_failure_detected;
         promote_next t
       end)
 
@@ -284,9 +292,9 @@ and watch_primary t =
     ~config:t.config ~on_peer_failure:(fun () ->
       if t.status = `Normal then begin
         t.status <- `Primary_failed;
-        t.on_event Primary_failure_detected;
+        emit t Primary_failure_detected;
         Secondary_bridge.begin_takeover t.sbridge ~on_complete:(fun () ->
-            t.on_event Takeover_complete;
+            emit t Takeover_complete;
             promote_next t)
       end)
 
@@ -302,7 +310,7 @@ and promote_next t =
     t.standbys <- rest;
     disarm_standby t s;
     if Host.alive s then begin
-      t.on_event (Promoted (Host.name s));
+      emit t (Promoted (Host.name s));
       reintegrate t ~secondary:s
     end
     else promote_next t
@@ -361,7 +369,7 @@ and reintegrate t ~secondary:fresh =
   t.hb_on_primary <- Some (watch_secondary t);
   t.hb_on_secondary <- Some (watch_primary t);
   arm_standbys t;
-  t.on_event Reintegrated;
+  emit t Reintegrated;
   (* re-replicate live connections onto the fresh replica *)
   start_transfers t
 
@@ -381,12 +389,12 @@ let rejoin t host =
   | `Normal ->
     t.standbys <- t.standbys @ [ host ];
     t.standby_watch <- t.standby_watch @ [ watch_standby t host ];
-    t.on_event (Rejoined (Host.name host))
+    emit t (Rejoined (Host.name host))
   | `Primary_failed when not (Secondary_bridge.taken_over t.sbridge) ->
     t.standbys <- t.standbys @ [ host ];
-    t.on_event (Rejoined (Host.name host))
+    emit t (Rejoined (Host.name host))
   | `Primary_failed | `Secondary_failed ->
-    t.on_event (Rejoined (Host.name host));
+    emit t (Rejoined (Host.name host));
     reintegrate t ~secondary:host
 
 (* --- construction --------------------------------------------------- *)
@@ -436,6 +444,7 @@ let create_pool ~replicas ~config () =
       backends = [];
       status = `Normal;
       on_event = (fun _ -> ());
+      listeners = [];
       pending = 0;
       reint_started = None;
       reintegrations = 0;
@@ -460,6 +469,7 @@ let registry t = t.registry
 let primary_bridge t = t.pbridge
 let secondary_bridge t = t.sbridge
 let set_on_event t fn = t.on_event <- fn
+let add_on_event t fn = t.listeners <- t.listeners @ [ fn ]
 let status t = t.status
 let standbys t = t.standbys
 let replicas t = t.primary :: t.secondary :: t.standbys

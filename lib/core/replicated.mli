@@ -79,6 +79,13 @@ val primary_bridge : t -> Primary_bridge.t
 val secondary_bridge : t -> Secondary_bridge.t
 
 val set_on_event : t -> (event -> unit) -> unit
+(** The application's (single) event callback. *)
+
+val add_on_event : t -> (event -> unit) -> unit
+(** Register an additional listener, fired after the {!set_on_event}
+    callback in registration order.  Infrastructure that must observe
+    the pool without disturbing the application — the dispatcher tier's
+    per-shard health model — taps events here. *)
 
 val listen :
   t ->

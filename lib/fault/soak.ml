@@ -18,6 +18,7 @@ module Replicated = Tcpfo_core.Replicated
 module Chain = Tcpfo_core.Chain
 module Failover_config = Tcpfo_core.Failover_config
 module Registry = Tcpfo_obs.Registry
+module Dispatch = Tcpfo_dispatch.Dispatch
 
 type victim = Primary | Secondary | Nobody
 type phase = Handshake | Transfer | Fin | Idle
@@ -45,6 +46,7 @@ type scenario = {
   xfer_loss : float;
   pool : pool;
   role : role;
+  fleet : bool;
 }
 
 type outcome = {
@@ -90,11 +92,12 @@ let role_to_string = function
 
 let describe s =
   Printf.sprintf
-    "seed=%d kill=%s/%s chaos=%s size=%d repair=%s xloss=%.2f pool=%s role=%s"
+    "seed=%d kill=%s/%s chaos=%s size=%d repair=%s xloss=%.2f pool=%s role=%s \
+     fleet=%b"
     s.seed
     (victim_to_string s.victim) (phase_to_string s.phase)
     (chaos_to_string s.chaos) s.size (repair_to_string s.repair) s.xfer_loss
-    (pool_to_string s.pool) (role_to_string s.role)
+    (pool_to_string s.pool) (role_to_string s.role) s.fleet
 
 (* The scenario space is drawn from the seed alone, so a seed printed in
    a failure report reconstructs the exact run. *)
@@ -181,7 +184,19 @@ let scenario_of_seed seed =
     if victim = Nobody || pool <> Pair || chaos = Cross_traffic then Server
     else role
   in
-  { seed; victim; phase; chaos; size; repair; xfer_loss; pool; role }
+  (* fleet axis, drawn after everything older: run the scenario's pair
+     behind a dispatcher tier — two two-replica shards on a back
+     segment, the client on a front segment, the kill aimed at whichever
+     shard the connection is pinned to.  Forced off for pool cascades,
+     non-server roles and cross traffic (those compose with the plain
+     pair world only) — after the draw, so older seeds replay
+     untouched. *)
+  let fleet = Rng.int r 6 = 0 in
+  let fleet =
+    if pool <> Pair || role <> Server || chaos = Cross_traffic then false
+    else fleet
+  in
+  { seed; victim; phase; chaos; size; repair; xfer_loss; pool; role; fleet }
 
 let pattern ~tag n =
   String.init n (fun i -> Char.chr ((i * 131 + tag * 7 + i / 251) land 0xFF))
@@ -967,7 +982,392 @@ let run_chain ?on_world scenario =
     metrics = Registry.to_json (World.metrics world);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Fleet worlds: two two-replica shard pools on a back segment behind a
+   dispatcher whose front interface owns the client-visible service
+   address.  The kill hits whichever shard the connection is pinned to;
+   a second ("drain") connection opened right after the failure is
+   detected must complete through the sibling shards while the victim's
+   weight decays, and repair must ramp the weight back to full. *)
+
+let run_fleet ?on_world scenario =
+  let sc = scenario in
+  let world = World.create ~seed:sc.seed () in
+  (match on_world with Some f -> f world | None -> ());
+  let timing_rng = Rng.create ~seed:((sc.seed * 1_000_003) lxor 0x50AC) in
+  let gw = "10.0.0.254" in
+  let spec =
+    [
+      Topo.segment "front";
+      Topo.segment "back";
+      Topo.host ~addr:"10.1.0.10" ~seg:"front" "client";
+      Topo.host ~gateway:gw ~addr:"10.0.0.1" ~seg:"back" "s0a";
+      Topo.host ~gateway:gw ~addr:"10.0.0.2" ~seg:"back" "s0b";
+      Topo.host ~gateway:gw ~addr:"10.0.0.11" ~seg:"back" "s1a";
+      Topo.host ~gateway:gw ~addr:"10.0.0.12" ~seg:"back" "s1b";
+      Topo.group ~members:[ "s0a"; "s0b" ] "shard0";
+      Topo.group ~members:[ "s1a"; "s1b" ] "shard1";
+      Topo.service ~seg:"front" ~addr:"10.1.0.1" "fleet";
+      Topo.dispatch ~service:"fleet" ~back:gw ~shards:[ "shard0"; "shard1" ]
+        "disp";
+    ]
+  in
+  let topo = Topo.build world spec in
+  let front = Topo.segment_of topo "front" in
+  let back = Topo.segment_of topo "back" in
+  let client = Topo.host_of topo "client" in
+  let config = Failover_config.make ~service_ports:[ service_port ] () in
+  let disp, pools = Dispatch.of_topo topo ~name:"disp" ~config () in
+  let svc = Dispatch.service disp in
+  let max_w = Dispatch.default_config.max_weight in
+  let reply = pattern ~tag:sc.seed sc.size in
+  List.iter
+    (fun (_, pool) -> install_service pool ~port:service_port ~reply)
+    pools;
+  let violations = ref [] in
+
+  (* the client connection, through the dispatcher's NAT *)
+  let buf = Buffer.create sc.size in
+  let eof = ref false in
+  let resets = ref 0 in
+  let c = Stack.connect (Host.tcp client) ~remote:(svc, service_port) () in
+  let main_port = snd (Tcb.local_endpoint c) in
+  Tcb.set_on_established c (fun () -> ignore (Tcb.send c "get\n"));
+  Tcb.set_on_eof c (fun () ->
+      eof := true;
+      Tcb.close c);
+  Tcb.set_on_reset c (fun () -> incr resets);
+  (* byte-exactness is checked against the DISPATCHER's address: the
+     translated stream must still speak the shard's original numbering.
+     The drain connection shares the source port, so pin the match to
+     this connection's client port. *)
+  install_wire_check client ~svc
+    ~seg_match:(fun seg ->
+      seg.Tcp_segment.src_port = service_port
+      && seg.Tcp_segment.dst_port = main_port)
+    ~expected:reply violations;
+
+  (* the scripted chaos plays on the client-facing wire *)
+  let env =
+    {
+      Injector.engine = World.engine world;
+      rng = World.fresh_rng world;
+      hosts = [ ("client", client) ];
+      nets =
+        [ ("lan", Injector.Medium_net front); ("back", Injector.Medium_net back) ];
+    }
+  in
+  let inj = Injector.install env (chaos_plan sc.chaos) in
+  let xfer_capture = capture_transfers world back in
+
+  (* the kill resolves its target at fire time: whichever shard the
+     dispatcher pinned the connection to *)
+  let victim_name = ref None in
+  let kill () =
+    let name =
+      match Dispatch.pinned_shard disp ~client:(Host.addr client, main_port) with
+      | Some n -> n
+      | None -> "shard0"
+    in
+    victim_name := Some name;
+    let pool = List.assoc name pools in
+    match sc.victim with
+    | Primary -> Replicated.kill_primary pool
+    | Secondary -> Replicated.kill_secondary pool
+    | Nobody -> ()
+  in
+
+  (* drain connection: opened right after the failure is detected, while
+     the victim shard's weight is decaying — it must complete through
+     the fleet with zero client-visible disruption.  Both shards run the
+     same service, so it expects the same reply wherever it pins. *)
+  let drain_buf = Buffer.create sc.size in
+  let drain_started = ref false in
+  let drain_eof = ref false in
+  let drain_resets = ref 0 in
+  let drain_tcb : Tcb.t option ref = ref None in
+  let start_drain () =
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(Time.ms 2) (fun () ->
+           let d =
+             Stack.connect (Host.tcp client) ~remote:(svc, service_port) ()
+           in
+           drain_tcb := Some d;
+           Tcb.set_on_established d (fun () -> ignore (Tcb.send d "get\n"));
+           Tcb.set_on_data d (fun x -> Buffer.add_string drain_buf x);
+           Tcb.set_on_eof d (fun () ->
+               drain_eof := true;
+               Tcb.close d);
+           Tcb.set_on_reset d (fun () -> incr drain_resets)))
+  in
+
+  (* repair / rekill choreography on whichever pool the kill hit *)
+  let repaired = ref false in
+  let rekilled = ref false in
+  let min_victim_w = ref max_w in
+  List.iter
+    (fun (name, pool) ->
+      Replicated.set_on_event pool (fun e ->
+          if !victim_name = Some name then begin
+            (match e with
+            | Replicated.Primary_failure_detected
+            | Replicated.Secondary_failure_detected
+              when not !drain_started ->
+              drain_started := true;
+              start_drain ()
+            | _ -> ());
+            (if sc.repair <> No_repair then
+               let ready =
+                 match (sc.victim, e) with
+                 | Secondary, Replicated.Secondary_failure_detected -> true
+                 | Primary, Replicated.Takeover_complete -> true
+                 | _ -> false
+               in
+               if ready && not !repaired then begin
+                 repaired := true;
+                 ignore
+                   (Engine.schedule (World.engine world)
+                      ~delay:(Time.ms 1 + Rng.int timing_rng (Time.ms 4))
+                      (fun () ->
+                        let h =
+                          World.add_host world back ~name:"repaired"
+                            ~addr:"10.0.0.100" ()
+                        in
+                        Host.set_default_via_lan h
+                          ~gateway:(Ipaddr.of_string gw);
+                        World.warm_arp (h :: Topo.group_of topo name);
+                        Topo.warm_dispatch_arp topo "disp" [ h ];
+                        Dispatch.arm_probe_responder h;
+                        (* the lossy-control-channel axis: the hot state
+                           transfers ride the BACK wire here *)
+                        if sc.xfer_loss > 0.0 then
+                          Injector.add inj
+                            (Fault.parse_exn
+                               (Printf.sprintf
+                                  "after 0us loss back %.2f for 8ms"
+                                  sc.xfer_loss));
+                        Replicated.reintegrate pool ~secondary:h))
+               end);
+            match e with
+            | Replicated.Transfers_complete _
+              when sc.repair = Repair_then_rekill && not !rekilled ->
+              rekilled := true;
+              ignore
+                (Engine.schedule (World.engine world)
+                   ~delay:(Time.us 200 + Rng.int timing_rng (Time.ms 2))
+                   (fun () -> Replicated.kill_primary pool))
+            | _ -> ()
+          end))
+    pools;
+
+  (match (sc.victim, sc.phase) with
+  | Nobody, _ -> ()
+  | _, Handshake ->
+    ignore
+      (Engine.schedule (World.engine world)
+         ~delay:(Time.us 50 + Rng.int timing_rng (Time.us 350))
+         kill)
+  | _, Transfer ->
+    let est = transfer_estimate sc.size in
+    let frac = 10 + Rng.int timing_rng 80 in
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(est * frac / 100) kill)
+  | _, Fin ->
+    let armed = ref false in
+    Tcb.set_on_data c (fun d ->
+        Buffer.add_string buf d;
+        if (not !armed) && Buffer.length buf >= sc.size then begin
+          armed := true;
+          ignore
+            (Engine.schedule (World.engine world)
+               ~delay:(Rng.int timing_rng (Time.us 200))
+               kill)
+        end)
+  | _, Idle ->
+    ignore
+      (Engine.schedule (World.engine world)
+         ~delay:(transfer_estimate sc.size + Time.sec 2.0)
+         kill));
+  if not (sc.victim <> Nobody && sc.phase = Fin) then
+    Tcb.set_on_data c (fun d -> Buffer.add_string buf d);
+
+  (* run in short slices — also sampling the victim shard's weight so
+     the gradual decay is provable, not just its endpoint *)
+  let deadline = Time.sec 60.0 in
+  let victim_pool () =
+    match !victim_name with Some n -> Some (List.assoc n pools) | None -> None
+  in
+  let victim_weight () =
+    match !victim_name with Some n -> Dispatch.weight disp n | None -> max_w
+  in
+  (* A drain connection born in the failure→reintegration window can be
+     pinned to the victim shard while mid-handshake, in which case the
+     hot state transfer pins it solo (untransferable by design).  A
+     [Repair_then_rekill] then kills the host carrying that solo state,
+     so — for that one combination only — the drain connection is
+     exempt from the completion checks; the paper's guarantees never
+     covered unreplicated state. *)
+  let drain_exempt () =
+    sc.repair = Repair_then_rekill
+    &&
+    match !drain_tcb with
+    | Some d ->
+      Dispatch.pinned_shard disp
+        ~client:(Host.addr client, snd (Tcb.local_endpoint d))
+      = !victim_name
+    | None -> false
+  in
+  let drain_done () =
+    (not !drain_started)
+    || drain_exempt ()
+    || !drain_eof
+       &&
+       match !drain_tcb with
+       | Some d -> (
+         match Tcb.state d with Tcb.Closed | Tcb.Time_wait -> true | _ -> false)
+       | None -> false
+  in
+  let done_ () =
+    let client_done =
+      !eof
+      && match Tcb.state c with Tcb.Closed | Tcb.Time_wait -> true | _ -> false
+    in
+    let kill_done =
+      match (sc.victim, sc.repair, victim_pool ()) with
+      | Nobody, _, _ -> true
+      | _, _, None -> false
+      | _, No_repair, Some p -> (
+        match sc.victim with
+        | Primary -> Replicated.status p = `Primary_failed
+        | Secondary -> Replicated.status p = `Secondary_failed
+        | Nobody -> true)
+      | _, Repair, Some p ->
+        !repaired
+        && Replicated.status p = `Normal
+        && Replicated.pending_transfers p = 0
+        && victim_weight () = max_w
+      | _, Repair_then_rekill, Some p ->
+        !rekilled && Replicated.status p = `Primary_failed
+    in
+    client_done && kill_done && drain_done ()
+  in
+  let rec drive () =
+    min_victim_w := min !min_victim_w (victim_weight ());
+    if (not (done_ ())) && World.now world < deadline then begin
+      World.run world ~for_:(Time.ms 10);
+      drive ()
+    end
+  in
+  drive ();
+
+  (* ---------------- invariants ---------------- *)
+  let check cond msg = if not cond then violations := msg :: !violations in
+  check
+    (Buffer.contents buf = reply)
+    (Printf.sprintf "client stream diverged from the application's (%d/%d B)"
+       (Buffer.length buf) sc.size);
+  check !eof "connection never delivered EOF to the client";
+  check
+    (match Tcb.state c with Tcb.Closed | Tcb.Time_wait -> true | _ -> false)
+    (Printf.sprintf "connection never terminated (client state %s)"
+       (Tcb.state_to_string (Tcb.state c)));
+  check (!resets = 0) "client saw a connection reset";
+  (* the drain connection: zero client-visible disruption while the
+     victim shard fails over *)
+  if sc.victim <> Nobody then begin
+    check !drain_started "failure was never detected (no drain connection)";
+    if not (drain_exempt ()) then begin
+      check !drain_eof "drain connection never delivered EOF";
+      check
+        (Buffer.contents drain_buf = reply)
+        (Printf.sprintf "drain stream diverged (%d/%d B)"
+           (Buffer.length drain_buf) sc.size);
+      check (!drain_resets = 0) "drain connection saw a reset"
+    end
+  end;
+  (* pool status on the shard the kill actually hit *)
+  (match (sc.victim, victim_pool ()) with
+  | Nobody, _ ->
+    List.iter
+      (fun (name, pool) ->
+        check
+          (Replicated.status pool = `Normal)
+          (Printf.sprintf "spurious failover on %s: status left Normal" name))
+      pools
+  | _, None -> check false "kill never resolved a victim shard"
+  | _, Some p -> (
+    match sc.repair with
+    | No_repair ->
+      check
+        (Replicated.status p
+        = (match sc.victim with
+          | Primary -> `Primary_failed
+          | _ -> `Secondary_failed))
+        "victim shard's failure was never detected"
+    | Repair ->
+      check !repaired "repair never triggered";
+      check
+        (Replicated.status p = `Normal)
+        "repaired shard never returned to Normal";
+      check
+        (Replicated.pending_transfers p = 0)
+        "hot state transfers never settled";
+      check
+        (Replicated.transfer_failures p = 0)
+        (Printf.sprintf
+           "%d hot state transfer(s) failed under a lossy control channel"
+           (Replicated.transfer_failures p))
+    | Repair_then_rekill ->
+      check !rekilled "re-kill never triggered";
+      check
+        (Replicated.status p = `Primary_failed)
+        "survivor re-killed but the repaired host never detected it"));
+  (* weight state machine: the victim shard provably drained and (after
+     repair) returned to full weight; the sibling never moved *)
+  (match !victim_name with
+  | None -> ()
+  | Some n ->
+    check (!min_victim_w < max_w)
+      (Printf.sprintf "victim shard %s never shed weight (min %d)" n
+         !min_victim_w);
+    if sc.repair = Repair then
+      check
+        (Dispatch.weight disp n = max_w)
+        (Printf.sprintf "victim shard %s never ramped back (weight %d)" n
+           (Dispatch.weight disp n))
+    else if sc.victim <> Nobody then
+      check
+        (Dispatch.weight disp n <= max 1 (max_w / 4))
+        (Printf.sprintf "unrepaired shard %s above the degraded floor (%d)" n
+           (Dispatch.weight disp n));
+    List.iter
+      (fun (name, _) ->
+        if name <> n then
+          check
+            (Dispatch.weight disp name = max_w)
+            (Printf.sprintf "sibling shard %s shed weight (%d)" name
+               (Dispatch.weight disp name)))
+      pools);
+  (* dispatcher counters: nothing refused (a sibling was always live),
+     no cross-shard reply ever translated *)
+  let ctrs = Dispatch.counters disp in
+  check (ctrs.Dispatch.refused = 0)
+    (Printf.sprintf "%d connection(s) refused by a drained fleet"
+       ctrs.Dispatch.refused);
+  check
+    (ctrs.Dispatch.isolation_drops = 0)
+    (Printf.sprintf "%d cross-shard reply(ies) dropped by isolation"
+       ctrs.Dispatch.isolation_drops);
+  check_transfer_mss xfer_capture ~check;
+  {
+    scenario = sc;
+    violations = List.rev !violations;
+    metrics = Registry.to_json (World.metrics world);
+  }
+
 let run ?on_world scenario =
-  match scenario.role with
-  | Server | Backend_client -> run_replicated ?on_world scenario
-  | Chain3 -> run_chain ?on_world scenario
+  if scenario.fleet then run_fleet ?on_world scenario
+  else
+    match scenario.role with
+    | Server | Backend_client -> run_replicated ?on_world scenario
+    | Chain3 -> run_chain ?on_world scenario

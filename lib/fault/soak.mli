@@ -111,9 +111,20 @@ type scenario = {
           pool is drawn the explicit [repair] axis is forced to
           [No_repair]: promotion from the pool IS the repair. *)
   role : role;
-      (** newest axis, drawn after everything older; forced to [Server]
-          for the no-kill control, pool scenarios and cross traffic, so
-          every pre-existing seed's world replays untouched *)
+      (** drawn after everything older; forced to [Server] for the
+          no-kill control, pool scenarios and cross traffic, so every
+          pre-existing seed's world replays untouched *)
+  fleet : bool;
+      (** newest axis, drawn last: run the pair scenario behind a
+          {!Tcpfo_dispatch.Dispatch} tier — two two-replica shards on a
+          back segment, the client on a front segment, the kill aimed
+          at whichever shard the connection is pinned to.  Adds fleet
+          invariants: a drain connection opened right after detection
+          completes byte-exactly through the fleet, the victim shard's
+          weight provably decays (and ramps back to full after repair)
+          while the sibling's never moves, nothing is refused, and no
+          cross-shard reply crosses the isolation check.  Forced off
+          for pool cascades, non-server roles and cross traffic. *)
 }
 
 type outcome = {

@@ -31,6 +31,16 @@ type wan_host = {
   w_tcp : Tcpfo_tcp.Tcp_config.t option;
 }
 
+type service = { sv_name : string; sv_segment : string; sv_addr : string }
+
+type dispatch = {
+  d_name : string;
+  d_service : string;
+  d_back : string;
+  d_shards : string list;
+  d_profile : Host.profile option;
+}
+
 type decl =
   | Segment of string * Medium.config option
   | Link of string * Link.config
@@ -38,6 +48,8 @@ type decl =
   | Router of router
   | Wan_host of wan_host
   | Group of string * string list
+  | Service of service
+  | Dispatch of dispatch
 
 type spec = decl list
 
@@ -80,6 +92,26 @@ let wan_host ?profile ?tcp_config ~addr ~link name =
 
 let group ~members name = Group (name, members)
 
+let service ~seg ~addr name =
+  Service { sv_name = name; sv_segment = seg; sv_addr = addr }
+
+let dispatch ?profile ~service ~back ~shards name =
+  Dispatch
+    {
+      d_name = name;
+      d_service = service;
+      d_back = back;
+      d_shards = shards;
+      d_profile = profile;
+    }
+
+(* Switch-class packet costs: a dispatcher forwards every fleet packet
+   twice (rx + tx), so it must be far cheaper per packet than a paper
+   end host or it becomes the bottleneck the tier exists to remove. *)
+let dispatch_profile =
+  { Host.tx_cost = Time.us 4; rx_cost = Time.us 6; jitter_frac = 0.0;
+    hiccup_prob = 0.0 }
+
 (* ------------------------------------------------------------------ *)
 (* validation                                                          *)
 
@@ -92,9 +124,13 @@ let validate (spec : spec) : (unit, string) result =
   let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
   (* accumulated declaration environments, in order *)
   let segs = Hashtbl.create 8 in
-  (* host namespace: name -> `Lan of segment | `Router | `Wan *)
+  (* host namespace: name -> `Lan of segment | `Router | `Wan | `Dispatch *)
   let hosts = Hashtbl.create 16 in
+  (* group name -> its (single) segment *)
   let groups = Hashtbl.create 4 in
+  (* service name -> (segment, addr); used_services: service -> dispatcher *)
+  let services = Hashtbl.create 4 in
+  let used_services = Hashtbl.create 4 in
   (* per-segment claimed IPs: (segment, addr) *)
   let seg_addrs = Hashtbl.create 16 in
   (* link name -> (has_router, has_wan_host, wan addrs) *)
@@ -209,7 +245,7 @@ let validate (spec : spec) : (unit, string) result =
               (fun m ->
                 match Hashtbl.find_opt hosts m with
                 | Some (`Lan s) -> Ok (m, s)
-                | Some (`Router | `Wan) ->
+                | Some (`Router | `Wan | `Dispatch) ->
                   err "group %S: member %S is not a LAN host" name m
                 | None -> err "group %S: unknown member %S" name m)
               members
@@ -249,8 +285,89 @@ let validate (spec : spec) : (unit, string) result =
                      snooping model needs one wire"
                     name s0 s m
                 | None ->
-                  Hashtbl.add groups name ();
-                  continue ())))))
+                  Hashtbl.add groups name s0;
+                  continue ()))))
+      | Service s ->
+        if Hashtbl.mem services s.sv_name then
+          err "duplicate service %S" s.sv_name
+        else if not (Hashtbl.mem segs s.sv_segment) then
+          err "service %S: unknown segment %S" s.sv_name s.sv_segment
+        else if not (is_addr s.sv_addr) then
+          err "service %S: bad address %S" s.sv_name s.sv_addr
+        else
+          let* () = claim_addr s.sv_segment s.sv_addr s.sv_name in
+          Hashtbl.add services s.sv_name (s.sv_segment, s.sv_addr);
+          continue ()
+      | Dispatch d -> (
+        if Hashtbl.mem hosts d.d_name then
+          err "duplicate host name %S" d.d_name
+        else if d.d_shards = [] then
+          err "dispatch %S needs at least one shard group" d.d_name
+        else
+          match Hashtbl.find_opt services d.d_service with
+          | None -> err "dispatch %S: unknown service %S" d.d_name d.d_service
+          | Some (front_seg, _) -> (
+            match Hashtbl.find_opt used_services d.d_service with
+            | Some other ->
+              err "service %S claimed by two dispatchers (%S and %S)"
+                d.d_service other d.d_name
+            | None -> (
+              let shard_segs =
+                List.map
+                  (fun g ->
+                    match Hashtbl.find_opt groups g with
+                    | Some s -> Ok (g, s)
+                    | None ->
+                      err "dispatch %S: unknown shard group %S" d.d_name g)
+                  d.d_shards
+              in
+              match
+                List.fold_left
+                  (fun acc r ->
+                    match (acc, r) with
+                    | (Error _ as e), _ -> e
+                    | _, (Error _ as e) -> e
+                    | Ok acc, Ok x -> Ok (x :: acc))
+                  (Ok []) shard_segs
+              with
+              | Error e -> Error e
+              | Ok pairs -> (
+                let dup =
+                  let seen = Hashtbl.create 4 in
+                  List.find_opt
+                    (fun (g, _) ->
+                      if Hashtbl.mem seen g then true
+                      else begin
+                        Hashtbl.add seen g ();
+                        false
+                      end)
+                    pairs
+                in
+                match dup with
+                | Some (g, _) -> err "dispatch %S lists shard %S twice" d.d_name g
+                | None -> (
+                  match pairs with
+                  | [] -> assert false
+                  | (_, s0) :: _ -> (
+                    match List.find_opt (fun (_, s) -> s <> s0) pairs with
+                    | Some (g, s) ->
+                      err
+                        "dispatch %S: shard groups span segments %S and %S \
+                         (shard %S) — the fleet needs one back wire"
+                        d.d_name s0 s g
+                    | None ->
+                      if s0 = front_seg then
+                        err
+                          "dispatch %S: shards share the front segment %S — \
+                           the dispatcher needs distinct front and back wires"
+                          d.d_name front_seg
+                      else if not (is_addr d.d_back) then
+                        err "dispatch %S: bad back address %S" d.d_name d.d_back
+                      else
+                        let* () = claim_addr s0 d.d_back d.d_name in
+                        Hashtbl.add used_services d.d_service d.d_name;
+                        Hashtbl.add hosts d.d_name `Dispatch;
+                        continue ())))))))
   in
   go spec
 
@@ -264,11 +381,25 @@ type built_host = {
   bh_host : Host.t;
 }
 
+type dispatch_info = {
+  di_host : Host.t;
+  di_service : Ipaddr.t;
+  di_back : Ipaddr.t;
+  di_shards : string list;
+}
+
+type built_dispatch = {
+  bd_info : dispatch_info;
+  bd_back_seg : string;
+  bd_back_iface : Eth_iface.t;
+}
+
 type built = {
   b_segments : (string * Medium.t) list; (* decl order *)
   b_links : (string * Link.t) list;
   b_hosts : built_host list; (* decl order, all kinds *)
   b_groups : (string * string list) list;
+  b_dispatches : (string * built_dispatch) list;
   (* LAN membership per segment (hosts + routers), for warm_arp *)
   b_members : (string * Host.t list) list;
 }
@@ -279,6 +410,7 @@ let build world (spec : spec) : built =
   | Error e -> invalid_arg ("Topo.build: " ^ e));
   let segments = ref [] and links = ref [] in
   let hosts = ref [] and groups = ref [] in
+  let services = ref [] and dispatches = ref [] in
   let members : (string, Host.t list ref) Hashtbl.t = Hashtbl.create 8 in
   let seg_order = ref [] in
   List.iter
@@ -334,7 +466,47 @@ let build world (spec : spec) : built =
           { bh_name = w.w_name; bh_kind = "wan"; bh_where = w.w_link;
             bh_host = host }
           :: !hosts
-      | Group (name, ms) -> groups := (name, ms) :: !groups)
+      | Group (name, ms) -> groups := (name, ms) :: !groups
+      | Service s -> services := (s.sv_name, s) :: !services
+      | Dispatch d ->
+        let s = List.assoc d.d_service !services in
+        let front_m = List.assoc s.sv_segment !segments in
+        (* validation pinned every shard group to one back segment: read
+           it off the first member of the first shard *)
+        let back_seg =
+          let m0 = List.hd (List.assoc (List.hd d.d_shards) !groups) in
+          (List.find (fun bh -> bh.bh_name = m0) !hosts).bh_where
+        in
+        let back_m = List.assoc back_seg !segments in
+        let profile = Option.value d.d_profile ~default:dispatch_profile in
+        let host =
+          World.add_host world front_m ~name:d.d_name ~addr:s.sv_addr
+            ~profile ()
+        in
+        let back_iface =
+          World.attach_extra_lan world host back_m ~addr:d.d_back
+        in
+        Host.set_forwarding host true;
+        hosts :=
+          { bh_name = d.d_name; bh_kind = "dispatch";
+            bh_where = s.sv_segment; bh_host = host }
+          :: !hosts;
+        let ms = Hashtbl.find members s.sv_segment in
+        ms := host :: !ms;
+        dispatches :=
+          ( d.d_name,
+            {
+              bd_info =
+                {
+                  di_host = host;
+                  di_service = Ipaddr.of_string s.sv_addr;
+                  di_back = Ipaddr.of_string d.d_back;
+                  di_shards = d.d_shards;
+                };
+              bd_back_seg = back_seg;
+              bd_back_iface = back_iface;
+            } )
+          :: !dispatches)
     spec;
   let b_members =
     List.rev_map
@@ -345,11 +517,35 @@ let build world (spec : spec) : built =
      hosts are behind the router, and cross-segment bindings would be
      wrong anyway *)
   List.iter (fun (_, hs) -> World.warm_arp hs) b_members;
+  (* A dispatcher's *front* interface was warmed with its segment above;
+     its back interface is invisible to warm_arp (which only looks at a
+     host's first interface), so bind it to the back wire by hand: every
+     back-segment station learns the gateway, and the dispatcher learns
+     them. *)
+  List.iter
+    (fun (_, bd) ->
+      let back_mac = Nic.mac (Eth_iface.nic bd.bd_back_iface) in
+      let back_hosts =
+        match List.assoc_opt bd.bd_back_seg b_members with
+        | Some hs -> hs
+        | None -> []
+      in
+      List.iter
+        (fun h ->
+          match (Host.eth h, Host.addr h) with
+          | eth, addr ->
+            Host.learn_arp h bd.bd_info.di_back back_mac;
+            Host.learn_arp bd.bd_info.di_host addr
+              (Nic.mac (Eth_iface.nic eth))
+          | exception Invalid_argument _ -> ())
+        back_hosts)
+    !dispatches;
   {
     b_segments = List.rev !segments;
     b_links = List.rev !links;
     b_hosts = List.rev !hosts;
     b_groups = List.rev !groups;
+    b_dispatches = List.rev !dispatches;
     b_members;
   }
 
@@ -371,6 +567,27 @@ let group_of b name =
   List.map (host_of b) members
 
 let hosts b = List.map (fun bh -> bh.bh_host) b.b_hosts
+
+let dispatch_of b name =
+  match List.assoc_opt name b.b_dispatches with
+  | Some bd -> bd.bd_info
+  | None -> invalid_arg (Printf.sprintf "Topo.dispatch_of: no dispatch %S" name)
+
+let dispatches b = List.map fst b.b_dispatches
+
+let warm_dispatch_arp b name extra =
+  match List.assoc_opt name b.b_dispatches with
+  | None -> invalid_arg (Printf.sprintf "Topo.warm_dispatch_arp: no dispatch %S" name)
+  | Some bd ->
+    let back_mac = Nic.mac (Eth_iface.nic bd.bd_back_iface) in
+    List.iter
+      (fun h ->
+        match (Host.eth h, Host.addr h) with
+        | eth, addr ->
+          Host.learn_arp h bd.bd_info.di_back back_mac;
+          Host.learn_arp bd.bd_info.di_host addr (Nic.mac (Eth_iface.nic eth))
+        | exception Invalid_argument _ -> ())
+      extra
 
 (* ------------------------------------------------------------------ *)
 (* concrete syntax                                                     *)
@@ -545,10 +762,35 @@ let parse (text : string) : (spec, string) result =
           :: !decls
       | "group" :: name :: (_ :: _ as members) ->
         decls := Group (name, members) :: !decls
+      | [ "service"; name; addr; seg ] ->
+        decls :=
+          Service { sv_name = name; sv_segment = seg; sv_addr = addr }
+          :: !decls
+      | "dispatch" :: name :: rest -> (
+        let shards, opts = kv_args lineno [ "service"; "back" ] rest in
+        match
+          (shards, List.assoc_opt "service" opts, List.assoc_opt "back" opts)
+        with
+        | [], _, _ ->
+          fail lineno "dispatch %S needs at least one shard group" name
+        | _, None, _ ->
+          fail lineno "dispatch %S: missing service= option" name
+        | _, _, None -> fail lineno "dispatch %S: missing back= option" name
+        | shards, Some sv, Some back ->
+          decls :=
+            Dispatch
+              {
+                d_name = name;
+                d_service = sv;
+                d_back = back;
+                d_shards = shards;
+                d_profile = None;
+              }
+            :: !decls)
       | kw :: _ ->
         fail lineno
           "cannot parse %S (expected: lan, link, host, router, wanhost, \
-           group)"
+           group, service, dispatch)"
           kw)
     lines;
   match !error with Some e -> Error e | None -> Ok (List.rev !decls)
@@ -580,5 +822,16 @@ let to_table (b : built) : string =
         Buffer.add_string buf
           (Printf.sprintf "group %-8s %s\n" name (String.concat " > " members)))
       b.b_groups
+  end;
+  if b.b_dispatches <> [] then begin
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun (name, bd) ->
+        Buffer.add_string buf
+          (Printf.sprintf "dispatch %-8s service=%s back=%s shards: %s\n" name
+             (Ipaddr.to_string bd.bd_info.di_service)
+             (Ipaddr.to_string bd.bd_info.di_back)
+             (String.concat " " bd.bd_info.di_shards)))
+      b.b_dispatches
   end;
   Buffer.contents buf

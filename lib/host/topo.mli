@@ -56,6 +56,20 @@ type wan_host = {
   w_tcp : Tcpfo_tcp.Tcp_config.t option;
 }
 
+type service = {
+  sv_name : string;
+  sv_segment : string;  (** the client-facing (front) segment *)
+  sv_addr : string;  (** the fleet's client-visible address *)
+}
+
+type dispatch = {
+  d_name : string;
+  d_service : string;  (** a [Service] declared earlier *)
+  d_back : string;  (** dispatcher's own address on the back segment *)
+  d_shards : string list;  (** [Group]s declared earlier, one back segment *)
+  d_profile : Host.profile option;  (** default {!dispatch_profile} *)
+}
+
 type decl =
   | Segment of string * Tcpfo_net.Medium.config option
   | Link of string * Tcpfo_net.Link.config
@@ -65,6 +79,12 @@ type decl =
   | Group of string * string list
       (** replica pool in promotion order: active primary first, active
           secondary second, cold standbys after *)
+  | Service of service
+      (** a sharded service address: the name clients know the fleet by *)
+  | Dispatch of dispatch
+      (** a two-homed dispatcher host fronting a fleet of shard pools:
+          front interface owns the service address, back interface sits
+          on the shards' segment with IP forwarding on *)
 
 type spec = decl list
 
@@ -95,6 +115,20 @@ val wan_host :
   decl
 
 val group : members:string list -> string -> decl
+val service : seg:string -> addr:string -> string -> decl
+
+val dispatch :
+  ?profile:Host.profile ->
+  service:string ->
+  back:string ->
+  shards:string list ->
+  string ->
+  decl
+
+val dispatch_profile : Host.profile
+(** Default profile for dispatcher hosts: switch-class per-packet costs
+    (4/6 µs, no jitter) — the dispatcher forwards every fleet packet
+    twice, so it must be much cheaper per packet than an end host. *)
 
 (** {1 Validation} *)
 
@@ -110,7 +144,13 @@ val validate : spec -> (unit, string) result
     - groups with fewer than two members, unknown members, non-LAN
       members, or members spread across different segments (the §3.1
       snooping model needs the whole pool on one wire);
-    - malformed addresses and gateways. *)
+    - services with unknown segments, and dispatchers with an unknown or
+      already-claimed service, unknown/duplicate shard groups, shards
+      spread over several back segments, or shards sharing the front
+      segment (the dispatcher needs two distinct wires);
+    - malformed addresses and gateways.
+
+    Every error message names the offending declaration. *)
 
 (** {1 Elaboration} *)
 
@@ -136,7 +176,27 @@ val group_of : built -> string -> Host.t list
     [Replicated.create_pool ~replicas]. *)
 
 val hosts : built -> Host.t list
-(** Every host in declaration order (LAN hosts, routers, WAN hosts). *)
+(** Every host in declaration order (LAN hosts, routers, WAN hosts,
+    dispatchers). *)
+
+type dispatch_info = {
+  di_host : Host.t;
+  di_service : Tcpfo_packet.Ipaddr.t;  (** front, client-visible *)
+  di_back : Tcpfo_packet.Ipaddr.t;  (** back, the shards' gateway *)
+  di_shards : string list;  (** shard group names, registration order *)
+}
+
+val dispatch_of : built -> string -> dispatch_info
+(** The elaborated dispatcher: a two-homed host with forwarding enabled,
+    both interfaces ARP-warmed.  Feed it to [Dispatch.of_topo]. *)
+
+val dispatches : built -> string list
+(** Declared dispatcher names, declaration order. *)
+
+val warm_dispatch_arp : built -> string -> Host.t list -> unit
+(** Bind late-added back-segment hosts (e.g. repaired replicas) to the
+    named dispatcher: each learns the dispatcher's back address/MAC and
+    the dispatcher learns theirs.  Dead hosts are skipped. *)
 
 (** {1 Concrete syntax} *)
 
@@ -152,6 +212,8 @@ val parse : string -> (spec, string) result
     router NAME SEGMENT LAN_ADDR LINK WAN_ADDR
     wanhost NAME ADDR LINK
     group NAME MEMBER MEMBER [MEMBER...]
+    service NAME ADDR SEGMENT
+    dispatch NAME SHARD [SHARD...] service=NAME back=ADDR
     v}
 
     Durations accept [ms]/[us]/[s] suffixes (e.g. [delay=15ms]).  The
@@ -159,4 +221,5 @@ val parse : string -> (spec, string) result
 
 val to_table : built -> string
 (** Human-readable table of the elaborated topology: one row per host
-    (name, kind, address, MAC, segment/link), then the declared groups. *)
+    (name, kind, address, MAC, segment/link), then the declared groups
+    and dispatchers. *)

@@ -81,6 +81,16 @@ let add_host t medium ~name ~addr ?profile ?tcp_config () =
   let _ : Eth_iface.t = Host.attach_lan h medium ~addr:ip ~mac () in
   h
 
+(* A second (or further) LAN leg for an already-created host — the
+   two-homed dispatcher tier attaches its back-side interface through
+   here so the MAC draw and the duplicate-binding check stay centralized
+   and in declaration order. *)
+let attach_extra_lan t host medium ~addr =
+  let ip = Ipaddr.of_string addr in
+  let mac = fresh_mac t in
+  record_binding t medium ~addr:ip ~mac ~name:(Host.name host);
+  Host.attach_lan host medium ~addr:ip ~mac ()
+
 let router_profile =
   { Host.tx_cost = Time.us 5; rx_cost = Time.us 10; jitter_frac = 0.0;
     hiccup_prob = 0.0 }

@@ -50,6 +50,17 @@ val add_host :
     sanctioned way an address moves between hosts, so a statically
     duplicated binding is always a topology bug. *)
 
+val attach_extra_lan :
+  t ->
+  Host.t ->
+  Tcpfo_net.Medium.t ->
+  addr:string ->
+  Tcpfo_ip.Eth_iface.t
+(** Attach a further LAN interface (auto-assigned MAC, /24) to an
+    existing host — e.g. the back leg of a two-homed dispatcher.  Same
+    duplicate-binding rejection as {!add_host}; the host's first
+    interface (and with it {!Host.addr}) is unchanged. *)
+
 val add_router :
   t ->
   Tcpfo_net.Medium.t ->

@@ -124,6 +124,7 @@ let set_tcp_handler t fn = t.tcp_handler <- fn
 let set_heartbeat_handler t fn = t.hb_handler <- fn
 let heartbeat_handler t = t.hb_handler
 let set_raw_handler t fn = t.raw_handler <- fn
+let raw_handler t = t.raw_handler
 let set_tx_hook t h = t.tx_hook <- h
 let set_rx_hook t h = t.rx_hook <- h
 let tx_hook t = t.tx_hook

@@ -103,6 +103,14 @@ val set_raw_handler :
   (src:Tcpfo_packet.Ipaddr.t -> proto:int -> string -> unit) ->
   unit
 
+val raw_handler :
+  t -> src:Tcpfo_packet.Ipaddr.t -> proto:int -> string -> unit
+(** The currently installed raw-protocol handler, so a new consumer of a
+    different protocol number can chain onto it instead of silently
+    stealing the host's single raw slot — the hot-state-transfer channel
+    (proto 254) and the dispatcher's health probes (proto 252) coexist
+    this way. *)
+
 val set_tx_hook : t -> (Tcpfo_packet.Ipv4_packet.t -> tx_verdict) option -> unit
 
 val set_rx_hook :

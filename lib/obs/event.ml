@@ -18,6 +18,7 @@ type t =
   | Hold of { host : string; bytes : int }
   | Failover of { host : string; phase : failover_phase }
   | Arp_takeover of { host : string; ip : Ipaddr.t }
+  | Weight_shift of { shard : string; weight : int; reason : string }
 
 let phase_to_string = function
   | Detected -> "detected"
@@ -43,11 +44,13 @@ let pp fmt = function
     Format.fprintf fmt "%s failover %s" host (phase_to_string phase)
   | Arp_takeover { host; ip } ->
     Format.fprintf fmt "%s arp-takeover %a" host Ipaddr.pp ip
+  | Weight_shift { shard; weight; reason } ->
+    Format.fprintf fmt "dispatch shard=%s weight=%d (%s)" shard weight reason
 
 let is_segment = function
   | Segment_tx _ | Segment_rx _ -> true
   | Segment_drop _ | Divert _ | Merge _ | Hold _ | Failover _
-  | Arp_takeover _ ->
+  | Arp_takeover _ | Weight_shift _ ->
     false
 
 module Bus = struct

@@ -34,6 +34,11 @@ type t =
   | Failover of { host : string; phase : failover_phase }
   | Arp_takeover of { host : string; ip : Tcpfo_packet.Ipaddr.t }
       (** Gratuitous ARP rebinding a service IP to a new MAC (paper §5). *)
+  | Weight_shift of { shard : string; weight : int; reason : string }
+      (** The dispatcher tier moved a shard's routing weight — hera-style
+          gradual shifting on degradation ([reason = "decay"]), probe
+          loss ([reason = "probe-timeout"]), or post-restore ramp-up
+          ([reason = "ramp"]). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line rendering, e.g. ["secondary divert 10.0.0.2 5000->80 S seq=.."]. *)

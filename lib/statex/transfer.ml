@@ -375,11 +375,15 @@ let attach host =
       corrupt_datagrams = Obs.counter obs "corrupt_datagrams";
     }
   in
+  (* chain, don't steal: other raw protocols on this host (e.g. the
+     dispatcher's health probes) keep their handler *)
+  let inner = Ip_layer.raw_handler (Host.ip host) in
   Ip_layer.set_raw_handler (Host.ip host) (fun ~src ~proto:p data ->
       if p = proto then
         match decode_msg data with
         | Some m -> handle_msg t ~src m
-        | None -> Registry.Counter.incr t.corrupt_datagrams);
+        | None -> Registry.Counter.incr t.corrupt_datagrams
+      else inner ~src ~proto:p data);
   t
 
 let set_installer t f = t.installer <- Some f

@@ -32,6 +32,7 @@ let () =
       ("transfer", Test_transfer.suite);
       ("topo", Test_topo.suite);
       ("pool", Test_pool.suite);
+      ("dispatch", Test_dispatch.suite);
       ("obs", Test_obs.suite);
       ("parallel", Test_parallel.suite);
     ]

@@ -247,6 +247,70 @@ let test_capture_limit () =
   Capture.clear cap;
   check_int "cleared" 0 (Capture.count cap)
 
+(* ---------------- Event stringifiers ---------------- *)
+
+module Replicated = Tcpfo_core.Replicated
+module Chain = Tcpfo_core.Chain
+
+(* Compile-time exhaustiveness: these matches have no wildcard, so
+   adding a constructor to either event type breaks the build here
+   until the sample list below (and the stringifier) learns it. *)
+let _covers_replicated : Replicated.event -> unit = function
+  | Replicated.Secondary_failure_detected | Replicated.Primary_failure_detected
+  | Replicated.Takeover_complete | Replicated.Reintegrated
+  | Replicated.Transfers_complete _ | Replicated.Promoted _
+  | Replicated.Standby_lost _ | Replicated.Rejoined _ | Replicated.Isolated _ ->
+    ()
+
+let _covers_chain : Chain.event -> unit = function
+  | Chain.Death_detected _ | Chain.Promoted _ | Chain.Retargeted _
+  | Chain.Degraded _ | Chain.Rejoined _ | Chain.Transfers_complete _
+  | Chain.Isolated _ ->
+    ()
+
+(* Runtime audit: every constructor renders non-empty and no two
+   constructors collapse to the same line, so a soak report or trace
+   can never print an event as a blank or a look-alike. *)
+let test_event_strings_exhaustive () =
+  let addr = Tcpfo_packet.Ipaddr.of_string "10.0.0.9" in
+  let repl_events =
+    [
+      Replicated.Secondary_failure_detected;
+      Replicated.Primary_failure_detected;
+      Replicated.Takeover_complete;
+      Replicated.Reintegrated;
+      Replicated.Transfers_complete 3;
+      Replicated.Promoted "standby1";
+      Replicated.Standby_lost "standby1";
+      Replicated.Rejoined "repaired";
+      Replicated.Isolated { local_port = 7; remote = (addr, 80) };
+    ]
+  in
+  let chain_events =
+    [
+      Chain.Death_detected 0;
+      Chain.Promoted 1;
+      Chain.Retargeted (0, 1);
+      Chain.Degraded 2;
+      Chain.Rejoined 2;
+      Chain.Transfers_complete 4;
+      Chain.Isolated { local_port = 7; remote = (addr, 80) };
+    ]
+  in
+  let audit name to_string events =
+    let strs = List.map to_string events in
+    List.iter
+      (fun s -> check_bool (name ^ " event renders non-empty") true
+          (String.length s > 0))
+      strs;
+    check_int
+      (name ^ " event strings pairwise distinct")
+      (List.length events)
+      (List.length (List.sort_uniq compare strs))
+  in
+  audit "replicated" Replicated.event_to_string repl_events;
+  audit "chain" Chain.event_to_string chain_events
+
 let suite =
   suite
   @ [
@@ -254,4 +318,6 @@ let suite =
         test_capture_handshake;
       Alcotest.test_case "capture respects its limit" `Quick
         test_capture_limit;
+      Alcotest.test_case "event stringifiers exhaustive and distinct" `Quick
+        test_event_strings_exhaustive;
     ]

@@ -72,6 +72,32 @@ let test_role_axis_covered () =
         [] o.Soak.violations)
     [ List.hd backend; List.hd chain ]
 
+(* The fleet axis: the CI seed range must draw fleet scenarios, the
+   first kill-bearing one must run clean, and the forcing rules must
+   hold everywhere — fleet only rides the plain pair/server shape. *)
+let test_fleet_axis_covered () =
+  let all = List.init 200 (fun i -> Soak.scenario_of_seed (i + 1)) in
+  List.iter
+    (fun (sc : Soak.scenario) ->
+      if sc.Soak.fleet then
+        check_bool
+          (Printf.sprintf "seed %d: fleet forced onto pair/server/no-cross"
+             sc.Soak.seed)
+          true
+          (sc.Soak.pool = Soak.Pair && sc.Soak.role = Soak.Server
+          && sc.Soak.chaos <> Soak.Cross_traffic))
+    all;
+  let fleet_kills =
+    List.filter
+      (fun (sc : Soak.scenario) -> sc.Soak.fleet && sc.Soak.victim <> Soak.Nobody)
+      all
+  in
+  check_bool "seeds 1-200 draw a fleet kill" true (fleet_kills <> []);
+  let o = Soak.run (List.hd fleet_kills) in
+  Alcotest.(check (list string))
+    (Soak.describe o.Soak.scenario)
+    [] o.Soak.violations
+
 let test_replay_is_byte_identical () =
   let sc = Soak.scenario_of_seed 5 in
   let a = Soak.run sc in
@@ -89,6 +115,8 @@ let suite =
       test_pool_axis_covered;
     Alcotest.test_case "role axis covered and clean" `Quick
       test_role_axis_covered;
+    Alcotest.test_case "fleet axis covered and clean" `Quick
+      test_fleet_axis_covered;
     Alcotest.test_case "seed replay byte-identical" `Quick
       test_replay_is_byte_identical;
   ]

@@ -68,6 +68,110 @@ let test_validate_rejects () =
   bad "wan host on unknown link"
     (lan_pair_spec @ [ Topo.wan_host ~addr:"192.168.0.2" ~link:"wan" "c" ])
 
+(* Validation failures must NAME the offending declaration so a fat
+   fleet spec pinpoints its own typo. *)
+let expect_error_naming what needle spec =
+  match Topo.validate spec with
+  | Ok () -> Alcotest.fail (what ^ ": expected a validation error")
+  | Error msg ->
+    let contains needle =
+      let nl = String.length needle and hl = String.length msg in
+      let rec go i = i + nl <= hl && (String.sub msg i nl = needle || go (i + 1)) in
+      go 0
+    in
+    check_bool
+      (Printf.sprintf "%s: error %S names %S" what msg needle)
+      true (contains needle)
+
+let fleet_spec =
+  [
+    Topo.segment "front";
+    Topo.segment "back";
+    Topo.host ~addr:"10.1.0.10" ~seg:"front" "client";
+    Topo.host ~addr:"10.0.0.1" ~seg:"back" "s0a";
+    Topo.host ~addr:"10.0.0.2" ~seg:"back" "s0b";
+    Topo.host ~addr:"10.0.0.3" ~seg:"back" "s1a";
+    Topo.host ~addr:"10.0.0.4" ~seg:"back" "s1b";
+    Topo.group ~members:[ "s0a"; "s0b" ] "shard0";
+    Topo.group ~members:[ "s1a"; "s1b" ] "shard1";
+  ]
+
+let test_validate_service_dispatch () =
+  let ok =
+    fleet_spec
+    @ [
+        Topo.service ~seg:"front" ~addr:"10.1.0.1" "fleet";
+        Topo.dispatch ~service:"fleet" ~back:"10.0.0.254"
+          ~shards:[ "shard0"; "shard1" ] "disp";
+      ]
+  in
+  check_bool "fleet spec valid" true (Topo.validate ok = Ok ());
+  let svc = Topo.service ~seg:"front" ~addr:"10.1.0.1" "fleet" in
+  expect_error_naming "duplicate service" "\"fleet\""
+    (fleet_spec @ [ svc; Topo.service ~seg:"front" ~addr:"10.1.0.2" "fleet" ]);
+  expect_error_naming "service on unknown segment" "\"lost\""
+    (fleet_spec @ [ Topo.service ~seg:"ghost" ~addr:"10.1.0.1" "lost" ]);
+  expect_error_naming "dispatch without service" "\"disp\""
+    (fleet_spec
+    @ [ Topo.dispatch ~service:"ghost" ~back:"10.0.0.254"
+          ~shards:[ "shard0" ] "disp" ]);
+  expect_error_naming "dispatch with unknown shard" "\"disp\""
+    (fleet_spec
+    @ [ svc;
+        Topo.dispatch ~service:"fleet" ~back:"10.0.0.254"
+          ~shards:[ "shard0"; "ghost" ] "disp" ]);
+  expect_error_naming "dispatch listing a shard twice" "\"shard0\""
+    (fleet_spec
+    @ [ svc;
+        Topo.dispatch ~service:"fleet" ~back:"10.0.0.254"
+          ~shards:[ "shard0"; "shard0" ] "disp" ]);
+  expect_error_naming "dispatch with shards on the front wire" "\"disp\""
+    ([
+       Topo.segment "front";
+       Topo.host ~addr:"10.1.0.2" ~seg:"front" "a";
+       Topo.host ~addr:"10.1.0.3" ~seg:"front" "b";
+       Topo.group ~members:[ "a"; "b" ] "shard0";
+       Topo.service ~seg:"front" ~addr:"10.1.0.1" "fleet";
+     ]
+    @ [ Topo.dispatch ~service:"fleet" ~back:"10.1.0.254"
+          ~shards:[ "shard0" ] "disp" ]);
+  expect_error_naming "two dispatchers on one service" "\"fleet\""
+    (fleet_spec
+    @ [ svc;
+        Topo.dispatch ~service:"fleet" ~back:"10.0.0.254"
+          ~shards:[ "shard0" ] "disp1";
+        Topo.dispatch ~service:"fleet" ~back:"10.0.0.253"
+          ~shards:[ "shard1" ] "disp2";
+      ])
+
+let test_group_duplicate_member_rejected () =
+  expect_error_naming "group listing a member twice" "\"server\""
+    (lan_pair_spec @ [ Topo.group ~members:[ "server"; "server" ] "pool" ])
+
+let test_parse_service_dispatch () =
+  let text =
+    "lan front\n\
+     lan back\n\
+     host client 10.1.0.10 front\n\
+     host s0a 10.0.0.1 back gw=10.0.0.254\n\
+     host s0b 10.0.0.2 back gw=10.0.0.254\n\
+     group shard0 s0a s0b\n\
+     service fleet 10.1.0.1 front\n\
+     dispatch disp shard0 service=fleet back=10.0.0.254\n"
+  in
+  (match Topo.parse text with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok spec ->
+    check_bool "parsed fleet spec valid" true (Topo.validate spec = Ok ()));
+  check_bool "dispatch without service= rejected" true
+    (is_error (Topo.parse "dispatch disp shard0 back=10.0.0.254\n"));
+  check_bool "dispatch without back= rejected" true
+    (is_error (Topo.parse "dispatch disp shard0 service=fleet\n"));
+  check_bool "dispatch without shards rejected" true
+    (is_error (Topo.parse "dispatch disp service=fleet back=10.0.0.254\n"));
+  check_bool "truncated service line rejected" true
+    (is_error (Topo.parse "service fleet 10.1.0.1\n"))
+
 let test_build_raises_on_invalid () =
   expect_invalid "duplicate IP" (fun () ->
       let world = World.create () in
@@ -155,6 +259,26 @@ let test_build_matches_hand_wired () =
     (Registry.to_json (World.metrics hand))
     (Registry.to_json (World.metrics topo_world))
 
+(* group_of is the promotion order: members come back exactly as
+   declared (first = active primary, second = active secondary, rest
+   standbys in promotion priority), not sorted or registration-hashed. *)
+let test_group_promotion_order () =
+  let world = World.create () in
+  let spec =
+    [
+      Topo.segment "lan";
+      Topo.host ~addr:"10.0.0.1" ~seg:"lan" "alpha";
+      Topo.host ~addr:"10.0.0.2" ~seg:"lan" "beta";
+      Topo.host ~addr:"10.0.0.3" ~seg:"lan" "gamma";
+      Topo.group ~members:[ "beta"; "gamma"; "alpha" ] "pool";
+    ]
+  in
+  let topo = Topo.build world spec in
+  Alcotest.(check (list string))
+    "members in declared promotion order"
+    [ "beta"; "gamma"; "alpha" ]
+    (List.map Host.name (Topo.group_of topo "pool"))
+
 let test_accessors_and_table () =
   let world = World.create () in
   let spec =
@@ -182,6 +306,14 @@ let suite =
   [
     Alcotest.test_case "validate accepts good specs" `Quick test_validate_ok;
     Alcotest.test_case "validate rejects bad specs" `Quick test_validate_rejects;
+    Alcotest.test_case "validate service/dispatch declarations" `Quick
+      test_validate_service_dispatch;
+    Alcotest.test_case "group duplicate member rejected" `Quick
+      test_group_duplicate_member_rejected;
+    Alcotest.test_case "parse service/dispatch lines" `Quick
+      test_parse_service_dispatch;
+    Alcotest.test_case "group_of preserves promotion order" `Quick
+      test_group_promotion_order;
     Alcotest.test_case "build raises on invalid spec" `Quick
       test_build_raises_on_invalid;
     Alcotest.test_case "world rejects duplicate bindings" `Quick
