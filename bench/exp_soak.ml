@@ -73,6 +73,7 @@ let repair_key (s : Soak.scenario) =
   | Soak.Repair_then_rekill -> "repair_rekill"
 
 let fleet_key (s : Soak.scenario) = if s.fleet then "fleet" else "direct"
+let ckpt_key (s : Soak.scenario) = if s.checkpointed then "ckpt" else "plain"
 
 let axes_line outcomes =
   let axis key_of keys =
@@ -84,11 +85,14 @@ let axes_line outcomes =
       (List.map (fun k -> Printf.sprintf "%S:%d" k (count k)) keys)
   in
   Printf.printf
-    "[soak-axes] {\"pool\":{%s},\"role\":{%s},\"repair\":{%s},\"fleet\":{%s}}\n%!"
+    "[soak-axes] \
+     {\"pool\":{%s},\"role\":{%s},\"repair\":{%s},\"fleet\":{%s},\"ckpt\":{%s}}\n\
+     %!"
     (axis pool_key [ "pair"; "pool3"; "pool3_rejoin" ])
     (axis role_key [ "server"; "backend_client"; "chain3" ])
     (axis repair_key [ "none"; "repair"; "repair_rekill" ])
     (axis fleet_key [ "direct"; "fleet" ])
+    (axis ckpt_key [ "plain"; "ckpt" ])
 
 let write_report path failures =
   let oc = open_out path in

@@ -125,8 +125,9 @@ let run which quick metrics_dir jobs seeds first_seed soak_report loss_rates
   if should Micro_exp then Micro.run_exp ();
   if should Reintegration_exp then
     Exp_reintegration.run_exp
-      ~conn_counts:(if quick then [ 1; 4; 8 ] else [ 1; 2; 4; 8; 16 ])
+      ~conn_counts:(if quick then [ 4; 16 ] else [ 10; 100; 1000 ])
       ~loss_rates:(if loss_rates = [] then [ 0.0 ] else loss_rates)
+      ~big:(if quick then 0 else 10_000)
       ~trials:(if quick then 2 else 3);
   if should Pool_exp then
     Exp_pool.run_exp

@@ -72,6 +72,10 @@ type t = {
   mutable xfer_failures : int;
   reint_latency : Registry.histogram;
   isolated : Registry.counter;
+  (* paced offer scheduler *)
+  queue_depth : Registry.gauge;
+  paced_offers : Registry.counter;
+  pace_wait : Registry.counter;
 }
 
 let emit t e =
@@ -182,13 +186,23 @@ let attach_transfer t host =
 
 (* Every service connection on the survivor is either shipped to the new
    replica or pinned solo — nothing is left in a state where it could
-   half-merge with the fresh replica's different sequence numbers. *)
+   half-merge with the fresh replica's different sequence numbers.
+
+   Offers go through a paced, windowed scheduler:
+   {!Failover_config.transfer_inflight} caps how many connections may be
+   mid-transfer at once and {!Failover_config.transfer_pace} spaces
+   successive offers (widened to the transfer channel's RTT-derived
+   {!Transfer.suggested_pace} once a sample exists), so re-replicating
+   thousands of connections trickles out at the channel's rate instead
+   of dumping every snapshot into one simulation instant.  Both default
+   off, which reproduces the legacy burst exactly. *)
 let start_transfers t =
   let survivor = t.primary in
   let pb = t.pbridge in
   let dst = Host.addr t.secondary in
   let clock = Host.clock survivor in
-  t.reint_started <- Some (clock.now ());
+  let t0 = clock.now () in
+  t.reint_started <- Some t0;
   let candidates =
     (* both directions qualify: listener-side connections match on the
        local service port, §7.2 client-role connections (registered via
@@ -229,47 +243,96 @@ let start_transfers t =
   t.pending <- List.length to_transfer;
   t.reintegrations <- 0;
   if t.pending = 0 then finish ()
-  else
-    List.iter
-      (fun tcb ->
-        let _, lp = Tcb.local_endpoint tcb in
-        let remote = Tcb.remote_endpoint tcb in
-        let delta_opt = Primary_bridge.conn_delta pb ~remote ~local_port:lp in
-        let delta = Option.value delta_opt ~default:0 in
-        Primary_bridge.begin_transfer pb ~remote ~local_port:lp;
-        let snap = Tcb.snapshot tcb in
-        let snap =
-          if delta <> 0 then Tcb.shift_snapshot snap (-delta) else snap
-        in
-        let role =
-          if Option.is_some (find_backend t remote) then `Client else `Server
-        in
-        let sc =
-          {
-            Snapshot.tcb = snap;
-            role;
-            delta;
-            next_wire_seq = snap.Tcb.sn_snd_max;
-            held_segments = 0;
-            solo = delta_opt <> None;
-          }
-        in
-        Transfer.offer t.xfer_p ~dst sc ~on_result:(fun res ->
+  else begin
+    let cap = t.config.Failover_config.transfer_inflight in
+    let pace_floor = t.config.Failover_config.transfer_pace in
+    let queue = Queue.create () in
+    List.iter (fun tcb -> Queue.add tcb queue) to_transfer;
+    Registry.Gauge.set t.queue_depth (Queue.length queue);
+    let inflight = ref 0 in
+    let pace_armed = ref false in
+    let rec offer_one tcb =
+      let _, lp = Tcb.local_endpoint tcb in
+      let remote = Tcb.remote_endpoint tcb in
+      (* Quiesce FIRST: [begin_transfer] holds the connection's merge
+         state before Δ and the TCB image are read, so the capture is
+         atomic at the offer instant — a client byte landing between
+         the Δ read and the snapshot would otherwise be counted in
+         both. *)
+      Primary_bridge.begin_transfer pb ~remote ~local_port:lp;
+      let delta_opt = Primary_bridge.conn_delta pb ~remote ~local_port:lp in
+      let delta = Option.value delta_opt ~default:0 in
+      let snap = Tcb.snapshot tcb in
+      let snap =
+        if delta <> 0 then Tcb.shift_snapshot snap (-delta) else snap
+      in
+      let role =
+        if Option.is_some (find_backend t remote) then `Client else `Server
+      in
+      let sc =
+        {
+          Snapshot.tcb = snap;
+          role;
+          delta;
+          next_wire_seq = snap.Tcb.sn_snd_max;
+          held_segments = 0;
+          solo = delta_opt <> None;
+        }
+      in
+      let wait = clock.now () - t0 in
+      if wait > 0 then begin
+        Registry.Counter.incr t.paced_offers;
+        Registry.Counter.add t.pace_wait (wait / 1000)
+      end;
+      incr inflight;
+      Transfer.offer t.xfer_p ~dst sc ~on_result:(fun res ->
+          decr inflight;
+          (match res with
+          | Ok () when t.status = `Normal ->
+            t.reintegrations <- t.reintegrations + 1;
+            Primary_bridge.complete_transfer pb ~remote ~local_port:lp
+              ~tcb ~delta
+          | Ok () | Error _ ->
             (match res with
-            | Ok () when t.status = `Normal ->
-              t.reintegrations <- t.reintegrations + 1;
-              Primary_bridge.complete_transfer pb ~remote ~local_port:lp
-                ~tcb ~delta
-            | Ok () | Error _ ->
-              (match res with
-              | Error _ -> t.xfer_failures <- t.xfer_failures + 1
-              | Ok () -> ());
-              Primary_bridge.abort_transfer pb ~remote ~local_port:lp;
-              Registry.Counter.incr t.isolated;
-              emit t (Isolated { local_port = lp; remote }));
-            t.pending <- t.pending - 1;
-            if t.pending = 0 then finish ()))
-      to_transfer
+            | Error _ -> t.xfer_failures <- t.xfer_failures + 1
+            | Ok () -> ());
+            Primary_bridge.abort_transfer pb ~remote ~local_port:lp;
+            Registry.Counter.incr t.isolated;
+            emit t (Isolated { local_port = lp; remote }));
+          t.pending <- t.pending - 1;
+          if t.pending = 0 then finish ()
+          else if not !pace_armed then pump ())
+    and pump () =
+      if t.status <> `Normal then begin
+        (* a new failure arrived mid-pacing: nothing more can ship on
+           this run — pin the queued remainder solo *)
+        while not (Queue.is_empty queue) do
+          demote_solo (Queue.pop queue);
+          t.pending <- t.pending - 1
+        done;
+        Registry.Gauge.set t.queue_depth 0;
+        if t.pending = 0 then finish ()
+      end
+      else begin
+        let draining = ref true in
+        while !draining && not (Queue.is_empty queue)
+              && (cap = 0 || !inflight < cap) do
+          offer_one (Queue.pop queue);
+          Registry.Gauge.set t.queue_depth (Queue.length queue);
+          if pace_floor > 0 && not (Queue.is_empty queue) then begin
+            draining := false;
+            pace_armed := true;
+            let gap = max pace_floor (Transfer.suggested_pace t.xfer_p) in
+            ignore
+              (clock.schedule gap (fun () ->
+                   pace_armed := false;
+                   pump ()))
+          end
+        done
+      end
+    in
+    pump ()
+  end
 
 (* --- failure handling, promotion, reintegration ---------------------- *)
 
@@ -451,6 +514,9 @@ let create_pool ~replicas ~config () =
       xfer_failures = 0;
       reint_latency = Obs.histogram statex "reintegration_us";
       isolated = Obs.counter statex "isolated_conns";
+      queue_depth = Obs.gauge statex "transfer_queue_depth";
+      paced_offers = Obs.counter statex "paced_offers";
+      pace_wait = Obs.counter statex "pace_wait_us";
     }
   in
   Transfer.set_installer t.xfer_p (installer t primary);

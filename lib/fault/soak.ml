@@ -47,6 +47,7 @@ type scenario = {
   pool : pool;
   role : role;
   fleet : bool;
+  checkpointed : bool;
 }
 
 type outcome = {
@@ -93,11 +94,11 @@ let role_to_string = function
 let describe s =
   Printf.sprintf
     "seed=%d kill=%s/%s chaos=%s size=%d repair=%s xloss=%.2f pool=%s role=%s \
-     fleet=%b"
+     fleet=%b ckpt=%b"
     s.seed
     (victim_to_string s.victim) (phase_to_string s.phase)
     (chaos_to_string s.chaos) s.size (repair_to_string s.repair) s.xfer_loss
-    (pool_to_string s.pool) (role_to_string s.role) s.fleet
+    (pool_to_string s.pool) (role_to_string s.role) s.fleet s.checkpointed
 
 (* The scenario space is drawn from the seed alone, so a seed printed in
    a failure report reconstructs the exact run. *)
@@ -196,15 +197,43 @@ let scenario_of_seed seed =
     if pool <> Pair || role <> Server || chaos = Cross_traffic then false
     else fleet
   in
-  { seed; victim; phase; chaos; size; repair; xfer_loss; pool; role; fleet }
+  (* checkpointed-connection axis, drawn after everything older: a
+     long-lived request/reply connection that checkpoints at every
+     request boundary rides alongside the main stream, under a
+     retention budget far smaller than its lifetime traffic — only
+     checkpoint truncation keeps it transferable, and it must survive
+     the reintegration (delta snapshot) with its reply stream intact.
+     Only meaningful when a hot state transfer happens, and composed
+     with the plain pair/pool server worlds; forced off elsewhere AFTER
+     the draw so older seeds replay untouched. *)
+  let checkpointed = Rng.int r 3 = 0 in
+  let checkpointed =
+    if
+      fleet || role <> Server || chaos = Cross_traffic
+      || (repair = No_repair && pool = Pair)
+    then false
+    else checkpointed
+  in
+  {
+    seed; victim; phase; chaos; size; repair; xfer_loss; pool; role; fleet;
+    checkpointed;
+  }
 
 let pattern ~tag n =
   String.init n (fun i -> Char.chr ((i * 131 + tag * 7 + i / 251) land 0xFF))
 
 let service_port = 5000
 let cross_port = 5001
+let ckpt_port = 5002
 let backend_port = 7000
 let cross_size = 30_000
+let ck_req_bytes = 1_200
+
+(* retention budget for the checkpointed-connection axis: far smaller
+   than the connection's lifetime traffic, so only the application's
+   per-request checkpoints keep it transferable *)
+let ck_tcp_config =
+  { Tcpfo_tcp.Tcp_config.default with retention_budget = 8_000 }
 
 (* stream [payload] into [tcb] respecting the send buffer, then close *)
 let stream_and_close tcb payload =
@@ -341,15 +370,21 @@ let run_replicated ?on_world scenario =
   (* the scenario's world as data; declaration order matches the old
      hand-wired construction exactly, so pre-pool seeds replay
      byte-identically *)
+  (* pool hosts run under the tight retention budget when the
+     checkpointed-connection axis is on; [?tcp_config:None] is identical
+     to omitting the argument, so older seeds' worlds are untouched *)
+  let pool_cfg = if sc.checkpointed then Some ck_tcp_config else None in
   let spec =
     Topo.segment "lan"
     :: Topo.host ~addr:"10.0.0.10" ~seg:"lan" "client"
-    :: Topo.host ~addr:"10.0.0.1" ~seg:"lan" "primary"
-    :: Topo.host ~addr:"10.0.0.2" ~seg:"lan" "secondary"
+    :: Topo.host ?tcp_config:pool_cfg ~addr:"10.0.0.1" ~seg:"lan" "primary"
+    :: Topo.host ?tcp_config:pool_cfg ~addr:"10.0.0.2" ~seg:"lan" "secondary"
     :: ((if sc.chaos = Cross_traffic then
            [ Topo.host ~addr:"10.0.0.11" ~seg:"lan" "cross" ]
          else [])
-       @ (if pool3 then [ Topo.host ~addr:"10.0.0.4" ~seg:"lan" "standby" ]
+       @ (if pool3 then
+            [ Topo.host ?tcp_config:pool_cfg ~addr:"10.0.0.4" ~seg:"lan"
+                "standby" ]
           else [])
        @ [
            Topo.group "pool"
@@ -368,7 +403,11 @@ let run_replicated ?on_world scenario =
     else None
   in
   let config =
-    Failover_config.make ~service_ports:[ service_port; cross_port ] ()
+    Failover_config.make
+      ~service_ports:
+        ([ service_port; cross_port ]
+        @ if sc.checkpointed then [ ckpt_port ] else [])
+      ()
   in
   let repl =
     Replicated.create_pool ~replicas:(Topo.group_of topo "pool") ~config ()
@@ -379,6 +418,20 @@ let run_replicated ?on_world scenario =
   let cross_reply = pattern ~tag:(sc.seed + 1) cross_size in
   if cross_client <> None then
     install_service repl ~port:cross_port ~reply:cross_reply;
+  (* checkpointed-connection service: answers each fixed-size request
+     with "done" and checkpoints at the request boundary — the
+     application's safe point, where a restored replica's fresh request
+     counter is consistent with replay starting at the checkpoint *)
+  if sc.checkpointed then
+    Replicated.listen repl ~port:ckpt_port ~on_accept:(fun ~role:_ tcb ->
+        let got = ref 0 in
+        Tcb.set_on_data tcb (fun d ->
+            got := !got + String.length d;
+            while !got >= ck_req_bytes do
+              got := !got - ck_req_bytes;
+              ignore (Tcb.send tcb "done")
+            done;
+            if !got = 0 then Tcb.checkpoint tcb));
   let violations = ref [] in
   (* what the unreplicated peer must see from the service address: the
      reply stream (server role) or the request the replicated client
@@ -462,6 +515,54 @@ let run_replicated ?on_world scenario =
            Tcb.set_on_data cc (fun d -> Buffer.add_string cross_buf d);
            Tcb.set_on_eof cc (fun () -> Tcb.close cc))));
 
+  (* the checkpointed long-lived connection: a reply-driven request
+     stream that stays open for the whole run.  Each request is answered
+     with "done"; progress after the hot state transfers settle proves
+     the delta-restored connection still serves *)
+  let ck_buf = Buffer.create 64 in
+  let ck_resets = ref 0 in
+  let ck_sent = ref 0 in
+  let ck_replies = ref 0 in
+  let ck_reply_floor = ref None in
+  let ck_isolated = ref 0 in
+  let ck_established = ref false in
+  if sc.checkpointed then begin
+    Replicated.add_on_event repl (function
+      | Replicated.Transfers_complete _ when !ck_reply_floor = None ->
+        ck_reply_floor := Some !ck_replies
+      | Replicated.Isolated { local_port; _ }
+        when local_port = ckpt_port && !ck_established ->
+        (* a SYN_RCVD embryo caught by the reintegration scan is pinned
+           solo by design — the client's SYN retry then opens a fresh,
+           replicated connection with no client-visible state lost.
+           Only an ESTABLISHED connection stranding solo is a failure. *)
+        incr ck_isolated
+      | _ -> ());
+    ignore
+      (Engine.schedule (World.engine world) ~delay:(Time.us 700) (fun () ->
+           let ck =
+             Stack.connect (Host.tcp client) ~remote:(svc, ckpt_port) ()
+           in
+           let send_req () =
+             incr ck_sent;
+             (* one request in flight at a time, far under the send
+                buffer, so the whole request is always accepted *)
+             ignore
+               (Tcb.send ck (pattern ~tag:(9_000 + !ck_sent) ck_req_bytes))
+           in
+           Tcb.set_on_established ck (fun () ->
+               ck_established := true;
+               send_req ());
+           Tcb.set_on_data ck (fun d ->
+               Buffer.add_string ck_buf d;
+               ck_replies := Buffer.length ck_buf / 4;
+               if !ck_replies = !ck_sent then
+                 ignore
+                   (Engine.schedule (World.engine world) ~delay:(Time.ms 2)
+                      send_req));
+           Tcb.set_on_reset ck (fun () -> incr ck_resets)))
+  end;
+
   (* the scripted chaos *)
   let env =
     {
@@ -499,8 +600,8 @@ let run_replicated ?on_world scenario =
                ~delay:(Time.ms 1 + Rng.int timing_rng (Time.ms 4))
                (fun () ->
                  let h =
-                   World.add_host world lan ~name:"repaired" ~addr:"10.0.0.3"
-                     ()
+                   World.add_host world lan ?tcp_config:pool_cfg
+                     ~name:"repaired" ~addr:"10.0.0.3" ()
                  in
                  (* warm_arp skips dead hosts itself, so the killed
                     host's stale (service-address!) binding cannot
@@ -557,8 +658,8 @@ let run_replicated ?on_world scenario =
                (fun () ->
                  if rejoin_first then begin
                    let h =
-                     World.add_host world lan ~name:"repaired"
-                       ~addr:"10.0.0.3" ()
+                     World.add_host world lan ?tcp_config:pool_cfg
+                       ~name:"repaired" ~addr:"10.0.0.3" ()
                    in
                    World.warm_arp (h :: Topo.hosts topo);
                    repaired := true;
@@ -651,7 +752,17 @@ let run_replicated ?on_world scenario =
            (fun (_, b) -> Buffer.contents b = reply)
            !app_bufs
     in
-    client_done && cross_done && kill_done && app_done
+    (* the checkpointed connection must demonstrably serve AFTER the
+       hot state transfers settle — two more replies past the floor
+       recorded at Transfers_complete *)
+    let ck_done =
+      (not sc.checkpointed)
+      ||
+      match !ck_reply_floor with
+      | Some floor -> !ck_replies >= floor + 2
+      | None -> false
+    in
+    client_done && cross_done && kill_done && app_done && ck_done
   in
   let rec drive () =
     if (not (done_ ())) && World.now world < deadline then begin
@@ -747,6 +858,41 @@ let run_replicated ?on_world scenario =
       (Printf.sprintf
          "%d hot state transfer(s) failed under a lossy control channel"
          (Replicated.transfer_failures repl));
+  (* checkpointed-connection invariants: the long-lived connection's
+     per-request checkpoints kept it under the tight retention budget
+     (no overflow, so nothing was isolated as non-transferable), its
+     reply stream stayed intact through the transfers, and it kept
+     serving afterwards *)
+  if sc.checkpointed then begin
+    let counter = Registry.counter_value (World.metrics world) in
+    check (!ck_resets = 0) "checkpointing connection saw a reset";
+    let s = Buffer.contents ck_buf in
+    check
+      (String.length s = 4 * !ck_replies
+      &&
+      let ok = ref true in
+      String.iteri (fun i c -> if c <> "done".[i mod 4] then ok := false) s;
+      !ok)
+      (Printf.sprintf
+         "checkpointing connection's reply stream diverged (%d B)"
+         (String.length s));
+    check
+      (match !ck_reply_floor with
+      | Some floor -> !ck_replies >= floor + 2
+      | None -> false)
+      "checkpointing connection made no progress after reintegration";
+    check
+      (counter "statex.checkpoints" > 0)
+      "no application checkpoint was ever taken";
+    check
+      (counter "statex.retention_overflows" = 0)
+      "checkpointing connection overflowed its retention budget";
+    (* the global isolation counter can be bumped by OTHER connections
+       caught in a closing state at reintegration (pinned solo by
+       design), so the check is pinned to the checkpoint port *)
+    check (!ck_isolated = 0)
+      "checkpointing connection was stranded solo at reintegration"
+  end;
   check_transfer_mss xfer_capture ~check;
   {
     scenario = sc;

@@ -31,7 +31,12 @@
       the tail, the chain returns to three live replicas with all
       transfers settled and no established connection stranded solo
       ([statex.isolated_conns] stays 0; a connection still mid-handshake
-      at rejoin time is pinned solo by design).
+      at rejoin time is pinned solo by design);
+    - in checkpointed scenarios a long-lived connection whose
+      application checkpoints at every request boundary survives the
+      repair under a tight retention budget: no reset, reply stream
+      intact, progress after the transfers settle, checkpoints taken,
+      no retention overflow.
 
     Everything — topology, chaos plan, kill instant — derives from the
     scenario's seed, so [run (scenario_of_seed s)] replays
@@ -125,6 +130,23 @@ type scenario = {
           while the sibling's never moves, nothing is refused, and no
           cross-shard reply crosses the isolation check.  Forced off
           for pool cascades, non-server roles and cross traffic. *)
+  checkpointed : bool;
+      (** newest axis, drawn after [fleet]: a long-lived request/reply
+          connection rides alongside the main stream, its application
+          calling {!Tcpfo_tcp.Tcb.checkpoint} at every request boundary,
+          while the pool hosts run under a retention budget far smaller
+          than the connection's lifetime traffic — only checkpoint
+          truncation keeps it transferable.  Adds invariants: the
+          connection is never reset, its reply stream stays intact, it
+          demonstrably keeps serving after the hot state transfers
+          settle (so the delta snapshot restored it live), checkpoints
+          were actually taken, the retention budget never overflowed,
+          and the connection — once established — was never stranded
+          solo at a reintegration (a mid-handshake embryo is pinned
+          solo by design; the client's SYN retry then opens a fresh,
+          replicated connection).  Only drawn when a transfer happens
+          (repair or pool promotion); forced off for fleet, non-server
+          roles and cross traffic. *)
 }
 
 type outcome = {

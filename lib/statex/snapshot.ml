@@ -62,7 +62,24 @@ let state_of_tag = function
   | 9 -> Tcb.Closed
   | n -> raise (Codec.Corrupt (Printf.sprintf "invalid state tag %d" n))
 
-(* --- TCB image ---------------------------------------------------- *)
+(* --- TCB image ----------------------------------------------------
+
+   Two wire forms since envelope v3:
+
+   - [Full] (tag 0): the legacy v2 layout byte-for-byte — the whole
+     retained input history, replay base implicitly 0.  A v2 envelope
+     carries exactly this layout with no form tag.
+   - [Delta] (tag 1): the same layout followed by a u64 replay base.
+     The retained-input list holds only post-checkpoint deliveries and
+     the send buffer only client-unACKed bytes, so a checkpointing
+     long-lived connection ships kilobytes instead of its lifetime
+     history.
+
+   [encode] picks the form from [sn_replay_base]; decode accepts both
+   plus legacy v2, so full snapshots remain decodable forever. *)
+
+let form_full = 0
+let form_delta = 1
 
 let write_tcb b (s : Tcb.snapshot) =
   Codec.W.u8 b (state_tag s.sn_state);
@@ -106,7 +123,7 @@ let write_tcb b (s : Tcb.snapshot) =
   Codec.W.u64 b (Int64.of_int s.sn_ssthresh);
   Codec.W.list b Codec.W.str s.sn_retained_input
 
-let read_tcb r : Tcb.snapshot =
+let read_tcb r ~replay_base : Tcb.snapshot =
   let sn_state = state_of_tag (Codec.R.u8 r) in
   let sn_local = r_endpoint r in
   let sn_remote = r_endpoint r in
@@ -182,27 +199,58 @@ let read_tcb r : Tcb.snapshot =
     sn_cwnd;
     sn_ssthresh;
     sn_retained_input;
+    sn_replay_base = replay_base;
   }
 
 (* --- full transfer unit ------------------------------------------- *)
 
-let encode c =
-  let b = Codec.W.create () in
-  write_tcb b c.tcb;
+let write_conn_tail b c =
   Codec.W.u8 b (role_tag c.role);
   Codec.W.u32 b (c.delta land 0xFFFF_FFFF);
   w_seq b c.next_wire_seq;
   Codec.W.u32 b c.held_segments;
-  Codec.W.bool b c.solo;
+  Codec.W.bool b c.solo
+
+let encode c =
+  let b = Codec.W.create () in
+  (if c.tcb.Tcb.sn_replay_base = 0 then Codec.W.u8 b form_full
+   else begin
+     Codec.W.u8 b form_delta;
+     Codec.W.u64 b (Int64.of_int c.tcb.Tcb.sn_replay_base)
+   end);
+  write_tcb b c.tcb;
+  write_conn_tail b c;
   Codec.seal (Codec.W.contents b)
 
+(* The legacy v2 image (no form tag, no replay base) — kept so peers and
+   tests can exercise the full↔delta version negotiation.  Only a full
+   snapshot fits the v2 layout. *)
+let encode_v2 c =
+  if c.tcb.Tcb.sn_replay_base <> 0 then
+    invalid_arg "Snapshot.encode_v2: delta snapshots need envelope v3";
+  let b = Codec.W.create () in
+  write_tcb b c.tcb;
+  write_conn_tail b c;
+  Codec.seal_at ~version:2 (Codec.W.contents b)
+
 let decode s =
-  match Codec.unseal s with
-  | Error _ as e -> e
-  | Ok body -> (
+  match Codec.unseal_versioned s with
+  | Error _ as e -> (match e with Error m -> Error m | _ -> assert false)
+  | Ok (version, body) -> (
     try
       let r = Codec.R.of_string body in
-      let tcb = read_tcb r in
+      let replay_base =
+        if version <= 2 then 0
+        else
+          let tag = Codec.R.u8 r in
+          if tag = form_full then 0
+          else if tag = form_delta then Int64.to_int (Codec.R.u64 r)
+          else
+            raise
+              (Codec.Corrupt
+                 (Printf.sprintf "invalid snapshot form tag %d" tag))
+      in
+      let tcb = read_tcb r ~replay_base in
       let role = role_of_tag (Codec.R.u8 r) in
       let delta =
         (* sign-extend the 32-bit two's-complement field *)

@@ -147,6 +147,9 @@ type t = {
   pending : (int, outgoing) Hashtbl.t;
   incoming : (int * int, incoming) Hashtbl.t;  (* (src, xfer_id) *)
   mutable next_id : int;
+  mutable last_rtt : Time.t option;
+      (* most recent clean RTT sample across all offers on this channel;
+         feeds the reintegration scheduler's auto-pacing *)
   (* world-absolute [statex.*] scope: both ends of a transfer share the
      registry, so these aggregate across hosts like the bridge metrics *)
   offers_sent : Registry.counter;
@@ -259,7 +262,9 @@ let handle_ack t ~xfer_id ~next =
     if next > o.o_next_needed && next <= o.o_total then begin
       (match o.o_probe with
       | Some (p, t0) when next > p ->
-        Rto.sample o.o_rto ((Host.clock t.host).now () - t0);
+        let rtt = (Host.clock t.host).now () - t0 in
+        Rto.sample o.o_rto rtt;
+        t.last_rtt <- Some rtt;
         o.o_probe <- None
       | _ -> ());
       o.o_next_needed <- next;
@@ -362,6 +367,7 @@ let attach host =
       pending = Hashtbl.create 8;
       incoming = Hashtbl.create 8;
       next_id = 1;
+      last_rtt = None;
       offers_sent = Obs.counter obs "offers_sent";
       offers_received = Obs.counter obs "offers_received";
       accepts = Obs.counter obs "accepts";
@@ -425,6 +431,16 @@ let offer t ?(chunk_bytes = max_datagram_bytes) ?(window = default_window)
   refill t xfer_id o
 
 let pending_count t = Hashtbl.length t.pending
+let rtt_estimate t = t.last_rtt
+
+(* One full window of MSS-sized chunks per RTT: the spacing at which a
+   steady stream of small snapshots saturates the channel without ever
+   queueing more than a window.  Before the first sample, a LAN-scale
+   guess. *)
+let suggested_pace t =
+  match t.last_rtt with
+  | Some rtt -> max (Time.us 10) (rtt / default_window)
+  | None -> Time.us 200
 
 type stats = {
   offers_sent : int;

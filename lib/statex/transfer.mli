@@ -96,6 +96,17 @@ val offer :
 val pending_count : t -> int
 (** Offers awaiting a verdict. *)
 
+val rtt_estimate : t -> Tcpfo_sim.Time.t option
+(** Most recent clean (never-retransmitted) chunk round-trip measured on
+    this channel, across all offers; [None] until the first sample. *)
+
+val suggested_pace : t -> Tcpfo_sim.Time.t
+(** Inter-offer spacing at which a steady stream of small snapshots
+    keeps one chunk window in flight per RTT — what the reintegration
+    scheduler uses when pacing is requested without an explicit period.
+    Derived from {!rtt_estimate} and the chunk window; a LAN-scale
+    constant before the first RTT sample. *)
+
 type stats = {
   offers_sent : int;
   offers_received : int;

@@ -104,8 +104,16 @@ type t = {
          replay input the original already acted on, so applications
          coupling connections (relays) must not re-forward it *)
   mutable retention_overflowed : bool;
-      (* the budget was exceeded: history dropped, connection no longer
-         transferable (and never again — the prefix is gone) *)
+      (* the budget was exceeded: history dropped, connection not
+         transferable until an application checkpoint declares the lost
+         prefix unnecessary *)
+  mutable checkpoint_base : int;
+      (* input-stream offset (bytes delivered to the application) where
+         the retained history begins: 0 until the first checkpoint
+         truncates the history.  Ships as [sn_replay_base] so a restored
+         replica knows its replay starts mid-stream. *)
+  mutable checkpoint_timer : Tcpfo_sim.Engine.event_id option;
+      (* periodic {!checkpoint} driver ([config.checkpoint_interval]) *)
   (* --- callbacks --- *)
   mutable on_established : unit -> unit;
   mutable on_data : string -> unit;
@@ -126,6 +134,12 @@ type t = {
   c_retention_overflows : Registry.counter;
       (* world-absolute [statex.retention_overflows]: connections that
          outgrew the budget and lost transferability *)
+  c_checkpoints : Registry.counter;
+      (* world-absolute [statex.checkpoints]: application checkpoints
+         taken (timer-driven and explicit) *)
+  c_retention_truncated : Registry.counter;
+      (* world-absolute [statex.retention_truncated_bytes]: retained
+         input dropped at checkpoint boundaries *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -225,7 +239,8 @@ let cancel_all_timers t =
   t.delack_timer <- cancel_timer t t.delack_timer;
   t.timewait_timer <- cancel_timer t t.timewait_timer;
   t.persist_timer <- cancel_timer t t.persist_timer;
-  t.keepalive_timer <- cancel_timer t t.keepalive_timer
+  t.keepalive_timer <- cancel_timer t t.keepalive_timer;
+  t.checkpoint_timer <- cancel_timer t t.checkpoint_timer
 
 let delete t =
   if t.state <> Closed then begin
@@ -565,6 +580,8 @@ let make clock ?obs ~config ~local ~remote ~iss actions state =
     replaying = false;
     retained_bytes = 0;
     retention_overflowed = false;
+    checkpoint_base = 0;
+    checkpoint_timer = None;
     cwnd = 2 * config.mss;
     ssthresh = 1 lsl 30 (* RFC 5681: initially arbitrarily high *);
     dupacks = 0;
@@ -584,6 +601,12 @@ let make clock ?obs ~config ~local ~remote ~iss actions state =
       Obs.counter (Obs.scope (Obs.root obs) "statex") "retention_bytes";
     c_retention_overflows =
       Obs.counter (Obs.scope (Obs.root obs) "statex") "retention_overflows";
+    c_checkpoints =
+      Obs.counter (Obs.scope (Obs.root obs) "statex") "checkpoints";
+    c_retention_truncated =
+      Obs.counter
+        (Obs.scope (Obs.root obs) "statex")
+        "retention_truncated_bytes";
   }
 
 let create_active clock ?obs ~config ~local ~remote ~iss actions =
@@ -816,7 +839,10 @@ let deliver_payload t (seg : Seg.t) =
           (* over budget: the replay prefix is irrecoverable, so keeping
              a truncated history would be worse than keeping none.  Drop
              it; the orchestrator isolates the connection at the next
-             reintegration instead of transferring it. *)
+             reintegration — unless a later application {!checkpoint}
+             declares the lost prefix unnecessary and resurrects
+             retention at the then-current input position. *)
+          t.checkpoint_base <- t.checkpoint_base + nb;
           t.retained <- None;
           t.retained_bytes <- 0;
           t.retention_overflowed <- true;
@@ -827,7 +853,11 @@ let deliver_payload t (seg : Seg.t) =
           t.retained_bytes <- nb;
           Registry.Counter.add t.c_retention_bytes (String.length delivered)
         end
-      | None -> ());
+      | None ->
+        (* after an overflow, keep the input position current so a
+           resurrecting checkpoint lands at the right replay base *)
+        if t.retention_overflowed then
+          t.checkpoint_base <- t.checkpoint_base + String.length delivered);
       (match t.state with
       | Established | Fin_wait_1 | Fin_wait_2 ->
         if t.recv_paused then Buffer.add_string t.recv_pending delivered
@@ -1061,16 +1091,70 @@ type snapshot = {
   sn_cwnd : int;
   sn_ssthresh : int;
   sn_retained_input : string list;
+  sn_replay_base : int;
 }
+
+(* Application checkpoint: the service declares it no longer needs the
+   input prefix to rebuild its per-connection state, so the retained
+   history is truncated at the current delivery boundary.  After a
+   retention-budget overflow the same declaration covers the lost
+   prefix, so retention (and with it transferability) is resurrected at
+   the current input position.  A no-op on connections that never
+   retained. *)
+let checkpoint t =
+  match t.retained with
+  | Some _ ->
+    let dropped = t.retained_bytes in
+    if dropped > 0 then begin
+      t.checkpoint_base <- t.checkpoint_base + dropped;
+      t.retained <- Some [];
+      t.retained_bytes <- 0;
+      Registry.Counter.add t.c_retention_truncated dropped
+    end;
+    Registry.Counter.incr t.c_checkpoints
+  | None ->
+    if t.retention_overflowed then begin
+      t.retention_overflowed <- false;
+      t.retained <- Some [];
+      t.retained_bytes <- 0;
+      Registry.Counter.incr t.c_checkpoints
+    end
+
+(* Periodic checkpoints on [config.checkpoint_interval].  Timer-driven
+   truncation is only safe for applications whose state rebuilds from
+   any delivery boundary; stateful ones leave the interval unset and
+   call {!checkpoint} at their own safe points. *)
+let rec arm_checkpoint_timer t =
+  match t.config.checkpoint_interval with
+  | None -> ()
+  | Some interval ->
+    t.checkpoint_timer <- cancel_timer t t.checkpoint_timer;
+    t.checkpoint_timer <-
+      Some
+        (t.clock.schedule interval (fun () ->
+             t.checkpoint_timer <- None;
+             if
+               t.state <> Closed
+               && (t.retained <> None || t.retention_overflowed)
+             then begin
+               checkpoint t;
+               arm_checkpoint_timer t
+             end))
 
 let enable_input_retention t =
   (* never after an overflow: the replay prefix is gone for good, and a
-     partial history would silently corrupt a restored replica *)
-  if t.retained = None && not t.retention_overflowed then
-    t.retained <- Some []
+     partial history would silently corrupt a restored replica (only an
+     application {!checkpoint} may resurrect retention — it declares the
+     prefix unnecessary) *)
+  if t.retained = None && not t.retention_overflowed then begin
+    t.retained <- Some [];
+    arm_checkpoint_timer t
+  end
 
 let input_retention_enabled t = t.retained <> None
 let input_retention_overflowed t = t.retention_overflowed
+let replay_base t = t.checkpoint_base
+let retained_input_bytes t = t.retained_bytes
 
 let snapshot t =
   let rto = Rto.export t.rto in
@@ -1111,6 +1195,7 @@ let snapshot t =
     sn_ssthresh = t.ssthresh;
     sn_retained_input =
       (match t.retained with Some chunks -> List.rev chunks | None -> []);
+    sn_replay_base = t.checkpoint_base;
   }
 
 (* Translate the send-side sequence space by [n] (receive side and
@@ -1176,6 +1261,7 @@ let restore clock ?obs ~config actions (s : snapshot) =
     List.fold_left
       (fun acc c -> acc + String.length c)
       0 s.sn_retained_input;
+  t.checkpoint_base <- s.sn_replay_base;
   (* the application will replay the retained input and regenerate its
      output stream from byte 0: swallow the prefix the snapshot already
      accounts for *)
@@ -1210,6 +1296,8 @@ let resume_restored t =
      FINs, and still eventually evaporate: restart the 2MSL timer *)
   if t.state = Time_wait then enter_time_wait t;
   if Seq32.lt t.snd_una t.snd_max then arm_rtx t;
+  (* restored connections resume periodic checkpointing on this host *)
+  arm_checkpoint_timer t;
   try_output t
 
 let snd_max t = t.snd_max

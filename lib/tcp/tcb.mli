@@ -188,6 +188,10 @@ type snapshot = {
   sn_ssthresh : int;
   sn_retained_input : string list;
       (** in-order application-delivery chunks, boundaries preserved *)
+  sn_replay_base : int;
+      (** input-stream offset where [sn_retained_input] begins: 0 for a
+          full history, positive after a {!checkpoint} truncated the
+          prefix (the restored replica's replay starts mid-stream) *)
 }
 
 val enable_input_retention : t -> unit
@@ -196,17 +200,47 @@ val enable_input_retention : t -> unit
     orchestrator enables this on every replicated server connection at
     accept time.  Retained input is capped by
     {!Tcp_config.retention_budget}: once in-order deliveries outgrow
-    it, the history is dropped, the connection permanently stops being
-    transferable (re-enabling is a no-op — the replay prefix is gone),
-    and [statex.retention_overflows] is bumped.  A no-op after such an
-    overflow. *)
+    it, the history is dropped, the connection stops being transferable
+    (re-enabling is a no-op — the replay prefix is gone), and
+    [statex.retention_overflows] is bumped.  A no-op after such an
+    overflow; only {!checkpoint} can resurrect retention, because it
+    carries the application's declaration that the lost prefix is not
+    needed.
+
+    When {!Tcp_config.checkpoint_interval} is set, enabling retention
+    also starts the periodic checkpoint timer. *)
 
 val input_retention_enabled : t -> bool
 
 val input_retention_overflowed : t -> bool
 (** The retention budget was exceeded at some point: the connection
     can no longer be hot-transferred and will be isolated (continue
-    solo) at the next reintegration. *)
+    solo) at the next reintegration — unless a later {!checkpoint}
+    resurrects retention. *)
+
+val checkpoint : t -> unit
+(** Application checkpoint: truncate the retained input history at the
+    current delivery boundary.  The caller declares its per-connection
+    state no longer depends on the truncated prefix, so a restored
+    replica's replay starts at the checkpoint instead of byte 0 — this
+    both bounds snapshot size (delta snapshots ship only post-checkpoint
+    input) and keeps long-lived connections under
+    {!Tcp_config.retention_budget} forever.  After an overflow the same
+    declaration covers the lost prefix, so retention and
+    transferability are resurrected at the current input position.
+    Bumps [statex.checkpoints]; truncated bytes are accounted in
+    [statex.retention_truncated_bytes].  A no-op on connections that
+    never retained.  Driven periodically by
+    {!Tcp_config.checkpoint_interval} when set — only safe for
+    applications whose state rebuilds from any delivery boundary;
+    stateful ones call this explicitly at their own safe points. *)
+
+val replay_base : t -> int
+(** Input-stream offset where the retained history begins (0 until the
+    first checkpoint truncation). *)
+
+val retained_input_bytes : t -> int
+(** Bytes currently held in the retained input history. *)
 
 val snapshot : t -> snapshot
 (** Freeze the current connection state.  The caller is responsible for

@@ -22,6 +22,14 @@ type t = {
   keepalive : Time.t option;
   keepalive_probes : int;
   retention_budget : int;
+  checkpoint_interval : Time.t option;
+      (* when set, every retaining connection checkpoints itself on this
+         period ({!Tcb.checkpoint}): retained input is truncated at the
+         boundary so long-lived connections stay transferable instead of
+         overflowing [retention_budget].  Only safe for applications
+         whose per-connection state rebuilds from any delivery boundary;
+         stateful apps should call {!Tcb.checkpoint} explicitly at their
+         own safe points instead. *)
 }
 
 let default =
@@ -47,4 +55,5 @@ let default =
     keepalive = None;
     keepalive_probes = 3;
     retention_budget = 1 lsl 20;
+    checkpoint_interval = None;
   }

@@ -42,9 +42,19 @@ type t = {
       (** Byte cap on input retained for hot state transfer.  A
           connection whose in-order deliveries outgrow the budget drops
           its retained history and becomes non-transferable (it is
-          isolated at the next reintegration instead of re-replicated);
-          the overflow is surfaced through the [statex.retention_*]
+          isolated at the next reintegration instead of re-replicated,
+          unless a later {!Tcb.checkpoint} resurrects retention); the
+          overflow is surfaced through the [statex.retention_*]
           counters.  Default 1 MiB. *)
+  checkpoint_interval : Tcpfo_sim.Time.t option;
+      (** Periodic {!Tcb.checkpoint} driver: every retaining connection
+          truncates its retained input on this period, so long-lived
+          connections stay transferable (and snapshots stay small)
+          instead of overflowing {!field-retention_budget}.  Only safe
+          for applications whose per-connection state rebuilds from any
+          delivery boundary; stateful applications leave this [None]
+          (the default) and call {!Tcb.checkpoint} at their own safe
+          points. *)
 }
 
 val default : t

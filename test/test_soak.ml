@@ -98,6 +98,36 @@ let test_fleet_axis_covered () =
     (Soak.describe o.Soak.scenario)
     [] o.Soak.violations
 
+(* The checkpointed-connection axis: the CI seed range must draw it,
+   its forcing rules must hold everywhere (only server-role pair/pool
+   worlds where a transfer happens, never fleet or cross traffic), and
+   the first such scenario — a long-lived checkpointing connection
+   surviving a repair under a tight retention budget — must run
+   clean. *)
+let test_checkpoint_axis_covered () =
+  let all = List.init 200 (fun i -> Soak.scenario_of_seed (i + 1)) in
+  List.iter
+    (fun (sc : Soak.scenario) ->
+      if sc.Soak.checkpointed then
+        check_bool
+          (Printf.sprintf
+             "seed %d: checkpoint axis forced onto transfer-bearing \
+              server worlds"
+             sc.Soak.seed)
+          true
+          (sc.Soak.role = Soak.Server && (not sc.Soak.fleet)
+          && sc.Soak.chaos <> Soak.Cross_traffic
+          && (sc.Soak.repair <> Soak.No_repair || sc.Soak.pool <> Soak.Pair)))
+    all;
+  let ckpts =
+    List.filter (fun (sc : Soak.scenario) -> sc.Soak.checkpointed) all
+  in
+  check_bool "seeds 1-200 draw a checkpointed scenario" true (ckpts <> []);
+  let o = Soak.run (List.hd ckpts) in
+  Alcotest.(check (list string))
+    (Soak.describe o.Soak.scenario)
+    [] o.Soak.violations
+
 let test_replay_is_byte_identical () =
   let sc = Soak.scenario_of_seed 5 in
   let a = Soak.run sc in
@@ -117,6 +147,8 @@ let suite =
       test_role_axis_covered;
     Alcotest.test_case "fleet axis covered and clean" `Quick
       test_fleet_axis_covered;
+    Alcotest.test_case "checkpoint axis covered and clean" `Quick
+      test_checkpoint_axis_covered;
     Alcotest.test_case "seed replay byte-identical" `Quick
       test_replay_is_byte_identical;
   ]

@@ -56,6 +56,7 @@ let mk_conn ?(size = 8_000) () =
         sn_cwnd = 2920;
         sn_ssthresh = 1 lsl 30;
         sn_retained_input = [];
+        sn_replay_base = 0;
       };
     role = `Server;
     delta = 0;
@@ -374,6 +375,324 @@ let test_retention_overflow_isolates () =
     (sink_contents csink);
   check_int "never reset" 0 csink.resets
 
+(* -- checkpoints -------------------------------------------------------- *)
+
+let test_checkpoint_truncates_unit () =
+  let lan =
+    make_simple_lan
+      ~tcp_config:{ Tcp_config.default with retention_budget = 2_000 }
+      ()
+  in
+  let server_tcb = ref None in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun tcb ->
+      Tcb.enable_input_retention tcb;
+      server_tcb := Some tcb);
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  Tcb.set_on_established c (fun () -> send_all c (pattern ~tag:11 1_200));
+  World.run lan.world ~for_:(Time.sec 1.0);
+  let s = Option.get !server_tcb in
+  check_int "history retained" 1_200 (Tcb.retained_input_bytes s);
+  check_int "base still zero" 0 (Tcb.replay_base s);
+  Tcb.checkpoint s;
+  check_int "history truncated" 0 (Tcb.retained_input_bytes s);
+  check_int "base advanced to the boundary" 1_200 (Tcb.replay_base s);
+  check_bool "still transferable" true (Tcb.input_retention_enabled s);
+  check_bool "checkpoint counted" true
+    (counter lan.world "statex.checkpoints" >= 1);
+  check_int "truncated bytes accounted" 1_200
+    (counter lan.world "statex.retention_truncated_bytes");
+  (* a second 1200-byte burst would overflow the 2000 B budget if the
+     checkpoint had not truncated the history *)
+  send_all c (pattern ~tag:12 1_200);
+  World.run lan.world ~for_:(Time.sec 1.0);
+  check_bool "no overflow" false (Tcb.input_retention_overflowed s);
+  check_int "only the suffix is retained" 1_200 (Tcb.retained_input_bytes s);
+  (* and the snapshot is the delta form: base + post-checkpoint suffix *)
+  let snap = Tcb.snapshot s in
+  check_int "snapshot carries the base" 1_200 snap.Tcb.sn_replay_base;
+  check_int "snapshot ships only the suffix" 1_200
+    (List.fold_left
+       (fun a chunk -> a + String.length chunk)
+       0 snap.Tcb.sn_retained_input)
+
+let test_checkpoint_resurrects_after_overflow () =
+  let lan =
+    make_simple_lan
+      ~tcp_config:{ Tcp_config.default with retention_budget = 1_000 }
+      ()
+  in
+  let server_tcb = ref None in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun tcb ->
+      Tcb.enable_input_retention tcb;
+      server_tcb := Some tcb);
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  Tcb.set_on_established c (fun () -> send_all c (pattern ~tag:13 1_200));
+  World.run lan.world ~for_:(Time.sec 1.0);
+  let s = Option.get !server_tcb in
+  check_bool "overflowed" true (Tcb.input_retention_overflowed s);
+  check_bool "not transferable" false (Tcb.input_retention_enabled s);
+  (* plain re-enabling stays a no-op, but a checkpoint carries the
+     application's declaration that the lost prefix is unnecessary *)
+  Tcb.checkpoint s;
+  check_bool "overflow cleared" false (Tcb.input_retention_overflowed s);
+  check_bool "transferable again" true (Tcb.input_retention_enabled s);
+  check_int "base covers everything delivered so far" 1_200
+    (Tcb.replay_base s);
+  send_all c (pattern ~tag:14 600);
+  World.run lan.world ~for_:(Time.sec 1.0);
+  check_bool "still no overflow" false (Tcb.input_retention_overflowed s);
+  check_int "suffix retained from the resurrection point" 600
+    (Tcb.retained_input_bytes s);
+  check_int "base unchanged by retained deliveries" 1_200 (Tcb.replay_base s)
+
+let test_checkpoint_timer_bounds_retention () =
+  (* a periodic checkpoint keeps a long-lived connection under a budget
+     its lifetime traffic exceeds many times over *)
+  let lan =
+    make_simple_lan
+      ~tcp_config:
+        {
+          Tcp_config.default with
+          retention_budget = 2_000;
+          checkpoint_interval = Some (Time.ms 50);
+        }
+      ()
+  in
+  let server_tcb = ref None in
+  Stack.listen (Host.tcp lan.server) ~port:80 ~on_accept:(fun tcb ->
+      Tcb.enable_input_retention tcb;
+      server_tcb := Some tcb);
+  let c =
+    Stack.connect (Host.tcp lan.client) ~remote:(Host.addr lan.server, 80) ()
+  in
+  World.run lan.world ~for_:(Time.ms 20);
+  for i = 1 to 6 do
+    send_all c (pattern ~tag:i 600);
+    World.run lan.world ~for_:(Time.ms 100)
+  done;
+  let s = Option.get !server_tcb in
+  check_bool "never overflowed despite 3600 B through a 2000 B budget"
+    false
+    (Tcb.input_retention_overflowed s);
+  check_bool "still transferable" true (Tcb.input_retention_enabled s);
+  check_bool "timer drove several checkpoints" true
+    (counter lan.world "statex.checkpoints" >= 2);
+  check_bool "retention stayed bounded" true
+    (Tcb.retained_input_bytes s < 2_000);
+  check_int "base + suffix account for the whole stream" 3_600
+    (Tcb.replay_base s + Tcb.retained_input_bytes s)
+
+let test_checkpointed_conn_survives_repair () =
+  (* End-to-end delta reintegration: an application that checkpoints at
+     its own safe points keeps a connection transferable through traffic
+     exceeding the retention budget, the repair ships the DELTA snapshot
+     (base > 0, suffix only), and the restored replica carries the
+     session through a second failover byte-exactly. *)
+  let budget = { Tcp_config.default with retention_budget = 2_000 } in
+  let r =
+    make_repl_lan ~primary_tcp_config:budget ~secondary_tcp_config:budget ()
+  in
+  let isolated = ref 0 in
+  Replicated.set_on_event r.repl (function
+    | Replicated.Isolated _ -> incr isolated
+    | _ -> ());
+  let accepted = ref [] in
+  Replicated.listen r.repl ~port:80 ~on_accept:(fun ~role:_ tcb ->
+      accepted := tcb :: !accepted;
+      let got = ref 0 in
+      Tcb.set_on_data tcb (fun d ->
+          got := !got + String.length d;
+          if !got mod 1_200 = 0 then begin
+            ignore (Tcb.send tcb "done");
+            (* request boundary = application safe point *)
+            Tcb.checkpoint tcb
+          end));
+  let csink = make_sink () in
+  let c =
+    Stack.connect (Host.tcp r.rclient)
+      ~remote:(Replicated.service_addr r.repl, 80)
+      ()
+  in
+  wire_sink csink c;
+  Tcb.set_on_established c (fun () -> send_all c (pattern ~tag:21 1_200));
+  run_repl ~for_sec:1.0 r;
+  send_all c (pattern ~tag:22 1_200);
+  run_repl ~for_sec:1.0 r;
+  (* 2400 B through a 2000 B budget: alive only thanks to checkpoints *)
+  check_string "served twice" "donedone" (sink_contents csink);
+  check_int "no overflow on either replica" 0
+    (counter r.rworld "statex.retention_overflows");
+  Replicated.kill_secondary r.repl;
+  run_repl ~for_sec:2.0 r;
+  let fresh =
+    World.add_host r.rworld r.rlan ~name:"repaired" ~addr:"10.0.0.3"
+      ~tcp_config:budget ()
+  in
+  World.warm_arp [ r.rclient; r.primary; r.secondary; fresh ];
+  Replicated.reintegrate r.repl ~secondary:fresh;
+  run_repl ~for_sec:2.0 r;
+  check_int "transfers settled" 0 (Replicated.pending_transfers r.repl);
+  check_int "no transfer failures" 0 (Replicated.transfer_failures r.repl);
+  check_int "nothing isolated" 0 !isolated;
+  (* the restored copy landed with the delta's replay base *)
+  let restored = List.hd !accepted in
+  check_int "restored replica replays from the checkpoint" 2_400
+    (Tcb.replay_base restored);
+  (* second failover onto the delta-restored replica *)
+  Replicated.kill_primary r.repl;
+  run_repl ~for_sec:2.0 r;
+  send_all c (pattern ~tag:23 1_200);
+  run_repl ~for_sec:3.0 r;
+  check_string "restored replica continued the session byte-exactly"
+    "donedonedone" (sink_contents csink);
+  check_int "never reset" 0 csink.resets
+
+(* -- paced offer scheduling --------------------------------------------- *)
+
+let test_paced_scheduler_windows_offers () =
+  (* transfer_inflight=1 + a pace floor: offers must trickle out one at
+     a time instead of bursting at the reintegration instant, and every
+     connection must still re-replicate and survive a second failover *)
+  let config =
+    Failover_config.make ~transfer_inflight:1 ~transfer_pace:(Time.us 200) ()
+  in
+  let r = make_repl_lan ~config () in
+  Replicated.listen r.repl ~port:80 ~on_accept:(fun ~role:_ tcb ->
+      Tcb.set_on_data tcb (fun d -> ignore (Tcb.send tcb ("R:" ^ d))));
+  let n = 5 in
+  let sinks = Array.init n (fun _ -> make_sink ()) in
+  let conns =
+    Array.init n (fun i ->
+        let c =
+          Stack.connect (Host.tcp r.rclient)
+            ~remote:(Replicated.service_addr r.repl, 80)
+            ()
+        in
+        wire_sink sinks.(i) c;
+        Tcb.set_on_established c (fun () ->
+            ignore (Tcb.send c (Printf.sprintf "q%d" i)));
+        c)
+  in
+  run_repl ~for_sec:1.0 r;
+  Array.iteri
+    (fun i s ->
+      check_string "served" (Printf.sprintf "R:q%d" i) (sink_contents s))
+    sinks;
+  Replicated.kill_secondary r.repl;
+  run_repl ~for_sec:2.0 r;
+  let completed = ref None in
+  Replicated.add_on_event r.repl (function
+    | Replicated.Transfers_complete k -> completed := Some k
+    | _ -> ());
+  let fresh =
+    World.add_host r.rworld r.rlan ~name:"repaired" ~addr:"10.0.0.3" ()
+  in
+  World.warm_arp [ r.rclient; r.primary; r.secondary; fresh ];
+  Replicated.reintegrate r.repl ~secondary:fresh;
+  (* sample the channel while the paced transfers drain: the in-flight
+     window must never exceed the configured cap *)
+  let max_inflight = ref 0 in
+  for _ = 1 to 300 do
+    World.run r.rworld ~for_:(Time.us 100);
+    let st = Replicated.transfer_stats r.repl in
+    let inflight =
+      st.Transfer.offers_sent - st.Transfer.accepts - st.Transfer.rejects
+      - st.Transfer.timeouts
+    in
+    if inflight > !max_inflight then max_inflight := inflight
+  done;
+  run_repl ~for_sec:2.0 r;
+  check_bool "all re-replicated" true (!completed = Some n);
+  check_int "no failures" 0 (Replicated.transfer_failures r.repl);
+  check_bool "window respected" true (!max_inflight <= 1);
+  let m = World.metrics r.rworld in
+  check_bool "offers were paced" true
+    (Registry.counter_value m "statex.paced_offers" >= n - 1);
+  check_bool "pace wait accounted" true
+    (Registry.counter_value m "statex.pace_wait_us" > 0);
+  check_int "queue drained" 0
+    (Registry.gauge_value m "statex.transfer_queue_depth");
+  (* the paced captures were exact: a second failover onto the restored
+     copies continues every session byte-exactly *)
+  Replicated.kill_primary r.repl;
+  run_repl ~for_sec:2.0 r;
+  Array.iteri (fun i c -> ignore (Tcb.send c (Printf.sprintf "z%d" i))) conns;
+  run_repl ~for_sec:3.0 r;
+  Array.iteri
+    (fun i s ->
+      check_string "continued byte-exactly"
+        (Printf.sprintf "R:q%dR:z%d" i i)
+        (sink_contents s);
+      check_int "never reset" 0 s.resets)
+    sinks
+
+let test_write_during_paced_transfer () =
+  (* Regression for capture atomicity: pacing defers offers past the
+     reintegration instant, so client bytes land on still-queued
+     connections while earlier offers drain.  Each deferred capture
+     (quiesce, then Δ, then the TCB image — in that order) must count
+     those bytes exactly once, or the restored copy replays them twice
+     or loses them. *)
+  let config =
+    Failover_config.make ~transfer_inflight:1 ~transfer_pace:(Time.ms 1) ()
+  in
+  let r = make_repl_lan ~config () in
+  Replicated.listen r.repl ~port:80 ~on_accept:(fun ~role:_ tcb ->
+      Tcb.set_on_data tcb (fun d -> ignore (Tcb.send tcb ("R:" ^ d))));
+  let n = 4 in
+  let sinks = Array.init n (fun _ -> make_sink ()) in
+  let conns =
+    Array.init n (fun i ->
+        let c =
+          Stack.connect (Host.tcp r.rclient)
+            ~remote:(Replicated.service_addr r.repl, 80)
+            ()
+        in
+        wire_sink sinks.(i) c;
+        Tcb.set_on_established c (fun () ->
+            ignore (Tcb.send c (Printf.sprintf "q%d" i)));
+        c)
+  in
+  run_repl ~for_sec:1.0 r;
+  Replicated.kill_secondary r.repl;
+  run_repl ~for_sec:2.0 r;
+  let fresh =
+    World.add_host r.rworld r.rlan ~name:"repaired" ~addr:"10.0.0.3" ()
+  in
+  World.warm_arp [ r.rclient; r.primary; r.secondary; fresh ];
+  Replicated.reintegrate r.repl ~secondary:fresh;
+  (* mid-pacing: every client writes while the offer queue still holds
+     most of the connections *)
+  World.run r.rworld ~for_:(Time.us 300);
+  Array.iteri (fun i c -> ignore (Tcb.send c (Printf.sprintf "m%d" i))) conns;
+  run_repl ~for_sec:3.0 r;
+  check_int "transfers settled" 0 (Replicated.pending_transfers r.repl);
+  check_int "no failures" 0 (Replicated.transfer_failures r.repl);
+  Array.iteri
+    (fun i s ->
+      check_string "mid-pacing write served once"
+        (Printf.sprintf "R:q%dR:m%d" i i)
+        (sink_contents s))
+    sinks;
+  (* the decisive check: fail over onto the restored copies — a byte
+     double-counted or dropped by a non-atomic capture surfaces as a
+     divergent stream here *)
+  Replicated.kill_primary r.repl;
+  run_repl ~for_sec:2.0 r;
+  Array.iteri (fun i c -> ignore (Tcb.send c (Printf.sprintf "e%d" i))) conns;
+  run_repl ~for_sec:3.0 r;
+  Array.iteri
+    (fun i s ->
+      check_string "session continued byte-exactly after the rekill"
+        (Printf.sprintf "R:q%dR:m%dR:e%d" i i i)
+        (sink_contents s);
+      check_int "never reset" 0 s.resets)
+    sinks
+
 (* -- role-complete transfer: the §7.2 client role ----------------------- *)
 
 let test_backend_conn_repair_and_rekill () =
@@ -558,6 +877,18 @@ let suite =
       test_retention_overflow_unit;
     Alcotest.test_case "retention overflow isolates the connection" `Quick
       test_retention_overflow_isolates;
+    Alcotest.test_case "checkpoint truncates retained input (unit)" `Quick
+      test_checkpoint_truncates_unit;
+    Alcotest.test_case "checkpoint resurrects retention after overflow"
+      `Quick test_checkpoint_resurrects_after_overflow;
+    Alcotest.test_case "checkpoint timer bounds retention" `Quick
+      test_checkpoint_timer_bounds_retention;
+    Alcotest.test_case "checkpointed conn ships a delta and survives repair"
+      `Quick test_checkpointed_conn_survives_repair;
+    Alcotest.test_case "paced scheduler respects the offer window" `Quick
+      test_paced_scheduler_windows_offers;
+    Alcotest.test_case "client write during paced transfer counted once"
+      `Quick test_write_during_paced_transfer;
     Alcotest.test_case "backend conn survives repair and rekill (7.2)" `Quick
       test_backend_conn_repair_and_rekill;
     Alcotest.test_case "restored relay's new output not swallowed" `Quick
